@@ -1,0 +1,345 @@
+//! Arithmetic `(ℕ, +, ×, =, 0, 1)` with bounded quantification
+//! (Definition 5.2).
+//!
+//! A formula `φ(x)` is *restricted by* `f` when bounding every quantifier
+//! to range below `f(x)` does not change its truth value on inputs `x`.
+//! Lemma 5.6 puts Turing machine acceptance in this shape; Lemma 5.7 then
+//! encodes such formulas into BALG² + powerbag (see
+//! [`translate`](crate::translate)). This module is the formula AST plus
+//! the direct bounded evaluator the translation is checked against.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An arithmetic variable name.
+pub type ArithVar = Arc<str>;
+
+/// An arithmetic term over `+`, `×`, constants, and variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Term {
+    /// A variable.
+    Var(ArithVar),
+    /// A constant.
+    Const(u64),
+    /// Addition.
+    Add(Box<Term>, Box<Term>),
+    /// Multiplication.
+    Mul(Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Arc::from(name))
+    }
+
+    /// A constant term.
+    pub fn constant(value: u64) -> Term {
+        Term::Const(value)
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Term) -> Term {
+        Term::Add(Box::new(self), Box::new(other))
+    }
+
+    /// `self × other`.
+    pub fn mul(self, other: Term) -> Term {
+        Term::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate under an environment.
+    pub fn eval(&self, env: &BTreeMap<ArithVar, u64>) -> Option<u64> {
+        match self {
+            Term::Var(name) => env.get(name).copied(),
+            Term::Const(value) => Some(*value),
+            Term::Add(a, b) => a.eval(env)?.checked_add(b.eval(env)?),
+            Term::Mul(a, b) => a.eval(env)?.checked_mul(b.eval(env)?),
+        }
+    }
+
+    /// Free variables, in first-occurrence order.
+    pub fn vars(&self, out: &mut Vec<ArithVar>) {
+        match self {
+            Term::Var(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Term::Const(_) => {}
+            Term::Add(a, b) | Term::Mul(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+        }
+    }
+}
+
+/// A first-order arithmetic formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// `t = t′`.
+    Eq(Term, Term),
+    /// `t ≤ t′` — sugar for `∃z. t + z = t′` (the paper assumes `≤` is
+    /// eliminated; the translation performs that rewriting).
+    Le(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Bounded existential `∃x < f(n)`.
+    Exists(ArithVar, Box<Formula>),
+    /// Bounded universal `∀x < f(n)`.
+    Forall(ArithVar, Box<Formula>),
+}
+
+impl Formula {
+    /// `t = t′`.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        Formula::Eq(a, b)
+    }
+
+    /// `t ≤ t′`.
+    pub fn le(a: Term, b: Term) -> Formula {
+        Formula::Le(a, b)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `∃name < bound. self`.
+    pub fn exists(name: &str, body: Formula) -> Formula {
+        Formula::Exists(Arc::from(name), Box::new(body))
+    }
+
+    /// `∀name < bound. self`.
+    pub fn forall(name: &str, body: Formula) -> Formula {
+        Formula::Forall(Arc::from(name), Box::new(body))
+    }
+
+    /// Free variables, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<ArithVar> {
+        fn go(f: &Formula, bound: &mut Vec<ArithVar>, out: &mut Vec<ArithVar>) {
+            match f {
+                Formula::Eq(a, b) | Formula::Le(a, b) => {
+                    let mut vars = Vec::new();
+                    a.vars(&mut vars);
+                    b.vars(&mut vars);
+                    for v in vars {
+                        if !bound.contains(&v) && !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+                Formula::Not(p) => go(p, bound, out),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Formula::Exists(x, p) | Formula::Forall(x, p) => {
+                    bound.push(x.clone());
+                    go(p, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Evaluate with every quantifier bounded to `0 ..= bound` (inclusive;
+    /// the inclusive form matches the subbag domain `P(Eⁱ(bₙ))`, which
+    /// contains the integers `0 … |Eⁱ(bₙ)|`).
+    pub fn eval_bounded(&self, env: &mut BTreeMap<ArithVar, u64>, bound: u64) -> Option<bool> {
+        match self {
+            Formula::Eq(a, b) => Some(a.eval(env)? == b.eval(env)?),
+            Formula::Le(a, b) => Some(a.eval(env)? <= b.eval(env)?),
+            Formula::Not(p) => Some(!p.eval_bounded(env, bound)?),
+            Formula::And(a, b) => {
+                Some(a.eval_bounded(env, bound)? && b.eval_bounded(env, bound)?)
+            }
+            Formula::Or(a, b) => Some(a.eval_bounded(env, bound)? || b.eval_bounded(env, bound)?),
+            Formula::Exists(x, p) => {
+                let saved = env.get(x).copied();
+                let mut found = false;
+                for value in 0..=bound {
+                    env.insert(x.clone(), value);
+                    if p.eval_bounded(env, bound)? {
+                        found = true;
+                        break;
+                    }
+                }
+                restore(env, x, saved);
+                Some(found)
+            }
+            Formula::Forall(x, p) => {
+                let saved = env.get(x).copied();
+                let mut all = true;
+                for value in 0..=bound {
+                    env.insert(x.clone(), value);
+                    if !p.eval_bounded(env, bound)? {
+                        all = false;
+                        break;
+                    }
+                }
+                restore(env, x, saved);
+                Some(all)
+            }
+        }
+    }
+}
+
+fn restore(env: &mut BTreeMap<ArithVar, u64>, var: &ArithVar, saved: Option<u64>) {
+    match saved {
+        Some(value) => env.insert(var.clone(), value),
+        None => env.remove(var),
+    };
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name) => f.write_str(name),
+            Term::Const(value) => write!(f, "{value}"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Mul(a, b) => write!(f, "({a} · {b})"),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Le(a, b) => write!(f, "{a} ≤ {b}"),
+            Formula::Not(p) => write!(f, "¬({p})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Exists(x, p) => write!(f, "∃{x}.({p})"),
+            Formula::Forall(x, p) => write!(f, "∀{x}.({p})"),
+        }
+    }
+}
+
+/// `x` is even: `∃y. y + y = x`.
+pub fn even_formula() -> Formula {
+    Formula::exists(
+        "y",
+        Formula::eq(Term::var("y").add(Term::var("y")), Term::var("x")),
+    )
+}
+
+/// `x` is composite: `∃y ∃z. (y+2)·(z+2) = x`.
+pub fn composite_formula() -> Formula {
+    Formula::exists(
+        "y",
+        Formula::exists(
+            "z",
+            Formula::eq(
+                Term::var("y")
+                    .add(Term::constant(2))
+                    .mul(Term::var("z").add(Term::constant(2))),
+                Term::var("x"),
+            ),
+        ),
+    )
+}
+
+/// `x` is prime: `x ≥ 2 ∧ ¬composite(x)`.
+pub fn prime_formula() -> Formula {
+    Formula::le(Term::constant(2), Term::var("x")).and(composite_formula().not())
+}
+
+/// `x` is a perfect square: `∃y. y·y = x`.
+pub fn square_formula() -> Formula {
+    Formula::exists(
+        "y",
+        Formula::eq(Term::var("y").mul(Term::var("y")), Term::var("x")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holds(f: &Formula, x: u64, bound: u64) -> bool {
+        let mut env = BTreeMap::new();
+        env.insert(Arc::from("x"), x);
+        f.eval_bounded(&mut env, bound).unwrap()
+    }
+
+    #[test]
+    fn even_formula_decides_parity() {
+        let f = even_formula();
+        for x in 0..10u64 {
+            assert_eq!(holds(&f, x, x), x % 2 == 0, "even({x})");
+        }
+    }
+
+    #[test]
+    fn prime_formula_decides_primality() {
+        let f = prime_formula();
+        let primes = [2u64, 3, 5, 7, 11, 13];
+        for x in 0..14u64 {
+            assert_eq!(holds(&f, x, x), primes.contains(&x), "prime({x})");
+        }
+    }
+
+    #[test]
+    fn square_formula() {
+        let f = super::square_formula();
+        for x in 0..17u64 {
+            let is_sq = (0..=x).any(|y| y * y == x);
+            assert_eq!(holds(&f, x, x), is_sq, "square({x})");
+        }
+    }
+
+    #[test]
+    fn forall_with_bound() {
+        // ∀y. y ≤ x — true iff bound ≤ x.
+        let f = Formula::forall("y", Formula::le(Term::var("y"), Term::var("x")));
+        assert!(holds(&f, 5, 5));
+        assert!(!holds(&f, 5, 6));
+    }
+
+    #[test]
+    fn bound_restricts_witnesses() {
+        // ∃y. y = 5 with bound 3: no witness.
+        let f = Formula::exists("y", Formula::eq(Term::var("y"), Term::constant(5)));
+        assert!(!holds(&f, 0, 3));
+        assert!(holds(&f, 0, 5));
+    }
+
+    #[test]
+    fn free_vars_and_shadowing() {
+        let f = even_formula();
+        assert_eq!(f.free_vars(), vec![Arc::<str>::from("x")]);
+        // ∃x.(x = x) has no free variables.
+        let closed = Formula::exists("x", Formula::eq(Term::var("x"), Term::var("x")));
+        assert!(closed.free_vars().is_empty());
+    }
+
+    #[test]
+    fn term_overflow_is_checked() {
+        let mut env = BTreeMap::new();
+        env.insert(Arc::from("x"), u64::MAX);
+        assert_eq!(Term::var("x").add(Term::constant(1)).eval(&env), None);
+    }
+}

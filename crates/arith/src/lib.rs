@@ -1,0 +1,37 @@
+//! # balg-arith — bounded arithmetic and the Lemma 5.7 encoding
+//!
+//! Arithmetic formulas with bounded quantification (Definition 5.2), a
+//! direct evaluator, and the Lemma 5.7 translation into BALG² + powerbag,
+//! where integers are bags, `+` is `∪⁺`, `×` is `π₁(x × y)`, and the
+//! quantification domain `D(bₙ) = P(E(bₙ))` is built with the powerbag's
+//! exponential duplicate explosion (Theorem 5.5's engine).
+//!
+//! ```
+//! use balg_arith::prelude::*;
+//! use balg_core::eval::Limits;
+//!
+//! // "x is even" as arithmetic, compiled to the bag algebra and run on
+//! // the bag b₆ of six unit tuples:
+//! let (algebra, direct) =
+//!     check_on_input(&even_formula(), "x", DomainKind::Linear, 6, Limits::default()).unwrap();
+//! assert!(algebra && direct);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod formula;
+pub mod translate;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::formula::{
+        composite_formula, even_formula, prime_formula, square_formula, ArithVar, Formula, Term,
+    };
+    pub use crate::translate::{
+        check_on_input, compile, decode_assignments, domain_cardinality, input_database,
+        realized_bound, ArithCheckError, Compiled, DomainKind,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices of DESIGN.md §5.
+//!
+//! * `counted_vs_expanded` — the counted `BTreeMap` bag representation vs
+//!   a naive expanded vector (the standard-encoding representation the
+//!   paper's complexity measure charges for);
+//! * `powerbag_binomial` — the `Π C(mᵢ, jᵢ)` multiplicity computation vs
+//!   the literal Definition 5.1 renaming `H⁻¹(P(H(B)))`;
+//! * `btree_vs_sorted_vec` — the element index backing `Bag`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+use balg_bench::workload_bag;
+use balg_core::bag::Bag;
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+
+/// Naive expanded-representation additive union: concatenation of
+/// occurrence lists, then sorting (what the standard encoding implies).
+fn expanded_union(left: &[Value], right: &[Value]) -> Vec<Value> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    out.extend_from_slice(left);
+    out.extend_from_slice(right);
+    out.sort();
+    out
+}
+
+fn expand(bag: &Bag) -> Vec<Value> {
+    let mut out = Vec::new();
+    for (value, mult) in bag.iter() {
+        let count = mult.to_u64().expect("bench bags are small");
+        for _ in 0..count {
+            out.push(value.clone());
+        }
+    }
+    out
+}
+
+fn counted_vs_expanded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_counted_vs_expanded");
+    // High-multiplicity bags: where the counted form wins asymptotically.
+    let b1 = workload_bag(64, 100);
+    let b2 = workload_bag(64, 150);
+    group.bench_function("counted_additive_union_64x100", |bench| {
+        bench.iter(|| black_box(&b1).additive_union(black_box(&b2)))
+    });
+    let e1 = expand(&b1);
+    let e2 = expand(&b2);
+    group.bench_function("expanded_additive_union_64x100", |bench| {
+        bench.iter(|| expanded_union(black_box(&e1), black_box(&e2)))
+    });
+    group.bench_function("counted_intersect_64x100", |bench| {
+        bench.iter(|| black_box(&b1).intersect(black_box(&b2)))
+    });
+    group.finish();
+}
+
+/// The literal Definition 5.1 powerbag: rename each occurrence apart
+/// (`H`), take the powerset of the now-duplicate-free bag, then strip the
+/// renaming (`H⁻¹`).
+fn powerbag_by_renaming(bag: &Bag) -> Bag {
+    let mut tagged = Vec::new();
+    for (value, mult) in bag.iter() {
+        let count = mult.to_u64().expect("bench bags are small");
+        for occurrence in 0..count {
+            tagged.push((value.clone(), occurrence));
+        }
+    }
+    let n = tagged.len();
+    assert!(n < 20, "renaming powerbag is 2^n — keep it small");
+    let mut out = Bag::new();
+    for mask in 0u64..(1 << n) {
+        let subset = tagged
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, (value, _))| value.clone());
+        out.insert_with_multiplicity(Value::Bag(Bag::from_values(subset)), Natural::one());
+    }
+    out
+}
+
+fn powerbag_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_powerbag_binomial");
+    let bag = Bag::from_counted([
+        (Value::sym("a"), Natural::from(6u64)),
+        (Value::sym("b"), Natural::from(6u64)),
+    ]);
+    // Cross-validate once before timing.
+    assert_eq!(bag.powerbag(1 << 20).unwrap(), powerbag_by_renaming(&bag));
+    group.bench_function("binomial_weights_12_occurrences", |bench| {
+        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap())
+    });
+    group.bench_function("definition_5_1_renaming_12_occurrences", |bench| {
+        bench.iter(|| powerbag_by_renaming(black_box(&bag)))
+    });
+    group.finish();
+}
+
+fn btree_vs_sorted_vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_btree_vs_sorted_vec");
+    let values: Vec<Value> = (0..512i64).map(|i| Value::tuple([Value::int(i)])).collect();
+    let btree: BTreeSet<Value> = values.iter().cloned().collect();
+    let sorted: Vec<Value> = {
+        let mut v = values.clone();
+        v.sort();
+        v
+    };
+    let probe = Value::tuple([Value::int(311)]);
+    group.bench_function("btree_membership_512", |bench| {
+        bench.iter(|| black_box(&btree).contains(black_box(&probe)))
+    });
+    group.bench_function("sorted_vec_membership_512", |bench| {
+        bench.iter(|| black_box(&sorted).binary_search(black_box(&probe)).is_ok())
+    });
+    group.bench_function("btree_build_512", |bench| {
+        bench.iter(|| values.iter().cloned().collect::<BTreeSet<Value>>())
+    });
+    group.bench_function("sorted_vec_build_512", |bench| {
+        bench.iter(|| {
+            let mut v = values.clone();
+            v.sort();
+            v
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = counted_vs_expanded, powerbag_binomial, btree_vs_sorted_vec
+);
+criterion_main!(micro);

@@ -1,0 +1,261 @@
+//! One Criterion group per paper experiment (E1–E18).
+//!
+//! Each group times the core computation its report regenerates, at a
+//! representative size. The *correctness* of the regenerated numbers is
+//! asserted by the `balg-complexity` test suite; these benches track the
+//! cost profile (e.g. the powerset explosions of Proposition 3.2 dominate
+//! everything else, exactly as the paper's complexity bounds predict).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use balg_arith::prelude::{check_on_input, even_formula, DomainKind};
+use balg_bench::{cycle_graph, workload_bag};
+use balg_core::bag::Bag;
+use balg_core::derived::{average, card_gt, in_degree_gt_out_degree, int_value, parity_even_ordered};
+use balg_core::eval::{eval_bag, Limits};
+use balg_core::expr::{Expr, Pred};
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use balg_games::prelude::*;
+use balg_machine::prelude::{compile, flip_machine};
+use balg_sql::prelude::{database_from_rows, run as run_sql, Catalog, SqlValue};
+
+fn two_tuple_db(n: u64, m: u64) -> Database {
+    let mut b = Bag::new();
+    b.insert_with_multiplicity(
+        Value::tuple([Value::sym("a"), Value::sym("b")]),
+        n.into(),
+    );
+    b.insert_with_multiplicity(
+        Value::tuple([Value::sym("b"), Value::sym("a")]),
+        m.into(),
+    );
+    Database::new().with("B", b)
+}
+
+fn unary_db(n: u64) -> Database {
+    Database::new().with("B", Bag::repeated(Value::tuple([Value::sym("a")]), n))
+}
+
+fn e1(c: &mut Criterion) {
+    let db = two_tuple_db(50, 70);
+    let q = Expr::var("B")
+        .product(Expr::var("B"))
+        .select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        )
+        .project(&[1, 4]);
+    c.bench_function("e1_occurrence_table/q_of_b_50x70", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e2(c: &mut Criterion) {
+    let db = unary_db(3);
+    let dp = Expr::var("B").powerset().destroy();
+    let ddpp = Expr::var("B").powerset().powerset().destroy().destroy();
+    c.bench_function("e2_duplicate_explosion/delta_p", |bench| {
+        bench.iter(|| eval_bag(black_box(&dp), black_box(&db)).unwrap())
+    });
+    c.bench_function("e2_duplicate_explosion/delta2_p2", |bench| {
+        bench.iter(|| eval_bag(black_box(&ddpp), black_box(&db)).unwrap())
+    });
+}
+
+fn e3(c: &mut Criterion) {
+    let bag = Bag::repeated(Value::sym("a"), 12u64);
+    c.bench_function("e3_powerbag_vs_powerset/powerset_n12", |bench| {
+        bench.iter(|| black_box(&bag).powerset(1 << 20).unwrap())
+    });
+    c.bench_function("e3_powerbag_vs_powerset/powerbag_n12", |bench| {
+        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap())
+    });
+}
+
+fn e4(c: &mut Criterion) {
+    let db = Database::new().with("B", workload_bag(8, 3));
+    let q = balg_core::derived::dedup_via_powerset_flat(Expr::var("B"));
+    c.bench_function("e4_dedup_redundancy/flat_identity", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e5(c: &mut Criterion) {
+    let db = Database::new()
+        .with("B1", workload_bag(8, 3))
+        .with("B2", workload_bag(5, 5));
+    let q = balg_core::derived::subtract_via_powerset(Expr::var("B1"), Expr::var("B2"));
+    c.bench_function("e5_operator_identities/subtract_via_powerset", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e6(c: &mut Criterion) {
+    let b = Bag::from_values((1..=8u64).map(|v| int_value(2 * v)));
+    let db = Database::new().with("B", b);
+    let q = average(Expr::var("B"));
+    c.bench_function("e6_aggregates/average_of_8", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e7(c: &mut Criterion) {
+    let db = Database::new().with("G", cycle_graph(64, 5));
+    let q = in_degree_gt_out_degree(Expr::var("G"), Value::int(0));
+    c.bench_function("e7_degree_query/cycle64", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e8(c: &mut Criterion) {
+    let make = |size: u64, offset: i64| {
+        Bag::from_values((0..size).map(|i| Value::tuple([Value::int(i as i64 + offset)])))
+    };
+    let db = Database::new()
+        .with("R", make(20, 0))
+        .with("S", make(18, 1000));
+    let q = card_gt(Expr::var("R"), Expr::var("S"));
+    c.bench_function("e8_zero_one_law/card_gt_20_18", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e9(c: &mut Criterion) {
+    let r = Bag::from_values((0..32i64).map(|i| Value::tuple([Value::int(i)])));
+    let db = Database::new().with("R", r);
+    let q = parity_even_ordered(Expr::var("R"));
+    c.bench_function("e9_parity/ordered_parity_n32", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e10(c: &mut Criterion) {
+    let expr = Expr::var("G")
+        .product(Expr::var("G"))
+        .select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        )
+        .project(&[1, 4]);
+    let db = Database::new()
+        .with("G", cycle_graph(16, 2))
+        .with("R", workload_bag(4, 1))
+        .with("S", workload_bag(4, 1));
+    c.bench_function("e10_translation/check_prop_4_2", |bench| {
+        bench.iter(|| {
+            balg_relational::translate::check_prop_4_2(black_box(&expr), black_box(&db)).unwrap()
+        })
+    });
+}
+
+fn e11(c: &mut Criterion) {
+    let db = Database::new().with("G", cycle_graph(8, 64));
+    let q = Expr::var("G").product(Expr::var("G")).project(&[1, 4]);
+    c.bench_function("e11_logspace_counters/product_mult_growth", |bench| {
+        bench.iter(|| {
+            let (result, metrics) =
+                balg_core::eval::eval_with_metrics(black_box(&q), black_box(&db), Limits::default());
+            result.unwrap();
+            metrics.max_multiplicity_bits()
+        })
+    });
+}
+
+fn e12(c: &mut Criterion) {
+    let db = unary_db(64);
+    let q = Expr::var("B").powerset().destroy();
+    c.bench_function("e12_balg2_space/delta_p_n64", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e13(c: &mut Criterion) {
+    c.bench_function("e13_pebble_game/construct_n12", |bench| {
+        bench.iter(|| star_graphs(black_box(12)))
+    });
+    let (g, gp) = star_graphs(8);
+    c.bench_function("e13_pebble_game/play_n8_k3", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    RandomSpoiler::new(1, 4),
+                    ConstraintDuplicator::new(2),
+                )
+            },
+            |(mut spoiler, mut duplicator)| {
+                play(black_box(&g), black_box(&gp), 3, &mut spoiler, &mut duplicator)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn e14(c: &mut Criterion) {
+    let formula = even_formula();
+    c.bench_function("e14_arith_encoding/even_n8_linear", |bench| {
+        bench.iter(|| {
+            check_on_input(
+                black_box(&formula),
+                "x",
+                DomainKind::Linear,
+                8,
+                Limits::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn e15(c: &mut Criterion) {
+    let db = unary_db(2);
+    let tower = balg_machine::encoding::e_tower(Expr::var("B"), 2);
+    c.bench_function("e15_hyperexp_tower/e2_of_b2", |bench| {
+        bench.iter(|| eval_bag(black_box(&tower), black_box(&db)).unwrap())
+    });
+}
+
+fn e16(c: &mut Criterion) {
+    let tm = flip_machine();
+    let input = ['0', '1', '0'];
+    c.bench_function("e16_tm_ifp/flip_compile_and_run", |bench| {
+        bench.iter(|| {
+            let compiled = compile(black_box(&tm), black_box(&input), 2);
+            compiled.run(Limits::default()).unwrap().accepted
+        })
+    });
+}
+
+fn e17(c: &mut Criterion) {
+    let db = Database::new().with("R", workload_bag(16, 4));
+    let q = Expr::var("R").product(Expr::var("R")).project(&[1]);
+    c.bench_function("e17_bag_vs_set_cq/pi1_rxr", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+}
+
+fn e18(c: &mut Criterion) {
+    let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
+    let rows: Vec<Vec<SqlValue>> = (0..64)
+        .map(|i| {
+            vec![
+                SqlValue::Str(format!("c{}", i % 8)),
+                SqlValue::Int(i % 10),
+            ]
+        })
+        .collect();
+    let db = database_from_rows(&catalog, &[("orders", rows)]).unwrap();
+    c.bench_function("e18_sql_frontend/sum_qty_64_rows", |bench| {
+        bench.iter(|| {
+            run_sql("SELECT SUM(qty) FROM orders", black_box(&catalog), black_box(&db)).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(20);
+    targets = e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, e16, e17, e18
+);
+criterion_main!(paper);

@@ -1,0 +1,58 @@
+//! # balg-bench — benchmark harness
+//!
+//! The Criterion targets live in `benches/`:
+//!
+//! * `paper` — one group per experiment E1–E18 (DESIGN.md §2), timing the
+//!   core computation each report regenerates;
+//! * `micro` — ablations for the design choices called out in
+//!   DESIGN.md §5 (counted vs expanded bags, powerbag via binomials vs
+//!   the Definition 5.1 renaming, element-index structures).
+//!
+//! This library crate only hosts shared helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use balg_core::bag::Bag;
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+
+/// A flat unary bag `⟦[0], [1], …⟧` with every element at multiplicity
+/// `mult` — the standard bench workload.
+pub fn workload_bag(distinct: u64, mult: u64) -> Bag {
+    let mut bag = Bag::new();
+    for i in 0..distinct {
+        bag.insert_with_multiplicity(
+            Value::tuple([Value::int(i as i64)]),
+            Natural::from(mult),
+        );
+    }
+    bag
+}
+
+/// A binary edge bag forming a cycle over `n` nodes with duplicated
+/// edges.
+pub fn cycle_graph(n: u64, mult: u64) -> Bag {
+    let mut bag = Bag::new();
+    for i in 0..n {
+        bag.insert_with_multiplicity(
+            Value::tuple([Value::int(i as i64), Value::int(((i + 1) % n) as i64)]),
+            Natural::from(mult),
+        );
+    }
+    bag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shape() {
+        let bag = workload_bag(10, 3);
+        assert_eq!(bag.distinct_count(), 10);
+        assert_eq!(bag.cardinality(), Natural::from(30u64));
+        let graph = cycle_graph(5, 2);
+        assert_eq!(graph.distinct_count(), 5);
+    }
+}

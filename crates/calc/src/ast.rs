@@ -1,0 +1,270 @@
+//! CALC1: the typed calculus for complex objects (Section 5, [HS91]).
+//!
+//! CALC1 extends the relational calculus with the constructible types
+//! tuple `[…]` and set `{…}`, typed variables, the component function
+//! `x.i`, and the typed logical predicates membership `∈`, containment
+//! `⊆`, and equality `=`. Quantifiers range over the **active domain**
+//! `dom(T, A)` — every object of type `T` constructible from the atomic
+//! constants of the input `A` (the completion `Comp(A, 𝒯)`).
+//!
+//! [AB87] showed CALC1 ≡ RALG² (quantification over sets of tuples of
+//! atoms); Theorem 5.3 connects it to the pebble game of `balg-games`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use balg_core::types::Type;
+
+/// A CALC1 variable name.
+pub type CalcVar = Arc<str>;
+
+/// A CALC1 term.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CalcTerm {
+    /// A typed variable.
+    Var(CalcVar),
+    /// The component function `t.i` (1-based).
+    Component(Box<CalcTerm>, usize),
+    /// A named database relation (a set constant).
+    Rel(Arc<str>),
+}
+
+impl CalcTerm {
+    /// A variable term.
+    pub fn var(name: &str) -> CalcTerm {
+        CalcTerm::Var(Arc::from(name))
+    }
+
+    /// A relation constant.
+    pub fn rel(name: &str) -> CalcTerm {
+        CalcTerm::Rel(Arc::from(name))
+    }
+
+    /// Component selection `self.i`.
+    pub fn component(self, i: usize) -> CalcTerm {
+        CalcTerm::Component(Box::new(self), i)
+    }
+}
+
+/// A CALC1 formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CalcFormula {
+    /// `t = t′`.
+    Eq(CalcTerm, CalcTerm),
+    /// The relational atom `R(t₁, …, tₖ)` — i.e. `[t₁, …, tₖ] ∈ R`.
+    RelAtom(Arc<str>, Vec<CalcTerm>),
+    /// `t ∈ t′`.
+    Member(CalcTerm, CalcTerm),
+    /// `t ⊆ t′`.
+    Subset(CalcTerm, CalcTerm),
+    /// Negation.
+    Not(Box<CalcFormula>),
+    /// Conjunction.
+    And(Box<CalcFormula>, Box<CalcFormula>),
+    /// Disjunction.
+    Or(Box<CalcFormula>, Box<CalcFormula>),
+    /// Typed existential: `∃x : T. φ`, with `x` ranging over `dom(T, A)`.
+    Exists {
+        /// The bound variable.
+        var: CalcVar,
+        /// Its type (the game's type set 𝒯 is the set of these).
+        ty: Type,
+        /// The body.
+        body: Box<CalcFormula>,
+    },
+    /// Typed universal `∀x : T. φ`.
+    Forall {
+        /// The bound variable.
+        var: CalcVar,
+        /// Its type.
+        ty: Type,
+        /// The body.
+        body: Box<CalcFormula>,
+    },
+}
+
+impl CalcFormula {
+    /// `t = t′`.
+    pub fn eq(a: CalcTerm, b: CalcTerm) -> CalcFormula {
+        CalcFormula::Eq(a, b)
+    }
+
+    /// `t ∈ t′`.
+    pub fn member(a: CalcTerm, b: CalcTerm) -> CalcFormula {
+        CalcFormula::Member(a, b)
+    }
+
+    /// `t ⊆ t′`.
+    pub fn subset(a: CalcTerm, b: CalcTerm) -> CalcFormula {
+        CalcFormula::Subset(a, b)
+    }
+
+    /// The relational atom `R(t₁, …, tₖ)`.
+    pub fn rel_atom(rel: &str, args: impl IntoIterator<Item = CalcTerm>) -> CalcFormula {
+        CalcFormula::RelAtom(Arc::from(rel), args.into_iter().collect())
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: CalcFormula) -> CalcFormula {
+        CalcFormula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: CalcFormula) -> CalcFormula {
+        CalcFormula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> CalcFormula {
+        CalcFormula::Not(Box::new(self))
+    }
+
+    /// `∃var : ty. self` (note: builder order — body is `self`).
+    pub fn exists(var: &str, ty: Type, body: CalcFormula) -> CalcFormula {
+        CalcFormula::Exists {
+            var: Arc::from(var),
+            ty,
+            body: Box::new(body),
+        }
+    }
+
+    /// `∀var : ty. self`.
+    pub fn forall(var: &str, ty: Type, body: CalcFormula) -> CalcFormula {
+        CalcFormula::Forall {
+            var: Arc::from(var),
+            ty,
+            body: Box::new(body),
+        }
+    }
+
+    /// Quantifier depth (the `k` of Theorem 5.3).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            CalcFormula::Eq(_, _)
+            | CalcFormula::RelAtom(_, _)
+            | CalcFormula::Member(_, _)
+            | CalcFormula::Subset(_, _) => 0,
+            CalcFormula::Not(p) => p.quantifier_depth(),
+            CalcFormula::And(a, b) | CalcFormula::Or(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            CalcFormula::Exists { body, .. } | CalcFormula::Forall { body, .. } => {
+                1 + body.quantifier_depth()
+            }
+        }
+    }
+
+    /// The set of quantified types (part of the game's 𝒯).
+    pub fn types(&self) -> Vec<Type> {
+        let mut out = Vec::new();
+        self.collect_types(&mut out);
+        out
+    }
+
+    fn collect_types(&self, out: &mut Vec<Type>) {
+        match self {
+            CalcFormula::Eq(_, _)
+            | CalcFormula::RelAtom(_, _)
+            | CalcFormula::Member(_, _)
+            | CalcFormula::Subset(_, _) => {}
+            CalcFormula::Not(p) => p.collect_types(out),
+            CalcFormula::And(a, b) | CalcFormula::Or(a, b) => {
+                a.collect_types(out);
+                b.collect_types(out);
+            }
+            CalcFormula::Exists { ty, body, .. } | CalcFormula::Forall { ty, body, .. } => {
+                if !out.contains(ty) {
+                    out.push(ty.clone());
+                }
+                body.collect_types(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for CalcTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcTerm::Var(name) => f.write_str(name),
+            CalcTerm::Component(t, i) => write!(f, "{t}.{i}"),
+            CalcTerm::Rel(name) => f.write_str(name),
+        }
+    }
+}
+
+impl fmt::Display for CalcFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcFormula::Eq(a, b) => write!(f, "{a} = {b}"),
+            CalcFormula::RelAtom(rel, args) => {
+                write!(f, "{rel}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                f.write_str(")")
+            }
+            CalcFormula::Member(a, b) => write!(f, "{a} ∈ {b}"),
+            CalcFormula::Subset(a, b) => write!(f, "{a} ⊆ {b}"),
+            CalcFormula::Not(p) => write!(f, "¬({p})"),
+            CalcFormula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            CalcFormula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            CalcFormula::Exists { var, ty, body } => write!(f, "∃{var}:{ty}.({body})"),
+            CalcFormula::Forall { var, ty, body } => write!(f, "∀{var}:{ty}.({body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifier_depth_counts_nesting() {
+        let phi = CalcFormula::exists(
+            "x",
+            Type::Atom,
+            CalcFormula::forall(
+                "y",
+                Type::Atom,
+                CalcFormula::eq(CalcTerm::var("x"), CalcTerm::var("y")),
+            ),
+        );
+        assert_eq!(phi.quantifier_depth(), 2);
+        // Depth is max over branches, not sum.
+        let psi = phi.clone().and(CalcFormula::exists(
+            "z",
+            Type::Atom,
+            CalcFormula::eq(CalcTerm::var("z"), CalcTerm::var("z")),
+        ));
+        assert_eq!(psi.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn types_collected() {
+        let phi = CalcFormula::exists(
+            "s",
+            Type::bag(Type::Atom),
+            CalcFormula::exists(
+                "x",
+                Type::Atom,
+                CalcFormula::member(CalcTerm::var("x"), CalcTerm::var("s")),
+            ),
+        );
+        let types = phi.types();
+        assert_eq!(types, vec![Type::bag(Type::Atom), Type::Atom]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let phi = CalcFormula::exists(
+            "x",
+            Type::Atom,
+            CalcFormula::member(CalcTerm::var("x"), CalcTerm::rel("R")),
+        );
+        assert_eq!(phi.to_string(), "∃x:U.(x ∈ R)");
+    }
+}

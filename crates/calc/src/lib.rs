@@ -1,0 +1,46 @@
+//! # balg-calc — CALC1, the calculus for complex objects
+//!
+//! Section 5's typed calculus with quantification over sets of tuples of
+//! atoms (equivalent to RALG², [AB87]): AST, active-domain evaluation
+//! over the completion `Comp(A, 𝒯)`, and sentence families used to
+//! witness Theorem 5.3 — on game-indistinguishable structures every
+//! depth-`k` sentence agrees.
+//!
+//! ```
+//! use balg_calc::prelude::*;
+//! use balg_core::prelude::*;
+//!
+//! let db = Database::new().with(
+//!     "E",
+//!     Bag::from_values([Value::tuple([Value::int(1), Value::int(2)])]),
+//! );
+//! // ∃x ∃y. E(x, y)
+//! let phi = CalcFormula::exists(
+//!     "x",
+//!     Type::Atom,
+//!     CalcFormula::exists(
+//!         "y",
+//!         Type::Atom,
+//!         CalcFormula::rel_atom("E", [CalcTerm::var("x"), CalcTerm::var("y")]),
+//!     ),
+//! );
+//! assert!(eval_sentence(&phi, &db).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod eval;
+pub mod sentences;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::ast::{CalcFormula, CalcTerm, CalcVar};
+    pub use crate::eval::{
+        enumerate_domain, eval_sentence, structures_agree, CalcError, CalcEvaluator,
+    };
+    pub use crate::sentences::{named_probes, SentenceGenerator};
+}
+
+pub use prelude::*;

@@ -1,0 +1,27 @@
+//! The interactive BALG shell. Type `:help` for commands.
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut session = balg_cli::Session::new();
+    println!("balg — Towards Tractable Algebras for Bags (PODS 1993). :help for commands.");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("balg> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        match session.process_line(line.trim()) {
+            balg_cli::Response::Quit => break,
+            balg_cli::Response::Text(text) => {
+                if !text.is_empty() {
+                    println!("{text}");
+                }
+            }
+        }
+    }
+}

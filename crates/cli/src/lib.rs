@@ -1,0 +1,303 @@
+//! # balg-cli — an interactive shell for the bag algebra
+//!
+//! A line-oriented session over a named-bag database: evaluate BALG
+//! expressions (the ASCII syntax of [`balg_core::parse`]), inspect
+//! fragment membership, run the optimizer, and see evaluation metrics —
+//! the quantities the paper's complexity theorems bound.
+//!
+//! ```
+//! use balg_cli::{Response, Session};
+//!
+//! let mut session = Session::new();
+//! session.process_line(":load G bag{ [a,b]*2, [b,c] }");
+//! let Response::Text(out) = session.process_line("project(G, 2, 1)") else {
+//!     panic!("expected text");
+//! };
+//! assert!(out.contains("[b, a]^2"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use balg_core::eval::{eval_with_metrics, Limits};
+use balg_core::expr::Expr;
+use balg_core::parse::parse_expr;
+use balg_core::rewrite::optimize;
+use balg_core::schema::{Database, Schema};
+use balg_core::typecheck::check;
+use balg_core::value::Value;
+
+/// The outcome of one input line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// Text to display (possibly empty).
+    Text(String),
+    /// The session should end.
+    Quit,
+}
+
+/// An interactive session: a database of named bags plus budgets.
+pub struct Session {
+    db: Database,
+    limits: Limits,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with default budgets.
+    pub fn new() -> Session {
+        Session {
+            db: Database::new(),
+            limits: Limits::default(),
+        }
+    }
+
+    /// The current database (for embedding the session elsewhere).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The schema inferred from the stored bags.
+    pub fn schema(&self) -> Schema {
+        let mut schema = Schema::new();
+        for (name, bag) in self.db.iter() {
+            if let Some(ty) = Value::Bag(bag.clone()).infer_type() {
+                schema = schema.with(name, ty);
+            }
+        }
+        schema
+    }
+
+    /// Process one input line.
+    pub fn process_line(&mut self, line: &str) -> Response {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Response::Text(String::new());
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            return self.command(rest);
+        }
+        self.evaluate(line)
+    }
+
+    fn command(&mut self, rest: &str) -> Response {
+        let (cmd, args) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        match cmd {
+            "quit" | "q" | "exit" => Response::Quit,
+            "help" | "h" => Response::Text(HELP.trim_end().to_owned()),
+            "load" => {
+                let Some((name, expr_text)) = args.split_once(char::is_whitespace) else {
+                    return Response::Text(":load NAME expr — e.g. :load G bag{ [a,b]*2 }".into());
+                };
+                match self.eval_expr_text(expr_text.trim()) {
+                    Ok((Value::Bag(bag), _)) => {
+                        self.db.insert(name, bag);
+                        Response::Text(format!("loaded {name}"))
+                    }
+                    Ok((other, _)) => {
+                        Response::Text(format!("not a bag: {other}"))
+                    }
+                    Err(message) => Response::Text(message),
+                }
+            }
+            "drop" => {
+                let mut db = Database::new();
+                for (name, bag) in self.db.iter() {
+                    if &**name != args {
+                        db.insert(name, bag.clone());
+                    }
+                }
+                self.db = db;
+                Response::Text(format!("dropped {args}"))
+            }
+            "show" => {
+                if self.db.is_empty() {
+                    return Response::Text("no bags loaded (:load NAME expr)".into());
+                }
+                let mut out = String::new();
+                for (name, bag) in self.db.iter() {
+                    let ty = Value::Bag(bag.clone())
+                        .infer_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "?".into());
+                    out.push_str(&format!(
+                        "{name} : {ty} — {} distinct, |{name}| = {}\n",
+                        bag.distinct_count(),
+                        bag.cardinality()
+                    ));
+                }
+                Response::Text(out.trim_end().to_owned())
+            }
+            "check" => match parse_expr(args) {
+                Err(e) => Response::Text(e.to_string()),
+                Ok(expr) => match check(&expr, &self.schema()) {
+                    Err(e) => Response::Text(format!("type error: {e}")),
+                    Ok(analysis) => Response::Text(format!(
+                        "type: {}\nBALG level: {} (power nesting {})\ncore BALG: {}{}",
+                        analysis.ty,
+                        analysis.balg_level(),
+                        analysis.power_nesting,
+                        analysis.is_core_balg(),
+                        extension_notes(&analysis)
+                    )),
+                },
+            },
+            "optimize" => match parse_expr(args) {
+                Err(e) => Response::Text(e.to_string()),
+                Ok(expr) => {
+                    let optimized = optimize(&expr, &self.schema());
+                    Response::Text(format!("{optimized}"))
+                }
+            },
+            other => Response::Text(format!("unknown command :{other} (:help)")),
+        }
+    }
+
+    fn evaluate(&mut self, text: &str) -> Response {
+        match self.eval_expr_text(text) {
+            Ok((value, summary)) => Response::Text(format!("{value}\n{summary}")),
+            Err(message) => Response::Text(message),
+        }
+    }
+
+    fn eval_expr_text(&self, text: &str) -> Result<(Value, String), String> {
+        let expr: Expr = parse_expr(text).map_err(|e| e.to_string())?;
+        let (result, metrics) = eval_with_metrics(&expr, &self.db, self.limits.clone());
+        let value = result.map_err(|e| format!("evaluation failed: {e}"))?;
+        let summary = format!(
+            "— {} steps, max {} distinct, max multiplicity {} ({} bits)",
+            metrics.steps,
+            metrics.max_distinct_elements,
+            metrics.max_multiplicity,
+            metrics.max_multiplicity_bits()
+        );
+        Ok((value, summary))
+    }
+}
+
+fn extension_notes(analysis: &balg_core::typecheck::Analysis) -> String {
+    let mut notes = Vec::new();
+    if analysis.uses_powerbag {
+        notes.push("powerbag");
+    }
+    if analysis.uses_ifp {
+        notes.push("IFP");
+    }
+    if analysis.uses_nest {
+        notes.push("nest");
+    }
+    if analysis.uses_order {
+        notes.push("order predicates");
+    }
+    if notes.is_empty() {
+        String::new()
+    } else {
+        format!(" (extensions: {})", notes.join(", "))
+    }
+}
+
+const HELP: &str = "
+commands:
+  :load NAME expr     evaluate expr and store the bag as NAME
+  :drop NAME          remove a bag
+  :show               list bags with types and sizes
+  :check expr         fragment analysis (BALG level, power nesting)
+  :optimize expr      print the rewritten expression
+  :quit               leave
+anything else is parsed as a BALG expression and evaluated, e.g.
+  bag{ [a,b]*2, [b,c] }
+  project(select(x, eq(attr(x,1), sym(a)), G), 2)
+  count(G)    sum(...)    avg(...)    powerset(G)
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(response: Response) -> String {
+        match response {
+            Response::Text(t) => t,
+            Response::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn load_show_evaluate() {
+        let mut session = Session::new();
+        let out = text(session.process_line(":load G bag{ [a,b]*2, [b,c] }"));
+        assert_eq!(out, "loaded G");
+        let out = text(session.process_line(":show"));
+        assert!(out.contains("G :"), "{out}");
+        assert!(out.contains("|G| = 3"), "{out}");
+        let out = text(session.process_line("project(G, 2, 1)"));
+        assert!(out.contains("[b, a]^2"), "{out}");
+        assert!(out.contains("steps"), "{out}");
+    }
+
+    #[test]
+    fn check_reports_fragment() {
+        let mut session = Session::new();
+        session.process_line(":load G bag{ [a,b] }");
+        let out = text(session.process_line(":check destroy(powerset(G))"));
+        assert!(out.contains("BALG level: 2"), "{out}");
+        let out = text(session.process_line(":check ifp(T, T, G)"));
+        assert!(out.contains("IFP"), "{out}");
+    }
+
+    #[test]
+    fn optimize_command() {
+        let mut session = Session::new();
+        session.process_line(":load G bag{ [a,b] }");
+        let out = text(session.process_line(":optimize select(x, true, G)"));
+        assert_eq!(out, "G");
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        let mut session = Session::new();
+        let out = text(session.process_line("frob(G)"));
+        assert!(out.contains("parse error"), "{out}");
+        let out = text(session.process_line("count(Missing)"));
+        assert!(out.contains("unbound variable"), "{out}");
+        let out = text(session.process_line(":nonsense"));
+        assert!(out.contains("unknown command"), "{out}");
+    }
+
+    #[test]
+    fn drop_and_quit() {
+        let mut session = Session::new();
+        session.process_line(":load G bag{ [a,b] }");
+        text(session.process_line(":drop G"));
+        let out = text(session.process_line(":show"));
+        assert!(out.contains("no bags"), "{out}");
+        assert_eq!(session.process_line(":quit"), Response::Quit);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut session = Session::new();
+        assert_eq!(session.process_line(""), Response::Text(String::new()));
+        assert_eq!(session.process_line("# note"), Response::Text(String::new()));
+    }
+
+    #[test]
+    fn counting_pipeline() {
+        let mut session = Session::new();
+        session.process_line(":load R bag{ [x]*5, [y]*2 }");
+        let out = text(session.process_line("count(R)"));
+        assert!(out.contains("[a]^7"), "{out}");
+        // |R| > 6? card comparison via minus:
+        let out = text(session.process_line("minus(count(R), int(6))"));
+        assert!(out.contains("[a]"), "{out}");
+        let out = text(session.process_line("minus(count(R), int(7))"));
+        assert!(out.starts_with("{{}}"), "{out}");
+    }
+}

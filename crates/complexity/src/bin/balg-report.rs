@@ -1,0 +1,24 @@
+//! Prints every experiment report (E1–E18) — the source of
+//! `EXPERIMENTS.md`'s measured columns.
+
+fn main() {
+    let mut failures = 0;
+    for report in balg_complexity::run_all() {
+        println!("{report}");
+        if !report.all_match {
+            failures += 1;
+        }
+    }
+    println!("==== extensions (Conclusion-section features) ====\n");
+    for report in balg_complexity::run_extensions() {
+        println!("{report}");
+        if !report.all_match {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) deviated from the paper");
+        std::process::exit(1);
+    }
+    println!("all experiments match the paper");
+}

@@ -1,0 +1,29 @@
+//! # balg-complexity — instrumented experiments for the paper's claims
+//!
+//! The measurement harness behind `EXPERIMENTS.md`: exact polynomial
+//! detection by finite differences ([`polyfit`]), reproducible workload
+//! generation ([`generator`]), tabular reports ([`report`]), and the
+//! eighteen experiments E1–E18 ([`experiments`]) that regenerate every
+//! quantitative claim, table, and figure of the paper (index in
+//! DESIGN.md §2), plus the extension experiments X1–X3 ([`extensions`])
+//! covering the Conclusion-section features (optimizer, nest, counters).
+//!
+//! ```
+//! use balg_complexity::experiments::e3_powerbag_vs_powerset;
+//!
+//! let report = e3_powerbag_vs_powerset();
+//! assert!(report.all_match); // |P_b| = 2^n vs |P| = n+1 — as published
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod extensions;
+pub mod generator;
+pub mod polyfit;
+pub mod report;
+
+pub use experiments::run_all;
+pub use extensions::run_extensions;
+pub use report::Report;

@@ -1,0 +1,127 @@
+//! Exact polynomial detection on integer sequences.
+//!
+//! The counting arguments of Propositions 4.1 and 4.5 hinge on occurrence
+//! counts of BALG¹ expressions being **eventually polynomial** in the
+//! input size. Finite differencing decides this exactly: a sequence is a
+//! polynomial of degree `d` iff its `d`-th difference sequence is constant
+//! (and nonzero at `d` unless the polynomial is lower degree).
+
+use balg_core::natural::Natural;
+
+/// The result of analyzing a sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Growth {
+    /// The sequence is a polynomial of this degree on the sampled window.
+    Polynomial {
+        /// Detected degree (0 = constant).
+        degree: usize,
+    },
+    /// No polynomial of degree < the sample budget fits: differences never
+    /// became constant (e.g. exponential growth).
+    NotPolynomial,
+    /// The sample was too short to decide.
+    Inconclusive,
+}
+
+/// Detect the polynomial degree of `values` by finite differences.
+///
+/// Requires at least `degree + 2` surviving samples to certify a degree;
+/// returns [`Growth::Inconclusive`] otherwise. Values are signed to allow
+/// differencing; use [`detect_natural`] for [`Natural`] sequences.
+pub fn detect(values: &[i128]) -> Growth {
+    if values.len() < 3 {
+        return Growth::Inconclusive;
+    }
+    let mut current = values.to_vec();
+    let mut degree = 0;
+    loop {
+        if current.iter().all(|&v| v == current[0]) {
+            return Growth::Polynomial { degree };
+        }
+        if current.len() < 3 {
+            // Ran out of samples before the differences stabilized: either
+            // genuinely non-polynomial or under-sampled. The caller gave us
+            // enough samples iff the degree is small relative to len.
+            return Growth::NotPolynomial;
+        }
+        current = current.windows(2).map(|w| w[1] - w[0]).collect();
+        degree += 1;
+    }
+}
+
+/// As [`detect`], converting from [`Natural`]s (fails with
+/// [`Growth::Inconclusive`] if any value exceeds `i128`).
+pub fn detect_natural(values: &[Natural]) -> Growth {
+    let converted: Option<Vec<i128>> = values
+        .iter()
+        .map(|n| n.to_u128().and_then(|v| i128::try_from(v).ok()))
+        .collect();
+    match converted {
+        Some(values) => detect(&values),
+        None => Growth::NotPolynomial, // exceeds i128 ⇒ super-polynomial here
+    }
+}
+
+/// `true` if the sequence grows at least geometrically with ratio ≥
+/// `num/den` on every step of its tail (witnessing exponential growth).
+pub fn grows_geometrically(values: &[Natural], num: u64, den: u64, tail: usize) -> bool {
+    if values.len() < tail + 1 {
+        return false;
+    }
+    values[values.len() - tail - 1..]
+        .windows(2)
+        .all(|w| {
+            let mut lhs = w[1].clone();
+            lhs.mul_u64(den);
+            let mut rhs = w[0].clone();
+            rhs.mul_u64(num);
+            lhs >= rhs
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_degree_zero() {
+        assert_eq!(detect(&[5, 5, 5, 5]), Growth::Polynomial { degree: 0 });
+    }
+
+    #[test]
+    fn linear_and_quadratic() {
+        let linear: Vec<i128> = (0..8).map(|n| 3 * n + 1).collect();
+        assert_eq!(detect(&linear), Growth::Polynomial { degree: 1 });
+        let quadratic: Vec<i128> = (0..8).map(|n| n * n + n).collect();
+        assert_eq!(detect(&quadratic), Growth::Polynomial { degree: 2 });
+        let cubic: Vec<i128> = (0..9).map(|n| n * n * n - 7).collect();
+        assert_eq!(detect(&cubic), Growth::Polynomial { degree: 3 });
+    }
+
+    #[test]
+    fn exponentials_are_rejected() {
+        let exponential: Vec<i128> = (0..12).map(|n| 1i128 << n).collect();
+        assert_eq!(detect(&exponential), Growth::NotPolynomial);
+    }
+
+    #[test]
+    fn short_sequences_inconclusive() {
+        assert_eq!(detect(&[1, 2]), Growth::Inconclusive);
+    }
+
+    #[test]
+    fn natural_conversion() {
+        let values: Vec<Natural> = (0..8u64).map(|n| Natural::from(n * n)).collect();
+        assert_eq!(detect_natural(&values), Growth::Polynomial { degree: 2 });
+        let huge: Vec<Natural> = (0..5u64).map(|n| Natural::pow2(130 + n)).collect();
+        assert_eq!(detect_natural(&huge), Growth::NotPolynomial);
+    }
+
+    #[test]
+    fn geometric_growth_detection() {
+        let doubling: Vec<Natural> = (0..10u64).map(Natural::pow2).collect();
+        assert!(grows_geometrically(&doubling, 2, 1, 5));
+        let linear: Vec<Natural> = (1..10u64).map(Natural::from).collect();
+        assert!(!grows_geometrically(&linear, 2, 1, 5));
+    }
+}

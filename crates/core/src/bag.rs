@@ -1,0 +1,752 @@
+//! Bags with exact multiplicities and the primitive operations of Section 3.
+//!
+//! A bag is a finite multiset: a map from distinct elements to positive
+//! multiplicities. An element *n-belongs* to a bag if it has exactly `n`
+//! occurrences. The operations here are the data-level semantics of the
+//! BALG operators; the expression AST in [`crate::expr`] composes them.
+//!
+//! The counted `BTreeMap` representation is the optimization the paper's
+//! Section 3 anticipates ("representing each object in association with the
+//! number of its occurrences"); the paper's complexity measure nevertheless
+//! charges for the expanded standard encoding, which
+//! [`Value::encoded_size`](crate::value::Value::encoded_size) computes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::natural::Natural;
+use crate::value::Value;
+
+/// An error from a primitive bag operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BagError {
+    /// Cartesian product or projection applied to a non-tuple element.
+    NotATuple(Value),
+    /// Bag-destroy `δ` applied to a bag whose elements are not bags.
+    NotABag(Value),
+    /// Attribute projection `αᵢ` with an out-of-range index.
+    BadArity {
+        /// Requested 1-based attribute index.
+        index: usize,
+        /// Actual tuple arity.
+        arity: usize,
+    },
+    /// Powerset/powerbag output would exceed the caller's element budget.
+    /// `predicted` is the exact number of distinct subbags, `Π(mᵢ+1)`.
+    TooLarge {
+        /// Exact predicted number of distinct output elements.
+        predicted: Natural,
+        /// The caller-imposed budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BagError::NotATuple(v) => write!(f, "expected a tuple element, got {v}"),
+            BagError::NotABag(v) => write!(f, "expected a bag element, got {v}"),
+            BagError::BadArity { index, arity } => {
+                write!(f, "attribute α{index} out of range for arity {arity}")
+            }
+            BagError::TooLarge { predicted, limit } => write!(
+                f,
+                "powerset would produce {predicted} subbags, over the limit of {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BagError {}
+
+/// A homogeneous bag of [`Value`]s with exact [`Natural`] multiplicities.
+///
+/// Invariant: no element is stored with multiplicity zero, so equality and
+/// ordering of bags are canonical. Iteration is in the total [`Value`]
+/// order, which the PSPACE encoding of Theorem 5.1 relies on.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bag {
+    elems: BTreeMap<Value, Natural>,
+}
+
+impl Bag {
+    /// The empty bag `⟦⟧`.
+    pub fn new() -> Bag {
+        Bag::default()
+    }
+
+    /// The bagging constructor `β(o) = ⟦o⟧`: a bag where `o` 1-belongs.
+    pub fn singleton(value: Value) -> Bag {
+        let mut bag = Bag::new();
+        bag.insert(value);
+        bag
+    }
+
+    /// A bag containing `count` occurrences of `value` — the paper's `Bᵗᵢ`
+    /// notation and its integer encoding (an integer `i` is the bag with
+    /// `i` occurrences of a fixed constant).
+    pub fn repeated(value: Value, count: impl Into<Natural>) -> Bag {
+        let mut bag = Bag::new();
+        bag.insert_with_multiplicity(value, count.into());
+        bag
+    }
+
+    /// Build from values, each contributing one occurrence.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Bag {
+        let mut bag = Bag::new();
+        for value in values {
+            bag.insert(value);
+        }
+        bag
+    }
+
+    /// Build from `(value, multiplicity)` pairs; zero multiplicities are
+    /// dropped, duplicate keys accumulate.
+    pub fn from_counted(pairs: impl IntoIterator<Item = (Value, Natural)>) -> Bag {
+        let mut bag = Bag::new();
+        for (value, mult) in pairs {
+            bag.insert_with_multiplicity(value, mult);
+        }
+        bag
+    }
+
+    /// Add one occurrence of `value`.
+    pub fn insert(&mut self, value: Value) {
+        self.insert_with_multiplicity(value, Natural::one());
+    }
+
+    /// Add `mult` occurrences of `value` (no-op when `mult` is zero).
+    pub fn insert_with_multiplicity(&mut self, value: Value, mult: Natural) {
+        if mult.is_zero() {
+            return;
+        }
+        *self.elems.entry(value).or_default() += &mult;
+    }
+
+    /// The number of occurrences of `o` — the `n` such that `o` n-belongs.
+    pub fn multiplicity(&self, value: &Value) -> Natural {
+        self.elems.get(value).cloned().unwrap_or_default()
+    }
+
+    /// `true` iff `o` p-belongs for some `p > 0`.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.elems.contains_key(value)
+    }
+
+    /// Total number of occurrences, `Σ mᵢ` (the paper's bag size up to
+    /// encoding constants).
+    pub fn cardinality(&self) -> Natural {
+        self.elems.values().sum()
+    }
+
+    /// Number of distinct elements.
+    pub fn distinct_count(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// `true` iff the bag is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Iterate over `(element, multiplicity)` in element order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Natural)> {
+        self.elems.iter()
+    }
+
+    /// Iterate over distinct elements in order.
+    pub fn elements(&self) -> impl Iterator<Item = &Value> {
+        self.elems.keys()
+    }
+
+    /// The maximal multiplicity of any element (zero for the empty bag).
+    /// This is the quantity bounded polynomially in Theorem 4.4 and
+    /// exponentially in Theorem 5.1.
+    pub fn max_multiplicity(&self) -> Natural {
+        self.elems.values().max().cloned().unwrap_or_default()
+    }
+
+    /// Subbag test `B ⊑ B′`: whenever `o` n-belongs to `B`, `o` p-belongs
+    /// to `B′` for some `p ≥ n`.
+    pub fn is_subbag_of(&self, other: &Bag) -> bool {
+        self.elems
+            .iter()
+            .all(|(value, mult)| &other.multiplicity(value) >= mult)
+    }
+
+    // ----- basic bag operations (Section 3) -----
+
+    /// Additive union `B ∪⁺ B′`: multiplicities add (`n = p + q`).
+    pub fn additive_union(&self, other: &Bag) -> Bag {
+        let mut out = self.clone();
+        for (value, mult) in &other.elems {
+            out.insert_with_multiplicity(value.clone(), mult.clone());
+        }
+        out
+    }
+
+    /// Subtraction `B − B′`: monus on multiplicities (`n = sup(0, p − q)`).
+    pub fn subtract(&self, other: &Bag) -> Bag {
+        let mut out = Bag::new();
+        for (value, mult) in &self.elems {
+            let rem = mult.monus(&other.multiplicity(value));
+            out.insert_with_multiplicity(value.clone(), rem);
+        }
+        out
+    }
+
+    /// Maximal union `B ∪ B′`: `n = sup(p, q)`.
+    pub fn max_union(&self, other: &Bag) -> Bag {
+        let mut out = self.clone();
+        for (value, mult) in &other.elems {
+            let entry = out.elems.entry(value.clone()).or_default();
+            if &*entry < mult {
+                *entry = mult.clone();
+            }
+        }
+        out
+    }
+
+    /// Intersection `B ∩ B′`: `n = inf(p, q)`.
+    pub fn intersect(&self, other: &Bag) -> Bag {
+        let mut out = Bag::new();
+        for (value, mult) in &self.elems {
+            let min = mult.clone().min(other.multiplicity(value));
+            out.insert_with_multiplicity(value.clone(), min);
+        }
+        out
+    }
+
+    /// Duplicate elimination `ε(B)`: each element of `B` 1-belongs to the
+    /// result.
+    pub fn dedup(&self) -> Bag {
+        Bag {
+            elems: self
+                .elems
+                .keys()
+                .map(|value| (value.clone(), Natural::one()))
+                .collect(),
+        }
+    }
+
+    /// Scale every multiplicity by `factor` (used by `δ` on nested bags
+    /// with duplicated inner bags).
+    pub fn scale(&self, factor: &Natural) -> Bag {
+        if factor.is_zero() {
+            return Bag::new();
+        }
+        Bag {
+            elems: self
+                .elems
+                .iter()
+                .map(|(value, mult)| (value.clone(), mult * factor))
+                .collect(),
+        }
+    }
+
+    // ----- constructive operations -----
+
+    /// Cartesian product `B × B′` on bags of tuples: tuples concatenate and
+    /// multiplicities multiply (`n = p·q`).
+    pub fn product(&self, other: &Bag) -> Result<Bag, BagError> {
+        let mut out = Bag::new();
+        for (left, lm) in &self.elems {
+            let left_fields = left
+                .as_tuple()
+                .ok_or_else(|| BagError::NotATuple(left.clone()))?;
+            for (right, rm) in &other.elems {
+                let right_fields = right
+                    .as_tuple()
+                    .ok_or_else(|| BagError::NotATuple(right.clone()))?;
+                let mut fields = Vec::with_capacity(left_fields.len() + right_fields.len());
+                fields.extend_from_slice(left_fields);
+                fields.extend_from_slice(right_fields);
+                out.insert_with_multiplicity(Value::Tuple(fields), lm * rm);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Powerset `P(B) = ⟦b | b ⊑ B⟧`: one occurrence of **each distinct
+    /// subbag** of `B`. There are exactly `Π (mᵢ + 1)` of them. Because
+    /// that count explodes, callers pass an element budget and receive
+    /// [`BagError::TooLarge`] when the exact predicted count exceeds it.
+    pub fn powerset(&self, max_elements: u64) -> Result<Bag, BagError> {
+        let counts = self.subbag_odometer(max_elements)?;
+        let mut out = Bag::new();
+        for choice in counts {
+            out.insert(Value::Bag(choice.build(self)));
+        }
+        Ok(out)
+    }
+
+    /// The exact number of distinct subbags, `Π (mᵢ + 1)` — what
+    /// [`Bag::powerset`] would produce. (`n + 1` for the paper's bag of
+    /// `n` copies of one constant.)
+    pub fn powerset_cardinality(&self) -> Natural {
+        let mut total = Natural::one();
+        for mult in self.elems.values() {
+            total *= &mult.succ();
+        }
+        total
+    }
+
+    /// Powerbag `P_b(B)` (Definition 5.1): distinguishes occurrences, so a
+    /// subbag choosing `jᵢ` of `mᵢ` duplicates occurs `Π C(mᵢ, jᵢ)` times.
+    /// Output cardinality is `2^|B|` (`2ⁿ` for `n` copies of one constant)
+    /// while the number of *distinct* elements stays `Π (mᵢ + 1)`.
+    pub fn powerbag(&self, max_elements: u64) -> Result<Bag, BagError> {
+        let counts = self.subbag_odometer(max_elements)?;
+        let mut out = Bag::new();
+        for choice in counts {
+            let mult = choice.binomial_weight(self);
+            out.insert_with_multiplicity(Value::Bag(choice.build(self)), mult);
+        }
+        Ok(out)
+    }
+
+    /// The exact total cardinality of `P_b(B)`, namely `2^|B|`.
+    pub fn powerbag_cardinality(&self) -> Natural {
+        // Guard: 2^|B| as a Natural requires |B| to fit in u64 bits-wise;
+        // cardinality() is exact so convert via bits when huge.
+        match self.cardinality().to_u64() {
+            Some(n) => Natural::pow2(n),
+            None => {
+                // |B| ≥ 2^64: the value is astronomically large; we return
+                // the formula applied to the saturated exponent. In practice
+                // eval limits reject such bags long before this point.
+                Natural::pow2(u64::MAX)
+            }
+        }
+    }
+
+    /// Bag-destroy `δ(B)` on a bag of bags:
+    /// `δ(⟦x₁, …, xₙ⟧) = x₁ ∪⁺ ⋯ ∪⁺ xₙ` with duplicated inner bags
+    /// contributing once per occurrence.
+    pub fn destroy(&self) -> Result<Bag, BagError> {
+        let mut out = Bag::new();
+        for (value, mult) in &self.elems {
+            let inner = value
+                .as_bag()
+                .ok_or_else(|| BagError::NotABag(value.clone()))?;
+            for (elem, inner_mult) in inner.iter() {
+                out.insert_with_multiplicity(elem.clone(), inner_mult * mult);
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- filters -----
+
+    /// Restructuring `MAP_φ(B)`: applies `φ` to every member; images
+    /// accumulate multiplicities (`n = n₁ + ⋯ + n_l` over the preimages).
+    pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<Bag, E> {
+        let mut out = Bag::new();
+        for (value, mult) in &self.elems {
+            out.insert_with_multiplicity(f(value)?, mult.clone());
+        }
+        Ok(out)
+    }
+
+    /// Selection `σ(B)`: keeps elements satisfying the predicate with their
+    /// multiplicities.
+    pub fn select<E>(&self, mut pred: impl FnMut(&Value) -> Result<bool, E>) -> Result<Bag, E> {
+        let mut out = Bag::new();
+        for (value, mult) in &self.elems {
+            if pred(value)? {
+                out.insert_with_multiplicity(value.clone(), mult.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Projection helper `π_{i₁,…,iₙ}` over 1-based attribute indices —
+    /// the paper's abbreviation for `MAP_{λx.[α_{i₁}(x), …]}`.
+    pub fn project(&self, indices: &[usize]) -> Result<Bag, BagError> {
+        self.map(|value| {
+            let fields = value
+                .as_tuple()
+                .ok_or_else(|| BagError::NotATuple(value.clone()))?;
+            let mut out = Vec::with_capacity(indices.len());
+            for &ix in indices {
+                let field = fields.get(ix.checked_sub(1).ok_or(BagError::BadArity {
+                    index: ix,
+                    arity: fields.len(),
+                })?);
+                out.push(
+                    field
+                        .ok_or(BagError::BadArity {
+                            index: ix,
+                            arity: fields.len(),
+                        })?
+                        .clone(),
+                );
+            }
+            Ok(Value::Tuple(out))
+        })
+    }
+
+    /// The nest operator of [PG88] (Conclusion): group a bag of tuples by
+    /// the 1-based attributes in `group`; each distinct group key appears
+    /// **once**, extended with a bag holding the residual-attribute tuples
+    /// of its members (inner multiplicities preserved).
+    pub fn nest(&self, group: &[usize]) -> Result<Bag, BagError> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
+        for (row, mult) in &self.elems {
+            let fields = row
+                .as_tuple()
+                .ok_or_else(|| BagError::NotATuple(row.clone()))?;
+            let mut key = Vec::with_capacity(group.len());
+            for &ix in group {
+                let field = ix
+                    .checked_sub(1)
+                    .and_then(|i| fields.get(i))
+                    .ok_or(BagError::BadArity {
+                        index: ix,
+                        arity: fields.len(),
+                    })?;
+                key.push(field.clone());
+            }
+            let residual: Vec<Value> = fields
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !group.contains(&(i + 1)))
+                .map(|(_, v)| v.clone())
+                .collect();
+            groups
+                .entry(key)
+                .or_default()
+                .insert_with_multiplicity(Value::Tuple(residual), mult.clone());
+        }
+        let mut out = Bag::new();
+        for (key, inner) in groups {
+            let mut fields = key;
+            fields.push(Value::Bag(inner));
+            out.insert(Value::Tuple(fields));
+        }
+        Ok(out)
+    }
+
+    /// Shared subbag enumeration machinery for `P` and `P_b`.
+    fn subbag_odometer(&self, max_elements: u64) -> Result<Vec<SubbagChoice>, BagError> {
+        let predicted = self.powerset_cardinality();
+        if predicted > Natural::from(max_elements) {
+            return Err(BagError::TooLarge {
+                predicted,
+                limit: max_elements,
+            });
+        }
+        // Since Π(mᵢ+1) ≤ max_elements (a u64), every mᵢ fits in u64.
+        let bounds: Vec<u64> = self
+            .elems
+            .values()
+            .map(|m| m.to_u64().expect("bounded by predicted cardinality"))
+            .collect();
+        let mut choices = Vec::with_capacity(predicted.to_u64().unwrap_or(0) as usize);
+        let mut current = vec![0u64; bounds.len()];
+        loop {
+            choices.push(SubbagChoice {
+                counts: current.clone(),
+            });
+            // Odometer increment over 0..=bounds[i].
+            let mut pos = 0;
+            loop {
+                if pos == bounds.len() {
+                    return Ok(choices);
+                }
+                if current[pos] < bounds[pos] {
+                    current[pos] += 1;
+                    break;
+                }
+                current[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+}
+
+/// One subbag choice: how many occurrences of each distinct element (in
+/// element order) the subbag takes.
+struct SubbagChoice {
+    counts: Vec<u64>,
+}
+
+impl SubbagChoice {
+    fn build(&self, source: &Bag) -> Bag {
+        let mut out = Bag::new();
+        for ((value, _), &count) in source.elems.iter().zip(&self.counts) {
+            out.insert_with_multiplicity(value.clone(), Natural::from(count));
+        }
+        out
+    }
+
+    fn binomial_weight(&self, source: &Bag) -> Natural {
+        let mut weight = Natural::one();
+        for ((_, mult), &count) in source.elems.iter().zip(&self.counts) {
+            weight *= &Natural::binomial(mult, count);
+        }
+        weight
+    }
+}
+
+impl FromIterator<Value> for Bag {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Bag::from_values(iter)
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{{")?;
+        let mut first = true;
+        for (value, mult) in &self.elems {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            if mult.is_one() {
+                write!(f, "{value}")?;
+            } else {
+                write!(f, "{value}^{mult}")?;
+            }
+        }
+        f.write_str("}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sym(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    fn bag_of(pairs: &[(&str, u64)]) -> Bag {
+        Bag::from_counted(pairs.iter().map(|(s, m)| (sym(s), nat(*m))))
+    }
+
+    #[test]
+    fn multiplicity_arithmetic_of_the_four_unions() {
+        let b1 = bag_of(&[("a", 3), ("b", 1)]);
+        let b2 = bag_of(&[("a", 2), ("c", 5)]);
+        let add = b1.additive_union(&b2);
+        assert_eq!(add.multiplicity(&sym("a")), nat(5));
+        assert_eq!(add.multiplicity(&sym("b")), nat(1));
+        assert_eq!(add.multiplicity(&sym("c")), nat(5));
+        let sub = b1.subtract(&b2);
+        assert_eq!(sub.multiplicity(&sym("a")), nat(1));
+        assert_eq!(sub.multiplicity(&sym("b")), nat(1));
+        assert!(!sub.contains(&sym("c"))); // sup(0, 0-5) = 0
+        let max = b1.max_union(&b2);
+        assert_eq!(max.multiplicity(&sym("a")), nat(3));
+        assert_eq!(max.multiplicity(&sym("c")), nat(5));
+        let int = b1.intersect(&b2);
+        assert_eq!(int.multiplicity(&sym("a")), nat(2));
+        assert!(!int.contains(&sym("b")));
+        assert!(!int.contains(&sym("c")));
+    }
+
+    #[test]
+    fn zero_multiplicities_never_stored() {
+        let b1 = bag_of(&[("a", 2)]);
+        let b2 = bag_of(&[("a", 2)]);
+        let diff = b1.subtract(&b2);
+        assert!(diff.is_empty());
+        assert_eq!(diff, Bag::new());
+    }
+
+    #[test]
+    fn product_multiplies_multiplicities() {
+        // The Section 4 counting technique: B with n×[a,b] and m×[b,a].
+        let n = 4u64;
+        let m = 3u64;
+        let mut b = Bag::new();
+        b.insert_with_multiplicity(Value::tuple([sym("a"), sym("b")]), nat(n));
+        b.insert_with_multiplicity(Value::tuple([sym("b"), sym("a")]), nat(m));
+        let prod = b.product(&b).unwrap();
+        let abab = Value::tuple([sym("a"), sym("b"), sym("a"), sym("b")]);
+        let baab = Value::tuple([sym("b"), sym("a"), sym("a"), sym("b")]);
+        assert_eq!(prod.multiplicity(&abab), nat(n * n));
+        assert_eq!(prod.multiplicity(&baab), nat(m * n));
+        assert_eq!(prod.cardinality(), nat((n + m) * (n + m)));
+    }
+
+    #[test]
+    fn product_rejects_non_tuples() {
+        let b = Bag::singleton(sym("a"));
+        assert!(matches!(b.product(&b), Err(BagError::NotATuple(_))));
+    }
+
+    #[test]
+    fn powerset_of_n_copies_has_n_plus_1_elements() {
+        // Introduction: "the powerbag of a bag containing n occurrences of a
+        // single constant has cardinality 2^n, while its powerset has
+        // cardinality n+1."
+        for n in 0u64..6 {
+            let b = Bag::repeated(sym("a"), n);
+            let ps = b.powerset(1 << 20).unwrap();
+            assert_eq!(ps.cardinality(), nat(n + 1));
+            assert_eq!(b.powerset_cardinality(), nat(n + 1));
+            let pb = b.powerbag(1 << 20).unwrap();
+            assert_eq!(pb.cardinality(), Natural::pow2(n));
+            assert_eq!(b.powerbag_cardinality(), Natural::pow2(n));
+        }
+    }
+
+    #[test]
+    fn powerset_elements_are_exactly_the_subbags() {
+        let b = bag_of(&[("a", 2), ("b", 1)]);
+        let ps = b.powerset(1 << 20).unwrap();
+        assert_eq!(ps.cardinality(), nat(6)); // (2+1)(1+1)
+        for (sub, mult) in ps.iter() {
+            assert!(mult.is_one());
+            assert!(sub.as_bag().unwrap().is_subbag_of(&b));
+        }
+        // Every subbag present.
+        assert!(ps.contains(&Value::Bag(Bag::new())));
+        assert!(ps.contains(&Value::Bag(b.clone())));
+        assert!(ps.contains(&Value::Bag(bag_of(&[("a", 1), ("b", 1)]))));
+    }
+
+    #[test]
+    fn powerbag_matches_definition_5_1_example() {
+        // P_b(⟦a,a⟧) = ⟦⟦⟧, ⟦a⟧, ⟦a⟧, ⟦a,a⟧⟧ vs P(⟦a,a⟧) = ⟦⟦⟧, ⟦a⟧, ⟦a,a⟧⟧.
+        let b = Bag::repeated(sym("a"), 2u64);
+        let pb = b.powerbag(100).unwrap();
+        assert_eq!(pb.multiplicity(&Value::Bag(Bag::new())), nat(1));
+        assert_eq!(pb.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))), nat(2));
+        assert_eq!(pb.multiplicity(&Value::Bag(b.clone())), nat(1));
+        let ps = b.powerset(100).unwrap();
+        assert_eq!(ps.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))), nat(1));
+    }
+
+    #[test]
+    fn powerset_respects_budget() {
+        let b = Bag::repeated(sym("a"), 1_000_000u64);
+        let err = b.powerset(1000).unwrap_err();
+        match err {
+            BagError::TooLarge { predicted, limit } => {
+                assert_eq!(predicted, nat(1_000_001));
+                assert_eq!(limit, 1000);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn destroy_sums_inner_bags_scaled_by_outer_multiplicity() {
+        // δ(⟦⟦a,a⟧, ⟦a,b⟧²⟧) = ⟦a⁴, b²⟧
+        let inner1 = bag_of(&[("a", 2)]);
+        let inner2 = bag_of(&[("a", 1), ("b", 1)]);
+        let mut outer = Bag::new();
+        outer.insert(Value::Bag(inner1));
+        outer.insert_with_multiplicity(Value::Bag(inner2), nat(2));
+        let flat = outer.destroy().unwrap();
+        assert_eq!(flat.multiplicity(&sym("a")), nat(4));
+        assert_eq!(flat.multiplicity(&sym("b")), nat(2));
+    }
+
+    #[test]
+    fn destroy_rejects_non_bags() {
+        let b = Bag::singleton(sym("a"));
+        assert!(matches!(b.destroy(), Err(BagError::NotABag(_))));
+    }
+
+    #[test]
+    fn map_accumulates_preimage_multiplicities() {
+        // MAP_{λx.β(x)}(⟦a,a,b⟧) = ⟦⟦a⟧,⟦a⟧,⟦b⟧⟧ — i.e. ⟦a⟧ has mult 2.
+        let b = bag_of(&[("a", 2), ("b", 1)]);
+        let mapped: Bag = b
+            .map(|v| Ok::<_, std::convert::Infallible>(Value::Bag(Bag::singleton(v.clone()))))
+            .unwrap();
+        assert_eq!(
+            mapped.multiplicity(&Value::Bag(Bag::singleton(sym("a")))),
+            nat(2)
+        );
+        // Collapsing map: everything to one constant sums all multiplicities.
+        let collapsed: Bag = b
+            .map(|_| Ok::<_, std::convert::Infallible>(sym("z")))
+            .unwrap();
+        assert_eq!(collapsed.multiplicity(&sym("z")), nat(3));
+    }
+
+    #[test]
+    fn select_preserves_multiplicities() {
+        let b = bag_of(&[("a", 2), ("b", 5)]);
+        let picked = b
+            .select(|v| Ok::<_, std::convert::Infallible>(*v == sym("b")))
+            .unwrap();
+        assert_eq!(picked.multiplicity(&sym("b")), nat(5));
+        assert_eq!(picked.distinct_count(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_one_of_each() {
+        let b = bag_of(&[("a", 7), ("b", 2)]);
+        let d = b.dedup();
+        assert_eq!(d.multiplicity(&sym("a")), nat(1));
+        assert_eq!(d.multiplicity(&sym("b")), nat(1));
+        assert_eq!(d.cardinality(), nat(2));
+        assert_eq!(d.dedup(), d); // idempotent
+    }
+
+    #[test]
+    fn project_is_map_composition() {
+        let mut b = Bag::new();
+        b.insert(Value::tuple([sym("x"), sym("y"), sym("z")]));
+        let projected = b.project(&[3, 1]).unwrap();
+        assert!(projected.contains(&Value::tuple([sym("z"), sym("x")])));
+        assert!(matches!(
+            b.project(&[4]),
+            Err(BagError::BadArity { index: 4, arity: 3 })
+        ));
+        assert!(matches!(b.project(&[0]), Err(BagError::BadArity { .. })));
+    }
+
+    #[test]
+    fn subbag_partial_order() {
+        let small = bag_of(&[("a", 1)]);
+        let big = bag_of(&[("a", 3), ("b", 1)]);
+        assert!(small.is_subbag_of(&big));
+        assert!(!big.is_subbag_of(&small));
+        assert!(Bag::new().is_subbag_of(&small));
+        assert!(small.is_subbag_of(&small));
+    }
+
+    #[test]
+    fn algebraic_laws_on_samples() {
+        let b1 = bag_of(&[("a", 3), ("b", 1)]);
+        let b2 = bag_of(&[("a", 1), ("c", 2)]);
+        let b3 = bag_of(&[("b", 4)]);
+        // Commutativity (∪⁺, ∪, ∩) and associativity (∪⁺, ∪, ∩).
+        assert_eq!(b1.additive_union(&b2), b2.additive_union(&b1));
+        assert_eq!(b1.max_union(&b2), b2.max_union(&b1));
+        assert_eq!(b1.intersect(&b2), b2.intersect(&b1));
+        assert_eq!(
+            b1.additive_union(&b2).additive_union(&b3),
+            b1.additive_union(&b2.additive_union(&b3))
+        );
+        assert_eq!(
+            b1.max_union(&b2).max_union(&b3),
+            b1.max_union(&b2.max_union(&b3))
+        );
+        assert_eq!(
+            b1.intersect(&b2).intersect(&b3),
+            b1.intersect(&b2.intersect(&b3))
+        );
+    }
+
+    #[test]
+    fn display_uses_multiplicity_exponents() {
+        let b = bag_of(&[("a", 2), ("b", 1)]);
+        assert_eq!(b.to_string(), "{{a^2, b}}");
+    }
+}

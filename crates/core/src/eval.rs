@@ -1,0 +1,644 @@
+//! Resource-limited evaluation of BALG expressions.
+//!
+//! Every evaluation runs under [`Limits`]: the powerset operator predicts
+//! its exact output cardinality (`Π(mᵢ+1)`) *before* allocating, and every
+//! intermediate bag is checked against element and multiplicity-width
+//! budgets. This mirrors the paper's complexity analyses — Theorem 4.4
+//! bounds multiplicity *bit-widths* logarithmically for BALG¹, Theorem 5.1
+//! bounds them polynomially for BALG², and the [`Metrics`] collected here
+//! are exactly those quantities, consumed by the `balg-complexity` crate's
+//! experiments.
+
+use std::fmt;
+
+use crate::bag::{Bag, BagError};
+use crate::expr::{Expr, Pred, Var};
+use crate::natural::Natural;
+use crate::schema::Database;
+use crate::value::Value;
+
+/// Resource budgets for one evaluation.
+#[derive(Clone, Debug)]
+pub struct Limits {
+    /// Maximal number of *distinct* elements in any intermediate bag
+    /// (powerset output is predicted exactly and rejected up front).
+    pub max_bag_elements: u64,
+    /// Maximal bit-width of any multiplicity in any intermediate bag.
+    pub max_multiplicity_bits: u64,
+    /// Maximal number of evaluation steps (AST nodes visited, counting one
+    /// per element for MAP/σ bodies).
+    pub max_steps: u64,
+    /// Maximal number of inflationary-fixpoint iterations.
+    pub max_ifp_iterations: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_bag_elements: 1 << 20,
+            max_multiplicity_bits: 1 << 16,
+            max_steps: 50_000_000,
+            max_ifp_iterations: 100_000,
+        }
+    }
+}
+
+impl Limits {
+    /// A small budget for exploratory evaluation of explosive expressions.
+    pub fn small() -> Limits {
+        Limits {
+            max_bag_elements: 1 << 12,
+            max_multiplicity_bits: 1 << 12,
+            max_steps: 1_000_000,
+            max_ifp_iterations: 1_000,
+        }
+    }
+}
+
+/// An evaluation error. The algebra is total on well-typed inputs within
+/// budget; everything else surfaces here, never as a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable is neither λ-bound nor a database bag.
+    UnboundVariable(Var),
+    /// A primitive bag operation failed (wrong element shape, powerset
+    /// budget).
+    Bag(BagError),
+    /// An operator was applied to a value of the wrong shape.
+    Shape {
+        /// What the operator required.
+        expected: &'static str,
+        /// Rendering of what it got (truncated).
+        found: String,
+    },
+    /// The step budget was exhausted.
+    StepLimit(u64),
+    /// An intermediate bag exceeded the distinct-element budget.
+    ElementLimit {
+        /// Observed distinct-element count.
+        observed: u64,
+        /// The budget.
+        limit: u64,
+    },
+    /// A multiplicity exceeded the bit-width budget.
+    MultiplicityLimit {
+        /// Observed bit-width.
+        observed_bits: u64,
+        /// The budget in bits.
+        limit_bits: u64,
+    },
+    /// The inflationary fixpoint did not converge within budget.
+    IfpLimit(u64),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable {name}"),
+            EvalError::Bag(e) => write!(f, "{e}"),
+            EvalError::Shape { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            EvalError::StepLimit(n) => write!(f, "step budget of {n} exhausted"),
+            EvalError::ElementLimit { observed, limit } => {
+                write!(f, "bag with {observed} distinct elements exceeds limit {limit}")
+            }
+            EvalError::MultiplicityLimit {
+                observed_bits,
+                limit_bits,
+            } => write!(
+                f,
+                "multiplicity of {observed_bits} bits exceeds limit of {limit_bits} bits"
+            ),
+            EvalError::IfpLimit(n) => write!(f, "IFP did not converge within {n} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<BagError> for EvalError {
+    fn from(e: BagError) -> Self {
+        EvalError::Bag(e)
+    }
+}
+
+/// Quantities observed during one evaluation — the measurables of the
+/// paper's complexity theorems.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// AST-node evaluation steps.
+    pub steps: u64,
+    /// Maximal distinct-element count over all intermediate bags.
+    pub max_distinct_elements: u64,
+    /// Maximal multiplicity over all intermediate bags.
+    pub max_multiplicity: Natural,
+    /// Maximal total cardinality (Σ multiplicities) over intermediates.
+    pub max_cardinality: Natural,
+    /// Number of powerset/powerbag applications actually evaluated.
+    pub powerset_calls: u64,
+    /// Total inflationary-fixpoint iterations.
+    pub ifp_iterations: u64,
+}
+
+impl Metrics {
+    /// Bit-width of the largest multiplicity seen — the work-tape counter
+    /// width of Theorem 4.4's LOGSPACE argument.
+    pub fn max_multiplicity_bits(&self) -> u64 {
+        self.max_multiplicity.bits()
+    }
+}
+
+/// A reusable evaluator bound to one database.
+pub struct Evaluator<'a> {
+    db: &'a Database,
+    limits: Limits,
+    metrics: Metrics,
+    env: Vec<(Var, Value)>,
+    steps_left: u64,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over `db` with the given budgets.
+    pub fn new(db: &'a Database, limits: Limits) -> Self {
+        let steps_left = limits.max_steps;
+        Evaluator {
+            db,
+            limits,
+            metrics: Metrics::default(),
+            env: Vec::new(),
+            steps_left,
+        }
+    }
+
+    /// Evaluate a closed expression (free variables resolve to database
+    /// bags).
+    pub fn eval(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        debug_assert!(self.env.is_empty());
+        self.eval_inner(expr)
+    }
+
+    /// Evaluate and require a bag result.
+    pub fn eval_bag(&mut self, expr: &Expr) -> Result<Bag, EvalError> {
+        expect_bag(self.eval(expr)?)
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn step(&mut self) -> Result<(), EvalError> {
+        self.metrics.steps += 1;
+        match self.steps_left.checked_sub(1) {
+            Some(rest) => {
+                self.steps_left = rest;
+                Ok(())
+            }
+            None => Err(EvalError::StepLimit(self.limits.max_steps)),
+        }
+    }
+
+    /// Record a produced bag in the metrics and enforce limits.
+    fn observe(&mut self, bag: &Bag) -> Result<(), EvalError> {
+        let distinct = bag.distinct_count() as u64;
+        if distinct > self.limits.max_bag_elements {
+            return Err(EvalError::ElementLimit {
+                observed: distinct,
+                limit: self.limits.max_bag_elements,
+            });
+        }
+        self.metrics.max_distinct_elements = self.metrics.max_distinct_elements.max(distinct);
+        let max_mult = bag.max_multiplicity();
+        if max_mult.bits() > self.limits.max_multiplicity_bits {
+            return Err(EvalError::MultiplicityLimit {
+                observed_bits: max_mult.bits(),
+                limit_bits: self.limits.max_multiplicity_bits,
+            });
+        }
+        if max_mult > self.metrics.max_multiplicity {
+            self.metrics.max_multiplicity = max_mult;
+        }
+        let card = bag.cardinality();
+        if card > self.metrics.max_cardinality {
+            self.metrics.max_cardinality = card;
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &Var) -> Result<Value, EvalError> {
+        for (bound, value) in self.env.iter().rev() {
+            if bound == name {
+                return Ok(value.clone());
+            }
+        }
+        self.db
+            .get(name)
+            .map(|bag| Value::Bag(bag.clone()))
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))
+    }
+
+    fn eval_inner(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        self.step()?;
+        match expr {
+            Expr::Var(name) => self.lookup(name),
+            Expr::Lit(value) => Ok(value.clone()),
+            Expr::AdditiveUnion(a, b) => self.eval_binary(a, b, Bag::additive_union),
+            Expr::Subtract(a, b) => self.eval_binary(a, b, Bag::subtract),
+            Expr::MaxUnion(a, b) => self.eval_binary(a, b, Bag::max_union),
+            Expr::Intersect(a, b) => self.eval_binary(a, b, Bag::intersect),
+            Expr::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for field in fields {
+                    out.push(self.eval_inner(field)?);
+                }
+                Ok(Value::Tuple(out))
+            }
+            Expr::Singleton(e) => {
+                let value = self.eval_inner(e)?;
+                let bag = Bag::singleton(value);
+                self.observe(&bag)?;
+                Ok(Value::Bag(bag))
+            }
+            Expr::Product(a, b) => {
+                let left = expect_bag(self.eval_inner(a)?)?;
+                let right = expect_bag(self.eval_inner(b)?)?;
+                // Predict output size: distinct counts multiply.
+                let predicted = left.distinct_count() as u128 * right.distinct_count() as u128;
+                if predicted > self.limits.max_bag_elements as u128 {
+                    return Err(EvalError::ElementLimit {
+                        observed: predicted.min(u64::MAX as u128) as u64,
+                        limit: self.limits.max_bag_elements,
+                    });
+                }
+                let out = left.product(&right)?;
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Powerset(e) => {
+                let bag = expect_bag(self.eval_inner(e)?)?;
+                self.metrics.powerset_calls += 1;
+                let out = bag.powerset(self.limits.max_bag_elements)?;
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Powerbag(e) => {
+                let bag = expect_bag(self.eval_inner(e)?)?;
+                self.metrics.powerset_calls += 1;
+                let out = bag.powerbag(self.limits.max_bag_elements)?;
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Attr(e, index) => {
+                let value = self.eval_inner(e)?;
+                let fields = value.as_tuple().ok_or_else(|| shape("a tuple", &value))?;
+                fields
+                    .get(index.wrapping_sub(1))
+                    .cloned()
+                    .ok_or(EvalError::Bag(BagError::BadArity {
+                        index: *index,
+                        arity: fields.len(),
+                    }))
+            }
+            Expr::Destroy(e) => {
+                let bag = expect_bag(self.eval_inner(e)?)?;
+                let out = bag.destroy()?;
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Map { var, body, input } => {
+                let bag = expect_bag(self.eval_inner(input)?)?;
+                let mut out = Bag::new();
+                for (value, mult) in bag.iter() {
+                    self.env.push((var.clone(), value.clone()));
+                    let image = self.eval_inner(body);
+                    self.env.pop();
+                    out.insert_with_multiplicity(image?, mult.clone());
+                }
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Select { var, pred, input } => {
+                let bag = expect_bag(self.eval_inner(input)?)?;
+                let mut out = Bag::new();
+                for (value, mult) in bag.iter() {
+                    self.env.push((var.clone(), value.clone()));
+                    let keep = self.eval_pred(pred);
+                    self.env.pop();
+                    if keep? {
+                        out.insert_with_multiplicity(value.clone(), mult.clone());
+                    }
+                }
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Dedup(e) => {
+                let bag = expect_bag(self.eval_inner(e)?)?;
+                let out = bag.dedup();
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Ifp { var, body, input } => {
+                // Least fixpoint of T(B) = body(B) ∪ B (maximal union keeps
+                // the operator inflationary on bags: multiplicities never
+                // shrink, so convergence is detected by equality).
+                let mut current = expect_bag(self.eval_inner(input)?)?;
+                for _ in 0..self.limits.max_ifp_iterations {
+                    self.metrics.ifp_iterations += 1;
+                    self.env.push((var.clone(), Value::Bag(current.clone())));
+                    let stepped = self.eval_inner(body);
+                    self.env.pop();
+                    let next = current.max_union(&expect_bag(stepped?)?);
+                    self.observe(&next)?;
+                    if next == current {
+                        return Ok(Value::Bag(current));
+                    }
+                    current = next;
+                }
+                Err(EvalError::IfpLimit(self.limits.max_ifp_iterations))
+            }
+            Expr::Nest { group, input } => {
+                let bag = expect_bag(self.eval_inner(input)?)?;
+                let out = bag.nest(group)?;
+                self.observe(&out)?;
+                Ok(Value::Bag(out))
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        op: impl FnOnce(&Bag, &Bag) -> Bag,
+    ) -> Result<Value, EvalError> {
+        let left = expect_bag(self.eval_inner(a)?)?;
+        let right = expect_bag(self.eval_inner(b)?)?;
+        let out = op(&left, &right);
+        self.observe(&out)?;
+        Ok(Value::Bag(out))
+    }
+
+    fn eval_pred(&mut self, pred: &Pred) -> Result<bool, EvalError> {
+        self.step()?;
+        match pred {
+            Pred::True => Ok(true),
+            Pred::Eq(a, b) => Ok(self.eval_inner(a)? == self.eval_inner(b)?),
+            Pred::Lt(a, b) => Ok(self.eval_inner(a)? < self.eval_inner(b)?),
+            Pred::Le(a, b) => Ok(self.eval_inner(a)? <= self.eval_inner(b)?),
+            Pred::Member(a, b) => {
+                let elem = self.eval_inner(a)?;
+                let bag = expect_bag(self.eval_inner(b)?)?;
+                Ok(bag.contains(&elem))
+            }
+            Pred::SubBag(a, b) => {
+                let left = expect_bag(self.eval_inner(a)?)?;
+                let right = expect_bag(self.eval_inner(b)?)?;
+                Ok(left.is_subbag_of(&right))
+            }
+            Pred::Not(p) => Ok(!self.eval_pred(p)?),
+            Pred::And(a, b) => Ok(self.eval_pred(a)? && self.eval_pred(b)?),
+            Pred::Or(a, b) => Ok(self.eval_pred(a)? || self.eval_pred(b)?),
+        }
+    }
+}
+
+fn shape(expected: &'static str, found: &Value) -> EvalError {
+    let mut rendered = found.to_string();
+    if rendered.len() > 80 {
+        rendered.truncate(77);
+        rendered.push_str("...");
+    }
+    EvalError::Shape {
+        expected,
+        found: rendered,
+    }
+}
+
+fn expect_bag(value: Value) -> Result<Bag, EvalError> {
+    match value {
+        Value::Bag(bag) => Ok(bag),
+        other => Err(shape("a bag", &other)),
+    }
+}
+
+/// Evaluate `expr` against `db` with default limits.
+pub fn eval(expr: &Expr, db: &Database) -> Result<Value, EvalError> {
+    Evaluator::new(db, Limits::default()).eval(expr)
+}
+
+/// Evaluate `expr` against `db` with default limits, requiring a bag.
+pub fn eval_bag(expr: &Expr, db: &Database) -> Result<Bag, EvalError> {
+    Evaluator::new(db, Limits::default()).eval_bag(expr)
+}
+
+/// Evaluate and return the metrics alongside the result.
+pub fn eval_with_metrics(
+    expr: &Expr,
+    db: &Database,
+    limits: Limits,
+) -> (Result<Value, EvalError>, Metrics) {
+    let mut evaluator = Evaluator::new(db, limits);
+    let result = evaluator.eval(expr);
+    (result, evaluator.metrics().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, Pred};
+    use crate::types::Type;
+    use crate::value::Value;
+
+    fn db_with(name: &str, bag: Bag) -> Database {
+        Database::new().with(name, bag)
+    }
+
+    fn nat(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn var_resolves_to_database_bag() {
+        let db = db_with("B", Bag::singleton(Value::sym("a")));
+        let out = eval_bag(&Expr::var("B"), &db).unwrap();
+        assert_eq!(out.cardinality(), nat(1));
+        assert!(matches!(
+            eval(&Expr::var("missing"), &db),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn section4_counting_query() {
+        // Q(B) = π₁,₄(σ_{α₂=α₃}(B×B)) over n×[a,b] + m×[b,a]:
+        // aa and bb each get n·m occurrences (paper's in-text table).
+        let (n, m) = (5u64, 7u64);
+        let mut b = Bag::new();
+        b.insert_with_multiplicity(Value::tuple([Value::sym("a"), Value::sym("b")]), nat(n));
+        b.insert_with_multiplicity(Value::tuple([Value::sym("b"), Value::sym("a")]), nat(m));
+        let q = Expr::var("B")
+            .product(Expr::var("B"))
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+            )
+            .project(&[1, 4]);
+        let out = eval_bag(&q, &db_with("B", b)).unwrap();
+        let aa = Value::tuple([Value::sym("a"), Value::sym("a")]);
+        let bb = Value::tuple([Value::sym("b"), Value::sym("b")]);
+        let ab = Value::tuple([Value::sym("a"), Value::sym("b")]);
+        assert_eq!(out.multiplicity(&aa), nat(n * m));
+        assert_eq!(out.multiplicity(&bb), nat(n * m));
+        assert_eq!(out.multiplicity(&ab), nat(0));
+    }
+
+    #[test]
+    fn map_evaluates_body_per_element() {
+        let b = Bag::from_values([Value::int(1), Value::int(2)]);
+        let q = Expr::var("B").map("x", Expr::var("x").singleton());
+        let out = eval_bag(&q, &db_with("B", b)).unwrap();
+        assert!(out.contains(&Value::bag([Value::int(1)])));
+        assert_eq!(out.cardinality(), nat(2));
+    }
+
+    #[test]
+    fn select_with_outer_reference() {
+        // Elements of B equal to the whole of bag S — λ body reads both the
+        // bound variable and another database bag.
+        let b = Bag::from_values([Value::bag([Value::sym("a")]), Value::bag([Value::sym("b")])]);
+        let s = Bag::from_values([Value::sym("a")]);
+        let db = Database::new().with("B", b).with("S", s);
+        let q = Expr::var("B").select("x", Pred::eq(Expr::var("x"), Expr::var("S")));
+        let out = eval_bag(&q, &db).unwrap();
+        assert_eq!(out.cardinality(), nat(1));
+        assert!(out.contains(&Value::bag([Value::sym("a")])));
+    }
+
+    #[test]
+    fn powerset_has_one_of_each_subbag() {
+        let b = Bag::repeated(Value::sym("a"), 3u64);
+        let out = eval_bag(&Expr::var("B").powerset(), &db_with("B", b)).unwrap();
+        assert_eq!(out.cardinality(), nat(4));
+        assert!(out.iter().all(|(_, m)| m.is_one()));
+    }
+
+    #[test]
+    fn powerset_budget_enforced() {
+        let mut limits = Limits::default();
+        limits.max_bag_elements = 8;
+        let b = Bag::from_values((0..5).map(Value::int)); // powerset = 32 > 8
+        let db = db_with("B", b);
+        let mut ev = Evaluator::new(&db, limits);
+        assert!(matches!(
+            ev.eval(&Expr::var("B").powerset()),
+            Err(EvalError::Bag(BagError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        let mut limits = Limits::default();
+        limits.max_steps = 3;
+        let db = db_with("B", Bag::from_values((0..100).map(Value::int)));
+        let q = Expr::var("B").map("x", Expr::var("x").singleton());
+        let mut ev = Evaluator::new(&db, limits);
+        assert!(matches!(ev.eval(&q), Err(EvalError::StepLimit(3))));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let db = db_with("B", Bag::singleton(Value::sym("a")));
+        // δ over a bag of atoms.
+        assert!(matches!(
+            eval(&Expr::var("B").destroy(), &db),
+            Err(EvalError::Bag(BagError::NotABag(_)))
+        ));
+        // α on a bag value.
+        assert!(matches!(
+            eval(&Expr::var("B").attr(1), &db),
+            Err(EvalError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn ifp_transitive_closure() {
+        // Transitive closure of a path graph via IFP:
+        // step(B) = π_{1,4}(σ_{α₂=α₃}(B × G)) joined into B.
+        let g = Bag::from_values(
+            [("a", "b"), ("b", "c"), ("c", "d")]
+                .iter()
+                .map(|(x, y)| Value::tuple([Value::sym(x), Value::sym(y)])),
+        );
+        let step = Expr::var("T")
+            .product(Expr::var("G"))
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+            )
+            .project(&[1, 4])
+            .dedup();
+        let q = Expr::var("G").ifp("T", step);
+        let out = eval_bag(&q, &db_with("G", g)).unwrap();
+        assert!(out.contains(&Value::tuple([Value::sym("a"), Value::sym("d")])));
+        assert_eq!(out.distinct_count(), 6); // 3 edges + ac, bd, ad
+    }
+
+    #[test]
+    fn ifp_divergence_hits_budget() {
+        // A step that keeps inflating multiplicities... max-union with a
+        // growing product never stabilizes within a tiny budget.
+        let mut limits = Limits::default();
+        limits.max_ifp_iterations = 4;
+        let b = Bag::singleton(Value::tuple([Value::sym("a")]));
+        let db = db_with("B", b);
+        // step(X) = X ∪⁺ X has strictly growing multiplicities, and
+        // max-union with X keeps the larger — never converges.
+        let q = Expr::var("B").ifp("X", Expr::var("X").additive_union(Expr::var("X")));
+        let mut ev = Evaluator::new(&db, limits);
+        assert!(matches!(ev.eval(&q), Err(EvalError::IfpLimit(4))));
+    }
+
+    #[test]
+    fn metrics_track_multiplicity_growth() {
+        let mut b = Bag::new();
+        b.insert_with_multiplicity(Value::tuple([Value::sym("a")]), nat(10));
+        let db = db_with("B", b);
+        let q = Expr::var("B").product(Expr::var("B")); // multiplicities 100
+        let (result, metrics) = eval_with_metrics(&q, &db, Limits::default());
+        result.unwrap();
+        assert_eq!(metrics.max_multiplicity, nat(100));
+        assert!(metrics.steps >= 3);
+    }
+
+    #[test]
+    fn dedup_and_lit() {
+        let db = Database::new();
+        let q = Expr::bag_lit([Value::sym("a"), Value::sym("a"), Value::sym("b")]).dedup();
+        let out = eval_bag(&q, &db).unwrap();
+        assert_eq!(out.cardinality(), nat(2));
+    }
+
+    #[test]
+    fn order_predicates_compare_values() {
+        let b = Bag::from_values((0..5).map(|i| Value::tuple([Value::int(i)])));
+        let db = db_with("B", b);
+        let q = Expr::var("B").select(
+            "x",
+            Pred::lt(Expr::var("x").attr(1), Expr::lit(Value::int(2))),
+        );
+        let out = eval_bag(&q, &db).unwrap();
+        assert_eq!(out.cardinality(), nat(2));
+    }
+
+    #[test]
+    fn type_checked_example_roundtrip() {
+        // An end-to-end sanity check that evaluation respects declared types.
+        let b = Bag::from_values([Value::tuple([Value::sym("a"), Value::sym("b")])]);
+        let db = db_with("B", b);
+        let q = Expr::var("B").project(&[2, 1]);
+        let out = eval_bag(&q, &db).unwrap();
+        let ty = Value::Bag(out).infer_type().unwrap();
+        assert_eq!(ty, Type::relation(2));
+    }
+}

@@ -1,0 +1,580 @@
+//! Arbitrary-precision natural numbers used for bag multiplicities.
+//!
+//! Proposition 3.2 of the paper shows that two consecutive applications of
+//! the powerset operator `P` followed by two `δ` (bag-destroy) multiply
+//! duplicate counts hyper-exponentially: even a single iterate of
+//! `δδPP` on a ten-element bag overflows `u128`. Multiplicities therefore
+//! use this little-endian limb representation with exact arithmetic.
+//!
+//! Only the operations the algebra needs are provided: addition (`∪⁺`),
+//! monus — truncated subtraction — (`−`), multiplication (`×`), min/max
+//! (`∩` / `∪`), exponentiation and binomials (powerset / powerbag
+//! cardinality predictions), and decimal conversion for reporting.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Sub};
+use std::str::FromStr;
+
+/// An arbitrary-precision natural number (`ℕ`, including zero).
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs; zero is
+/// the empty limb vector. The representation is canonical, so the derived
+/// `PartialEq`/`Hash` agree with numeric equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Natural {
+    limbs: Vec<u64>,
+}
+
+impl Natural {
+    /// The number zero.
+    pub const fn zero() -> Self {
+        Natural { limbs: Vec::new() }
+    }
+
+    /// The number one.
+    pub fn one() -> Self {
+        Natural { limbs: vec![1] }
+    }
+
+    /// `true` iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff this is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Number of significant bits (`0` for zero). This is the quantity the
+    /// LOGSPACE argument of Theorem 4.4 tracks: counters written on the work
+    /// tape use `bits()` space.
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => (self.limbs.len() as u64 - 1) * 64 + (64 - hi.leading_zeros() as u64),
+        }
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// The value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (saturating to `f64::INFINITY` on overflow).
+    /// Used only for reporting growth curves.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Checked subtraction: `Some(self - other)` if `other <= self`.
+    pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            borrow = (b1 || b2) as u64;
+            limbs.push(d2);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut out = Natural { limbs };
+        out.normalize();
+        Some(out)
+    }
+
+    /// Monus (truncated subtraction): `max(0, self - other)`. This is the
+    /// multiplicity arithmetic of the paper's bag subtraction `−`
+    /// (`n = sup(0, p − q)`).
+    pub fn monus(&self, other: &Natural) -> Natural {
+        self.checked_sub(other).unwrap_or_default()
+    }
+
+    /// In-place doubling; used by powerset cardinality prediction.
+    pub fn double(&mut self) {
+        let mut carry = 0u64;
+        for limb in &mut self.limbs {
+            let new_carry = *limb >> 63;
+            *limb = (*limb << 1) | carry;
+            carry = new_carry;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self + 1`.
+    pub fn succ(&self) -> Natural {
+        self + &Natural::one()
+    }
+
+    /// `2^exp`.
+    pub fn pow2(exp: u64) -> Natural {
+        let mut limbs = vec![0u64; (exp / 64) as usize];
+        limbs.push(1u64 << (exp % 64));
+        Natural { limbs }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u64) -> Natural {
+        let mut base = self.clone();
+        let mut acc = Natural::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Multiply by a `u64` in place.
+    pub fn mul_u64(&mut self, rhs: u64) {
+        if rhs == 0 {
+            self.limbs.clear();
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let prod = *limb as u128 * rhs as u128 + carry;
+            *limb = prod as u64;
+            carry = prod >> 64;
+        }
+        if carry != 0 {
+            self.limbs.push(carry as u64);
+        }
+    }
+
+    /// Divide by a nonzero `u64`, returning `(quotient, remainder)`.
+    pub fn divmod_u64(&self, rhs: u64) -> (Natural, u64) {
+        assert!(rhs != 0, "division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quot[i] = (cur / rhs as u128) as u64;
+            rem = cur % rhs as u128;
+        }
+        let mut q = Natural { limbs: quot };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Exact division by a nonzero `u64`; panics (debug) if inexact.
+    pub fn div_exact_u64(&self, rhs: u64) -> Natural {
+        let (q, r) = self.divmod_u64(rhs);
+        debug_assert_eq!(r, 0, "div_exact_u64: inexact division");
+        q
+    }
+
+    /// Binomial coefficient `C(n, k)` where `n` is arbitrary precision.
+    ///
+    /// The powerbag `P_b` creates `C(m, j)` occurrences of a subbag choosing
+    /// `j` of `m` duplicate occurrences (Definition 5.1); this computes that
+    /// multiplicity directly instead of materializing the renaming `H`.
+    pub fn binomial(n: &Natural, k: u64) -> Natural {
+        // C(n, k) = Π_{i=1..k} (n - k + i) / i, computed left to right so
+        // every intermediate division is exact.
+        if let Some(small) = n.to_u64() {
+            if k > small {
+                return Natural::zero();
+            }
+        }
+        let mut acc = Natural::one();
+        let mut factor = n.monus(&Natural::from(k));
+        for i in 1..=k {
+            factor += &Natural::one();
+            acc = &acc * &factor;
+            acc = acc.div_exact_u64(i);
+        }
+        acc
+    }
+
+    /// Decimal string, chunked through `u64` divisions.
+    fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.divmod_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = chunks.pop().map(|c| c.to_string()).unwrap_or_default();
+        for c in chunks.into_iter().rev() {
+            out.push_str(&format!("{c:019}"));
+        }
+        out
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(v: u64) -> Self {
+        let mut n = Natural { limbs: vec![v] };
+        n.normalize();
+        n
+    }
+}
+
+impl From<u32> for Natural {
+    fn from(v: u32) -> Self {
+        Natural::from(v as u64)
+    }
+}
+
+impl From<usize> for Natural {
+    fn from(v: usize) -> Self {
+        Natural::from(v as u64)
+    }
+}
+
+impl From<u128> for Natural {
+    fn from(v: u128) -> Self {
+        let mut n = Natural {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        };
+        n.normalize();
+        n
+    }
+}
+
+impl Ord for Natural {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl PartialOrd for Natural {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<&Natural> for &Natural {
+    type Output = Natural;
+    fn add(self, rhs: &Natural) -> Natural {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long.limbs[i].overflowing_add(rhs_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            carry = (c1 || c2) as u64;
+            limbs.push(s2);
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        Natural { limbs }
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(self, rhs: Natural) -> Natural {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Natural> for Natural {
+    fn add_assign(&mut self, rhs: &Natural) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&Natural> for &Natural {
+    type Output = Natural;
+    /// Monus semantics: saturates at zero, matching bag subtraction.
+    fn sub(self, rhs: &Natural) -> Natural {
+        self.monus(rhs)
+    }
+}
+
+impl Mul<&Natural> for &Natural {
+    type Output = Natural;
+    fn mul(self, rhs: &Natural) -> Natural {
+        if self.is_zero() || rhs.is_zero() {
+            return Natural::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + a as u128 * b as u128 + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = limbs[k] as u128 + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut out = Natural { limbs };
+        out.normalize();
+        out
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Natural> for Natural {
+    fn mul_assign(&mut self, rhs: &Natural) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Sum for Natural {
+    fn sum<I: Iterator<Item = Natural>>(iter: I) -> Natural {
+        iter.fold(Natural::zero(), |acc, x| &acc + &x)
+    }
+}
+
+impl<'a> Sum<&'a Natural> for Natural {
+    fn sum<I: Iterator<Item = &'a Natural>>(iter: I) -> Natural {
+        iter.fold(Natural::zero(), |acc, x| &acc + x)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "", &self.to_decimal())
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error parsing a decimal string into a [`Natural`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNaturalError;
+
+impl fmt::Display for ParseNaturalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid decimal natural number")
+    }
+}
+
+impl std::error::Error for ParseNaturalError {}
+
+impl FromStr for Natural {
+    type Err = ParseNaturalError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNaturalError);
+        }
+        let mut acc = Natural::zero();
+        for b in s.bytes() {
+            acc.mul_u64(10);
+            acc += &Natural::from((b - b'0') as u64);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> Natural {
+        Natural::from(v)
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        assert!(Natural::zero().is_zero());
+        assert_eq!(Natural::from(0u64), Natural::zero());
+        assert_eq!(Natural::zero().bits(), 0);
+        assert_eq!(n(5).monus(&n(9)), Natural::zero());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let max = Natural::from(u64::MAX);
+        let sum = &max + &n(1);
+        assert_eq!(sum.to_u128(), Some(u64::MAX as u128 + 1));
+        assert_eq!(sum.bits(), 65);
+    }
+
+    #[test]
+    fn sub_monus_semantics() {
+        assert_eq!(n(10).monus(&n(3)), n(7));
+        assert_eq!(n(3).monus(&n(10)), n(0));
+        let big = Natural::pow2(200);
+        let small = Natural::pow2(100);
+        let diff = big.monus(&small);
+        assert_eq!(&diff + &small, Natural::pow2(200));
+    }
+
+    #[test]
+    fn checked_sub_none_when_underflow() {
+        assert_eq!(n(3).checked_sub(&n(4)), None);
+        assert_eq!(n(4).checked_sub(&n(4)), Some(n(0)));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 123_456_789_012_345u64;
+        let b = 987_654_321_098_765u64;
+        let prod = &n(a) * &n(b);
+        assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn mul_large() {
+        // (2^100)^2 = 2^200
+        let x = Natural::pow2(100);
+        assert_eq!(&x * &x, Natural::pow2(200));
+    }
+
+    #[test]
+    fn pow_and_pow2_agree() {
+        assert_eq!(n(2).pow(77), Natural::pow2(77));
+        assert_eq!(n(3).pow(5), n(243));
+        assert_eq!(n(10).pow(0), n(1));
+        assert_eq!(n(0).pow(0), n(1)); // convention: 0^0 = 1
+        assert_eq!(n(0).pow(3), n(0));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(n(5) < n(6));
+        assert!(Natural::pow2(64) > Natural::from(u64::MAX));
+        assert!(Natural::pow2(128) > Natural::pow2(127));
+        let mut v = [Natural::pow2(70), n(3), Natural::pow2(64), n(0)];
+        v.sort();
+        assert_eq!(v[0], n(0));
+        assert_eq!(v[3], Natural::pow2(70));
+    }
+
+    #[test]
+    fn divmod_roundtrip() {
+        let x = Natural::from_str("123456789012345678901234567890").unwrap();
+        let (q, r) = x.divmod_u64(97);
+        let mut back = q.clone();
+        back.mul_u64(97);
+        back += &Natural::from(r);
+        assert_eq!(back, x);
+        assert!(r < 97);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let x = Natural::from_str(s).unwrap();
+            assert_eq!(x.to_string(), s);
+        }
+        assert!(Natural::from_str("").is_err());
+        assert!(Natural::from_str("12a").is_err());
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert_eq!(Natural::binomial(&n(5), 2), n(10));
+        assert_eq!(Natural::binomial(&n(5), 0), n(1));
+        assert_eq!(Natural::binomial(&n(5), 5), n(1));
+        assert_eq!(Natural::binomial(&n(5), 6), n(0));
+        assert_eq!(Natural::binomial(&n(52), 5), n(2_598_960));
+    }
+
+    #[test]
+    fn binomial_row_sums_to_pow2() {
+        // Σ_j C(m, j) = 2^m — the powerbag cardinality identity used in E3.
+        for m in [0u64, 1, 7, 20] {
+            let total: Natural = (0..=m).map(|j| Natural::binomial(&n(m), j)).sum();
+            assert_eq!(total, Natural::pow2(m));
+        }
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(n(1).bits(), 1);
+        assert_eq!(n(255).bits(), 8);
+        assert_eq!(n(256).bits(), 9);
+        assert_eq!(Natural::pow2(64).bits(), 65);
+    }
+
+    #[test]
+    fn double_and_succ() {
+        let mut x = n(3);
+        x.double();
+        assert_eq!(x, n(6));
+        let mut y = Natural::from(u64::MAX);
+        y.double();
+        assert_eq!(y.to_u128(), Some(u64::MAX as u128 * 2));
+        assert_eq!(n(0).succ(), n(1));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Natural = (1..=10u64).map(Natural::from).sum();
+        assert_eq!(total, n(55));
+    }
+
+    #[test]
+    fn to_f64_reports_magnitude() {
+        assert_eq!(n(42).to_f64(), 42.0);
+        let big = Natural::pow2(100);
+        let approx = big.to_f64();
+        assert!((approx / 2f64.powi(100) - 1.0).abs() < 1e-10);
+        assert_eq!(Natural::pow2(5000).to_f64(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,982 @@
+//! Algebraic rewriting: the optimization rules Section 3 alludes to
+//! ("these properties can be used to define rewriting rules, to optimize
+//! queries over bags, in the same spirit as optimization of queries over
+//! sets, by pushing down selections for instance").
+//!
+//! All rules are **multiplicity-exact** — bag semantics rules out several
+//! classical set rewrites (the paper cites [CV93] for how set-based
+//! conjunctive-query reasoning fails on bags), so each rule here preserves
+//! the full bag, not just the support:
+//!
+//! * selection fusion and pushdown (through `×` with attribute-range
+//!   analysis, and below `MAP`);
+//! * `ε` pushdown (`ε∘σ = σ∘ε`, `ε(A×B) = ε(A)×ε(B)`,
+//!   `ε(A ∪⁺ B) = ε(A) ∪ ε(B)`, …);
+//! * MAP fusion (`MAP_f ∘ MAP_g = MAP_{f∘g}`) and identity elimination;
+//! * empty-bag and idempotence simplifications;
+//! * constant folding of closed, powerset-free subexpressions.
+//!
+//! The rewriter assumes the input expression **type checks** against the
+//! schema it is given: simplifications such as `∅ × e → ∅` erase shape
+//! errors an ill-typed `e` would have raised.
+
+use std::collections::BTreeSet;
+
+use crate::bag::Bag;
+use crate::eval::{Evaluator, Limits};
+use crate::expr::{Expr, Pred, Var};
+use crate::schema::{Database, Schema};
+use crate::typecheck::infer_type;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Rewrite `expr` to a cheaper equivalent, using `schema` for the
+/// attribute-range analysis of selection pushdown through products.
+///
+/// Runs bottom-up passes to a fixpoint (bounded), so the result is stable:
+/// `optimize(optimize(e)) == optimize(e)`.
+pub fn optimize(expr: &Expr, schema: &Schema) -> Expr {
+    let mut current = expr.clone();
+    for _ in 0..12 {
+        let (next, changed) = pass(&current, schema);
+        current = next;
+        if !changed {
+            break;
+        }
+    }
+    current
+}
+
+/// One bottom-up pass.
+fn pass(expr: &Expr, schema: &Schema) -> (Expr, bool) {
+    // Rewrite children first.
+    let (node, mut changed) = rebuild_children(expr, schema);
+    // Then the node itself, repeatedly while local rules fire.
+    let mut node = node;
+    loop {
+        match apply_rules(node, schema) {
+            (next, true) => {
+                node = next;
+                changed = true;
+            }
+            (next, false) => return (next, changed),
+        }
+    }
+}
+
+fn rebuild_children(expr: &Expr, schema: &Schema) -> (Expr, bool) {
+    let mut changed = false;
+    let mut rw = |e: &Expr| {
+        let (out, c) = pass(e, schema);
+        changed |= c;
+        Box::new(out)
+    };
+    let out = match expr {
+        Expr::Var(_) | Expr::Lit(_) => expr.clone(),
+        Expr::AdditiveUnion(a, b) => Expr::AdditiveUnion(rw(a), rw(b)),
+        Expr::Subtract(a, b) => Expr::Subtract(rw(a), rw(b)),
+        Expr::MaxUnion(a, b) => Expr::MaxUnion(rw(a), rw(b)),
+        Expr::Intersect(a, b) => Expr::Intersect(rw(a), rw(b)),
+        Expr::Product(a, b) => Expr::Product(rw(a), rw(b)),
+        Expr::Tuple(fields) => Expr::Tuple(fields.iter().map(|f| *rw(f)).collect()),
+        Expr::Singleton(e) => Expr::Singleton(rw(e)),
+        Expr::Powerset(e) => Expr::Powerset(rw(e)),
+        Expr::Powerbag(e) => Expr::Powerbag(rw(e)),
+        Expr::Attr(e, i) => Expr::Attr(rw(e), *i),
+        Expr::Destroy(e) => Expr::Destroy(rw(e)),
+        Expr::Dedup(e) => Expr::Dedup(rw(e)),
+        Expr::Map { var, body, input } => Expr::Map {
+            var: var.clone(),
+            body: rw(body),
+            input: rw(input),
+        },
+        Expr::Select { var, pred, input } => {
+            let input = rw(input);
+            Expr::Select {
+                var: var.clone(),
+                pred: Box::new(rewrite_pred(pred, schema, &mut changed)),
+                input,
+            }
+        }
+        Expr::Ifp { var, body, input } => Expr::Ifp {
+            var: var.clone(),
+            body: rw(body),
+            input: rw(input),
+        },
+        Expr::Nest { group, input } => Expr::Nest {
+            group: group.clone(),
+            input: rw(input),
+        },
+    };
+    (out, changed)
+}
+
+fn rewrite_pred(pred: &Pred, schema: &Schema, changed: &mut bool) -> Pred {
+    let mut rw = |e: &Expr| {
+        let (out, c) = pass(e, schema);
+        *changed |= c;
+        out
+    };
+    match pred {
+        Pred::True => Pred::True,
+        Pred::Eq(a, b) => Pred::Eq(rw(a), rw(b)),
+        Pred::Lt(a, b) => Pred::Lt(rw(a), rw(b)),
+        Pred::Le(a, b) => Pred::Le(rw(a), rw(b)),
+        Pred::Member(a, b) => Pred::Member(rw(a), rw(b)),
+        Pred::SubBag(a, b) => Pred::SubBag(rw(a), rw(b)),
+        Pred::Not(p) => Pred::Not(Box::new(rewrite_pred(p, schema, changed))),
+        Pred::And(a, b) => Pred::And(
+            Box::new(rewrite_pred(a, schema, changed)),
+            Box::new(rewrite_pred(b, schema, changed)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(rewrite_pred(a, schema, changed)),
+            Box::new(rewrite_pred(b, schema, changed)),
+        ),
+    }
+}
+
+fn is_empty_lit(expr: &Expr) -> bool {
+    matches!(expr, Expr::Lit(Value::Bag(bag)) if bag.is_empty())
+}
+
+fn empty() -> Expr {
+    Expr::Lit(Value::Bag(Bag::new()))
+}
+
+/// All binder names occurring anywhere in the expression.
+fn binders(expr: &Expr) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    expr.visit(&mut |e| match e {
+        Expr::Map { var, .. } | Expr::Select { var, .. } | Expr::Ifp { var, .. } => {
+            out.insert(var.clone());
+        }
+        _ => {}
+    });
+    out
+}
+
+fn pred_binders(pred: &Pred) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    pred.visit_exprs(&mut |e| out.extend(binders(e)));
+    out
+}
+
+/// Capture-safe substitution of free `var` by `replacement`; `None` when
+/// a binder in the target could capture a free variable of the
+/// replacement (conservative).
+fn subst(expr: &Expr, var: &Var, replacement: &Expr) -> Option<Expr> {
+    let replacement_free: BTreeSet<Var> = replacement.free_vars().into_iter().collect();
+    if binders(expr).intersection(&replacement_free).next().is_some() {
+        return None;
+    }
+    Some(subst_unchecked(expr, var, replacement))
+}
+
+fn subst_unchecked(expr: &Expr, var: &Var, replacement: &Expr) -> Expr {
+    match expr {
+        Expr::Var(name) if name == var => replacement.clone(),
+        Expr::Var(_) | Expr::Lit(_) => expr.clone(),
+        Expr::AdditiveUnion(a, b) => Expr::AdditiveUnion(
+            Box::new(subst_unchecked(a, var, replacement)),
+            Box::new(subst_unchecked(b, var, replacement)),
+        ),
+        Expr::Subtract(a, b) => Expr::Subtract(
+            Box::new(subst_unchecked(a, var, replacement)),
+            Box::new(subst_unchecked(b, var, replacement)),
+        ),
+        Expr::MaxUnion(a, b) => Expr::MaxUnion(
+            Box::new(subst_unchecked(a, var, replacement)),
+            Box::new(subst_unchecked(b, var, replacement)),
+        ),
+        Expr::Intersect(a, b) => Expr::Intersect(
+            Box::new(subst_unchecked(a, var, replacement)),
+            Box::new(subst_unchecked(b, var, replacement)),
+        ),
+        Expr::Product(a, b) => Expr::Product(
+            Box::new(subst_unchecked(a, var, replacement)),
+            Box::new(subst_unchecked(b, var, replacement)),
+        ),
+        Expr::Tuple(fields) => Expr::Tuple(
+            fields
+                .iter()
+                .map(|f| subst_unchecked(f, var, replacement))
+                .collect(),
+        ),
+        Expr::Singleton(e) => Expr::Singleton(Box::new(subst_unchecked(e, var, replacement))),
+        Expr::Powerset(e) => Expr::Powerset(Box::new(subst_unchecked(e, var, replacement))),
+        Expr::Powerbag(e) => Expr::Powerbag(Box::new(subst_unchecked(e, var, replacement))),
+        Expr::Attr(e, i) => Expr::Attr(Box::new(subst_unchecked(e, var, replacement)), *i),
+        Expr::Destroy(e) => Expr::Destroy(Box::new(subst_unchecked(e, var, replacement))),
+        Expr::Dedup(e) => Expr::Dedup(Box::new(subst_unchecked(e, var, replacement))),
+        Expr::Map {
+            var: bound,
+            body,
+            input,
+        } => {
+            let input = Box::new(subst_unchecked(input, var, replacement));
+            let body = if bound == var {
+                body.clone() // shadowed
+            } else {
+                Box::new(subst_unchecked(body, var, replacement))
+            };
+            Expr::Map {
+                var: bound.clone(),
+                body,
+                input,
+            }
+        }
+        Expr::Select {
+            var: bound,
+            pred,
+            input,
+        } => {
+            let input = Box::new(subst_unchecked(input, var, replacement));
+            let pred = if bound == var {
+                pred.clone()
+            } else {
+                Box::new(subst_pred_unchecked(pred, var, replacement))
+            };
+            Expr::Select {
+                var: bound.clone(),
+                pred,
+                input,
+            }
+        }
+        Expr::Ifp {
+            var: bound,
+            body,
+            input,
+        } => {
+            let input = Box::new(subst_unchecked(input, var, replacement));
+            let body = if bound == var {
+                body.clone()
+            } else {
+                Box::new(subst_unchecked(body, var, replacement))
+            };
+            Expr::Ifp {
+                var: bound.clone(),
+                body,
+                input,
+            }
+        }
+        Expr::Nest { group, input } => Expr::Nest {
+            group: group.clone(),
+            input: Box::new(subst_unchecked(input, var, replacement)),
+        },
+    }
+}
+
+fn subst_pred(pred: &Pred, var: &Var, replacement: &Expr) -> Option<Pred> {
+    let replacement_free: BTreeSet<Var> = replacement.free_vars().into_iter().collect();
+    if pred_binders(pred)
+        .intersection(&replacement_free)
+        .next()
+        .is_some()
+    {
+        return None;
+    }
+    Some(subst_pred_unchecked(pred, var, replacement))
+}
+
+fn subst_pred_unchecked(pred: &Pred, var: &Var, replacement: &Expr) -> Pred {
+    match pred {
+        Pred::True => Pred::True,
+        Pred::Eq(a, b) => Pred::Eq(
+            subst_unchecked(a, var, replacement),
+            subst_unchecked(b, var, replacement),
+        ),
+        Pred::Lt(a, b) => Pred::Lt(
+            subst_unchecked(a, var, replacement),
+            subst_unchecked(b, var, replacement),
+        ),
+        Pred::Le(a, b) => Pred::Le(
+            subst_unchecked(a, var, replacement),
+            subst_unchecked(b, var, replacement),
+        ),
+        Pred::Member(a, b) => Pred::Member(
+            subst_unchecked(a, var, replacement),
+            subst_unchecked(b, var, replacement),
+        ),
+        Pred::SubBag(a, b) => Pred::SubBag(
+            subst_unchecked(a, var, replacement),
+            subst_unchecked(b, var, replacement),
+        ),
+        Pred::Not(p) => Pred::Not(Box::new(subst_pred_unchecked(p, var, replacement))),
+        Pred::And(a, b) => Pred::And(
+            Box::new(subst_pred_unchecked(a, var, replacement)),
+            Box::new(subst_pred_unchecked(b, var, replacement)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(subst_pred_unchecked(a, var, replacement)),
+            Box::new(subst_pred_unchecked(b, var, replacement)),
+        ),
+    }
+}
+
+/// Local rules at one node. Returns `(expr, changed)`.
+fn apply_rules(expr: Expr, schema: &Schema) -> (Expr, bool) {
+    match expr {
+        // --- selection rules -------------------------------------------
+        Expr::Select { pred, input, .. } if matches!(*pred, Pred::True) => (*input, true),
+        Expr::Select { input, .. } if is_empty_lit(&input) => (empty(), true),
+        // Fuse σ_p(σ_q(e)): rename q's variable to p's.
+        Expr::Select {
+            var: outer_var,
+            pred: outer_pred,
+            input,
+        } if matches!(*input, Expr::Select { .. }) => {
+            let Expr::Select {
+                var: inner_var,
+                pred: inner_pred,
+                input: inner_input,
+            } = *input
+            else {
+                unreachable!("guarded by matches!")
+            };
+            let renamed = if inner_var == outer_var {
+                Some(*inner_pred.clone())
+            } else {
+                subst_pred(&inner_pred, &inner_var, &Expr::Var(outer_var.clone()))
+            };
+            match renamed {
+                Some(inner) => (
+                    Expr::Select {
+                        var: outer_var,
+                        pred: Box::new(Pred::And(outer_pred, Box::new(inner))),
+                        input: inner_input,
+                    },
+                    true,
+                ),
+                None => (
+                    Expr::Select {
+                        var: outer_var,
+                        pred: outer_pred,
+                        input: Box::new(Expr::Select {
+                            var: inner_var,
+                            pred: inner_pred,
+                            input: inner_input,
+                        }),
+                    },
+                    false,
+                ),
+            }
+        }
+        // Push σ below MAP: σ_p(MAP_f(e)) = MAP_f(σ_{p[x := f]}(e)).
+        Expr::Select {
+            var: select_var,
+            pred,
+            input,
+        } if matches!(*input, Expr::Map { .. }) => {
+            let Expr::Map {
+                var: map_var,
+                body,
+                input: map_input,
+            } = *input
+            else {
+                unreachable!("guarded by matches!")
+            };
+            match subst_pred(&pred, &select_var, &body) {
+                Some(pushed) => (
+                    Expr::Map {
+                        var: map_var.clone(),
+                        body,
+                        input: Box::new(Expr::Select {
+                            var: map_var,
+                            pred: Box::new(pushed),
+                            input: map_input,
+                        }),
+                    },
+                    true,
+                ),
+                None => (
+                    Expr::Select {
+                        var: select_var,
+                        pred,
+                        input: Box::new(Expr::Map {
+                            var: map_var,
+                            body,
+                            input: map_input,
+                        }),
+                    },
+                    false,
+                ),
+            }
+        }
+        // Push σ through × when the predicate touches one side only.
+        Expr::Select {
+            var,
+            pred,
+            input,
+        } if matches!(*input, Expr::Product(_, _)) => {
+            let Expr::Product(left, right) = *input else {
+                unreachable!("guarded by matches!")
+            };
+            push_select_through_product(var, *pred, *left, *right, schema)
+        }
+
+        // --- dedup rules -------------------------------------------------
+        Expr::Dedup(e) if matches!(*e, Expr::Dedup(_)) => (*e, true),
+        Expr::Dedup(e) if is_empty_lit(&e) => (empty(), true),
+        Expr::Dedup(e) if matches!(*e, Expr::Select { .. }) => {
+            let Expr::Select { var, pred, input } = *e else {
+                unreachable!("guarded by matches!")
+            };
+            (
+                Expr::Select {
+                    var,
+                    pred,
+                    input: Box::new(Expr::Dedup(input)),
+                },
+                true,
+            )
+        }
+        Expr::Dedup(e) if matches!(*e, Expr::Product(_, _)) => {
+            let Expr::Product(a, b) = *e else {
+                unreachable!("guarded by matches!")
+            };
+            (
+                Expr::Product(Box::new(Expr::Dedup(a)), Box::new(Expr::Dedup(b))),
+                true,
+            )
+        }
+        Expr::Dedup(e) if matches!(*e, Expr::MaxUnion(_, _) | Expr::AdditiveUnion(_, _)) => {
+            let (a, b) = match *e {
+                Expr::MaxUnion(a, b) | Expr::AdditiveUnion(a, b) => (a, b),
+                _ => unreachable!("guarded by matches!"),
+            };
+            // ε(A ∪ B) = ε(A ∪⁺ B) = ε(A) ∪ ε(B): support union.
+            (
+                Expr::MaxUnion(Box::new(Expr::Dedup(a)), Box::new(Expr::Dedup(b))),
+                true,
+            )
+        }
+
+        // --- MAP rules ---------------------------------------------------
+        Expr::Map { input, .. } if is_empty_lit(&input) => (empty(), true),
+        // Identity map.
+        Expr::Map { var, body, input } if *body == Expr::Var(var.clone()) => {
+            let _ = var;
+            (*input, true)
+        }
+        // Fusion MAP_f(MAP_g(e)) → MAP_{f[x:=g]}(e).
+        Expr::Map {
+            var: outer_var,
+            body: outer_body,
+            input,
+        } if matches!(*input, Expr::Map { .. }) => {
+            let Expr::Map {
+                var: inner_var,
+                body: inner_body,
+                input: inner_input,
+            } = *input
+            else {
+                unreachable!("guarded by matches!")
+            };
+            match subst(&outer_body, &outer_var, &inner_body) {
+                Some(fused) => (
+                    Expr::Map {
+                        var: inner_var,
+                        body: Box::new(fused),
+                        input: inner_input,
+                    },
+                    true,
+                ),
+                None => (
+                    Expr::Map {
+                        var: outer_var,
+                        body: outer_body,
+                        input: Box::new(Expr::Map {
+                            var: inner_var,
+                            body: inner_body,
+                            input: inner_input,
+                        }),
+                    },
+                    false,
+                ),
+            }
+        }
+
+        // --- empty-bag propagation & idempotence ------------------------
+        Expr::AdditiveUnion(a, b) if is_empty_lit(&a) => (*b, true),
+        Expr::AdditiveUnion(a, b) if is_empty_lit(&b) => (*a, true),
+        Expr::MaxUnion(a, b) if is_empty_lit(&a) => (*b, true),
+        Expr::MaxUnion(a, b) if is_empty_lit(&b) => (*a, true),
+        Expr::MaxUnion(a, b) if a == b => (*a, true),
+        Expr::Intersect(a, b) if is_empty_lit(&a) || is_empty_lit(&b) => (empty(), true),
+        Expr::Intersect(a, b) if a == b => (*a, true),
+        Expr::Subtract(a, b) if is_empty_lit(&b) => (*a, true),
+        Expr::Subtract(a, b) if is_empty_lit(&a) || a == b => (empty(), true),
+        Expr::Product(a, b) if is_empty_lit(&a) || is_empty_lit(&b) => (empty(), true),
+        Expr::Destroy(e) if is_empty_lit(&e) => (empty(), true),
+
+        // --- constant folding -------------------------------------------
+        other => try_fold(other),
+    }
+}
+
+/// Attribute usage of `var` in a predicate: `Some(indices)` when every
+/// occurrence is under `αᵢ(var)`, `None` when the variable is used bare
+/// or rebound (no pushdown possible).
+fn attr_usage(pred: &Pred, var: &Var) -> Option<BTreeSet<usize>> {
+    if pred_binders(pred).contains(var) {
+        return None;
+    }
+    let mut indices = BTreeSet::new();
+    let mut ok = true;
+    pred.visit_exprs(&mut |e| collect_usage(e, var, &mut indices, &mut ok));
+    if ok {
+        Some(indices)
+    } else {
+        None
+    }
+}
+
+fn collect_usage(expr: &Expr, var: &Var, indices: &mut BTreeSet<usize>, ok: &mut bool) {
+    match expr {
+        Expr::Attr(inner, i) if **inner == Expr::Var(var.clone()) => {
+            indices.insert(*i);
+        }
+        Expr::Var(name) if name == var => {
+            *ok = false; // bare use of the row variable
+        }
+        _ => {
+            // Recurse manually over children (visit would re-enter Attr).
+            match expr {
+                Expr::Var(_) | Expr::Lit(_) => {}
+                Expr::AdditiveUnion(a, b)
+                | Expr::Subtract(a, b)
+                | Expr::MaxUnion(a, b)
+                | Expr::Intersect(a, b)
+                | Expr::Product(a, b) => {
+                    collect_usage(a, var, indices, ok);
+                    collect_usage(b, var, indices, ok);
+                }
+                Expr::Tuple(fields) => {
+                    for field in fields {
+                        collect_usage(field, var, indices, ok);
+                    }
+                }
+                Expr::Singleton(e)
+                | Expr::Powerset(e)
+                | Expr::Powerbag(e)
+                | Expr::Destroy(e)
+                | Expr::Dedup(e) => collect_usage(e, var, indices, ok),
+                Expr::Attr(e, _) => collect_usage(e, var, indices, ok),
+                Expr::Map { var: bound, body, input }
+                | Expr::Ifp { var: bound, body, input } => {
+                    collect_usage(input, var, indices, ok);
+                    if bound != var {
+                        collect_usage(body, var, indices, ok);
+                    }
+                }
+                Expr::Select { var: bound, pred, input } => {
+                    collect_usage(input, var, indices, ok);
+                    if bound != var {
+                        pred.visit_exprs(&mut |e| collect_usage(e, var, indices, ok));
+                    }
+                }
+                Expr::Nest { input, .. } => collect_usage(input, var, indices, ok),
+            }
+        }
+    }
+}
+
+/// Arity of a bag-of-tuples expression under the schema, if derivable.
+fn arity_of(expr: &Expr, schema: &Schema) -> Option<usize> {
+    match infer_type(expr, schema).ok()? {
+        Type::Bag(inner) => match *inner {
+            Type::Tuple(fields) => Some(fields.len()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Shift every `αᵢ(var)` in the predicate down by `offset`.
+fn shift_attrs(pred: &Pred, var: &Var, offset: usize) -> Pred {
+    fn shift_expr(expr: &Expr, var: &Var, offset: usize) -> Expr {
+        match expr {
+            Expr::Attr(inner, i) if **inner == Expr::Var(var.clone()) => {
+                Expr::Attr(inner.clone(), i - offset)
+            }
+            Expr::Var(_) | Expr::Lit(_) => expr.clone(),
+            Expr::AdditiveUnion(a, b) => Expr::AdditiveUnion(
+                Box::new(shift_expr(a, var, offset)),
+                Box::new(shift_expr(b, var, offset)),
+            ),
+            Expr::Subtract(a, b) => Expr::Subtract(
+                Box::new(shift_expr(a, var, offset)),
+                Box::new(shift_expr(b, var, offset)),
+            ),
+            Expr::MaxUnion(a, b) => Expr::MaxUnion(
+                Box::new(shift_expr(a, var, offset)),
+                Box::new(shift_expr(b, var, offset)),
+            ),
+            Expr::Intersect(a, b) => Expr::Intersect(
+                Box::new(shift_expr(a, var, offset)),
+                Box::new(shift_expr(b, var, offset)),
+            ),
+            Expr::Product(a, b) => Expr::Product(
+                Box::new(shift_expr(a, var, offset)),
+                Box::new(shift_expr(b, var, offset)),
+            ),
+            Expr::Tuple(fields) => {
+                Expr::Tuple(fields.iter().map(|f| shift_expr(f, var, offset)).collect())
+            }
+            Expr::Singleton(e) => Expr::Singleton(Box::new(shift_expr(e, var, offset))),
+            Expr::Powerset(e) => Expr::Powerset(Box::new(shift_expr(e, var, offset))),
+            Expr::Powerbag(e) => Expr::Powerbag(Box::new(shift_expr(e, var, offset))),
+            Expr::Attr(e, i) => Expr::Attr(Box::new(shift_expr(e, var, offset)), *i),
+            Expr::Destroy(e) => Expr::Destroy(Box::new(shift_expr(e, var, offset))),
+            Expr::Dedup(e) => Expr::Dedup(Box::new(shift_expr(e, var, offset))),
+            // Binders shadowing `var` were excluded by attr_usage.
+            Expr::Map { var: v, body, input } => Expr::Map {
+                var: v.clone(),
+                body: Box::new(shift_expr(body, var, offset)),
+                input: Box::new(shift_expr(input, var, offset)),
+            },
+            Expr::Select { var: v, pred, input } => Expr::Select {
+                var: v.clone(),
+                pred: Box::new(shift_pred(pred, var, offset)),
+                input: Box::new(shift_expr(input, var, offset)),
+            },
+            Expr::Ifp { var: v, body, input } => Expr::Ifp {
+                var: v.clone(),
+                body: Box::new(shift_expr(body, var, offset)),
+                input: Box::new(shift_expr(input, var, offset)),
+            },
+            Expr::Nest { group, input } => Expr::Nest {
+                group: group.clone(),
+                input: Box::new(shift_expr(input, var, offset)),
+            },
+        }
+    }
+    fn shift_pred(pred: &Pred, var: &Var, offset: usize) -> Pred {
+        match pred {
+            Pred::True => Pred::True,
+            Pred::Eq(a, b) => Pred::Eq(shift_expr(a, var, offset), shift_expr(b, var, offset)),
+            Pred::Lt(a, b) => Pred::Lt(shift_expr(a, var, offset), shift_expr(b, var, offset)),
+            Pred::Le(a, b) => Pred::Le(shift_expr(a, var, offset), shift_expr(b, var, offset)),
+            Pred::Member(a, b) => {
+                Pred::Member(shift_expr(a, var, offset), shift_expr(b, var, offset))
+            }
+            Pred::SubBag(a, b) => {
+                Pred::SubBag(shift_expr(a, var, offset), shift_expr(b, var, offset))
+            }
+            Pred::Not(p) => Pred::Not(Box::new(shift_pred(p, var, offset))),
+            Pred::And(a, b) => Pred::And(
+                Box::new(shift_pred(a, var, offset)),
+                Box::new(shift_pred(b, var, offset)),
+            ),
+            Pred::Or(a, b) => Pred::Or(
+                Box::new(shift_pred(a, var, offset)),
+                Box::new(shift_pred(b, var, offset)),
+            ),
+        }
+    }
+    shift_pred(pred, var, offset)
+}
+
+fn push_select_through_product(
+    var: Var,
+    pred: Pred,
+    left: Expr,
+    right: Expr,
+    schema: &Schema,
+) -> (Expr, bool) {
+    let unsplit = |var: Var, pred: Pred, left: Expr, right: Expr| Expr::Select {
+        var,
+        pred: Box::new(pred),
+        input: Box::new(Expr::Product(Box::new(left), Box::new(right))),
+    };
+    let Some(usage) = attr_usage(&pred, &var) else {
+        return (unsplit(var, pred, left, right), false);
+    };
+    let Some(left_arity) = arity_of(&left, schema) else {
+        return (unsplit(var, pred, left, right), false);
+    };
+    if usage.is_empty() {
+        return (unsplit(var, pred, left, right), false);
+    }
+    if usage.iter().all(|&i| i <= left_arity) {
+        // All attributes are from the left operand: σ commutes inside.
+        let pushed = Expr::Select {
+            var: var.clone(),
+            pred: Box::new(pred),
+            input: Box::new(left),
+        };
+        (Expr::Product(Box::new(pushed), Box::new(right)), true)
+    } else if usage.iter().all(|&i| i > left_arity) {
+        let shifted = shift_attrs(&pred, &var, left_arity);
+        let pushed = Expr::Select {
+            var: var.clone(),
+            pred: Box::new(shifted),
+            input: Box::new(right),
+        };
+        (Expr::Product(Box::new(left), Box::new(pushed)), true)
+    } else {
+        (unsplit(var, pred, left, right), false)
+    }
+}
+
+/// Fold a closed, powerset/fixpoint-free subexpression to a literal.
+fn try_fold(expr: Expr) -> (Expr, bool) {
+    if matches!(expr, Expr::Lit(_) | Expr::Var(_)) {
+        return (expr, false);
+    }
+    if expr.size() > 48 || !expr.free_vars().is_empty() {
+        return (expr, false);
+    }
+    let mut explosive = false;
+    expr.visit(&mut |e| {
+        if matches!(e, Expr::Powerset(_) | Expr::Powerbag(_) | Expr::Ifp { .. }) {
+            explosive = true;
+        }
+    });
+    if explosive {
+        return (expr, false);
+    }
+    let empty_db = Database::new();
+    let mut evaluator = Evaluator::new(&empty_db, Limits::small());
+    match evaluator.eval(&expr) {
+        Ok(value) => (Expr::Lit(value), true),
+        Err(_) => (expr, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_bag;
+    use crate::expr::{Expr, Pred};
+    use crate::natural::Natural;
+    use crate::types::Type;
+
+    fn graph_schema() -> Schema {
+        Schema::new()
+            .with("G", Type::relation(2))
+            .with("H", Type::relation(2))
+    }
+
+    fn graph_db() -> Database {
+        let mut g = Bag::new();
+        for (a, b, m) in [("a", "b", 2u64), ("b", "c", 1), ("c", "a", 3)] {
+            g.insert_with_multiplicity(
+                Value::tuple([Value::sym(a), Value::sym(b)]),
+                Natural::from(m),
+            );
+        }
+        let mut h = Bag::new();
+        h.insert(Value::tuple([Value::sym("b"), Value::sym("z")]));
+        Database::new().with("G", g).with("H", h)
+    }
+
+    /// Optimization must preserve the *bag*, not just the support.
+    fn assert_equivalent(q: &Expr) {
+        let schema = graph_schema();
+        let db = graph_db();
+        let optimized = optimize(q, &schema);
+        let before = eval_bag(q, &db).unwrap();
+        let after = eval_bag(&optimized, &db).unwrap();
+        assert_eq!(before, after, "optimize changed semantics of {q}");
+        // And be stable.
+        assert_eq!(optimize(&optimized, &schema), optimized);
+    }
+
+    #[test]
+    fn select_true_elided() {
+        let q = Expr::var("G").select("x", Pred::True);
+        let out = optimize(&q, &graph_schema());
+        assert_eq!(out, Expr::var("G"));
+    }
+
+    #[test]
+    fn select_fusion() {
+        let q = Expr::var("G")
+            .select("x", Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("a"))))
+            .select("y", Pred::eq(Expr::var("y").attr(2), Expr::lit(Value::sym("b"))));
+        let out = optimize(&q, &graph_schema());
+        // One Select remains.
+        let mut selects = 0;
+        out.visit(&mut |e| {
+            if matches!(e, Expr::Select { .. }) {
+                selects += 1;
+            }
+        });
+        assert_eq!(selects, 1, "{out}");
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn select_pushes_into_left_of_product() {
+        let q = Expr::var("G").product(Expr::var("H")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("a"))),
+        );
+        let out = optimize(&q, &graph_schema());
+        // The product must now be the outermost operator.
+        assert!(matches!(out, Expr::Product(_, _)), "{out}");
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn select_pushes_into_right_of_product_with_shift() {
+        let q = Expr::var("G").product(Expr::var("H")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(3), Expr::lit(Value::sym("b"))),
+        );
+        let out = optimize(&q, &graph_schema());
+        assert!(matches!(out, Expr::Product(_, _)), "{out}");
+        // The pushed predicate must reference α1 now.
+        let mut saw_attr1 = false;
+        out.visit(&mut |e| {
+            if let Expr::Select { pred, .. } = e {
+                pred.visit(&mut |inner| {
+                    if matches!(inner, Expr::Attr(_, 1)) {
+                        saw_attr1 = true;
+                    }
+                });
+            }
+        });
+        assert!(saw_attr1, "{out}");
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn mixed_predicate_not_pushed() {
+        // Join predicate touches both sides: stays put.
+        let q = Expr::var("G").product(Expr::var("H")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        );
+        let out = optimize(&q, &graph_schema());
+        assert!(matches!(out, Expr::Select { .. }), "{out}");
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn map_fusion_and_identity() {
+        let q = Expr::var("G").project(&[2, 1]).project(&[2, 1]);
+        let out = optimize(&q, &graph_schema());
+        let mut maps = 0;
+        out.visit(&mut |e| {
+            if matches!(e, Expr::Map { .. }) {
+                maps += 1;
+            }
+        });
+        assert_eq!(maps, 1, "{out}");
+        assert_equivalent(&q);
+
+        let identity = Expr::var("G").map("x", Expr::var("x"));
+        assert_eq!(optimize(&identity, &graph_schema()), Expr::var("G"));
+    }
+
+    #[test]
+    fn dedup_rules() {
+        let q = Expr::var("G").dedup().dedup();
+        let out = optimize(&q, &graph_schema());
+        let mut dedups = 0;
+        out.visit(&mut |e| {
+            if matches!(e, Expr::Dedup(_)) {
+                dedups += 1;
+            }
+        });
+        assert_eq!(dedups, 1);
+        assert_equivalent(&q);
+
+        let q2 = Expr::var("G").product(Expr::var("H")).dedup();
+        assert_equivalent(&q2);
+        let out2 = optimize(&q2, &graph_schema());
+        assert!(matches!(out2, Expr::Product(_, _)), "{out2}");
+
+        let q3 = Expr::var("G").additive_union(Expr::var("H")).dedup();
+        assert_equivalent(&q3);
+        let out3 = optimize(&q3, &graph_schema());
+        assert!(matches!(out3, Expr::MaxUnion(_, _)), "{out3}");
+    }
+
+    #[test]
+    fn empty_and_idempotence() {
+        let schema = graph_schema();
+        let empty = Expr::empty_bag();
+        assert_eq!(
+            optimize(&Expr::var("G").additive_union(empty.clone()), &schema),
+            Expr::var("G")
+        );
+        assert_eq!(
+            optimize(&Expr::var("G").product(empty.clone()), &schema),
+            empty
+        );
+        assert_eq!(
+            optimize(&Expr::var("G").intersect(Expr::var("G")), &schema),
+            Expr::var("G")
+        );
+        assert_eq!(
+            optimize(&Expr::var("G").subtract(Expr::var("G")), &schema),
+            empty
+        );
+    }
+
+    #[test]
+    fn constant_folding() {
+        let q = Expr::bag_lit([Value::tuple([Value::sym("a")])])
+            .additive_union(Expr::bag_lit([Value::tuple([Value::sym("a")])]));
+        let out = optimize(&q, &Schema::new());
+        match out {
+            Expr::Lit(Value::Bag(bag)) => {
+                assert_eq!(
+                    bag.multiplicity(&Value::tuple([Value::sym("a")])),
+                    Natural::from(2u64)
+                );
+            }
+            other => panic!("expected folded literal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn select_pushes_below_map() {
+        // σ_{α₁=a}(π₂,₁(G)) → π₂,₁(σ_{α₂=a}(G)).
+        let q = Expr::var("G").project(&[2, 1]).select(
+            "y",
+            Pred::eq(Expr::var("y").attr(1), Expr::lit(Value::sym("a"))),
+        );
+        let out = optimize(&q, &graph_schema());
+        // Outermost should now be the MAP.
+        assert!(matches!(out, Expr::Map { .. }), "{out}");
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn optimizer_reduces_work_on_join() {
+        use crate::eval::eval_with_metrics;
+        let schema = graph_schema();
+        let db = graph_db();
+        let q = Expr::var("G").product(Expr::var("H")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("a"))),
+        );
+        let optimized = optimize(&q, &schema);
+        let (r1, m1) = eval_with_metrics(&q, &db, Limits::default());
+        let (r2, m2) = eval_with_metrics(&optimized, &db, Limits::default());
+        assert_eq!(r1.unwrap(), r2.unwrap());
+        assert!(
+            m2.steps <= m1.steps,
+            "optimized used more steps ({} > {})",
+            m2.steps,
+            m1.steps
+        );
+    }
+
+    #[test]
+    fn shadowed_variables_are_respected() {
+        // Inner select binds the same name as an outer map variable.
+        let q = Expr::var("G")
+            .map(
+                "x",
+                Expr::tuple([Expr::var("x").attr(2), Expr::var("x").attr(1)]),
+            )
+            .select("x", Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("c"))));
+        assert_equivalent(&q);
+    }
+}

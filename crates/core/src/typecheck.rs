@@ -1,0 +1,602 @@
+//! Static typing and fragment analysis of BALG expressions.
+//!
+//! Beyond plain type inference, the checker computes the structural
+//! parameters the paper's hierarchy results are phrased in:
+//!
+//! * **bag nesting** of every intermediate type — membership in BALGᵏ
+//!   (Sections 4–6); BALG¹ additionally requires every type to be *strictly
+//!   unnested* (`U^k` or `⟦U^k⟧`, Section 4);
+//! * **power nesting** — the maximal number of powerset/powerbag operations
+//!   on a root-to-leaf path of the expression tree, defining the classes
+//!   BALGᵏᵢ of Theorem 6.2;
+//! * **extension flags** — powerbag `P_b`, inflationary fixpoint `IFP`, and
+//!   order predicates are not part of the core algebra and are tracked so
+//!   experiments can state exactly which fragment a query lives in.
+
+use std::fmt;
+
+use crate::expr::{Expr, Pred, Var};
+use crate::schema::Schema;
+use crate::types::Type;
+
+/// A static type error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable is neither λ-bound nor declared in the schema.
+    UnboundVariable(Var),
+    /// A bag operation was applied to a non-bag type.
+    NotABag(Type),
+    /// Cartesian product requires bags of tuples.
+    NotATupleBag(Type),
+    /// Attribute projection on a non-tuple type or out-of-range index.
+    BadAttribute {
+        /// 1-based requested index.
+        index: usize,
+        /// The offending type.
+        ty: Type,
+    },
+    /// Two sides of a union/difference/comparison have incompatible types.
+    Incompatible(Type, Type),
+    /// `δ` applied to a bag whose elements are not bags.
+    DestroyNeedsNestedBag(Type),
+    /// A literal value is not homogeneous (has no type).
+    IllTypedLiteral,
+    /// IFP body type incompatible with its accumulator.
+    IfpBodyMismatch(Type, Type),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(name) => write!(f, "unbound variable {name}"),
+            TypeError::NotABag(ty) => write!(f, "expected a bag type, got {ty}"),
+            TypeError::NotATupleBag(ty) => {
+                write!(f, "cartesian product needs a bag of tuples, got {ty}")
+            }
+            TypeError::BadAttribute { index, ty } => {
+                write!(f, "attribute α{index} invalid for type {ty}")
+            }
+            TypeError::Incompatible(a, b) => write!(f, "incompatible types {a} and {b}"),
+            TypeError::DestroyNeedsNestedBag(ty) => {
+                write!(f, "δ needs a bag of bags, got {ty}")
+            }
+            TypeError::IllTypedLiteral => f.write_str("heterogeneous literal bag has no type"),
+            TypeError::IfpBodyMismatch(a, b) => {
+                write!(f, "IFP body type {a} incompatible with accumulator {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// The result of analyzing a well-typed expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// The output type.
+    pub ty: Type,
+    /// Maximal bag nesting over every intermediate type (inputs included).
+    pub max_bag_nesting: usize,
+    /// `true` iff every intermediate type is `U^k` or `⟦U^k⟧` — the BALG¹
+    /// typing discipline of Section 4.
+    pub strictly_unnested: bool,
+    /// Maximal number of `P`/`P_b` on a root-to-leaf path (the power
+    /// nesting `i` of BALGᵏᵢ, Theorem 6.2).
+    pub power_nesting: usize,
+    /// Uses the powerbag extension (Definition 5.1).
+    pub uses_powerbag: bool,
+    /// Uses the inflationary fixpoint extension (Section 6).
+    pub uses_ifp: bool,
+    /// Uses order predicates `<`/`≤` on the domain.
+    pub uses_order: bool,
+    /// Uses duplicate elimination `ε` (relevant to Proposition 4.1).
+    pub uses_dedup: bool,
+    /// Uses subtraction `−` (relevant to Propositions 4.1–4.3).
+    pub uses_subtract: bool,
+    /// Uses powerset `P`.
+    pub uses_powerset: bool,
+    /// Uses the nest extension ([PG88], Conclusion).
+    pub uses_nest: bool,
+}
+
+impl Analysis {
+    /// The smallest `k` such that the expression is in BALGᵏ. By the
+    /// Section 4 convention, level 1 additionally demands strictly
+    /// unnested types.
+    pub fn balg_level(&self) -> usize {
+        if self.max_bag_nesting <= 1 && self.strictly_unnested {
+            1
+        } else {
+            self.max_bag_nesting.max(2)
+        }
+    }
+
+    /// `true` iff the expression is in BALGᵏ (and uses no extensions).
+    pub fn in_balg(&self, k: usize) -> bool {
+        self.is_core_balg() && self.balg_level() <= k
+    }
+
+    /// `true` iff only the paper's core BALG operations are used (no
+    /// powerbag, no IFP, no nest, no order predicates).
+    pub fn is_core_balg(&self) -> bool {
+        !self.uses_powerbag && !self.uses_ifp && !self.uses_order && !self.uses_nest
+    }
+}
+
+#[derive(Default)]
+struct State {
+    max_bag_nesting: usize,
+    strictly_unnested: bool,
+    uses_powerbag: bool,
+    uses_ifp: bool,
+    uses_order: bool,
+    uses_dedup: bool,
+    uses_subtract: bool,
+    uses_powerset: bool,
+    uses_nest: bool,
+}
+
+impl State {
+    fn observe(&mut self, ty: &Type) {
+        self.max_bag_nesting = self.max_bag_nesting.max(ty.bag_nesting());
+        if !ty.is_unnested() {
+            self.strictly_unnested = false;
+        }
+    }
+}
+
+/// Type-check `expr` against `schema` and compute its [`Analysis`].
+pub fn check(expr: &Expr, schema: &Schema) -> Result<Analysis, TypeError> {
+    let mut state = State {
+        strictly_unnested: true,
+        ..State::default()
+    };
+    let mut env: Vec<(Var, Type)> = Vec::new();
+    let (ty, power) = infer(expr, schema, &mut env, &mut state)?;
+    Ok(Analysis {
+        ty,
+        max_bag_nesting: state.max_bag_nesting,
+        strictly_unnested: state.strictly_unnested,
+        power_nesting: power,
+        uses_powerbag: state.uses_powerbag,
+        uses_ifp: state.uses_ifp,
+        uses_order: state.uses_order,
+        uses_dedup: state.uses_dedup,
+        uses_subtract: state.uses_subtract,
+        uses_powerset: state.uses_powerset,
+        uses_nest: state.uses_nest,
+    })
+}
+
+/// Infer only the output type of `expr` under `schema`.
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<Type, TypeError> {
+    check(expr, schema).map(|analysis| analysis.ty)
+}
+
+type Inferred = (Type, usize);
+
+fn infer(
+    expr: &Expr,
+    schema: &Schema,
+    env: &mut Vec<(Var, Type)>,
+    state: &mut State,
+) -> Result<Inferred, TypeError> {
+    let (ty, power) = match expr {
+        Expr::Var(name) => {
+            let ty = env
+                .iter()
+                .rev()
+                .find(|(bound, _)| bound == name)
+                .map(|(_, ty)| ty.clone())
+                .or_else(|| schema.get(name).cloned())
+                .ok_or_else(|| TypeError::UnboundVariable(name.clone()))?;
+            (ty, 0)
+        }
+        Expr::Lit(value) => {
+            let ty = value.infer_type().ok_or(TypeError::IllTypedLiteral)?;
+            (ty, 0)
+        }
+        Expr::AdditiveUnion(a, b)
+        | Expr::Subtract(a, b)
+        | Expr::MaxUnion(a, b)
+        | Expr::Intersect(a, b) => {
+            if matches!(expr, Expr::Subtract(_, _)) {
+                state.uses_subtract = true;
+            }
+            let (ta, pa) = infer(a, schema, env, state)?;
+            let (tb, pb) = infer(b, schema, env, state)?;
+            require_bag(&ta)?;
+            require_bag(&tb)?;
+            let unified = ta
+                .unify(&tb)
+                .ok_or_else(|| TypeError::Incompatible(ta.clone(), tb.clone()))?;
+            (unified, pa.max(pb))
+        }
+        Expr::Tuple(fields) => {
+            let mut tys = Vec::with_capacity(fields.len());
+            let mut power = 0;
+            for field in fields {
+                let (ty, p) = infer(field, schema, env, state)?;
+                tys.push(ty);
+                power = power.max(p);
+            }
+            (Type::Tuple(tys), power)
+        }
+        Expr::Singleton(e) => {
+            let (ty, p) = infer(e, schema, env, state)?;
+            (Type::bag(ty), p)
+        }
+        Expr::Product(a, b) => {
+            let (ta, pa) = infer(a, schema, env, state)?;
+            let (tb, pb) = infer(b, schema, env, state)?;
+            let elem = product_element(&ta, &tb)?;
+            (Type::bag(elem), pa.max(pb))
+        }
+        Expr::Powerset(e) => {
+            state.uses_powerset = true;
+            let (ty, p) = infer(e, schema, env, state)?;
+            require_bag(&ty)?;
+            (Type::bag(ty), p + 1)
+        }
+        Expr::Powerbag(e) => {
+            state.uses_powerbag = true;
+            let (ty, p) = infer(e, schema, env, state)?;
+            require_bag(&ty)?;
+            (Type::bag(ty), p + 1)
+        }
+        Expr::Attr(e, index) => {
+            let (ty, p) = infer(e, schema, env, state)?;
+            let field = match &ty {
+                Type::Tuple(fields) => fields
+                    .get(index.wrapping_sub(1))
+                    .cloned()
+                    .ok_or(TypeError::BadAttribute {
+                        index: *index,
+                        ty: ty.clone(),
+                    })?,
+                Type::Unknown => Type::Unknown,
+                other => {
+                    return Err(TypeError::BadAttribute {
+                        index: *index,
+                        ty: other.clone(),
+                    })
+                }
+            };
+            (field, p)
+        }
+        Expr::Destroy(e) => {
+            let (ty, p) = infer(e, schema, env, state)?;
+            let inner = match &ty {
+                Type::Bag(inner) => match inner.as_ref() {
+                    Type::Bag(_) | Type::Unknown => (**inner).clone(),
+                    _ => return Err(TypeError::DestroyNeedsNestedBag(ty.clone())),
+                },
+                _ => return Err(TypeError::NotABag(ty.clone())),
+            };
+            // δ(⟦⟦T⟧⟧) : ⟦T⟧; for an unknown inner, stay unknown.
+            let out = match inner {
+                Type::Bag(t) => Type::bag(*t),
+                Type::Unknown => Type::bag(Type::Unknown),
+                _ => unreachable!("guarded above"),
+            };
+            (out, p)
+        }
+        Expr::Map { var, body, input } => {
+            let (tin, pin) = infer(input, schema, env, state)?;
+            let elem = element_of(&tin)?;
+            env.push((var.clone(), elem));
+            let body_result = infer(body, schema, env, state);
+            env.pop();
+            let (tbody, pbody) = body_result?;
+            (Type::bag(tbody), pin.max(pbody))
+        }
+        Expr::Select { var, pred, input } => {
+            let (tin, pin) = infer(input, schema, env, state)?;
+            let elem = element_of(&tin)?;
+            env.push((var.clone(), elem));
+            let pred_result = infer_pred(pred, schema, env, state);
+            env.pop();
+            let ppred = pred_result?;
+            (tin, pin.max(ppred))
+        }
+        Expr::Dedup(e) => {
+            state.uses_dedup = true;
+            let (ty, p) = infer(e, schema, env, state)?;
+            require_bag(&ty)?;
+            (ty, p)
+        }
+        Expr::Nest { group, input } => {
+            state.uses_nest = true;
+            let (tin, p) = infer(input, schema, env, state)?;
+            let fields = match &tin {
+                Type::Bag(inner) => match inner.as_ref() {
+                    Type::Tuple(fields) => Some(fields.clone()),
+                    Type::Unknown => None,
+                    _ => return Err(TypeError::NotATupleBag(tin.clone())),
+                },
+                Type::Unknown => None,
+                other => return Err(TypeError::NotABag(other.clone())),
+            };
+            let out = match fields {
+                None => Type::bag(Type::Unknown),
+                Some(fields) => {
+                    let mut key = Vec::with_capacity(group.len() + 1);
+                    for &ix in group {
+                        let field = ix
+                            .checked_sub(1)
+                            .and_then(|i| fields.get(i))
+                            .ok_or(TypeError::BadAttribute {
+                                index: ix,
+                                ty: Type::Tuple(fields.clone()),
+                            })?;
+                        key.push(field.clone());
+                    }
+                    let residual: Vec<Type> = fields
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !group.contains(&(i + 1)))
+                        .map(|(_, t)| t.clone())
+                        .collect();
+                    key.push(Type::bag(Type::Tuple(residual)));
+                    Type::bag(Type::Tuple(key))
+                }
+            };
+            (out, p)
+        }
+        Expr::Ifp { var, body, input } => {
+            state.uses_ifp = true;
+            let (tin, pin) = infer(input, schema, env, state)?;
+            require_bag(&tin)?;
+            env.push((var.clone(), tin.clone()));
+            let body_result = infer(body, schema, env, state);
+            env.pop();
+            let (tbody, pbody) = body_result?;
+            let unified = tin
+                .unify(&tbody)
+                .ok_or_else(|| TypeError::IfpBodyMismatch(tbody.clone(), tin.clone()))?;
+            (unified, pin.max(pbody))
+        }
+    };
+    state.observe(&ty);
+    Ok((ty, power))
+}
+
+fn infer_pred(
+    pred: &Pred,
+    schema: &Schema,
+    env: &mut Vec<(Var, Type)>,
+    state: &mut State,
+) -> Result<usize, TypeError> {
+    match pred {
+        Pred::True => Ok(0),
+        Pred::Eq(a, b) | Pred::Lt(a, b) | Pred::Le(a, b) => {
+            if matches!(pred, Pred::Lt(_, _) | Pred::Le(_, _)) {
+                state.uses_order = true;
+            }
+            let (ta, pa) = infer(a, schema, env, state)?;
+            let (tb, pb) = infer(b, schema, env, state)?;
+            if ta.unify(&tb).is_none() {
+                return Err(TypeError::Incompatible(ta, tb));
+            }
+            Ok(pa.max(pb))
+        }
+        Pred::Member(a, b) => {
+            let (ta, pa) = infer(a, schema, env, state)?;
+            let (tb, pb) = infer(b, schema, env, state)?;
+            let elem = element_of(&tb)?;
+            if ta.unify(&elem).is_none() {
+                return Err(TypeError::Incompatible(ta, elem));
+            }
+            Ok(pa.max(pb))
+        }
+        Pred::SubBag(a, b) => {
+            let (ta, pa) = infer(a, schema, env, state)?;
+            let (tb, pb) = infer(b, schema, env, state)?;
+            require_bag(&ta)?;
+            require_bag(&tb)?;
+            if ta.unify(&tb).is_none() {
+                return Err(TypeError::Incompatible(ta, tb));
+            }
+            Ok(pa.max(pb))
+        }
+        Pred::Not(p) => infer_pred(p, schema, env, state),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            let pa = infer_pred(a, schema, env, state)?;
+            let pb = infer_pred(b, schema, env, state)?;
+            Ok(pa.max(pb))
+        }
+    }
+}
+
+fn require_bag(ty: &Type) -> Result<(), TypeError> {
+    match ty {
+        Type::Bag(_) | Type::Unknown => Ok(()),
+        other => Err(TypeError::NotABag(other.clone())),
+    }
+}
+
+fn element_of(ty: &Type) -> Result<Type, TypeError> {
+    match ty {
+        Type::Bag(inner) => Ok((**inner).clone()),
+        Type::Unknown => Ok(Type::Unknown),
+        other => Err(TypeError::NotABag(other.clone())),
+    }
+}
+
+fn product_element(ta: &Type, tb: &Type) -> Result<Type, TypeError> {
+    let fields_of = |ty: &Type| -> Result<Option<Vec<Type>>, TypeError> {
+        match ty {
+            Type::Bag(inner) => match inner.as_ref() {
+                Type::Tuple(fields) => Ok(Some(fields.clone())),
+                Type::Unknown => Ok(None),
+                _ => Err(TypeError::NotATupleBag(ty.clone())),
+            },
+            Type::Unknown => Ok(None),
+            other => Err(TypeError::NotABag(other.clone())),
+        }
+    };
+    match (fields_of(ta)?, fields_of(tb)?) {
+        (Some(mut left), Some(right)) => {
+            left.extend(right);
+            Ok(Type::Tuple(left))
+        }
+        _ => Ok(Type::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn graph_schema() -> Schema {
+        Schema::new().with("G", Type::relation(2))
+    }
+
+    #[test]
+    fn infer_flat_query_types() {
+        let schema = graph_schema();
+        let q = Expr::var("G").project(&[2, 1]);
+        let analysis = check(&q, &schema).unwrap();
+        assert_eq!(analysis.ty, Type::relation(2));
+        assert_eq!(analysis.balg_level(), 1);
+        assert!(analysis.in_balg(1));
+        assert!(analysis.is_core_balg());
+    }
+
+    #[test]
+    fn product_concatenates_tuple_types() {
+        let schema = graph_schema();
+        let q = Expr::var("G").product(Expr::var("G"));
+        assert_eq!(infer_type(&q, &schema).unwrap(), Type::relation(4));
+    }
+
+    #[test]
+    fn powerset_raises_level_and_power_nesting() {
+        let schema = graph_schema();
+        let q = Expr::var("G").powerset();
+        let analysis = check(&q, &schema).unwrap();
+        assert_eq!(analysis.ty, Type::bag(Type::relation(2)));
+        assert_eq!(analysis.max_bag_nesting, 2);
+        assert_eq!(analysis.balg_level(), 2);
+        assert_eq!(analysis.power_nesting, 1);
+        assert!(!analysis.in_balg(1));
+        assert!(analysis.in_balg(2));
+        // P(P(G)) has power nesting 2 and level 3.
+        let q2 = Expr::var("G").powerset().powerset();
+        let analysis2 = check(&q2, &schema).unwrap();
+        assert_eq!(analysis2.power_nesting, 2);
+        assert_eq!(analysis2.balg_level(), 3);
+    }
+
+    #[test]
+    fn destroy_lowers_nesting_in_type_but_not_in_analysis() {
+        let schema = graph_schema();
+        let q = Expr::var("G").powerset().destroy();
+        let analysis = check(&q, &schema).unwrap();
+        assert_eq!(analysis.ty, Type::relation(2));
+        // The intermediate P(G) : ⟦⟦[U,U]⟧⟧ pushes the level to 2 even
+        // though the output is flat — this is the "increase of nesting is
+        // essential" point after Proposition 3.1.
+        assert_eq!(analysis.max_bag_nesting, 2);
+        assert_eq!(analysis.balg_level(), 2);
+    }
+
+    #[test]
+    fn delta_on_flat_bag_rejected() {
+        let schema = graph_schema();
+        let q = Expr::var("G").destroy();
+        assert!(matches!(
+            check(&q, &schema),
+            Err(TypeError::DestroyNeedsNestedBag(_))
+        ));
+    }
+
+    #[test]
+    fn map_binds_element_type() {
+        let schema = graph_schema();
+        let q = Expr::var("G").map("x", Expr::var("x").attr(1).singleton());
+        let analysis = check(&q, &schema).unwrap();
+        assert_eq!(analysis.ty, Type::bag(Type::bag(Type::Atom)));
+        assert_eq!(analysis.balg_level(), 2);
+    }
+
+    #[test]
+    fn select_pred_type_mismatch_detected() {
+        let schema = graph_schema();
+        // comparing a tuple attribute (atom) with the whole bag G
+        let q = Expr::var("G").select("x", Pred::eq(Expr::var("x").attr(1), Expr::var("G")));
+        assert!(matches!(
+            check(&q, &schema),
+            Err(TypeError::Incompatible(_, _))
+        ));
+    }
+
+    #[test]
+    fn attribute_errors() {
+        let schema = graph_schema();
+        let q = Expr::var("G").map("x", Expr::var("x").attr(3));
+        assert!(matches!(
+            check(&q, &schema),
+            Err(TypeError::BadAttribute { index: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn extension_flags() {
+        let schema = graph_schema();
+        let pb = Expr::var("G").powerbag();
+        let analysis = check(&pb, &schema).unwrap();
+        assert!(analysis.uses_powerbag);
+        assert!(!analysis.is_core_balg());
+
+        let ifp = Expr::var("G").ifp("T", Expr::var("T"));
+        assert!(check(&ifp, &schema).unwrap().uses_ifp);
+
+        let ord = Expr::var("G").select(
+            "x",
+            Pred::lt(Expr::var("x").attr(1), Expr::var("x").attr(2)),
+        );
+        assert!(check(&ord, &schema).unwrap().uses_order);
+
+        let frag = Expr::var("G").subtract(Expr::var("G")).dedup();
+        let fa = check(&frag, &schema).unwrap();
+        assert!(fa.uses_subtract && fa.uses_dedup);
+    }
+
+    #[test]
+    fn strictly_unnested_discipline() {
+        // A tuple holding a bag has nesting 1 but is NOT a BALG¹ type.
+        let schema = graph_schema();
+        let q = Expr::var("G").map(
+            "x",
+            Expr::tuple([Expr::var("x").attr(1), Expr::var("x").singleton()]),
+        );
+        let analysis = check(&q, &schema).unwrap();
+        assert!(!analysis.strictly_unnested);
+        assert!(analysis.balg_level() >= 2);
+    }
+
+    #[test]
+    fn empty_bag_literal_unifies() {
+        let schema = graph_schema();
+        let q = Expr::var("G").additive_union(Expr::empty_bag());
+        assert_eq!(infer_type(&q, &schema).unwrap(), Type::relation(2));
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let schema = Schema::new();
+        assert!(matches!(
+            check(&Expr::var("R"), &schema),
+            Err(TypeError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn literal_types() {
+        let schema = Schema::new();
+        let lit = Expr::lit(Value::bag([Value::tuple([Value::sym("a")])]));
+        assert_eq!(infer_type(&lit, &schema).unwrap(), Type::relation(1));
+    }
+}

@@ -1,0 +1,83 @@
+//! Differential testing: the counted `Bag` against the naive expanded
+//! standard-encoding oracle, across every duplicate-sensitive operator,
+//! on arbitrary inputs.
+
+use balg_core::bag::Bag;
+use balg_core::expanded::ExpandedBag;
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+use proptest::prelude::*;
+
+fn flat_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map(0u8..5, 1u64..8, 0..6).prop_map(|entries| {
+        Bag::from_counted(entries.into_iter().map(|(atom, mult)| {
+            (
+                Value::tuple([Value::int(atom as i64)]),
+                Natural::from(mult),
+            )
+        }))
+    })
+}
+
+proptest! {
+    #[test]
+    fn binary_operators_agree(a in flat_bag(), b in flat_bag()) {
+        let ea = ExpandedBag::from_bag(&a).unwrap();
+        let eb = ExpandedBag::from_bag(&b).unwrap();
+        prop_assert_eq!(ea.additive_union(&eb).to_bag(), a.additive_union(&b));
+        prop_assert_eq!(ea.subtract(&eb).to_bag(), a.subtract(&b));
+        prop_assert_eq!(ea.max_union(&eb).to_bag(), a.max_union(&b));
+        prop_assert_eq!(ea.intersect(&eb).to_bag(), a.intersect(&b));
+    }
+
+    #[test]
+    fn product_agrees(a in flat_bag(), b in flat_bag()) {
+        let ea = ExpandedBag::from_bag(&a).unwrap();
+        let eb = ExpandedBag::from_bag(&b).unwrap();
+        prop_assert_eq!(
+            ea.product(&eb).unwrap().to_bag(),
+            a.product(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn unary_operators_agree(a in flat_bag()) {
+        let ea = ExpandedBag::from_bag(&a).unwrap();
+        prop_assert_eq!(ea.dedup().to_bag(), a.dedup());
+        // MAP to a constant (full collision) and MAP identity.
+        let collapse = |_: &Value| Value::tuple([Value::sym("k")]);
+        let counted_collapsed: Bag = a
+            .map(|v| Ok::<_, std::convert::Infallible>(collapse(v)))
+            .unwrap();
+        prop_assert_eq!(ea.map(collapse).to_bag(), counted_collapsed);
+        // σ on first attribute.
+        let keep = |v: &Value| {
+            v.as_tuple().and_then(|f| f.first()).is_some_and(|x| *x < Value::int(2))
+        };
+        let counted_kept: Bag = a
+            .select(|v| Ok::<_, std::convert::Infallible>(keep(v)))
+            .unwrap();
+        prop_assert_eq!(ea.select(keep).to_bag(), counted_kept);
+    }
+
+    #[test]
+    fn destroy_agrees(inners in proptest::collection::vec((flat_bag(), 1u64..4), 0..4)) {
+        let outer = Bag::from_counted(
+            inners
+                .into_iter()
+                .map(|(inner, mult)| (Value::Bag(inner), Natural::from(mult))),
+        );
+        let expanded = ExpandedBag::from_bag(&outer).unwrap();
+        prop_assert_eq!(
+            expanded.destroy().unwrap().to_bag(),
+            outer.destroy().unwrap()
+        );
+    }
+
+    #[test]
+    fn roundtrip_and_cardinality(a in flat_bag()) {
+        let ea = ExpandedBag::from_bag(&a).unwrap();
+        prop_assert_eq!(ea.to_bag(), a.clone());
+        prop_assert_eq!(ea.encoded_cardinality(), a.cardinality());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the arbitrary-precision `Natural` arithmetic that
+//! all multiplicity bookkeeping rests on, cross-checked against `u128`.
+
+use balg_core::natural::Natural;
+use proptest::prelude::*;
+
+fn small() -> impl Strategy<Value = u64> {
+    0u64..=u32::MAX as u64
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in small(), b in small()) {
+        let sum = &Natural::from(a) + &Natural::from(b);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in small(), b in small()) {
+        let prod = &Natural::from(a) * &Natural::from(b);
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn monus_matches_saturating_sub(a in small(), b in small()) {
+        let diff = Natural::from(a).monus(&Natural::from(b));
+        prop_assert_eq!(diff.to_u64(), Some(a.saturating_sub(b)));
+    }
+
+    #[test]
+    fn ring_laws_hold_on_big_values(a in small(), b in small(), c in small()) {
+        // Lift into >64-bit territory so limb carries are exercised.
+        let big = |v: u64| &Natural::from(v) * &Natural::pow2(70);
+        let (x, y, z) = (big(a), big(b), big(c));
+        prop_assert_eq!(&x + &y, &y + &x);
+        prop_assert_eq!(&x * &y, &y * &x);
+        prop_assert_eq!(&(&x + &y) + &z, &x + &(&y + &z));
+        prop_assert_eq!(&(&x * &y) * &z, &x * &(&y * &z));
+        prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+    }
+
+    #[test]
+    fn divmod_roundtrips(a in small(), d in 1u64..10_000) {
+        let big = &Natural::from(a) * &Natural::pow2(80);
+        let (q, r) = big.divmod_u64(d);
+        prop_assert!(r < d);
+        let mut back = q;
+        back.mul_u64(d);
+        back += &Natural::from(r);
+        prop_assert_eq!(back, &Natural::from(a) * &Natural::pow2(80));
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in small(), b in small()) {
+        prop_assert_eq!(
+            Natural::from(a).cmp(&Natural::from(b)),
+            a.cmp(&b)
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small(), shift in 0u64..100) {
+        let x = &Natural::from(a) * &Natural::pow2(shift);
+        let parsed: Natural = x.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, x);
+    }
+
+    #[test]
+    fn monus_add_cancellation(a in small(), b in small()) {
+        // (a + b) − b = a — the bag-subtraction inverse law.
+        let x = Natural::from(a);
+        let y = Natural::from(b);
+        prop_assert_eq!((&(&x + &y)).monus(&y), x);
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 0u64..40, k in 0u64..40) {
+        if k <= n {
+            prop_assert_eq!(
+                Natural::binomial(&Natural::from(n), k),
+                Natural::binomial(&Natural::from(n), n - k)
+            );
+        } else {
+            prop_assert!(Natural::binomial(&Natural::from(n), k).is_zero());
+        }
+    }
+
+    #[test]
+    fn bits_brackets_the_value(a in 1u64..=u64::MAX) {
+        let x = Natural::from(a);
+        let bits = x.bits();
+        prop_assert!(Natural::pow2(bits - 1) <= x);
+        prop_assert!(x < Natural::pow2(bits));
+    }
+}

@@ -1,0 +1,244 @@
+//! The Figure 1 / Lemma 5.4 graph construction.
+//!
+//! Two star-shaped directed graphs over nodes that are *sets* of atomic
+//! constants. The central node `α = {1, …, n}` is linked to `2·2^{n/2−1}`
+//! peripheral nodes, each a subset of cardinality `n/2`, split into two
+//! families `In_n` and `Out_n` satisfying the probabilistic property (1):
+//!
+//! ```text
+//! P(i ∈ S | S ∈ In_n) = P(i ∈ S | S ∈ Out_n) = 1/2   for every i ≤ n.
+//! ```
+//!
+//! In `G_{k,𝒯}` every `In` node points at `α` and `α` points at every
+//! `Out` node, so `α`'s in-degree equals its out-degree. In `G′_{k,𝒯}`
+//! one outgoing edge is inverted, making the in-degree strictly bigger —
+//! the property Φ that BALG² expresses (Example 4.1 lifted to set nodes)
+//! but RALG²/CALC1 cannot (Lemma 5.4).
+
+use std::collections::BTreeSet;
+
+use balg_core::bag::Bag;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+
+/// The two families of `n/2`-subsets of `{1, …, n}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HalfFamilies {
+    /// Domain size `n` (even, ≥ 4).
+    pub n: u32,
+    /// The `In_n` family.
+    pub inn: Vec<BTreeSet<u32>>,
+    /// The `Out_n` family.
+    pub out: Vec<BTreeSet<u32>>,
+}
+
+/// Build `In_n`/`Out_n` by the paper's induction.
+///
+/// Base `n = 4`: `In = {{1,2},{3,4}}`, `Out = {{1,3},{2,4}}`.
+/// Step `n → n+2`:
+/// `In_{n+2} = {S∪{n+1} | S∈In_n} ∪ {S∪{n+2} | S∈Out_n}` and dually.
+///
+/// # Panics
+/// If `n` is odd or below 4.
+pub fn half_families(n: u32) -> HalfFamilies {
+    assert!(n >= 4 && n.is_multiple_of(2), "n must be even and ≥ 4, got {n}");
+    let mut inn: Vec<BTreeSet<u32>> = vec![
+        BTreeSet::from([1, 2]),
+        BTreeSet::from([3, 4]),
+    ];
+    let mut out: Vec<BTreeSet<u32>> = vec![
+        BTreeSet::from([1, 3]),
+        BTreeSet::from([2, 4]),
+    ];
+    let mut m = 4;
+    while m < n {
+        let with = |sets: &[BTreeSet<u32>], extra: u32| -> Vec<BTreeSet<u32>> {
+            sets.iter()
+                .map(|s| {
+                    let mut t = s.clone();
+                    t.insert(extra);
+                    t
+                })
+                .collect()
+        };
+        let mut new_inn = with(&inn, m + 1);
+        new_inn.extend(with(&out, m + 2));
+        let mut new_out = with(&out, m + 1);
+        new_out.extend(with(&inn, m + 2));
+        inn = new_inn;
+        out = new_out;
+        m += 2;
+    }
+    HalfFamilies { n, inn, out }
+}
+
+impl HalfFamilies {
+    /// Verify property (1) **exactly**: each constant `i ∈ {1..n}` belongs
+    /// to exactly half of `In_n` and exactly half of `Out_n`, and all sets
+    /// have cardinality `n/2`.
+    pub fn verify_property_one(&self) -> bool {
+        let half_in = self.inn.len() / 2;
+        let half_out = self.out.len() / 2;
+        if self.inn.len() != self.out.len() || !self.inn.len().is_multiple_of(2) {
+            return false;
+        }
+        let size_ok = self
+            .inn
+            .iter()
+            .chain(&self.out)
+            .all(|s| s.len() as u32 == self.n / 2);
+        if !size_ok {
+            return false;
+        }
+        (1..=self.n).all(|i| {
+            self.inn.iter().filter(|s| s.contains(&i)).count() == half_in
+                && self.out.iter().filter(|s| s.contains(&i)).count() == half_out
+        })
+    }
+
+    /// All families are distinct sets (needed for the star graph's node
+    /// count `2·2^{n/2−1} + 1`).
+    pub fn all_distinct(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.inn.iter().chain(&self.out).all(|s| seen.insert(s.clone()))
+    }
+}
+
+/// A node value: the subset as a duplicate-free bag of integer atoms.
+pub fn node_value(set: &BTreeSet<u32>) -> Value {
+    Value::bag(set.iter().map(|&i| Value::int(i as i64)))
+}
+
+/// The central node `α = {1, …, n}`.
+pub fn alpha_node(n: u32) -> Value {
+    Value::bag((1..=n).map(|i| Value::int(i as i64)))
+}
+
+/// The pair of star graphs `(G, G′)` of Figure 1, as databases with a
+/// single edge relation `E` whose tuples pair set-valued nodes.
+///
+/// In `G`, `α` has in-degree = out-degree = `2^{n/2−1}`. In `G′`, the edge
+/// to the lexicographically first `Out` node is inverted, so in-degree
+/// exceeds out-degree by 2.
+pub fn star_graphs(n: u32) -> (Database, Database) {
+    let families = half_families(n);
+    let alpha = alpha_node(n);
+    let mut edges = Bag::new();
+    for s in &families.inn {
+        edges.insert(Value::tuple([node_value(s), alpha.clone()]));
+    }
+    for s in &families.out {
+        edges.insert(Value::tuple([alpha.clone(), node_value(s)]));
+    }
+    let g = Database::new().with("E", edges.clone());
+
+    // Invert the edge α → out[0].
+    let flipped = node_value(&families.out[0]);
+    let old_edge = Value::tuple([alpha.clone(), flipped.clone()]);
+    let new_edge = Value::tuple([flipped, alpha]);
+    let mut edges2 = edges.subtract(&Bag::singleton(old_edge));
+    edges2.insert(new_edge);
+    let g_prime = Database::new().with("E", edges2);
+    (g, g_prime)
+}
+
+/// The node of `G′` whose edge was inverted (useful for targeted spoiler
+/// strategies).
+pub fn flipped_node(n: u32) -> Value {
+    node_value(&half_families(n).out[0])
+}
+
+/// In/out degree of a node in an edge relation.
+pub fn degrees(db: &Database, node: &Value) -> (u64, u64) {
+    let edges = db.get("E").expect("edge relation E");
+    let mut indeg = 0u64;
+    let mut outdeg = 0u64;
+    for (edge, mult) in edges.iter() {
+        let fields = edge.as_tuple().expect("edges are pairs");
+        let m = mult.to_u64().unwrap_or(u64::MAX);
+        if &fields[1] == node {
+            indeg += m;
+        }
+        if &fields[0] == node {
+            outdeg += m;
+        }
+    }
+    (indeg, outdeg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_families() {
+        let f = half_families(4);
+        assert_eq!(f.inn.len(), 2);
+        assert_eq!(f.out.len(), 2);
+        assert!(f.verify_property_one());
+        assert!(f.all_distinct());
+    }
+
+    #[test]
+    fn inductive_families_satisfy_property_one() {
+        for n in [4u32, 6, 8, 10, 12] {
+            let f = half_families(n);
+            assert_eq!(f.inn.len(), 1 << (n / 2 - 1), "family size at n={n}");
+            assert!(f.verify_property_one(), "property (1) fails at n={n}");
+            assert!(f.all_distinct(), "families collide at n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_n_rejected() {
+        half_families(5);
+    }
+
+    #[test]
+    fn star_graph_degrees() {
+        for n in [4u32, 6, 8] {
+            let (g, gp) = star_graphs(n);
+            let alpha = alpha_node(n);
+            let (din, dout) = degrees(&g, &alpha);
+            assert_eq!(din, dout, "balanced α in G at n={n}");
+            assert_eq!(din, 1 << (n / 2 - 1));
+            let (pin, pout) = degrees(&gp, &alpha);
+            assert_eq!(pin, pout + 2, "α in-degree exceeds out-degree in G′");
+        }
+    }
+
+    #[test]
+    fn graphs_have_same_node_count() {
+        let (g, gp) = star_graphs(6);
+        // Same number of edges in both.
+        assert_eq!(
+            g.get("E").unwrap().cardinality(),
+            gp.get("E").unwrap().cardinality()
+        );
+        // Node set: 2·2^{n/2−1} + 1 distinct nodes on each side.
+        let nodes = |db: &Database| {
+            let mut set = std::collections::BTreeSet::new();
+            for (edge, _) in db.get("E").unwrap().iter() {
+                for field in edge.as_tuple().unwrap() {
+                    set.insert(field.clone());
+                }
+            }
+            set
+        };
+        assert_eq!(nodes(&g).len(), 2 * (1 << 2) + 1);
+        assert_eq!(nodes(&g), nodes(&gp)); // identical node sets
+    }
+
+    #[test]
+    fn flipped_node_is_an_out_family_member() {
+        let n = 6;
+        let f = half_families(n);
+        let flipped = flipped_node(n);
+        assert_eq!(flipped, node_value(&f.out[0]));
+        // In G′ the flipped node now points at α.
+        let (_, gp) = star_graphs(n);
+        let (din, dout) = degrees(&gp, &flipped);
+        assert_eq!((din, dout), (0, 1));
+    }
+}

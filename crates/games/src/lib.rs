@@ -1,0 +1,53 @@
+//! # balg-games — pebble games for complex objects ([GV90], Section 5)
+//!
+//! The machinery behind Theorem 5.2 (`RALG² ⊊ BALG²`): the modified
+//! Ehrenfeucht–Fraïssé game characterizing CALC1 ≡ RALG² definability, the
+//! Figure 1 star-graph construction whose `In_n`/`Out_n` subset families
+//! satisfy the half-membership property (1), spoiler/duplicator
+//! strategies, and an exact solver for small instances.
+//!
+//! The separation experiment (E13) plays out as:
+//! * `G` and `G′` **differ** on Φ = "in-degree of α exceeds out-degree" —
+//!   a BALG² query (bag subtraction counts the edges);
+//! * yet for every `k` with `n > 2k` the duplicator wins the `k`-move
+//!   game, so no RALG²/CALC1 expression of quantifier depth `k`
+//!   distinguishes them (Theorem 5.3) — Φ is not RALG²-definable.
+//!
+//! ```
+//! use balg_games::prelude::*;
+//!
+//! let families = half_families(8);
+//! assert!(families.verify_property_one());
+//!
+//! let (g, g_prime) = star_graphs(8);
+//! let mut spoiler = RandomSpoiler::new(42, 4);
+//! let mut duplicator = ConstraintDuplicator::new(7);
+//! assert_eq!(
+//!     play(&g, &g_prime, 3, &mut spoiler, &mut duplicator),
+//!     Outcome::DuplicatorWins
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod construction;
+pub mod game;
+pub mod solver;
+pub mod strategies;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::construction::{
+        alpha_node, degrees, flipped_node, half_families, node_value, star_graphs, HalfFamilies,
+    };
+    pub use crate::game::{
+        is_partial_isomorphism, play, Duplicator, Outcome, Position, Side, Spoiler,
+    };
+    pub use crate::solver::{object_pool, GameSolver, Verdict};
+    pub use crate::strategies::{
+        AtomPinningSpoiler, ConstraintDuplicator, FlippedEdgeSpoiler, RandomSpoiler,
+    };
+}
+
+pub use prelude::*;

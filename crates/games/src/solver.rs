@@ -1,0 +1,228 @@
+//! Exact game solving for small instances.
+//!
+//! Exhaustive minimax over finite object pools decides who wins the
+//! `k`-move game — used to validate the strategy implementations against
+//! ground truth on tiny structures, and to certify duplicator wins (hence
+//! CALC1-indistinguishability, Theorem 5.3) without trusting a heuristic.
+
+use std::collections::BTreeSet;
+
+use balg_core::schema::Database;
+use balg_core::value::{Atom, Value};
+
+use crate::game::{is_partial_isomorphism, Position, Side};
+
+/// Build the object pool for one structure: its atoms, every subset of
+/// the domain of each size in `subset_sizes` (as set values), and every
+/// tuple occurring in its relations.
+///
+/// This materializes the fragment of `Comp(A, 𝒯)` the game ranges over
+/// for type sets 𝒯 of the form `{U, ⟦U⟧, [⟦U⟧, ⟦U⟧]}`.
+pub fn object_pool(db: &Database, subset_sizes: &[usize]) -> Vec<Value> {
+    let atoms: Vec<Atom> = db.active_domain().into_iter().collect();
+    let mut pool: Vec<Value> = atoms.iter().cloned().map(Value::Atom).collect();
+    for &size in subset_sizes {
+        let mut chosen = Vec::new();
+        combinations(&atoms, size, 0, &mut chosen, &mut pool);
+    }
+    let mut tuples = BTreeSet::new();
+    for (_, rel) in db.iter() {
+        for (elem, _) in rel.iter() {
+            if matches!(elem, Value::Tuple(_)) {
+                tuples.insert(elem.clone());
+            }
+        }
+    }
+    pool.extend(tuples);
+    pool
+}
+
+fn combinations(
+    atoms: &[Atom],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<Atom>,
+    pool: &mut Vec<Value>,
+) {
+    if chosen.len() == size {
+        pool.push(Value::bag(chosen.iter().cloned().map(Value::Atom)));
+        return;
+    }
+    for i in start..atoms.len() {
+        chosen.push(atoms[i].clone());
+        combinations(atoms, size, i + 1, chosen, pool);
+        chosen.pop();
+    }
+}
+
+/// Exhaustive solver for the `k`-move game over explicit object pools.
+pub struct GameSolver<'a> {
+    left: &'a Database,
+    right: &'a Database,
+    pool_left: Vec<Value>,
+    pool_right: Vec<Value>,
+    nodes_left: u64,
+}
+
+/// The solver's verdict.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The spoiler has a winning strategy within the pools.
+    SpoilerWins,
+    /// The duplicator survives every spoiler line within the pools.
+    DuplicatorWins,
+    /// The node budget was exhausted before a verdict.
+    BudgetExhausted,
+}
+
+impl<'a> GameSolver<'a> {
+    /// Create a solver with the given object pools and search budget
+    /// (number of game-tree nodes explored).
+    pub fn new(
+        left: &'a Database,
+        right: &'a Database,
+        subset_sizes: &[usize],
+        budget: u64,
+    ) -> Self {
+        GameSolver {
+            left,
+            right,
+            pool_left: object_pool(left, subset_sizes),
+            pool_right: object_pool(right, subset_sizes),
+            nodes_left: budget,
+        }
+    }
+
+    /// Decide the `k`-move game.
+    pub fn solve(&mut self, k: usize) -> Verdict {
+        match self.spoiler_wins(&mut Vec::new(), k) {
+            Some(true) => Verdict::SpoilerWins,
+            Some(false) => Verdict::DuplicatorWins,
+            None => Verdict::BudgetExhausted,
+        }
+    }
+
+    fn spoiler_wins(&mut self, position: &mut Position, k: usize) -> Option<bool> {
+        if k == 0 {
+            return Some(false);
+        }
+        if self.nodes_left == 0 {
+            return None;
+        }
+        self.nodes_left -= 1;
+        for side in [Side::Left, Side::Right] {
+            let picks = match side {
+                Side::Left => self.pool_left.clone(),
+                Side::Right => self.pool_right.clone(),
+            };
+            for pick in picks {
+                let responses = match side {
+                    Side::Left => self.pool_right.clone(),
+                    Side::Right => self.pool_left.clone(),
+                };
+                // The spoiler wins with this pick if EVERY response either
+                // breaks the partial isomorphism or loses downstream.
+                let mut spoiler_wins_pick = true;
+                for response in responses {
+                    let pair = match side {
+                        Side::Left => (pick.clone(), response),
+                        Side::Right => (response, pick.clone()),
+                    };
+                    position.push(pair);
+                    let survives = is_partial_isomorphism(self.left, self.right, position);
+                    let downstream = if survives {
+                        self.spoiler_wins(position, k - 1)
+                    } else {
+                        Some(true)
+                    };
+                    position.pop();
+                    match downstream {
+                        None => return None,
+                        Some(true) => {}
+                        Some(false) => {
+                            spoiler_wins_pick = false;
+                            break;
+                        }
+                    }
+                }
+                if spoiler_wins_pick {
+                    return Some(true);
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::star_graphs;
+    use balg_core::bag::Bag;
+
+    fn atom_graph(edges: &[(i64, i64)], extra_atoms: &[i64]) -> Database {
+        let mut bag = Bag::from_values(
+            edges
+                .iter()
+                .map(|(a, b)| Value::tuple([Value::int(*a), Value::int(*b)])),
+        );
+        // Keep isolated atoms in the domain via a unary helper relation.
+        let _ = &mut bag;
+        let mut db = Database::new().with("E", bag);
+        if !extra_atoms.is_empty() {
+            db.insert(
+                "D",
+                Bag::from_values(extra_atoms.iter().map(|a| Value::tuple([Value::int(*a)]))),
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn solver_separates_edge_from_no_edge() {
+        // A: one edge (1,2); B: no edges, same domain. With tuple objects
+        // in Comp(A, 𝒯) the spoiler wins in ONE move: it picks the pair
+        // ⟨1,2⟩ ∈ E_A, and no pair on the B side can be E-related.
+        let a = atom_graph(&[(1, 2)], &[]);
+        let b = atom_graph(&[], &[1, 2]);
+        let mut solver = GameSolver::new(&a, &b, &[], 1 << 22);
+        assert_eq!(solver.solve(1), Verdict::SpoilerWins);
+    }
+
+    #[test]
+    fn solver_confirms_isomorphic_graphs_indistinguishable() {
+        // A: edge (1,2); B: edge (2,1) — isomorphic via the swap, so the
+        // duplicator survives short games.
+        let a = atom_graph(&[(1, 2)], &[]);
+        let b = atom_graph(&[(2, 1)], &[]);
+        let mut solver = GameSolver::new(&a, &b, &[], 1 << 22);
+        assert_eq!(solver.solve(2), Verdict::DuplicatorWins);
+    }
+
+    #[test]
+    fn solver_certifies_duplicator_on_fig1_one_move() {
+        // n = 4 > 2·1: Lemma 5.4 says the duplicator wins the 1-move game.
+        let (g, gp) = star_graphs(4);
+        let mut solver = GameSolver::new(&g, &gp, &[2, 4], 1 << 22);
+        assert_eq!(solver.solve(1), Verdict::DuplicatorWins);
+    }
+
+    #[test]
+    fn solver_respects_budget() {
+        let (g, gp) = star_graphs(4);
+        let mut solver = GameSolver::new(&g, &gp, &[2, 4], 2);
+        assert_eq!(solver.solve(3), Verdict::BudgetExhausted);
+    }
+
+    #[test]
+    fn pool_contains_atoms_subsets_tuples() {
+        let (g, _) = star_graphs(4);
+        let pool = object_pool(&g, &[2]);
+        let atoms = pool.iter().filter(|v| matches!(v, Value::Atom(_))).count();
+        let sets = pool.iter().filter(|v| matches!(v, Value::Bag(_))).count();
+        let tuples = pool.iter().filter(|v| matches!(v, Value::Tuple(_))).count();
+        assert_eq!(atoms, 4);
+        assert_eq!(sets, 6); // C(4,2)
+        assert_eq!(tuples, 4); // 4 edges
+    }
+}

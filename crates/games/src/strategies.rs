@@ -1,0 +1,398 @@
+//! Concrete spoiler and duplicator strategies.
+//!
+//! The duplicator implements the Lemma 5.4 proof idea: maintain the atom
+//! matching induced by the position and answer each pick with an object
+//! whose membership/containment/edge profile is consistent — the
+//! availability of such an answer for `n > 2k` is exactly what
+//! property (1) of the `In_n`/`Out_n` families guarantees. Spoilers range
+//! from random play to the atom-pinning strategy that *does* win once it
+//! may pin the whole domain (k ≥ n + 2^{n/2−1} + 2 moves).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use balg_core::schema::Database;
+use balg_core::value::{Atom, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::construction::{alpha_node, flipped_node};
+use crate::game::{is_partial_isomorphism, Duplicator, Position, Side, Spoiler};
+
+/// All atoms of a database's active domain, as values.
+fn domain_atoms(db: &Database) -> Vec<Value> {
+    db.active_domain().into_iter().map(Value::Atom).collect()
+}
+
+/// All set-valued nodes occurring in the database's relations (fields of
+/// relation tuples that are bags), plus bag-typed relation elements.
+fn structure_nodes(db: &Database) -> Vec<Value> {
+    let mut nodes = BTreeSet::new();
+    for (_, rel) in db.iter() {
+        for (elem, _) in rel.iter() {
+            match elem {
+                Value::Tuple(fields) => {
+                    for field in fields {
+                        if matches!(field, Value::Bag(_)) {
+                            nodes.insert(field.clone());
+                        }
+                    }
+                }
+                Value::Bag(_) => {
+                    nodes.insert(elem.clone());
+                }
+                Value::Atom(_) => {}
+            }
+        }
+    }
+    nodes.into_iter().collect()
+}
+
+/// The atom matching induced by the atom-typed pairs of a position,
+/// oriented `from → to`.
+fn atom_matching(position: &Position, from: Side) -> BTreeMap<Atom, Atom> {
+    let mut matching = BTreeMap::new();
+    for (left, right) in position {
+        if let (Value::Atom(a), Value::Atom(b)) = (left, right) {
+            match from {
+                Side::Left => matching.insert(a.clone(), b.clone()),
+                Side::Right => matching.insert(b.clone(), a.clone()),
+            };
+        }
+    }
+    matching
+}
+
+/// The constraint-propagating duplicator.
+///
+/// Candidate answers are: the opposite structure's atoms (for atom picks);
+/// its structure nodes plus matching-consistent synthesized sets (for set
+/// picks); synthesized tuples (for tuple picks). Every candidate is
+/// validated with the full partial-isomorphism check before being played.
+pub struct ConstraintDuplicator {
+    rng: StdRng,
+    /// How many random fillings to try for synthesized sets.
+    pub fill_attempts: usize,
+}
+
+impl ConstraintDuplicator {
+    /// A duplicator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        ConstraintDuplicator {
+            rng: StdRng::seed_from_u64(seed),
+            fill_attempts: 64,
+        }
+    }
+
+    fn candidates(
+        &mut self,
+        opposite: &Database,
+        position: &Position,
+        side: Side,
+        pick: &Value,
+    ) -> Vec<Value> {
+        match pick {
+            Value::Atom(_) => domain_atoms(opposite),
+            Value::Bag(picked) => {
+                // Mirror candidate first: the two structures of Lemma 5.4
+                // share their domain and node set, so the pick itself is
+                // often a valid answer.
+                let mut out = vec![pick.clone()];
+                out.extend(structure_nodes(opposite));
+                // Synthesize matching-consistent sets of the same size.
+                let matching = atom_matching(position, side);
+                let picked_atoms: BTreeSet<Atom> = picked
+                    .elements()
+                    .filter_map(|v| v.as_atom().cloned())
+                    .collect();
+                let required: BTreeSet<Atom> = picked_atoms
+                    .iter()
+                    .filter_map(|a| matching.get(a).cloned())
+                    .collect();
+                let forbidden: BTreeSet<Atom> = matching
+                    .iter()
+                    .filter(|(a, _)| !picked_atoms.contains(*a))
+                    .map(|(_, b)| b.clone())
+                    .collect();
+                let pool: Vec<Atom> = opposite
+                    .active_domain()
+                    .into_iter()
+                    .filter(|a| !required.contains(a) && !forbidden.contains(a))
+                    .collect();
+                let need = picked_atoms.len().saturating_sub(required.len());
+                for _ in 0..self.fill_attempts {
+                    if pool.len() < need {
+                        break;
+                    }
+                    let mut shuffled = pool.clone();
+                    shuffled.shuffle(&mut self.rng);
+                    let fill: BTreeSet<Atom> = required
+                        .iter()
+                        .cloned()
+                        .chain(shuffled.into_iter().take(need))
+                        .collect();
+                    out.push(Value::bag(fill.into_iter().map(Value::Atom)));
+                }
+                out
+            }
+            Value::Tuple(fields) => {
+                // Synthesize a tuple componentwise via the matching, and
+                // offer relation tuples of the same arity.
+                let matching = atom_matching(position, side);
+                let mut out: Vec<Value> = Vec::new();
+                for (_, rel) in opposite.iter() {
+                    for (elem, _) in rel.iter() {
+                        if elem.as_tuple().is_some_and(|f| f.len() == fields.len()) {
+                            out.push(elem.clone());
+                        }
+                    }
+                }
+                let synthesized: Option<Vec<Value>> = fields
+                    .iter()
+                    .map(|f| match f {
+                        Value::Atom(a) => matching.get(a).cloned().map(Value::Atom),
+                        other => Some(other.clone()),
+                    })
+                    .collect();
+                if let Some(fields) = synthesized {
+                    out.push(Value::Tuple(fields));
+                }
+                out.push(pick.clone()); // mirror candidate
+                out
+            }
+        }
+    }
+}
+
+impl Duplicator for ConstraintDuplicator {
+    fn respond(
+        &mut self,
+        left: &Database,
+        right: &Database,
+        position: &Position,
+        side: Side,
+        pick: &Value,
+    ) -> Option<Value> {
+        let opposite = match side {
+            Side::Left => right,
+            Side::Right => left,
+        };
+        let candidates = self.candidates(opposite, position, side, pick);
+        for candidate in candidates {
+            let mut extended = position.clone();
+            let pair = match side {
+                Side::Left => (pick.clone(), candidate.clone()),
+                Side::Right => (candidate.clone(), pick.clone()),
+            };
+            extended.push(pair);
+            if is_partial_isomorphism(left, right, &extended) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+/// A spoiler that plays uniformly random objects: atoms, structure nodes,
+/// or random subsets of the domain of the picked size.
+pub struct RandomSpoiler {
+    rng: StdRng,
+    /// Size of synthesized random subsets (the paper's most effective
+    /// spoiler choice is `n/2`).
+    pub subset_size: usize,
+}
+
+impl RandomSpoiler {
+    /// A random spoiler with the given seed, synthesizing subsets of size
+    /// `subset_size`.
+    pub fn new(seed: u64, subset_size: usize) -> Self {
+        RandomSpoiler {
+            rng: StdRng::seed_from_u64(seed),
+            subset_size,
+        }
+    }
+}
+
+impl Spoiler for RandomSpoiler {
+    fn pick(&mut self, left: &Database, right: &Database, _position: &Position) -> (Side, Value) {
+        let side = if self.rng.gen_bool(0.5) {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        let db = match side {
+            Side::Left => left,
+            Side::Right => right,
+        };
+        let choice = self.rng.gen_range(0..3u8);
+        let value = match choice {
+            0 => {
+                let atoms = domain_atoms(db);
+                atoms[self.rng.gen_range(0..atoms.len())].clone()
+            }
+            1 => {
+                let nodes = structure_nodes(db);
+                if nodes.is_empty() {
+                    let atoms = domain_atoms(db);
+                    atoms[self.rng.gen_range(0..atoms.len())].clone()
+                } else {
+                    nodes[self.rng.gen_range(0..nodes.len())].clone()
+                }
+            }
+            _ => {
+                let mut atoms = domain_atoms(db);
+                atoms.shuffle(&mut self.rng);
+                Value::bag(atoms.into_iter().take(self.subset_size))
+            }
+        };
+        (side, value)
+    }
+}
+
+/// A targeted spoiler that attacks the inverted edge of `G′_{k,𝒯}`:
+/// picks `α`, then the flipped node, then atoms distinguishing it.
+pub struct FlippedEdgeSpoiler {
+    n: u32,
+    move_index: usize,
+}
+
+impl FlippedEdgeSpoiler {
+    /// A spoiler for the Figure 1 instance of domain size `n`.
+    pub fn new(n: u32) -> Self {
+        FlippedEdgeSpoiler { n, move_index: 0 }
+    }
+}
+
+impl Spoiler for FlippedEdgeSpoiler {
+    fn pick(&mut self, _left: &Database, right: &Database, _position: &Position) -> (Side, Value) {
+        let idx = self.move_index;
+        self.move_index += 1;
+        match idx {
+            0 => (Side::Right, alpha_node(self.n)),
+            1 => (Side::Right, flipped_node(self.n)),
+            _ => {
+                // Walk the atoms of the flipped node one by one.
+                let flipped = flipped_node(self.n);
+                let atoms: Vec<Value> = flipped
+                    .as_bag()
+                    .expect("node is a bag")
+                    .elements()
+                    .cloned()
+                    .collect();
+                let value = atoms
+                    .get((idx - 2) % atoms.len())
+                    .cloned()
+                    .unwrap_or_else(|| domain_atoms(right)[0].clone());
+                (Side::Right, value)
+            }
+        }
+    }
+}
+
+/// The atom-pinning spoiler: pins every atom of the domain (forcing the
+/// duplicator's matching to a full bijection `π`), then picks `α` and
+/// finally enumerates every node of `G′` with an edge **into** `α`.
+/// `G′` has one more such node than `G`, so injectivity plus edge
+/// preservation must fail — the spoiler wins whenever
+/// `k ≥ n + 2^{n/2−1} + 2`, matching the proof's `n > 2k` threshold being
+/// tight only up to constant factors.
+pub struct AtomPinningSpoiler {
+    n: u32,
+    move_index: usize,
+    into_alpha: Vec<Value>,
+}
+
+impl AtomPinningSpoiler {
+    /// A spoiler for the Figure 1 instance of domain size `n`, attacking
+    /// `right` (expected to be `G′`).
+    pub fn new(n: u32, right: &Database) -> Self {
+        let alpha = alpha_node(n);
+        let mut into_alpha = Vec::new();
+        for (edge, _) in right.get("E").expect("edge relation").iter() {
+            let fields = edge.as_tuple().expect("pair");
+            if fields[1] == alpha {
+                into_alpha.push(fields[0].clone());
+            }
+        }
+        AtomPinningSpoiler {
+            n,
+            move_index: 0,
+            into_alpha,
+        }
+    }
+}
+
+impl Spoiler for AtomPinningSpoiler {
+    fn pick(&mut self, _left: &Database, _right: &Database, _position: &Position) -> (Side, Value) {
+        let idx = self.move_index;
+        self.move_index += 1;
+        let n = self.n as usize;
+        if idx < n {
+            (Side::Right, Value::int((idx + 1) as i64))
+        } else if idx == n {
+            (Side::Right, alpha_node(self.n))
+        } else {
+            let node = self.into_alpha[(idx - n - 1) % self.into_alpha.len()].clone();
+            (Side::Right, node)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::star_graphs;
+    use crate::game::{play, Outcome};
+
+    #[test]
+    fn duplicator_survives_short_games_on_fig1() {
+        // n = 8 > 2k for k = 3: the duplicator must win (Lemma 5.4).
+        let n = 8;
+        let (g, gp) = star_graphs(n);
+        for seed in 0..5 {
+            let mut spoiler = RandomSpoiler::new(seed, (n / 2) as usize);
+            let mut duplicator = ConstraintDuplicator::new(seed + 100);
+            let outcome = play(&g, &gp, 3, &mut spoiler, &mut duplicator);
+            assert_eq!(
+                outcome,
+                Outcome::DuplicatorWins,
+                "random spoiler seed {seed} beat the duplicator at n=8, k=3"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicator_survives_targeted_attack_when_n_large() {
+        let n = 10;
+        let (g, gp) = star_graphs(n);
+        let mut spoiler = FlippedEdgeSpoiler::new(n);
+        let mut duplicator = ConstraintDuplicator::new(7);
+        let outcome = play(&g, &gp, 4, &mut spoiler, &mut duplicator);
+        assert_eq!(outcome, Outcome::DuplicatorWins);
+    }
+
+    #[test]
+    fn atom_pinning_spoiler_wins_long_game() {
+        // n = 4: after pinning all 4 atoms + α + the 3 into-α nodes of G′,
+        // the duplicator cannot preserve edges (G has only 2 In-nodes).
+        let n = 4;
+        let (g, gp) = star_graphs(n);
+        let mut spoiler = AtomPinningSpoiler::new(n, &gp);
+        let mut duplicator = ConstraintDuplicator::new(3);
+        let k = (n as usize) + 1 + 3; // 8 moves
+        let outcome = play(&g, &gp, k, &mut spoiler, &mut duplicator);
+        assert!(
+            matches!(outcome, Outcome::SpoilerWins { .. }),
+            "atom pinning must defeat the duplicator at n=4 with {k} moves, got {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn identical_structures_never_lose() {
+        let (g, _) = star_graphs(6);
+        let mut spoiler = RandomSpoiler::new(11, 3);
+        let mut duplicator = ConstraintDuplicator::new(13);
+        let outcome = play(&g, &g.clone(), 4, &mut spoiler, &mut duplicator);
+        assert_eq!(outcome, Outcome::DuplicatorWins);
+    }
+}

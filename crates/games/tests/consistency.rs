@@ -1,0 +1,98 @@
+//! Cross-validation of the game machinery: the heuristic strategies must
+//! be consistent with the exact solver on instances small enough to
+//! solve, and the Figure 1 invariants must hold at every size we can
+//! build.
+
+use balg_core::bag::Bag;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use balg_games::prelude::*;
+
+#[test]
+fn property_one_exactly_up_to_n16() {
+    for n in (4..=16).step_by(2) {
+        let families = half_families(n);
+        assert!(families.verify_property_one(), "property (1) at n={n}");
+        assert!(families.all_distinct(), "distinctness at n={n}");
+        assert_eq!(families.inn.len(), 1 << (n / 2 - 1));
+    }
+}
+
+#[test]
+fn solver_and_duplicator_agree_on_duplicator_wins() {
+    // Wherever the exact solver certifies a duplicator win, the heuristic
+    // duplicator must also survive (its candidate set is a subset of the
+    // solver's object pool).
+    let (g, gp) = star_graphs(4);
+    let mut solver = GameSolver::new(&g, &gp, &[2, 4], 1 << 22);
+    assert_eq!(solver.solve(1), Verdict::DuplicatorWins);
+    for seed in 0..8 {
+        let mut spoiler = RandomSpoiler::new(seed, 2);
+        let mut duplicator = ConstraintDuplicator::new(seed + 50);
+        assert_eq!(
+            play(&g, &gp, 1, &mut spoiler, &mut duplicator),
+            Outcome::DuplicatorWins,
+            "heuristic duplicator lost a certified-win game (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn solver_finds_spoiler_wins_on_distinguishable_pairs() {
+    // A graph vs its reverse with an asymmetric edge set: a single tuple
+    // pick separates them when no automorphism matches.
+    let edge = |a: i64, b: i64| Value::tuple([Value::int(a), Value::int(b)]);
+    let chain = Database::new().with("E", Bag::from_values([edge(1, 2), edge(2, 3)]));
+    let fork = Database::new().with("E", Bag::from_values([edge(1, 2), edge(1, 3)]));
+    let mut solver = GameSolver::new(&chain, &fork, &[], 1 << 22);
+    // chain has a 2-path, fork does not: 2 moves suffice for the spoiler
+    // (pick both chain edges; their shared middle node cannot be matched).
+    assert_eq!(solver.solve(2), Verdict::SpoilerWins);
+}
+
+#[test]
+fn partial_isomorphism_is_symmetric() {
+    let (g, gp) = star_graphs(6);
+    let alpha = alpha_node(6);
+    let node = flipped_node(6);
+    let forward = vec![(alpha.clone(), alpha.clone()), (node.clone(), node.clone())];
+    let backward: Vec<(Value, Value)> =
+        forward.iter().map(|(a, b)| (b.clone(), a.clone())).collect();
+    assert_eq!(
+        is_partial_isomorphism(&g, &gp, &forward),
+        is_partial_isomorphism(&gp, &g, &backward)
+    );
+}
+
+#[test]
+fn degrees_function_matches_manual_count() {
+    let (g, _) = star_graphs(8);
+    let alpha = alpha_node(8);
+    let (din, dout) = degrees(&g, &alpha);
+    let edges = g.get("E").unwrap();
+    let manual_in = edges
+        .iter()
+        .filter(|(e, _)| e.as_tuple().unwrap()[1] == alpha)
+        .count() as u64;
+    let manual_out = edges
+        .iter()
+        .filter(|(e, _)| e.as_tuple().unwrap()[0] == alpha)
+        .count() as u64;
+    assert_eq!((din, dout), (manual_in, manual_out));
+}
+
+#[test]
+fn duplicator_wins_scale_with_n_over_2k() {
+    // Lemma 5.4's regime across sizes: n > 2k ⇒ duplicator wins.
+    for (n, k) in [(6u32, 2usize), (8, 3), (10, 4)] {
+        assert!(n as usize > 2 * k);
+        let (g, gp) = star_graphs(n);
+        let mut spoiler = FlippedEdgeSpoiler::new(n);
+        let mut duplicator = ConstraintDuplicator::new(9);
+        assert_eq!(
+            play(&g, &gp, k, &mut spoiler, &mut duplicator),
+            Outcome::DuplicatorWins,
+            "n={n}, k={k}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The hyper-exponential counting expressions of Theorems 6.1/6.2 and
+//! Lemma 5.7.
+//!
+//! * `N(B) = π₁(⟦[a]⟧ × B)` normalizes a bag of tuples to `⟦[a]^|B|⟧`;
+//! * `E(B) = N(P(P(N(B))))` produces `⟦[a]^(2^{|B|+1})⟧` — the double
+//!   powerset is the paper's engine of exponential duplicate growth
+//!   (Proposition 3.2): one `P` alone explodes only once;
+//! * `D(B) = P(Eⁱ(B))` is the bounded index domain: one occurrence of
+//!   each bag of size `0 … hyper(i)(|B|)`;
+//! * `E_pb(B)` is the Lemma 5.7 variant with a **single** powerbag in
+//!   place of the double powerset — powerbag distinguishes occurrences,
+//!   so one application already doubles exponentially (Theorem 5.5 keeps
+//!   the nesting inside BALG² this way).
+
+use balg_core::derived::{count, count_product};
+use balg_core::expr::Expr;
+
+/// `N(B) = π₁(⟦[a]⟧ × B)` for a bag of tuples: `⟦[a]^|B|⟧`.
+pub fn n_of(b: Expr) -> Expr {
+    count_product(b)
+}
+
+/// `N` for bags of arbitrary element type, via MAP (same result).
+pub fn n_map(b: Expr) -> Expr {
+    count(b)
+}
+
+/// `E(B) = N(P(P(N(B))))`: a bag of `2^{|B|+1}` occurrences of `[a]`.
+/// (The two nested `P`s require intermediate nesting 3 — this is why the
+/// Theorem 6.1 construction needs BALG³.)
+pub fn e_of(b: Expr) -> Expr {
+    n_map(n_map(b).powerset().powerset())
+}
+
+/// `Eⁱ(B)`: the `i`-fold tower. `E⁰(B) = N(B)`.
+pub fn e_tower(b: Expr, i: u32) -> Expr {
+    let mut acc = n_map(b);
+    for _ in 0..i {
+        acc = e_of(acc);
+    }
+    acc
+}
+
+/// `D(B) = P(Eⁱ(B))`: the bounded quantification domain — one occurrence
+/// of each integer bag `⟦[a]^j⟧` for `j = 0 … 2↑ⁱ(|B|)`-ish.
+pub fn d_of(b: Expr, i: u32) -> Expr {
+    e_tower(b, i).powerset()
+}
+
+/// Lemma 5.7's exponential step using the powerbag:
+/// `E_pb(B) = count(P_b(B))`, a bag of `2^|B|` occurrences of `[a]`,
+/// with **no** increase of bag nesting beyond 2.
+///
+/// (The journal text renders the expression as `π₂(P_b(bₙ) × ⟦[a]⟧)`;
+/// since `P_b(bₙ)` is a bag of bags — not tuples — the product form does
+/// not type-check, and the MAP-based count computes the same bag.)
+pub fn e_powerbag(b: Expr) -> Expr {
+    count(b.powerbag())
+}
+
+/// The sparse-input shortcut of Theorem 6.2: for inputs whose elements
+/// are (mostly) distinct, `P(P(B))` already explodes doubly, so
+/// `E^{i−2}`-many further steps suffice: `P(E^{i-2}(N(P(P(B)))))`.
+pub fn d_sparse(b: Expr, i: u32) -> Expr {
+    let base = n_map(b.powerset().powerset());
+    let mut acc = base;
+    for _ in 0..i.saturating_sub(2) {
+        acc = e_of(acc);
+    }
+    acc.powerset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balg_core::bag::Bag;
+    use balg_core::derived::decode_int;
+    use balg_core::eval::{eval_bag, Evaluator, Limits};
+    use balg_core::natural::Natural;
+    use balg_core::schema::Database;
+    use balg_core::value::Value;
+
+    fn unary_db(n: u64) -> Database {
+        Database::new().with(
+            "B",
+            Bag::repeated(Value::tuple([Value::sym("u")]), n),
+        )
+    }
+
+    #[test]
+    fn n_of_counts() {
+        let db = unary_db(5);
+        let out = eval_bag(&n_of(Expr::var("B")), &db).unwrap();
+        assert_eq!(decode_int(&Value::Bag(out)), Some(Natural::from(5u64)));
+    }
+
+    #[test]
+    fn e_of_is_exponential() {
+        // |B| = 3 → E(B) has 2^(3+1) = 16 occurrences of [a].
+        let db = unary_db(3);
+        let out = eval_bag(&e_of(Expr::var("B")), &db).unwrap();
+        assert_eq!(out.cardinality(), Natural::from(16u64));
+    }
+
+    #[test]
+    fn d_of_enumerates_integer_domain() {
+        // D with i=0: P(N(B)) = integer bags 0..|B| — |B|+1 elements.
+        let db = unary_db(4);
+        let out = eval_bag(&d_of(Expr::var("B"), 0), &db).unwrap();
+        assert_eq!(out.cardinality(), Natural::from(5u64));
+        // Every element is an integer bag of distinct size.
+        let sizes: std::collections::BTreeSet<u64> = out
+            .elements()
+            .map(|v| {
+                decode_int(v)
+                    .and_then(|n| n.to_u64())
+                    .expect("integer bag")
+            })
+            .collect();
+        assert_eq!(sizes, (0..=4u64).collect());
+    }
+
+    #[test]
+    fn e_powerbag_matches_double_powerset_growth() {
+        // E_pb(⟦u⟧ⁿ) = ⟦[a]^(2^n)⟧.
+        for n in [0u64, 1, 4, 6] {
+            let db = Database::new().with("B", Bag::repeated(Value::sym("u"), n));
+            let out = eval_bag(&e_powerbag(Expr::var("B")), &db).unwrap();
+            assert_eq!(out.cardinality(), Natural::pow2(n), "at n={n}");
+        }
+    }
+
+    #[test]
+    fn tower_growth_is_hyperexponential() {
+        // E¹ on |B|=1: 2^(1+1) = 4; E² : 2^(4+1) = 32.
+        let db = unary_db(1);
+        let e1 = eval_bag(&e_tower(Expr::var("B"), 1), &db).unwrap();
+        assert_eq!(e1.cardinality(), Natural::from(4u64));
+        let e2 = eval_bag(&e_tower(Expr::var("B"), 2), &db).unwrap();
+        assert_eq!(e2.cardinality(), Natural::from(32u64));
+    }
+
+    #[test]
+    fn tower_is_budget_guarded() {
+        let db = unary_db(8);
+        let mut limits = Limits::default();
+        limits.max_bag_elements = 1 << 10;
+        let mut ev = Evaluator::new(&db, limits);
+        // E³(8) needs ~2^(2^(2^9)) elements: must fail fast, not hang.
+        assert!(ev.eval(&e_tower(Expr::var("B"), 3)).is_err());
+    }
+
+    #[test]
+    fn sparse_shortcut_types_out() {
+        // d_sparse on distinct elements: P(P(B)) on 2 distinct singleton
+        // tuples = 16 subbags-of-subbags → N → 16 units → P → 17 ints.
+        let db = Database::new().with(
+            "B",
+            Bag::from_values([
+                Value::tuple([Value::sym("x")]),
+                Value::tuple([Value::sym("y")]),
+            ]),
+        );
+        let out = eval_bag(&d_sparse(Expr::var("B"), 2), &db).unwrap();
+        assert_eq!(out.cardinality(), Natural::from(17u64));
+    }
+}

@@ -1,0 +1,49 @@
+//! # balg-machine — Turing machines and their bag-algebra encodings
+//!
+//! The Section 6 machinery plus the Section 2 counters remark: a
+//! deterministic TM substrate ([`tm`]), counter machines whose registers
+//! are bags ([`counter`], the [GM95] bags↔counters link), the
+//! hyper-exponential counting expressions `N`/`E`/`D` of Theorems 6.1/6.2
+//! and Lemma 5.7 ([`encoding`]), and the Theorem 6.6 compilation of
+//! machines into BALG + inflationary-fixpoint programs whose fixpoint rows
+//! decode back into the very configurations the direct simulator produces
+//! ([`compile`]).
+//!
+//! ```
+//! use balg_core::eval::Limits;
+//! use balg_machine::prelude::*;
+//!
+//! let tm = flip_machine();
+//! let direct = tm.run(&['0', '1'], 2, 100).unwrap();
+//! let compiled = compile(&tm, &['0', '1'], 2);
+//! let via_algebra = compiled.run(Limits::default()).unwrap();
+//! assert!(compiled.agrees_with(&direct, &via_algebra));
+//! assert_eq!(&via_algebra.final_config.tape[..2], &['1', '0']);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compile;
+pub mod counter;
+pub mod encoding;
+pub mod tm;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::compile::{
+        accept_expr, compile, decode_rows, expected_row_count, index_bag, BagRun, BagRunError,
+        CompiledTm, DecodeError, DecodedConfig,
+    };
+    pub use crate::counter::{
+        addition_machine, compile_counter, doubling_machine, CompiledCounterMachine,
+        CounterBagError, CounterError, CounterInstr, CounterMachine, CounterRun,
+    };
+    pub use crate::encoding::{d_of, d_sparse, e_of, e_powerbag, e_tower, n_map, n_of};
+    pub use crate::tm::{
+        flip_machine, parity_machine, unary_successor_machine, zigzag_machine, Config, Move, Run,
+        State, Sym, Tm, TmError,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,338 @@
+//! Deterministic Turing machines (the Section 6 substrate).
+//!
+//! Theorems 6.1 and 6.6 encode TM computations in bags; this module is the
+//! ground truth those encodings are checked against: a small, total,
+//! step-bounded simulator with an explicit configuration trace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tape symbol.
+pub type Sym = char;
+
+/// A machine state name.
+pub type State = Arc<str>;
+
+/// A head move.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Move the head left.
+    Left,
+    /// Move the head right.
+    Right,
+    /// Keep the head in place (not used by the paper's machines, but
+    /// convenient for halting transitions).
+    Stay,
+}
+
+/// A deterministic Turing machine.
+#[derive(Clone, Debug)]
+pub struct Tm {
+    /// The blank symbol.
+    pub blank: Sym,
+    /// The initial state.
+    pub initial: State,
+    /// The accepting (final) state `q_f`; the machine halts whenever no
+    /// transition applies, and *accepts* iff it halts in this state.
+    pub accepting: State,
+    /// The transition function `δ(state, symbol) = (state′, symbol′, move)`.
+    pub transitions: BTreeMap<(State, Sym), (State, Sym, Move)>,
+}
+
+/// One machine configuration: state, head position, tape contents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Config {
+    /// The current state.
+    pub state: State,
+    /// 0-based head position.
+    pub head: usize,
+    /// Tape cells (fixed length; see [`Tm::run`]).
+    pub tape: Vec<Sym>,
+}
+
+/// The result of running a machine.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// `true` iff the machine halted in the accepting state.
+    pub accepted: bool,
+    /// Steps taken until halting.
+    pub steps: usize,
+    /// The full configuration trace, `trace[t]` being the configuration
+    /// at time `t` (so `trace.len() == steps + 1`).
+    pub trace: Vec<Config>,
+}
+
+impl Run {
+    /// The final tape.
+    pub fn final_tape(&self) -> &[Sym] {
+        &self.trace.last().expect("nonempty trace").tape
+    }
+}
+
+/// Why a run failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TmError {
+    /// The step budget was exhausted before halting.
+    StepBudget(usize),
+    /// The head fell off the left end of the tape.
+    FellOffLeft {
+        /// The step at which it happened.
+        at_step: usize,
+    },
+    /// The head fell off the (pre-padded) right end of the tape.
+    FellOffRight {
+        /// The step at which it happened.
+        at_step: usize,
+    },
+}
+
+impl fmt::Display for TmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmError::StepBudget(n) => write!(f, "machine did not halt within {n} steps"),
+            TmError::FellOffLeft { at_step } => write!(f, "head fell off the left at step {at_step}"),
+            TmError::FellOffRight { at_step } => {
+                write!(f, "head fell off the padded tape at step {at_step}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TmError {}
+
+impl Tm {
+    /// Build a machine from transition 4-tuples
+    /// `(state, read, state′, write, move)`.
+    pub fn new(
+        blank: Sym,
+        initial: &str,
+        accepting: &str,
+        transitions: &[(&str, Sym, &str, Sym, Move)],
+    ) -> Tm {
+        Tm {
+            blank,
+            initial: Arc::from(initial),
+            accepting: Arc::from(accepting),
+            transitions: transitions
+                .iter()
+                .map(|(q, s, q2, s2, m)| {
+                    ((Arc::from(*q), *s), (Arc::from(*q2), *s2, *m))
+                })
+                .collect(),
+        }
+    }
+
+    /// All state names, in order, including initial and accepting.
+    pub fn states(&self) -> Vec<State> {
+        let mut out = vec![self.initial.clone(), self.accepting.clone()];
+        for ((q, _), (q2, _, _)) in &self.transitions {
+            out.push(q.clone());
+            out.push(q2.clone());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All tape symbols, including the blank.
+    pub fn symbols(&self) -> Vec<Sym> {
+        let mut out = vec![self.blank];
+        for ((_, s), (_, s2, _)) in &self.transitions {
+            out.push(*s);
+            out.push(*s2);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Run on `input`, with the tape pre-padded to
+    /// `input.len() + padding` blanks, for at most `max_steps` steps.
+    ///
+    /// The fixed-length tape matches the Theorem 6.1/6.6 encodings, where
+    /// the represented tape portion is bounded a priori by the space
+    /// budget of the simulated complexity class.
+    pub fn run(&self, input: &[Sym], padding: usize, max_steps: usize) -> Result<Run, TmError> {
+        let mut tape: Vec<Sym> = input.to_vec();
+        tape.resize(input.len() + padding, self.blank);
+        if tape.is_empty() {
+            tape.push(self.blank);
+        }
+        let mut config = Config {
+            state: self.initial.clone(),
+            head: 0,
+            tape,
+        };
+        let mut trace = vec![config.clone()];
+        for step in 0..max_steps {
+            let key = (config.state.clone(), config.tape[config.head]);
+            let Some((state2, write, mv)) = self.transitions.get(&key) else {
+                // Halted.
+                return Ok(Run {
+                    accepted: config.state == self.accepting,
+                    steps: step,
+                    trace,
+                });
+            };
+            config.tape[config.head] = *write;
+            config.state = state2.clone();
+            match mv {
+                Move::Left => {
+                    config.head = config
+                        .head
+                        .checked_sub(1)
+                        .ok_or(TmError::FellOffLeft { at_step: step })?;
+                }
+                Move::Right => {
+                    config.head += 1;
+                    if config.head >= config.tape.len() {
+                        return Err(TmError::FellOffRight { at_step: step });
+                    }
+                }
+                Move::Stay => {}
+            }
+            trace.push(config.clone());
+        }
+        Err(TmError::StepBudget(max_steps))
+    }
+}
+
+/// Sample machine: flips `0 ↔ 1` left-to-right and accepts at the first
+/// blank.
+pub fn flip_machine() -> Tm {
+    Tm::new(
+        '_',
+        "s",
+        "f",
+        &[
+            ("s", '0', "s", '1', Move::Right),
+            ("s", '1', "s", '0', Move::Right),
+            ("s", '_', "f", '_', Move::Stay),
+        ],
+    )
+}
+
+/// Sample machine: accepts iff the number of `1`s on the (unary) input is
+/// even — the `bag-even` query of Proposition 4.5 as a machine.
+pub fn parity_machine() -> Tm {
+    Tm::new(
+        '_',
+        "even",
+        "acc",
+        &[
+            ("even", '1', "odd", '1', Move::Right),
+            ("odd", '1', "even", '1', Move::Right),
+            ("even", '_', "acc", '_', Move::Stay),
+            // odd + blank: halt in "odd" (reject).
+        ],
+    )
+}
+
+/// Sample machine: replaces the unary input `1ⁿ` by `1^{n+1}` (successor)
+/// and accepts.
+pub fn unary_successor_machine() -> Tm {
+    Tm::new(
+        '_',
+        "scan",
+        "acc",
+        &[
+            ("scan", '1', "scan", '1', Move::Right),
+            ("scan", '_', "acc", '1', Move::Stay),
+        ],
+    )
+}
+
+/// Sample machine: a 3-step zig-zag exercising **left** moves —
+/// writes `ab` then walks back and accepts on the first cell.
+pub fn zigzag_machine() -> Tm {
+    Tm::new(
+        '_',
+        "q0",
+        "acc",
+        &[
+            ("q0", '_', "q1", 'a', Move::Right),
+            ("q1", '_', "q2", 'b', Move::Left),
+            ("q2", 'a', "acc", 'a', Move::Stay),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_machine_flips() {
+        let run = flip_machine().run(&['0', '1', '1'], 2, 100).unwrap();
+        assert!(run.accepted);
+        assert_eq!(&run.final_tape()[..3], &['1', '0', '0']);
+        assert_eq!(run.steps, 4); // 3 flips + halt transition
+    }
+
+    #[test]
+    fn parity_machine_decides_parity() {
+        for n in 0..7 {
+            let input: Vec<Sym> = std::iter::repeat_n('1', n).collect();
+            let run = parity_machine().run(&input, 2, 100).unwrap();
+            assert_eq!(run.accepted, n % 2 == 0, "parity wrong at n={n}");
+        }
+    }
+
+    #[test]
+    fn unary_successor() {
+        let run = unary_successor_machine().run(&['1', '1'], 2, 100).unwrap();
+        assert!(run.accepted);
+        assert_eq!(&run.final_tape()[..3], &['1', '1', '1']);
+    }
+
+    #[test]
+    fn zigzag_moves_left() {
+        let run = zigzag_machine().run(&[], 3, 100).unwrap();
+        assert!(run.accepted);
+        assert_eq!(&run.final_tape()[..2], &['a', 'b']);
+        assert_eq!(run.trace.last().unwrap().head, 0);
+    }
+
+    #[test]
+    fn step_budget_enforced() {
+        // A machine that loops forever in place.
+        let looper = Tm::new('_', "q", "f", &[("q", '_', "q", '_', Move::Stay)]);
+        assert!(matches!(looper.run(&[], 1, 50), Err(TmError::StepBudget(50))));
+    }
+
+    #[test]
+    fn falling_off_right_detected() {
+        let runner = Tm::new('_', "q", "f", &[("q", '_', "q", '_', Move::Right)]);
+        assert!(matches!(
+            runner.run(&[], 3, 100),
+            Err(TmError::FellOffRight { .. })
+        ));
+    }
+
+    #[test]
+    fn falling_off_left_detected() {
+        let lefty = Tm::new('_', "q", "f", &[("q", '_', "q", '_', Move::Left)]);
+        assert!(matches!(
+            lefty.run(&[], 1, 10),
+            Err(TmError::FellOffLeft { at_step: 0 })
+        ));
+    }
+
+    #[test]
+    fn states_and_symbols_enumerated() {
+        let tm = parity_machine();
+        let states = tm.states();
+        assert!(states.iter().any(|s| &**s == "even"));
+        assert!(states.iter().any(|s| &**s == "acc"));
+        assert_eq!(tm.symbols(), vec!['1', '_']);
+    }
+
+    #[test]
+    fn trace_is_complete() {
+        let run = flip_machine().run(&['1'], 2, 100).unwrap();
+        assert_eq!(run.trace.len(), run.steps + 1);
+        assert_eq!(run.trace[0].state, Arc::<str>::from("s"));
+        assert_eq!(run.trace[0].head, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Direct set-semantics evaluation of RALG expressions.
+//!
+//! Every operator re-establishes the set invariant, so intermediate
+//! results are nested *sets* exactly as in [AB87]/[HS91]. Budgets reuse
+//! [`balg_core::eval::Limits`].
+
+use balg_core::bag::BagError;
+use balg_core::eval::{EvalError, Limits};
+use balg_core::expr::Var;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+
+use crate::expr::{RalgExpr, RalgPred};
+use crate::relation::{deep_dedup, Relation};
+
+/// A reusable RALG evaluator bound to one database (whose bags are viewed
+/// as relations via deep duplicate elimination — the `DB′` of
+/// Proposition 4.2).
+pub struct RalgEvaluator<'a> {
+    db: &'a Database,
+    limits: Limits,
+    env: Vec<(Var, Value)>,
+    steps_left: u64,
+}
+
+impl<'a> RalgEvaluator<'a> {
+    /// Create an evaluator with the given budgets.
+    pub fn new(db: &'a Database, limits: Limits) -> Self {
+        let steps_left = limits.max_steps;
+        RalgEvaluator {
+            db,
+            limits,
+            env: Vec::new(),
+            steps_left,
+        }
+    }
+
+    /// Evaluate a closed expression.
+    pub fn eval(&mut self, expr: &RalgExpr) -> Result<Value, EvalError> {
+        debug_assert!(self.env.is_empty());
+        self.eval_inner(expr)
+    }
+
+    /// Evaluate, requiring a relation result.
+    pub fn eval_relation(&mut self, expr: &RalgExpr) -> Result<Relation, EvalError> {
+        expect_relation(self.eval(expr)?)
+    }
+
+    fn step(&mut self) -> Result<(), EvalError> {
+        match self.steps_left.checked_sub(1) {
+            Some(rest) => {
+                self.steps_left = rest;
+                Ok(())
+            }
+            None => Err(EvalError::StepLimit(self.limits.max_steps)),
+        }
+    }
+
+    fn check_size(&self, rel: &Relation) -> Result<(), EvalError> {
+        let count = rel.len() as u64;
+        if count > self.limits.max_bag_elements {
+            return Err(EvalError::ElementLimit {
+                observed: count,
+                limit: self.limits.max_bag_elements,
+            });
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &Var) -> Result<Value, EvalError> {
+        for (bound, value) in self.env.iter().rev() {
+            if bound == name {
+                return Ok(value.clone());
+            }
+        }
+        self.db
+            .get(name)
+            .map(|bag| Relation::from_bag(bag).to_value())
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))
+    }
+
+    fn eval_inner(&mut self, expr: &RalgExpr) -> Result<Value, EvalError> {
+        self.step()?;
+        match expr {
+            RalgExpr::Var(name) => self.lookup(name),
+            RalgExpr::Lit(value) => Ok(deep_dedup(value)),
+            RalgExpr::Union(a, b) => self.eval_binary(a, b, |x, y| Ok(x.union(y))),
+            RalgExpr::Intersect(a, b) => self.eval_binary(a, b, |x, y| Ok(x.intersect(y))),
+            RalgExpr::Difference(a, b) => self.eval_binary(a, b, |x, y| Ok(x.difference(y))),
+            RalgExpr::Product(a, b) => self.eval_binary(a, b, |x, y| x.product(y)),
+            RalgExpr::Powerset(e) => {
+                let rel = expect_relation(self.eval_inner(e)?)?;
+                let out = rel.powerset(self.limits.max_bag_elements)?;
+                self.check_size(&out)?;
+                Ok(out.to_value())
+            }
+            RalgExpr::Tuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for field in fields {
+                    out.push(self.eval_inner(field)?);
+                }
+                Ok(Value::Tuple(out))
+            }
+            RalgExpr::Singleton(e) => {
+                let value = self.eval_inner(e)?;
+                Ok(Relation::from_values([value]).to_value())
+            }
+            RalgExpr::Attr(e, index) => {
+                let value = self.eval_inner(e)?;
+                match &value {
+                    Value::Tuple(fields) => {
+                        fields
+                            .get(index.wrapping_sub(1))
+                            .cloned()
+                            .ok_or(EvalError::Bag(BagError::BadArity {
+                                index: *index,
+                                arity: fields.len(),
+                            }))
+                    }
+                    other => Err(EvalError::Shape {
+                        expected: "a tuple",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            RalgExpr::Flatten(e) => {
+                let rel = expect_relation(self.eval_inner(e)?)?;
+                let out = rel.flatten()?;
+                self.check_size(&out)?;
+                Ok(out.to_value())
+            }
+            RalgExpr::Map { var, body, input } => {
+                let rel = expect_relation(self.eval_inner(input)?)?;
+                let mut out = Relation::new();
+                for value in rel.iter() {
+                    self.env.push((var.clone(), value.clone()));
+                    let image = self.eval_inner(body);
+                    self.env.pop();
+                    out.insert(image?);
+                }
+                self.check_size(&out)?;
+                Ok(out.to_value())
+            }
+            RalgExpr::Select { var, pred, input } => {
+                let rel = expect_relation(self.eval_inner(input)?)?;
+                let mut out = Relation::new();
+                for value in rel.iter() {
+                    self.env.push((var.clone(), value.clone()));
+                    let keep = self.eval_pred(pred);
+                    self.env.pop();
+                    if keep? {
+                        out.insert(value.clone());
+                    }
+                }
+                Ok(out.to_value())
+            }
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        a: &RalgExpr,
+        b: &RalgExpr,
+        op: impl FnOnce(&Relation, &Relation) -> Result<Relation, BagError>,
+    ) -> Result<Value, EvalError> {
+        let left = expect_relation(self.eval_inner(a)?)?;
+        let right = expect_relation(self.eval_inner(b)?)?;
+        let out = op(&left, &right)?;
+        self.check_size(&out)?;
+        Ok(out.to_value())
+    }
+
+    fn eval_pred(&mut self, pred: &RalgPred) -> Result<bool, EvalError> {
+        self.step()?;
+        match pred {
+            RalgPred::True => Ok(true),
+            RalgPred::Eq(a, b) => Ok(self.eval_inner(a)? == self.eval_inner(b)?),
+            RalgPred::Member(a, b) => {
+                let elem = self.eval_inner(a)?;
+                let rel = expect_relation(self.eval_inner(b)?)?;
+                Ok(rel.contains(&elem))
+            }
+            RalgPred::Subset(a, b) => {
+                let left = expect_relation(self.eval_inner(a)?)?;
+                let right = expect_relation(self.eval_inner(b)?)?;
+                Ok(left.is_subset_of(&right))
+            }
+            RalgPred::Not(p) => Ok(!self.eval_pred(p)?),
+            RalgPred::And(a, b) => Ok(self.eval_pred(a)? && self.eval_pred(b)?),
+            RalgPred::Or(a, b) => Ok(self.eval_pred(a)? || self.eval_pred(b)?),
+        }
+    }
+}
+
+fn expect_relation(value: Value) -> Result<Relation, EvalError> {
+    match value {
+        Value::Bag(bag) => Ok(Relation::from_bag(&bag)),
+        other => Err(EvalError::Shape {
+            expected: "a relation",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// Evaluate with default limits.
+pub fn eval(expr: &RalgExpr, db: &Database) -> Result<Value, EvalError> {
+    RalgEvaluator::new(db, Limits::default()).eval(expr)
+}
+
+/// Evaluate with default limits, requiring a relation.
+pub fn eval_relation(expr: &RalgExpr, db: &Database) -> Result<Relation, EvalError> {
+    RalgEvaluator::new(db, Limits::default()).eval_relation(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balg_core::bag::Bag;
+    use balg_core::natural::Natural;
+
+    fn unary(elems: &[&str]) -> Bag {
+        Bag::from_values(elems.iter().map(|e| Value::tuple([Value::sym(e)])))
+    }
+
+    #[test]
+    fn database_bags_are_viewed_as_sets() {
+        let mut bag = Bag::new();
+        bag.insert_with_multiplicity(
+            Value::tuple([Value::sym("a")]),
+            Natural::from(5u64),
+        );
+        let db = Database::new().with("R", bag);
+        let rel = eval_relation(&RalgExpr::var("R"), &db).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn union_difference_set_semantics() {
+        let db = Database::new()
+            .with("R", unary(&["a", "b"]))
+            .with("S", unary(&["b", "c"]));
+        let u = eval_relation(&RalgExpr::var("R").union(RalgExpr::var("S")), &db).unwrap();
+        assert_eq!(u.len(), 3);
+        let d = eval_relation(&RalgExpr::var("R").difference(RalgExpr::var("S")), &db).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn map_dedups_images() {
+        let db = Database::new().with("R", unary(&["a", "b", "c"]));
+        // project everything to a constant: set semantics → one element.
+        let q = RalgExpr::var("R").map("x", RalgExpr::tuple([RalgExpr::lit(Value::sym("k"))]));
+        let rel = eval_relation(&q, &db).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn powerset_and_flatten_roundtrip() {
+        let db = Database::new().with("R", unary(&["a", "b"]));
+        let q = RalgExpr::var("R").powerset().flatten();
+        let rel = eval_relation(&q, &db).unwrap();
+        assert_eq!(rel.len(), 2); // ⋃(P(R)) = R
+    }
+
+    #[test]
+    fn select_with_membership() {
+        let db = Database::new().with("R", unary(&["a", "b"]));
+        let q = RalgExpr::var("R").powerset().select(
+            "s",
+            RalgPred::Member(
+                RalgExpr::lit(Value::tuple([Value::sym("a")])),
+                RalgExpr::var("s"),
+            ),
+        );
+        let rel = eval_relation(&q, &db).unwrap();
+        assert_eq!(rel.len(), 2); // {a} and {a,b}
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let db = Database::new().with("R", unary(&["a", "b", "c", "d", "e"]));
+        let mut limits = Limits::default();
+        limits.max_bag_elements = 8;
+        let mut ev = RalgEvaluator::new(&db, limits);
+        assert!(ev.eval(&RalgExpr::var("R").powerset()).is_err());
+    }
+}

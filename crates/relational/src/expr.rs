@@ -1,0 +1,276 @@
+//! The RALG expression language — the nested relational algebra of [AB87]
+//! in the variant the paper compares BALG against.
+//!
+//! RALG has the same operator shapes as BALG but set semantics: union,
+//! intersection, difference, product, powerset, MAP (with implicit
+//! duplicate elimination), selection, tupling, set construction, and
+//! set-flattening. `RALGᵏ` restricts all intermediate types to set
+//! nesting ≤ k, mirroring `BALGᵏ`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use balg_core::expr::Var;
+use balg_core::value::Value;
+
+/// A RALG expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RalgExpr {
+    /// A database relation or λ-bound variable.
+    Var(Var),
+    /// A constant (must be duplicate-free; deep-deduplicated on eval).
+    Lit(Value),
+    /// Set union.
+    Union(Box<RalgExpr>, Box<RalgExpr>),
+    /// Set intersection.
+    Intersect(Box<RalgExpr>, Box<RalgExpr>),
+    /// Set difference.
+    Difference(Box<RalgExpr>, Box<RalgExpr>),
+    /// Cartesian product.
+    Product(Box<RalgExpr>, Box<RalgExpr>),
+    /// Powerset (all subsets).
+    Powerset(Box<RalgExpr>),
+    /// Tupling.
+    Tuple(Vec<RalgExpr>),
+    /// Singleton set construction (the paper's "setting" operation).
+    Singleton(Box<RalgExpr>),
+    /// Attribute projection `αᵢ` (1-based) on a tuple.
+    Attr(Box<RalgExpr>, usize),
+    /// Flatten a set of sets (`⋃`).
+    Flatten(Box<RalgExpr>),
+    /// Set-semantics restructuring.
+    Map {
+        /// λ-bound variable.
+        var: Var,
+        /// λ body.
+        body: Box<RalgExpr>,
+        /// Input relation.
+        input: Box<RalgExpr>,
+    },
+    /// Selection.
+    Select {
+        /// λ-bound variable.
+        var: Var,
+        /// Predicate.
+        pred: Box<RalgPred>,
+        /// Input relation.
+        input: Box<RalgExpr>,
+    },
+}
+
+/// A RALG selection predicate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RalgPred {
+    /// Always true.
+    True,
+    /// Equality of two expressions.
+    Eq(RalgExpr, RalgExpr),
+    /// Membership `φ ∈ φ′`.
+    Member(RalgExpr, RalgExpr),
+    /// Containment `φ ⊆ φ′`.
+    Subset(RalgExpr, RalgExpr),
+    /// Negation.
+    Not(Box<RalgPred>),
+    /// Conjunction.
+    And(Box<RalgPred>, Box<RalgPred>),
+    /// Disjunction.
+    Or(Box<RalgPred>, Box<RalgPred>),
+}
+
+impl RalgExpr {
+    /// A variable reference.
+    pub fn var(name: &str) -> RalgExpr {
+        RalgExpr::Var(Arc::from(name))
+    }
+
+    /// A constant.
+    pub fn lit(value: impl Into<Value>) -> RalgExpr {
+        RalgExpr::Lit(value.into())
+    }
+
+    /// Set union.
+    pub fn union(self, other: RalgExpr) -> RalgExpr {
+        RalgExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RalgExpr) -> RalgExpr {
+        RalgExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Set difference.
+    pub fn difference(self, other: RalgExpr) -> RalgExpr {
+        RalgExpr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Cartesian product.
+    pub fn product(self, other: RalgExpr) -> RalgExpr {
+        RalgExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Powerset.
+    pub fn powerset(self) -> RalgExpr {
+        RalgExpr::Powerset(Box::new(self))
+    }
+
+    /// Tupling.
+    pub fn tuple(fields: impl IntoIterator<Item = RalgExpr>) -> RalgExpr {
+        RalgExpr::Tuple(fields.into_iter().collect())
+    }
+
+    /// Singleton set.
+    pub fn singleton(self) -> RalgExpr {
+        RalgExpr::Singleton(Box::new(self))
+    }
+
+    /// Attribute projection.
+    pub fn attr(self, index: usize) -> RalgExpr {
+        RalgExpr::Attr(Box::new(self), index)
+    }
+
+    /// Flatten a set of sets.
+    pub fn flatten(self) -> RalgExpr {
+        RalgExpr::Flatten(Box::new(self))
+    }
+
+    /// `MAP_{λvar.body}(self)`.
+    pub fn map(self, var: &str, body: RalgExpr) -> RalgExpr {
+        RalgExpr::Map {
+            var: Arc::from(var),
+            body: Box::new(body),
+            input: Box::new(self),
+        }
+    }
+
+    /// `σ_{λvar.pred}(self)`.
+    pub fn select(self, var: &str, pred: RalgPred) -> RalgExpr {
+        RalgExpr::Select {
+            var: Arc::from(var),
+            pred: Box::new(pred),
+            input: Box::new(self),
+        }
+    }
+
+    /// Projection sugar over 1-based attribute indices.
+    pub fn project(self, indices: &[usize]) -> RalgExpr {
+        let x = RalgExpr::var("π");
+        let body = RalgExpr::tuple(indices.iter().map(|&i| x.clone().attr(i)));
+        self.map("π", body)
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        let mut count = 1;
+        match self {
+            RalgExpr::Var(_) | RalgExpr::Lit(_) => {}
+            RalgExpr::Union(a, b)
+            | RalgExpr::Intersect(a, b)
+            | RalgExpr::Difference(a, b)
+            | RalgExpr::Product(a, b) => count += a.size() + b.size(),
+            RalgExpr::Tuple(fields) => count += fields.iter().map(RalgExpr::size).sum::<usize>(),
+            RalgExpr::Powerset(e)
+            | RalgExpr::Singleton(e)
+            | RalgExpr::Attr(e, _)
+            | RalgExpr::Flatten(e) => count += e.size(),
+            RalgExpr::Map { body, input, .. } => count += body.size() + input.size(),
+            RalgExpr::Select { pred, input, .. } => count += pred.size() + input.size(),
+        }
+        count
+    }
+}
+
+impl RalgPred {
+    /// Equality.
+    pub fn eq(a: RalgExpr, b: RalgExpr) -> RalgPred {
+        RalgPred::Eq(a, b)
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: RalgPred) -> RalgPred {
+        RalgPred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> RalgPred {
+        RalgPred::Not(Box::new(self))
+    }
+
+    fn size(&self) -> usize {
+        match self {
+            RalgPred::True => 1,
+            RalgPred::Eq(a, b) | RalgPred::Member(a, b) | RalgPred::Subset(a, b) => {
+                1 + a.size() + b.size()
+            }
+            RalgPred::Not(p) => 1 + p.size(),
+            RalgPred::And(a, b) | RalgPred::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for RalgExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RalgExpr::Var(name) => f.write_str(name),
+            RalgExpr::Lit(value) => write!(f, "{value}"),
+            RalgExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            RalgExpr::Intersect(a, b) => write!(f, "({a} ∩ {b})"),
+            RalgExpr::Difference(a, b) => write!(f, "({a} − {b})"),
+            RalgExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RalgExpr::Powerset(e) => write!(f, "P({e})"),
+            RalgExpr::Tuple(fields) => {
+                f.write_str("τ(")?;
+                for (i, field) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{field}")?;
+                }
+                f.write_str(")")
+            }
+            RalgExpr::Singleton(e) => write!(f, "set({e})"),
+            RalgExpr::Attr(e, i) => write!(f, "α{i}({e})"),
+            RalgExpr::Flatten(e) => write!(f, "⋃({e})"),
+            RalgExpr::Map { var, body, input } => {
+                write!(f, "MAP[λ{var}.{body}]({input})")
+            }
+            RalgExpr::Select { var, pred, input } => {
+                write!(f, "σ[λ{var}.{pred}]({input})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for RalgPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RalgPred::True => f.write_str("⊤"),
+            RalgPred::Eq(a, b) => write!(f, "{a} = {b}"),
+            RalgPred::Member(a, b) => write!(f, "{a} ∈ {b}"),
+            RalgPred::Subset(a, b) => write!(f, "{a} ⊆ {b}"),
+            RalgPred::Not(p) => write!(f, "¬({p})"),
+            RalgPred::And(a, b) => write!(f, "({a} ∧ {b})"),
+            RalgPred::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_size() {
+        let q = RalgExpr::var("R")
+            .product(RalgExpr::var("S"))
+            .select("x", RalgPred::eq(RalgExpr::var("x").attr(1), RalgExpr::var("x").attr(2)));
+        assert!(q.size() >= 7);
+        assert!(q.to_string().contains("α1(x) = α2(x)"));
+    }
+
+    #[test]
+    fn projection_sugar() {
+        let q = RalgExpr::var("R").project(&[2, 1]);
+        assert!(matches!(q, RalgExpr::Map { .. }));
+    }
+}

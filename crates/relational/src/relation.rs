@@ -1,0 +1,298 @@
+//! Nested relations: duplicate-free values and set operations.
+//!
+//! RALG — the complex-object algebra of [AB87] that the paper compares
+//! against — manipulates (nested) *sets*. We represent a set as a
+//! [`Bag`] in which every multiplicity is 1, enforced by this newtype, so
+//! that the Proposition 4.2 equivalence `a ∈ Q(DB) ⟺ a ∈ Q′(DB′)` can be
+//! checked by direct value comparison against the bag side.
+
+use std::fmt;
+
+use balg_core::bag::{Bag, BagError};
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+
+/// A nested relation: a bag whose multiplicities are all 1 and whose
+/// elements are themselves duplicate-free all the way down.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Relation {
+    inner: Bag,
+}
+
+/// Recursively strip duplicates from every bag inside a value — the
+/// canonical injection of bag values into set values.
+pub fn deep_dedup(value: &Value) -> Value {
+    match value {
+        Value::Atom(a) => Value::Atom(a.clone()),
+        Value::Tuple(fields) => Value::Tuple(fields.iter().map(deep_dedup).collect()),
+        Value::Bag(bag) => {
+            let mut out = Bag::new();
+            for (elem, _) in bag.iter() {
+                out.insert_with_multiplicity(deep_dedup(elem), Natural::one());
+            }
+            // deep_dedup may merge elements; dedup again to restore the
+            // set invariant.
+            Value::Bag(out.dedup())
+        }
+    }
+}
+
+/// `true` iff every bag inside the value is duplicate-free.
+pub fn is_set_value(value: &Value) -> bool {
+    match value {
+        Value::Atom(_) => true,
+        Value::Tuple(fields) => fields.iter().all(is_set_value),
+        Value::Bag(bag) => bag
+            .iter()
+            .all(|(elem, mult)| mult.is_one() && is_set_value(elem)),
+    }
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Relation {
+        Relation::default()
+    }
+
+    /// Build from values, deduplicating deeply.
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Relation {
+        let mut inner = Bag::new();
+        for value in values {
+            let v = deep_dedup(&value);
+            if !inner.contains(&v) {
+                inner.insert(v);
+            }
+        }
+        Relation { inner }
+    }
+
+    /// View a bag as a relation by deep duplicate elimination — the `DB′`
+    /// of Proposition 4.2.
+    pub fn from_bag(bag: &Bag) -> Relation {
+        Relation::from_values(bag.elements().cloned())
+    }
+
+    /// The underlying duplicate-free bag.
+    pub fn as_bag(&self) -> &Bag {
+        &self.inner
+    }
+
+    /// Consume into the underlying bag.
+    pub fn into_bag(self) -> Bag {
+        self.inner
+    }
+
+    /// As a set-valued [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::Bag(self.inner.clone())
+    }
+
+    /// Membership.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.distinct_count()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.inner.elements()
+    }
+
+    /// Insert an element (deeply deduplicated).
+    pub fn insert(&mut self, value: Value) {
+        let v = deep_dedup(&value);
+        if !self.inner.contains(&v) {
+            self.inner.insert(v);
+        }
+    }
+
+    // ----- the RALG operations -----
+
+    /// Set union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        Relation {
+            inner: self.inner.max_union(&other.inner),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Relation) -> Relation {
+        Relation {
+            inner: self.inner.intersect(&other.inner),
+        }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        Relation {
+            inner: self.inner.subtract(&other.inner),
+        }
+    }
+
+    /// Cartesian product on relations of tuples.
+    pub fn product(&self, other: &Relation) -> Result<Relation, BagError> {
+        Ok(Relation {
+            inner: self.inner.product(&other.inner)?,
+        })
+    }
+
+    /// The classical powerset: all subsets, each once. On a duplicate-free
+    /// bag, `Bag::powerset` enumerates exactly the subsets.
+    pub fn powerset(&self, max_elements: u64) -> Result<Relation, BagError> {
+        Ok(Relation {
+            inner: self.inner.powerset(max_elements)?,
+        })
+    }
+
+    /// Flatten a relation of relations: `⋃` with duplicate elimination.
+    pub fn flatten(&self) -> Result<Relation, BagError> {
+        Ok(Relation {
+            inner: self.inner.destroy()?.dedup(),
+        })
+    }
+
+    /// Set-semantics MAP: images, deduplicated.
+    pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<Relation, E> {
+        let mut out = Bag::new();
+        for value in self.inner.elements() {
+            let image = f(value)?;
+            if !out.contains(&image) {
+                out.insert(image);
+            }
+        }
+        Ok(Relation { inner: out })
+    }
+
+    /// Selection.
+    pub fn select<E>(&self, pred: impl FnMut(&Value) -> Result<bool, E>) -> Result<Relation, E> {
+        Ok(Relation {
+            inner: self.inner.select(pred)?,
+        })
+    }
+
+    /// Projection over 1-based attribute indices (with set semantics).
+    pub fn project(&self, indices: &[usize]) -> Result<Relation, BagError> {
+        Ok(Relation {
+            inner: self.inner.project(indices)?.dedup(),
+        })
+    }
+
+    /// Subset test.
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.inner.is_subbag_of(&other.inner)
+    }
+}
+
+impl FromIterator<Value> for Relation {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Relation::from_values(iter)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::tuple([Value::sym(s)])
+    }
+
+    #[test]
+    fn from_values_dedups() {
+        let r = Relation::from_values([v("a"), v("a"), v("b")]);
+        assert_eq!(r.len(), 2);
+        assert!(is_set_value(&r.to_value()));
+    }
+
+    #[test]
+    fn from_bag_strips_multiplicities() {
+        let mut bag = Bag::new();
+        bag.insert_with_multiplicity(v("a"), Natural::from(7u64));
+        let r = Relation::from_bag(&bag);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&v("a")));
+    }
+
+    #[test]
+    fn deep_dedup_reaches_nested_bags() {
+        let nested = Value::bag([Value::sym("x"), Value::sym("x"), Value::sym("y")]);
+        let d = deep_dedup(&nested);
+        assert_eq!(d, Value::bag([Value::sym("x"), Value::sym("y")]));
+        assert!(is_set_value(&d));
+        assert!(!is_set_value(&nested));
+    }
+
+    #[test]
+    fn deep_dedup_merges_collapsing_elements() {
+        // Two inner bags that become equal after dedup must merge.
+        let b1 = Value::bag([Value::sym("x"), Value::sym("x")]);
+        let b2 = Value::bag([Value::sym("x")]);
+        let outer = Value::bag([b1, b2]);
+        let d = deep_dedup(&outer);
+        let bag = d.as_bag().unwrap();
+        assert_eq!(bag.distinct_count(), 1);
+        assert!(is_set_value(&d));
+    }
+
+    #[test]
+    fn set_operations() {
+        let r = Relation::from_values([v("a"), v("b")]);
+        let s = Relation::from_values([v("b"), v("c")]);
+        assert_eq!(r.union(&s).len(), 3);
+        assert_eq!(r.intersect(&s).len(), 1);
+        assert_eq!(r.difference(&s).len(), 1);
+        assert!(r.difference(&s).contains(&v("a")));
+        let prod = r.product(&s).unwrap();
+        assert_eq!(prod.len(), 4);
+    }
+
+    #[test]
+    fn powerset_is_subsets() {
+        let r = Relation::from_values([v("a"), v("b")]);
+        let ps = r.powerset(1024).unwrap();
+        assert_eq!(ps.len(), 4);
+    }
+
+    #[test]
+    fn map_set_semantics_collapses() {
+        let r = Relation::from_values([v("a"), v("b")]);
+        let collapsed = r
+            .map(|_| Ok::<_, std::convert::Infallible>(Value::sym("z")))
+            .unwrap();
+        assert_eq!(collapsed.len(), 1);
+    }
+
+    #[test]
+    fn flatten_unions_inner_sets() {
+        let inner1 = Value::bag([Value::sym("x"), Value::sym("y")]);
+        let inner2 = Value::bag([Value::sym("y"), Value::sym("z")]);
+        let r = Relation::from_values([inner1, inner2]);
+        let flat = r.flatten().unwrap();
+        assert_eq!(flat.len(), 3);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let r = Relation::from_values([
+            Value::tuple([Value::sym("a"), Value::sym("1")]),
+            Value::tuple([Value::sym("a"), Value::sym("2")]),
+        ]);
+        let p = r.project(&[1]).unwrap();
+        assert_eq!(p.len(), 1); // set semantics: one [a]
+    }
+}

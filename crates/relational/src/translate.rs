@@ -1,0 +1,302 @@
+//! The Proposition 4.2 translations between BALG¹₋₋ and RALG₋₋.
+//!
+//! Proposition 4.2: *the algebra BALG¹ without subtraction has the same
+//! expressive power as RALG without difference, over sets.* Concretely:
+//!
+//! * [`ralg_to_balg`] — every RALG query becomes a BALG query "by adding a
+//!   duplicate elimination operation after each operator";
+//! * [`balg1_to_ralg`] — every BALG¹₋₋ query `Q` has a RALG₋₋ query `Q′`
+//!   with `a ∈ Q(DB) ⟺ a ∈ Q′(DB′)` where `DB′` deduplicates `DB`.
+//!
+//! [`check_prop_4_2`] verifies the membership equivalence on a concrete
+//! database; experiment E10 sweeps it over an expression zoo and random
+//! databases. Subtraction must be excluded: Example 4.1 shows bag
+//! difference expresses degree comparisons beyond RALG.
+
+use std::fmt;
+
+use balg_core::expr::{Expr, Pred};
+use balg_core::schema::Database;
+use balg_core::value::Value;
+
+use crate::eval as ralg_eval;
+use crate::expr::{RalgExpr, RalgPred};
+use crate::relation::{deep_dedup, Relation};
+
+/// Why a BALG expression has no Proposition 4.2 translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The expression uses bag subtraction `−`, which is strictly more
+    /// expressive than RALG (Proposition 4.3).
+    UsesSubtraction,
+    /// The expression uses an operator outside BALG¹ (`P`, `P_b`, `δ`,
+    /// `IFP`).
+    NotBalg1(&'static str),
+    /// The expression uses order predicates, absent from RALG.
+    UsesOrder,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UsesSubtraction => {
+                f.write_str("bag subtraction has no RALG equivalent (Prop 4.3)")
+            }
+            TranslateError::NotBalg1(op) => write!(f, "operator {op} is outside BALG¹"),
+            TranslateError::UsesOrder => f.write_str("order predicates are outside RALG"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translate a BALG¹₋₋ expression into an equivalent RALG₋₋ expression
+/// (the hard direction of Proposition 4.2).
+pub fn balg1_to_ralg(expr: &Expr) -> Result<RalgExpr, TranslateError> {
+    Ok(match expr {
+        Expr::Var(name) => RalgExpr::Var(name.clone()),
+        Expr::Lit(value) => RalgExpr::Lit(deep_dedup(value)),
+        // ∪⁺ and ∪ both become set union.
+        Expr::AdditiveUnion(a, b) | Expr::MaxUnion(a, b) => {
+            balg1_to_ralg(a)?.union(balg1_to_ralg(b)?)
+        }
+        Expr::Intersect(a, b) => balg1_to_ralg(a)?.intersect(balg1_to_ralg(b)?),
+        Expr::Subtract(_, _) => return Err(TranslateError::UsesSubtraction),
+        Expr::Tuple(fields) => RalgExpr::Tuple(
+            fields
+                .iter()
+                .map(balg1_to_ralg)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Expr::Singleton(e) => balg1_to_ralg(e)?.singleton(),
+        Expr::Product(a, b) => balg1_to_ralg(a)?.product(balg1_to_ralg(b)?),
+        Expr::Attr(e, index) => balg1_to_ralg(e)?.attr(*index),
+        Expr::Map { var, body, input } => RalgExpr::Map {
+            var: var.clone(),
+            body: Box::new(balg1_to_ralg(body)?),
+            input: Box::new(balg1_to_ralg(input)?),
+        },
+        Expr::Select { var, pred, input } => RalgExpr::Select {
+            var: var.clone(),
+            pred: Box::new(pred_to_ralg(pred)?),
+            input: Box::new(balg1_to_ralg(input)?),
+        },
+        // ε is simply omitted: the RALG side is duplicate-free throughout.
+        Expr::Dedup(e) => balg1_to_ralg(e)?,
+        Expr::Powerset(_) => return Err(TranslateError::NotBalg1("P")),
+        Expr::Powerbag(_) => return Err(TranslateError::NotBalg1("P_b")),
+        Expr::Destroy(_) => return Err(TranslateError::NotBalg1("δ")),
+        Expr::Ifp { .. } => return Err(TranslateError::NotBalg1("IFP")),
+        Expr::Nest { .. } => return Err(TranslateError::NotBalg1("nest")),
+    })
+}
+
+fn pred_to_ralg(pred: &Pred) -> Result<RalgPred, TranslateError> {
+    Ok(match pred {
+        Pred::True => RalgPred::True,
+        Pred::Eq(a, b) => RalgPred::Eq(balg1_to_ralg(a)?, balg1_to_ralg(b)?),
+        Pred::Lt(_, _) | Pred::Le(_, _) => return Err(TranslateError::UsesOrder),
+        Pred::Member(a, b) => RalgPred::Member(balg1_to_ralg(a)?, balg1_to_ralg(b)?),
+        Pred::SubBag(a, b) => RalgPred::Subset(balg1_to_ralg(a)?, balg1_to_ralg(b)?),
+        Pred::Not(p) => RalgPred::Not(Box::new(pred_to_ralg(p)?)),
+        Pred::And(a, b) => RalgPred::And(Box::new(pred_to_ralg(a)?), Box::new(pred_to_ralg(b)?)),
+        Pred::Or(a, b) => RalgPred::Or(Box::new(pred_to_ralg(a)?), Box::new(pred_to_ralg(b)?)),
+    })
+}
+
+/// Embed a RALG expression into BALG by inserting `ε` after every
+/// operator (the easy direction of Proposition 4.2; works for the *full*
+/// nested relational algebra including difference, powerset and flatten).
+///
+/// Free variables (database bags) get an `ε`; λ-bound variables denote
+/// objects, not relations, and are left untouched. On flat database
+/// relations this is exact; nested database bags must already satisfy the
+/// set invariant (a single `ε` cannot deduplicate inner bags).
+pub fn ralg_to_balg(expr: &RalgExpr) -> Expr {
+    embed(expr, &mut Vec::new())
+}
+
+fn embed(expr: &RalgExpr, bound: &mut Vec<balg_core::expr::Var>) -> Expr {
+    match expr {
+        RalgExpr::Var(name) => {
+            if bound.contains(name) {
+                Expr::Var(name.clone())
+            } else {
+                Expr::Var(name.clone()).dedup()
+            }
+        }
+        RalgExpr::Lit(value) => Expr::Lit(deep_dedup(value)),
+        RalgExpr::Union(a, b) => embed(a, bound).max_union(embed(b, bound)).dedup(),
+        RalgExpr::Intersect(a, b) => embed(a, bound).intersect(embed(b, bound)).dedup(),
+        RalgExpr::Difference(a, b) => embed(a, bound).subtract(embed(b, bound)).dedup(),
+        RalgExpr::Product(a, b) => embed(a, bound).product(embed(b, bound)).dedup(),
+        RalgExpr::Powerset(e) => embed(e, bound).powerset().dedup(),
+        RalgExpr::Tuple(fields) => {
+            Expr::Tuple(fields.iter().map(|f| embed(f, bound)).collect())
+        }
+        RalgExpr::Singleton(e) => embed(e, bound).singleton(),
+        RalgExpr::Attr(e, index) => embed(e, bound).attr(*index),
+        RalgExpr::Flatten(e) => embed(e, bound).destroy().dedup(),
+        RalgExpr::Map { var, body, input } => {
+            let input = embed(input, bound);
+            bound.push(var.clone());
+            let body = embed(body, bound);
+            bound.pop();
+            Expr::Map {
+                var: var.clone(),
+                body: Box::new(body),
+                input: Box::new(input),
+            }
+            .dedup()
+        }
+        RalgExpr::Select { var, pred, input } => {
+            let input = embed(input, bound);
+            bound.push(var.clone());
+            let pred = embed_pred(pred, bound);
+            bound.pop();
+            Expr::Select {
+                var: var.clone(),
+                pred: Box::new(pred),
+                input: Box::new(input),
+            }
+        }
+    }
+}
+
+fn embed_pred(pred: &RalgPred, bound: &mut Vec<balg_core::expr::Var>) -> Pred {
+    match pred {
+        RalgPred::True => Pred::True,
+        RalgPred::Eq(a, b) => Pred::Eq(embed(a, bound), embed(b, bound)),
+        RalgPred::Member(a, b) => Pred::Member(embed(a, bound), embed(b, bound)),
+        RalgPred::Subset(a, b) => Pred::SubBag(embed(a, bound), embed(b, bound)),
+        RalgPred::Not(p) => Pred::Not(Box::new(embed_pred(p, bound))),
+        RalgPred::And(a, b) => Pred::And(
+            Box::new(embed_pred(a, bound)),
+            Box::new(embed_pred(b, bound)),
+        ),
+        RalgPred::Or(a, b) => Pred::Or(
+            Box::new(embed_pred(a, bound)),
+            Box::new(embed_pred(b, bound)),
+        ),
+    }
+}
+
+/// Verify the Proposition 4.2 membership equivalence for one BALG¹₋₋
+/// query on one database: `a ∈ Q(DB) ⟺ a ∈ Q′(DB′)` for every `a`.
+///
+/// Returns `Ok(true)` when the supports agree, `Ok(false)` on a
+/// counterexample (which would falsify the proposition).
+pub fn check_prop_4_2(expr: &Expr, db: &Database) -> Result<bool, Box<dyn std::error::Error>> {
+    let translated = balg1_to_ralg(expr)?;
+    let bag_result = balg_core::eval::eval_bag(expr, db)?;
+    let set_result = ralg_eval::eval_relation(&translated, db)?;
+    Ok(Relation::from_bag(&bag_result) == set_result)
+}
+
+/// Deduplicate every bag of a database deeply — the `DB′` of
+/// Proposition 4.2 as a reusable helper.
+pub fn dedup_database(db: &Database) -> Database {
+    let mut out = Database::new();
+    for (name, bag) in db.iter() {
+        let rel = Relation::from_bag(bag);
+        match rel.to_value() {
+            Value::Bag(b) => out.insert(name, b),
+            _ => unreachable!("relation is always a bag"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balg_core::bag::Bag;
+    use balg_core::natural::Natural;
+
+    fn dup_bag(pairs: &[(&str, &str, u64)]) -> Bag {
+        let mut bag = Bag::new();
+        for (a, b, m) in pairs {
+            bag.insert_with_multiplicity(
+                Value::tuple([Value::sym(a), Value::sym(b)]),
+                Natural::from(*m),
+            );
+        }
+        bag
+    }
+
+    #[test]
+    fn translation_preserves_membership_on_joins() {
+        let db = Database::new().with(
+            "G",
+            dup_bag(&[("a", "b", 3), ("b", "c", 1), ("c", "a", 2)]),
+        );
+        // π₁,₄(σ_{α₂=α₃}(G×G)): two-step paths.
+        let q = Expr::var("G")
+            .product(Expr::var("G"))
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+            )
+            .project(&[1, 4]);
+        assert!(check_prop_4_2(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn translation_handles_unions_and_dedup() {
+        let db = Database::new()
+            .with("R", dup_bag(&[("a", "b", 5)]))
+            .with("S", dup_bag(&[("a", "b", 1), ("x", "y", 2)]));
+        let q = Expr::var("R")
+            .additive_union(Expr::var("S"))
+            .dedup()
+            .intersect(Expr::var("S"));
+        assert!(check_prop_4_2(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn subtraction_is_rejected() {
+        let q = Expr::var("R").subtract(Expr::var("S"));
+        assert_eq!(
+            balg1_to_ralg(&q).unwrap_err(),
+            TranslateError::UsesSubtraction
+        );
+    }
+
+    #[test]
+    fn powerset_is_rejected_as_non_balg1() {
+        let q = Expr::var("R").powerset();
+        assert_eq!(balg1_to_ralg(&q).unwrap_err(), TranslateError::NotBalg1("P"));
+    }
+
+    #[test]
+    fn embedding_ralg_into_balg_agrees_with_direct_eval() {
+        let db = Database::new()
+            .with("R", dup_bag(&[("a", "b", 1), ("b", "c", 1)]))
+            .with("S", dup_bag(&[("b", "c", 1)]));
+        let ralg_q = RalgExpr::var("R").difference(RalgExpr::var("S"));
+        let direct = ralg_eval::eval_relation(&ralg_q, &db).unwrap();
+        let embedded = ralg_to_balg(&ralg_q);
+        let via_balg = balg_core::eval::eval_bag(&embedded, &db).unwrap();
+        assert_eq!(Relation::from_bag(&via_balg), direct);
+    }
+
+    #[test]
+    fn embedding_handles_powerset_and_flatten() {
+        let db = Database::new().with("R", dup_bag(&[("a", "b", 4), ("b", "c", 1)]));
+        let ralg_q = RalgExpr::var("R").powerset().flatten();
+        let direct = ralg_eval::eval_relation(&ralg_q, &db).unwrap();
+        let via_balg =
+            balg_core::eval::eval_bag(&ralg_to_balg(&ralg_q), &db).unwrap();
+        assert_eq!(Relation::from_bag(&via_balg), direct);
+    }
+
+    #[test]
+    fn dedup_database_flattens_multiplicities() {
+        let db = Database::new().with("R", dup_bag(&[("a", "b", 9)]));
+        let deduped = dedup_database(&db);
+        assert_eq!(
+            deduped.get("R").unwrap().cardinality(),
+            Natural::from(1u64)
+        );
+    }
+}

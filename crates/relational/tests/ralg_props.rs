@@ -1,0 +1,77 @@
+//! Property tests for the RALG set semantics and the Prop 4.2 boundary.
+
+use balg_core::bag::Bag;
+use balg_core::natural::Natural;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use balg_relational::prelude::*;
+use proptest::prelude::*;
+
+fn relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::btree_set(0u8..6, 0..6).prop_map(|elems| {
+        Relation::from_values(elems.into_iter().map(|e| Value::tuple([Value::int(e as i64)])))
+    })
+}
+
+fn noisy_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map((0u8..4, 0u8..4), 1u64..5, 0..8).prop_map(|edges| {
+        Bag::from_counted(edges.into_iter().map(|((a, b), m)| {
+            (
+                Value::tuple([Value::int(a as i64), Value::int(b as i64)]),
+                Natural::from(m),
+            )
+        }))
+    })
+}
+
+proptest! {
+    #[test]
+    fn set_laws(a in relation(), b in relation(), c in relation()) {
+        // Boolean-algebra laws that hold for sets but NOT for bags under
+        // ∪⁺/−: idempotence and absorption.
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(
+            a.union(&b).intersect(&a.union(&c)),
+            a.union(&b.intersect(&c))
+        );
+        // Difference laws.
+        prop_assert_eq!(a.difference(&b).intersect(&b), Relation::new());
+        prop_assert_eq!(a.difference(&b).union(&a.intersect(&b)), a.clone());
+    }
+
+    #[test]
+    fn dedup_view_forgets_exactly_multiplicity(bag in noisy_bag()) {
+        let rel = Relation::from_bag(&bag);
+        prop_assert_eq!(rel.len(), bag.distinct_count());
+        for value in bag.elements() {
+            prop_assert!(rel.contains(value));
+        }
+    }
+
+    #[test]
+    fn prop_4_2_on_random_bags(bag in noisy_bag()) {
+        // The subtraction-free identity query family commutes with
+        // dedup via the translation.
+        let db = Database::new().with("G", bag);
+        let q = balg_core::expr::Expr::var("G")
+            .project(&[2, 1])
+            .additive_union(balg_core::expr::Expr::var("G").project(&[1, 2]));
+        prop_assert!(check_prop_4_2(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn embedding_respects_powerset(rel in relation()) {
+        // P on the RALG side == dedup'd bag powerset of the dedup'd bag.
+        if rel.len() <= 8 {
+            let db = Database::new().with("R", rel.as_bag().clone());
+            let direct = RalgEvaluator::new(&db, balg_core::eval::Limits::default())
+                .eval_relation(&RalgExpr::var("R").powerset())
+                .unwrap();
+            let embedded = ralg_to_balg(&RalgExpr::var("R").powerset());
+            let via_balg = balg_core::eval::eval_bag(&embedded, &db).unwrap();
+            prop_assert_eq!(Relation::from_bag(&via_balg), direct);
+        }
+    }
+}

@@ -1,0 +1,905 @@
+//! Compiling SQL-bag queries to BALG expressions.
+//!
+//! The translation is the textbook SQL→algebra mapping with the paper's
+//! bag semantics throughout: FROM is a Cartesian product, WHERE is a
+//! selection, the projection is a MAP (duplicates **survive**, with
+//! multiplicities adding on collisions — exactly SQL's `SELECT` without
+//! `DISTINCT`), `DISTINCT` is `ε`, `UNION ALL`/`EXCEPT ALL`/`INTERSECT
+//! ALL` are `∪⁺`/`−`/`∩`, and the scalar aggregates are the Section 3
+//! constructions over the integer-bag encoding.
+
+use std::fmt;
+
+use balg_core::derived::{average, count, int_value};
+use balg_core::eval::{EvalError, Evaluator, Limits};
+use balg_core::expr::{Expr, Pred};
+use balg_core::natural::Natural;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+
+use crate::ast::{
+    Aggregate, ColumnRef, CompareOp, Comparison, Operand, Projection, Query, SelectCore,
+};
+use crate::catalog::{decode_value, Catalog, Column, SqlValue};
+use crate::parser::{parse, ParseError};
+
+/// A compile-time error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// FROM references an undeclared table.
+    UnknownTable(String),
+    /// A column reference resolves to nothing.
+    UnknownColumn(String),
+    /// An unqualified column name matches several FROM columns.
+    AmbiguousColumn(String),
+    /// Two FROM items share an alias.
+    DuplicateAlias(String),
+    /// Set-operation branches have different output shapes.
+    ShapeMismatch,
+    /// SUM/AVG on a non-numeric column.
+    NonNumericAggregate(String),
+    /// A string literal compared against a numeric column.
+    NumericStringComparison(String),
+    /// GROUP BY present but the projection is not `cols…, AGG(col)` with
+    /// exactly the grouped columns — or a grouped aggregate without
+    /// GROUP BY.
+    GroupProjectionMismatch(String),
+    /// SUM/AVG/COUNT(DISTINCT) over one of the grouping columns.
+    AggregateOnGroupColumn(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            CompileError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            CompileError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            CompileError::DuplicateAlias(a) => write!(f, "duplicate alias {a}"),
+            CompileError::ShapeMismatch => f.write_str("set operation branches differ in shape"),
+            CompileError::NonNumericAggregate(c) => {
+                write!(f, "aggregate on non-numeric column {c}")
+            }
+            CompileError::NumericStringComparison(s) => {
+                write!(f, "string {s:?} compared with a numeric column")
+            }
+            CompileError::GroupProjectionMismatch(what) => {
+                write!(f, "projection does not fit GROUP BY: {what}")
+            }
+            CompileError::AggregateOnGroupColumn(c) => {
+                write!(f, "aggregate over grouping column {c}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled query: the BALG expression plus the output row shape.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    /// The expression (free variables are table names).
+    pub expr: Expr,
+    /// Output columns, in order.
+    pub output: Vec<Column>,
+}
+
+/// One resolvable column of the FROM scope.
+struct ScopeColumn {
+    alias: String,
+    column: Column,
+}
+
+struct Scope {
+    columns: Vec<ScopeColumn>,
+}
+
+impl Scope {
+    fn resolve(&self, reference: &ColumnRef) -> Result<usize, CompileError> {
+        let matches: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, sc)| {
+                sc.column.name == reference.column
+                    && reference
+                        .qualifier
+                        .as_ref()
+                        .is_none_or(|q| *q == sc.alias)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [] => Err(CompileError::UnknownColumn(reference.to_string())),
+            [unique] => Ok(*unique),
+            _ => Err(CompileError::AmbiguousColumn(reference.to_string())),
+        }
+    }
+}
+
+/// Compile a parsed query against a catalog.
+pub fn compile_query(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, CompileError> {
+    match query {
+        Query::Select(core) => compile_select(core, catalog),
+        Query::UnionAll(a, b) => compile_setop(a, b, catalog, |x, y| x.additive_union(y)),
+        Query::Union(a, b) => compile_setop(a, b, catalog, |x, y| x.additive_union(y).dedup()),
+        Query::ExceptAll(a, b) => compile_setop(a, b, catalog, |x, y| x.subtract(y)),
+        Query::Except(a, b) => {
+            compile_setop(a, b, catalog, |x, y| x.dedup().subtract(y.dedup()))
+        }
+        Query::IntersectAll(a, b) => compile_setop(a, b, catalog, |x, y| x.intersect(y)),
+        Query::Intersect(a, b) => {
+            compile_setop(a, b, catalog, |x, y| x.dedup().intersect(y.dedup()))
+        }
+    }
+}
+
+fn compile_setop(
+    a: &Query,
+    b: &Query,
+    catalog: &Catalog,
+    combine: impl FnOnce(Expr, Expr) -> Expr,
+) -> Result<CompiledQuery, CompileError> {
+    let left = compile_query(a, catalog)?;
+    let right = compile_query(b, catalog)?;
+    let shapes_match = left.output.len() == right.output.len()
+        && left
+            .output
+            .iter()
+            .zip(&right.output)
+            .all(|(x, y)| x.numeric == y.numeric);
+    if !shapes_match {
+        return Err(CompileError::ShapeMismatch);
+    }
+    Ok(CompiledQuery {
+        expr: combine(left.expr, right.expr),
+        // Column names follow SQL convention: the left branch's.
+        output: left.output,
+    })
+}
+
+fn compile_select(core: &SelectCore, catalog: &Catalog) -> Result<CompiledQuery, CompileError> {
+    // Build the FROM scope and product.
+    let mut scope = Scope {
+        columns: Vec::new(),
+    };
+    let mut seen_aliases = Vec::new();
+    let mut from_expr: Option<Expr> = None;
+    for table_ref in &core.from {
+        if seen_aliases.contains(&table_ref.alias) {
+            return Err(CompileError::DuplicateAlias(table_ref.alias.clone()));
+        }
+        seen_aliases.push(table_ref.alias.clone());
+        let table = catalog
+            .get(&table_ref.table)
+            .ok_or_else(|| CompileError::UnknownTable(table_ref.table.clone()))?;
+        for column in &table.columns {
+            scope.columns.push(ScopeColumn {
+                alias: table_ref.alias.clone(),
+                column: column.clone(),
+            });
+        }
+        let var = Expr::var(&table_ref.table);
+        from_expr = Some(match from_expr {
+            None => var,
+            Some(prev) => prev.product(var),
+        });
+    }
+    let mut expr = from_expr.expect("parser guarantees nonempty FROM");
+
+    // WHERE: a conjunctive selection.
+    if !core.predicates.is_empty() {
+        let mut pred = Pred::True;
+        for comparison in &core.predicates {
+            pred = pred.and(compile_comparison(comparison, &scope)?);
+        }
+        expr = expr.select("ŵ", pred);
+    }
+
+    // GROUP BY: compiled via the nest operator (the Conclusion's
+    // alternative to the powerset) — group, then aggregate each group's
+    // nested bag.
+    if !core.group_by.is_empty() {
+        let (expr, output) = compile_grouped(core, expr, &scope)?;
+        let expr = if core.distinct { expr.dedup() } else { expr };
+        return Ok(CompiledQuery { expr, output });
+    }
+
+    // Projection / aggregate.
+    let (expr, output) = match &core.projection {
+        Projection::Star => {
+            let output = scope.columns.iter().map(|sc| sc.column.clone()).collect();
+            (expr, output)
+        }
+        Projection::Columns(columns) => {
+            let mut indices = Vec::with_capacity(columns.len());
+            let mut output = Vec::with_capacity(columns.len());
+            for reference in columns {
+                let idx = scope.resolve(reference)?;
+                indices.push(idx + 1);
+                output.push(scope.columns[idx].column.clone());
+            }
+            (expr.project(&indices), output)
+        }
+        Projection::Aggregate(aggregate) => {
+            let (expr, name) = compile_aggregate(aggregate, expr, &scope)?;
+            (
+                expr,
+                vec![Column {
+                    name,
+                    numeric: true,
+                }],
+            )
+        }
+        Projection::GroupedAggregate(_, _) => {
+            return Err(CompileError::GroupProjectionMismatch(
+                "grouped aggregate requires a GROUP BY clause".into(),
+            ))
+        }
+    };
+
+    let expr = if core.distinct { expr.dedup() } else { expr };
+    Ok(CompiledQuery { expr, output })
+}
+
+fn compile_aggregate(
+    aggregate: &Aggregate,
+    input: Expr,
+    scope: &Scope,
+) -> Result<(Expr, String), CompileError> {
+    let scalar_row = |value: Expr| Expr::Tuple(vec![value]).singleton();
+    match aggregate {
+        Aggregate::CountStar => Ok((scalar_row(count(input)), "count".to_owned())),
+        Aggregate::CountDistinct(column) => {
+            let idx = scope.resolve(column)?;
+            Ok((
+                scalar_row(count(input.project(&[idx + 1]).dedup())),
+                "count".to_owned(),
+            ))
+        }
+        Aggregate::Sum(column) => {
+            let idx = scope.resolve(column)?;
+            if !scope.columns[idx].column.numeric {
+                return Err(CompileError::NonNumericAggregate(column.to_string()));
+            }
+            // Project the integer-bag column out, then sum with δ
+            // (multiplicities of equal rows scale their contribution).
+            let values = input.map("ŝ", Expr::var("ŝ").attr(idx + 1));
+            Ok((scalar_row(values.destroy()), "sum".to_owned()))
+        }
+        Aggregate::Avg(column) => {
+            let idx = scope.resolve(column)?;
+            if !scope.columns[idx].column.numeric {
+                return Err(CompileError::NonNumericAggregate(column.to_string()));
+            }
+            let values = input.map("ŝ", Expr::var("ŝ").attr(idx + 1));
+            Ok((scalar_row(average(values)), "avg".to_owned()))
+        }
+    }
+}
+
+
+/// Compile `SELECT g₁, …, gₖ, AGG(col) FROM … GROUP BY …` via `nest`:
+/// `MAP_{λg.[keys…, agg(α_{k+1}(g))]}(nest_{G}(core))`.
+fn compile_grouped(
+    core: &SelectCore,
+    input: Expr,
+    scope: &Scope,
+) -> Result<(Expr, Vec<Column>), CompileError> {
+    let Projection::GroupedAggregate(selected, aggregate) = &core.projection else {
+        return Err(CompileError::GroupProjectionMismatch(
+            "GROUP BY requires `SELECT group-cols…, AGG(col)`".into(),
+        ));
+    };
+    // Resolve the GROUP BY columns to 1-based scope indices (nest key
+    // order = GROUP BY order).
+    let mut group_indices = Vec::with_capacity(core.group_by.len());
+    for reference in &core.group_by {
+        let idx = scope.resolve(reference)? + 1;
+        if group_indices.contains(&idx) {
+            return Err(CompileError::GroupProjectionMismatch(format!(
+                "duplicate GROUP BY column {reference}"
+            )));
+        }
+        group_indices.push(idx);
+    }
+    // Every selected plain column must be one of the grouped columns.
+    let mut key_positions = Vec::with_capacity(selected.len());
+    let mut output = Vec::with_capacity(selected.len() + 1);
+    for reference in selected {
+        let idx = scope.resolve(reference)? + 1;
+        let Some(position) = group_indices.iter().position(|&g| g == idx) else {
+            return Err(CompileError::GroupProjectionMismatch(format!(
+                "column {reference} is not in GROUP BY"
+            )));
+        };
+        key_positions.push(position + 1);
+        output.push(scope.columns[idx - 1].column.clone());
+    }
+    // The aggregated column must be a residual (non-group) column; its
+    // index inside the nested tuples is its rank among residuals.
+    let residual_index = |reference: &ColumnRef| -> Result<usize, CompileError> {
+        let idx = scope.resolve(reference)? + 1;
+        if group_indices.contains(&idx) {
+            return Err(CompileError::AggregateOnGroupColumn(reference.to_string()));
+        }
+        let rank = (1..=scope.columns.len())
+            .filter(|i| !group_indices.contains(i))
+            .position(|i| i == idx)
+            .expect("index is in range and non-group");
+        Ok(rank + 1)
+    };
+    let nested = input.nest(&group_indices);
+    let inner = || Expr::var("ĝ").attr(group_indices.len() + 1);
+    let (agg_expr, agg_name) = match aggregate {
+        Aggregate::CountStar => (count(inner()), "count"),
+        Aggregate::CountDistinct(reference) => {
+            let j = residual_index(reference)?;
+            (count(inner().project(&[j]).dedup()), "count")
+        }
+        Aggregate::Sum(reference) => {
+            let idx = scope.resolve(reference)?;
+            if !scope.columns[idx].column.numeric {
+                return Err(CompileError::NonNumericAggregate(reference.to_string()));
+            }
+            let j = residual_index(reference)?;
+            (
+                inner().map("ŝ", Expr::var("ŝ").attr(j)).destroy(),
+                "sum",
+            )
+        }
+        Aggregate::Avg(reference) => {
+            let idx = scope.resolve(reference)?;
+            if !scope.columns[idx].column.numeric {
+                return Err(CompileError::NonNumericAggregate(reference.to_string()));
+            }
+            let j = residual_index(reference)?;
+            (
+                average(inner().map("ŝ", Expr::var("ŝ").attr(j))),
+                "avg",
+            )
+        }
+    };
+    let mut fields: Vec<Expr> = key_positions
+        .iter()
+        .map(|&p| Expr::var("ĝ").attr(p))
+        .collect();
+    fields.push(agg_expr);
+    let expr = nested.map("ĝ", Expr::Tuple(fields));
+    output.push(Column {
+        name: agg_name.to_owned(),
+        numeric: true,
+    });
+    Ok((expr, output))
+}
+
+fn compile_comparison(comparison: &Comparison, scope: &Scope) -> Result<Pred, CompileError> {
+    // Determine numeric context: a literal compared to a numeric column
+    // must be encoded as an integer bag.
+    let numeric_context = [&comparison.left, &comparison.right]
+        .iter()
+        .any(|operand| match operand {
+            Operand::Column(reference) => scope
+                .resolve(reference)
+                .map(|idx| scope.columns[idx].column.numeric)
+                .unwrap_or(false),
+            _ => false,
+        });
+    let left = compile_operand(&comparison.left, scope, numeric_context)?;
+    let right = compile_operand(&comparison.right, scope, numeric_context)?;
+    Ok(match comparison.op {
+        CompareOp::Eq => Pred::Eq(left, right),
+        CompareOp::Neq => Pred::Eq(left, right).not(),
+        CompareOp::Lt => Pred::Lt(left, right),
+        CompareOp::Le => Pred::Le(left, right),
+        CompareOp::Gt => Pred::Lt(right, left),
+        CompareOp::Ge => Pred::Le(right, left),
+    })
+}
+
+fn compile_operand(
+    operand: &Operand,
+    scope: &Scope,
+    numeric_context: bool,
+) -> Result<Expr, CompileError> {
+    Ok(match operand {
+        Operand::Column(reference) => {
+            let idx = scope.resolve(reference)?;
+            Expr::var("ŵ").attr(idx + 1)
+        }
+        Operand::Int(value) => {
+            if numeric_context {
+                let v = u64::try_from(*value)
+                    .map_err(|_| CompileError::NumericStringComparison(value.to_string()))?;
+                Expr::Lit(int_value(v))
+            } else {
+                Expr::lit(Value::int(*value))
+            }
+        }
+        Operand::Str(text) => {
+            if numeric_context {
+                return Err(CompileError::NumericStringComparison(text.clone()));
+            }
+            Expr::lit(Value::sym(text))
+        }
+    })
+}
+
+/// All errors from end-to-end SQL execution.
+#[derive(Debug)]
+pub enum SqlError {
+    /// Parse failure.
+    Parse(ParseError),
+    /// Compile failure.
+    Compile(CompileError),
+    /// Evaluation failure.
+    Eval(EvalError),
+    /// The result did not decode against the output shape.
+    Decode(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Compile(e) => write!(f, "{e}"),
+            SqlError::Eval(e) => write!(f, "{e}"),
+            SqlError::Decode(what) => write!(f, "decode failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// A decoded result: rows with multiplicities (bag semantics is visible).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryResult {
+    /// Output columns.
+    pub columns: Vec<Column>,
+    /// `(row, multiplicity)` pairs in row order.
+    pub rows: Vec<(Vec<SqlValue>, u64)>,
+}
+
+impl QueryResult {
+    /// Total number of rows counting duplicates.
+    pub fn total_rows(&self) -> u64 {
+        self.rows.iter().map(|(_, m)| m).sum()
+    }
+
+    /// The single scalar of an aggregate result.
+    pub fn scalar(&self) -> Option<i64> {
+        match self.rows.as_slice() {
+            [(row, 1)] => match row.as_slice() {
+                [SqlValue::Int(v)] => Some(*v),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Parse, compile, evaluate, and decode a query in one call.
+pub fn run_query(
+    sql: &str,
+    catalog: &Catalog,
+    db: &Database,
+    limits: Limits,
+) -> Result<QueryResult, SqlError> {
+    let parsed = parse(sql).map_err(SqlError::Parse)?;
+    let compiled = compile_query(&parsed, catalog).map_err(SqlError::Compile)?;
+    let mut evaluator = Evaluator::new(db, limits);
+    let bag = evaluator
+        .eval_bag(&compiled.expr)
+        .map_err(SqlError::Eval)?;
+    let mut rows = Vec::with_capacity(bag.distinct_count());
+    for (row, mult) in bag.iter() {
+        let fields = row
+            .as_tuple()
+            .ok_or_else(|| SqlError::Decode(row.to_string()))?;
+        if fields.len() != compiled.output.len() {
+            return Err(SqlError::Decode(format!(
+                "row arity {} vs output arity {}",
+                fields.len(),
+                compiled.output.len()
+            )));
+        }
+        let decoded = fields
+            .iter()
+            .zip(&compiled.output)
+            .map(|(value, column)| {
+                decode_value(value, column.numeric)
+                    .ok_or_else(|| SqlError::Decode(value.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let m = mult
+            .to_u64()
+            .ok_or_else(|| SqlError::Decode("multiplicity over u64".into()))?;
+        rows.push((decoded, m));
+    }
+    Ok(QueryResult {
+        columns: compiled.output,
+        rows,
+    })
+}
+
+/// Shorthand for [`run_query`] with default limits.
+pub fn run(sql: &str, catalog: &Catalog, db: &Database) -> Result<QueryResult, SqlError> {
+    run_query(sql, catalog, db, Limits::default())
+}
+
+/// As [`run`], but pass the compiled expression through the
+/// [`balg_core::rewrite`] optimizer first (selection pushdown, MAP
+/// fusion, …). Results are identical; intermediate bags are smaller.
+pub fn run_optimized(
+    sql: &str,
+    catalog: &Catalog,
+    db: &Database,
+) -> Result<QueryResult, SqlError> {
+    let parsed = parse(sql).map_err(SqlError::Parse)?;
+    let compiled = compile_query(&parsed, catalog).map_err(SqlError::Compile)?;
+    let optimized = balg_core::rewrite::optimize(&compiled.expr, &catalog.to_schema());
+    let mut evaluator = Evaluator::new(db, Limits::default());
+    let bag = evaluator.eval_bag(&optimized).map_err(SqlError::Eval)?;
+    decode_result(&bag, compiled.output)
+}
+
+fn decode_result(
+    bag: &balg_core::bag::Bag,
+    output: Vec<Column>,
+) -> Result<QueryResult, SqlError> {
+    let mut rows = Vec::with_capacity(bag.distinct_count());
+    for (row, mult) in bag.iter() {
+        let fields = row
+            .as_tuple()
+            .ok_or_else(|| SqlError::Decode(row.to_string()))?;
+        if fields.len() != output.len() {
+            return Err(SqlError::Decode(format!(
+                "row arity {} vs output arity {}",
+                fields.len(),
+                output.len()
+            )));
+        }
+        let decoded = fields
+            .iter()
+            .zip(&output)
+            .map(|(value, column)| {
+                decode_value(value, column.numeric)
+                    .ok_or_else(|| SqlError::Decode(value.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let m = mult
+            .to_u64()
+            .ok_or_else(|| SqlError::Decode("multiplicity over u64".into()))?;
+        rows.push((decoded, m));
+    }
+    Ok(QueryResult {
+        columns: output,
+        rows,
+    })
+}
+
+/// Build a database by loading rows into catalog tables.
+pub fn database_from_rows(
+    catalog: &Catalog,
+    data: &[(&str, Vec<Vec<SqlValue>>)],
+) -> Result<Database, SqlError> {
+    let mut db = Database::new();
+    for (table_name, rows) in data {
+        let table = catalog
+            .get(table_name)
+            .ok_or_else(|| SqlError::Compile(CompileError::UnknownTable((*table_name).into())))?;
+        let bag = crate::catalog::load_table(table, rows)
+            .map_err(|e| SqlError::Decode(e.to_string()))?;
+        db.insert(table_name, bag);
+    }
+    let _ = Natural::one();
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Catalog, Database) {
+        let catalog = Catalog::new()
+            .with_table("orders", &[("customer", false), ("item", false), ("qty", true)])
+            .with_table("vip", &[("customer", false)]);
+        let s = |x: &str| SqlValue::Str(x.into());
+        let i = SqlValue::Int;
+        let db = database_from_rows(
+            &catalog,
+            &[
+                (
+                    "orders",
+                    vec![
+                        vec![s("ann"), s("apple"), i(3)],
+                        vec![s("ann"), s("apple"), i(3)], // duplicate row!
+                        vec![s("bob"), s("pear"), i(5)],
+                        vec![s("bob"), s("apple"), i(1)],
+                    ],
+                ),
+                ("vip", vec![vec![s("ann")]]),
+            ],
+        )
+        .unwrap();
+        (catalog, db)
+    }
+
+    #[test]
+    fn select_keeps_duplicates() {
+        let (catalog, db) = setup();
+        let result = run("SELECT customer FROM orders", &catalog, &db).unwrap();
+        assert_eq!(result.total_rows(), 4);
+        // ann appears twice via the duplicate row.
+        let ann = result
+            .rows
+            .iter()
+            .find(|(row, _)| row[0] == SqlValue::Str("ann".into()))
+            .unwrap();
+        assert_eq!(ann.1, 2);
+    }
+
+    #[test]
+    fn distinct_is_epsilon() {
+        let (catalog, db) = setup();
+        let result = run("SELECT DISTINCT customer FROM orders", &catalog, &db).unwrap();
+        assert_eq!(result.total_rows(), 2);
+        assert!(result.rows.iter().all(|(_, m)| *m == 1));
+    }
+
+    #[test]
+    fn join_with_alias() {
+        let (catalog, db) = setup();
+        let result = run(
+            "SELECT o.item FROM orders o, vip v WHERE o.customer = v.customer",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(result.total_rows(), 2); // ann's duplicated apple rows
+    }
+
+    #[test]
+    fn where_on_numeric_column() {
+        let (catalog, db) = setup();
+        let result = run(
+            "SELECT customer FROM orders WHERE qty >= 3",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(result.total_rows(), 3); // ann×2 (qty 3) + bob (qty 5)
+    }
+
+    #[test]
+    fn count_star_counts_duplicates() {
+        let (catalog, db) = setup();
+        let result = run("SELECT COUNT(*) FROM orders", &catalog, &db).unwrap();
+        assert_eq!(result.scalar(), Some(4));
+        let distinct = run(
+            "SELECT COUNT(DISTINCT customer) FROM orders",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(distinct.scalar(), Some(2));
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let (catalog, db) = setup();
+        let sum = run("SELECT SUM(qty) FROM orders", &catalog, &db).unwrap();
+        assert_eq!(sum.scalar(), Some(3 + 3 + 5 + 1));
+        let avg = run("SELECT AVG(qty) FROM orders", &catalog, &db).unwrap();
+        assert_eq!(avg.scalar(), Some(3)); // (3+3+5+1)/4
+    }
+
+    #[test]
+    fn set_operations() {
+        let (catalog, db) = setup();
+        let union_all = run(
+            "SELECT customer FROM orders UNION ALL SELECT customer FROM vip",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(union_all.total_rows(), 5);
+        let except_all = run(
+            "SELECT customer FROM orders EXCEPT ALL SELECT customer FROM vip",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        // ann²−ann¹ = ann¹, bob² stays: 3 rows.
+        assert_eq!(except_all.total_rows(), 3);
+        let intersect = run(
+            "SELECT customer FROM orders INTERSECT SELECT customer FROM vip",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(intersect.total_rows(), 1);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let (catalog, db) = setup();
+        // SUM per customer: ann has the duplicated (apple,3) rows.
+        let result = run(
+            "SELECT customer, SUM(qty) FROM orders GROUP BY customer",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(result.rows.len(), 2);
+        let find = |name: &str| {
+            result
+                .rows
+                .iter()
+                .find(|(row, _)| row[0] == SqlValue::Str(name.into()))
+                .map(|(row, _)| row[1].clone())
+        };
+        assert_eq!(find("ann"), Some(SqlValue::Int(6))); // 3 + 3
+        assert_eq!(find("bob"), Some(SqlValue::Int(6))); // 5 + 1
+
+        let counts = run(
+            "SELECT customer, COUNT(*) FROM orders GROUP BY customer",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        let find = |name: &str| {
+            counts
+                .rows
+                .iter()
+                .find(|(row, _)| row[0] == SqlValue::Str(name.into()))
+                .map(|(row, _)| row[1].clone())
+        };
+        assert_eq!(find("ann"), Some(SqlValue::Int(2)));
+        assert_eq!(find("bob"), Some(SqlValue::Int(2)));
+
+        let avg = run(
+            "SELECT customer, AVG(qty) FROM orders GROUP BY customer",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        let find = |name: &str| {
+            avg.rows
+                .iter()
+                .find(|(row, _)| row[0] == SqlValue::Str(name.into()))
+                .map(|(row, _)| row[1].clone())
+        };
+        assert_eq!(find("ann"), Some(SqlValue::Int(3)));
+        assert_eq!(find("bob"), Some(SqlValue::Int(3)));
+    }
+
+    #[test]
+    fn group_by_count_distinct_and_multi_key() {
+        let (catalog, db) = setup();
+        let result = run(
+            "SELECT customer, COUNT(DISTINCT item) FROM orders GROUP BY customer",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        let find = |name: &str| {
+            result
+                .rows
+                .iter()
+                .find(|(row, _)| row[0] == SqlValue::Str(name.into()))
+                .map(|(row, _)| row[1].clone())
+        };
+        assert_eq!(find("ann"), Some(SqlValue::Int(1))); // apple only
+        assert_eq!(find("bob"), Some(SqlValue::Int(2))); // pear + apple
+
+        // Two grouping keys.
+        let pairs = run(
+            "SELECT customer, item, COUNT(*) FROM orders GROUP BY customer, item",
+            &catalog,
+            &db,
+        )
+        .unwrap();
+        assert_eq!(pairs.rows.len(), 3); // (ann,apple), (bob,pear), (bob,apple)
+    }
+
+    #[test]
+    fn group_by_errors() {
+        let (catalog, db) = setup();
+        assert!(matches!(
+            run(
+                "SELECT item, SUM(qty) FROM orders GROUP BY customer",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::GroupProjectionMismatch(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer, SUM(qty) FROM orders",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::GroupProjectionMismatch(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer, COUNT(DISTINCT customer) FROM orders GROUP BY customer",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::AggregateOnGroupColumn(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer, SUM(item) FROM orders GROUP BY customer",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::NonNumericAggregate(_)))
+        ));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let (catalog, db) = setup();
+        assert!(matches!(
+            run("SELECT nope FROM orders", &catalog, &db),
+            Err(SqlError::Compile(CompileError::UnknownColumn(_)))
+        ));
+        assert!(matches!(
+            run("SELECT customer FROM missing", &catalog, &db),
+            Err(SqlError::Compile(CompileError::UnknownTable(_)))
+        ));
+        assert!(matches!(
+            run("SELECT SUM(customer) FROM orders", &catalog, &db),
+            Err(SqlError::Compile(CompileError::NonNumericAggregate(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer FROM orders, orders WHERE qty = 1",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::DuplicateAlias(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer FROM orders o, orders p WHERE qty = 1",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::AmbiguousColumn(_)))
+        ));
+        assert!(matches!(
+            run(
+                "SELECT customer FROM orders UNION ALL SELECT COUNT(*) FROM vip",
+                &catalog,
+                &db
+            ),
+            Err(SqlError::Compile(CompileError::ShapeMismatch))
+        ));
+    }
+
+    #[test]
+    fn compiled_queries_are_balg1_without_aggregates() {
+        use balg_core::schema::Schema;
+        use balg_core::typecheck::check;
+        use balg_core::types::Type;
+        let (catalog, _) = setup();
+        let parsed = parse("SELECT DISTINCT customer FROM orders WHERE item = 'apple'").unwrap();
+        let compiled = compile_query(&parsed, &catalog).unwrap();
+        // Schema: orders has a bag-typed numeric column, so the relation
+        // type is [U, U, ⟦[U]⟧] — nesting 1 within a tuple, hence level 2
+        // by the strict BALG¹ typing discipline. With purely symbolic
+        // columns it would be level 1; check it is at most 2 and core.
+        let orders_ty = Type::bag(Type::Tuple(vec![
+            Type::Atom,
+            Type::Atom,
+            Type::bag(Type::atom_tuple(1)),
+        ]));
+        let schema = Schema::new().with("orders", orders_ty);
+        let analysis = check(&compiled.expr, &schema).unwrap();
+        assert!(analysis.is_core_balg());
+        assert!(analysis.balg_level() <= 2);
+    }
+}

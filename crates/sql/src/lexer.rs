@@ -1,0 +1,286 @@
+//! Tokenizer for the SQL-bag subset.
+//!
+//! SQL's data model *is* bags — the paper's opening motivation ("many
+//! systems support bags in their data model, often to save the cost of
+//! duplicate elimination"). The frontend accepts the fragment whose
+//! semantics BALG captures directly: SELECT [DISTINCT] … FROM … WHERE
+//! conjunctive comparisons, UNION/EXCEPT/INTERSECT [ALL], and scalar
+//! COUNT/SUM/AVG.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// A keyword (uppercased).
+    Keyword(Keyword),
+    /// An identifier (table, column, alias).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Recognized keywords.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Where,
+    And,
+    As,
+    Union,
+    Except,
+    Intersect,
+    All,
+    Count,
+    Sum,
+    Avg,
+    Group,
+    By,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "DISTINCT" => Keyword::Distinct,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "AS" => Keyword::As,
+            "UNION" => Keyword::Union,
+            "EXCEPT" => Keyword::Except,
+            "INTERSECT" => Keyword::Intersect,
+            "ALL" => Keyword::All,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Neq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'>') => {
+                        tokens.push(Token::Neq);
+                        i += 2;
+                    }
+                    Some(b'=') => {
+                        tokens.push(Token::Le);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse().map_err(|_| LexError {
+                    position: start,
+                    message: format!("bad integer literal {text}"),
+                })?;
+                tokens.push(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(kw) => tokens.push(Token::Keyword(kw)),
+                    None => tokens.push(Token::Ident(word.to_owned())),
+                }
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let tokens = tokenize("select DISTINCT from").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Distinct),
+                Token::Keyword(Keyword::From),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        let tokens = tokenize("a.b = 3, c <> 'x' <= >=").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Eq,
+                Token::Int(3),
+                Token::Comma,
+                Token::Ident("c".into()),
+                Token::Neq,
+                Token::Str("x".into()),
+                Token::Le,
+                Token::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(tokenize("-12").unwrap(), vec![Token::Int(-12)]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a ; b").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn count_star() {
+        let tokens = tokenize("SELECT COUNT(*)").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::Count),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+            ]
+        );
+    }
+}

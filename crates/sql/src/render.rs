@@ -1,0 +1,179 @@
+//! Rendering queries back to SQL text.
+//!
+//! `render(parse(q))` is the identity on normalized queries, and
+//! `parse(render(ast)) == ast` for every well-formed AST — the round-trip
+//! property checked by `tests/` with generated ASTs. Useful for logging
+//! optimized/rewritten queries and for the REPL.
+
+use std::fmt;
+
+use crate::ast::{
+    Aggregate, CompareOp, Comparison, Operand, Projection, Query, SelectCore, TableRef,
+};
+
+/// Render a query as SQL text (parseable by [`crate::parser::parse`]).
+pub fn render(query: &Query) -> String {
+    query.to_string()
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(core) => write!(f, "{core}"),
+            Query::UnionAll(a, b) => write!(f, "({a}) UNION ALL ({b})"),
+            Query::Union(a, b) => write!(f, "({a}) UNION ({b})"),
+            Query::ExceptAll(a, b) => write!(f, "({a}) EXCEPT ALL ({b})"),
+            Query::Except(a, b) => write!(f, "({a}) EXCEPT ({b})"),
+            Query::IntersectAll(a, b) => write!(f, "({a}) INTERSECT ALL ({b})"),
+            Query::Intersect(a, b) => write!(f, "({a}) INTERSECT ({b})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        write!(f, "{}", self.projection)?;
+        f.write_str(" FROM ")?;
+        for (i, table) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{table}")?;
+        }
+        if !self.predicates.is_empty() {
+            f.write_str(" WHERE ")?;
+            for (i, predicate) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" AND ")?;
+                }
+                write!(f, "{predicate}")?;
+            }
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, column) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{column}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::Star => f.write_str("*"),
+            Projection::Columns(columns) => {
+                for (i, column) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{column}")?;
+                }
+                Ok(())
+            }
+            Projection::Aggregate(aggregate) => write!(f, "{aggregate}"),
+            Projection::GroupedAggregate(columns, aggregate) => {
+                for column in columns {
+                    write!(f, "{column}, ")?;
+                }
+                write!(f, "{aggregate}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregate::CountStar => f.write_str("COUNT(*)"),
+            Aggregate::CountDistinct(column) => write!(f, "COUNT(DISTINCT {column})"),
+            Aggregate::Sum(column) => write!(f, "SUM({column})"),
+            Aggregate::Avg(column) => write!(f, "AVG({column})"),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alias == self.table {
+            f.write_str(&self.table)
+        } else {
+            write!(f, "{} AS {}", self.table, self.alias)
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CompareOp::Eq => "=",
+            CompareOp::Neq => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        })
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(column) => write!(f, "{column}"),
+            Operand::Int(value) => write!(f, "{value}"),
+            Operand::Str(text) => write!(f, "'{text}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(sql: &str) {
+        let ast = parse(sql).unwrap();
+        let rendered = render(&ast);
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered SQL failed to parse: {rendered}: {e}"));
+        assert_eq!(ast, reparsed, "roundtrip changed the AST: {rendered}");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrip("SELECT * FROM t");
+        roundtrip("SELECT DISTINCT a, t.b FROM t WHERE a = 3 AND b <> 'x'");
+        roundtrip("SELECT x.a FROM t AS x, t AS y WHERE x.a = y.a");
+        roundtrip("SELECT COUNT(*) FROM t");
+        roundtrip("SELECT COUNT(DISTINCT a) FROM t");
+        roundtrip("SELECT customer, SUM(qty) FROM orders GROUP BY customer");
+        roundtrip("SELECT a, b, AVG(c) FROM t GROUP BY a, b");
+    }
+
+    #[test]
+    fn roundtrip_set_operations() {
+        roundtrip("SELECT * FROM r UNION ALL SELECT * FROM s");
+        roundtrip("(SELECT * FROM r UNION SELECT * FROM s) EXCEPT ALL SELECT * FROM t");
+        roundtrip("SELECT * FROM r INTERSECT SELECT * FROM s");
+    }
+
+    #[test]
+    fn rendering_is_canonical_sql() {
+        let ast = parse("select   a from   t  where a >= 2").unwrap();
+        assert_eq!(render(&ast), "SELECT a FROM t WHERE a >= 2");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property test: render∘parse round-trips for generated query ASTs.
+
+use balg_sql::ast::{
+    Aggregate, ColumnRef, CompareOp, Comparison, Operand, Projection, Query, SelectCore, TableRef,
+};
+use balg_sql::parser::parse;
+use balg_sql::render::render;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Short identifiers that cannot collide with keywords.
+    prop_oneof![
+        Just("t1".to_owned()),
+        Just("t2".to_owned()),
+        Just("colx".to_owned()),
+        Just("coly".to_owned()),
+        Just("q_z".to_owned()),
+    ]
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, column)| ColumnRef {
+        qualifier,
+        column,
+    })
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        column_ref().prop_map(Operand::Column),
+        (0i64..1000).prop_map(Operand::Int),
+        "[a-z]{0,6}".prop_map(Operand::Str),
+    ]
+}
+
+fn comparison() -> impl Strategy<Value = Comparison> {
+    (
+        operand(),
+        prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Neq),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Le),
+            Just(CompareOp::Gt),
+            Just(CompareOp::Ge),
+        ],
+        operand(),
+    )
+        .prop_map(|(left, op, right)| Comparison { left, op, right })
+}
+
+fn aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::CountStar),
+        column_ref().prop_map(Aggregate::CountDistinct),
+        column_ref().prop_map(Aggregate::Sum),
+        column_ref().prop_map(Aggregate::Avg),
+    ]
+}
+
+fn table_ref() -> impl Strategy<Value = TableRef> {
+    (ident(), proptest::option::of(ident())).prop_map(|(table, alias)| TableRef {
+        alias: alias.unwrap_or_else(|| table.clone()),
+        table,
+    })
+}
+
+fn select_core() -> impl Strategy<Value = SelectCore> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(Projection::Star),
+            proptest::collection::vec(column_ref(), 1..4).prop_map(Projection::Columns),
+            aggregate().prop_map(Projection::Aggregate),
+            (proptest::collection::vec(column_ref(), 1..3), aggregate())
+                .prop_map(|(cols, agg)| Projection::GroupedAggregate(cols, agg)),
+        ],
+        proptest::collection::vec(table_ref(), 1..3),
+        proptest::collection::vec(comparison(), 0..3),
+        proptest::collection::vec(column_ref(), 0..3),
+    )
+        .prop_map(|(distinct, projection, from, predicates, mut group_by)| {
+            // A grouped-aggregate projection syntactically implies a GROUP
+            // BY clause; the renderer/parser pair is exercised on both.
+            if matches!(projection, Projection::GroupedAggregate(_, _)) && group_by.is_empty() {
+                group_by.push(ColumnRef::bare("colx"));
+            }
+            SelectCore {
+                distinct,
+                projection,
+                from,
+                predicates,
+                group_by,
+            }
+        })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    let leaf = select_core().prop_map(Query::Select);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            let a2 = a.clone();
+            let b2 = b.clone();
+            prop_oneof![
+                Just(Query::UnionAll(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Query::Union(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Query::ExceptAll(Box::new(a.clone()), Box::new(b.clone()))),
+                Just(Query::Except(Box::new(a), Box::new(b))),
+                Just(Query::IntersectAll(Box::new(a2.clone()), Box::new(b2.clone()))),
+                Just(Query::Intersect(Box::new(a2), Box::new(b2))),
+            ]
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_render_roundtrip(ast in query()) {
+        let rendered = render(&ast);
+        let reparsed = parse(&rendered);
+        prop_assert!(reparsed.is_ok(), "rendered SQL failed to parse: {rendered}");
+        prop_assert_eq!(reparsed.unwrap(), ast, "roundtrip changed AST for: {}", rendered);
+    }
+}

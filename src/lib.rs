@@ -1,0 +1,42 @@
+//! # balg — Towards Tractable Algebras for Bags, in Rust
+//!
+//! Umbrella crate re-exporting the full reproduction of Grumbach & Milo,
+//! *"Towards Tractable Algebras for Bags"* (PODS 1993; JCSS 52(3), 1996):
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`core`] (`balg-core`) | the nested bag data model and the BALG algebra |
+//! | [`relational`] (`balg-relational`) | the RALG baseline + Prop 4.2 translations |
+//! | [`calc`] (`balg-calc`) | the CALC1 calculus with active-domain semantics |
+//! | [`games`] (`balg-games`) | pebble games and the Figure 1 construction |
+//! | [`arith`] (`balg-arith`) | bounded arithmetic + the Lemma 5.7 encoding |
+//! | [`machine`] (`balg-machine`) | Turing machines + the Thm 6.6 IFP compiler |
+//! | [`sql`] (`balg-sql`) | a SQL frontend with honest bag semantics |
+//! | [`complexity`] (`balg-complexity`) | the E1–E18 experiment harness |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ```
+//! use balg::core::prelude::*;
+//!
+//! let db = Database::new().with(
+//!     "R",
+//!     Bag::from_values([Value::tuple([Value::sym("a")]), Value::tuple([Value::sym("a")])]),
+//! );
+//! // SELECT DISTINCT: ε eliminates the duplicate.
+//! let out = eval_bag(&Expr::var("R").dedup(), &db).unwrap();
+//! assert_eq!(out.cardinality(), Natural::one());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use balg_arith as arith;
+pub use balg_calc as calc;
+pub use balg_complexity as complexity;
+pub use balg_core as core;
+pub use balg_games as games;
+pub use balg_machine as machine;
+pub use balg_relational as relational;
+pub use balg_sql as sql;

@@ -1,0 +1,160 @@
+//! Property-based tests of the bag algebra's laws (Section 3).
+//!
+//! The paper lists associativity/commutativity of `∪⁺`, `∪`, `∩` and the
+//! defining multiplicity arithmetic of every operator; these properties
+//! are checked here on arbitrary generated bags, together with the
+//! lattice/monus structure that the interdefinability results rely on.
+
+use balg::core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a flat unary bag over at most 6 atoms with multiplicities
+/// up to 9.
+fn flat_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map(0u8..6, 1u64..10, 0..6).prop_map(|entries| {
+        Bag::from_counted(entries.into_iter().map(|(atom, mult)| {
+            (
+                Value::tuple([Value::int(atom as i64)]),
+                Natural::from(mult),
+            )
+        }))
+    })
+}
+
+/// Strategy: a nested bag (bag of flat bags).
+fn nested_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::vec((flat_bag(), 1u64..4), 0..4).prop_map(|inners| {
+        Bag::from_counted(
+            inners
+                .into_iter()
+                .map(|(inner, mult)| (Value::Bag(inner), Natural::from(mult))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn additive_union_commutative_associative(a in flat_bag(), b in flat_bag(), c in flat_bag()) {
+        prop_assert_eq!(a.additive_union(&b), b.additive_union(&a));
+        prop_assert_eq!(
+            a.additive_union(&b).additive_union(&c),
+            a.additive_union(&b.additive_union(&c))
+        );
+    }
+
+    #[test]
+    fn max_union_and_intersect_form_a_lattice(a in flat_bag(), b in flat_bag(), c in flat_bag()) {
+        // Commutativity + associativity.
+        prop_assert_eq!(a.max_union(&b), b.max_union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.max_union(&b).max_union(&c), a.max_union(&b.max_union(&c)));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        // Absorption: a ∪ (a ∩ b) = a and a ∩ (a ∪ b) = a.
+        prop_assert_eq!(a.max_union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.max_union(&b)), a.clone());
+        // Idempotence.
+        prop_assert_eq!(a.max_union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+    }
+
+    #[test]
+    fn monus_laws(a in flat_bag(), b in flat_bag()) {
+        // a − a = ∅; ∅ − a = ∅; (a − b) ⊑ a.
+        prop_assert!(a.subtract(&a).is_empty());
+        prop_assert!(Bag::new().subtract(&a).is_empty());
+        prop_assert!(a.subtract(&b).is_subbag_of(&a));
+        // The [Alb91] identities used in E5:
+        prop_assert_eq!(a.subtract(&a.subtract(&b)), a.intersect(&b));
+        prop_assert_eq!(a.subtract(&b).additive_union(&b), a.max_union(&b));
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_support_preserving(a in flat_bag()) {
+        let d = a.dedup();
+        prop_assert_eq!(d.dedup(), d.clone());
+        prop_assert_eq!(d.distinct_count(), a.distinct_count());
+        prop_assert!(d.is_subbag_of(&a) || a.is_empty());
+        prop_assert!(d.iter().all(|(_, m)| m.is_one()));
+    }
+
+    #[test]
+    fn subbag_is_a_partial_order(a in flat_bag(), b in flat_bag()) {
+        prop_assert!(a.is_subbag_of(&a));
+        if a.is_subbag_of(&b) && b.is_subbag_of(&a) {
+            prop_assert_eq!(a.clone(), b.clone());
+        }
+        // meet/join agree with the order.
+        prop_assert!(a.intersect(&b).is_subbag_of(&a));
+        prop_assert!(a.is_subbag_of(&a.max_union(&b)));
+    }
+
+    #[test]
+    fn powerset_cardinality_formula(a in flat_bag()) {
+        // |P(B)| = Π (mᵢ + 1), every subbag exactly once, all subbags of B.
+        let predicted = a.powerset_cardinality();
+        if predicted <= Natural::from(4096u64) {
+            let ps = a.powerset(4096).unwrap();
+            prop_assert_eq!(ps.cardinality(), predicted);
+            let all_subbags_once = ps
+                .iter()
+                .all(|(v, m)| m.is_one() && v.as_bag().is_some_and(|s| s.is_subbag_of(&a)));
+            prop_assert!(all_subbags_once);
+        }
+    }
+
+    #[test]
+    fn powerbag_total_cardinality_is_2_to_n(a in flat_bag()) {
+        let n = a.cardinality();
+        if n <= Natural::from(12u64) {
+            let pb = a.powerbag(1 << 14).unwrap();
+            prop_assert_eq!(pb.cardinality(), Natural::pow2(n.to_u64().unwrap()));
+            // P(B) = ε(P_b(B)) — the powerset is the deduplicated powerbag.
+            prop_assert_eq!(pb.dedup(), a.powerset(1 << 14).unwrap());
+        }
+    }
+
+    #[test]
+    fn destroy_preserves_total_content(nested in nested_bag()) {
+        // |δ(B)| = Σ over inner bags of mult · |inner|.
+        let flat = nested.destroy().unwrap();
+        let expected: Natural = nested
+            .iter()
+            .map(|(inner, mult)| &inner.as_bag().unwrap().cardinality() * mult)
+            .sum();
+        prop_assert_eq!(flat.cardinality(), expected);
+    }
+
+    #[test]
+    fn product_cardinality_multiplies(a in flat_bag(), b in flat_bag()) {
+        let prod = a.product(&b).unwrap();
+        prop_assert_eq!(prod.cardinality(), &a.cardinality() * &b.cardinality());
+    }
+
+    #[test]
+    fn encoded_size_counts_duplicates(a in flat_bag()) {
+        // standard encoding ≥ counted representation: size grows linearly
+        // with multiplicities. Each element [i] costs 2 (tuple + atom).
+        let size = Value::Bag(a.clone()).encoded_size();
+        let mut expected = Natural::one();
+        expected += &(&a.cardinality() * &Natural::from(2u64));
+        prop_assert_eq!(size, expected);
+    }
+
+    #[test]
+    fn map_total_cardinality_is_preserved(a in flat_bag()) {
+        // MAP never loses occurrences — images accumulate multiplicities.
+        let collapsed: Bag = a
+            .map(|_| Ok::<_, std::convert::Infallible>(Value::sym("k")))
+            .unwrap();
+        prop_assert_eq!(collapsed.cardinality(), a.cardinality());
+    }
+
+    #[test]
+    fn distributivity_of_product_over_additive_union(a in flat_bag(), b in flat_bag(), c in flat_bag()) {
+        // a × (b ∪⁺ c) = (a × b) ∪⁺ (a × c): multiplicity arithmetic
+        // distributes because ·(p+q) = ·p + ·q.
+        let left = a.product(&b.additive_union(&c)).unwrap();
+        let right = a.product(&b).unwrap().additive_union(&a.product(&c).unwrap());
+        prop_assert_eq!(left, right);
+    }
+}

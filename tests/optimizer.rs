@@ -1,0 +1,122 @@
+//! Optimizer equivalence: every rewrite must be multiplicity-exact on
+//! random databases — the constraint bag semantics adds to classical
+//! rewriting (Section 3's optimization remark, [CV93]).
+
+use balg::complexity::generator::{random_database, zoo, ExprZoo};
+use balg::core::prelude::*;
+use balg::sql::prelude::*;
+
+fn zoo_schema() -> Schema {
+    Schema::new()
+        .with("G", Type::relation(2))
+        .with("R", Type::relation(1))
+        .with("S", Type::relation(1))
+        .with("B", Type::relation(1))
+}
+
+#[test]
+fn optimizer_preserves_zoo_query_semantics() {
+    let schema = zoo_schema();
+    for (name, expr) in zoo() {
+        let optimized = optimize(&expr, &schema);
+        for seed in 0..4u64 {
+            let db = random_database(seed, 5, 3);
+            let before = eval_bag(&expr, &db).unwrap();
+            let after = eval_bag(&optimized, &db).unwrap();
+            assert_eq!(before, after, "optimizer broke {name} on seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn optimizer_preserves_random_expressions() {
+    let schema = zoo_schema();
+    let mut generator = ExprZoo::new(21);
+    for i in 0..25 {
+        let expr = generator.unary_expr(3);
+        let optimized = optimize(&expr, &schema);
+        for n in [0u64, 1, 3, 6] {
+            let db = Database::new().with(
+                "B",
+                Bag::repeated(Value::tuple([Value::sym("a")]), n),
+            );
+            let before = eval_bag(&expr, &db).unwrap();
+            let after = eval_bag(&optimized, &db).unwrap();
+            assert_eq!(before, after, "expr #{i} differs at n={n}:\n{expr}\n→\n{optimized}");
+        }
+    }
+}
+
+#[test]
+fn optimizer_is_idempotent() {
+    let schema = zoo_schema();
+    for (_, expr) in zoo() {
+        let once = optimize(&expr, &schema);
+        let twice = optimize(&once, &schema);
+        assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn optimized_sql_agrees_with_unoptimized() {
+    let catalog = Catalog::new()
+        .with_table("orders", &[("customer", false), ("item", false), ("qty", true)])
+        .with_table("vip", &[("customer", false)]);
+    let s = |x: &str| SqlValue::Str(x.into());
+    let db = database_from_rows(
+        &catalog,
+        &[
+            (
+                "orders",
+                vec![
+                    vec![s("ann"), s("apple"), SqlValue::Int(3)],
+                    vec![s("ann"), s("apple"), SqlValue::Int(3)],
+                    vec![s("bob"), s("pear"), SqlValue::Int(5)],
+                ],
+            ),
+            ("vip", vec![vec![s("ann")]]),
+        ],
+    )
+    .unwrap();
+    let queries = [
+        "SELECT customer FROM orders WHERE item = 'apple'",
+        "SELECT DISTINCT customer FROM orders",
+        "SELECT o.item FROM orders o, vip v WHERE o.customer = v.customer",
+        "SELECT COUNT(*) FROM orders",
+        "SELECT SUM(qty) FROM orders",
+        "SELECT customer FROM orders UNION ALL SELECT customer FROM vip",
+    ];
+    for sql in queries {
+        let plain = run(sql, &catalog, &db).unwrap();
+        let optimized = run_optimized(sql, &catalog, &db).unwrap();
+        assert_eq!(plain.rows, optimized.rows, "optimizer broke: {sql}");
+    }
+}
+
+#[test]
+fn pushdown_shrinks_intermediates_on_selective_join() {
+    // SELECT ... FROM big, small WHERE big-side filter: the pushed plan
+    // must build a smaller product.
+    let schema = Schema::new()
+        .with("Big", Type::relation(2))
+        .with("Small", Type::relation(1));
+    let big = Bag::from_values(
+        (0..40i64).map(|i| Value::tuple([Value::int(i), Value::int(i % 4)])),
+    );
+    let small = Bag::from_values((0..4i64).map(|i| Value::tuple([Value::int(i)])));
+    let db = Database::new().with("Big", big).with("Small", small);
+    let q = Expr::var("Big").product(Expr::var("Small")).select(
+        "x",
+        Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::int(7))),
+    );
+    let optimized = optimize(&q, &schema);
+    let (r1, m1) = eval_with_metrics(&q, &db, Limits::default());
+    let (r2, m2) = eval_with_metrics(&optimized, &db, Limits::default());
+    assert_eq!(r1.unwrap(), r2.unwrap());
+    assert!(
+        m2.max_distinct_elements < m1.max_distinct_elements,
+        "pushdown did not shrink intermediates: {} vs {}",
+        m2.max_distinct_elements,
+        m1.max_distinct_elements
+    );
+}

@@ -1,0 +1,27 @@
+//! The full experiment suite as one integration gate: every E1–E18 report
+//! must match the paper's predictions (see EXPERIMENTS.md).
+
+#[test]
+fn all_experiments_match_the_paper() {
+    let reports = balg::complexity::run_all();
+    assert_eq!(reports.len(), 18);
+    let mut failures = Vec::new();
+    for report in &reports {
+        if !report.all_match {
+            failures.push(format!("{report}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "experiments deviated from the paper:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiment_ids_are_complete_and_ordered() {
+    let reports = balg::complexity::run_all();
+    let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
+    let expected: Vec<String> = (1..=18).map(|i| format!("E{i}")).collect();
+    assert_eq!(ids, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}
