@@ -39,16 +39,6 @@ impl Term {
         Term::Const(value)
     }
 
-    /// `self + other`.
-    pub fn add(self, other: Term) -> Term {
-        Term::Add(Box::new(self), Box::new(other))
-    }
-
-    /// `self × other`.
-    pub fn mul(self, other: Term) -> Term {
-        Term::Mul(Box::new(self), Box::new(other))
-    }
-
     /// Evaluate under an environment.
     pub fn eval(&self, env: &BTreeMap<ArithVar, u64>) -> Option<u64> {
         match self {
@@ -73,6 +63,24 @@ impl Term {
                 b.vars(out);
             }
         }
+    }
+}
+
+impl std::ops::Add for Term {
+    type Output = Term;
+
+    /// `self + other`.
+    fn add(self, other: Term) -> Term {
+        Term::Add(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Mul for Term {
+    type Output = Term;
+
+    /// `self × other`.
+    fn mul(self, other: Term) -> Term {
+        Term::Mul(Box::new(self), Box::new(other))
     }
 }
 
@@ -172,9 +180,7 @@ impl Formula {
             Formula::Eq(a, b) => Some(a.eval(env)? == b.eval(env)?),
             Formula::Le(a, b) => Some(a.eval(env)? <= b.eval(env)?),
             Formula::Not(p) => Some(!p.eval_bounded(env, bound)?),
-            Formula::And(a, b) => {
-                Some(a.eval_bounded(env, bound)? && b.eval_bounded(env, bound)?)
-            }
+            Formula::And(a, b) => Some(a.eval_bounded(env, bound)? && b.eval_bounded(env, bound)?),
             Formula::Or(a, b) => Some(a.eval_bounded(env, bound)? || b.eval_bounded(env, bound)?),
             Formula::Exists(x, p) => {
                 let saved = env.get(x).copied();
@@ -242,7 +248,7 @@ impl fmt::Display for Formula {
 pub fn even_formula() -> Formula {
     Formula::exists(
         "y",
-        Formula::eq(Term::var("y").add(Term::var("y")), Term::var("x")),
+        Formula::eq(Term::var("y") + Term::var("y"), Term::var("x")),
     )
 }
 
@@ -253,9 +259,7 @@ pub fn composite_formula() -> Formula {
         Formula::exists(
             "z",
             Formula::eq(
-                Term::var("y")
-                    .add(Term::constant(2))
-                    .mul(Term::var("z").add(Term::constant(2))),
+                (Term::var("y") + Term::constant(2)) * (Term::var("z") + Term::constant(2)),
                 Term::var("x"),
             ),
         ),
@@ -271,7 +275,7 @@ pub fn prime_formula() -> Formula {
 pub fn square_formula() -> Formula {
     Formula::exists(
         "y",
-        Formula::eq(Term::var("y").mul(Term::var("y")), Term::var("x")),
+        Formula::eq(Term::var("y") * Term::var("y"), Term::var("x")),
     )
 }
 
@@ -340,6 +344,6 @@ mod tests {
     fn term_overflow_is_checked() {
         let mut env = BTreeMap::new();
         env.insert(Arc::from("x"), u64::MAX);
-        assert_eq!(Term::var("x").add(Term::constant(1)).eval(&env), None);
+        assert_eq!((Term::var("x") + Term::constant(1)).eval(&env), None);
     }
 }

@@ -72,8 +72,7 @@ impl Ctx {
             DomainKind::Linear => self.n_of_input(),
             DomainKind::ExponentialPowerbag => count(self.n_of_input().powerbag()),
         };
-        base.powerset()
-            .map("d̂", Expr::tuple([Expr::var("d̂")]))
+        base.powerset().map("d̂", Expr::tuple([Expr::var("d̂")]))
     }
 
     /// The singleton domain for the input variable: `⟦[N(b)]⟧`.
@@ -181,12 +180,8 @@ fn compile_rec(formula: &Formula, ctx: &mut Ctx) -> Compiled {
         Formula::Or(a, b) => {
             let ca = compile_rec(a, ctx);
             let cb = compile_rec(b, ctx);
-            let mut columns: Vec<ArithVar> = ca
-                .columns
-                .iter()
-                .chain(&cb.columns)
-                .cloned()
-                .collect();
+            let mut columns: Vec<ArithVar> =
+                ca.columns.iter().chain(&cb.columns).cloned().collect();
             columns.sort();
             columns.dedup();
             let left = align(ca, &columns, ctx);
@@ -201,12 +196,8 @@ fn compile_rec(formula: &Formula, ctx: &mut Ctx) -> Compiled {
             match inner.columns.iter().position(|c| c == x) {
                 None => inner, // vacuous quantifier (domain is nonempty)
                 Some(_) => {
-                    let columns: Vec<ArithVar> = inner
-                        .columns
-                        .iter()
-                        .filter(|c| *c != x)
-                        .cloned()
-                        .collect();
+                    let columns: Vec<ArithVar> =
+                        inner.columns.iter().filter(|c| *c != x).cloned().collect();
                     let expr = project_columns(inner.expr, &inner.columns, &columns);
                     Compiled { expr, columns }
                 }
@@ -277,7 +268,8 @@ fn project_columns(expr: Expr, source: &[ArithVar], target: &[ArithVar]) -> Expr
             .expect("target column must exist in source");
         row.clone().attr(idx + 1)
     });
-    expr.map("p̂", Expr::tuple(fields.collect::<Vec<_>>())).dedup()
+    expr.map("p̂", Expr::tuple(fields.collect::<Vec<_>>()))
+        .dedup()
 }
 
 /// Errors from [`check_on_input`].
@@ -303,10 +295,7 @@ impl std::error::Error for ArithCheckError {}
 /// The database binding `b` to the unary input `bₙ` (a bag of `n`
 /// occurrences of one tuple).
 pub fn input_database(n: u64) -> Database {
-    Database::new().with(
-        "b",
-        Bag::repeated(Value::tuple([Value::sym("u")]), n),
-    )
+    Database::new().with("b", Bag::repeated(Value::tuple([Value::sym("u")]), n))
 }
 
 /// The quantifier bound realized by `kind` on input `n` (inclusive).
@@ -343,10 +332,7 @@ pub fn check_on_input(
 }
 
 /// Decode the satisfying assignments of a compiled formula's result bag.
-pub fn decode_assignments(
-    bag: &Bag,
-    columns: &[ArithVar],
-) -> Option<Vec<BTreeMap<ArithVar, u64>>> {
+pub fn decode_assignments(bag: &Bag, columns: &[ArithVar]) -> Option<Vec<BTreeMap<ArithVar, u64>>> {
     let mut out = Vec::new();
     for (row, _) in bag.iter() {
         let fields = row.as_tuple()?;
@@ -426,7 +412,7 @@ mod tests {
         // ∀y. ¬(y = x + 1): the domain never reaches x+1 on Linear.
         let g = Formula::forall(
             "y",
-            Formula::eq(Term::var("y"), Term::var("x").add(Term::constant(1))).not(),
+            Formula::eq(Term::var("y"), Term::var("x") + Term::constant(1)).not(),
         );
         for n in 0..5 {
             agree(&g, n);
@@ -455,7 +441,7 @@ mod tests {
     #[test]
     fn assignments_decode() {
         // Free y with x: y + y = x on input 6 → y = 3.
-        let f = Formula::eq(Term::var("y").add(Term::var("y")), Term::var("x"));
+        let f = Formula::eq(Term::var("y") + Term::var("y"), Term::var("x"));
         let compiled = compile(&f, "x", DomainKind::Linear);
         assert_eq!(compiled.columns.len(), 2);
         let db = input_database(6);
@@ -480,7 +466,10 @@ mod tests {
 
     #[test]
     fn domain_cardinalities() {
-        assert_eq!(domain_cardinality(DomainKind::Linear, 5), Natural::from(6u64));
+        assert_eq!(
+            domain_cardinality(DomainKind::Linear, 5),
+            Natural::from(6u64)
+        );
         assert_eq!(
             domain_cardinality(DomainKind::ExponentialPowerbag, 5),
             Natural::from(33u64)

@@ -12,7 +12,9 @@ use std::hint::black_box;
 use balg_arith::prelude::{check_on_input, even_formula, DomainKind};
 use balg_bench::{cycle_graph, workload_bag};
 use balg_core::bag::Bag;
-use balg_core::derived::{average, card_gt, in_degree_gt_out_degree, int_value, parity_even_ordered};
+use balg_core::derived::{
+    average, card_gt, in_degree_gt_out_degree, int_value, parity_even_ordered,
+};
 use balg_core::eval::{eval_bag, Limits};
 use balg_core::expr::{Expr, Pred};
 use balg_core::schema::Database;
@@ -23,14 +25,8 @@ use balg_sql::prelude::{database_from_rows, run as run_sql, Catalog, SqlValue};
 
 fn two_tuple_db(n: u64, m: u64) -> Database {
     let mut b = Bag::new();
-    b.insert_with_multiplicity(
-        Value::tuple([Value::sym("a"), Value::sym("b")]),
-        n.into(),
-    );
-    b.insert_with_multiplicity(
-        Value::tuple([Value::sym("b"), Value::sym("a")]),
-        m.into(),
-    );
+    b.insert_with_multiplicity(Value::tuple([Value::sym("a"), Value::sym("b")]), n.into());
+    b.insert_with_multiplicity(Value::tuple([Value::sym("b"), Value::sym("a")]), m.into());
     Database::new().with("B", b)
 }
 
@@ -155,8 +151,11 @@ fn e11(c: &mut Criterion) {
     let q = Expr::var("G").product(Expr::var("G")).project(&[1, 4]);
     c.bench_function("e11_logspace_counters/product_mult_growth", |bench| {
         bench.iter(|| {
-            let (result, metrics) =
-                balg_core::eval::eval_with_metrics(black_box(&q), black_box(&db), Limits::default());
+            let (result, metrics) = balg_core::eval::eval_with_metrics(
+                black_box(&q),
+                black_box(&db),
+                Limits::default(),
+            );
             result.unwrap();
             metrics.max_multiplicity_bits()
         })
@@ -178,14 +177,15 @@ fn e13(c: &mut Criterion) {
     let (g, gp) = star_graphs(8);
     c.bench_function("e13_pebble_game/play_n8_k3", |bench| {
         bench.iter_batched(
-            || {
-                (
-                    RandomSpoiler::new(1, 4),
-                    ConstraintDuplicator::new(2),
-                )
-            },
+            || (RandomSpoiler::new(1, 4), ConstraintDuplicator::new(2)),
             |(mut spoiler, mut duplicator)| {
-                play(black_box(&g), black_box(&gp), 3, &mut spoiler, &mut duplicator)
+                play(
+                    black_box(&g),
+                    black_box(&gp),
+                    3,
+                    &mut spoiler,
+                    &mut duplicator,
+                )
             },
             BatchSize::SmallInput,
         )
@@ -238,17 +238,17 @@ fn e17(c: &mut Criterion) {
 fn e18(c: &mut Criterion) {
     let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
     let rows: Vec<Vec<SqlValue>> = (0..64)
-        .map(|i| {
-            vec![
-                SqlValue::Str(format!("c{}", i % 8)),
-                SqlValue::Int(i % 10),
-            ]
-        })
+        .map(|i| vec![SqlValue::Str(format!("c{}", i % 8)), SqlValue::Int(i % 10)])
         .collect();
     let db = database_from_rows(&catalog, &[("orders", rows)]).unwrap();
     c.bench_function("e18_sql_frontend/sum_qty_64_rows", |bench| {
         bench.iter(|| {
-            run_sql("SELECT SUM(qty) FROM orders", black_box(&catalog), black_box(&db)).unwrap()
+            run_sql(
+                "SELECT SUM(qty) FROM orders",
+                black_box(&catalog),
+                black_box(&db),
+            )
+            .unwrap()
         })
     });
 }

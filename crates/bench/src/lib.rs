@@ -22,10 +22,7 @@ use balg_core::value::Value;
 pub fn workload_bag(distinct: u64, mult: u64) -> Bag {
     let mut bag = Bag::new();
     for i in 0..distinct {
-        bag.insert_with_multiplicity(
-            Value::tuple([Value::int(i as i64)]),
-            Natural::from(mult),
-        );
+        bag.insert_with_multiplicity(Value::tuple([Value::int(i as i64)]), Natural::from(mult));
     }
     bag
 }

@@ -271,11 +271,15 @@ mod tests {
         let atoms: Vec<Atom> = (1..=3).map(Atom::Int).collect();
         assert_eq!(enumerate_domain(&Type::Atom, &atoms, 100).unwrap().len(), 3);
         assert_eq!(
-            enumerate_domain(&Type::atom_tuple(2), &atoms, 100).unwrap().len(),
+            enumerate_domain(&Type::atom_tuple(2), &atoms, 100)
+                .unwrap()
+                .len(),
             9
         );
         assert_eq!(
-            enumerate_domain(&Type::bag(Type::Atom), &atoms, 100).unwrap().len(),
+            enumerate_domain(&Type::bag(Type::Atom), &atoms, 100)
+                .unwrap()
+                .len(),
             8
         );
         assert!(matches!(
@@ -318,11 +322,7 @@ mod tests {
         let phi = F::exists(
             "s",
             Type::bag(Type::Atom),
-            F::forall(
-                "x",
-                Type::Atom,
-                F::member(T::var("x"), T::var("s")),
-            ),
+            F::forall("x", Type::Atom, F::member(T::var("x"), T::var("s"))),
         );
         assert!(eval_sentence(&phi, &db).unwrap());
     }

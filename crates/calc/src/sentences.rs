@@ -167,9 +167,8 @@ pub fn named_probes() -> Vec<(&'static str, CalcFormula)> {
                         .or(CalcFormula::forall(
                             "x",
                             Type::Atom,
-                            CalcFormula::member(CalcTerm::var("x"), CalcTerm::var("u")).or(
-                                CalcFormula::member(CalcTerm::var("x"), CalcTerm::var("v")),
-                            ),
+                            CalcFormula::member(CalcTerm::var("x"), CalcTerm::var("u"))
+                                .or(CalcFormula::member(CalcTerm::var("x"), CalcTerm::var("v"))),
                         )),
                 ),
             ),

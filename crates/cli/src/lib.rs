@@ -102,9 +102,7 @@ impl Session {
                         self.db.insert(name, bag);
                         Response::Text(format!("loaded {name}"))
                     }
-                    Ok((other, _)) => {
-                        Response::Text(format!("not a bag: {other}"))
-                    }
+                    Ok((other, _)) => Response::Text(format!("not a bag: {other}")),
                     Err(message) => Response::Text(message),
                 }
             }
@@ -285,7 +283,10 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let mut session = Session::new();
         assert_eq!(session.process_line(""), Response::Text(String::new()));
-        assert_eq!(session.process_line("# note"), Response::Text(String::new()));
+        assert_eq!(
+            session.process_line("# note"),
+            Response::Text(String::new())
+        );
     }
 
     #[test]

@@ -23,7 +23,14 @@ pub fn x1_optimizer() -> Report {
     let mut report = Report::new(
         "X1",
         "rewrite optimizer: multiplicity-exact, smaller intermediates",
-        &["query", "equal results", "steps before", "steps after", "intermediates before/after", "match"],
+        &[
+            "query",
+            "equal results",
+            "steps before",
+            "steps after",
+            "intermediates before/after",
+            "match",
+        ],
     );
     let schema = Schema::new()
         .with("G", Type::relation(2))
@@ -51,10 +58,7 @@ pub fn x1_optimizer() -> Report {
             .project(&[2, 1])
             .project(&[2, 1]),
         ),
-        (
-            "ε pushdown over ×",
-            g().product(Expr::var("R")).dedup(),
-        ),
+        ("ε pushdown over ×", g().product(Expr::var("R")).dedup()),
     ];
     let mut pushdown_improved = false;
     for (name, query) in queries {
@@ -190,7 +194,14 @@ pub fn x3_counters() -> Report {
     let mut report = Report::new(
         "X3",
         "counter machines with bag registers (Section 2 remark)",
-        &["machine", "input", "direct result", "via bags", "steps", "match"],
+        &[
+            "machine",
+            "input",
+            "direct result",
+            "via bags",
+            "steps",
+            "match",
+        ],
     );
     let cases: Vec<(&str, CounterMachine, Vec<u64>)> = vec![
         ("add", addition_machine(), vec![3, 4]),

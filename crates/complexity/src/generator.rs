@@ -49,9 +49,18 @@ pub fn random_unary_bag(seed: u64, domain: u32, max_mult: u64) -> Bag {
 /// A database with a binary bag `G` and two unary bags `R`, `S`.
 pub fn random_database(seed: u64, size: u32, max_mult: u64) -> Database {
     Database::new()
-        .with("G", random_multigraph(seed, size.max(2), size * 2, max_mult))
-        .with("R", random_unary_bag(seed.wrapping_add(1), size.max(1), max_mult))
-        .with("S", random_unary_bag(seed.wrapping_add(2), size.max(1), max_mult))
+        .with(
+            "G",
+            random_multigraph(seed, size.max(2), size * 2, max_mult),
+        )
+        .with(
+            "R",
+            random_unary_bag(seed.wrapping_add(1), size.max(1), max_mult),
+        )
+        .with(
+            "S",
+            random_unary_bag(seed.wrapping_add(2), size.max(1), max_mult),
+        )
 }
 
 /// The input `Bₙ` of Propositions 4.1/4.5: `n` occurrences of the single
@@ -124,9 +133,15 @@ impl ExprZoo {
             return Expr::var("B");
         }
         match self.rng.gen_range(0..6u8) {
-            0 => self.unary_expr(depth - 1).additive_union(self.unary_expr(depth - 1)),
-            1 => self.unary_expr(depth - 1).max_union(self.unary_expr(depth - 1)),
-            2 => self.unary_expr(depth - 1).intersect(self.unary_expr(depth - 1)),
+            0 => self
+                .unary_expr(depth - 1)
+                .additive_union(self.unary_expr(depth - 1)),
+            1 => self
+                .unary_expr(depth - 1)
+                .max_union(self.unary_expr(depth - 1)),
+            2 => self
+                .unary_expr(depth - 1)
+                .intersect(self.unary_expr(depth - 1)),
             3 => {
                 // Product then project back to arity 1 keeps the zoo flat.
                 self.unary_expr(depth - 1)
@@ -152,7 +167,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(random_multigraph(7, 5, 10, 3), random_multigraph(7, 5, 10, 3));
+        assert_eq!(
+            random_multigraph(7, 5, 10, 3),
+            random_multigraph(7, 5, 10, 3)
+        );
         assert_eq!(random_unary_bag(7, 5, 3), random_unary_bag(7, 5, 3));
     }
 

@@ -68,15 +68,13 @@ pub fn grows_geometrically(values: &[Natural], num: u64, den: u64, tail: usize) 
     if values.len() < tail + 1 {
         return false;
     }
-    values[values.len() - tail - 1..]
-        .windows(2)
-        .all(|w| {
-            let mut lhs = w[1].clone();
-            lhs.mul_u64(den);
-            let mut rhs = w[0].clone();
-            rhs.mul_u64(num);
-            lhs >= rhs
-        })
+    values[values.len() - tail - 1..].windows(2).all(|w| {
+        let mut lhs = w[1].clone();
+        lhs.mul_u64(den);
+        let mut rhs = w[0].clone();
+        rhs.mul_u64(num);
+        lhs >= rhs
+    })
 }
 
 #[cfg(test)]

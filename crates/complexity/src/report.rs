@@ -75,7 +75,11 @@ impl fmt::Display for Report {
         writeln!(
             f,
             "verdict: {}",
-            if self.all_match { "MATCHES PAPER" } else { "MISMATCH" }
+            if self.all_match {
+                "MATCHES PAPER"
+            } else {
+                "MISMATCH"
+            }
         )
     }
 }

@@ -400,13 +400,13 @@ impl Bag {
                 .ok_or_else(|| BagError::NotATuple(row.clone()))?;
             let mut key = Vec::with_capacity(group.len());
             for &ix in group {
-                let field = ix
-                    .checked_sub(1)
-                    .and_then(|i| fields.get(i))
-                    .ok_or(BagError::BadArity {
-                        index: ix,
-                        arity: fields.len(),
-                    })?;
+                let field =
+                    ix.checked_sub(1)
+                        .and_then(|i| fields.get(i))
+                        .ok_or(BagError::BadArity {
+                            index: ix,
+                            arity: fields.len(),
+                        })?;
                 key.push(field.clone());
             }
             let residual: Vec<Value> = fields
@@ -622,10 +622,16 @@ mod tests {
         let b = Bag::repeated(sym("a"), 2u64);
         let pb = b.powerbag(100).unwrap();
         assert_eq!(pb.multiplicity(&Value::Bag(Bag::new())), nat(1));
-        assert_eq!(pb.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))), nat(2));
+        assert_eq!(
+            pb.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))),
+            nat(2)
+        );
         assert_eq!(pb.multiplicity(&Value::Bag(b.clone())), nat(1));
         let ps = b.powerset(100).unwrap();
-        assert_eq!(ps.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))), nat(1));
+        assert_eq!(
+            ps.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))),
+            nat(1)
+        );
     }
 
     #[test]

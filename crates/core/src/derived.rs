@@ -99,10 +99,7 @@ pub fn average(b: Expr) -> Expr {
     let total = sum(b.clone());
     let candidates = total.clone().powerset();
     candidates
-        .select(
-            "ȳ",
-            Pred::eq(int_mul(Expr::var("ȳ"), count(b)), total),
-        )
+        .select("ȳ", Pred::eq(int_mul(Expr::var("ȳ"), count(b)), total))
         .destroy()
 }
 
@@ -146,7 +143,10 @@ pub fn card_ge_const(r: Expr, i: u64) -> Expr {
 pub fn in_degree_gt_out_degree(g: Expr, node: Value) -> Expr {
     let incoming = g
         .clone()
-        .select("x", Pred::eq(Expr::var("x").attr(2), Expr::lit(node.clone())))
+        .select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::lit(node.clone())),
+        )
         .project(&[2]);
     let outgoing = g
         .select("x", Pred::eq(Expr::var("x").attr(1), Expr::lit(node)))
@@ -203,13 +203,7 @@ pub fn subtract_via_powerset(b1: Expr, b2: Expr) -> Expr {
     let common = b1.clone().intersect(b2);
     b1.clone()
         .powerset()
-        .select(
-            "x̂",
-            Pred::eq(
-                Expr::var("x̂").additive_union(common),
-                b1,
-            ),
-        )
+        .select("x̂", Pred::eq(Expr::var("x̂").additive_union(common), b1))
         .destroy()
 }
 
@@ -243,9 +237,9 @@ mod tests {
     use super::*;
     use crate::eval::{eval_bag, EvalError};
     use crate::schema::Database;
-    use crate::types::Type;
-    use crate::typecheck::check;
     use crate::schema::Schema;
+    use crate::typecheck::check;
+    use crate::types::Type;
 
     fn nat(v: u64) -> Natural {
         Natural::from(v)
@@ -352,9 +346,15 @@ mod tests {
     #[test]
     fn counting_quantifier() {
         let db = Database::new().with("R", unary(&["x", "y", "z"]));
-        assert!(!eval_bag(&card_ge_const(Expr::var("R"), 3), &db).unwrap().is_empty());
-        assert!(eval_bag(&card_ge_const(Expr::var("R"), 4), &db).unwrap().is_empty());
-        assert!(!eval_bag(&card_ge_const(Expr::var("R"), 1), &db).unwrap().is_empty());
+        assert!(!eval_bag(&card_ge_const(Expr::var("R"), 3), &db)
+            .unwrap()
+            .is_empty());
+        assert!(eval_bag(&card_ge_const(Expr::var("R"), 4), &db)
+            .unwrap()
+            .is_empty());
+        assert!(!eval_bag(&card_ge_const(Expr::var("R"), 1), &db)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -373,14 +373,8 @@ mod tests {
     fn degree_query_counts_duplicate_edges() {
         // Bags: duplicate edges count toward degrees.
         let mut g = Bag::new();
-        g.insert_with_multiplicity(
-            Value::tuple([Value::sym("b"), Value::sym("a")]),
-            nat(3),
-        );
-        g.insert_with_multiplicity(
-            Value::tuple([Value::sym("a"), Value::sym("b")]),
-            nat(2),
-        );
+        g.insert_with_multiplicity(Value::tuple([Value::sym("b"), Value::sym("a")]), nat(3));
+        g.insert_with_multiplicity(Value::tuple([Value::sym("a"), Value::sym("b")]), nat(2));
         let db = Database::new().with("G", g);
         let q = in_degree_gt_out_degree(Expr::var("G"), Value::sym("a"));
         assert!(!eval_bag(&q, &db).unwrap().is_empty()); // 3 > 2
@@ -436,9 +430,14 @@ mod tests {
         let mut b2 = Bag::new();
         b2.insert_with_multiplicity(Value::tuple([Value::sym("p")]), nat(3));
         b2.insert_with_multiplicity(Value::tuple([Value::sym("r")]), nat(9));
-        let db = Database::new().with("B1", b1.clone()).with("B2", b2.clone());
-        let via_powerset =
-            eval_bag(&subtract_via_powerset(Expr::var("B1"), Expr::var("B2")), &db).unwrap();
+        let db = Database::new()
+            .with("B1", b1.clone())
+            .with("B2", b2.clone());
+        let via_powerset = eval_bag(
+            &subtract_via_powerset(Expr::var("B1"), Expr::var("B2")),
+            &db,
+        )
+        .unwrap();
         assert_eq!(via_powerset, b1.subtract(&b2));
     }
 
@@ -446,7 +445,9 @@ mod tests {
     fn additive_union_via_max_identity() {
         let b1 = tuples(&[("x", "y"), ("x", "y"), ("u", "v")]);
         let b2 = tuples(&[("x", "y")]);
-        let db = Database::new().with("B1", b1.clone()).with("B2", b2.clone());
+        let db = Database::new()
+            .with("B1", b1.clone())
+            .with("B2", b2.clone());
         let via_tagging = eval_bag(
             &additive_union_via_max(Expr::var("B1"), Expr::var("B2"), 2),
             &db,
@@ -480,8 +481,10 @@ mod tests {
         // average over a big sum must fail with a budget error, not hang.
         let b = Bag::from_values([int_value(1_000_000u64)]);
         let db = Database::new().with("B", b);
-        let mut limits = crate::eval::Limits::default();
-        limits.max_bag_elements = 1024;
+        let limits = crate::eval::Limits {
+            max_bag_elements: 1024,
+            ..crate::eval::Limits::default()
+        };
         let mut ev = crate::eval::Evaluator::new(&db, limits);
         match ev.eval(&average(Expr::var("B"))) {
             Err(EvalError::Bag(_)) | Err(EvalError::ElementLimit { .. }) => {}

@@ -101,7 +101,10 @@ impl fmt::Display for EvalError {
             }
             EvalError::StepLimit(n) => write!(f, "step budget of {n} exhausted"),
             EvalError::ElementLimit { observed, limit } => {
-                write!(f, "bag with {observed} distinct elements exceeds limit {limit}")
+                write!(
+                    f,
+                    "bag with {observed} distinct elements exceeds limit {limit}"
+                )
             }
             EvalError::MultiplicityLimit {
                 observed_bits,
@@ -525,8 +528,10 @@ mod tests {
 
     #[test]
     fn powerset_budget_enforced() {
-        let mut limits = Limits::default();
-        limits.max_bag_elements = 8;
+        let limits = Limits {
+            max_bag_elements: 8,
+            ..Limits::default()
+        };
         let b = Bag::from_values((0..5).map(Value::int)); // powerset = 32 > 8
         let db = db_with("B", b);
         let mut ev = Evaluator::new(&db, limits);
@@ -538,8 +543,10 @@ mod tests {
 
     #[test]
     fn step_budget_enforced() {
-        let mut limits = Limits::default();
-        limits.max_steps = 3;
+        let limits = Limits {
+            max_steps: 3,
+            ..Limits::default()
+        };
         let db = db_with("B", Bag::from_values((0..100).map(Value::int)));
         let q = Expr::var("B").map("x", Expr::var("x").singleton());
         let mut ev = Evaluator::new(&db, limits);
@@ -588,8 +595,10 @@ mod tests {
     fn ifp_divergence_hits_budget() {
         // A step that keeps inflating multiplicities... max-union with a
         // growing product never stabilizes within a tiny budget.
-        let mut limits = Limits::default();
-        limits.max_ifp_iterations = 4;
+        let limits = Limits {
+            max_ifp_iterations: 4,
+            ..Limits::default()
+        };
         let b = Bag::singleton(Value::tuple([Value::sym("a")]));
         let db = db_with("B", b);
         // step(X) = X ∪⁺ X has strictly growing multiplicities, and

@@ -217,10 +217,7 @@ mod tests {
         assert_eq!(e1.max_union(&e2).to_bag(), b1.max_union(&b2));
         assert_eq!(e1.intersect(&e2).to_bag(), b1.intersect(&b2));
         assert_eq!(e1.dedup().to_bag(), b1.dedup());
-        assert_eq!(
-            e1.product(&e2).unwrap().to_bag(),
-            b1.product(&b2).unwrap()
-        );
+        assert_eq!(e1.product(&e2).unwrap().to_bag(), b1.product(&b2).unwrap());
     }
 
     #[test]
@@ -231,6 +228,9 @@ mod tests {
         outer.insert_with_multiplicity(Value::Bag(inner1), Natural::from(2u64));
         outer.insert(Value::Bag(inner2));
         let expanded = ExpandedBag::from_bag(&outer).unwrap();
-        assert_eq!(expanded.destroy().unwrap().to_bag(), outer.destroy().unwrap());
+        assert_eq!(
+            expanded.destroy().unwrap().to_bag(),
+            outer.destroy().unwrap()
+        );
     }
 }

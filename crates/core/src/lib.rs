@@ -69,12 +69,14 @@ pub mod value;
 /// Commonly used items, re-exported.
 pub mod prelude {
     pub use crate::bag::{Bag, BagError};
-    pub use crate::eval::{eval, eval_bag, eval_with_metrics, EvalError, Evaluator, Limits, Metrics};
+    pub use crate::eval::{
+        eval, eval_bag, eval_with_metrics, EvalError, Evaluator, Limits, Metrics,
+    };
     pub use crate::expr::{Expr, Pred, Var};
     pub use crate::natural::Natural;
-    pub use crate::schema::{Database, Schema};
     pub use crate::parse::{parse_expr, ExprParseError};
     pub use crate::rewrite::optimize;
+    pub use crate::schema::{Database, Schema};
     pub use crate::typecheck::{check, infer_type, Analysis, TypeError};
     pub use crate::types::Type;
     pub use crate::value::{Atom, Value};

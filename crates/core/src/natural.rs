@@ -518,7 +518,12 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let x = Natural::from_str(s).unwrap();
             assert_eq!(x.to_string(), s);
         }

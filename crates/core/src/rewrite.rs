@@ -167,7 +167,11 @@ fn pred_binders(pred: &Pred) -> BTreeSet<Var> {
 /// replacement (conservative).
 fn subst(expr: &Expr, var: &Var, replacement: &Expr) -> Option<Expr> {
     let replacement_free: BTreeSet<Var> = replacement.free_vars().into_iter().collect();
-    if binders(expr).intersection(&replacement_free).next().is_some() {
+    if binders(expr)
+        .intersection(&replacement_free)
+        .next()
+        .is_some()
+    {
         return None;
     }
     Some(subst_unchecked(expr, var, replacement))
@@ -404,11 +408,7 @@ fn apply_rules(expr: Expr, schema: &Schema) -> (Expr, bool) {
             }
         }
         // Push σ through × when the predicate touches one side only.
-        Expr::Select {
-            var,
-            pred,
-            input,
-        } if matches!(*input, Expr::Product(_, _)) => {
+        Expr::Select { var, pred, input } if matches!(*input, Expr::Product(_, _)) => {
             let Expr::Product(left, right) = *input else {
                 unreachable!("guarded by matches!")
             };
@@ -563,14 +563,26 @@ fn collect_usage(expr: &Expr, var: &Var, indices: &mut BTreeSet<usize>, ok: &mut
                 | Expr::Destroy(e)
                 | Expr::Dedup(e) => collect_usage(e, var, indices, ok),
                 Expr::Attr(e, _) => collect_usage(e, var, indices, ok),
-                Expr::Map { var: bound, body, input }
-                | Expr::Ifp { var: bound, body, input } => {
+                Expr::Map {
+                    var: bound,
+                    body,
+                    input,
+                }
+                | Expr::Ifp {
+                    var: bound,
+                    body,
+                    input,
+                } => {
                     collect_usage(input, var, indices, ok);
                     if bound != var {
                         collect_usage(body, var, indices, ok);
                     }
                 }
-                Expr::Select { var: bound, pred, input } => {
+                Expr::Select {
+                    var: bound,
+                    pred,
+                    input,
+                } => {
                     collect_usage(input, var, indices, ok);
                     if bound != var {
                         pred.visit_exprs(&mut |e| collect_usage(e, var, indices, ok));
@@ -631,17 +643,29 @@ fn shift_attrs(pred: &Pred, var: &Var, offset: usize) -> Pred {
             Expr::Destroy(e) => Expr::Destroy(Box::new(shift_expr(e, var, offset))),
             Expr::Dedup(e) => Expr::Dedup(Box::new(shift_expr(e, var, offset))),
             // Binders shadowing `var` were excluded by attr_usage.
-            Expr::Map { var: v, body, input } => Expr::Map {
+            Expr::Map {
+                var: v,
+                body,
+                input,
+            } => Expr::Map {
                 var: v.clone(),
                 body: Box::new(shift_expr(body, var, offset)),
                 input: Box::new(shift_expr(input, var, offset)),
             },
-            Expr::Select { var: v, pred, input } => Expr::Select {
+            Expr::Select {
+                var: v,
+                pred,
+                input,
+            } => Expr::Select {
                 var: v.clone(),
                 pred: Box::new(shift_pred(pred, var, offset)),
                 input: Box::new(shift_expr(input, var, offset)),
             },
-            Expr::Ifp { var: v, body, input } => Expr::Ifp {
+            Expr::Ifp {
+                var: v,
+                body,
+                input,
+            } => Expr::Ifp {
                 var: v.clone(),
                 body: Box::new(shift_expr(body, var, offset)),
                 input: Box::new(shift_expr(input, var, offset)),
@@ -794,8 +818,14 @@ mod tests {
     #[test]
     fn select_fusion() {
         let q = Expr::var("G")
-            .select("x", Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("a"))))
-            .select("y", Pred::eq(Expr::var("y").attr(2), Expr::lit(Value::sym("b"))));
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("a"))),
+            )
+            .select(
+                "y",
+                Pred::eq(Expr::var("y").attr(2), Expr::lit(Value::sym("b"))),
+            );
         let out = optimize(&q, &graph_schema());
         // One Select remains.
         let mut selects = 0;
@@ -976,7 +1006,10 @@ mod tests {
                 "x",
                 Expr::tuple([Expr::var("x").attr(2), Expr::var("x").attr(1)]),
             )
-            .select("x", Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("c"))));
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(1), Expr::lit(Value::sym("c"))),
+            );
         assert_equivalent(&q);
     }
 }

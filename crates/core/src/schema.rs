@@ -49,7 +49,11 @@ impl Schema {
 
     /// The maximal bag nesting over all bag types in the schema.
     pub fn max_nesting(&self) -> usize {
-        self.types.values().map(Type::bag_nesting).max().unwrap_or(0)
+        self.types
+            .values()
+            .map(Type::bag_nesting)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -183,7 +187,8 @@ impl Database {
     ) -> bool {
         if index == dom.len() {
             let mapping = assignment.clone();
-            let renamed = self.rename_atoms(&|a| mapping.get(a).cloned().unwrap_or_else(|| a.clone()));
+            let renamed =
+                self.rename_atoms(&|a| mapping.get(a).cloned().unwrap_or_else(|| a.clone()));
             return &renamed == other;
         }
         for j in 0..codom.len() {

@@ -246,22 +246,22 @@ fn infer(
         }
         Expr::Attr(e, index) => {
             let (ty, p) = infer(e, schema, env, state)?;
-            let field = match &ty {
-                Type::Tuple(fields) => fields
-                    .get(index.wrapping_sub(1))
-                    .cloned()
-                    .ok_or(TypeError::BadAttribute {
-                        index: *index,
-                        ty: ty.clone(),
-                    })?,
-                Type::Unknown => Type::Unknown,
-                other => {
-                    return Err(TypeError::BadAttribute {
-                        index: *index,
-                        ty: other.clone(),
-                    })
-                }
-            };
+            let field =
+                match &ty {
+                    Type::Tuple(fields) => fields.get(index.wrapping_sub(1)).cloned().ok_or(
+                        TypeError::BadAttribute {
+                            index: *index,
+                            ty: ty.clone(),
+                        },
+                    )?,
+                    Type::Unknown => Type::Unknown,
+                    other => {
+                        return Err(TypeError::BadAttribute {
+                            index: *index,
+                            ty: other.clone(),
+                        })
+                    }
+                };
             (field, p)
         }
         Expr::Destroy(e) => {
@@ -322,13 +322,12 @@ fn infer(
                 Some(fields) => {
                     let mut key = Vec::with_capacity(group.len() + 1);
                     for &ix in group {
-                        let field = ix
-                            .checked_sub(1)
-                            .and_then(|i| fields.get(i))
-                            .ok_or(TypeError::BadAttribute {
+                        let field = ix.checked_sub(1).and_then(|i| fields.get(i)).ok_or(
+                            TypeError::BadAttribute {
                                 index: ix,
                                 ty: Type::Tuple(fields.clone()),
-                            })?;
+                            },
+                        )?;
                         key.push(field.clone());
                     }
                     let residual: Vec<Type> = fields

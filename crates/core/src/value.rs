@@ -158,12 +158,9 @@ impl Value {
             (_, Type::Unknown) => true,
             (Value::Atom(_), Type::Atom) => true,
             (Value::Tuple(fields), Type::Tuple(tys)) => {
-                fields.len() == tys.len()
-                    && fields.iter().zip(tys).all(|(v, t)| v.has_type(t))
+                fields.len() == tys.len() && fields.iter().zip(tys).all(|(v, t)| v.has_type(t))
             }
-            (Value::Bag(bag), Type::Bag(elem)) => {
-                bag.iter().all(|(v, _)| v.has_type(elem))
-            }
+            (Value::Bag(bag), Type::Bag(elem)) => bag.iter().all(|(v, _)| v.has_type(elem)),
             _ => false,
         }
     }
@@ -174,13 +171,7 @@ impl Value {
         match self {
             Value::Atom(_) => 0,
             Value::Tuple(fields) => fields.iter().map(Value::bag_nesting).max().unwrap_or(0),
-            Value::Bag(bag) => {
-                1 + bag
-                    .iter()
-                    .map(|(v, _)| v.bag_nesting())
-                    .max()
-                    .unwrap_or(0)
-            }
+            Value::Bag(bag) => 1 + bag.iter().map(|(v, _)| v.bag_nesting()).max().unwrap_or(0),
         }
     }
 

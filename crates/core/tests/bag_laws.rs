@@ -1,0 +1,148 @@
+//! Unit-level property tests of the bag algebra's laws, directly against
+//! `balg_core::bag::Bag` — coverage that is independent of the big
+//! workspace-level integration suites (`tests/algebra_laws.rs`), so a
+//! regression in a primitive operator is caught inside the crate that
+//! owns it.
+
+use balg_core::bag::Bag;
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+use proptest::prelude::*;
+
+/// Strategy: a flat binary bag (tuples of two small ints) with
+/// multiplicities up to 7.
+fn binary_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map((0u8..4, 0u8..4), 1u64..8, 0..8).prop_map(|entries| {
+        Bag::from_counted(entries.into_iter().map(|((a, b), mult)| {
+            (
+                Value::tuple([Value::int(a as i64), Value::int(b as i64)]),
+                Natural::from(mult),
+            )
+        }))
+    })
+}
+
+/// Strategy: a flat unary bag over at most 5 atoms.
+fn unary_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map(0u8..5, 1u64..8, 0..5).prop_map(|entries| {
+        Bag::from_counted(
+            entries
+                .into_iter()
+                .map(|(atom, mult)| (Value::tuple([Value::int(atom as i64)]), Natural::from(mult))),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn additive_union_is_commutative(a in unary_bag(), b in unary_bag()) {
+        prop_assert_eq!(a.additive_union(&b), b.additive_union(&a));
+    }
+
+    #[test]
+    fn additive_union_is_associative(a in unary_bag(), b in unary_bag(), c in unary_bag()) {
+        prop_assert_eq!(
+            a.additive_union(&b).additive_union(&c),
+            a.additive_union(&b.additive_union(&c))
+        );
+    }
+
+    #[test]
+    fn empty_bag_is_the_additive_unit(a in unary_bag()) {
+        prop_assert_eq!(a.additive_union(&Bag::new()), a.clone());
+        prop_assert_eq!(Bag::new().additive_union(&a), a);
+    }
+
+    #[test]
+    fn additive_union_adds_multiplicities_pointwise(a in unary_bag(), b in unary_bag()) {
+        let union = a.additive_union(&b);
+        for value in a.elements().chain(b.elements()) {
+            prop_assert_eq!(
+                union.multiplicity(value),
+                &a.multiplicity(value) + &b.multiplicity(value)
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent(a in unary_bag()) {
+        let once = a.dedup();
+        prop_assert_eq!(once.dedup(), once);
+    }
+
+    #[test]
+    fn dedup_forgets_exactly_multiplicity(a in unary_bag()) {
+        let deduped = a.dedup();
+        prop_assert_eq!(deduped.distinct_count(), a.distinct_count());
+        prop_assert!(deduped.iter().all(|(_, m)| m.is_one()));
+        prop_assert!(deduped.elements().all(|v| a.contains(v)));
+    }
+
+    #[test]
+    fn projection_preserves_cardinality(a in binary_bag()) {
+        // π never drops occurrences: images accumulate multiplicity.
+        let projected = a.project(&[1]).unwrap();
+        prop_assert_eq!(projected.cardinality(), a.cardinality());
+        let swapped = a.project(&[2, 1]).unwrap();
+        prop_assert_eq!(swapped.cardinality(), a.cardinality());
+    }
+
+    #[test]
+    fn projection_composes(a in binary_bag()) {
+        // π₁ = π₁ ∘ π₂,₁ ∘ π₂,₁ — double swap is the identity.
+        let double_swap = a.project(&[2, 1]).unwrap().project(&[2, 1]).unwrap();
+        prop_assert_eq!(double_swap, a.clone());
+        prop_assert_eq!(
+            a.project(&[2, 1]).unwrap().project(&[2]).unwrap(),
+            a.project(&[1]).unwrap()
+        );
+    }
+
+    #[test]
+    fn scale_distributes_over_additive_union(a in unary_bag(), b in unary_bag(), k in 1u64..5) {
+        let factor = Natural::from(k);
+        prop_assert_eq!(
+            a.additive_union(&b).scale(&factor),
+            a.scale(&factor).additive_union(&b.scale(&factor))
+        );
+    }
+
+    #[test]
+    fn monus_then_add_back_is_max_union(a in unary_bag(), b in unary_bag()) {
+        // The [Alb91] identity the optimizer relies on.
+        prop_assert_eq!(a.subtract(&b).additive_union(&b), a.max_union(&b));
+    }
+
+    #[test]
+    fn intersection_bounds_both_sides(a in unary_bag(), b in unary_bag()) {
+        let meet = a.intersect(&b);
+        prop_assert!(meet.is_subbag_of(&a));
+        prop_assert!(meet.is_subbag_of(&b));
+        // And it is the greatest such bag on shared elements.
+        for value in meet.elements() {
+            prop_assert_eq!(
+                meet.multiplicity(value),
+                a.multiplicity(value).min(b.multiplicity(value))
+            );
+        }
+    }
+
+    #[test]
+    fn nest_then_destroy_round_trips_content(a in binary_bag()) {
+        // Grouping by the first attribute and flattening the groups
+        // preserves the total number of grouped occurrences.
+        let nested = a.nest(&[1]).unwrap();
+        let total: Natural = nested
+            .iter()
+            .map(|(group, mult)| {
+                let inner = group
+                    .as_tuple()
+                    .and_then(|fields| fields.last())
+                    .and_then(|v| v.as_bag())
+                    .expect("nest produces (key, group) tuples");
+                &inner.cardinality() * mult
+            })
+            .sum();
+        prop_assert_eq!(total, a.cardinality());
+    }
+}

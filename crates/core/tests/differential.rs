@@ -10,12 +10,11 @@ use proptest::prelude::*;
 
 fn flat_bag() -> impl Strategy<Value = Bag> {
     proptest::collection::btree_map(0u8..5, 1u64..8, 0..6).prop_map(|entries| {
-        Bag::from_counted(entries.into_iter().map(|(atom, mult)| {
-            (
-                Value::tuple([Value::int(atom as i64)]),
-                Natural::from(mult),
-            )
-        }))
+        Bag::from_counted(
+            entries
+                .into_iter()
+                .map(|(atom, mult)| (Value::tuple([Value::int(atom as i64)]), Natural::from(mult))),
+        )
     })
 }
 

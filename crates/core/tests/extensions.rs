@@ -24,8 +24,7 @@ fn nest_groups_with_multiplicities() {
     let out = eval_bag(&Expr::var("R").nest(&[1]), &db).unwrap();
     assert_eq!(out.distinct_count(), 2);
     let mut expected_a_inner = Bag::new();
-    expected_a_inner
-        .insert_with_multiplicity(Value::tuple([Value::int(1)]), Natural::from(2u64));
+    expected_a_inner.insert_with_multiplicity(Value::tuple([Value::int(1)]), Natural::from(2u64));
     expected_a_inner.insert(Value::tuple([Value::int(2)]));
     let a_group = Value::tuple([Value::sym("a"), Value::Bag(expected_a_inner)]);
     assert_eq!(out.multiplicity(&a_group), Natural::one());
@@ -93,10 +92,7 @@ fn bounded_ifp_computes_transitive_closure() {
         .project(&[1])
         .additive_union(Expr::var("G").project(&[2]))
         .dedup();
-    let bound = all_pairs
-        .clone()
-        .product(all_pairs)
-        .dedup();
+    let bound = all_pairs.clone().product(all_pairs).dedup();
     let step = Expr::var("T")
         .product(Expr::var("G"))
         .select(
@@ -119,17 +115,16 @@ fn bounded_ifp_converges_where_unbounded_diverges() {
     let b = Bag::singleton(Value::tuple([Value::sym("a")]));
     let db = Database::new().with("B", b.clone());
     let mut bound_bag = Bag::new();
-    bound_bag.insert_with_multiplicity(
-        Value::tuple([Value::sym("a")]),
-        Natural::from(8u64),
-    );
+    bound_bag.insert_with_multiplicity(Value::tuple([Value::sym("a")]), Natural::from(8u64));
     let bounded = Expr::var("B").bounded_ifp(
         "X",
         Expr::var("X").additive_union(Expr::var("X")),
         Expr::Lit(Value::Bag(bound_bag.clone())),
     );
-    let mut limits = Limits::default();
-    limits.max_ifp_iterations = 64;
+    let limits = Limits {
+        max_ifp_iterations: 64,
+        ..Limits::default()
+    };
     let db2 = db.clone();
     let mut evaluator = Evaluator::new(&db2, limits.clone());
     let out = evaluator.eval_bag(&bounded).unwrap();
@@ -157,7 +152,10 @@ fn nest_on_empty_and_key_only_tuples() {
     let fields = group.as_tuple().unwrap();
     // inner bag: ⟦[]²⟧ — the empty residual tuple twice.
     assert_eq!(
-        fields[2].as_bag().unwrap().multiplicity(&Value::Tuple(vec![])),
+        fields[2]
+            .as_bag()
+            .unwrap()
+            .multiplicity(&Value::Tuple(vec![])),
         Natural::from(2u64)
     );
 }

@@ -70,7 +70,7 @@ proptest! {
         // (a + b) − b = a — the bag-subtraction inverse law.
         let x = Natural::from(a);
         let y = Natural::from(b);
-        prop_assert_eq!((&(&x + &y)).monus(&y), x);
+        prop_assert_eq!((&x + &y).monus(&y), x);
     }
 
     #[test]

@@ -41,15 +41,12 @@ pub struct HalfFamilies {
 /// # Panics
 /// If `n` is odd or below 4.
 pub fn half_families(n: u32) -> HalfFamilies {
-    assert!(n >= 4 && n.is_multiple_of(2), "n must be even and ≥ 4, got {n}");
-    let mut inn: Vec<BTreeSet<u32>> = vec![
-        BTreeSet::from([1, 2]),
-        BTreeSet::from([3, 4]),
-    ];
-    let mut out: Vec<BTreeSet<u32>> = vec![
-        BTreeSet::from([1, 3]),
-        BTreeSet::from([2, 4]),
-    ];
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "n must be even and ≥ 4, got {n}"
+    );
+    let mut inn: Vec<BTreeSet<u32>> = vec![BTreeSet::from([1, 2]), BTreeSet::from([3, 4])];
+    let mut out: Vec<BTreeSet<u32>> = vec![BTreeSet::from([1, 3]), BTreeSet::from([2, 4])];
     let mut m = 4;
     while m < n {
         let with = |sets: &[BTreeSet<u32>], extra: u32| -> Vec<BTreeSet<u32>> {
@@ -100,7 +97,10 @@ impl HalfFamilies {
     /// count `2·2^{n/2−1} + 1`).
     pub fn all_distinct(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.inn.iter().chain(&self.out).all(|s| seen.insert(s.clone()))
+        self.inn
+            .iter()
+            .chain(&self.out)
+            .all(|s| seen.insert(s.clone()))
     }
 }
 

@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use balg_core::bag::Bag;
 use balg_core::schema::Database;
 use balg_core::value::{Atom, Value};
 use rand::rngs::StdRng;
@@ -63,6 +64,95 @@ fn atom_matching(position: &Position, from: Side) -> BTreeMap<Atom, Atom> {
     matching
 }
 
+/// The set-typed pairs of a position, oriented (pick side, opposite side).
+fn set_pairs(position: &Position, side: Side) -> (Vec<&Bag>, Vec<&Bag>) {
+    let mut own = Vec::new();
+    let mut opposite = Vec::new();
+    for (left, right) in position {
+        if let (Value::Bag(l), Value::Bag(r)) = (left, right) {
+            match side {
+                Side::Left => {
+                    own.push(l);
+                    opposite.push(r);
+                }
+                Side::Right => {
+                    own.push(r);
+                    opposite.push(l);
+                }
+            }
+        }
+    }
+    (own, opposite)
+}
+
+/// The Venn-region signature of an atom w.r.t. an ordered list of chosen
+/// sets.
+fn signature(atom: &Atom, sets: &[&Bag]) -> Vec<bool> {
+    let value = Value::Atom(atom.clone());
+    sets.iter().map(|s| s.contains(&value)).collect()
+}
+
+/// Per-region counts of a set's atoms, excluding `excluded` atoms.
+fn region_counts(
+    atoms: impl Iterator<Item = Atom>,
+    sets: &[&Bag],
+    excluded: &BTreeSet<Atom>,
+) -> BTreeMap<Vec<bool>, usize> {
+    let mut counts = BTreeMap::new();
+    for atom in atoms {
+        if !excluded.contains(&atom) {
+            *counts.entry(signature(&atom, sets)).or_default() += 1;
+        }
+    }
+    counts
+}
+
+/// The (relation, field) slots a value occupies somewhere in a database —
+/// the relational profile that edge preservation around `α` depends on.
+/// For the Figure 1 graphs this distinguishes In-nodes (first field of
+/// `E`), Out-nodes (second field), `α` (both) and non-nodes (neither).
+fn occurrence_signature(db: &Database, value: &Value) -> BTreeSet<(String, usize)> {
+    let mut signature = BTreeSet::new();
+    for (name, rel) in db.iter() {
+        for (elem, _) in rel.iter() {
+            if let Some(fields) = elem.as_tuple() {
+                for (index, field) in fields.iter().enumerate() {
+                    if field == value {
+                        signature.insert((name.to_string(), index));
+                    }
+                }
+            }
+            if elem == value {
+                signature.insert((name.to_string(), usize::MAX));
+            }
+        }
+    }
+    signature
+}
+
+/// How far a candidate answer's region profile is from the pick's: the
+/// L1 distance between per-region counts of unmatched atoms. Distance 0
+/// means the answer covers exactly as many atoms of each Venn region of
+/// the chosen sets as the pick does — the counting invariant behind the
+/// Lemma 5.4 strategy.
+fn profile_distance(
+    candidate: &Bag,
+    needs: &BTreeMap<Vec<bool>, usize>,
+    opposite_sets: &[&Bag],
+    matched_images: &BTreeSet<Atom>,
+) -> usize {
+    let mut have = region_counts(
+        candidate.elements().filter_map(|v| v.as_atom().cloned()),
+        opposite_sets,
+        matched_images,
+    );
+    let mut distance = 0;
+    for (sig, need) in needs {
+        distance += need.abs_diff(have.remove(sig).unwrap_or(0));
+    }
+    distance + have.values().sum::<usize>()
+}
+
 /// The constraint-propagating duplicator.
 ///
 /// Candidate answers are: the opposite structure's atoms (for atom picks);
@@ -86,6 +176,7 @@ impl ConstraintDuplicator {
 
     fn candidates(
         &mut self,
+        own: &Database,
         opposite: &Database,
         position: &Position,
         side: Side,
@@ -98,8 +189,6 @@ impl ConstraintDuplicator {
                 // share their domain and node set, so the pick itself is
                 // often a valid answer.
                 let mut out = vec![pick.clone()];
-                out.extend(structure_nodes(opposite));
-                // Synthesize matching-consistent sets of the same size.
                 let matching = atom_matching(position, side);
                 let picked_atoms: BTreeSet<Atom> = picked
                     .elements()
@@ -114,10 +203,71 @@ impl ConstraintDuplicator {
                     .filter(|(a, _)| !picked_atoms.contains(*a))
                     .map(|(_, b)| b.clone())
                     .collect();
+                // Every matched image is either required or forbidden.
+                let matched_images: BTreeSet<Atom> = required.union(&forbidden).cloned().collect();
+
+                // The pick's per-region profile w.r.t. the chosen set
+                // pairs. Answers should reproduce it exactly: covering a
+                // Venn region (including the region of still-free atoms)
+                // more or less than the pick does hands the spoiler an
+                // atom pick the duplicator cannot answer later.
+                let (own_sets, opposite_sets) = set_pairs(position, side);
+                let matched_atoms: BTreeSet<Atom> = matching.keys().cloned().collect();
+                let needs = region_counts(picked_atoms.iter().cloned(), &own_sets, &matched_atoms);
+
+                // Same-cardinality structure nodes, profile-exact first:
+                // answering an m-subset with a differently-sized node
+                // (e.g. the full domain) passes the immediate check but
+                // loses the game one move later.
+                let picked_size = picked.distinct_count();
+                let (same_size, other_size): (Vec<Value>, Vec<Value>) =
+                    structure_nodes(opposite).into_iter().partition(|node| {
+                        node.as_bag()
+                            .is_some_and(|b| b.distinct_count() == picked_size)
+                    });
+                out.extend(same_size);
+
+                // Profile-exact synthesis: fill each Venn region of the
+                // opposite structure with exactly as many fresh atoms as
+                // the pick takes from the corresponding region.
+                let pools: BTreeMap<Vec<bool>, Vec<Atom>> = {
+                    let mut pools: BTreeMap<Vec<bool>, Vec<Atom>> = BTreeMap::new();
+                    for atom in opposite.active_domain() {
+                        if !matched_images.contains(&atom) {
+                            pools
+                                .entry(signature(&atom, &opposite_sets))
+                                .or_default()
+                                .push(atom);
+                        }
+                    }
+                    pools
+                };
+                let feasible = needs
+                    .iter()
+                    .all(|(sig, need)| pools.get(sig).is_some_and(|p| p.len() >= *need));
+                if feasible {
+                    for variant in 0..4 {
+                        let mut fill = required.clone();
+                        for (sig, need) in &needs {
+                            let pool = &pools[sig];
+                            if variant == 0 {
+                                fill.extend(pool.iter().take(*need).cloned());
+                            } else {
+                                let mut shuffled = pool.clone();
+                                shuffled.shuffle(&mut self.rng);
+                                fill.extend(shuffled.into_iter().take(*need));
+                            }
+                        }
+                        out.push(Value::bag(fill.into_iter().map(Value::Atom)));
+                    }
+                }
+
+                // Random same-size fills that ignore region profiles, as a
+                // fallback when no profile-exact answer validates.
                 let pool: Vec<Atom> = opposite
                     .active_domain()
                     .into_iter()
-                    .filter(|a| !required.contains(a) && !forbidden.contains(a))
+                    .filter(|a| !matched_images.contains(a))
                     .collect();
                 let need = picked_atoms.len().saturating_sub(required.len());
                 for _ in 0..self.fill_attempts {
@@ -133,6 +283,29 @@ impl ConstraintDuplicator {
                         .collect();
                     out.push(Value::bag(fill.into_iter().map(Value::Atom)));
                 }
+                // Differently-sized nodes only as a last resort.
+                out.extend(other_size);
+                // Profile-exact, relationally matching candidates first
+                // (stable: mirror, nodes, synthesized, random fills within
+                // each class). Even the mirror can be a trap when its
+                // region profile deviates — the spoiler then picks an atom
+                // from the region the answer over-covered. The relational
+                // profile must match too: answering an In-node with an
+                // Out-node or a non-node (or vice versa) breaks edge
+                // preservation as soon as the spoiler pins α.
+                let pick_signature = occurrence_signature(own, pick);
+                out.sort_by_cached_key(|candidate| {
+                    let distance = candidate.as_bag().map_or(usize::MAX, |b| {
+                        profile_distance(b, &needs, &opposite_sets, &matched_images)
+                    });
+                    let relational_mismatch =
+                        occurrence_signature(opposite, candidate) != pick_signature;
+                    // A mismatched relational profile loses to an α pick
+                    // immediately; a small region imbalance only loses if
+                    // the spoiler finds a depleted region — so the former
+                    // dominates the ordering.
+                    (relational_mismatch, distance)
+                });
                 out
             }
             Value::Tuple(fields) => {
@@ -173,11 +346,11 @@ impl Duplicator for ConstraintDuplicator {
         side: Side,
         pick: &Value,
     ) -> Option<Value> {
-        let opposite = match side {
-            Side::Left => right,
-            Side::Right => left,
+        let (own, opposite) = match side {
+            Side::Left => (left, right),
+            Side::Right => (right, left),
         };
-        let candidates = self.candidates(opposite, position, side, pick);
+        let candidates = self.candidates(own, opposite, position, side, pick);
         for candidate in candidates {
             let mut extended = position.clone();
             let pair = match side {

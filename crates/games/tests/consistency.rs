@@ -56,8 +56,10 @@ fn partial_isomorphism_is_symmetric() {
     let alpha = alpha_node(6);
     let node = flipped_node(6);
     let forward = vec![(alpha.clone(), alpha.clone()), (node.clone(), node.clone())];
-    let backward: Vec<(Value, Value)> =
-        forward.iter().map(|(a, b)| (b.clone(), a.clone())).collect();
+    let backward: Vec<(Value, Value)> = forward
+        .iter()
+        .map(|(a, b)| (b.clone(), a.clone()))
+        .collect();
     assert_eq!(
         is_partial_isomorphism(&g, &gp, &forward),
         is_partial_isomorphism(&gp, &g, &backward)

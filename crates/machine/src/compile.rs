@@ -195,7 +195,12 @@ fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
                 )
                 .map(
                     "x",
-                    Expr::tuple([t_next(), x().attr(6), x().attr(7), Expr::lit(state_atom(q2))]),
+                    Expr::tuple([
+                        t_next(),
+                        x().attr(6),
+                        x().attr(7),
+                        Expr::lit(state_atom(q2)),
+                    ]),
                 );
             // (a) all other cells copy unchanged.
             let copies = pairs
@@ -205,7 +210,12 @@ fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
                 )
                 .map(
                     "x",
-                    Expr::tuple([t_next(), x().attr(6), x().attr(7), Expr::lit(no_head_atom())]),
+                    Expr::tuple([
+                        t_next(),
+                        x().attr(6),
+                        x().attr(7),
+                        Expr::lit(no_head_atom()),
+                    ]),
                 );
             writes.max_union(moves).max_union(copies).dedup()
         }
@@ -238,7 +248,12 @@ fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
                 )
                 .map(
                     "x",
-                    Expr::tuple([t_next(), x().attr(6), x().attr(7), Expr::lit(state_atom(q2))]),
+                    Expr::tuple([
+                        t_next(),
+                        x().attr(6),
+                        x().attr(7),
+                        Expr::lit(state_atom(q2)),
+                    ]),
                 );
             let copies = pairs
                 .select(
@@ -247,7 +262,12 @@ fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
                 )
                 .map(
                     "x",
-                    Expr::tuple([t_next(), x().attr(6), x().attr(7), Expr::lit(no_head_atom())]),
+                    Expr::tuple([
+                        t_next(),
+                        x().attr(6),
+                        x().attr(7),
+                        Expr::lit(no_head_atom()),
+                    ]),
                 );
             writes.max_union(moves).max_union(copies).dedup()
         }
@@ -266,7 +286,12 @@ fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
             );
             let copies = pairs.select("x", head_guard).map(
                 "x",
-                Expr::tuple([t_next(), x().attr(6), x().attr(7), Expr::lit(no_head_atom())]),
+                Expr::tuple([
+                    t_next(),
+                    x().attr(6),
+                    x().attr(7),
+                    Expr::lit(no_head_atom()),
+                ]),
             );
             writes.max_union(copies).dedup()
         }
@@ -289,9 +314,14 @@ impl CompiledTm {
     /// Evaluate the fixpoint and decode the final configuration.
     pub fn run(&self, limits: Limits) -> Result<BagRun, BagRunError> {
         let mut evaluator = Evaluator::new(&self.database, limits);
-        let rows = evaluator.eval_bag(&self.program).map_err(BagRunError::Eval)?;
+        let rows = evaluator
+            .eval_bag(&self.program)
+            .map_err(BagRunError::Eval)?;
         let configs = decode_rows(&rows, self.tape_cells).map_err(BagRunError::Decode)?;
-        let final_config = configs.last().cloned().ok_or(BagRunError::Decode(DecodeError::Empty))?;
+        let final_config = configs
+            .last()
+            .cloned()
+            .ok_or(BagRunError::Decode(DecodeError::Empty))?;
         let accepted = final_config
             .state
             .as_deref()
@@ -368,9 +398,10 @@ pub fn decode_rows(rows: &Bag, cells: usize) -> Result<Vec<DecodedConfig>, Decod
             .and_then(|b| b.cardinality().to_u64())
             .ok_or_else(|| DecodeError::MalformedRow(row.to_string()))?;
         let sym = match &fields[2] {
-            Value::Atom(Atom::Str(s)) if s.starts_with("s:") => {
-                s.chars().nth(2).ok_or_else(|| DecodeError::MalformedRow(row.to_string()))?
-            }
+            Value::Atom(Atom::Str(s)) if s.starts_with("s:") => s
+                .chars()
+                .nth(2)
+                .ok_or_else(|| DecodeError::MalformedRow(row.to_string()))?,
             _ => return Err(DecodeError::MalformedRow(row.to_string())),
         };
         let state = match &fields[3] {

@@ -91,7 +91,10 @@ impl CounterMachine {
         for step in 0..max_steps {
             match self.program.get(pc) {
                 None | Some(CounterInstr::Halt) => {
-                    return Ok(CounterRun { registers, steps: step });
+                    return Ok(CounterRun {
+                        registers,
+                        steps: step,
+                    });
                 }
                 Some(CounterInstr::Inc { reg, next }) => {
                     let slot = registers
@@ -162,7 +165,7 @@ pub fn compile_counter(machine: &CounterMachine, initial: &[u64]) -> CompiledCou
 
     let x = || Expr::var("x");
     let reg_attr = |r: Reg| x().attr(r + 3); // 1 = time, 2 = pc
-    // Build one MAP per instruction outcome.
+                                             // Build one MAP per instruction outcome.
     let mut body: Option<Expr> = None;
     let mut add_rule = |pred: Pred, build: Box<dyn Fn() -> Vec<Expr>>| {
         let rule = Expr::var("M")
@@ -199,9 +202,9 @@ pub fn compile_counter(machine: &CounterMachine, initial: &[u64]) -> CompiledCou
             CounterInstr::DecJz { reg, next, on_zero } => {
                 let (reg, next, on_zero) = (*reg, *next, *on_zero);
                 // Nonzero branch: the bag − ⟦a⟧ decrement.
-                let nonzero = at_pc.clone().and(
-                    Pred::eq(reg_attr(reg), Expr::empty_bag()).not(),
-                );
+                let nonzero = at_pc
+                    .clone()
+                    .and(Pred::eq(reg_attr(reg), Expr::empty_bag()).not());
                 add_rule(
                     nonzero,
                     Box::new(move || {
@@ -222,8 +225,10 @@ pub fn compile_counter(machine: &CounterMachine, initial: &[u64]) -> CompiledCou
                 add_rule(
                     zero,
                     Box::new(move || {
-                        let mut fields =
-                            vec![x().attr(1).additive_union(tick()), Expr::lit(pc_atom(on_zero))];
+                        let mut fields = vec![
+                            x().attr(1).additive_union(tick()),
+                            Expr::lit(pc_atom(on_zero)),
+                        ];
                         for r in 0..k {
                             fields.push(reg_attr(r));
                         }
@@ -427,8 +432,10 @@ mod tests {
             Err(CounterError::StepBudget(50))
         ));
         let compiled = compile_counter(&machine, &[0]);
-        let mut limits = Limits::default();
-        limits.max_ifp_iterations = 16;
+        let limits = Limits {
+            max_ifp_iterations: 16,
+            ..Limits::default()
+        };
         assert!(matches!(
             compiled.run(limits),
             Err(CounterBagError::Eval(EvalError::IfpLimit(_)))

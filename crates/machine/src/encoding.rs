@@ -81,10 +81,7 @@ mod tests {
     use balg_core::value::Value;
 
     fn unary_db(n: u64) -> Database {
-        Database::new().with(
-            "B",
-            Bag::repeated(Value::tuple([Value::sym("u")]), n),
-        )
+        Database::new().with("B", Bag::repeated(Value::tuple([Value::sym("u")]), n))
     }
 
     #[test]
@@ -111,11 +108,7 @@ mod tests {
         // Every element is an integer bag of distinct size.
         let sizes: std::collections::BTreeSet<u64> = out
             .elements()
-            .map(|v| {
-                decode_int(v)
-                    .and_then(|n| n.to_u64())
-                    .expect("integer bag")
-            })
+            .map(|v| decode_int(v).and_then(|n| n.to_u64()).expect("integer bag"))
             .collect();
         assert_eq!(sizes, (0..=4u64).collect());
     }
@@ -143,8 +136,10 @@ mod tests {
     #[test]
     fn tower_is_budget_guarded() {
         let db = unary_db(8);
-        let mut limits = Limits::default();
-        limits.max_bag_elements = 1 << 10;
+        let limits = Limits {
+            max_bag_elements: 1 << 10,
+            ..Limits::default()
+        };
         let mut ev = Evaluator::new(&db, limits);
         // E³(8) needs ~2^(2^(2^9)) elements: must fail fast, not hang.
         assert!(ev.eval(&e_tower(Expr::var("B"), 3)).is_err());

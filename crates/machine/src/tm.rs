@@ -91,7 +91,9 @@ impl fmt::Display for TmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TmError::StepBudget(n) => write!(f, "machine did not halt within {n} steps"),
-            TmError::FellOffLeft { at_step } => write!(f, "head fell off the left at step {at_step}"),
+            TmError::FellOffLeft { at_step } => {
+                write!(f, "head fell off the left at step {at_step}")
+            }
             TmError::FellOffRight { at_step } => {
                 write!(f, "head fell off the padded tape at step {at_step}")
             }
@@ -116,9 +118,7 @@ impl Tm {
             accepting: Arc::from(accepting),
             transitions: transitions
                 .iter()
-                .map(|(q, s, q2, s2, m)| {
-                    ((Arc::from(*q), *s), (Arc::from(*q2), *s2, *m))
-                })
+                .map(|(q, s, q2, s2, m)| ((Arc::from(*q), *s), (Arc::from(*q2), *s2, *m)))
                 .collect(),
         }
     }
@@ -298,7 +298,10 @@ mod tests {
     fn step_budget_enforced() {
         // A machine that loops forever in place.
         let looper = Tm::new('_', "q", "f", &[("q", '_', "q", '_', Move::Stay)]);
-        assert!(matches!(looper.run(&[], 1, 50), Err(TmError::StepBudget(50))));
+        assert!(matches!(
+            looper.run(&[], 1, 50),
+            Err(TmError::StepBudget(50))
+        ));
     }
 
     #[test]

@@ -225,10 +225,7 @@ mod tests {
     #[test]
     fn database_bags_are_viewed_as_sets() {
         let mut bag = Bag::new();
-        bag.insert_with_multiplicity(
-            Value::tuple([Value::sym("a")]),
-            Natural::from(5u64),
-        );
+        bag.insert_with_multiplicity(Value::tuple([Value::sym("a")]), Natural::from(5u64));
         let db = Database::new().with("R", bag);
         let rel = eval_relation(&RalgExpr::var("R"), &db).unwrap();
         assert_eq!(rel.len(), 1);
@@ -279,8 +276,10 @@ mod tests {
     #[test]
     fn budget_enforced() {
         let db = Database::new().with("R", unary(&["a", "b", "c", "d", "e"]));
-        let mut limits = Limits::default();
-        limits.max_bag_elements = 8;
+        let limits = Limits {
+            max_bag_elements: 8,
+            ..Limits::default()
+        };
         let mut ev = RalgEvaluator::new(&db, limits);
         assert!(ev.eval(&RalgExpr::var("R").powerset()).is_err());
     }

@@ -261,9 +261,10 @@ mod tests {
 
     #[test]
     fn builders_and_size() {
-        let q = RalgExpr::var("R")
-            .product(RalgExpr::var("S"))
-            .select("x", RalgPred::eq(RalgExpr::var("x").attr(1), RalgExpr::var("x").attr(2)));
+        let q = RalgExpr::var("R").product(RalgExpr::var("S")).select(
+            "x",
+            RalgPred::eq(RalgExpr::var("x").attr(1), RalgExpr::var("x").attr(2)),
+        );
         assert!(q.size() >= 7);
         assert!(q.to_string().contains("α1(x) = α2(x)"));
     }

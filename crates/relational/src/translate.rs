@@ -131,9 +131,7 @@ fn embed(expr: &RalgExpr, bound: &mut Vec<balg_core::expr::Var>) -> Expr {
         RalgExpr::Difference(a, b) => embed(a, bound).subtract(embed(b, bound)).dedup(),
         RalgExpr::Product(a, b) => embed(a, bound).product(embed(b, bound)).dedup(),
         RalgExpr::Powerset(e) => embed(e, bound).powerset().dedup(),
-        RalgExpr::Tuple(fields) => {
-            Expr::Tuple(fields.iter().map(|f| embed(f, bound)).collect())
-        }
+        RalgExpr::Tuple(fields) => Expr::Tuple(fields.iter().map(|f| embed(f, bound)).collect()),
         RalgExpr::Singleton(e) => embed(e, bound).singleton(),
         RalgExpr::Attr(e, index) => embed(e, bound).attr(*index),
         RalgExpr::Flatten(e) => embed(e, bound).destroy().dedup(),
@@ -226,10 +224,7 @@ mod tests {
 
     #[test]
     fn translation_preserves_membership_on_joins() {
-        let db = Database::new().with(
-            "G",
-            dup_bag(&[("a", "b", 3), ("b", "c", 1), ("c", "a", 2)]),
-        );
+        let db = Database::new().with("G", dup_bag(&[("a", "b", 3), ("b", "c", 1), ("c", "a", 2)]));
         // π₁,₄(σ_{α₂=α₃}(G×G)): two-step paths.
         let q = Expr::var("G")
             .product(Expr::var("G"))
@@ -265,7 +260,10 @@ mod tests {
     #[test]
     fn powerset_is_rejected_as_non_balg1() {
         let q = Expr::var("R").powerset();
-        assert_eq!(balg1_to_ralg(&q).unwrap_err(), TranslateError::NotBalg1("P"));
+        assert_eq!(
+            balg1_to_ralg(&q).unwrap_err(),
+            TranslateError::NotBalg1("P")
+        );
     }
 
     #[test]
@@ -285,8 +283,7 @@ mod tests {
         let db = Database::new().with("R", dup_bag(&[("a", "b", 4), ("b", "c", 1)]));
         let ralg_q = RalgExpr::var("R").powerset().flatten();
         let direct = ralg_eval::eval_relation(&ralg_q, &db).unwrap();
-        let via_balg =
-            balg_core::eval::eval_bag(&ralg_to_balg(&ralg_q), &db).unwrap();
+        let via_balg = balg_core::eval::eval_bag(&ralg_to_balg(&ralg_q), &db).unwrap();
         assert_eq!(Relation::from_bag(&via_balg), direct);
     }
 
@@ -294,9 +291,6 @@ mod tests {
     fn dedup_database_flattens_multiplicities() {
         let db = Database::new().with("R", dup_bag(&[("a", "b", 9)]));
         let deduped = dedup_database(&db);
-        assert_eq!(
-            deduped.get("R").unwrap().cardinality(),
-            Natural::from(1u64)
-        );
+        assert_eq!(deduped.get("R").unwrap().cardinality(), Natural::from(1u64));
     }
 }

@@ -9,7 +9,11 @@ use proptest::prelude::*;
 
 fn relation() -> impl Strategy<Value = Relation> {
     proptest::collection::btree_set(0u8..6, 0..6).prop_map(|elems| {
-        Relation::from_values(elems.into_iter().map(|e| Value::tuple([Value::int(e as i64)])))
+        Relation::from_values(
+            elems
+                .into_iter()
+                .map(|e| Value::tuple([Value::int(e as i64)])),
+        )
     })
 }
 

@@ -214,7 +214,10 @@ mod tests {
         assert_eq!(bag.distinct_count(), 1);
         let (row, _) = bag.iter().next().unwrap();
         let fields = row.as_tuple().unwrap();
-        assert_eq!(decode_value(&fields[0], false), Some(SqlValue::Str("ann".into())));
+        assert_eq!(
+            decode_value(&fields[0], false),
+            Some(SqlValue::Str("ann".into()))
+        );
         assert_eq!(decode_value(&fields[1], true), Some(SqlValue::Int(3)));
     }
 

@@ -13,7 +13,6 @@ use std::fmt;
 use balg_core::derived::{average, count, int_value};
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Pred};
-use balg_core::natural::Natural;
 use balg_core::schema::Database;
 use balg_core::value::Value;
 
@@ -101,10 +100,7 @@ impl Scope {
             .enumerate()
             .filter(|(_, sc)| {
                 sc.column.name == reference.column
-                    && reference
-                        .qualifier
-                        .as_ref()
-                        .is_none_or(|q| *q == sc.alias)
+                    && reference.qualifier.as_ref().is_none_or(|q| *q == sc.alias)
             })
             .map(|(i, _)| i)
             .collect();
@@ -123,9 +119,7 @@ pub fn compile_query(query: &Query, catalog: &Catalog) -> Result<CompiledQuery, 
         Query::UnionAll(a, b) => compile_setop(a, b, catalog, |x, y| x.additive_union(y)),
         Query::Union(a, b) => compile_setop(a, b, catalog, |x, y| x.additive_union(y).dedup()),
         Query::ExceptAll(a, b) => compile_setop(a, b, catalog, |x, y| x.subtract(y)),
-        Query::Except(a, b) => {
-            compile_setop(a, b, catalog, |x, y| x.dedup().subtract(y.dedup()))
-        }
+        Query::Except(a, b) => compile_setop(a, b, catalog, |x, y| x.dedup().subtract(y.dedup())),
         Query::IntersectAll(a, b) => compile_setop(a, b, catalog, |x, y| x.intersect(y)),
         Query::Intersect(a, b) => {
             compile_setop(a, b, catalog, |x, y| x.dedup().intersect(y.dedup()))
@@ -277,7 +271,6 @@ fn compile_aggregate(
     }
 }
 
-
 /// Compile `SELECT g₁, …, gₖ, AGG(col) FROM … GROUP BY …` via `nest`:
 /// `MAP_{λg.[keys…, agg(α_{k+1}(g))]}(nest_{G}(core))`.
 fn compile_grouped(
@@ -342,10 +335,7 @@ fn compile_grouped(
                 return Err(CompileError::NonNumericAggregate(reference.to_string()));
             }
             let j = residual_index(reference)?;
-            (
-                inner().map("ŝ", Expr::var("ŝ").attr(j)).destroy(),
-                "sum",
-            )
+            (inner().map("ŝ", Expr::var("ŝ").attr(j)).destroy(), "sum")
         }
         Aggregate::Avg(reference) => {
             let idx = scope.resolve(reference)?;
@@ -353,10 +343,7 @@ fn compile_grouped(
                 return Err(CompileError::NonNumericAggregate(reference.to_string()));
             }
             let j = residual_index(reference)?;
-            (
-                average(inner().map("ŝ", Expr::var("ŝ").attr(j))),
-                "avg",
-            )
+            (average(inner().map("ŝ", Expr::var("ŝ").attr(j))), "avg")
         }
     };
     let mut fields: Vec<Expr> = key_positions
@@ -375,15 +362,16 @@ fn compile_grouped(
 fn compile_comparison(comparison: &Comparison, scope: &Scope) -> Result<Pred, CompileError> {
     // Determine numeric context: a literal compared to a numeric column
     // must be encoded as an integer bag.
-    let numeric_context = [&comparison.left, &comparison.right]
-        .iter()
-        .any(|operand| match operand {
-            Operand::Column(reference) => scope
-                .resolve(reference)
-                .map(|idx| scope.columns[idx].column.numeric)
-                .unwrap_or(false),
-            _ => false,
-        });
+    let numeric_context =
+        [&comparison.left, &comparison.right]
+            .iter()
+            .any(|operand| match operand {
+                Operand::Column(reference) => scope
+                    .resolve(reference)
+                    .map(|idx| scope.columns[idx].column.numeric)
+                    .unwrap_or(false),
+                _ => false,
+            });
     let left = compile_operand(&comparison.left, scope, numeric_context)?;
     let right = compile_operand(&comparison.right, scope, numeric_context)?;
     Ok(match comparison.op {
@@ -487,9 +475,7 @@ pub fn run_query(
     let parsed = parse(sql).map_err(SqlError::Parse)?;
     let compiled = compile_query(&parsed, catalog).map_err(SqlError::Compile)?;
     let mut evaluator = Evaluator::new(db, limits);
-    let bag = evaluator
-        .eval_bag(&compiled.expr)
-        .map_err(SqlError::Eval)?;
+    let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
     let mut rows = Vec::with_capacity(bag.distinct_count());
     for (row, mult) in bag.iter() {
         let fields = row
@@ -529,11 +515,7 @@ pub fn run(sql: &str, catalog: &Catalog, db: &Database) -> Result<QueryResult, S
 /// As [`run`], but pass the compiled expression through the
 /// [`balg_core::rewrite`] optimizer first (selection pushdown, MAP
 /// fusion, …). Results are identical; intermediate bags are smaller.
-pub fn run_optimized(
-    sql: &str,
-    catalog: &Catalog,
-    db: &Database,
-) -> Result<QueryResult, SqlError> {
+pub fn run_optimized(sql: &str, catalog: &Catalog, db: &Database) -> Result<QueryResult, SqlError> {
     let parsed = parse(sql).map_err(SqlError::Parse)?;
     let compiled = compile_query(&parsed, catalog).map_err(SqlError::Compile)?;
     let optimized = balg_core::rewrite::optimize(&compiled.expr, &catalog.to_schema());
@@ -542,10 +524,7 @@ pub fn run_optimized(
     decode_result(&bag, compiled.output)
 }
 
-fn decode_result(
-    bag: &balg_core::bag::Bag,
-    output: Vec<Column>,
-) -> Result<QueryResult, SqlError> {
+fn decode_result(bag: &balg_core::bag::Bag, output: Vec<Column>) -> Result<QueryResult, SqlError> {
     let mut rows = Vec::with_capacity(bag.distinct_count());
     for (row, mult) in bag.iter() {
         let fields = row
@@ -587,11 +566,10 @@ pub fn database_from_rows(
         let table = catalog
             .get(table_name)
             .ok_or_else(|| SqlError::Compile(CompileError::UnknownTable((*table_name).into())))?;
-        let bag = crate::catalog::load_table(table, rows)
-            .map_err(|e| SqlError::Decode(e.to_string()))?;
+        let bag =
+            crate::catalog::load_table(table, rows).map_err(|e| SqlError::Decode(e.to_string()))?;
         db.insert(table_name, bag);
     }
-    let _ = Natural::one();
     Ok(db)
 }
 
@@ -601,7 +579,10 @@ mod tests {
 
     fn setup() -> (Catalog, Database) {
         let catalog = Catalog::new()
-            .with_table("orders", &[("customer", false), ("item", false), ("qty", true)])
+            .with_table(
+                "orders",
+                &[("customer", false), ("item", false), ("qty", true)],
+            )
             .with_table("vip", &[("customer", false)]);
         let s = |x: &str| SqlValue::Str(x.into());
         let i = SqlValue::Int;
@@ -661,12 +642,7 @@ mod tests {
     #[test]
     fn where_on_numeric_column() {
         let (catalog, db) = setup();
-        let result = run(
-            "SELECT customer FROM orders WHERE qty >= 3",
-            &catalog,
-            &db,
-        )
-        .unwrap();
+        let result = run("SELECT customer FROM orders WHERE qty >= 3", &catalog, &db).unwrap();
         assert_eq!(result.total_rows(), 3); // ann×2 (qty 3) + bob (qty 5)
     }
 
@@ -675,12 +651,7 @@ mod tests {
         let (catalog, db) = setup();
         let result = run("SELECT COUNT(*) FROM orders", &catalog, &db).unwrap();
         assert_eq!(result.scalar(), Some(4));
-        let distinct = run(
-            "SELECT COUNT(DISTINCT customer) FROM orders",
-            &catalog,
-            &db,
-        )
-        .unwrap();
+        let distinct = run("SELECT COUNT(DISTINCT customer) FROM orders", &catalog, &db).unwrap();
         assert_eq!(distinct.scalar(), Some(2));
     }
 
@@ -814,11 +785,7 @@ mod tests {
             Err(SqlError::Compile(CompileError::GroupProjectionMismatch(_)))
         ));
         assert!(matches!(
-            run(
-                "SELECT customer, SUM(qty) FROM orders",
-                &catalog,
-                &db
-            ),
+            run("SELECT customer, SUM(qty) FROM orders", &catalog, &db),
             Err(SqlError::Compile(CompileError::GroupProjectionMismatch(_)))
         ));
         assert!(matches!(

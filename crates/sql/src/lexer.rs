@@ -142,22 +142,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Neq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'>') => {
-                        tokens.push(Token::Neq);
-                        i += 2;
-                    }
-                    Some(b'=') => {
-                        tokens.push(Token::Le);
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'>') => {
+                    tokens.push(Token::Neq);
+                    i += 2;
                 }
-            }
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     tokens.push(Token::Ge);

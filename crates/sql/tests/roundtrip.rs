@@ -19,10 +19,8 @@ fn ident() -> impl Strategy<Value = String> {
 }
 
 fn column_ref() -> impl Strategy<Value = ColumnRef> {
-    (proptest::option::of(ident()), ident()).prop_map(|(qualifier, column)| ColumnRef {
-        qualifier,
-        column,
-    })
+    (proptest::option::of(ident()), ident())
+        .prop_map(|(qualifier, column)| ColumnRef { qualifier, column })
 }
 
 fn operand() -> impl Strategy<Value = Operand> {
@@ -106,7 +104,10 @@ fn query() -> impl Strategy<Value = Query> {
                 Just(Query::Union(Box::new(a.clone()), Box::new(b.clone()))),
                 Just(Query::ExceptAll(Box::new(a.clone()), Box::new(b.clone()))),
                 Just(Query::Except(Box::new(a), Box::new(b))),
-                Just(Query::IntersectAll(Box::new(a2.clone()), Box::new(b2.clone()))),
+                Just(Query::IntersectAll(
+                    Box::new(a2.clone()),
+                    Box::new(b2.clone())
+                )),
                 Just(Query::Intersect(Box::new(a2), Box::new(b2))),
             ]
         })

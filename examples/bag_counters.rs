@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for n in [0u64, 1, 5] {
         let compiled = compile_counter(&doubler, &[n]);
         let via_bags = compiled.run(Limits::default())?;
-        println!("  2·{n} = {} ({} steps)", via_bags.registers[0], via_bags.steps);
+        println!(
+            "  2·{n} = {} ({} steps)",
+            via_bags.registers[0], via_bags.steps
+        );
         assert_eq!(via_bags.registers[0], 2 * n);
     }
 

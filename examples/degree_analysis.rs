@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 outdeg += m;
             }
         }
-        println!(
-            "{node:>6}: in {indeg}, out {outdeg} → algebra says in>out: {more_incoming}"
-        );
+        println!("{node:>6}: in {indeg}, out {outdeg} → algebra says in>out: {more_incoming}");
     }
 
     // The same query under SET semantics is blind to lane counts:

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let bag_run = compiled.run(Limits::default())?;
-    println!("fixpoint reached: {} configuration rows", bag_run.rows.cardinality());
+    println!(
+        "fixpoint reached: {} configuration rows",
+        bag_run.rows.cardinality()
+    );
     println!("decoded trace:");
     for config in &bag_run.configs {
         let tape: String = config.tape.iter().collect();

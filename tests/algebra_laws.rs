@@ -12,12 +12,11 @@ use proptest::prelude::*;
 /// up to 9.
 fn flat_bag() -> impl Strategy<Value = Bag> {
     proptest::collection::btree_map(0u8..6, 1u64..10, 0..6).prop_map(|entries| {
-        Bag::from_counted(entries.into_iter().map(|(atom, mult)| {
-            (
-                Value::tuple([Value::int(atom as i64)]),
-                Natural::from(mult),
-            )
-        }))
+        Bag::from_counted(
+            entries
+                .into_iter()
+                .map(|(atom, mult)| (Value::tuple([Value::int(atom as i64)]), Natural::from(mult))),
+        )
     })
 }
 

@@ -6,8 +6,10 @@ use balg::sql::prelude::*;
 
 #[test]
 fn sql_pipeline_with_duplicates_and_aggregates() {
-    let catalog = Catalog::new()
-        .with_table("events", &[("user", false), ("kind", false), ("weight", true)]);
+    let catalog = Catalog::new().with_table(
+        "events",
+        &[("user", false), ("kind", false), ("weight", true)],
+    );
     let s = |x: &str| SqlValue::Str(x.into());
     let i = SqlValue::Int;
     // A clickstream with repeated identical events — the bags of real
@@ -93,8 +95,10 @@ fn limits_protect_every_pipeline() {
     let q = Expr::var("B")
         .map("x", Expr::var("x").singleton())
         .powerset();
-    let mut limits = Limits::default();
-    limits.max_bag_elements = 1 << 16;
+    let limits = Limits {
+        max_bag_elements: 1 << 16,
+        ..Limits::default()
+    };
     let mut evaluator = Evaluator::new(&db, limits);
     let started = std::time::Instant::now();
     assert!(evaluator.eval(&q).is_err());

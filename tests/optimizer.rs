@@ -36,13 +36,13 @@ fn optimizer_preserves_random_expressions() {
         let expr = generator.unary_expr(3);
         let optimized = optimize(&expr, &schema);
         for n in [0u64, 1, 3, 6] {
-            let db = Database::new().with(
-                "B",
-                Bag::repeated(Value::tuple([Value::sym("a")]), n),
-            );
+            let db = Database::new().with("B", Bag::repeated(Value::tuple([Value::sym("a")]), n));
             let before = eval_bag(&expr, &db).unwrap();
             let after = eval_bag(&optimized, &db).unwrap();
-            assert_eq!(before, after, "expr #{i} differs at n={n}:\n{expr}\n→\n{optimized}");
+            assert_eq!(
+                before, after,
+                "expr #{i} differs at n={n}:\n{expr}\n→\n{optimized}"
+            );
         }
     }
 }
@@ -60,7 +60,10 @@ fn optimizer_is_idempotent() {
 #[test]
 fn optimized_sql_agrees_with_unoptimized() {
     let catalog = Catalog::new()
-        .with_table("orders", &[("customer", false), ("item", false), ("qty", true)])
+        .with_table(
+            "orders",
+            &[("customer", false), ("item", false), ("qty", true)],
+        )
         .with_table("vip", &[("customer", false)]);
     let s = |x: &str| SqlValue::Str(x.into());
     let db = database_from_rows(
@@ -100,9 +103,8 @@ fn pushdown_shrinks_intermediates_on_selective_join() {
     let schema = Schema::new()
         .with("Big", Type::relation(2))
         .with("Small", Type::relation(1));
-    let big = Bag::from_values(
-        (0..40i64).map(|i| Value::tuple([Value::int(i), Value::int(i % 4)])),
-    );
+    let big =
+        Bag::from_values((0..40i64).map(|i| Value::tuple([Value::int(i), Value::int(i % 4)])));
     let small = Bag::from_values((0..4i64).map(|i| Value::tuple([Value::int(i)])));
     let db = Database::new().with("Big", big).with("Small", small);
     let q = Expr::var("Big").product(Expr::var("Small")).select(

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the API subset the workspace's `benches/` use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the simple and
+//! the `name =`/`config =`/`targets =` forms).
+//!
+//! Timing model: a fixed warm-up pass, then `sample_size` timed samples
+//! of adaptively chosen iteration counts; the per-iteration mean, min and
+//! max are printed. `--test` on the command line (what
+//! `cargo bench -- --test` passes) switches to a single-iteration smoke
+//! run per benchmark, exactly like real criterion's test mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` batches its setup output (accepted for API
+/// compatibility; the stub times each batch element individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Accumulated (total duration, iterations) samples.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up / calibration: find an iteration count that takes
+        // roughly `target` per sample.
+        let mut iters: u64 = 1;
+        let target = self.config.sample_target;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    sample_target: Duration,
+    test_mode: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            sample_target: Duration::from_millis(20),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// The benchmark manager: registers and runs benchmark functions.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement time budget per sample batch.
+    pub fn measurement_time(mut self, target: Duration) -> Self {
+        self.config.sample_target = target;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.config, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a group prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.config, &full, f);
+        self
+    }
+
+    /// Finishes the group (no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(config: &Config, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if config.test_mode {
+        println!("test {id} ... ok");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(d, iters)| d.as_nanos() as f64 / *iters as f64)
+        .collect();
+    if per_iter.is_empty() {
+        println!("{id:<56} (no samples)");
+        return;
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<56} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(mean),
+        format_ns(max)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default().sample_size(2);
+        c.config.sample_target = Duration::from_micros(1);
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = Criterion::default().sample_size(1);
+        c.config.sample_target = Duration::from_micros(1);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default().sample_size(3);
+        c.config.sample_target = Duration::from_micros(1);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,165 @@
+//! Test-running machinery: [`TestRng`], [`ProptestConfig`] and the
+//! [`proptest!`](crate::proptest) / assertion macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG threaded through strategy generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The base seed for a test run: `PROPTEST_SEED` if set, otherwise a
+    /// fixed default (runs are deterministic unless reseeded).
+    pub fn base_seed() -> u64 {
+        std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_BA65_0000_0000)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// The number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` running `body` on generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let base = $crate::test_runner::TestRng::base_seed();
+            for case in 0..config.resolved_cases() {
+                let seed = base.wrapping_add(case as u64);
+                let mut __rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || $body
+                ));
+                if let ::std::result::Result::Err(payload) = outcome {
+                    eprintln!(
+                        "proptest case {case} failed; replay with PROPTEST_SEED={base} \
+                         (case seed {seed})"
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Chooses uniformly between strategy alternatives that share a value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// `assert!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn config_cases_round_trip() {
+        assert_eq!(ProptestConfig::with_cases(128).cases, 128);
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_strategies(
+            x in 0u8..6,
+            v in crate::collection::vec(0u32..10, 0..5),
+            o in crate::option::of(1i64..3),
+        ) {
+            prop_assert!(x < 6);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            if let Some(i) = o {
+                prop_assert!(i == 1 || i == 2);
+            }
+        }
+
+        #[test]
+        fn oneof_and_any(flag in any::<bool>(), pick in prop_oneof![Just(3u8), Just(5u8)]) {
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert_ne!(pick, 4);
+            prop_assert!(pick == 3 || pick == 5);
+        }
+    }
+}
