@@ -99,7 +99,9 @@ impl Ctx {
                 Some(prev) => prev.product(d),
             });
         }
-        acc.unwrap_or_else(|| Expr::Lit(Value::Bag(Bag::singleton(Value::Tuple(Vec::new())))))
+        acc.unwrap_or_else(|| {
+            Expr::Lit(Value::Bag(Bag::singleton(Value::Tuple(Vec::new().into()))))
+        })
     }
 
     fn fresh_var(&mut self) -> ArithVar {

@@ -1,0 +1,139 @@
+//! Wall-clock benchmark runner emitting a JSON perf trajectory.
+//!
+//! Runs every E1–E18 group workload (the same shapes the Criterion
+//! `paper` bench times), reports the median wall-clock per run, and
+//! writes machine-readable JSON so successive PRs can diff their perf
+//! against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! balg-bench [--out FILE] [--reps N] [--label NAME]
+//! ```
+//!
+//! With `--out` the JSON goes to the file (stdout keeps the human table);
+//! otherwise JSON goes to stdout. `--reps` controls timed repetitions per
+//! group (default 30, after 3 warm-up runs). `--label` tags the run.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use balg_bench::paper::groups;
+
+struct Args {
+    out: Option<String>,
+    reps: u32,
+    label: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: None,
+        reps: 30,
+        label: "current".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| die("--reps needs a positive integer"))
+            }
+            "--label" => args.label = it.next().unwrap_or_else(|| die("--label needs a value")),
+            "--help" | "-h" => {
+                println!("usage: balg-bench [--out FILE] [--reps N] [--label NAME]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("balg-bench: {msg}");
+    std::process::exit(2);
+}
+
+fn median_ns(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal (the label is
+/// caller-controlled; group names are static identifiers).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut results: Vec<(&'static str, u128)> = Vec::new();
+    for group in &mut groups() {
+        for _ in 0..3 {
+            (group.run)(); // warm-up
+        }
+        let mut samples = Vec::with_capacity(args.reps as usize);
+        for _ in 0..args.reps {
+            let start = Instant::now();
+            (group.run)();
+            samples.push(start.elapsed().as_nanos());
+        }
+        let median = median_ns(&mut samples);
+        eprintln!("{:<28} median {:>12}", group.name, format_ns(median));
+        results.push((group.name, median));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"label\": \"{}\",\n", escape_json(&args.label)));
+    json.push_str(&format!("  \"reps\": {},\n", args.reps));
+    json.push_str("  \"median_ns\": {\n");
+    for (i, (name, median)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": {median}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            let mut file = std::fs::File::create(path)
+                .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+            file.write_all(json.as_bytes())
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod paper;
+
 use balg_core::bag::Bag;
 use balg_core::natural::Natural;
 use balg_core::value::Value;

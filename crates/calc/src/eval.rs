@@ -82,7 +82,9 @@ pub fn enumerate_domain(ty: &Type, atoms: &[Atom], limit: u64) -> Result<Vec<Val
                 }
                 out = next;
             }
-            out.into_iter().map(Value::Tuple).collect()
+            out.into_iter()
+                .map(|fields| Value::Tuple(fields.into()))
+                .collect()
         }
         Type::Bag(elem) => {
             let dom = enumerate_domain(elem, atoms, limit)?;
@@ -172,7 +174,8 @@ impl<'a> CalcEvaluator<'a> {
                 let tuple = Value::Tuple(
                     args.iter()
                         .map(|t| self.term(t))
-                        .collect::<Result<Vec<_>, _>>()?,
+                        .collect::<Result<Vec<_>, _>>()?
+                        .into(),
                 );
                 let bag = self
                     .db

@@ -10,9 +10,19 @@
 //! number of its occurrences"); the paper's complexity measure nevertheless
 //! charges for the expanded standard encoding, which
 //! [`Value::encoded_size`](crate::value::Value::encoded_size) computes.
+//!
+//! The element map lives behind an [`Arc`] with copy-on-write mutation, so
+//! cloning a bag — which the evaluator does for every variable lookup,
+//! every λ binding, and every nested-bag value — is a reference-count bump
+//! rather than a deep copy. Shared clones also unlock pointer-equality
+//! fast paths in `==` and `cmp`, which the `BTreeMap` probes on nested
+//! bags hit constantly.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use crate::natural::Natural;
 use crate::value::Value;
@@ -64,16 +74,68 @@ impl std::error::Error for BagError {}
 /// Invariant: no element is stored with multiplicity zero, so equality and
 /// ordering of bags are canonical. Iteration is in the total [`Value`]
 /// order, which the PSPACE encoding of Theorem 5.1 relies on.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+///
+/// Cloning is `O(1)` (shared `Arc`); the first mutation of a shared bag
+/// copies the element map (copy-on-write).
+#[derive(Clone, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bag {
-    elems: BTreeMap<Value, Natural>,
+    elems: Arc<BTreeMap<Value, Natural>>,
+}
+
+/// All empty bags share one allocation, so `Bag::new()` is free and
+/// comparisons against the empty bag hit the pointer-equality fast path.
+fn shared_empty() -> Arc<BTreeMap<Value, Natural>> {
+    static EMPTY: OnceLock<Arc<BTreeMap<Value, Natural>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone()
+}
+
+impl Default for Bag {
+    fn default() -> Bag {
+        Bag::new()
+    }
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Bag) -> bool {
+        Arc::ptr_eq(&self.elems, &other.elems) || self.elems == other.elems
+    }
+}
+
+impl Eq for Bag {}
+
+impl PartialOrd for Bag {
+    fn partial_cmp(&self, other: &Bag) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bag {
+    fn cmp(&self, other: &Bag) -> Ordering {
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            return Ordering::Equal;
+        }
+        self.elems.cmp(&other.elems)
+    }
+}
+
+impl Hash for Bag {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (*self.elems).hash(state);
+    }
 }
 
 impl Bag {
     /// The empty bag `⟦⟧`.
     pub fn new() -> Bag {
-        Bag::default()
+        Bag {
+            elems: shared_empty(),
+        }
+    }
+
+    /// Copy-on-write access to the element map.
+    fn elems_mut(&mut self) -> &mut BTreeMap<Value, Natural> {
+        Arc::make_mut(&mut self.elems)
     }
 
     /// The bagging constructor `β(o) = ⟦o⟧`: a bag where `o` 1-belongs.
@@ -121,7 +183,7 @@ impl Bag {
         if mult.is_zero() {
             return;
         }
-        *self.elems.entry(value).or_default() += &mult;
+        *self.elems_mut().entry(value).or_default() += &mult;
     }
 
     /// The number of occurrences of `o` — the `n` such that `o` n-belongs.
@@ -179,17 +241,27 @@ impl Bag {
 
     /// Additive union `B ∪⁺ B′`: multiplicities add (`n = p + q`).
     pub fn additive_union(&self, other: &Bag) -> Bag {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         let mut out = self.clone();
-        for (value, mult) in &other.elems {
-            out.insert_with_multiplicity(value.clone(), mult.clone());
+        let elems = out.elems_mut();
+        for (value, mult) in other.elems.iter() {
+            *elems.entry(value.clone()).or_default() += mult;
         }
         out
     }
 
     /// Subtraction `B − B′`: monus on multiplicities (`n = sup(0, p − q)`).
     pub fn subtract(&self, other: &Bag) -> Bag {
+        if other.is_empty() {
+            return self.clone();
+        }
         let mut out = Bag::new();
-        for (value, mult) in &self.elems {
+        for (value, mult) in self.elems.iter() {
             let rem = mult.monus(&other.multiplicity(value));
             out.insert_with_multiplicity(value.clone(), rem);
         }
@@ -198,9 +270,16 @@ impl Bag {
 
     /// Maximal union `B ∪ B′`: `n = sup(p, q)`.
     pub fn max_union(&self, other: &Bag) -> Bag {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
         let mut out = self.clone();
-        for (value, mult) in &other.elems {
-            let entry = out.elems.entry(value.clone()).or_default();
+        let elems = out.elems_mut();
+        for (value, mult) in other.elems.iter() {
+            let entry = elems.entry(value.clone()).or_default();
             if &*entry < mult {
                 *entry = mult.clone();
             }
@@ -209,10 +288,20 @@ impl Bag {
     }
 
     /// Intersection `B ∩ B′`: `n = inf(p, q)`.
+    ///
+    /// Iterates the side with fewer distinct elements (the operation is
+    /// symmetric and absent elements have multiplicity zero), so
+    /// intersecting a huge bag with a small one probes the huge map only
+    /// `|small|` times.
     pub fn intersect(&self, other: &Bag) -> Bag {
+        let (small, big) = if self.distinct_count() <= other.distinct_count() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let mut out = Bag::new();
-        for (value, mult) in &self.elems {
-            let min = mult.clone().min(other.multiplicity(value));
+        for (value, mult) in small.elems.iter() {
+            let min = mult.clone().min(big.multiplicity(value));
             out.insert_with_multiplicity(value.clone(), min);
         }
         out
@@ -222,11 +311,12 @@ impl Bag {
     /// result.
     pub fn dedup(&self) -> Bag {
         Bag {
-            elems: self
-                .elems
-                .keys()
-                .map(|value| (value.clone(), Natural::one()))
-                .collect(),
+            elems: Arc::new(
+                self.elems
+                    .keys()
+                    .map(|value| (value.clone(), Natural::one()))
+                    .collect(),
+            ),
         }
     }
 
@@ -236,12 +326,16 @@ impl Bag {
         if factor.is_zero() {
             return Bag::new();
         }
+        if factor.is_one() {
+            return self.clone();
+        }
         Bag {
-            elems: self
-                .elems
-                .iter()
-                .map(|(value, mult)| (value.clone(), mult * factor))
-                .collect(),
+            elems: Arc::new(
+                self.elems
+                    .iter()
+                    .map(|(value, mult)| (value.clone(), mult * factor))
+                    .collect(),
+            ),
         }
     }
 
@@ -251,18 +345,18 @@ impl Bag {
     /// multiplicities multiply (`n = p·q`).
     pub fn product(&self, other: &Bag) -> Result<Bag, BagError> {
         let mut out = Bag::new();
-        for (left, lm) in &self.elems {
+        for (left, lm) in self.elems.iter() {
             let left_fields = left
                 .as_tuple()
                 .ok_or_else(|| BagError::NotATuple(left.clone()))?;
-            for (right, rm) in &other.elems {
+            for (right, rm) in other.elems.iter() {
                 let right_fields = right
                     .as_tuple()
                     .ok_or_else(|| BagError::NotATuple(right.clone()))?;
-                let mut fields = Vec::with_capacity(left_fields.len() + right_fields.len());
-                fields.extend_from_slice(left_fields);
-                fields.extend_from_slice(right_fields);
-                out.insert_with_multiplicity(Value::Tuple(fields), lm * rm);
+                out.insert_with_multiplicity(
+                    Value::concat_tuples(left_fields, right_fields),
+                    lm * rm,
+                );
             }
         }
         Ok(out)
@@ -273,12 +367,19 @@ impl Bag {
     /// that count explodes, callers pass an element budget and receive
     /// [`BagError::TooLarge`] when the exact predicted count exceeds it.
     pub fn powerset(&self, max_elements: u64) -> Result<Bag, BagError> {
-        let counts = self.subbag_odometer(max_elements)?;
-        let mut out = Bag::new();
-        for choice in counts {
-            out.insert(Value::Bag(choice.build(self)));
-        }
-        Ok(out)
+        // Distinct subbags are enumerated exactly once, so the output map
+        // can be bulk-built from the collected pairs (sort + linear build)
+        // instead of paying a B-tree insert per subbag. The capacity is
+        // clamped to the caller's budget, never trusted from a raw
+        // `to_u64` conversion.
+        let predicted = self.powerset_cardinality();
+        let mut pairs = Vec::with_capacity(subbag_capacity(&predicted, max_elements));
+        self.for_each_subbag(predicted, max_elements, |entries, counts| {
+            pairs.push((Value::Bag(build_subbag(entries, counts)), Natural::one()));
+        })?;
+        Ok(Bag {
+            elems: Arc::new(pairs.into_iter().collect()),
+        })
     }
 
     /// The exact number of distinct subbags, `Π (mᵢ + 1)` — what
@@ -297,27 +398,34 @@ impl Bag {
     /// Output cardinality is `2^|B|` (`2ⁿ` for `n` copies of one constant)
     /// while the number of *distinct* elements stays `Π (mᵢ + 1)`.
     pub fn powerbag(&self, max_elements: u64) -> Result<Bag, BagError> {
-        let counts = self.subbag_odometer(max_elements)?;
-        let mut out = Bag::new();
-        for choice in counts {
-            let mult = choice.binomial_weight(self);
-            out.insert_with_multiplicity(Value::Bag(choice.build(self)), mult);
-        }
-        Ok(out)
+        let predicted = self.powerset_cardinality();
+        let mut pairs = Vec::with_capacity(subbag_capacity(&predicted, max_elements));
+        self.for_each_subbag(predicted, max_elements, |entries, counts| {
+            let mut weight = Natural::one();
+            for ((_, mult), &count) in entries.iter().zip(counts) {
+                weight *= &Natural::binomial(mult, count);
+            }
+            pairs.push((Value::Bag(build_subbag(entries, counts)), weight));
+        })?;
+        Ok(Bag {
+            elems: Arc::new(pairs.into_iter().collect()),
+        })
     }
 
     /// The exact total cardinality of `P_b(B)`, namely `2^|B|`.
-    pub fn powerbag_cardinality(&self) -> Natural {
-        // Guard: 2^|B| as a Natural requires |B| to fit in u64 bits-wise;
-        // cardinality() is exact so convert via bits when huge.
-        match self.cardinality().to_u64() {
-            Some(n) => Natural::pow2(n),
-            None => {
-                // |B| ≥ 2^64: the value is astronomically large; we return
-                // the formula applied to the saturated exponent. In practice
-                // eval limits reject such bags long before this point.
-                Natural::pow2(u64::MAX)
-            }
+    ///
+    /// When `|B| > u64::MAX` the value `2^|B|` is not representable (its
+    /// limb vector alone would need ≥ 2^58 entries), so instead of
+    /// attempting the allocation this reports [`BagError::TooLarge`] with
+    /// the exact cardinality that overflowed.
+    pub fn powerbag_cardinality(&self) -> Result<Natural, BagError> {
+        let card = self.cardinality();
+        match card.to_u64() {
+            Some(n) => Ok(Natural::pow2(n)),
+            None => Err(BagError::TooLarge {
+                predicted: card,
+                limit: u64::MAX,
+            }),
         }
     }
 
@@ -325,8 +433,20 @@ impl Bag {
     /// `δ(⟦x₁, …, xₙ⟧) = x₁ ∪⁺ ⋯ ∪⁺ xₙ` with duplicated inner bags
     /// contributing once per occurrence.
     pub fn destroy(&self) -> Result<Bag, BagError> {
+        // δ(⟦x⟧) = x: share the inner bag instead of rebuilding it.
+        if self.distinct_count() == 1 {
+            let (value, mult) = self.elems.iter().next().expect("one element");
+            let inner = value
+                .as_bag()
+                .ok_or_else(|| BagError::NotABag(value.clone()))?;
+            return Ok(if mult.is_one() {
+                inner.clone()
+            } else {
+                inner.scale(mult)
+            });
+        }
         let mut out = Bag::new();
-        for (value, mult) in &self.elems {
+        for (value, mult) in self.elems.iter() {
             let inner = value
                 .as_bag()
                 .ok_or_else(|| BagError::NotABag(value.clone()))?;
@@ -343,7 +463,7 @@ impl Bag {
     /// accumulate multiplicities (`n = n₁ + ⋯ + n_l` over the preimages).
     pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<Bag, E> {
         let mut out = Bag::new();
-        for (value, mult) in &self.elems {
+        for (value, mult) in self.elems.iter() {
             out.insert_with_multiplicity(f(value)?, mult.clone());
         }
         Ok(out)
@@ -353,7 +473,7 @@ impl Bag {
     /// multiplicities.
     pub fn select<E>(&self, mut pred: impl FnMut(&Value) -> Result<bool, E>) -> Result<Bag, E> {
         let mut out = Bag::new();
-        for (value, mult) in &self.elems {
+        for (value, mult) in self.elems.iter() {
             if pred(value)? {
                 out.insert_with_multiplicity(value.clone(), mult.clone());
             }
@@ -383,7 +503,7 @@ impl Bag {
                         .clone(),
                 );
             }
-            Ok(Value::Tuple(out))
+            Ok(Value::Tuple(out.into()))
         })
     }
 
@@ -393,8 +513,26 @@ impl Bag {
     /// of its members (inner multiplicities preserved).
     pub fn nest(&self, group: &[usize]) -> Result<Bag, BagError> {
         use std::collections::BTreeMap;
+        // Membership bitmask over 1-based attribute positions, precomputed
+        // so the residual split is O(arity) per row instead of
+        // O(arity × |group|). Fixed-size (no allocation keyed to attacker-
+        // controlled indices); positions beyond the mask — which only
+        // matter for equally wide rows — fall back to the linear scan.
+        let mut mask = 0u128;
+        for &ix in group {
+            if (1..=128).contains(&ix) {
+                mask |= 1 << (ix - 1);
+            }
+        }
+        let grouped = |i: usize| -> bool {
+            if i < 128 {
+                mask >> i & 1 == 1
+            } else {
+                group.contains(&(i + 1))
+            }
+        };
         let mut groups: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
-        for (row, mult) in &self.elems {
+        for (row, mult) in self.elems.iter() {
             let fields = row
                 .as_tuple()
                 .ok_or_else(|| BagError::NotATuple(row.clone()))?;
@@ -412,49 +550,58 @@ impl Bag {
             let residual: Vec<Value> = fields
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| !group.contains(&(i + 1)))
+                .filter(|(i, _)| !grouped(*i))
                 .map(|(_, v)| v.clone())
                 .collect();
             groups
                 .entry(key)
                 .or_default()
-                .insert_with_multiplicity(Value::Tuple(residual), mult.clone());
+                .insert_with_multiplicity(Value::Tuple(residual.into()), mult.clone());
         }
         let mut out = Bag::new();
         for (key, inner) in groups {
             let mut fields = key;
             fields.push(Value::Bag(inner));
-            out.insert(Value::Tuple(fields));
+            out.insert(Value::Tuple(fields.into()));
         }
         Ok(out)
     }
 
-    /// Shared subbag enumeration machinery for `P` and `P_b`.
-    fn subbag_odometer(&self, max_elements: u64) -> Result<Vec<SubbagChoice>, BagError> {
-        let predicted = self.powerset_cardinality();
+    /// Shared subbag enumeration for `P` and `P_b`: calls `f` once per
+    /// distinct subbag with the source entries (in element order) and the
+    /// occurrence counts the subbag takes of each. Streaming — the
+    /// `Π(mᵢ+1)` choices are never buffered, so the only allocation is the
+    /// one `counts` odometer, sized exactly to the distinct-element count
+    /// (no cardinality-derived capacity guesses).
+    /// `predicted` is the caller-computed [`Bag::powerset_cardinality`]
+    /// (shared with the allocation hint so it is only computed once).
+    fn for_each_subbag(
+        &self,
+        predicted: Natural,
+        max_elements: u64,
+        mut f: impl FnMut(&[(&Value, &Natural)], &[u64]),
+    ) -> Result<(), BagError> {
+        debug_assert_eq!(predicted, self.powerset_cardinality());
         if predicted > Natural::from(max_elements) {
             return Err(BagError::TooLarge {
                 predicted,
                 limit: max_elements,
             });
         }
+        let entries: Vec<(&Value, &Natural)> = self.elems.iter().collect();
         // Since Π(mᵢ+1) ≤ max_elements (a u64), every mᵢ fits in u64.
-        let bounds: Vec<u64> = self
-            .elems
-            .values()
-            .map(|m| m.to_u64().expect("bounded by predicted cardinality"))
+        let bounds: Vec<u64> = entries
+            .iter()
+            .map(|(_, m)| m.to_u64().expect("bounded by predicted cardinality"))
             .collect();
-        let mut choices = Vec::with_capacity(predicted.to_u64().unwrap_or(0) as usize);
         let mut current = vec![0u64; bounds.len()];
         loop {
-            choices.push(SubbagChoice {
-                counts: current.clone(),
-            });
+            f(&entries, &current);
             // Odometer increment over 0..=bounds[i].
             let mut pos = 0;
             loop {
                 if pos == bounds.len() {
-                    return Ok(choices);
+                    return Ok(());
                 }
                 if current[pos] < bounds[pos] {
                     current[pos] += 1;
@@ -467,27 +614,25 @@ impl Bag {
     }
 }
 
-/// One subbag choice: how many occurrences of each distinct element (in
-/// element order) the subbag takes.
-struct SubbagChoice {
-    counts: Vec<u64>,
+/// Allocation hint for subbag enumeration: the predicted distinct count
+/// when it fits, clamped by the element budget (never trusted raw).
+fn subbag_capacity(predicted: &Natural, max_elements: u64) -> usize {
+    predicted.to_u64().map_or(0, |n| n.min(max_elements)) as usize
 }
 
-impl SubbagChoice {
-    fn build(&self, source: &Bag) -> Bag {
-        let mut out = Bag::new();
-        for ((value, _), &count) in source.elems.iter().zip(&self.counts) {
-            out.insert_with_multiplicity(value.clone(), Natural::from(count));
+/// Materialize one subbag choice: `counts[i]` occurrences of the `i`-th
+/// source entry. Subbags are small (bounded by the source's distinct
+/// count), where plain inserts beat the `FromIterator` sort-and-bulk-build
+/// machinery; keys arrive in element order, so every insert appends.
+fn build_subbag(entries: &[(&Value, &Natural)], counts: &[u64]) -> Bag {
+    let mut elems: BTreeMap<Value, Natural> = BTreeMap::new();
+    for ((value, _), &count) in entries.iter().zip(counts) {
+        if count > 0 {
+            elems.insert((*value).clone(), Natural::from(count));
         }
-        out
     }
-
-    fn binomial_weight(&self, source: &Bag) -> Natural {
-        let mut weight = Natural::one();
-        for ((_, mult), &count) in source.elems.iter().zip(&self.counts) {
-            weight *= &Natural::binomial(mult, count);
-        }
-        weight
+    Bag {
+        elems: Arc::new(elems),
     }
 }
 
@@ -501,7 +646,7 @@ impl fmt::Display for Bag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("{{")?;
         let mut first = true;
-        for (value, mult) in &self.elems {
+        for (value, mult) in self.elems.iter() {
             if !first {
                 f.write_str(", ")?;
             }
@@ -597,7 +742,7 @@ mod tests {
             assert_eq!(b.powerset_cardinality(), nat(n + 1));
             let pb = b.powerbag(1 << 20).unwrap();
             assert_eq!(pb.cardinality(), Natural::pow2(n));
-            assert_eq!(b.powerbag_cardinality(), Natural::pow2(n));
+            assert_eq!(b.powerbag_cardinality().unwrap(), Natural::pow2(n));
         }
     }
 
@@ -631,6 +776,26 @@ mod tests {
         assert_eq!(
             ps.multiplicity(&Value::Bag(Bag::repeated(sym("a"), 1u64))),
             nat(1)
+        );
+    }
+
+    #[test]
+    fn powerbag_cardinality_rejects_unrepresentable_exponent() {
+        // |B| = 2^70 > u64::MAX: 2^|B| would need a ~2^64-limb vector, so
+        // the prediction must refuse instead of attempting the allocation.
+        let huge = Bag::repeated(sym("a"), Natural::pow2(70));
+        match huge.powerbag_cardinality() {
+            Err(BagError::TooLarge { predicted, .. }) => {
+                assert_eq!(predicted, Natural::pow2(70));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Representable sizes still compute exactly.
+        assert_eq!(
+            Bag::repeated(sym("a"), 10u64)
+                .powerbag_cardinality()
+                .unwrap(),
+            Natural::pow2(10)
         );
     }
 
@@ -702,6 +867,29 @@ mod tests {
         assert_eq!(d.multiplicity(&sym("b")), nat(1));
         assert_eq!(d.cardinality(), nat(2));
         assert_eq!(d.dedup(), d); // idempotent
+    }
+
+    #[test]
+    fn nest_rejects_huge_attribute_index_without_allocating() {
+        // A hostile 1-based index must produce BadArity (or an empty
+        // result on an empty bag), never an index-sized allocation.
+        let mut b = Bag::new();
+        b.insert(Value::tuple([sym("x"), sym("y")]));
+        assert!(matches!(
+            b.nest(&[1_000_000_000_000]),
+            Err(BagError::BadArity { .. })
+        ));
+        assert!(Bag::new().nest(&[1_000_000_000_000]).unwrap().is_empty());
+        // Group indices past the u128 mask still split correctly when the
+        // rows are wide enough.
+        let wide = Bag::from_values([Value::tuple((0..130).map(Value::int))]);
+        let nested = wide.nest(&[130]).unwrap();
+        let (row, _) = nested.iter().next().unwrap();
+        let fields = row.as_tuple().unwrap();
+        assert_eq!(fields[0], Value::int(129)); // key = attribute 130
+        let residual = fields[1].as_bag().unwrap();
+        let (res_row, _) = residual.iter().next().unwrap();
+        assert_eq!(res_row.as_tuple().unwrap().len(), 129);
     }
 
     #[test]

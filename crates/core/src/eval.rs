@@ -8,7 +8,23 @@
 //! bounds them polynomially for BALG², and the [`Metrics`] collected here
 //! are exactly those quantities, consumed by the `balg-complexity` crate's
 //! experiments.
+//!
+//! Two fusions keep the hot paths from materializing intermediates:
+//!
+//! * adjacent `MAP`/`σ` (and hence `π`) stages stream each input element
+//!   through the whole chain in one pass, so only the chain's final bag is
+//!   ever built;
+//! * `σ_{αᵢ=αⱼ}(e × e′)` with the equality crossing the product boundary
+//!   evaluates as a hash join — matching pairs are produced directly
+//!   instead of building the full Cartesian product and filtering it.
+//!
+//! Both fusions compute the same bag (the λ bodies are pure); what changes
+//! is that skipped intermediates are no longer *observed*, so they don't
+//! count against [`Limits::max_bag_elements`] and don't appear in
+//! [`Metrics`]. That is the point: the budgets meter what the evaluator
+//! actually materializes.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::bag::{Bag, BagError};
@@ -159,6 +175,15 @@ pub struct Evaluator<'a> {
     metrics: Metrics,
     env: Vec<(Var, Value)>,
     steps_left: u64,
+    /// Loop-invariant subexpressions registered by active stage chains,
+    /// keyed by AST node identity. `None` until first use (lazy, so error
+    /// behavior matches unmemoized evaluation), then the cached value.
+    memo: HashMap<*const Expr, Option<Value>>,
+    /// Cached invariance analysis per chain head: which body
+    /// subexpressions are loop-invariant. Node pointers are only valid for
+    /// the expression tree of the current `eval` call, so [`Evaluator::eval`]
+    /// clears this on entry.
+    invariant_roots: HashMap<*const Expr, Vec<*const Expr>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -171,6 +196,8 @@ impl<'a> Evaluator<'a> {
             metrics: Metrics::default(),
             env: Vec::new(),
             steps_left,
+            memo: HashMap::new(),
+            invariant_roots: HashMap::new(),
         }
     }
 
@@ -178,6 +205,9 @@ impl<'a> Evaluator<'a> {
     /// bags).
     pub fn eval(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         debug_assert!(self.env.is_empty());
+        // A prior `eval` call may have analyzed a different (since
+        // dropped) tree whose node addresses could recur.
+        self.invariant_roots.clear();
         self.eval_inner(expr)
     }
 
@@ -202,7 +232,25 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// Record a produced bag in the metrics and enforce limits.
+    /// Incremental distinct-element guard for loops that build an output
+    /// bag pair by pair: errors as soon as the bag crosses the budget, so
+    /// a fused product path cannot materialize far past the cap before
+    /// the final [`Evaluator::observe`] would reject it.
+    fn check_element_limit(&self, bag: &Bag) -> Result<(), EvalError> {
+        let distinct = bag.distinct_count() as u64;
+        if distinct > self.limits.max_bag_elements {
+            return Err(EvalError::ElementLimit {
+                observed: distinct,
+                limit: self.limits.max_bag_elements,
+            });
+        }
+        Ok(())
+    }
+
+    /// Record a produced bag in the metrics and enforce limits. One scan
+    /// collects the maximal multiplicity and the total cardinality
+    /// together — observation runs after every operator, so it must not
+    /// dominate the operators themselves.
     fn observe(&mut self, bag: &Bag) -> Result<(), EvalError> {
         let distinct = bag.distinct_count() as u64;
         if distinct > self.limits.max_bag_elements {
@@ -212,7 +260,15 @@ impl<'a> Evaluator<'a> {
             });
         }
         self.metrics.max_distinct_elements = self.metrics.max_distinct_elements.max(distinct);
-        let max_mult = bag.max_multiplicity();
+        let mut card = Natural::zero();
+        let mut max_mult: Option<&Natural> = None;
+        for (_, mult) in bag.iter() {
+            card += mult;
+            if max_mult.is_none_or(|m| mult > m) {
+                max_mult = Some(mult);
+            }
+        }
+        let max_mult = max_mult.cloned().unwrap_or_default();
         if max_mult.bits() > self.limits.max_multiplicity_bits {
             return Err(EvalError::MultiplicityLimit {
                 observed_bits: max_mult.bits(),
@@ -222,7 +278,6 @@ impl<'a> Evaluator<'a> {
         if max_mult > self.metrics.max_multiplicity {
             self.metrics.max_multiplicity = max_mult;
         }
-        let card = bag.cardinality();
         if card > self.metrics.max_cardinality {
             self.metrics.max_cardinality = card;
         }
@@ -241,8 +296,33 @@ impl<'a> Evaluator<'a> {
             .ok_or_else(|| EvalError::UnboundVariable(name.clone()))
     }
 
+    /// Borrowing lookup over the λ environment only (database names resolve
+    /// to bags, which have no attributes, so `Attr` never needs them).
+    fn lookup_env_ref(&self, name: &Var) -> Option<&Value> {
+        self.env
+            .iter()
+            .rev()
+            .find(|(bound, _)| bound == name)
+            .map(|(_, value)| value)
+    }
+
     fn eval_inner(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         self.step()?;
+        if !self.memo.is_empty() {
+            let key = expr as *const Expr;
+            if self.memo.contains_key(&key) {
+                if let Some(Some(cached)) = self.memo.get(&key) {
+                    return Ok(cached.clone());
+                }
+                let value = self.eval_node(expr)?;
+                self.memo.insert(key, Some(value.clone()));
+                return Ok(value);
+            }
+        }
+        self.eval_node(expr)
+    }
+
+    fn eval_node(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         match expr {
             Expr::Var(name) => self.lookup(name),
             Expr::Lit(value) => Ok(value.clone()),
@@ -255,7 +335,7 @@ impl<'a> Evaluator<'a> {
                 for field in fields {
                     out.push(self.eval_inner(field)?);
                 }
-                Ok(Value::Tuple(out))
+                Ok(Value::Tuple(out.into()))
             }
             Expr::Singleton(e) => {
                 let value = self.eval_inner(e)?;
@@ -263,21 +343,11 @@ impl<'a> Evaluator<'a> {
                 self.observe(&bag)?;
                 Ok(Value::Bag(bag))
             }
-            Expr::Product(a, b) => {
-                let left = expect_bag(self.eval_inner(a)?)?;
-                let right = expect_bag(self.eval_inner(b)?)?;
-                // Predict output size: distinct counts multiply.
-                let predicted = left.distinct_count() as u128 * right.distinct_count() as u128;
-                if predicted > self.limits.max_bag_elements as u128 {
-                    return Err(EvalError::ElementLimit {
-                        observed: predicted.min(u64::MAX as u128) as u64,
-                        limit: self.limits.max_bag_elements,
-                    });
+            Expr::Product(a, b) => match self.eval_product(a, b, None)? {
+                ProductOutcome::Materialized(out) | ProductOutcome::Joined(out) => {
+                    Ok(Value::Bag(out))
                 }
-                let out = left.product(&right)?;
-                self.observe(&out)?;
-                Ok(Value::Bag(out))
-            }
+            },
             Expr::Powerset(e) => {
                 let bag = expect_bag(self.eval_inner(e)?)?;
                 self.metrics.powerset_calls += 1;
@@ -293,6 +363,25 @@ impl<'a> Evaluator<'a> {
                 Ok(Value::Bag(out))
             }
             Expr::Attr(e, index) => {
+                // Fast path for the ubiquitous `αᵢ(x)`: project the field
+                // straight out of the λ-bound tuple instead of cloning the
+                // whole tuple first.
+                if let Expr::Var(name) = e.as_ref() {
+                    if self.lookup_env_ref(name).is_some() {
+                        self.step()?; // the Var node, as the generic path charges it
+                        let value = self.lookup_env_ref(name).expect("just resolved");
+                        let fields = value.as_tuple().ok_or_else(|| shape("a tuple", value))?;
+                        return fields
+                            .get(index.wrapping_sub(1))
+                            .cloned()
+                            .ok_or(EvalError::Bag(BagError::BadArity {
+                                index: *index,
+                                arity: fields.len(),
+                            }));
+                    }
+                    // Not λ-bound (a database bag or an unbound name): the
+                    // generic path below reports it.
+                }
                 let value = self.eval_inner(e)?;
                 let fields = value.as_tuple().ok_or_else(|| shape("a tuple", &value))?;
                 fields
@@ -309,32 +398,7 @@ impl<'a> Evaluator<'a> {
                 self.observe(&out)?;
                 Ok(Value::Bag(out))
             }
-            Expr::Map { var, body, input } => {
-                let bag = expect_bag(self.eval_inner(input)?)?;
-                let mut out = Bag::new();
-                for (value, mult) in bag.iter() {
-                    self.env.push((var.clone(), value.clone()));
-                    let image = self.eval_inner(body);
-                    self.env.pop();
-                    out.insert_with_multiplicity(image?, mult.clone());
-                }
-                self.observe(&out)?;
-                Ok(Value::Bag(out))
-            }
-            Expr::Select { var, pred, input } => {
-                let bag = expect_bag(self.eval_inner(input)?)?;
-                let mut out = Bag::new();
-                for (value, mult) in bag.iter() {
-                    self.env.push((var.clone(), value.clone()));
-                    let keep = self.eval_pred(pred);
-                    self.env.pop();
-                    if keep? {
-                        out.insert_with_multiplicity(value.clone(), mult.clone());
-                    }
-                }
-                self.observe(&out)?;
-                Ok(Value::Bag(out))
-            }
+            Expr::Map { .. } | Expr::Select { .. } => self.eval_stage_chain(expr),
             Expr::Dedup(e) => {
                 let bag = expect_bag(self.eval_inner(e)?)?;
                 let out = bag.dedup();
@@ -367,6 +431,253 @@ impl<'a> Evaluator<'a> {
                 Ok(Value::Bag(out))
             }
         }
+    }
+
+    /// Fused evaluation of a `MAP`/`σ` spine: each element of the base bag
+    /// streams through every stage in one pass, so only the chain's final
+    /// bag is materialized. When the innermost stage is an equi-join
+    /// selection directly over a product (`σ_{αᵢ=αⱼ}(e × e′)` with `i` on
+    /// the left side and `j` on the right), the base is produced by a hash
+    /// join instead of product-then-filter.
+    ///
+    /// Entered from [`Evaluator::eval_inner`], which has already charged
+    /// the step for the outermost spine node.
+    fn eval_stage_chain(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        // Collect the spine outermost-first, then flip to evaluation order.
+        let mut stages: Vec<Stage<'_>> = Vec::new();
+        let mut cur = expr;
+        loop {
+            match cur {
+                Expr::Map { var, body, input } => {
+                    stages.push(Stage::Map { var, body });
+                    cur = input;
+                }
+                Expr::Select { var, pred, input } => {
+                    stages.push(Stage::Filter { var, pred });
+                    cur = input;
+                }
+                _ => break,
+            }
+        }
+        stages.reverse();
+        for _ in 1..stages.len() {
+            self.step()?; // the inner spine nodes the fusion skips
+        }
+
+        let mut first_stage = 0;
+        let base = match (cur, stages.first()) {
+            (Expr::Product(a, b), Some(Stage::Filter { var, pred }))
+                if equi_join_attrs(pred, var).is_some() =>
+            {
+                let (i, j) = equi_join_attrs(pred, var).expect("just matched");
+                self.step()?; // the Product node, as eval_inner would charge it
+                match self.eval_product(a, b, Some((i, j)))? {
+                    ProductOutcome::Joined(bag) => {
+                        first_stage = 1; // the filter became the join
+                        ChainBase::Bag(bag)
+                    }
+                    ProductOutcome::Materialized(bag) => ChainBase::Bag(bag),
+                }
+            }
+            // `π`/`MAP` directly over a product: stream the pairs through
+            // the chain without materializing the product. (A non-join σ
+            // over a product still materializes, keeping the rewrite
+            // optimizer's σ-pushdown measurably useful.)
+            (Expr::Product(a, b), Some(Stage::Map { .. })) => {
+                self.step()?; // the Product node
+                let left = expect_bag(self.eval_inner(a)?)?;
+                let right = expect_bag(self.eval_inner(b)?)?;
+                ChainBase::Pairs(left, right)
+            }
+            _ => ChainBase::Bag(expect_bag(self.eval_inner(cur)?)?),
+        };
+
+        // Register loop-invariant subexpressions of the stage bodies for
+        // lazy once-only evaluation. Only worthwhile when the loop runs
+        // more than once. The analysis itself is cached per chain head
+        // (the AST is immutable for the duration of one `eval`), so a
+        // chain inside an IFP body or an outer λ pays for it once, not
+        // once per iteration. Roots are collected over the full spine —
+        // independent of whether the hash join consumed the first filter —
+        // so the cached set is deterministic per node; entries for a
+        // consumed filter simply go unused.
+        let loop_len = match &base {
+            ChainBase::Bag(bag) => bag.distinct_count(),
+            ChainBase::Pairs(left, right) => left.distinct_count() * right.distinct_count(),
+        };
+        let mut registered: Vec<*const Expr> = Vec::new();
+        if loop_len > 1 {
+            let chain_key = expr as *const Expr;
+            let keys = match self.invariant_roots.get(&chain_key) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let mut roots = Vec::new();
+                    for stage in &stages {
+                        let mut blocked = Vec::new();
+                        match stage {
+                            Stage::Map { var, body } => {
+                                blocked.push((*var).clone());
+                                collect_invariant_roots(body, &mut blocked, &mut roots);
+                            }
+                            Stage::Filter { var, pred } => {
+                                blocked.push((*var).clone());
+                                collect_invariant_pred_roots(pred, &mut blocked, &mut roots);
+                            }
+                        }
+                    }
+                    let keys: Vec<*const Expr> =
+                        roots.into_iter().map(|root| root as *const Expr).collect();
+                    self.invariant_roots.insert(chain_key, keys.clone());
+                    keys
+                }
+            };
+            for key in keys {
+                if let std::collections::hash_map::Entry::Vacant(slot) = self.memo.entry(key) {
+                    slot.insert(None);
+                    registered.push(key);
+                }
+            }
+        }
+        let stages = &stages[first_stage..];
+
+        let result = self.run_chain_loop(&base, stages);
+        for key in registered {
+            self.memo.remove(&key);
+        }
+        let out = result?;
+        self.observe(&out)?;
+        Ok(Value::Bag(out))
+    }
+
+    /// The streaming loop of [`Evaluator::eval_stage_chain`], separated so
+    /// the caller can unregister its memo entries on both the success and
+    /// the error path.
+    fn run_chain_loop(&mut self, base: &ChainBase, stages: &[Stage<'_>]) -> Result<Bag, EvalError> {
+        let mut out = Bag::new();
+        match base {
+            ChainBase::Bag(bag) => {
+                for (value, mult) in bag.iter() {
+                    self.run_stages(value.clone(), mult.clone(), stages, &mut out)?;
+                }
+            }
+            ChainBase::Pairs(left, right) => {
+                for (lv, lm) in left.iter() {
+                    let left_fields = lv
+                        .as_tuple()
+                        .ok_or_else(|| BagError::NotATuple(lv.clone()))?;
+                    for (rv, rm) in right.iter() {
+                        let right_fields = rv
+                            .as_tuple()
+                            .ok_or_else(|| BagError::NotATuple(rv.clone()))?;
+                        self.run_stages(
+                            Value::concat_tuples(left_fields, right_fields),
+                            lm * rm,
+                            stages,
+                            &mut out,
+                        )?;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Push one element through every stage; survivors land in `out`.
+    fn run_stages(
+        &mut self,
+        value: Value,
+        mult: Natural,
+        stages: &[Stage<'_>],
+        out: &mut Bag,
+    ) -> Result<(), EvalError> {
+        let mut current = value;
+        for stage in stages {
+            match stage {
+                Stage::Map { var, body } => {
+                    self.env.push(((*var).clone(), current));
+                    let image = self.eval_inner(body);
+                    self.env.pop();
+                    current = image?;
+                }
+                Stage::Filter { var, pred } => {
+                    self.env.push(((*var).clone(), current));
+                    let keep = self.eval_pred(pred);
+                    let (_, value_back) = self.env.pop().expect("balanced λ environment");
+                    if !keep? {
+                        return Ok(());
+                    }
+                    current = value_back;
+                }
+            }
+        }
+        out.insert_with_multiplicity(current, mult);
+        self.check_element_limit(out)
+    }
+
+    /// Evaluate `a × b`, optionally under an equi-join filter
+    /// `αᵢ = αⱼ` (with `i < j` referring to the concatenated tuple).
+    ///
+    /// With `join_attrs` set and the shape guards satisfied — all elements
+    /// tuples, uniform arity per side, the equality spanning the product
+    /// boundary — matching pairs are produced directly from a hash index
+    /// on the left side and the full product is never built. Otherwise
+    /// this is exactly the materializing `Expr::Product` evaluation
+    /// (element-count prediction, then [`Bag::product`]), and the caller
+    /// must still apply the filter.
+    fn eval_product(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        join_attrs: Option<(usize, usize)>,
+    ) -> Result<ProductOutcome, EvalError> {
+        let left = expect_bag(self.eval_inner(a)?)?;
+        let right = expect_bag(self.eval_inner(b)?)?;
+
+        if let Some((i, j)) = join_attrs {
+            if let (Some(left_arity), Some(right_arity)) =
+                (uniform_arity(&left), uniform_arity(&right))
+            {
+                let spans_boundary =
+                    i >= 1 && i <= left_arity && j > left_arity && j <= left_arity + right_arity;
+                if spans_boundary {
+                    let mut index: HashMap<&Value, Vec<(&Value, &Natural)>> = HashMap::new();
+                    for (lv, lm) in left.iter() {
+                        let fields = lv.as_tuple().expect("checked by uniform_arity");
+                        index.entry(&fields[i - 1]).or_default().push((lv, lm));
+                    }
+                    let mut out = Bag::new();
+                    for (rv, rm) in right.iter() {
+                        let right_fields = rv.as_tuple().expect("checked by uniform_arity");
+                        let Some(matches) = index.get(&right_fields[j - left_arity - 1]) else {
+                            continue;
+                        };
+                        for (lv, lm) in matches {
+                            self.step()?; // one per surviving pair, like the filter
+                            let left_fields = lv.as_tuple().expect("checked by uniform_arity");
+                            out.insert_with_multiplicity(
+                                Value::concat_tuples(left_fields, right_fields),
+                                *lm * rm,
+                            );
+                            self.check_element_limit(&out)?;
+                        }
+                    }
+                    self.observe(&out)?;
+                    return Ok(ProductOutcome::Joined(out));
+                }
+            }
+        }
+
+        // Materializing path. Predict output size: distinct counts multiply.
+        let predicted = left.distinct_count() as u128 * right.distinct_count() as u128;
+        if predicted > self.limits.max_bag_elements as u128 {
+            return Err(EvalError::ElementLimit {
+                observed: predicted.min(u64::MAX as u128) as u64,
+                limit: self.limits.max_bag_elements,
+            });
+        }
+        let out = left.product(&right)?;
+        self.observe(&out)?;
+        Ok(ProductOutcome::Materialized(out))
     }
 
     fn eval_binary(
@@ -404,6 +715,179 @@ impl<'a> Evaluator<'a> {
             Pred::Or(a, b) => Ok(self.eval_pred(a)? || self.eval_pred(b)?),
         }
     }
+}
+
+/// One node of a `MAP`/`σ` spine, borrowed from the expression tree.
+enum Stage<'e> {
+    Map { var: &'e Var, body: &'e Expr },
+    Filter { var: &'e Var, pred: &'e Pred },
+}
+
+/// What a stage chain streams over: an evaluated bag, or the unmaterialized
+/// pairs of a product feeding a `MAP` stage.
+enum ChainBase {
+    Bag(Bag),
+    Pairs(Bag, Bag),
+}
+
+/// `true` for subexpressions whose once-only evaluation is worth a memo
+/// entry: anything that actually computes (not a variable or constant).
+fn worth_memoizing(expr: &Expr) -> bool {
+    !matches!(expr, Expr::Var(_) | Expr::Lit(_))
+}
+
+/// Does `name` occur free in `expr`? (Occurrences under a λ that rebinds
+/// the same name are bound, not free.)
+fn mentions_free(expr: &Expr, name: &Var) -> bool {
+    match expr {
+        Expr::Var(v) => v == name,
+        Expr::Lit(_) => false,
+        Expr::AdditiveUnion(a, b)
+        | Expr::Subtract(a, b)
+        | Expr::MaxUnion(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Product(a, b) => mentions_free(a, name) || mentions_free(b, name),
+        Expr::Tuple(fields) => fields.iter().any(|f| mentions_free(f, name)),
+        Expr::Singleton(e)
+        | Expr::Powerset(e)
+        | Expr::Powerbag(e)
+        | Expr::Attr(e, _)
+        | Expr::Destroy(e)
+        | Expr::Dedup(e) => mentions_free(e, name),
+        Expr::Map { var, body, input } | Expr::Ifp { var, body, input } => {
+            mentions_free(input, name) || (var != name && mentions_free(body, name))
+        }
+        Expr::Select { var, pred, input } => {
+            mentions_free(input, name) || (var != name && mentions_free_pred(pred, name))
+        }
+        Expr::Nest { input, .. } => mentions_free(input, name),
+    }
+}
+
+fn mentions_free_pred(pred: &Pred, name: &Var) -> bool {
+    let mut found = false;
+    pred.visit_exprs(&mut |e| found |= mentions_free(e, name));
+    found
+}
+
+/// Collect the maximal subexpressions of `expr` that mention none of the
+/// `blocked` variables — the λ-bound names between the stage body root and
+/// the candidate, starting with the stage's own variable. Those subtrees
+/// evaluate to the same value for every element of the stage's loop, so
+/// the evaluator memoizes them (lazily, preserving error behavior: a
+/// subtree that is never reached is never evaluated).
+fn collect_invariant_roots<'e>(expr: &'e Expr, blocked: &mut Vec<Var>, out: &mut Vec<&'e Expr>) {
+    if !blocked.iter().any(|name| mentions_free(expr, name)) {
+        if worth_memoizing(expr) {
+            out.push(expr);
+        }
+        return;
+    }
+    match expr {
+        Expr::Var(_) | Expr::Lit(_) => {}
+        Expr::AdditiveUnion(a, b)
+        | Expr::Subtract(a, b)
+        | Expr::MaxUnion(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Product(a, b) => {
+            collect_invariant_roots(a, blocked, out);
+            collect_invariant_roots(b, blocked, out);
+        }
+        Expr::Tuple(fields) => {
+            for field in fields {
+                collect_invariant_roots(field, blocked, out);
+            }
+        }
+        Expr::Singleton(e)
+        | Expr::Powerset(e)
+        | Expr::Powerbag(e)
+        | Expr::Attr(e, _)
+        | Expr::Destroy(e)
+        | Expr::Dedup(e) => collect_invariant_roots(e, blocked, out),
+        Expr::Map { var, body, input } | Expr::Ifp { var, body, input } => {
+            collect_invariant_roots(input, blocked, out);
+            blocked.push(var.clone());
+            collect_invariant_roots(body, blocked, out);
+            blocked.pop();
+        }
+        Expr::Select { var, pred, input } => {
+            collect_invariant_roots(input, blocked, out);
+            blocked.push(var.clone());
+            collect_invariant_pred_roots(pred, blocked, out);
+            blocked.pop();
+        }
+        Expr::Nest { input, .. } => collect_invariant_roots(input, blocked, out),
+    }
+}
+
+fn collect_invariant_pred_roots<'e>(
+    pred: &'e Pred,
+    blocked: &mut Vec<Var>,
+    out: &mut Vec<&'e Expr>,
+) {
+    match pred {
+        Pred::True => {}
+        Pred::Eq(a, b)
+        | Pred::Lt(a, b)
+        | Pred::Le(a, b)
+        | Pred::Member(a, b)
+        | Pred::SubBag(a, b) => {
+            collect_invariant_roots(a, blocked, out);
+            collect_invariant_roots(b, blocked, out);
+        }
+        Pred::Not(p) => collect_invariant_pred_roots(p, blocked, out),
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            collect_invariant_pred_roots(a, blocked, out);
+            collect_invariant_pred_roots(b, blocked, out);
+        }
+    }
+}
+
+/// How [`Evaluator::eval_product`] produced its bag.
+enum ProductOutcome {
+    /// Hash join: the equi-join filter is already applied.
+    Joined(Bag),
+    /// Full Cartesian product: any filter still needs to run.
+    Materialized(Bag),
+}
+
+/// Recognize `αᵢ(x) = αⱼ(x)` over the σ-bound variable `x` with `i ≠ j`,
+/// normalized to `i < j`. Anything else is not a join predicate the
+/// evaluator fuses.
+fn equi_join_attrs(pred: &Pred, var: &Var) -> Option<(usize, usize)> {
+    let attr_of = |e: &Expr| match e {
+        Expr::Attr(inner, ix) => match inner.as_ref() {
+            Expr::Var(name) if name == var => Some(*ix),
+            _ => None,
+        },
+        _ => None,
+    };
+    match pred {
+        Pred::Eq(a, b) => {
+            let (i, j) = (attr_of(a)?, attr_of(b)?);
+            if i == j {
+                None // trivially true on every tuple — not a join
+            } else {
+                Some((i.min(j), i.max(j)))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `Some(arity)` iff every element is a tuple of the same arity (the empty
+/// bag has no witness, so it reports `None` and the caller falls back).
+fn uniform_arity(bag: &Bag) -> Option<usize> {
+    let mut arity = None;
+    for (value, _) in bag.iter() {
+        let len = value.as_tuple()?.len();
+        match arity {
+            None => arity = Some(len),
+            Some(a) if a == len => {}
+            Some(_) => return None,
+        }
+    }
+    arity
 }
 
 fn shape(expected: &'static str, found: &Value) -> EvalError {
@@ -538,6 +1022,41 @@ mod tests {
         assert!(matches!(
             ev.eval(&Expr::var("B").powerset()),
             Err(EvalError::Bag(BagError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn fused_join_enforces_element_limit_incrementally() {
+        // Every tuple shares the join key, so the hash join would emit
+        // |B|² = 25 result tuples; with a budget of 8 it must stop at the
+        // cap, not materialize everything and fail only at observe time.
+        let b = Bag::from_values((0..5).map(|i| Value::tuple([Value::sym("k"), Value::int(i)])));
+        let q = Expr::var("B").product(Expr::var("B")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(1), Expr::var("x").attr(3)),
+        );
+        let limits = Limits {
+            max_bag_elements: 8,
+            ..Limits::default()
+        };
+        let db = db_with("B", b);
+        let mut ev = Evaluator::new(&db, limits);
+        assert!(matches!(
+            ev.eval(&q),
+            Err(EvalError::ElementLimit { limit: 8, .. })
+        ));
+        // The π-over-× streaming path hits the same guard.
+        let wide = Bag::from_values((0..5).map(|i| Value::tuple([Value::int(i)])));
+        let q2 = Expr::var("B").product(Expr::var("B")).project(&[1, 2]);
+        let limits = Limits {
+            max_bag_elements: 8,
+            ..Limits::default()
+        };
+        let db = db_with("B", wide);
+        let mut ev = Evaluator::new(&db, limits);
+        assert!(matches!(
+            ev.eval(&q2),
+            Err(EvalError::ElementLimit { limit: 8, .. })
         ));
     }
 

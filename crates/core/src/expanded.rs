@@ -131,7 +131,7 @@ impl ExpandedBag {
                 let mut fields = Vec::with_capacity(left_fields.len() + right_fields.len());
                 fields.extend_from_slice(left_fields);
                 fields.extend_from_slice(right_fields);
-                items.push(Value::Tuple(fields));
+                items.push(Value::Tuple(fields.into()));
             }
         }
         items.sort();

@@ -4,7 +4,11 @@
 //! the powerset operator `P` followed by two `δ` (bag-destroy) multiply
 //! duplicate counts hyper-exponentially: even a single iterate of
 //! `δδPP` on a ten-element bag overflows `u128`. Multiplicities therefore
-//! use this little-endian limb representation with exact arithmetic.
+//! need exact arithmetic — but the overwhelming majority of multiplicities
+//! the evaluator touches are tiny, so the representation is inline-small:
+//! a single `u64` word with no heap allocation, spilling to little-endian
+//! `u64` limbs only when a result exceeds `u64::MAX`. `zero()`, `one()`,
+//! `+`, `×`, monus, min and max are allocation-free in the all-small case.
 //!
 //! Only the operations the algebra needs are provided: addition (`∪⁺`),
 //! monus — truncated subtraction — (`−`), multiplication (`×`), min/max
@@ -19,62 +23,106 @@ use std::str::FromStr;
 
 /// An arbitrary-precision natural number (`ℕ`, including zero).
 ///
-/// Stored as little-endian `u64` limbs with no trailing zero limbs; zero is
-/// the empty limb vector. The representation is canonical, so the derived
-/// `PartialEq`/`Hash` agree with numeric equality.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// Values up to `u64::MAX` are stored inline; larger values spill to
+/// little-endian `u64` limbs with no trailing zero limbs (so a spilled
+/// value always has ≥ 2 limbs). The representation is canonical — every
+/// number has exactly one encoding — so the derived `PartialEq`/`Hash`
+/// agree with numeric equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct Natural {
-    limbs: Vec<u64>,
+pub struct Natural(Repr);
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum Repr {
+    /// The value itself, for everything that fits a machine word.
+    Small(u64),
+    /// Little-endian limbs. Invariant: `len ≥ 2` and the top limb is
+    /// nonzero, i.e. the value is strictly greater than `u64::MAX`.
+    /// Boxed so `Natural` stays two words — multiplicities are copied into
+    /// and out of map entries constantly, and almost all of them are small;
+    /// the double indirection is paid only by already-huge values.
+    #[allow(clippy::box_collection)]
+    Big(Box<Vec<u64>>),
+}
+
+impl Default for Natural {
+    fn default() -> Self {
+        Natural::zero()
+    }
 }
 
 impl Natural {
     /// The number zero.
     pub const fn zero() -> Self {
-        Natural { limbs: Vec::new() }
+        Natural(Repr::Small(0))
     }
 
     /// The number one.
-    pub fn one() -> Self {
-        Natural { limbs: vec![1] }
+    pub const fn one() -> Self {
+        Natural(Repr::Small(1))
     }
 
     /// `true` iff this is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.0, Repr::Small(0))
     }
 
     /// `true` iff this is one.
     pub fn is_one(&self) -> bool {
-        self.limbs.len() == 1 && self.limbs[0] == 1
+        matches!(self.0, Repr::Small(1))
+    }
+
+    /// Canonicalize a little-endian limb vector (used by the slow paths).
+    fn from_limbs(mut limbs: Vec<u64>) -> Natural {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        match limbs.len() {
+            0 => Natural::zero(),
+            1 => Natural(Repr::Small(limbs[0])),
+            _ => Natural(Repr::Big(Box::new(limbs))),
+        }
+    }
+
+    /// The little-endian limb view (empty for zero). The `Small` word is
+    /// exposed as a one-limb slice so the multi-limb algorithms cover both
+    /// representations.
+    fn limbs(&self) -> &[u64] {
+        match &self.0 {
+            Repr::Small(0) => &[],
+            Repr::Small(v) => std::slice::from_ref(v),
+            Repr::Big(limbs) => limbs,
+        }
     }
 
     /// Number of significant bits (`0` for zero). This is the quantity the
     /// LOGSPACE argument of Theorem 4.4 tracks: counters written on the work
     /// tape use `bits()` space.
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
+        let limbs = self.limbs();
+        match limbs.last() {
             None => 0,
-            Some(&hi) => (self.limbs.len() as u64 - 1) * 64 + (64 - hi.leading_zeros() as u64),
+            Some(&hi) => (limbs.len() as u64 - 1) * 64 + (64 - hi.leading_zeros() as u64),
         }
     }
 
     /// The value as `u64` if it fits.
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0]),
-            _ => None,
+        match self.0 {
+            Repr::Small(v) => Some(v),
+            Repr::Big(_) => None,
         }
     }
 
     /// The value as `u128` if it fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
-            _ => None,
+        match &self.0 {
+            Repr::Small(v) => Some(*v as u128),
+            Repr::Big(limbs) if limbs.len() == 2 => {
+                Some((limbs[1] as u128) << 64 | limbs[0] as u128)
+            }
+            Repr::Big(_) => None,
         }
     }
 
@@ -82,7 +130,7 @@ impl Natural {
     /// Used only for reporting growth curves.
     pub fn to_f64(&self) -> f64 {
         let mut acc = 0.0f64;
-        for &limb in self.limbs.iter().rev() {
+        for &limb in self.limbs().iter().rev() {
             acc = acc * 1.8446744073709552e19 + limb as f64;
             if acc.is_infinite() {
                 return f64::INFINITY;
@@ -91,30 +139,26 @@ impl Natural {
         acc
     }
 
-    fn normalize(&mut self) {
-        while self.limbs.last() == Some(&0) {
-            self.limbs.pop();
-        }
-    }
-
     /// Checked subtraction: `Some(self - other)` if `other <= self`.
     pub fn checked_sub(&self, other: &Natural) -> Option<Natural> {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return a.checked_sub(*b).map(|d| Natural(Repr::Small(d)));
+        }
         if self < other {
             return None;
         }
-        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let (a, b) = (self.limbs(), other.limbs());
+        let mut limbs = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let rhs = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+        for (i, &lhs) in a.iter().enumerate() {
+            let rhs = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = lhs.overflowing_sub(rhs);
             let (d2, b2) = d1.overflowing_sub(borrow);
             borrow = (b1 || b2) as u64;
             limbs.push(d2);
         }
         debug_assert_eq!(borrow, 0);
-        let mut out = Natural { limbs };
-        out.normalize();
-        Some(out)
+        Some(Natural::from_limbs(limbs))
     }
 
     /// Monus (truncated subtraction): `max(0, self - other)`. This is the
@@ -126,27 +170,43 @@ impl Natural {
 
     /// In-place doubling; used by powerset cardinality prediction.
     pub fn double(&mut self) {
-        let mut carry = 0u64;
-        for limb in &mut self.limbs {
-            let new_carry = *limb >> 63;
-            *limb = (*limb << 1) | carry;
-            carry = new_carry;
-        }
-        if carry != 0 {
-            self.limbs.push(carry);
+        match &mut self.0 {
+            Repr::Small(v) => match v.checked_mul(2) {
+                Some(d) => *v = d,
+                None => self.0 = Repr::Big(Box::new(vec![*v << 1, 1])),
+            },
+            Repr::Big(limbs) => {
+                let mut carry = 0u64;
+                for limb in limbs.iter_mut() {
+                    let new_carry = *limb >> 63;
+                    *limb = (*limb << 1) | carry;
+                    carry = new_carry;
+                }
+                if carry != 0 {
+                    limbs.push(carry);
+                }
+            }
         }
     }
 
     /// `self + 1`.
     pub fn succ(&self) -> Natural {
+        if let Repr::Small(v) = self.0 {
+            if let Some(s) = v.checked_add(1) {
+                return Natural(Repr::Small(s));
+            }
+        }
         self + &Natural::one()
     }
 
     /// `2^exp`.
     pub fn pow2(exp: u64) -> Natural {
+        if exp < 64 {
+            return Natural(Repr::Small(1u64 << exp));
+        }
         let mut limbs = vec![0u64; (exp / 64) as usize];
         limbs.push(1u64 << (exp % 64));
-        Natural { limbs }
+        Natural(Repr::Big(Box::new(limbs)))
     }
 
     /// `self^exp` by binary exponentiation.
@@ -167,34 +227,41 @@ impl Natural {
 
     /// Multiply by a `u64` in place.
     pub fn mul_u64(&mut self, rhs: u64) {
-        if rhs == 0 {
-            self.limbs.clear();
-            return;
-        }
-        let mut carry = 0u128;
-        for limb in &mut self.limbs {
-            let prod = *limb as u128 * rhs as u128 + carry;
-            *limb = prod as u64;
-            carry = prod >> 64;
-        }
-        if carry != 0 {
-            self.limbs.push(carry as u64);
+        match &mut self.0 {
+            Repr::Small(v) => {
+                let prod = *v as u128 * rhs as u128;
+                *self = Natural::from(prod);
+            }
+            Repr::Big(_) if rhs == 0 => *self = Natural::zero(),
+            Repr::Big(limbs) => {
+                let mut carry = 0u128;
+                for limb in limbs.iter_mut() {
+                    let prod = *limb as u128 * rhs as u128 + carry;
+                    *limb = prod as u64;
+                    carry = prod >> 64;
+                }
+                if carry != 0 {
+                    limbs.push(carry as u64);
+                }
+            }
         }
     }
 
     /// Divide by a nonzero `u64`, returning `(quotient, remainder)`.
     pub fn divmod_u64(&self, rhs: u64) -> (Natural, u64) {
         assert!(rhs != 0, "division by zero");
-        let mut quot = vec![0u64; self.limbs.len()];
+        if let Repr::Small(v) = self.0 {
+            return (Natural(Repr::Small(v / rhs)), v % rhs);
+        }
+        let limbs = self.limbs();
+        let mut quot = vec![0u64; limbs.len()];
         let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
+        for i in (0..limbs.len()).rev() {
+            let cur = (rem << 64) | limbs[i] as u128;
             quot[i] = (cur / rhs as u128) as u64;
             rem = cur % rhs as u128;
         }
-        let mut q = Natural { limbs: quot };
-        q.normalize();
-        (q, rem as u64)
+        (Natural::from_limbs(quot), rem as u64)
     }
 
     /// Exact division by a nonzero `u64`; panics (debug) if inexact.
@@ -229,8 +296,8 @@ impl Natural {
 
     /// Decimal string, chunked through `u64` divisions.
     fn to_decimal(&self) -> String {
-        if self.is_zero() {
-            return "0".to_owned();
+        if let Repr::Small(v) = self.0 {
+            return v.to_string();
         }
         const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
         let mut chunks = Vec::new();
@@ -250,9 +317,7 @@ impl Natural {
 
 impl From<u64> for Natural {
     fn from(v: u64) -> Self {
-        let mut n = Natural { limbs: vec![v] };
-        n.normalize();
-        n
+        Natural(Repr::Small(v))
     }
 }
 
@@ -270,20 +335,26 @@ impl From<usize> for Natural {
 
 impl From<u128> for Natural {
     fn from(v: u128) -> Self {
-        let mut n = Natural {
-            limbs: vec![v as u64, (v >> 64) as u64],
-        };
-        n.normalize();
-        n
+        if v <= u64::MAX as u128 {
+            Natural(Repr::Small(v as u64))
+        } else {
+            Natural(Repr::Big(Box::new(vec![v as u64, (v >> 64) as u64])))
+        }
     }
 }
 
 impl Ord for Natural {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.limbs
-            .len()
-            .cmp(&other.limbs.len())
-            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A spilled value is strictly greater than any inline one.
+            (Repr::Small(_), Repr::Big(_)) => Ordering::Less,
+            (Repr::Big(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(a), Repr::Big(b)) => a
+                .len()
+                .cmp(&b.len())
+                .then_with(|| a.iter().rev().cmp(b.iter().rev())),
+        }
     }
 }
 
@@ -293,27 +364,34 @@ impl PartialOrd for Natural {
     }
 }
 
+/// Multi-limb addition over canonical limb views.
+fn add_limbs(a: &[u64], b: &[u64]) -> Natural {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut limbs = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for (i, &lhs) in long.iter().enumerate() {
+        let rhs = short.get(i).copied().unwrap_or(0);
+        let (s1, c1) = lhs.overflowing_add(rhs);
+        let (s2, c2) = s1.overflowing_add(carry);
+        carry = (c1 || c2) as u64;
+        limbs.push(s2);
+    }
+    if carry != 0 {
+        limbs.push(carry);
+    }
+    Natural::from_limbs(limbs)
+}
+
 impl Add<&Natural> for &Natural {
     type Output = Natural;
     fn add(self, rhs: &Natural) -> Natural {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (self, rhs)
-        } else {
-            (rhs, self)
-        };
-        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
-        let mut carry = 0u64;
-        for i in 0..long.limbs.len() {
-            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long.limbs[i].overflowing_add(rhs_limb);
-            let (s2, c2) = s1.overflowing_add(carry);
-            carry = (c1 || c2) as u64;
-            limbs.push(s2);
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &rhs.0) {
+            return match a.checked_add(*b) {
+                Some(sum) => Natural(Repr::Small(sum)),
+                None => Natural(Repr::Big(Box::new(vec![a.wrapping_add(*b), 1]))),
+            };
         }
-        if carry != 0 {
-            limbs.push(carry);
-        }
-        Natural { limbs }
+        add_limbs(self.limbs(), rhs.limbs())
     }
 }
 
@@ -326,6 +404,12 @@ impl Add for Natural {
 
 impl AddAssign<&Natural> for Natural {
     fn add_assign(&mut self, rhs: &Natural) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &rhs.0) {
+            if let Some(sum) = a.checked_add(*b) {
+                self.0 = Repr::Small(sum);
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
@@ -341,18 +425,22 @@ impl Sub<&Natural> for &Natural {
 impl Mul<&Natural> for &Natural {
     type Output = Natural;
     fn mul(self, rhs: &Natural) -> Natural {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &rhs.0) {
+            return Natural::from(*a as u128 * *b as u128);
+        }
         if self.is_zero() || rhs.is_zero() {
             return Natural::zero();
         }
-        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
+        let (a, b) = (self.limbs(), rhs.limbs());
+        let mut limbs = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
             let mut carry = 0u128;
-            for (j, &b) in rhs.limbs.iter().enumerate() {
-                let cur = limbs[i + j] as u128 + a as u128 * b as u128 + carry;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = limbs[i + j] as u128 + x as u128 * y as u128 + carry;
                 limbs[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            let mut k = i + rhs.limbs.len();
+            let mut k = i + b.len();
             while carry != 0 {
                 let cur = limbs[k] as u128 + carry;
                 limbs[k] = cur as u64;
@@ -360,9 +448,7 @@ impl Mul<&Natural> for &Natural {
                 k += 1;
             }
         }
-        let mut out = Natural { limbs };
-        out.normalize();
-        out
+        Natural::from_limbs(limbs)
     }
 }
 
@@ -381,13 +467,19 @@ impl MulAssign<&Natural> for Natural {
 
 impl Sum for Natural {
     fn sum<I: Iterator<Item = Natural>>(iter: I) -> Natural {
-        iter.fold(Natural::zero(), |acc, x| &acc + &x)
+        iter.fold(Natural::zero(), |mut acc, x| {
+            acc += &x;
+            acc
+        })
     }
 }
 
 impl<'a> Sum<&'a Natural> for Natural {
     fn sum<I: Iterator<Item = &'a Natural>>(iter: I) -> Natural {
-        iter.fold(Natural::zero(), |acc, x| &acc + x)
+        iter.fold(Natural::zero(), |mut acc, x| {
+            acc += x;
+            acc
+        })
     }
 }
 
@@ -447,6 +539,17 @@ mod tests {
     }
 
     #[test]
+    fn small_values_stay_inline() {
+        // Everything through u64::MAX is the Small representation; one past
+        // it spills to two limbs. from_limbs collapses back down.
+        assert!(matches!(Natural::from(u64::MAX).0, Repr::Small(_)));
+        let spilled = &Natural::from(u64::MAX) + &n(1);
+        assert!(matches!(&spilled.0, Repr::Big(l) if l.len() == 2));
+        let back = spilled.monus(&n(1));
+        assert!(matches!(back.0, Repr::Small(u64::MAX)));
+    }
+
+    #[test]
     fn add_with_carry_across_limbs() {
         let max = Natural::from(u64::MAX);
         let sum = &max + &n(1);
@@ -468,6 +571,10 @@ mod tests {
     fn checked_sub_none_when_underflow() {
         assert_eq!(n(3).checked_sub(&n(4)), None);
         assert_eq!(n(4).checked_sub(&n(4)), Some(n(0)));
+        // Mixed-representation borrows around the spill boundary.
+        let boundary = &Natural::from(u64::MAX) + &n(1);
+        assert_eq!(boundary.checked_sub(&n(1)), Some(Natural::from(u64::MAX)));
+        assert_eq!(n(1).checked_sub(&boundary), None);
     }
 
     #[test]
@@ -566,6 +673,10 @@ mod tests {
         y.double();
         assert_eq!(y.to_u128(), Some(u64::MAX as u128 * 2));
         assert_eq!(n(0).succ(), n(1));
+        assert_eq!(
+            Natural::from(u64::MAX).succ().to_u128(),
+            Some(u64::MAX as u128 + 1)
+        );
     }
 
     #[test]

@@ -346,7 +346,7 @@ impl<'a> P<'a> {
                 break;
             }
         }
-        Ok(Value::Tuple(fields))
+        Ok(Value::Tuple(fields.into()))
     }
 
     fn atom(&mut self) -> Result<Value, ExprParseError> {

@@ -58,15 +58,64 @@ impl fmt::Display for Atom {
 }
 
 /// A complex object: an atom, a tuple of objects, or a bag of objects.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+///
+/// Both container variants are cheap to clone: tuples share their field
+/// slice behind an [`Arc`], and [`Bag`] is internally copy-on-write. The
+/// hand-written `PartialEq`/`Ord` add pointer-equality fast paths for
+/// shared containers while keeping exactly the derived (structural,
+/// variant-ordered) semantics — the total order of Theorem 5.1's encoding.
+// The manual `PartialEq` below is the structural equality the derive would
+// produce, plus an `Arc` pointer fast path — so the derived `Hash` remains
+// consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, Hash, Debug)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// An atomic constant.
     Atom(Atom),
     /// A tuple `[o₁, …, oₖ]` (the paper's tupling constructor `τ`).
-    Tuple(Vec<Value>),
+    Tuple(Arc<[Value]>),
     /// A bag `⟦…⟧`.
     Bag(Bag),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Atom(a), Value::Atom(b)) => a == b,
+            (Value::Tuple(a), Value::Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Bag(a), Value::Bag(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Atom(a), Value::Atom(b)) => a.cmp(b),
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            (Value::Bag(a), Value::Bag(b)) => a.cmp(b),
+            // Variant order: atoms < tuples < bags, as derived.
+            (Value::Atom(_), _) => Ordering::Less,
+            (_, Value::Atom(_)) => Ordering::Greater,
+            (Value::Tuple(_), Value::Bag(_)) => Ordering::Less,
+            (Value::Bag(_), Value::Tuple(_)) => Ordering::Greater,
+        }
+    }
 }
 
 impl Value {
@@ -83,6 +132,16 @@ impl Value {
     /// A tuple value.
     pub fn tuple(fields: impl IntoIterator<Item = Value>) -> Value {
         Value::Tuple(fields.into_iter().collect())
+    }
+
+    /// The concatenated tuple `[l₁, …, lₘ, r₁, …, rₙ]` — the element shape
+    /// the Cartesian product produces, shared by the materializing and the
+    /// fused (hash-join / streamed-pair) product paths.
+    pub fn concat_tuples(left: &[Value], right: &[Value]) -> Value {
+        let mut fields = Vec::with_capacity(left.len() + right.len());
+        fields.extend_from_slice(left);
+        fields.extend_from_slice(right);
+        Value::Tuple(fields.into())
     }
 
     /// A bag value from an iterator of elements (each with multiplicity 1).
@@ -185,7 +244,7 @@ impl Value {
             Value::Atom(_) => Natural::one(),
             Value::Tuple(fields) => {
                 let mut total = Natural::one();
-                for field in fields {
+                for field in fields.iter() {
                     total += &field.encoded_size();
                 }
                 total
@@ -213,7 +272,7 @@ impl Value {
                 out.insert(a.clone());
             }
             Value::Tuple(fields) => {
-                for field in fields {
+                for field in fields.iter() {
                     field.collect_atoms(out);
                 }
             }

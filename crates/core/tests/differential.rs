@@ -79,4 +79,41 @@ proptest! {
         prop_assert_eq!(ea.to_bag(), a.clone());
         prop_assert_eq!(ea.encoded_cardinality(), a.cardinality());
     }
+
+    #[test]
+    fn powerset_and_powerbag_agree_with_mask_enumeration(a in small_bag()) {
+        // Naive reference: expand to an occurrence list and enumerate all
+        // 2^n occurrence subsets (Definition 5.1's renaming, concretely).
+        // Each mask yields one powerbag occurrence; the distinct subbags,
+        // each once, form the powerset.
+        let occurrences: Vec<Value> = a
+            .iter()
+            .flat_map(|(v, m)| {
+                std::iter::repeat_with(|| v.clone()).take(m.to_u64().unwrap() as usize)
+            })
+            .collect();
+        let n = occurrences.len();
+        let mut naive_powerbag = Bag::new();
+        for mask in 0u32..(1 << n) {
+            let subset = occurrences
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, v)| v.clone());
+            naive_powerbag.insert(Value::Bag(Bag::from_values(subset)));
+        }
+        prop_assert_eq!(a.powerbag(1 << 20).unwrap(), naive_powerbag.clone());
+        prop_assert_eq!(a.powerset(1 << 20).unwrap(), naive_powerbag.dedup());
+    }
+}
+
+/// A bag small enough for 2^|B| mask enumeration.
+fn small_bag() -> impl Strategy<Value = Bag> {
+    proptest::collection::btree_map(0u8..4, 1u64..4, 0..4).prop_map(|entries| {
+        Bag::from_counted(
+            entries
+                .into_iter()
+                .map(|(atom, mult)| (Value::tuple([Value::int(atom as i64)]), Natural::from(mult))),
+        )
+    })
 }

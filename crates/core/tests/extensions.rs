@@ -155,7 +155,7 @@ fn nest_on_empty_and_key_only_tuples() {
         fields[2]
             .as_bag()
             .unwrap()
-            .multiplicity(&Value::Tuple(vec![])),
+            .multiplicity(&Value::Tuple(vec![].into())),
         Natural::from(2u64)
     );
 }

@@ -93,3 +93,158 @@ proptest! {
         prop_assert!(x < Natural::pow2(bits));
     }
 }
+
+// ---------------------------------------------------------------------------
+// The inline-small representation against ground truth at the spill boundary
+// and against a retained naive always-heap limb reference.
+// ---------------------------------------------------------------------------
+
+/// Values straddling the `Small`→`Big` spill boundary: everything in
+/// `[u64::MAX − 8, u64::MAX + 8]` plus a spread of small and two-limb
+/// values, as `u128` ground truth.
+fn boundary() -> impl Strategy<Value = u128> {
+    prop_oneof![
+        (0u64..=16).prop_map(|d| (u64::MAX - 8) as u128 + d as u128),
+        (0u64..=32).prop_map(|v| v as u128),
+        any::<u64>().prop_map(|v| v as u128),
+        // Two-limb values with headroom so sums stay in u128.
+        (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| ((hi as u128) << 64 | lo as u128) >> 1),
+    ]
+}
+
+/// The seed's always-heap little-endian limb arithmetic, retained as the
+/// naive reference the optimized representation must agree with.
+mod reference {
+    pub fn normalize(limbs: &mut Vec<u64>) {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+    }
+
+    pub fn add(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &lhs) in long.iter().enumerate() {
+            let rhs = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = lhs.overflowing_add(rhs);
+            let (s2, c2) = s1.overflowing_add(carry);
+            carry = (c1 || c2) as u64;
+            out.push(s2);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
+
+    pub fn mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        normalize(&mut out);
+        out
+    }
+
+    /// Monus: empty result when `b > a`.
+    pub fn monus(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if cmp(a, b) == std::cmp::Ordering::Less {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0u64;
+        for (i, &lhs) in a.iter().enumerate() {
+            let rhs = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = lhs.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            borrow = (b1 || b2) as u64;
+            out.push(d2);
+        }
+        assert_eq!(borrow, 0);
+        normalize(&mut out);
+        out
+    }
+
+    pub fn cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+        a.len()
+            .cmp(&b.len())
+            .then_with(|| a.iter().rev().cmp(b.iter().rev()))
+    }
+}
+
+/// Rebuild a `Natural` from reference limbs via `Σ limbᵢ · 2^{64 i}`.
+fn from_ref_limbs(limbs: &[u64]) -> Natural {
+    let mut acc = Natural::zero();
+    for (i, &limb) in limbs.iter().enumerate() {
+        acc += &(&Natural::from(limb) * &Natural::pow2(64 * i as u64));
+    }
+    acc
+}
+
+fn limb_vec() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![Just(0u64), Just(1), Just(u64::MAX), any::<u64>()],
+        0..4,
+    )
+    .prop_map(|mut limbs| {
+        reference::normalize(&mut limbs);
+        limbs
+    })
+}
+
+proptest! {
+    #[test]
+    fn boundary_arithmetic_matches_u128(a in boundary(), b in boundary()) {
+        let (x, y) = (Natural::from(a), Natural::from(b));
+        prop_assert_eq!((&x + &y).to_u128(), a.checked_add(b));
+        prop_assert_eq!(x.monus(&y).to_u128(), Some(a.saturating_sub(b)));
+        prop_assert_eq!(x.cmp(&y), a.cmp(&b));
+        prop_assert_eq!(x.succ().to_u128(), a.checked_add(1));
+        if let Some(product) = a.checked_mul(b) {
+            prop_assert_eq!((&x * &y).to_u128(), Some(product));
+        }
+        let mut doubled = x.clone();
+        doubled.double();
+        prop_assert_eq!(doubled.to_u128(), a.checked_mul(2));
+        // Representation canonicality: values ≤ u64::MAX report as u64.
+        prop_assert_eq!(x.to_u64(), u64::try_from(a).ok());
+    }
+
+    #[test]
+    fn optimized_agrees_with_naive_limb_reference(a in limb_vec(), b in limb_vec()) {
+        let (x, y) = (from_ref_limbs(&a), from_ref_limbs(&b));
+        prop_assert_eq!(&x + &y, from_ref_limbs(&reference::add(&a, &b)));
+        prop_assert_eq!(&x * &y, from_ref_limbs(&reference::mul(&a, &b)));
+        prop_assert_eq!(x.monus(&y), from_ref_limbs(&reference::monus(&a, &b)));
+        prop_assert_eq!(x.cmp(&y), reference::cmp(&a, &b));
+        prop_assert_eq!(x.clone().max(y.clone()), from_ref_limbs(&a).max(from_ref_limbs(&b)));
+        prop_assert_eq!(x.min(y), from_ref_limbs(&a).min(from_ref_limbs(&b)));
+    }
+
+    #[test]
+    fn divmod_agrees_with_reference_roundtrip(a in limb_vec(), d in 1u64..=u64::MAX) {
+        let x = from_ref_limbs(&a);
+        let (q, r) = x.divmod_u64(d);
+        prop_assert!(r < d);
+        // q·d + r = x, recombined through the reference arithmetic.
+        let mut qd = q.clone();
+        qd.mul_u64(d);
+        prop_assert_eq!(&qd + &Natural::from(r), x);
+    }
+}

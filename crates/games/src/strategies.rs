@@ -33,7 +33,7 @@ fn structure_nodes(db: &Database) -> Vec<Value> {
         for (elem, _) in rel.iter() {
             match elem {
                 Value::Tuple(fields) => {
-                    for field in fields {
+                    for field in fields.iter() {
                         if matches!(field, Value::Bag(_)) {
                             nodes.insert(field.clone());
                         }
@@ -328,7 +328,7 @@ impl ConstraintDuplicator {
                     })
                     .collect();
                 if let Some(fields) = synthesized {
-                    out.push(Value::Tuple(fields));
+                    out.push(Value::Tuple(fields.into()));
                 }
                 out.push(pick.clone()); // mirror candidate
                 out

@@ -161,7 +161,7 @@ pub fn compile_counter(machine: &CounterMachine, initial: &[u64]) -> CompiledCou
     for r in 0..k {
         row.push(register_bag(initial.get(r).copied().unwrap_or(0)));
     }
-    let database = Database::new().with("C0", Bag::singleton(Value::Tuple(row)));
+    let database = Database::new().with("C0", Bag::singleton(Value::Tuple(row.into())));
 
     let x = || Expr::var("x");
     let reg_attr = |r: Reg| x().attr(r + 3); // 1 = time, 2 = pc

@@ -99,7 +99,7 @@ impl<'a> RalgEvaluator<'a> {
                 for field in fields {
                     out.push(self.eval_inner(field)?);
                 }
-                Ok(Value::Tuple(out))
+                Ok(Value::Tuple(out.into()))
             }
             RalgExpr::Singleton(e) => {
                 let value = self.eval_inner(e)?;

@@ -184,7 +184,7 @@ pub fn load_table(table: &Table, rows: &[Vec<SqlValue>]) -> Result<Bag, LoadErro
             .zip(&table.columns)
             .map(|(value, column)| encode_value(value, column.numeric))
             .collect::<Result<Vec<_>, _>>()?;
-        bag.insert_with_multiplicity(Value::Tuple(fields), Natural::one());
+        bag.insert_with_multiplicity(Value::Tuple(fields.into()), Natural::one());
     }
     Ok(bag)
 }
