@@ -1,18 +1,21 @@
 //! Ablation benches for the design choices of DESIGN.md §5.
 //!
-//! * `counted_vs_expanded` — the counted `BTreeMap` bag representation vs
-//!   a naive expanded vector (the standard-encoding representation the
+//! * `counted_vs_expanded` — the counted sorted-slice bag representation
+//!   vs a naive expanded vector (the standard-encoding representation the
 //!   paper's complexity measure charges for);
 //! * `powerbag_binomial` — the `Π C(mᵢ, jᵢ)` multiplicity computation vs
 //!   the literal Definition 5.1 renaming `H⁻¹(P(H(B)))`;
-//! * `btree_vs_sorted_vec` — the element index backing `Bag`.
+//! * `btree_vs_sorted_vec` — the ablation that motivated moving `Bag`
+//!   from a `BTreeMap` to the sorted slice (membership and bulk build);
+//! * `builder_vs_insert` — `BagBuilder` batched construction vs repeated
+//!   out-of-order `Bag::insert` (the memmove-per-insert worst case).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 
 use balg_bench::workload_bag;
-use balg_core::bag::Bag;
+use balg_core::bag::{Bag, BagBuilder};
 use balg_core::natural::Natural;
 use balg_core::value::Value;
 
@@ -127,9 +130,35 @@ fn btree_vs_sorted_vec(c: &mut Criterion) {
     group.finish();
 }
 
+fn builder_vs_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_builder_vs_insert");
+    // Descending keys: the worst case for sorted-vec insertion, the case
+    // BagBuilder's overflow buffer exists for.
+    let values: Vec<Value> = (0..512i64).rev().map(Value::int).collect();
+    group.bench_function("bag_insert_descending_512", |bench| {
+        bench.iter(|| {
+            let mut bag = Bag::new();
+            for v in black_box(&values) {
+                bag.insert(v.clone());
+            }
+            bag
+        })
+    });
+    group.bench_function("builder_push_descending_512", |bench| {
+        bench.iter(|| {
+            let mut builder = BagBuilder::new();
+            for v in black_box(&values) {
+                builder.push_one(v.clone());
+            }
+            builder.build()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = counted_vs_expanded, powerbag_binomial, btree_vs_sorted_vec
+    targets = counted_vs_expanded, powerbag_binomial, btree_vs_sorted_vec, builder_vs_insert
 );
 criterion_main!(micro);

@@ -5,7 +5,7 @@
 //! fixed representative queries plus seeded random expression generation,
 //! so runs are reproducible.
 
-use balg_core::bag::Bag;
+use balg_core::bag::{Bag, BagBuilder};
 use balg_core::expr::{Expr, Pred};
 use balg_core::natural::Natural;
 use balg_core::schema::Database;
@@ -17,33 +17,34 @@ use rand::{Rng, SeedableRng};
 /// each with multiplicity in `1..=max_mult`.
 pub fn random_multigraph(seed: u64, nodes: u32, edges: u32, max_mult: u64) -> Bag {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut bag = Bag::new();
+    let mut bag = BagBuilder::with_capacity(edges as usize);
     for _ in 0..edges {
         let from = rng.gen_range(0..nodes) as i64;
         let to = rng.gen_range(0..nodes) as i64;
         let mult = rng.gen_range(1..=max_mult);
-        bag.insert_with_multiplicity(
+        bag.push(
             Value::tuple([Value::int(from), Value::int(to)]),
             Natural::from(mult),
         );
     }
-    bag
+    bag.build()
 }
 
 /// A random unary bag over `domain` values with multiplicities up to
 /// `max_mult`.
 pub fn random_unary_bag(seed: u64, domain: u32, max_mult: u64) -> Bag {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut bag = Bag::new();
+    let mut bag = BagBuilder::new();
     for v in 0..domain {
         if rng.gen_bool(0.6) {
-            bag.insert_with_multiplicity(
+            // In-order pushes (ascending v) append directly.
+            bag.push(
                 Value::tuple([Value::int(v as i64)]),
                 Natural::from(rng.gen_range(1..=max_mult)),
             );
         }
     }
-    bag
+    bag.build()
 }
 
 /// A database with a binary bag `G` and two unary bags `R`, `S`.

@@ -5,21 +5,41 @@
 //! occurrences. The operations here are the data-level semantics of the
 //! BALG operators; the expression AST in [`crate::expr`] composes them.
 //!
-//! The counted `BTreeMap` representation is the optimization the paper's
-//! Section 3 anticipates ("representing each object in association with the
-//! number of its occurrences"); the paper's complexity measure nevertheless
-//! charges for the expanded standard encoding, which
+//! The counted representation is the optimization the paper's Section 3
+//! anticipates ("representing each object in association with the number of
+//! its occurrences"); the paper's complexity measure nevertheless charges
+//! for the expanded standard encoding, which
 //! [`Value::encoded_size`](crate::value::Value::encoded_size) computes.
 //!
-//! The element map lives behind an [`Arc`] with copy-on-write mutation, so
-//! cloning a bag — which the evaluator does for every variable lookup,
-//! every λ binding, and every nested-bag value — is a reference-count bump
-//! rather than a deep copy. Shared clones also unlock pointer-equality
-//! fast paths in `==` and `cmp`, which the `BTreeMap` probes on nested
-//! bags hit constantly.
+//! # Sorted-slice representation
+//!
+//! Elements live in one contiguous slice of `(Value, Natural)` pairs kept
+//! in strictly ascending [`Value`] order with no zero multiplicities — the
+//! two invariants every constructor here re-establishes. Compared to the
+//! previous `BTreeMap`:
+//!
+//! * lookups are a binary search over one allocation (no tree-node hops);
+//! * the merge operations (`∪⁺`, `−`, `∪`, `∩`) are linear two-pointer
+//!   passes producing their output already sorted;
+//! * `powerset`/`powerbag` subbags are bulk-built straight from the
+//!   enumeration (the source entries arrive in element order), skipping
+//!   the per-subbag tree construction that dominated those operators;
+//! * equality, ordering, and hashing are slice operations, and the
+//!   lexicographic order over `(element, multiplicity)` pairs is exactly
+//!   the order the old map iteration induced, so the total [`Value`] order
+//!   of Theorem 5.1's PSPACE encoding is unchanged.
+//!
+//! The slice sits behind an [`Arc`] (as a `Vec`, so a uniquely-owned bag
+//! can still be mutated in place) with copy-on-write mutation: cloning a
+//! bag — which the evaluator does for every variable lookup, every λ
+//! binding, and every nested-bag value — is a reference-count bump, and
+//! shared clones unlock pointer-equality fast paths in `==` and `cmp`.
+//!
+//! Insert-heavy construction goes through [`BagBuilder`], which batches
+//! out-of-order insertions and merges them in bulk instead of paying a
+//! `memmove` per insertion.
 
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
@@ -34,17 +54,23 @@ pub enum BagError {
     NotATuple(Value),
     /// Bag-destroy `δ` applied to a bag whose elements are not bags.
     NotABag(Value),
-    /// Attribute projection `αᵢ` with an out-of-range index.
+    /// Attribute projection `α₀`: attribute indices are 1-based, so index
+    /// zero is invalid on every tuple (distinct from [`BagError::BadArity`],
+    /// which reports a positive index past the tuple's arity).
+    AttrIndexZero,
+    /// Attribute projection `αᵢ` with an out-of-range index `i ≥ 1`.
     BadArity {
         /// Requested 1-based attribute index.
         index: usize,
         /// Actual tuple arity.
         arity: usize,
     },
-    /// Powerset/powerbag output would exceed the caller's element budget.
-    /// `predicted` is the exact number of distinct subbags, `Π(mᵢ+1)`.
+    /// An operator's output would exceed the caller's element budget.
+    /// `predicted` is the exact predicted count for powerset/powerbag
+    /// (`Π(mᵢ+1)` distinct subbags) and the distinct-pair upper bound
+    /// `|B|·|B′|` for the Cartesian product.
     TooLarge {
-        /// Exact predicted number of distinct output elements.
+        /// Predicted number of distinct output elements.
         predicted: Natural,
         /// The caller-imposed budget.
         limit: u64,
@@ -56,12 +82,15 @@ impl fmt::Display for BagError {
         match self {
             BagError::NotATuple(v) => write!(f, "expected a tuple element, got {v}"),
             BagError::NotABag(v) => write!(f, "expected a bag element, got {v}"),
+            BagError::AttrIndexZero => {
+                f.write_str("attribute indices are 1-based: α0 is not a valid attribute")
+            }
             BagError::BadArity { index, arity } => {
                 write!(f, "attribute α{index} out of range for arity {arity}")
             }
             BagError::TooLarge { predicted, limit } => write!(
                 f,
-                "powerset would produce {predicted} subbags, over the limit of {limit}"
+                "operator would produce {predicted} elements, over the limit of {limit}"
             ),
         }
     }
@@ -69,25 +98,39 @@ impl fmt::Display for BagError {
 
 impl std::error::Error for BagError {}
 
+/// Resolve the 1-based attribute `index` in a tuple's fields — the shared
+/// `αᵢ` semantics of the BALG and RALG evaluators. Index 0 is rejected
+/// explicitly as [`BagError::AttrIndexZero`] (attribute indices are
+/// 1-based; the old `wrapping_sub` lookup happened to miss but produced a
+/// misleading `BadArity { index: 0, .. }`), and positive out-of-range
+/// indices report the actual arity.
+pub fn attr_field(fields: &[Value], index: usize) -> Result<&Value, BagError> {
+    let i = index.checked_sub(1).ok_or(BagError::AttrIndexZero)?;
+    fields.get(i).ok_or(BagError::BadArity {
+        index,
+        arity: fields.len(),
+    })
+}
+
 /// A homogeneous bag of [`Value`]s with exact [`Natural`] multiplicities.
 ///
-/// Invariant: no element is stored with multiplicity zero, so equality and
-/// ordering of bags are canonical. Iteration is in the total [`Value`]
-/// order, which the PSPACE encoding of Theorem 5.1 relies on.
+/// Invariant: the pair slice is strictly ascending in [`Value`] order and
+/// stores no multiplicity-zero entries, so equality and ordering of bags
+/// are canonical and iteration is in the total [`Value`] order, which the
+/// PSPACE encoding of Theorem 5.1 relies on.
 ///
 /// Cloning is `O(1)` (shared `Arc`); the first mutation of a shared bag
-/// copies the element map (copy-on-write).
+/// copies the pair slice (copy-on-write).
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bag {
-    elems: Arc<BTreeMap<Value, Natural>>,
+    elems: Arc<Vec<(Value, Natural)>>,
 }
 
 /// All empty bags share one allocation, so `Bag::new()` is free and
 /// comparisons against the empty bag hit the pointer-equality fast path.
-fn shared_empty() -> Arc<BTreeMap<Value, Natural>> {
-    static EMPTY: OnceLock<Arc<BTreeMap<Value, Natural>>> = OnceLock::new();
-    EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone()
+fn shared_empty() -> Arc<Vec<(Value, Natural)>> {
+    static EMPTY: OnceLock<Arc<Vec<(Value, Natural)>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
 }
 
 impl Default for Bag {
@@ -115,6 +158,9 @@ impl Ord for Bag {
         if Arc::ptr_eq(&self.elems, &other.elems) {
             return Ordering::Equal;
         }
+        // Lexicographic over (element, multiplicity) pairs in element
+        // order — identical to the order the BTreeMap representation
+        // induced, so `Value`'s total order is unchanged.
         self.elems.cmp(&other.elems)
     }
 }
@@ -133,44 +179,58 @@ impl Bag {
         }
     }
 
-    /// Copy-on-write access to the element map.
-    fn elems_mut(&mut self) -> &mut BTreeMap<Value, Natural> {
-        Arc::make_mut(&mut self.elems)
+    /// Wrap a pair vector that already satisfies the representation
+    /// invariant (strictly ascending keys, no zero multiplicities).
+    fn from_sorted_vec(pairs: Vec<(Value, Natural)>) -> Bag {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bag keys must be strictly ascending"
+        );
+        debug_assert!(
+            pairs.iter().all(|(_, m)| !m.is_zero()),
+            "bags store no zero multiplicities"
+        );
+        if pairs.is_empty() {
+            return Bag::new();
+        }
+        Bag {
+            elems: Arc::new(pairs),
+        }
     }
 
     /// The bagging constructor `β(o) = ⟦o⟧`: a bag where `o` 1-belongs.
     pub fn singleton(value: Value) -> Bag {
-        let mut bag = Bag::new();
-        bag.insert(value);
-        bag
+        Bag::from_sorted_vec(vec![(value, Natural::one())])
     }
 
     /// A bag containing `count` occurrences of `value` — the paper's `Bᵗᵢ`
     /// notation and its integer encoding (an integer `i` is the bag with
     /// `i` occurrences of a fixed constant).
     pub fn repeated(value: Value, count: impl Into<Natural>) -> Bag {
-        let mut bag = Bag::new();
-        bag.insert_with_multiplicity(value, count.into());
-        bag
+        let count = count.into();
+        if count.is_zero() {
+            return Bag::new();
+        }
+        Bag::from_sorted_vec(vec![(value, count)])
     }
 
     /// Build from values, each contributing one occurrence.
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Bag {
-        let mut bag = Bag::new();
+        let mut builder = BagBuilder::new();
         for value in values {
-            bag.insert(value);
+            builder.push_one(value);
         }
-        bag
+        builder.build()
     }
 
     /// Build from `(value, multiplicity)` pairs; zero multiplicities are
     /// dropped, duplicate keys accumulate.
     pub fn from_counted(pairs: impl IntoIterator<Item = (Value, Natural)>) -> Bag {
-        let mut bag = Bag::new();
+        let mut builder = BagBuilder::new();
         for (value, mult) in pairs {
-            bag.insert_with_multiplicity(value, mult);
+            builder.push(value, mult);
         }
-        bag
+        builder.build()
     }
 
     /// Add one occurrence of `value`.
@@ -179,27 +239,48 @@ impl Bag {
     }
 
     /// Add `mult` occurrences of `value` (no-op when `mult` is zero).
+    ///
+    /// Appending past the current maximum element is `O(1)` amortized;
+    /// out-of-order insertion into a uniquely-owned bag is a binary search
+    /// plus a `memmove`. Prefer [`BagBuilder`] for loops that insert in
+    /// arbitrary order.
     pub fn insert_with_multiplicity(&mut self, value: Value, mult: Natural) {
         if mult.is_zero() {
             return;
         }
-        *self.elems_mut().entry(value).or_default() += &mult;
+        let elems = Arc::make_mut(&mut self.elems);
+        match elems.last_mut() {
+            None => elems.push((value, mult)),
+            Some(last) => match last.0.cmp(&value) {
+                Ordering::Less => elems.push((value, mult)),
+                Ordering::Equal => last.1 += &mult,
+                Ordering::Greater => match elems.binary_search_by(|probe| probe.0.cmp(&value)) {
+                    Ok(ix) => elems[ix].1 += &mult,
+                    Err(ix) => elems.insert(ix, (value, mult)),
+                },
+            },
+        }
     }
 
     /// The number of occurrences of `o` — the `n` such that `o` n-belongs.
     pub fn multiplicity(&self, value: &Value) -> Natural {
-        self.elems.get(value).cloned().unwrap_or_default()
+        match self.elems.binary_search_by(|probe| probe.0.cmp(value)) {
+            Ok(ix) => self.elems[ix].1.clone(),
+            Err(_) => Natural::zero(),
+        }
     }
 
     /// `true` iff `o` p-belongs for some `p > 0`.
     pub fn contains(&self, value: &Value) -> bool {
-        self.elems.contains_key(value)
+        self.elems
+            .binary_search_by(|probe| probe.0.cmp(value))
+            .is_ok()
     }
 
     /// Total number of occurrences, `Σ mᵢ` (the paper's bag size up to
     /// encoding constants).
     pub fn cardinality(&self) -> Natural {
-        self.elems.values().sum()
+        self.elems.iter().map(|(_, m)| m).sum()
     }
 
     /// Number of distinct elements.
@@ -214,32 +295,59 @@ impl Bag {
 
     /// Iterate over `(element, multiplicity)` in element order.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, &Natural)> {
-        self.elems.iter()
+        self.elems.iter().map(|(v, m)| (v, m))
     }
 
     /// Iterate over distinct elements in order.
     pub fn elements(&self) -> impl Iterator<Item = &Value> {
-        self.elems.keys()
+        self.elems.iter().map(|(v, _)| v)
     }
 
     /// The maximal multiplicity of any element (zero for the empty bag).
     /// This is the quantity bounded polynomially in Theorem 4.4 and
     /// exponentially in Theorem 5.1.
     pub fn max_multiplicity(&self) -> Natural {
-        self.elems.values().max().cloned().unwrap_or_default()
+        self.elems
+            .iter()
+            .map(|(_, m)| m)
+            .max()
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Subbag test `B ⊑ B′`: whenever `o` n-belongs to `B`, `o` p-belongs
-    /// to `B′` for some `p ≥ n`.
+    /// to `B′` for some `p ≥ n`. A single merge walk over the two sorted
+    /// slices.
     pub fn is_subbag_of(&self, other: &Bag) -> bool {
-        self.elems
-            .iter()
-            .all(|(value, mult)| &other.multiplicity(value) >= mult)
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            return true;
+        }
+        if self.distinct_count() > other.distinct_count() {
+            return false;
+        }
+        let mut others = other.elems.iter();
+        'next: for (value, mult) in self.elems.iter() {
+            for (ov, om) in others.by_ref() {
+                match ov.cmp(value) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => {
+                        if om >= mult {
+                            continue 'next;
+                        }
+                        return false;
+                    }
+                    Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
     }
 
     // ----- basic bag operations (Section 3) -----
 
-    /// Additive union `B ∪⁺ B′`: multiplicities add (`n = p + q`).
+    /// Additive union `B ∪⁺ B′`: multiplicities add (`n = p + q`). A
+    /// linear two-pointer merge.
     pub fn additive_union(&self, other: &Bag) -> Bag {
         if self.is_empty() {
             return other.clone();
@@ -247,12 +355,17 @@ impl Bag {
         if other.is_empty() {
             return self.clone();
         }
-        let mut out = self.clone();
-        let elems = out.elems_mut();
-        for (value, mult) in other.elems.iter() {
-            *elems.entry(value.clone()).or_default() += mult;
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            return self.scale(&Natural::from(2u64));
         }
-        out
+        Bag::from_sorted_vec(merge_sorted_pairs(
+            self.elems.iter().cloned(),
+            other.elems.iter().cloned(),
+            |mut x, y| {
+                x += &y;
+                x
+            },
+        ))
     }
 
     /// Subtraction `B − B′`: monus on multiplicities (`n = sup(0, p − q)`).
@@ -260,64 +373,111 @@ impl Bag {
         if other.is_empty() {
             return self.clone();
         }
-        let mut out = Bag::new();
-        for (value, mult) in self.elems.iter() {
-            let rem = mult.monus(&other.multiplicity(value));
-            out.insert_with_multiplicity(value.clone(), rem);
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            return Bag::new();
         }
-        out
+        let mut out = Vec::with_capacity(self.elems.len());
+        let mut others = other.elems.iter().peekable();
+        for (value, mult) in self.elems.iter() {
+            while let Some((ov, _)) = others.peek() {
+                if *ov < *value {
+                    others.next();
+                } else {
+                    break;
+                }
+            }
+            match others.peek() {
+                Some((ov, om)) if *ov == *value => {
+                    let rem = mult.monus(om);
+                    if !rem.is_zero() {
+                        out.push((value.clone(), rem));
+                    }
+                    others.next();
+                }
+                _ => out.push((value.clone(), mult.clone())),
+            }
+        }
+        Bag::from_sorted_vec(out)
     }
 
     /// Maximal union `B ∪ B′`: `n = sup(p, q)`.
     pub fn max_union(&self, other: &Bag) -> Bag {
-        if self.is_empty() {
+        if self.is_empty() || Arc::ptr_eq(&self.elems, &other.elems) {
             return other.clone();
         }
         if other.is_empty() {
             return self.clone();
         }
-        let mut out = self.clone();
-        let elems = out.elems_mut();
-        for (value, mult) in other.elems.iter() {
-            let entry = elems.entry(value.clone()).or_default();
-            if &*entry < mult {
-                *entry = mult.clone();
-            }
-        }
-        out
+        Bag::from_sorted_vec(merge_sorted_pairs(
+            self.elems.iter().cloned(),
+            other.elems.iter().cloned(),
+            |x, y| x.max(y),
+        ))
     }
 
     /// Intersection `B ∩ B′`: `n = inf(p, q)`.
     ///
-    /// Iterates the side with fewer distinct elements (the operation is
-    /// symmetric and absent elements have multiplicity zero), so
-    /// intersecting a huge bag with a small one probes the huge map only
-    /// `|small|` times.
+    /// Symmetric, and absent elements have multiplicity zero, so only the
+    /// side with fewer distinct elements is walked: when the sizes are
+    /// close this is a two-pointer merge; when one side is much smaller it
+    /// binary-searches the big side over a shrinking suffix.
     pub fn intersect(&self, other: &Bag) -> Bag {
+        if Arc::ptr_eq(&self.elems, &other.elems) {
+            return self.clone();
+        }
         let (small, big) = if self.distinct_count() <= other.distinct_count() {
             (self, other)
         } else {
             (other, self)
         };
-        let mut out = Bag::new();
-        for (value, mult) in small.elems.iter() {
-            let min = mult.clone().min(big.multiplicity(value));
-            out.insert_with_multiplicity(value.clone(), min);
+        if small.is_empty() {
+            return Bag::new();
         }
-        out
+        let mut out = Vec::with_capacity(small.elems.len());
+        if small.elems.len() * 16 < big.elems.len() {
+            let mut lo = 0usize;
+            for (value, mult) in small.elems.iter() {
+                match big.elems[lo..].binary_search_by(|probe| probe.0.cmp(value)) {
+                    Ok(ix) => {
+                        out.push((value.clone(), mult.min(&big.elems[lo + ix].1).clone()));
+                        lo += ix + 1;
+                    }
+                    Err(ix) => lo += ix,
+                }
+            }
+        } else {
+            let mut bigs = big.elems.iter().peekable();
+            for (value, mult) in small.elems.iter() {
+                while let Some((bv, _)) = bigs.peek() {
+                    if *bv < *value {
+                        bigs.next();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some((bv, bm)) = bigs.peek() {
+                    if *bv == *value {
+                        out.push((value.clone(), mult.min(bm).clone()));
+                        bigs.next();
+                    }
+                }
+            }
+        }
+        Bag::from_sorted_vec(out)
     }
 
     /// Duplicate elimination `ε(B)`: each element of `B` 1-belongs to the
-    /// result.
+    /// result. Already-duplicate-free bags are shared, not copied.
     pub fn dedup(&self) -> Bag {
-        Bag {
-            elems: Arc::new(
-                self.elems
-                    .keys()
-                    .map(|value| (value.clone(), Natural::one()))
-                    .collect(),
-            ),
+        if self.elems.iter().all(|(_, m)| m.is_one()) {
+            return self.clone();
         }
+        Bag::from_sorted_vec(
+            self.elems
+                .iter()
+                .map(|(value, _)| (value.clone(), Natural::one()))
+                .collect(),
+        )
     }
 
     /// Scale every multiplicity by `factor` (used by `δ` on nested bags
@@ -329,37 +489,85 @@ impl Bag {
         if factor.is_one() {
             return self.clone();
         }
-        Bag {
-            elems: Arc::new(
-                self.elems
-                    .iter()
-                    .map(|(value, mult)| (value.clone(), mult * factor))
-                    .collect(),
-            ),
-        }
+        Bag::from_sorted_vec(
+            self.elems
+                .iter()
+                .map(|(value, mult)| (value.clone(), mult * factor))
+                .collect(),
+        )
     }
 
     // ----- constructive operations -----
 
     /// Cartesian product `B × B′` on bags of tuples: tuples concatenate and
-    /// multiplicities multiply (`n = p·q`).
-    pub fn product(&self, other: &Bag) -> Result<Bag, BagError> {
-        let mut out = Bag::new();
-        for (left, lm) in self.elems.iter() {
-            let left_fields = left
+    /// multiplicities multiply (`n = p·q`). The distinct-element budget is
+    /// enforced *inside* the loop, so an over-budget product reports
+    /// [`BagError::TooLarge`] without ever materializing the full
+    /// `|B|·|B′|` intermediate.
+    ///
+    /// When every left element has the same arity the concatenated tuples
+    /// inherit the operands' order, so the output is emitted already
+    /// sorted and duplicate-free; mixed left arities fall back to a
+    /// [`BagBuilder`] (concatenations can collide, merging multiplicities).
+    pub fn product(&self, other: &Bag, max_elements: u64) -> Result<Bag, BagError> {
+        if self.is_empty() {
+            return Ok(Bag::new());
+        }
+        let mut left_arity: Option<usize> = None;
+        let mut uniform = true;
+        for (value, _) in self.elems.iter() {
+            let fields = value
                 .as_tuple()
-                .ok_or_else(|| BagError::NotATuple(left.clone()))?;
-            for (right, rm) in other.elems.iter() {
-                let right_fields = right
-                    .as_tuple()
-                    .ok_or_else(|| BagError::NotATuple(right.clone()))?;
-                out.insert_with_multiplicity(
-                    Value::concat_tuples(left_fields, right_fields),
-                    lm * rm,
-                );
+                .ok_or_else(|| BagError::NotATuple(value.clone()))?;
+            match left_arity {
+                None => left_arity = Some(fields.len()),
+                Some(a) if a == fields.len() => {}
+                Some(_) => uniform = false,
             }
         }
-        Ok(out)
+        let predicted = || {
+            &Natural::from(self.distinct_count() as u64)
+                * &Natural::from(other.distinct_count() as u64)
+        };
+        if uniform {
+            let cap = (self.elems.len() as u128 * other.elems.len() as u128)
+                .min(max_elements as u128) as usize;
+            let mut out: Vec<(Value, Natural)> = Vec::with_capacity(cap);
+            for (left, lm) in self.elems.iter() {
+                let left_fields = left.as_tuple().expect("scanned above");
+                for (right, rm) in other.elems.iter() {
+                    let right_fields = right
+                        .as_tuple()
+                        .ok_or_else(|| BagError::NotATuple(right.clone()))?;
+                    if out.len() as u64 >= max_elements {
+                        return Err(BagError::TooLarge {
+                            predicted: predicted(),
+                            limit: max_elements,
+                        });
+                    }
+                    out.push((Value::concat_tuples(left_fields, right_fields), lm * rm));
+                }
+            }
+            Ok(Bag::from_sorted_vec(out))
+        } else {
+            let mut out = BagBuilder::new();
+            for (left, lm) in self.elems.iter() {
+                let left_fields = left.as_tuple().expect("scanned above");
+                for (right, rm) in other.elems.iter() {
+                    let right_fields = right
+                        .as_tuple()
+                        .ok_or_else(|| BagError::NotATuple(right.clone()))?;
+                    out.push(Value::concat_tuples(left_fields, right_fields), lm * rm);
+                    if out.ensure_distinct_within(max_elements).is_err() {
+                        return Err(BagError::TooLarge {
+                            predicted: predicted(),
+                            limit: max_elements,
+                        });
+                    }
+                }
+            }
+            Ok(out.build())
+        }
     }
 
     /// Powerset `P(B) = ⟦b | b ⊑ B⟧`: one occurrence of **each distinct
@@ -367,19 +575,39 @@ impl Bag {
     /// that count explodes, callers pass an element budget and receive
     /// [`BagError::TooLarge`] when the exact predicted count exceeds it.
     pub fn powerset(&self, max_elements: u64) -> Result<Bag, BagError> {
-        // Distinct subbags are enumerated exactly once, so the output map
-        // can be bulk-built from the collected pairs (sort + linear build)
-        // instead of paying a B-tree insert per subbag. The capacity is
-        // clamped to the caller's budget, never trusted from a raw
-        // `to_u64` conversion.
+        // Each subbag is bulk-built from the enumeration (the source
+        // entries arrive in element order, so the subbag slice is born
+        // sorted); the collected output is one sort away from the bag
+        // invariant — distinct subbags are enumerated exactly once, so no
+        // merge pass is needed. The capacity is clamped to the caller's
+        // budget, never trusted from a raw `to_u64` conversion.
         let predicted = self.powerset_cardinality();
+        // One distinct element — the paper's integer encoding `⟦a^n⟧`:
+        // the n+1 subbags ⟦⟧, ⟦a⟧, …, ⟦a^n⟧ are emitted directly, already
+        // in ascending bag order (multiplicities compare last).
+        if self.elems.len() == 1 {
+            if predicted > Natural::from(max_elements) {
+                return Err(BagError::TooLarge {
+                    predicted,
+                    limit: max_elements,
+                });
+            }
+            let (value, mult) = &self.elems[0];
+            let n = mult.to_u64().expect("bounded by the element budget");
+            let mut pairs = Vec::with_capacity(n as usize + 1);
+            pairs.push((Value::Bag(Bag::new()), Natural::one()));
+            for k in 1..=n {
+                let sub = Bag::from_sorted_vec(vec![(value.clone(), Natural::from(k))]);
+                pairs.push((Value::Bag(sub), Natural::one()));
+            }
+            return Ok(Bag::from_sorted_vec(pairs));
+        }
         let mut pairs = Vec::with_capacity(subbag_capacity(&predicted, max_elements));
         self.for_each_subbag(predicted, max_elements, |entries, counts| {
             pairs.push((Value::Bag(build_subbag(entries, counts)), Natural::one()));
         })?;
-        Ok(Bag {
-            elems: Arc::new(pairs.into_iter().collect()),
-        })
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(Bag::from_sorted_vec(pairs))
     }
 
     /// The exact number of distinct subbags, `Π (mᵢ + 1)` — what
@@ -387,7 +615,7 @@ impl Bag {
     /// `n` copies of one constant.)
     pub fn powerset_cardinality(&self) -> Natural {
         let mut total = Natural::one();
-        for mult in self.elems.values() {
+        for (_, mult) in self.elems.iter() {
             total *= &mult.succ();
         }
         total
@@ -407,9 +635,8 @@ impl Bag {
             }
             pairs.push((Value::Bag(build_subbag(entries, counts)), weight));
         })?;
-        Ok(Bag {
-            elems: Arc::new(pairs.into_iter().collect()),
-        })
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Ok(Bag::from_sorted_vec(pairs))
     }
 
     /// The exact total cardinality of `P_b(B)`, namely `2^|B|`.
@@ -435,7 +662,7 @@ impl Bag {
     pub fn destroy(&self) -> Result<Bag, BagError> {
         // δ(⟦x⟧) = x: share the inner bag instead of rebuilding it.
         if self.distinct_count() == 1 {
-            let (value, mult) = self.elems.iter().next().expect("one element");
+            let (value, mult) = self.elems.first().expect("one element");
             let inner = value
                 .as_bag()
                 .ok_or_else(|| BagError::NotABag(value.clone()))?;
@@ -445,16 +672,16 @@ impl Bag {
                 inner.scale(mult)
             });
         }
-        let mut out = Bag::new();
+        let mut out = BagBuilder::new();
         for (value, mult) in self.elems.iter() {
             let inner = value
                 .as_bag()
                 .ok_or_else(|| BagError::NotABag(value.clone()))?;
             for (elem, inner_mult) in inner.iter() {
-                out.insert_with_multiplicity(elem.clone(), inner_mult * mult);
+                out.push(elem.clone(), inner_mult * mult);
             }
         }
-        Ok(out)
+        Ok(out.build())
     }
 
     // ----- filters -----
@@ -462,23 +689,24 @@ impl Bag {
     /// Restructuring `MAP_φ(B)`: applies `φ` to every member; images
     /// accumulate multiplicities (`n = n₁ + ⋯ + n_l` over the preimages).
     pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<Bag, E> {
-        let mut out = Bag::new();
+        let mut out = BagBuilder::new();
         for (value, mult) in self.elems.iter() {
-            out.insert_with_multiplicity(f(value)?, mult.clone());
+            out.push(f(value)?, mult.clone());
         }
-        Ok(out)
+        Ok(out.build())
     }
 
     /// Selection `σ(B)`: keeps elements satisfying the predicate with their
-    /// multiplicities.
+    /// multiplicities. The output is a subsequence of the sorted slice, so
+    /// it is built directly (no re-sorting).
     pub fn select<E>(&self, mut pred: impl FnMut(&Value) -> Result<bool, E>) -> Result<Bag, E> {
-        let mut out = Bag::new();
+        let mut out = Vec::new();
         for (value, mult) in self.elems.iter() {
             if pred(value)? {
-                out.insert_with_multiplicity(value.clone(), mult.clone());
+                out.push((value.clone(), mult.clone()));
             }
         }
-        Ok(out)
+        Ok(Bag::from_sorted_vec(out))
     }
 
     /// Projection helper `π_{i₁,…,iₙ}` over 1-based attribute indices —
@@ -490,10 +718,7 @@ impl Bag {
                 .ok_or_else(|| BagError::NotATuple(value.clone()))?;
             let mut out = Vec::with_capacity(indices.len());
             for &ix in indices {
-                let field = fields.get(ix.checked_sub(1).ok_or(BagError::BadArity {
-                    index: ix,
-                    arity: fields.len(),
-                })?);
+                let field = fields.get(ix.checked_sub(1).ok_or(BagError::AttrIndexZero)?);
                 out.push(
                     field
                         .ok_or(BagError::BadArity {
@@ -531,20 +756,18 @@ impl Bag {
                 group.contains(&(i + 1))
             }
         };
-        let mut groups: BTreeMap<Vec<Value>, Bag> = BTreeMap::new();
+        let mut groups: BTreeMap<Vec<Value>, BagBuilder> = BTreeMap::new();
         for (row, mult) in self.elems.iter() {
             let fields = row
                 .as_tuple()
                 .ok_or_else(|| BagError::NotATuple(row.clone()))?;
             let mut key = Vec::with_capacity(group.len());
             for &ix in group {
-                let field =
-                    ix.checked_sub(1)
-                        .and_then(|i| fields.get(i))
-                        .ok_or(BagError::BadArity {
-                            index: ix,
-                            arity: fields.len(),
-                        })?;
+                let i = ix.checked_sub(1).ok_or(BagError::AttrIndexZero)?;
+                let field = fields.get(i).ok_or(BagError::BadArity {
+                    index: ix,
+                    arity: fields.len(),
+                })?;
                 key.push(field.clone());
             }
             let residual: Vec<Value> = fields
@@ -556,15 +779,18 @@ impl Bag {
             groups
                 .entry(key)
                 .or_default()
-                .insert_with_multiplicity(Value::Tuple(residual.into()), mult.clone());
+                .push(Value::Tuple(residual.into()), mult.clone());
         }
-        let mut out = Bag::new();
+        // Group keys come out of the map in ascending order; the output
+        // tuples all share one arity and differ within the key prefix, so
+        // they are emitted already sorted and distinct.
+        let mut out = Vec::with_capacity(groups.len());
         for (key, inner) in groups {
             let mut fields = key;
-            fields.push(Value::Bag(inner));
-            out.insert(Value::Tuple(fields.into()));
+            fields.push(Value::Bag(inner.build()));
+            out.push((Value::Tuple(fields.into()), Natural::one()));
         }
-        Ok(out)
+        Ok(Bag::from_sorted_vec(out))
     }
 
     /// Shared subbag enumeration for `P` and `P_b`: calls `f` once per
@@ -588,7 +814,7 @@ impl Bag {
                 limit: max_elements,
             });
         }
-        let entries: Vec<(&Value, &Natural)> = self.elems.iter().collect();
+        let entries: Vec<(&Value, &Natural)> = self.iter().collect();
         // Since Π(mᵢ+1) ≤ max_elements (a u64), every mᵢ fits in u64.
         let bounds: Vec<u64> = entries
             .iter()
@@ -621,24 +847,227 @@ fn subbag_capacity(predicted: &Natural, max_elements: u64) -> usize {
 }
 
 /// Materialize one subbag choice: `counts[i]` occurrences of the `i`-th
-/// source entry. Subbags are small (bounded by the source's distinct
-/// count), where plain inserts beat the `FromIterator` sort-and-bulk-build
-/// machinery; keys arrive in element order, so every insert appends.
+/// source entry. The source entries arrive in element order, so the pair
+/// vector is born satisfying the bag invariant — no per-subbag tree or
+/// sort, just a filtered copy.
 fn build_subbag(entries: &[(&Value, &Natural)], counts: &[u64]) -> Bag {
-    let mut elems: BTreeMap<Value, Natural> = BTreeMap::new();
+    let mut pairs = Vec::with_capacity(counts.iter().filter(|&&c| c > 0).count());
     for ((value, _), &count) in entries.iter().zip(counts) {
         if count > 0 {
-            elems.insert((*value).clone(), Natural::from(count));
+            pairs.push(((*value).clone(), Natural::from(count)));
         }
     }
-    Bag {
-        elems: Arc::new(elems),
+    Bag::from_sorted_vec(pairs)
+}
+
+/// Two-pointer merge of two sorted pair slices: keys present on one side
+/// pass through, keys present on both are combined with `combine`. The
+/// shared skeleton of `∪⁺`, `∪` and [`BagBuilder::compact`] — `combine`
+/// must return a nonzero multiplicity for nonzero inputs, which `+` and
+/// `sup` both do.
+fn merge_sorted_pairs(
+    a: impl IntoIterator<Item = (Value, Natural)>,
+    b: impl IntoIterator<Item = (Value, Natural)>,
+    mut combine: impl FnMut(Natural, Natural) -> Natural,
+) -> Vec<(Value, Natural)> {
+    let (mut a, mut b) = (a.into_iter().peekable(), b.into_iter().peekable());
+    let mut out = Vec::with_capacity(a.size_hint().0 + b.size_hint().0);
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some((av, _)), Some((bv, _))) => match av.cmp(bv) {
+                Ordering::Less => out.push(a.next().expect("peeked")),
+                Ordering::Greater => out.push(b.next().expect("peeked")),
+                Ordering::Equal => {
+                    let (value, am) = a.next().expect("peeked");
+                    let (_, bm) = b.next().expect("peeked");
+                    out.push((value, combine(am, bm)));
+                }
+            },
+            (Some(_), None) => {
+                out.extend(a);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(b);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// An accumulator for building a [`Bag`] by repeated insertion in
+/// arbitrary order.
+///
+/// In-order insertions (each key ≥ the current maximum) append directly.
+/// Out-of-order insertions first try to merge into an existing entry by
+/// binary search (no shifting); genuinely new out-of-order keys land in a
+/// small unsorted overflow buffer that is sorted and bulk-merged once it
+/// grows past a fraction of the sorted prefix — `O(log n)` amortized per
+/// insertion instead of the `O(n)` memmove a sorted `Vec` would pay.
+///
+/// The element budget of resource-limited evaluation is enforceable
+/// mid-build via [`BagBuilder::ensure_distinct_within`], which is exact
+/// whenever it matters: the distinct count can only exceed the budget if
+/// `sorted + overflow` does, and that triggers a compaction.
+#[derive(Default)]
+pub struct BagBuilder {
+    /// Strictly ascending, no zero multiplicities — a valid bag prefix.
+    sorted: Vec<(Value, Natural)>,
+    /// Unordered overflow of keys that were new and out-of-order when
+    /// pushed. May contain internal duplicates; disjoint from `sorted`
+    /// only at push time.
+    pending: Vec<(Value, Natural)>,
+}
+
+impl BagBuilder {
+    /// Minimum overflow size before a bulk merge.
+    const COMPACT_MIN: usize = 32;
+
+    /// An empty builder.
+    pub fn new() -> BagBuilder {
+        BagBuilder::default()
+    }
+
+    /// An empty builder with room for `cap` in-order insertions.
+    pub fn with_capacity(cap: usize) -> BagBuilder {
+        BagBuilder {
+            sorted: Vec::with_capacity(cap),
+            pending: Vec::new(),
+        }
+    }
+
+    /// `true` iff nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty() && self.pending.is_empty()
+    }
+
+    /// Add one occurrence of `value`.
+    pub fn push_one(&mut self, value: Value) {
+        self.push(value, Natural::one());
+    }
+
+    /// Add `mult` occurrences of `value` (no-op when `mult` is zero).
+    pub fn push(&mut self, value: Value, mult: Natural) {
+        if mult.is_zero() {
+            return;
+        }
+        match self.sorted.last_mut() {
+            None => {
+                self.sorted.push((value, mult));
+                return;
+            }
+            Some(last) => match last.0.cmp(&value) {
+                Ordering::Less => {
+                    self.sorted.push((value, mult));
+                    return;
+                }
+                Ordering::Equal => {
+                    last.1 += &mult;
+                    return;
+                }
+                Ordering::Greater => {}
+            },
+        }
+        // Out of order: merging into an existing entry needs no shift.
+        if let Ok(ix) = self.sorted.binary_search_by(|probe| probe.0.cmp(&value)) {
+            self.sorted[ix].1 += &mult;
+            return;
+        }
+        self.pending.push((value, mult));
+        if self.pending.len() >= Self::COMPACT_MIN.max(self.sorted.len() / 2) {
+            self.compact();
+        }
+    }
+
+    /// An upper bound on the number of distinct elements pushed so far
+    /// (exact when the overflow buffer is empty).
+    pub fn distinct_upper_bound(&self) -> usize {
+        self.sorted.len() + self.pending.len()
+    }
+
+    /// Enforce a distinct-element budget mid-build: `Err(observed)` with
+    /// the exact distinct count as soon as it exceeds `limit`. Cheap when
+    /// comfortably under budget (two integer adds); compacts the overflow
+    /// buffer only when the upper bound crosses the limit.
+    pub fn ensure_distinct_within(&mut self, limit: u64) -> Result<(), u64> {
+        if (self.sorted.len() + self.pending.len()) as u64 <= limit {
+            return Ok(());
+        }
+        self.compact();
+        let observed = self.sorted.len() as u64;
+        if observed > limit {
+            Err(observed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sort the overflow buffer and bulk-merge it into the sorted prefix.
+    fn compact(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by(|a, b| a.0.cmp(&b.0));
+        // Collapse duplicate keys within the overflow.
+        let mut merged: Vec<(Value, Natural)> = Vec::with_capacity(pending.len());
+        for (value, mult) in pending {
+            match merged.last_mut() {
+                Some(last) if last.0 == value => last.1 += &mult,
+                _ => merged.push((value, mult)),
+            }
+        }
+        let old = std::mem::take(&mut self.sorted);
+        self.sorted = merge_sorted_pairs(old, merged, |mut x, y| {
+            x += &y;
+            x
+        });
+    }
+
+    /// Finish into a [`Bag`].
+    pub fn build(mut self) -> Bag {
+        self.compact();
+        Bag::from_sorted_vec(self.sorted)
+    }
+
+    /// Finish into a duplicate-free [`Bag`] (every multiplicity clamped to
+    /// one) — the set-semantics variant the RALG layer builds with.
+    pub fn build_set(mut self) -> Bag {
+        self.compact();
+        for pair in &mut self.sorted {
+            if !pair.1.is_one() {
+                pair.1 = Natural::one();
+            }
+        }
+        Bag::from_sorted_vec(self.sorted)
     }
 }
 
 impl FromIterator<Value> for Bag {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
         Bag::from_values(iter)
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! The pair slice serializes as a sequence of `(value, multiplicity)`
+    //! pairs; deserialization rebuilds through [`Bag::from_counted`], so
+    //! foreign input cannot violate the sorted-slice invariant.
+    use super::*;
+
+    impl serde::Serialize for Bag {
+        fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            serializer.collect_seq(self.elems.iter())
+        }
+    }
+
+    impl<'de> serde::Deserialize<'de> for Bag {
+        fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Bag, D::Error> {
+            Vec::<(Value, Natural)>::deserialize(deserializer).map(Bag::from_counted)
+        }
     }
 }
 
@@ -678,6 +1107,13 @@ mod tests {
         Bag::from_counted(pairs.iter().map(|(s, m)| (sym(s), nat(*m))))
     }
 
+    /// The representation invariant: strictly ascending keys, no zeros.
+    fn assert_invariant(bag: &Bag) {
+        let pairs: Vec<_> = bag.iter().collect();
+        assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(pairs.iter().all(|(_, m)| !m.is_zero()));
+    }
+
     #[test]
     fn multiplicity_arithmetic_of_the_four_unions() {
         let b1 = bag_of(&[("a", 3), ("b", 1)]);
@@ -697,6 +1133,9 @@ mod tests {
         assert_eq!(int.multiplicity(&sym("a")), nat(2));
         assert!(!int.contains(&sym("b")));
         assert!(!int.contains(&sym("c")));
+        for bag in [add, sub, max, int] {
+            assert_invariant(&bag);
+        }
     }
 
     #[test]
@@ -709,6 +1148,45 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_insertion_restores_the_invariant() {
+        let mut bag = Bag::new();
+        for s in ["m", "c", "z", "c", "a", "m"] {
+            bag.insert(sym(s));
+        }
+        assert_invariant(&bag);
+        assert_eq!(bag.distinct_count(), 4);
+        assert_eq!(bag.multiplicity(&sym("c")), nat(2));
+        let ordered: Vec<_> = bag.elements().cloned().collect();
+        assert_eq!(ordered, vec![sym("a"), sym("c"), sym("m"), sym("z")]);
+    }
+
+    #[test]
+    fn builder_matches_incremental_insertion() {
+        let values = ["q", "a", "f", "a", "z", "f", "f", "b"];
+        let mut builder = BagBuilder::new();
+        let mut reference = Bag::new();
+        for v in values {
+            builder.push_one(sym(v));
+            reference.insert(sym(v));
+        }
+        let built = builder.build();
+        assert_eq!(built, reference);
+        assert_invariant(&built);
+    }
+
+    #[test]
+    fn builder_budget_is_enforced_incrementally() {
+        let mut builder = BagBuilder::new();
+        for i in (0..100i64).rev() {
+            builder.push_one(Value::int(i));
+            if builder.ensure_distinct_within(10).is_err() {
+                return; // over budget exactly as distinct count crossed 10
+            }
+        }
+        panic!("100 distinct values never tripped a budget of 10");
+    }
+
+    #[test]
     fn product_multiplies_multiplicities() {
         // The Section 4 counting technique: B with n×[a,b] and m×[b,a].
         let n = 4u64;
@@ -716,18 +1194,68 @@ mod tests {
         let mut b = Bag::new();
         b.insert_with_multiplicity(Value::tuple([sym("a"), sym("b")]), nat(n));
         b.insert_with_multiplicity(Value::tuple([sym("b"), sym("a")]), nat(m));
-        let prod = b.product(&b).unwrap();
+        let prod = b.product(&b, u64::MAX).unwrap();
         let abab = Value::tuple([sym("a"), sym("b"), sym("a"), sym("b")]);
         let baab = Value::tuple([sym("b"), sym("a"), sym("a"), sym("b")]);
         assert_eq!(prod.multiplicity(&abab), nat(n * n));
         assert_eq!(prod.multiplicity(&baab), nat(m * n));
         assert_eq!(prod.cardinality(), nat((n + m) * (n + m)));
+        assert_invariant(&prod);
     }
 
     #[test]
     fn product_rejects_non_tuples() {
         let b = Bag::singleton(sym("a"));
-        assert!(matches!(b.product(&b), Err(BagError::NotATuple(_))));
+        assert!(matches!(
+            b.product(&b, u64::MAX),
+            Err(BagError::NotATuple(_))
+        ));
+    }
+
+    #[test]
+    fn product_budget_enforced_without_materializing() {
+        // Regression for the unbounded-intermediate bug: the full |B|·|B′|
+        // cross product must never be built when the budget is tiny.
+        let b = Bag::from_values((0..1000i64).map(|i| Value::tuple([Value::int(i)])));
+        match b.product(&b, 50) {
+            Err(BagError::TooLarge { predicted, limit }) => {
+                assert_eq!(predicted, nat(1_000_000));
+                assert_eq!(limit, 50);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Mixed left arities take the builder path; same enforcement.
+        let mut mixed = Bag::new();
+        for i in 0..1000i64 {
+            mixed.insert(Value::tuple([Value::int(i)]));
+        }
+        mixed.insert(Value::tuple([sym("w"), sym("w")]));
+        assert!(matches!(
+            mixed.product(&b, 50),
+            Err(BagError::TooLarge { limit: 50, .. })
+        ));
+        // Within budget both paths still succeed exactly.
+        let small = Bag::from_values((0..3i64).map(|i| Value::tuple([Value::int(i)])));
+        assert_eq!(small.product(&small, 9).unwrap().distinct_count(), 9);
+        assert!(small.product(&small, 8).is_err());
+    }
+
+    #[test]
+    fn product_with_mixed_arities_merges_collisions() {
+        // [a]×[b,c] and [a,b]×[c] concatenate to the same triple, so the
+        // builder path must merge their multiplicities.
+        let left = Bag::from_counted([
+            (Value::tuple([sym("a")]), nat(2)),
+            (Value::tuple([sym("a"), sym("b")]), nat(3)),
+        ]);
+        let right = Bag::from_counted([
+            (Value::tuple([sym("b"), sym("c")]), nat(1)),
+            (Value::tuple([sym("c")]), nat(1)),
+        ]);
+        let prod = left.product(&right, u64::MAX).unwrap();
+        let triple = Value::tuple([sym("a"), sym("b"), sym("c")]);
+        assert_eq!(prod.multiplicity(&triple), nat(2 + 3));
+        assert_invariant(&prod);
     }
 
     #[test]
@@ -743,6 +1271,8 @@ mod tests {
             let pb = b.powerbag(1 << 20).unwrap();
             assert_eq!(pb.cardinality(), Natural::pow2(n));
             assert_eq!(b.powerbag_cardinality().unwrap(), Natural::pow2(n));
+            assert_invariant(&ps);
+            assert_invariant(&pb);
         }
     }
 
@@ -823,6 +1353,7 @@ mod tests {
         let flat = outer.destroy().unwrap();
         assert_eq!(flat.multiplicity(&sym("a")), nat(4));
         assert_eq!(flat.multiplicity(&sym("b")), nat(2));
+        assert_invariant(&flat);
     }
 
     #[test]
@@ -860,13 +1391,15 @@ mod tests {
     }
 
     #[test]
-    fn dedup_keeps_one_of_each() {
+    fn dedup_keeps_one_of_each_and_shares_when_clean() {
         let b = bag_of(&[("a", 7), ("b", 2)]);
         let d = b.dedup();
         assert_eq!(d.multiplicity(&sym("a")), nat(1));
         assert_eq!(d.multiplicity(&sym("b")), nat(1));
         assert_eq!(d.cardinality(), nat(2));
-        assert_eq!(d.dedup(), d); // idempotent
+        let dd = d.dedup();
+        assert_eq!(dd, d); // idempotent
+        assert!(Arc::ptr_eq(&dd.elems, &d.elems)); // and shared, not copied
     }
 
     #[test]
@@ -902,7 +1435,7 @@ mod tests {
             b.project(&[4]),
             Err(BagError::BadArity { index: 4, arity: 3 })
         ));
-        assert!(matches!(b.project(&[0]), Err(BagError::BadArity { .. })));
+        assert!(matches!(b.project(&[0]), Err(BagError::AttrIndexZero)));
     }
 
     #[test]
@@ -913,6 +1446,11 @@ mod tests {
         assert!(!big.is_subbag_of(&small));
         assert!(Bag::new().is_subbag_of(&small));
         assert!(small.is_subbag_of(&small));
+        // Interleaved keys exercise the merge walk.
+        let sparse = bag_of(&[("b", 1), ("d", 1)]);
+        let dense = bag_of(&[("a", 1), ("b", 2), ("c", 9), ("d", 1), ("e", 1)]);
+        assert!(sparse.is_subbag_of(&dense));
+        assert!(!dense.is_subbag_of(&sparse));
     }
 
     #[test]
@@ -936,6 +1474,24 @@ mod tests {
             b1.intersect(&b2).intersect(&b3),
             b1.intersect(&b2.intersect(&b3))
         );
+        // Self-application fast paths agree with the general merges.
+        assert_eq!(
+            b1.additive_union(&b1).multiplicity(&sym("a")),
+            nat(6) // 3 + 3 via the shared-Arc doubling path
+        );
+        assert_eq!(b1.max_union(&b1), b1);
+        assert_eq!(b1.intersect(&b1), b1);
+        assert!(b1.subtract(&b1).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_intersect_probes_the_big_side() {
+        let big = Bag::from_counted((0..4096i64).map(|i| (Value::int(i), nat(i as u64 % 3 + 1))));
+        let small = Bag::from_counted([(Value::int(17), nat(9)), (Value::int(4000), nat(1))]);
+        let both = big.intersect(&small);
+        assert_eq!(both, small.intersect(&big));
+        assert_eq!(both.multiplicity(&Value::int(17)), nat(3).min(nat(9)));
+        assert_eq!(both.distinct_count(), 2);
     }
 
     #[test]

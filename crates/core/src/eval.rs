@@ -26,8 +26,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::bag::{Bag, BagError};
+use crate::bag::{attr_field, Bag, BagBuilder, BagError};
 use crate::expr::{Expr, Pred, Var};
 use crate::natural::Natural;
 use crate::schema::Database;
@@ -168,6 +169,32 @@ impl Metrics {
     }
 }
 
+/// Hashes AST node addresses directly: the keys are already
+/// well-distributed pointers, and the default SipHash costs more than the
+/// probe it guards on the per-element memo lookups.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) ^ u64::from(b);
+        }
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        // Fibonacci multiply spreads the (aligned, clustered) addresses
+        // across the whole hash range.
+        self.0 = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PtrMap<V> = HashMap<*const Expr, V, std::hash::BuildHasherDefault<PtrHasher>>;
+
 /// A reusable evaluator bound to one database.
 pub struct Evaluator<'a> {
     db: &'a Database,
@@ -178,12 +205,16 @@ pub struct Evaluator<'a> {
     /// Loop-invariant subexpressions registered by active stage chains,
     /// keyed by AST node identity. `None` until first use (lazy, so error
     /// behavior matches unmemoized evaluation), then the cached value.
-    memo: HashMap<*const Expr, Option<Value>>,
+    memo: PtrMap<Option<Value>>,
     /// Cached invariance analysis per chain head: which body
     /// subexpressions are loop-invariant. Node pointers are only valid for
     /// the expression tree of the current `eval` call, so [`Evaluator::eval`]
     /// clears this on entry.
-    invariant_roots: HashMap<*const Expr, Vec<*const Expr>>,
+    invariant_roots: PtrMap<Vec<*const Expr>>,
+    /// Cached [`projection_spec`] results per `Map` node (same pointer
+    /// lifetime caveat as `invariant_roots`). `Arc` so a hit is one clone,
+    /// not a re-scan and re-allocation per loop iteration.
+    projection_specs: PtrMap<Option<Arc<[usize]>>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -196,8 +227,9 @@ impl<'a> Evaluator<'a> {
             metrics: Metrics::default(),
             env: Vec::new(),
             steps_left,
-            memo: HashMap::new(),
-            invariant_roots: HashMap::new(),
+            memo: PtrMap::default(),
+            invariant_roots: PtrMap::default(),
+            projection_specs: PtrMap::default(),
         }
     }
 
@@ -208,6 +240,7 @@ impl<'a> Evaluator<'a> {
         // A prior `eval` call may have analyzed a different (since
         // dropped) tree whose node addresses could recur.
         self.invariant_roots.clear();
+        self.projection_specs.clear();
         self.eval_inner(expr)
     }
 
@@ -222,8 +255,14 @@ impl<'a> Evaluator<'a> {
     }
 
     fn step(&mut self) -> Result<(), EvalError> {
-        self.metrics.steps += 1;
-        match self.steps_left.checked_sub(1) {
+        self.charge_steps(1)
+    }
+
+    /// Charge `n` evaluation steps at once (bulk fast paths charge one
+    /// per produced element without a call per element).
+    fn charge_steps(&mut self, n: u64) -> Result<(), EvalError> {
+        self.metrics.steps += n;
+        match self.steps_left.checked_sub(n) {
             Some(rest) => {
                 self.steps_left = rest;
                 Ok(())
@@ -233,18 +272,17 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Incremental distinct-element guard for loops that build an output
-    /// bag pair by pair: errors as soon as the bag crosses the budget, so
-    /// a fused product path cannot materialize far past the cap before
-    /// the final [`Evaluator::observe`] would reject it.
-    fn check_element_limit(&self, bag: &Bag) -> Result<(), EvalError> {
-        let distinct = bag.distinct_count() as u64;
-        if distinct > self.limits.max_bag_elements {
-            return Err(EvalError::ElementLimit {
-                observed: distinct,
+    /// bag pair by pair through a [`BagBuilder`]: errors as soon as the
+    /// builder's distinct count crosses the budget, so a fused product
+    /// path cannot materialize far past the cap before the final
+    /// [`Evaluator::observe`] would reject it.
+    fn check_builder_limit(&self, builder: &mut BagBuilder) -> Result<(), EvalError> {
+        builder
+            .ensure_distinct_within(self.limits.max_bag_elements)
+            .map_err(|observed| EvalError::ElementLimit {
+                observed,
                 limit: self.limits.max_bag_elements,
-            });
-        }
-        Ok(())
+            })
     }
 
     /// Record a produced bag in the metrics and enforce limits. One scan
@@ -296,27 +334,20 @@ impl<'a> Evaluator<'a> {
             .ok_or_else(|| EvalError::UnboundVariable(name.clone()))
     }
 
-    /// Borrowing lookup over the λ environment only (database names resolve
-    /// to bags, which have no attributes, so `Attr` never needs them).
-    fn lookup_env_ref(&self, name: &Var) -> Option<&Value> {
-        self.env
-            .iter()
-            .rev()
-            .find(|(bound, _)| bound == name)
-            .map(|(_, value)| value)
-    }
-
     fn eval_inner(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         self.step()?;
-        if !self.memo.is_empty() {
+        // Only computing nodes are ever registered (see `worth_memoizing`),
+        // so `Var`/`Lit` skip the probe entirely.
+        if !self.memo.is_empty() && !matches!(expr, Expr::Var(_) | Expr::Lit(_)) {
             let key = expr as *const Expr;
-            if self.memo.contains_key(&key) {
-                if let Some(Some(cached)) = self.memo.get(&key) {
-                    return Ok(cached.clone());
+            match self.memo.get(&key) {
+                Some(Some(cached)) => return Ok(cached.clone()),
+                Some(None) => {
+                    let value = self.eval_node(expr)?;
+                    self.memo.insert(key, Some(value.clone()));
+                    return Ok(value);
                 }
-                let value = self.eval_node(expr)?;
-                self.memo.insert(key, Some(value.clone()));
-                return Ok(value);
+                None => {}
             }
         }
         self.eval_node(expr)
@@ -367,30 +398,19 @@ impl<'a> Evaluator<'a> {
                 // straight out of the λ-bound tuple instead of cloning the
                 // whole tuple first.
                 if let Expr::Var(name) = e.as_ref() {
-                    if self.lookup_env_ref(name).is_some() {
+                    let bound = self.env.iter().rposition(|(bound, _)| bound == name);
+                    if let Some(ix) = bound {
                         self.step()?; // the Var node, as the generic path charges it
-                        let value = self.lookup_env_ref(name).expect("just resolved");
+                        let value = &self.env[ix].1;
                         let fields = value.as_tuple().ok_or_else(|| shape("a tuple", value))?;
-                        return fields
-                            .get(index.wrapping_sub(1))
-                            .cloned()
-                            .ok_or(EvalError::Bag(BagError::BadArity {
-                                index: *index,
-                                arity: fields.len(),
-                            }));
+                        return attr_field(fields, *index).cloned().map_err(EvalError::Bag);
                     }
                     // Not λ-bound (a database bag or an unbound name): the
                     // generic path below reports it.
                 }
                 let value = self.eval_inner(e)?;
                 let fields = value.as_tuple().ok_or_else(|| shape("a tuple", &value))?;
-                fields
-                    .get(index.wrapping_sub(1))
-                    .cloned()
-                    .ok_or(EvalError::Bag(BagError::BadArity {
-                        index: *index,
-                        arity: fields.len(),
-                    }))
+                attr_field(fields, *index).cloned().map_err(EvalError::Bag)
             }
             Expr::Destroy(e) => {
                 let bag = expect_bag(self.eval_inner(e)?)?;
@@ -442,24 +462,58 @@ impl<'a> Evaluator<'a> {
     ///
     /// Entered from [`Evaluator::eval_inner`], which has already charged
     /// the step for the outermost spine node.
-    fn eval_stage_chain(&mut self, expr: &Expr) -> Result<Value, EvalError> {
-        // Collect the spine outermost-first, then flip to evaluation order.
-        let mut stages: Vec<Stage<'_>> = Vec::new();
-        let mut cur = expr;
-        loop {
-            match cur {
-                Expr::Map { var, body, input } => {
-                    stages.push(Stage::Map { var, body });
-                    cur = input;
+    /// Classify one spine node as a [`Stage`], consulting the cached
+    /// projection analysis for `MAP` bodies.
+    fn make_stage<'e>(&mut self, node: &'e Expr) -> Stage<'e> {
+        match node {
+            Expr::Map { var, body, .. } => {
+                let spec = self
+                    .projection_specs
+                    .entry(node as *const Expr)
+                    .or_insert_with(|| projection_spec(body, var).map(Arc::from))
+                    .clone();
+                match spec {
+                    Some(indices) => Stage::Project { indices },
+                    None => Stage::Map { var, body },
                 }
-                Expr::Select { var, pred, input } => {
-                    stages.push(Stage::Filter { var, pred });
-                    cur = input;
+            }
+            Expr::Select { var, pred, .. } => Stage::Filter { var, pred },
+            _ => unreachable!("spine nodes are Map or Select"),
+        }
+    }
+
+    fn eval_stage_chain(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        // Measure the spine first (no allocation), then collect it in
+        // evaluation order — single-stage chains, the overwhelmingly
+        // common case, live in a stack slot instead of a `Vec`.
+        let mut depth = 0usize;
+        let mut probe = expr;
+        loop {
+            probe = match probe {
+                Expr::Map { input, .. } | Expr::Select { input, .. } => {
+                    depth += 1;
+                    input
                 }
                 _ => break,
-            }
+            };
         }
-        stages.reverse();
+        let cur = probe;
+        let single_storage;
+        let vec_storage;
+        let stages: &[Stage<'_>] = if depth == 1 {
+            single_storage = [self.make_stage(expr)];
+            &single_storage
+        } else {
+            let mut collected = Vec::with_capacity(depth);
+            let mut node = expr;
+            while let Expr::Map { input, .. } | Expr::Select { input, .. } = node {
+                collected.push(self.make_stage(node));
+                node = input;
+            }
+            collected.reverse();
+            vec_storage = collected;
+            &vec_storage
+        };
         for _ in 1..stages.len() {
             self.step()?; // the inner spine nodes the fusion skips
         }
@@ -483,11 +537,34 @@ impl<'a> Evaluator<'a> {
             // the chain without materializing the product. (A non-join σ
             // over a product still materializes, keeping the rewrite
             // optimizer's σ-pushdown measurably useful.)
-            (Expr::Product(a, b), Some(Stage::Map { .. })) => {
+            (Expr::Product(a, b), Some(Stage::Map { .. } | Stage::Project { .. })) => {
                 self.step()?; // the Product node
                 let left = expect_bag(self.eval_inner(a)?)?;
                 let right = expect_bag(self.eval_inner(b)?)?;
-                ChainBase::Pairs(left, right)
+                match stages.first() {
+                    // π over × with every index on one side: the other
+                    // side contributes only a cardinality factor, so the
+                    // pair loop collapses to project-and-scale (O(|L|+|R|)
+                    // instead of O(|L|·|R|)).
+                    // Only when the pair loop is actually bigger than the
+                    // project-and-scale pass (tiny products are cheaper to
+                    // stream directly).
+                    Some(Stage::Project { indices })
+                        if left.distinct_count() * right.distinct_count()
+                            > 2 * (left.distinct_count() + right.distinct_count()) =>
+                    {
+                        match one_sided_projection(&left, &right, indices)? {
+                            Some(bag) => {
+                                // One step per produced element, in bulk.
+                                self.charge_steps(bag.distinct_count() as u64)?;
+                                first_stage = 1; // the projection is done
+                                ChainBase::Bag(bag)
+                            }
+                            None => ChainBase::Pairs(left, right),
+                        }
+                    }
+                    _ => ChainBase::Pairs(left, right),
+                }
             }
             _ => ChainBase::Bag(expect_bag(self.eval_inner(cur)?)?),
         };
@@ -512,7 +589,7 @@ impl<'a> Evaluator<'a> {
                 Some(cached) => cached.clone(),
                 None => {
                     let mut roots = Vec::new();
-                    for stage in &stages {
+                    for stage in stages {
                         let mut blocked = Vec::new();
                         match stage {
                             Stage::Map { var, body } => {
@@ -523,6 +600,8 @@ impl<'a> Evaluator<'a> {
                                 blocked.push((*var).clone());
                                 collect_invariant_pred_roots(pred, &mut blocked, &mut roots);
                             }
+                            // A projection has no subexpressions to hoist.
+                            Stage::Project { .. } => {}
                         }
                     }
                     let keys: Vec<*const Expr> =
@@ -540,7 +619,13 @@ impl<'a> Evaluator<'a> {
         }
         let stages = &stages[first_stage..];
 
-        let result = self.run_chain_loop(&base, stages);
+        // A hash join or one-sided projection may have consumed the only
+        // stage: its bag already is the chain's result — don't re-stream
+        // it through an empty pipeline (the observe below still runs).
+        let result = match (&base, stages.is_empty()) {
+            (ChainBase::Bag(bag), true) => Ok(bag.clone()),
+            _ => self.run_chain_loop(&base, stages),
+        };
         for key in registered {
             self.memo.remove(&key);
         }
@@ -553,7 +638,7 @@ impl<'a> Evaluator<'a> {
     /// the caller can unregister its memo entries on both the success and
     /// the error path.
     fn run_chain_loop(&mut self, base: &ChainBase, stages: &[Stage<'_>]) -> Result<Bag, EvalError> {
-        let mut out = Bag::new();
+        let mut out = BagBuilder::new();
         match base {
             ChainBase::Bag(bag) => {
                 for (value, mult) in bag.iter() {
@@ -561,6 +646,12 @@ impl<'a> Evaluator<'a> {
                 }
             }
             ChainBase::Pairs(left, right) => {
+                // A leading projection picks its fields straight off the
+                // two sides, skipping the concatenated-tuple allocation.
+                let (project, rest) = match stages.first() {
+                    Some(Stage::Project { indices }) => (Some(&indices[..]), &stages[1..]),
+                    _ => (None, stages),
+                };
                 for (lv, lm) in left.iter() {
                     let left_fields = lv
                         .as_tuple()
@@ -569,17 +660,19 @@ impl<'a> Evaluator<'a> {
                         let right_fields = rv
                             .as_tuple()
                             .ok_or_else(|| BagError::NotATuple(rv.clone()))?;
-                        self.run_stages(
-                            Value::concat_tuples(left_fields, right_fields),
-                            lm * rm,
-                            stages,
-                            &mut out,
-                        )?;
+                        let first = match project {
+                            Some(indices) => {
+                                self.step()?; // the projection application
+                                project_pair(left_fields, right_fields, indices)?
+                            }
+                            None => Value::concat_tuples(left_fields, right_fields),
+                        };
+                        self.run_stages(first, lm * rm, rest, &mut out)?;
                     }
                 }
             }
         }
-        Ok(out)
+        Ok(out.build())
     }
 
     /// Push one element through every stage; survivors land in `out`.
@@ -588,7 +681,7 @@ impl<'a> Evaluator<'a> {
         value: Value,
         mult: Natural,
         stages: &[Stage<'_>],
-        out: &mut Bag,
+        out: &mut BagBuilder,
     ) -> Result<(), EvalError> {
         let mut current = value;
         for stage in stages {
@@ -608,10 +701,29 @@ impl<'a> Evaluator<'a> {
                     }
                     current = value_back;
                 }
+                Stage::Project { indices } => {
+                    self.step()?; // one per element, like a body application
+                    let fields = current
+                        .as_tuple()
+                        .ok_or_else(|| shape("a tuple", &current))?;
+                    current = match indices[..] {
+                        [ix] => {
+                            let field = attr_field(fields, ix).map_err(EvalError::Bag)?;
+                            Value::Tuple(Arc::from([field.clone()]))
+                        }
+                        _ => {
+                            let mut out = Vec::with_capacity(indices.len());
+                            for &ix in indices.iter() {
+                                out.push(attr_field(fields, ix).map_err(EvalError::Bag)?.clone());
+                            }
+                            Value::Tuple(out.into())
+                        }
+                    };
+                }
             }
         }
-        out.insert_with_multiplicity(current, mult);
-        self.check_element_limit(out)
+        out.push(current, mult);
+        self.check_builder_limit(out)
     }
 
     /// Evaluate `a × b`, optionally under an equi-join filter
@@ -645,7 +757,7 @@ impl<'a> Evaluator<'a> {
                         let fields = lv.as_tuple().expect("checked by uniform_arity");
                         index.entry(&fields[i - 1]).or_default().push((lv, lm));
                     }
-                    let mut out = Bag::new();
+                    let mut out = BagBuilder::new();
                     for (rv, rm) in right.iter() {
                         let right_fields = rv.as_tuple().expect("checked by uniform_arity");
                         let Some(matches) = index.get(&right_fields[j - left_arity - 1]) else {
@@ -654,13 +766,11 @@ impl<'a> Evaluator<'a> {
                         for (lv, lm) in matches {
                             self.step()?; // one per surviving pair, like the filter
                             let left_fields = lv.as_tuple().expect("checked by uniform_arity");
-                            out.insert_with_multiplicity(
-                                Value::concat_tuples(left_fields, right_fields),
-                                *lm * rm,
-                            );
-                            self.check_element_limit(&out)?;
+                            out.push(Value::concat_tuples(left_fields, right_fields), *lm * rm);
+                            self.check_builder_limit(&mut out)?;
                         }
                     }
+                    let out = out.build();
                     self.observe(&out)?;
                     return Ok(ProductOutcome::Joined(out));
                 }
@@ -668,6 +778,10 @@ impl<'a> Evaluator<'a> {
         }
 
         // Materializing path. Predict output size: distinct counts multiply.
+        // `Bag::product` enforces the same budget again inside its loop,
+        // so even without this pre-check no unbounded intermediate could
+        // be materialized; predicting here keeps the error an
+        // `ElementLimit` with the exact prediction.
         let predicted = left.distinct_count() as u128 * right.distinct_count() as u128;
         if predicted > self.limits.max_bag_elements as u128 {
             return Err(EvalError::ElementLimit {
@@ -675,7 +789,7 @@ impl<'a> Evaluator<'a> {
                 limit: self.limits.max_bag_elements,
             });
         }
-        let out = left.product(&right)?;
+        let out = left.product(&right, self.limits.max_bag_elements)?;
         self.observe(&out)?;
         Ok(ProductOutcome::Materialized(out))
     }
@@ -719,8 +833,43 @@ impl<'a> Evaluator<'a> {
 
 /// One node of a `MAP`/`σ` spine, borrowed from the expression tree.
 enum Stage<'e> {
-    Map { var: &'e Var, body: &'e Expr },
-    Filter { var: &'e Var, pred: &'e Pred },
+    Map {
+        var: &'e Var,
+        body: &'e Expr,
+    },
+    Filter {
+        var: &'e Var,
+        pred: &'e Pred,
+    },
+    /// A `MAP` whose body is `[α_{i₁}(x), …]` over its own λ variable —
+    /// the paper's `π` abbreviation — precompiled to its 1-based indices.
+    Project {
+        indices: Arc<[usize]>,
+    },
+}
+
+/// Recognize a projection-shaped `MAP` body: a tuple of attribute
+/// projections applied directly to the λ-bound variable.
+fn projection_spec(body: &Expr, var: &Var) -> Option<Vec<usize>> {
+    let Expr::Tuple(fields) = body else {
+        return None;
+    };
+    if fields.is_empty() {
+        // `λx.[]` never inspects `x`, so it maps non-tuple elements too;
+        // the projection fast path (which demands tuples) must not claim it.
+        return None;
+    }
+    let mut indices = Vec::with_capacity(fields.len());
+    for field in fields {
+        match field {
+            Expr::Attr(inner, ix) => match inner.as_ref() {
+                Expr::Var(name) if name == var => indices.push(*ix),
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    Some(indices)
 }
 
 /// What a stage chain streams over: an evaluated bag, or the unmaterialized
@@ -890,6 +1039,69 @@ fn uniform_arity(bag: &Bag) -> Option<usize> {
     arity
 }
 
+/// `π_I(L × R)` when every index of `I` falls on one side: the other side
+/// only multiplies occurrences, so the product never needs enumerating —
+/// `π_I(L × R) = scale(π_I(L), |R|)` (symmetrically for right-only
+/// indices). Requires both sides to be uniform-arity tuple bags so the
+/// split point is well-defined and the original's error behavior (a
+/// non-tuple on either side fails the product) is preserved; returns
+/// `None` to fall back to the streaming pair loop otherwise.
+fn one_sided_projection(
+    left: &Bag,
+    right: &Bag,
+    indices: &[usize],
+) -> Result<Option<Bag>, EvalError> {
+    let (Some(left_arity), Some(right_arity)) = (uniform_arity(left), uniform_arity(right)) else {
+        return Ok(None);
+    };
+    if indices.iter().all(|&ix| ix >= 1 && ix <= left_arity) {
+        let projected = left.project(indices)?;
+        return Ok(Some(projected.scale(&right.cardinality())));
+    }
+    if indices
+        .iter()
+        .all(|&ix| ix > left_arity && ix <= left_arity + right_arity)
+    {
+        let shifted: Vec<usize> = indices.iter().map(|&ix| ix - left_arity).collect();
+        let projected = right.project(&shifted)?;
+        return Ok(Some(projected.scale(&left.cardinality())));
+    }
+    Ok(None)
+}
+
+/// Apply a projection over the (virtual) concatenation of two tuple field
+/// slices without allocating the concatenation.
+fn project_pair(left: &[Value], right: &[Value], indices: &[usize]) -> Result<Value, EvalError> {
+    let pick = |ix: usize| -> Result<&Value, EvalError> {
+        let i = ix
+            .checked_sub(1)
+            .ok_or(EvalError::Bag(BagError::AttrIndexZero))?;
+        if i < left.len() {
+            Some(&left[i])
+        } else {
+            right.get(i - left.len())
+        }
+        .ok_or(EvalError::Bag(BagError::BadArity {
+            index: ix,
+            arity: left.len() + right.len(),
+        }))
+    };
+    match indices[..] {
+        [ix] => Ok(Value::Tuple(Arc::from([pick(ix)?.clone()]))),
+        [i, j] => Ok(Value::Tuple(Arc::from([
+            pick(i)?.clone(),
+            pick(j)?.clone(),
+        ]))),
+        _ => {
+            let mut out = Vec::with_capacity(indices.len());
+            for &ix in indices {
+                out.push(pick(ix)?.clone());
+            }
+            Ok(Value::Tuple(out.into()))
+        }
+    }
+}
+
 fn shape(expected: &'static str, found: &Value) -> EvalError {
     let mut rendered = found.to_string();
     if rendered.len() > 80 {
@@ -1057,6 +1269,38 @@ mod tests {
         assert!(matches!(
             ev.eval(&q2),
             Err(EvalError::ElementLimit { limit: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_tuple_map_body_is_not_a_projection() {
+        // Regression: `λx.[]` never inspects `x`, so it must map atoms
+        // (and any other non-tuple elements) to the empty tuple instead
+        // of being misclassified as a projection that demands tuples.
+        let b = Bag::from_counted([(Value::sym("a"), nat(2)), (Value::sym("b"), nat(1))]);
+        let db = db_with("B", b);
+        let q = Expr::var("B").map("x", Expr::Tuple(vec![]));
+        let out = eval_bag(&q, &db).unwrap();
+        assert_eq!(out.multiplicity(&Value::tuple([])), nat(3));
+    }
+
+    #[test]
+    fn attr_index_zero_is_rejected_explicitly() {
+        // Regression: `α₀` must fail as a 1-based-indexing error on both
+        // the λ-bound fast path and the generic path, not as a misleading
+        // BadArity produced by a wrapping subtraction.
+        let b = Bag::from_values([Value::tuple([Value::sym("a"), Value::sym("b")])]);
+        let db = db_with("B", b);
+        let fast = Expr::var("B").map("x", Expr::var("x").attr(0));
+        assert!(matches!(
+            eval(&fast, &db),
+            Err(EvalError::Bag(BagError::AttrIndexZero))
+        ));
+        // A tuple literal exercises the generic path directly.
+        let lit = Expr::Attr(Box::new(Expr::lit(Value::tuple([Value::sym("a")]))), 0);
+        assert!(matches!(
+            eval(&lit, &db),
+            Err(EvalError::Bag(BagError::AttrIndexZero))
         ));
     }
 

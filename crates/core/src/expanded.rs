@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(e1.max_union(&e2).to_bag(), b1.max_union(&b2));
         assert_eq!(e1.intersect(&e2).to_bag(), b1.intersect(&b2));
         assert_eq!(e1.dedup().to_bag(), b1.dedup());
-        assert_eq!(e1.product(&e2).unwrap().to_bag(), b1.product(&b2).unwrap());
+        assert_eq!(
+            e1.product(&e2).unwrap().to_bag(),
+            b1.product(&b2, u64::MAX).unwrap()
+        );
     }
 
     #[test]

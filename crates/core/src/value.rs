@@ -136,12 +136,22 @@ impl Value {
 
     /// The concatenated tuple `[l₁, …, lₘ, r₁, …, rₙ]` — the element shape
     /// the Cartesian product produces, shared by the materializing and the
-    /// fused (hash-join / streamed-pair) product paths.
+    /// fused (hash-join / streamed-pair) product paths. The ubiquitous
+    /// small arities build their `Arc` slice from a fixed array — one
+    /// allocation instead of the `Vec`-then-`Arc` two.
     pub fn concat_tuples(left: &[Value], right: &[Value]) -> Value {
-        let mut fields = Vec::with_capacity(left.len() + right.len());
-        fields.extend_from_slice(left);
-        fields.extend_from_slice(right);
-        Value::Tuple(fields.into())
+        match (left, right) {
+            ([l], [r]) => Value::Tuple(Arc::from([l.clone(), r.clone()])),
+            ([l0, l1], [r0, r1]) => {
+                Value::Tuple(Arc::from([l0.clone(), l1.clone(), r0.clone(), r1.clone()]))
+            }
+            _ => {
+                let mut fields = Vec::with_capacity(left.len() + right.len());
+                fields.extend_from_slice(left);
+                fields.extend_from_slice(right);
+                Value::Tuple(fields.into())
+            }
+        }
     }
 
     /// A bag value from an iterator of elements (each with multiplicity 1).

@@ -1,0 +1,251 @@
+//! Differential property tests pinning the sorted-slice `Bag`
+//! representation against a retained `BTreeMap<Value, Natural>` reference
+//! model — the representation the bag used before PR 3. Every operation
+//! is computed twice, once by `Bag` and once by naive map arithmetic, and
+//! the results must agree; each produced bag is also checked against the
+//! representation invariant (strictly ascending keys, no zeros).
+
+use std::collections::BTreeMap;
+
+use balg_core::bag::{Bag, BagBuilder};
+use balg_core::natural::Natural;
+use balg_core::value::Value;
+use proptest::prelude::*;
+
+type Model = BTreeMap<Value, Natural>;
+
+fn nat(v: u64) -> Natural {
+    Natural::from(v)
+}
+
+/// A raw insertion script: keys from a tiny domain (forcing collisions)
+/// with multiplicities including zero (which must be dropped).
+fn script() -> impl Strategy<Value = Vec<(i64, u64)>> {
+    proptest::collection::vec((0i64..10, 0u64..6), 0..24)
+}
+
+fn tuple_script() -> impl Strategy<Value = Vec<((i64, i64), u64)>> {
+    proptest::collection::vec(((0i64..4, 0i64..4), 1u64..5), 0..8)
+}
+
+fn model_from(script: &[(Value, Natural)]) -> Model {
+    let mut model = Model::new();
+    for (value, mult) in script {
+        if !mult.is_zero() {
+            *model.entry(value.clone()).or_default() += mult;
+        }
+    }
+    model
+}
+
+fn bag_matches_model(bag: &Bag, model: &Model) -> bool {
+    bag.distinct_count() == model.len()
+        && bag
+            .iter()
+            .zip(model.iter())
+            .all(|((bv, bm), (mv, mm))| bv == mv && bm == mm)
+}
+
+/// The representation invariant the sorted slice must uphold.
+fn assert_invariant(bag: &Bag) {
+    let pairs: Vec<_> = bag.iter().collect();
+    assert!(
+        pairs.windows(2).all(|w| w[0].0 < w[1].0),
+        "keys not strictly ascending: {bag}"
+    );
+    assert!(
+        pairs.iter().all(|(_, m)| !m.is_zero()),
+        "stored zero: {bag}"
+    );
+}
+
+fn atoms_script_to_values(script: Vec<(i64, u64)>) -> Vec<(Value, Natural)> {
+    script
+        .into_iter()
+        .map(|(k, m)| (Value::int(k), nat(m)))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn construction_agrees_with_map_model(raw in script()) {
+        let script = atoms_script_to_values(raw);
+        let model = model_from(&script);
+
+        // Three construction paths must coincide: COW inserts, the
+        // builder, and the bulk constructor.
+        let mut inserted = Bag::new();
+        for (value, mult) in &script {
+            inserted.insert_with_multiplicity(value.clone(), mult.clone());
+        }
+        let mut builder = BagBuilder::new();
+        for (value, mult) in &script {
+            builder.push(value.clone(), mult.clone());
+        }
+        let built = builder.build();
+        let bulk = Bag::from_counted(script.iter().cloned());
+
+        for bag in [&inserted, &built, &bulk] {
+            assert_invariant(bag);
+            prop_assert!(bag_matches_model(bag, &model));
+        }
+        prop_assert_eq!(&inserted, &built);
+        prop_assert_eq!(&inserted, &bulk);
+        prop_assert_eq!(
+            inserted.cardinality(),
+            model.values().fold(Natural::zero(), |mut acc, m| { acc += m; acc })
+        );
+    }
+
+    #[test]
+    fn merge_operations_agree_with_map_model(ra in script(), rb in script()) {
+        let sa = atoms_script_to_values(ra);
+        let sb = atoms_script_to_values(rb);
+        let (ma, mb) = (model_from(&sa), model_from(&sb));
+        let (a, b) = (Bag::from_counted(sa), Bag::from_counted(sb));
+
+        let keys: Vec<&Value> = ma.keys().chain(mb.keys()).collect();
+        let get = |m: &Model, k: &Value| m.get(k).cloned().unwrap_or_default();
+
+        let mut add = Model::new();
+        let mut sub = Model::new();
+        let mut max = Model::new();
+        let mut min = Model::new();
+        for key in keys {
+            let (x, y) = (get(&ma, key), get(&mb, key));
+            let mut sum = x.clone();
+            sum += &y;
+            for (model, value) in [
+                (&mut add, sum),
+                (&mut sub, x.monus(&y)),
+                (&mut max, x.clone().max(y.clone())),
+                (&mut min, x.min(y)),
+            ] {
+                if !value.is_zero() {
+                    model.insert(key.clone(), value);
+                }
+            }
+        }
+
+        for (bag, model) in [
+            (a.additive_union(&b), add),
+            (a.subtract(&b), sub),
+            (a.max_union(&b), max),
+            (a.intersect(&b), min),
+        ] {
+            assert_invariant(&bag);
+            prop_assert!(bag_matches_model(&bag, &model));
+        }
+
+        // Point lookups agree with the model everywhere on the domain.
+        for k in 0i64..10 {
+            let key = Value::int(k);
+            prop_assert_eq!(a.multiplicity(&key), get(&ma, &key));
+            prop_assert_eq!(a.contains(&key), ma.contains_key(&key));
+        }
+
+        // Subbag test vs the model inequality.
+        let model_subbag = ma.iter().all(|(k, m)| &get(&mb, k) >= m);
+        prop_assert_eq!(a.is_subbag_of(&b), model_subbag);
+    }
+
+    #[test]
+    fn dedup_and_scale_agree_with_map_model(raw in script(), factor in 0u64..5) {
+        let script = atoms_script_to_values(raw);
+        let model = model_from(&script);
+        let bag = Bag::from_counted(script);
+
+        let deduped = bag.dedup();
+        assert_invariant(&deduped);
+        prop_assert_eq!(deduped.distinct_count(), model.len());
+        prop_assert!(deduped.iter().all(|(_, m)| m.is_one()));
+
+        let scaled = bag.scale(&nat(factor));
+        assert_invariant(&scaled);
+        let scaled_model: Model = if factor == 0 {
+            Model::new()
+        } else {
+            model.iter().map(|(k, m)| (k.clone(), m * &nat(factor))).collect()
+        };
+        prop_assert!(bag_matches_model(&scaled, &scaled_model));
+    }
+
+    #[test]
+    fn product_agrees_with_map_model(ra in tuple_script(), rb in tuple_script()) {
+        let to_pairs = |raw: Vec<((i64, i64), u64)>| -> Vec<(Value, Natural)> {
+            raw.into_iter()
+                .map(|((x, y), m)| (Value::tuple([Value::int(x), Value::int(y)]), nat(m)))
+                .collect()
+        };
+        let (sa, sb) = (to_pairs(ra), to_pairs(rb));
+        let (ma, mb) = (model_from(&sa), model_from(&sb));
+        let (a, b) = (Bag::from_counted(sa), Bag::from_counted(sb));
+
+        let mut model = Model::new();
+        for (lv, lm) in &ma {
+            for (rv, rm) in &mb {
+                let concat = Value::concat_tuples(
+                    lv.as_tuple().unwrap(),
+                    rv.as_tuple().unwrap(),
+                );
+                *model.entry(concat).or_default() += &(lm * rm);
+            }
+        }
+        let prod = a.product(&b, u64::MAX).unwrap();
+        assert_invariant(&prod);
+        prop_assert!(bag_matches_model(&prod, &model));
+    }
+
+    #[test]
+    fn powerset_agrees_with_map_model(raw in proptest::collection::vec((0i64..4, 1u64..4), 0..4)) {
+        let script = atoms_script_to_values(raw);
+        let model = model_from(&script);
+        let bag = Bag::from_counted(script);
+
+        let predicted: u64 = model
+            .values()
+            .map(|m| m.to_u64().unwrap() + 1)
+            .product();
+        let ps = bag.powerset(1 << 16).unwrap();
+        assert_invariant(&ps);
+        prop_assert_eq!(ps.cardinality(), nat(predicted));
+        for (sub, mult) in ps.iter() {
+            prop_assert!(mult.is_one());
+            let sub = sub.as_bag().unwrap();
+            assert_invariant(sub);
+            prop_assert!(sub.is_subbag_of(&bag));
+        }
+
+        // Powerbag: same distinct elements, total cardinality 2^|B|.
+        let pb = bag.powerbag(1 << 16).unwrap();
+        assert_invariant(&pb);
+        prop_assert_eq!(pb.distinct_count(), ps.distinct_count());
+        prop_assert_eq!(
+            pb.cardinality(),
+            Natural::pow2(bag.cardinality().to_u64().unwrap())
+        );
+    }
+
+    #[test]
+    fn destroy_agrees_with_map_model(
+        raw in proptest::collection::vec((proptest::collection::vec((0i64..6, 1u64..4), 0..5), 1u64..3), 0..5)
+    ) {
+        let mut outer = Bag::new();
+        let mut model = Model::new();
+        for (inner_raw, outer_mult) in raw {
+            let inner = Bag::from_counted(atoms_script_to_values(inner_raw));
+            outer.insert_with_multiplicity(Value::Bag(inner), nat(outer_mult));
+        }
+        // Model δ over the final outer bag (equal inner bags have already
+        // collapsed, accumulating their outer multiplicities).
+        for (value, outer_mult) in outer.iter() {
+            let inner = value.as_bag().unwrap();
+            for (elem, m) in inner.iter() {
+                *model.entry(elem.clone()).or_default() += &(m * outer_mult);
+            }
+        }
+        let flat = outer.destroy().unwrap();
+        assert_invariant(&flat);
+        prop_assert!(bag_matches_model(&flat, &model));
+    }
+}

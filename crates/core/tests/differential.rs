@@ -35,7 +35,7 @@ proptest! {
         let eb = ExpandedBag::from_bag(&b).unwrap();
         prop_assert_eq!(
             ea.product(&eb).unwrap().to_bag(),
-            a.product(&b).unwrap()
+            a.product(&b, u64::MAX).unwrap()
         );
     }
 

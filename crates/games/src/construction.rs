@@ -17,7 +17,7 @@
 
 use std::collections::BTreeSet;
 
-use balg_core::bag::Bag;
+use balg_core::bag::{Bag, BagBuilder};
 use balg_core::schema::Database;
 use balg_core::value::Value;
 
@@ -123,13 +123,14 @@ pub fn alpha_node(n: u32) -> Value {
 pub fn star_graphs(n: u32) -> (Database, Database) {
     let families = half_families(n);
     let alpha = alpha_node(n);
-    let mut edges = Bag::new();
+    let mut edges = BagBuilder::with_capacity(families.inn.len() + families.out.len());
     for s in &families.inn {
-        edges.insert(Value::tuple([node_value(s), alpha.clone()]));
+        edges.push_one(Value::tuple([node_value(s), alpha.clone()]));
     }
     for s in &families.out {
-        edges.insert(Value::tuple([alpha.clone(), node_value(s)]));
+        edges.push_one(Value::tuple([alpha.clone(), node_value(s)]));
     }
+    let edges = edges.build();
     let g = Database::new().with("E", edges.clone());
 
     // Invert the edge α → out[0].

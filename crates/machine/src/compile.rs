@@ -22,7 +22,7 @@
 
 use std::fmt;
 
-use balg_core::bag::Bag;
+use balg_core::bag::{Bag, BagBuilder};
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Pred};
 use balg_core::natural::Natural;
@@ -112,7 +112,7 @@ impl std::error::Error for DecodeError {}
 pub fn compile(tm: &Tm, input: &[Sym], padding: usize) -> CompiledTm {
     let cells = (input.len() + padding).max(1);
     // enc(B): the time-0 rows.
-    let mut rows = Bag::new();
+    let mut rows = BagBuilder::with_capacity(cells);
     for i in 0..cells {
         let sym = input.get(i).copied().unwrap_or(tm.blank);
         let state = if i == 0 {
@@ -120,14 +120,14 @@ pub fn compile(tm: &Tm, input: &[Sym], padding: usize) -> CompiledTm {
         } else {
             no_head_atom()
         };
-        rows.insert(Value::tuple([
+        rows.push_one(Value::tuple([
             index_bag(0),
             index_bag(i as u64 + 1),
             sym_atom(sym),
             state,
         ]));
     }
-    let database = Database::new().with("C0", rows);
+    let database = Database::new().with("C0", rows.build());
 
     // The step expression: union of the per-instruction M_λ expressions.
     let mut body: Option<Expr> = None;

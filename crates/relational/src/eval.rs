@@ -3,15 +3,29 @@
 //! Every operator re-establishes the set invariant, so intermediate
 //! results are nested *sets* exactly as in [AB87]/[HS91]. Budgets reuse
 //! [`balg_core::eval::Limits`].
+//!
+//! The evaluator mirrors the throughput work done on the BALG side:
+//!
+//! * database bags are deduplicated into their `DB′` views **once** per
+//!   name and cached (cloning a cached view is an `Arc` bump);
+//! * every value the evaluator itself produces is set-shaped by
+//!   construction, so intermediates are re-wrapped without the deep
+//!   re-deduplication the old evaluator paid after every operator;
+//! * adjacent `MAP`/`σ` stages stream each element through the whole
+//!   chain in one pass, `MAP` directly over a product streams the pairs
+//!   without materializing the product, and `σ_{αᵢ=αⱼ}(e × e′)` with the
+//!   equality crossing the product boundary evaluates as a hash join.
 
-use balg_core::bag::BagError;
+use std::collections::HashMap;
+
+use balg_core::bag::{attr_field, BagBuilder, BagError};
 use balg_core::eval::{EvalError, Limits};
 use balg_core::expr::Var;
 use balg_core::schema::Database;
 use balg_core::value::Value;
 
 use crate::expr::{RalgExpr, RalgPred};
-use crate::relation::{deep_dedup, Relation};
+use crate::relation::Relation;
 
 /// A reusable RALG evaluator bound to one database (whose bags are viewed
 /// as relations via deep duplicate elimination — the `DB′` of
@@ -21,6 +35,9 @@ pub struct RalgEvaluator<'a> {
     limits: Limits,
     env: Vec<(Var, Value)>,
     steps_left: u64,
+    /// Deduplicated `DB′` views, computed once per database name. The old
+    /// evaluator re-ran the deep dedup on every variable lookup.
+    db_views: HashMap<Var, Value>,
 }
 
 impl<'a> RalgEvaluator<'a> {
@@ -32,6 +49,7 @@ impl<'a> RalgEvaluator<'a> {
             limits,
             env: Vec::new(),
             steps_left,
+            db_views: HashMap::new(),
         }
     }
 
@@ -67,27 +85,47 @@ impl<'a> RalgEvaluator<'a> {
         Ok(())
     }
 
-    fn lookup(&self, name: &Var) -> Result<Value, EvalError> {
+    /// Incremental distinct-element guard for the streaming loops.
+    fn check_builder_limit(&self, builder: &mut BagBuilder) -> Result<(), EvalError> {
+        builder
+            .ensure_distinct_within(self.limits.max_bag_elements)
+            .map_err(|observed| EvalError::ElementLimit {
+                observed,
+                limit: self.limits.max_bag_elements,
+            })
+    }
+
+    fn lookup(&mut self, name: &Var) -> Result<Value, EvalError> {
         for (bound, value) in self.env.iter().rev() {
             if bound == name {
                 return Ok(value.clone());
             }
         }
-        self.db
+        if let Some(view) = self.db_views.get(name) {
+            return Ok(view.clone());
+        }
+        let view = self
+            .db
             .get(name)
             .map(|bag| Relation::from_bag(bag).to_value())
-            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?;
+        self.db_views.insert(name.clone(), view.clone());
+        Ok(view)
     }
 
     fn eval_inner(&mut self, expr: &RalgExpr) -> Result<Value, EvalError> {
         self.step()?;
         match expr {
             RalgExpr::Var(name) => self.lookup(name),
-            RalgExpr::Lit(value) => Ok(deep_dedup(value)),
+            RalgExpr::Lit(value) => Ok(crate::relation::deep_dedup(value)),
             RalgExpr::Union(a, b) => self.eval_binary(a, b, |x, y| Ok(x.union(y))),
             RalgExpr::Intersect(a, b) => self.eval_binary(a, b, |x, y| Ok(x.intersect(y))),
             RalgExpr::Difference(a, b) => self.eval_binary(a, b, |x, y| Ok(x.difference(y))),
-            RalgExpr::Product(a, b) => self.eval_binary(a, b, |x, y| x.product(y)),
+            RalgExpr::Product(a, b) => match self.eval_product(a, b, None)? {
+                ProductOutcome::Joined(rel) | ProductOutcome::Materialized(rel) => {
+                    Ok(rel.to_value())
+                }
+            },
             RalgExpr::Powerset(e) => {
                 let rel = expect_relation(self.eval_inner(e)?)?;
                 let out = rel.powerset(self.limits.max_bag_elements)?;
@@ -103,19 +141,15 @@ impl<'a> RalgEvaluator<'a> {
             }
             RalgExpr::Singleton(e) => {
                 let value = self.eval_inner(e)?;
-                Ok(Relation::from_values([value]).to_value())
+                // The operand is already set-shaped; a singleton of it is
+                // too (no re-dedup needed).
+                Ok(Value::Bag(balg_core::bag::Bag::singleton(value)))
             }
             RalgExpr::Attr(e, index) => {
                 let value = self.eval_inner(e)?;
                 match &value {
                     Value::Tuple(fields) => {
-                        fields
-                            .get(index.wrapping_sub(1))
-                            .cloned()
-                            .ok_or(EvalError::Bag(BagError::BadArity {
-                                index: *index,
-                                arity: fields.len(),
-                            }))
+                        attr_field(fields, *index).cloned().map_err(EvalError::Bag)
                     }
                     other => Err(EvalError::Shape {
                         expected: "a tuple",
@@ -129,32 +163,184 @@ impl<'a> RalgEvaluator<'a> {
                 self.check_size(&out)?;
                 Ok(out.to_value())
             }
-            RalgExpr::Map { var, body, input } => {
-                let rel = expect_relation(self.eval_inner(input)?)?;
-                let mut out = Relation::new();
-                for value in rel.iter() {
-                    self.env.push((var.clone(), value.clone()));
-                    let image = self.eval_inner(body);
-                    self.env.pop();
-                    out.insert(image?);
+            RalgExpr::Map { .. } | RalgExpr::Select { .. } => self.eval_stage_chain(expr),
+        }
+    }
+
+    /// Fused evaluation of a `MAP`/`σ` spine, mirroring the BALG
+    /// evaluator: each element streams through every stage in one pass and
+    /// only the chain's final relation is materialized. A `MAP` directly
+    /// over a product streams the concatenated pairs; a join-shaped `σ`
+    /// directly over a product becomes a hash join.
+    ///
+    /// Entered from [`RalgEvaluator::eval_inner`], which has already
+    /// charged the step for the outermost spine node.
+    fn eval_stage_chain(&mut self, expr: &RalgExpr) -> Result<Value, EvalError> {
+        let mut stages: Vec<Stage<'_>> = Vec::new();
+        let mut cur = expr;
+        loop {
+            match cur {
+                RalgExpr::Map { var, body, input } => {
+                    stages.push(Stage::Map { var, body });
+                    cur = input;
                 }
-                self.check_size(&out)?;
-                Ok(out.to_value())
-            }
-            RalgExpr::Select { var, pred, input } => {
-                let rel = expect_relation(self.eval_inner(input)?)?;
-                let mut out = Relation::new();
-                for value in rel.iter() {
-                    self.env.push((var.clone(), value.clone()));
-                    let keep = self.eval_pred(pred);
-                    self.env.pop();
-                    if keep? {
-                        out.insert(value.clone());
-                    }
+                RalgExpr::Select { var, pred, input } => {
+                    stages.push(Stage::Filter { var, pred });
+                    cur = input;
                 }
-                Ok(out.to_value())
+                _ => break,
             }
         }
+        stages.reverse();
+        for _ in 1..stages.len() {
+            self.step()?; // the inner spine nodes the fusion skips
+        }
+
+        let mut first_stage = 0;
+        let base = match (cur, stages.first()) {
+            (RalgExpr::Product(a, b), Some(Stage::Filter { var, pred }))
+                if equi_join_attrs(pred, var).is_some() =>
+            {
+                let (i, j) = equi_join_attrs(pred, var).expect("just matched");
+                self.step()?; // the Product node, as eval_inner would charge it
+                match self.eval_product(a, b, Some((i, j)))? {
+                    ProductOutcome::Joined(rel) => {
+                        first_stage = 1; // the filter became the join
+                        ChainBase::Rel(rel)
+                    }
+                    ProductOutcome::Materialized(rel) => ChainBase::Rel(rel),
+                }
+            }
+            (RalgExpr::Product(a, b), Some(Stage::Map { .. })) => {
+                self.step()?; // the Product node
+                let left = expect_relation(self.eval_inner(a)?)?;
+                let right = expect_relation(self.eval_inner(b)?)?;
+                ChainBase::Pairs(left, right)
+            }
+            _ => ChainBase::Rel(expect_relation(self.eval_inner(cur)?)?),
+        };
+        let stages = &stages[first_stage..];
+        if stages.is_empty() {
+            // The hash join consumed the only stage: its relation is the
+            // chain's result, no re-streaming needed.
+            if let ChainBase::Rel(rel) = base {
+                self.check_size(&rel)?;
+                return Ok(rel.to_value());
+            }
+        }
+
+        let mut out = BagBuilder::new();
+        match &base {
+            ChainBase::Rel(rel) => {
+                for value in rel.iter() {
+                    self.run_stages(value.clone(), stages, &mut out)?;
+                }
+            }
+            ChainBase::Pairs(left, right) => {
+                for lv in left.iter() {
+                    let left_fields = lv
+                        .as_tuple()
+                        .ok_or_else(|| BagError::NotATuple(lv.clone()))?;
+                    for rv in right.iter() {
+                        let right_fields = rv
+                            .as_tuple()
+                            .ok_or_else(|| BagError::NotATuple(rv.clone()))?;
+                        self.run_stages(
+                            Value::concat_tuples(left_fields, right_fields),
+                            stages,
+                            &mut out,
+                        )?;
+                    }
+                }
+            }
+        }
+        // Stage outputs are set-shaped values, so clamping the collected
+        // multiplicities restores the set invariant without a deep pass.
+        let rel = Relation::from_set_bag_unchecked(out.build_set());
+        self.check_size(&rel)?;
+        Ok(rel.to_value())
+    }
+
+    /// Push one element through every stage; survivors land in `out`.
+    fn run_stages(
+        &mut self,
+        value: Value,
+        stages: &[Stage<'_>],
+        out: &mut BagBuilder,
+    ) -> Result<(), EvalError> {
+        let mut current = value;
+        for stage in stages {
+            match stage {
+                Stage::Map { var, body } => {
+                    self.env.push(((*var).clone(), current));
+                    let image = self.eval_inner(body);
+                    self.env.pop();
+                    current = image?;
+                }
+                Stage::Filter { var, pred } => {
+                    self.env.push(((*var).clone(), current));
+                    let keep = self.eval_pred(pred);
+                    let (_, value_back) = self.env.pop().expect("balanced λ environment");
+                    if !keep? {
+                        return Ok(());
+                    }
+                    current = value_back;
+                }
+            }
+        }
+        out.push_one(current);
+        self.check_builder_limit(out)
+    }
+
+    /// Evaluate `a × b`, optionally under an equi-join filter `αᵢ = αⱼ`
+    /// crossing the product boundary. With the shape guards satisfied
+    /// (all tuples, uniform arity per side) the matching pairs come from
+    /// a hash index on the left side and the product is never built;
+    /// otherwise the materializing path runs and the caller must still
+    /// apply the filter.
+    fn eval_product(
+        &mut self,
+        a: &RalgExpr,
+        b: &RalgExpr,
+        join_attrs: Option<(usize, usize)>,
+    ) -> Result<ProductOutcome, EvalError> {
+        let left = expect_relation(self.eval_inner(a)?)?;
+        let right = expect_relation(self.eval_inner(b)?)?;
+
+        if let Some((i, j)) = join_attrs {
+            if let (Some(left_arity), Some(right_arity)) =
+                (uniform_arity(&left), uniform_arity(&right))
+            {
+                let spans_boundary =
+                    i >= 1 && i <= left_arity && j > left_arity && j <= left_arity + right_arity;
+                if spans_boundary {
+                    let mut index: HashMap<&Value, Vec<&Value>> = HashMap::new();
+                    for lv in left.iter() {
+                        let fields = lv.as_tuple().expect("checked by uniform_arity");
+                        index.entry(&fields[i - 1]).or_default().push(lv);
+                    }
+                    let mut out = BagBuilder::new();
+                    for rv in right.iter() {
+                        let right_fields = rv.as_tuple().expect("checked by uniform_arity");
+                        let Some(matches) = index.get(&right_fields[j - left_arity - 1]) else {
+                            continue;
+                        };
+                        for lv in matches {
+                            self.step()?; // one per surviving pair, like the filter
+                            let left_fields = lv.as_tuple().expect("checked by uniform_arity");
+                            out.push_one(Value::concat_tuples(left_fields, right_fields));
+                            self.check_builder_limit(&mut out)?;
+                        }
+                    }
+                    let rel = Relation::from_set_bag_unchecked(out.build_set());
+                    return Ok(ProductOutcome::Joined(rel));
+                }
+            }
+        }
+
+        let out = left.product(&right, self.limits.max_bag_elements)?;
+        self.check_size(&out)?;
+        Ok(ProductOutcome::Materialized(out))
     }
 
     fn eval_binary(
@@ -192,9 +378,71 @@ impl<'a> RalgEvaluator<'a> {
     }
 }
 
+/// One node of a `MAP`/`σ` spine, borrowed from the expression tree.
+enum Stage<'e> {
+    Map { var: &'e Var, body: &'e RalgExpr },
+    Filter { var: &'e Var, pred: &'e RalgPred },
+}
+
+/// What a stage chain streams over: an evaluated relation, or the
+/// unmaterialized pairs of a product feeding a `MAP` stage.
+enum ChainBase {
+    Rel(Relation),
+    Pairs(Relation, Relation),
+}
+
+/// How [`RalgEvaluator::eval_product`] produced its relation.
+enum ProductOutcome {
+    /// Hash join: the equi-join filter is already applied.
+    Joined(Relation),
+    /// Full Cartesian product: any filter still needs to run.
+    Materialized(Relation),
+}
+
+/// Recognize `αᵢ(x) = αⱼ(x)` over the σ-bound variable `x` with `i ≠ j`,
+/// normalized to `i < j`.
+fn equi_join_attrs(pred: &RalgPred, var: &Var) -> Option<(usize, usize)> {
+    let attr_of = |e: &RalgExpr| match e {
+        RalgExpr::Attr(inner, ix) => match inner.as_ref() {
+            RalgExpr::Var(name) if name == var => Some(*ix),
+            _ => None,
+        },
+        _ => None,
+    };
+    match pred {
+        RalgPred::Eq(a, b) => {
+            let (i, j) = (attr_of(a)?, attr_of(b)?);
+            if i == j {
+                None // trivially true on every tuple — not a join
+            } else {
+                Some((i.min(j), i.max(j)))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// `Some(arity)` iff every element is a tuple of the same arity.
+fn uniform_arity(rel: &Relation) -> Option<usize> {
+    let mut arity = None;
+    for value in rel.iter() {
+        let len = value.as_tuple()?.len();
+        match arity {
+            None => arity = Some(len),
+            Some(a) if a == len => {}
+            Some(_) => return None,
+        }
+    }
+    arity
+}
+
+/// Re-wrap an evaluator-produced value as a relation. The evaluator only
+/// ever produces set-shaped values (database views are deduplicated at
+/// lookup, literals at evaluation, and every operator preserves the
+/// invariant), so no re-deduplication runs here — debug builds verify.
 fn expect_relation(value: Value) -> Result<Relation, EvalError> {
     match value {
-        Value::Bag(bag) => Ok(Relation::from_bag(&bag)),
+        Value::Bag(bag) => Ok(Relation::from_set_bag_unchecked(bag)),
         other => Err(EvalError::Shape {
             expected: "a relation",
             found: other.to_string(),
@@ -282,5 +530,96 @@ mod tests {
         };
         let mut ev = RalgEvaluator::new(&db, limits);
         assert!(ev.eval(&RalgExpr::var("R").powerset()).is_err());
+    }
+
+    #[test]
+    fn attr_index_zero_is_rejected_explicitly() {
+        // Regression: `α₀` used to wrap to usize::MAX and surface as a
+        // misleading BadArity { index: 0, arity: n }.
+        let db = Database::new().with("R", unary(&["a"]));
+        let q = RalgExpr::var("R").map("x", RalgExpr::var("x").attr(0));
+        match eval(&q, &db) {
+            Err(EvalError::Bag(BagError::AttrIndexZero)) => {}
+            other => panic!("expected AttrIndexZero, got {other:?}"),
+        }
+        // Positive out-of-range indices still report the arity.
+        let q = RalgExpr::var("R").map("x", RalgExpr::var("x").attr(5));
+        assert!(matches!(
+            eval(&q, &db),
+            Err(EvalError::Bag(BagError::BadArity { index: 5, arity: 1 }))
+        ));
+    }
+
+    #[test]
+    fn fused_join_matches_materialized_select() {
+        // σ_{α₂=α₃}(G×G) through the hash join vs the same query shaped so
+        // the join fusion cannot fire (filter not directly over product).
+        let edges: Vec<Value> = [("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")]
+            .iter()
+            .map(|(x, y)| Value::tuple([Value::sym(x), Value::sym(y)]))
+            .collect();
+        let db = Database::new().with("G", Bag::from_values(edges));
+        let join = RalgExpr::var("G").product(RalgExpr::var("G")).select(
+            "x",
+            RalgPred::Eq(RalgExpr::var("x").attr(2), RalgExpr::var("x").attr(3)),
+        );
+        let joined = eval_relation(&join, &db).unwrap();
+        // Same σ, but over a union with the empty relation so the base of
+        // the chain is not a Product node.
+        let detour = RalgExpr::var("G")
+            .product(RalgExpr::var("G"))
+            .union(RalgExpr::lit(Value::empty_bag()))
+            .select(
+                "x",
+                RalgPred::Eq(RalgExpr::var("x").attr(2), RalgExpr::var("x").attr(3)),
+            );
+        let materialized = eval_relation(&detour, &db).unwrap();
+        assert_eq!(joined, materialized);
+        assert!(joined.contains(&Value::tuple([
+            Value::sym("a"),
+            Value::sym("b"),
+            Value::sym("b"),
+            Value::sym("c"),
+        ])));
+    }
+
+    #[test]
+    fn streamed_map_over_product_matches_materialized() {
+        let db = Database::new()
+            .with("R", unary(&["a", "b", "c"]))
+            .with("S", unary(&["x", "y"]));
+        let fused = RalgExpr::var("R")
+            .product(RalgExpr::var("S"))
+            .map("t", RalgExpr::tuple([RalgExpr::var("t").attr(2)]));
+        let detour = RalgExpr::var("R")
+            .product(RalgExpr::var("S"))
+            .union(RalgExpr::lit(Value::empty_bag()))
+            .map("t", RalgExpr::tuple([RalgExpr::var("t").attr(2)]));
+        let a = eval_relation(&fused, &db).unwrap();
+        let b = eval_relation(&detour, &db).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2); // set semantics collapse to the S side
+    }
+
+    #[test]
+    fn fused_chain_enforces_element_limit_incrementally() {
+        // Every pair survives the σ, so the streamed product would emit
+        // |R|² = 100 tuples; a budget of 8 must stop the loop early.
+        let db = Database::new().with(
+            "R",
+            Bag::from_values((0..10).map(|i| Value::tuple([Value::int(i)]))),
+        );
+        let q = RalgExpr::var("R")
+            .product(RalgExpr::var("R"))
+            .map("t", RalgExpr::var("t"));
+        let limits = Limits {
+            max_bag_elements: 8,
+            ..Limits::default()
+        };
+        let mut ev = RalgEvaluator::new(&db, limits);
+        assert!(matches!(
+            ev.eval(&q),
+            Err(EvalError::ElementLimit { limit: 8, .. })
+        ));
     }
 }

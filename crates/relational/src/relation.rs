@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use balg_core::bag::{Bag, BagError};
+use balg_core::bag::{Bag, BagBuilder, BagError};
 use balg_core::natural::Natural;
 use balg_core::value::Value;
 
@@ -56,20 +56,31 @@ impl Relation {
 
     /// Build from values, deduplicating deeply.
     pub fn from_values(values: impl IntoIterator<Item = Value>) -> Relation {
-        let mut inner = Bag::new();
+        let mut builder = BagBuilder::new();
         for value in values {
-            let v = deep_dedup(&value);
-            if !inner.contains(&v) {
-                inner.insert(v);
-            }
+            builder.push_one(deep_dedup(&value));
         }
-        Relation { inner }
+        Relation {
+            inner: builder.build_set(),
+        }
     }
 
     /// View a bag as a relation by deep duplicate elimination — the `DB′`
     /// of Proposition 4.2.
     pub fn from_bag(bag: &Bag) -> Relation {
         Relation::from_values(bag.elements().cloned())
+    }
+
+    /// Wrap a bag that is already known to satisfy the set invariant all
+    /// the way down (every multiplicity one, deeply) — the fast path the
+    /// evaluator uses for its own outputs, which are set-shaped by
+    /// construction. Debug builds verify the claim.
+    pub(crate) fn from_set_bag_unchecked(inner: Bag) -> Relation {
+        debug_assert!(
+            is_set_value(&Value::Bag(inner.clone())),
+            "from_set_bag_unchecked requires a deeply duplicate-free bag"
+        );
+        Relation { inner }
     }
 
     /// The underlying duplicate-free bag.
@@ -138,10 +149,13 @@ impl Relation {
         }
     }
 
-    /// Cartesian product on relations of tuples.
-    pub fn product(&self, other: &Relation) -> Result<Relation, BagError> {
+    /// Cartesian product on relations of tuples. The distinct-element
+    /// budget is enforced inside the pair loop (see [`Bag::product`]).
+    /// Concatenations of mixed-arity tuples can collide, so the result is
+    /// re-flattened to multiplicity one — free when no collision happened.
+    pub fn product(&self, other: &Relation, max_elements: u64) -> Result<Relation, BagError> {
         Ok(Relation {
-            inner: self.inner.product(&other.inner)?,
+            inner: self.inner.product(&other.inner, max_elements)?.dedup(),
         })
     }
 
@@ -162,14 +176,13 @@ impl Relation {
 
     /// Set-semantics MAP: images, deduplicated.
     pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<Relation, E> {
-        let mut out = Bag::new();
+        let mut out = BagBuilder::new();
         for value in self.inner.elements() {
-            let image = f(value)?;
-            if !out.contains(&image) {
-                out.insert(image);
-            }
+            out.push_one(f(value)?);
         }
-        Ok(Relation { inner: out })
+        Ok(Relation {
+            inner: out.build_set(),
+        })
     }
 
     /// Selection.
@@ -257,7 +270,7 @@ mod tests {
         assert_eq!(r.intersect(&s).len(), 1);
         assert_eq!(r.difference(&s).len(), 1);
         assert!(r.difference(&s).contains(&v("a")));
-        let prod = r.product(&s).unwrap();
+        let prod = r.product(&s, u64::MAX).unwrap();
         assert_eq!(prod.len(), 4);
     }
 

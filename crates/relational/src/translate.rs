@@ -104,9 +104,17 @@ fn pred_to_ralg(pred: &Pred) -> Result<RalgPred, TranslateError> {
     })
 }
 
-/// Embed a RALG expression into BALG by inserting `ε` after every
-/// operator (the easy direction of Proposition 4.2; works for the *full*
-/// nested relational algebra including difference, powerset and flatten).
+/// Embed a RALG expression into BALG (the easy direction of
+/// Proposition 4.2; works for the *full* nested relational algebra
+/// including difference, powerset and flatten). The proposition's recipe
+/// inserts `ε` after **every** operator; this embedding is sharper: on
+/// duplicate-free inputs the bag operators `∪` (max), `∩`, `−`, `β` and
+/// `P` already produce duplicate-free outputs, so only the operators that
+/// can actually manufacture duplicates — `×` (mixed-arity concatenations
+/// can collide), `MAP` (images can collide), `δ` (inner sets can overlap)
+/// — and the database views keep their `ε`. Skipping the no-op `ε`s
+/// keeps the translated query from re-deduplicating already-set-shaped
+/// intermediates.
 ///
 /// Free variables (database bags) get an `ε`; λ-bound variables denote
 /// objects, not relations, and are left untouched. On flat database
@@ -126,11 +134,13 @@ fn embed(expr: &RalgExpr, bound: &mut Vec<balg_core::expr::Var>) -> Expr {
             }
         }
         RalgExpr::Lit(value) => Expr::Lit(deep_dedup(value)),
-        RalgExpr::Union(a, b) => embed(a, bound).max_union(embed(b, bound)).dedup(),
-        RalgExpr::Intersect(a, b) => embed(a, bound).intersect(embed(b, bound)).dedup(),
-        RalgExpr::Difference(a, b) => embed(a, bound).subtract(embed(b, bound)).dedup(),
+        // sup(1,1) = inf(1,1) = 1 and monus keeps n ≤ 1: no ε needed.
+        RalgExpr::Union(a, b) => embed(a, bound).max_union(embed(b, bound)),
+        RalgExpr::Intersect(a, b) => embed(a, bound).intersect(embed(b, bound)),
+        RalgExpr::Difference(a, b) => embed(a, bound).subtract(embed(b, bound)),
         RalgExpr::Product(a, b) => embed(a, bound).product(embed(b, bound)).dedup(),
-        RalgExpr::Powerset(e) => embed(e, bound).powerset().dedup(),
+        // Distinct subbags of a duplicate-free bag each occur once.
+        RalgExpr::Powerset(e) => embed(e, bound).powerset(),
         RalgExpr::Tuple(fields) => Expr::Tuple(fields.iter().map(|f| embed(f, bound)).collect()),
         RalgExpr::Singleton(e) => embed(e, bound).singleton(),
         RalgExpr::Attr(e, index) => embed(e, bound).attr(*index),

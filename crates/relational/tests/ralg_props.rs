@@ -28,6 +28,69 @@ fn noisy_bag() -> impl Strategy<Value = Bag> {
     })
 }
 
+/// A literal small unary relation.
+fn small_lit() -> impl Strategy<Value = RalgExpr> {
+    proptest::collection::btree_set(0u8..4, 0..3).prop_map(|elems| {
+        RalgExpr::Lit(Value::bag(
+            elems
+                .into_iter()
+                .map(|e| Value::tuple([Value::int(e as i64)])),
+        ))
+    })
+}
+
+/// Random relation-valued RALG queries over the fixed `R`/`S` database:
+/// the whole operator surface (union, intersection, difference, product,
+/// selection, map, powerset, flatten) with attribute indices that may or
+/// may not be in range — out-of-range queries must fail on *both*
+/// evaluation routes.
+fn ralg_query() -> impl Strategy<Value = RalgExpr> {
+    let leaf = prop_oneof![
+        Just(RalgExpr::var("R")),
+        Just(RalgExpr::var("S")),
+        small_lit(),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.difference(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.product(b)),
+            (inner.clone(), 1usize..4, 1usize..4).prop_map(|(e, i, j)| {
+                e.select(
+                    "x",
+                    RalgPred::Eq(RalgExpr::var("x").attr(i), RalgExpr::var("x").attr(j)),
+                )
+            }),
+            (inner.clone(), 1usize..4)
+                .prop_map(|(e, i)| { e.map("x", RalgExpr::tuple([RalgExpr::var("x").attr(i)])) }),
+            inner
+                .clone()
+                .prop_map(|e| e.map("x", RalgExpr::var("x").singleton())),
+            // Powerset only over the small leaves, to keep 2^n tame.
+            prop_oneof![Just(RalgExpr::var("S")), small_lit()].prop_map(RalgExpr::powerset),
+            Just(RalgExpr::var("S").powerset().flatten()),
+        ]
+    })
+}
+
+/// The fixed database the differential test runs against: noisy
+/// multiplicities so the `DB′` dedup view actually differs from the bags.
+fn differential_db() -> Database {
+    let mut r = Bag::new();
+    for (a, b, m) in [(0, 1, 3u64), (1, 2, 1), (2, 0, 2), (1, 0, 1)] {
+        r.insert_with_multiplicity(
+            Value::tuple([Value::int(a), Value::int(b)]),
+            Natural::from(m),
+        );
+    }
+    let mut s = Bag::new();
+    for (v, m) in [(0, 2u64), (1, 1), (3, 4)] {
+        s.insert_with_multiplicity(Value::tuple([Value::int(v)]), Natural::from(m));
+    }
+    Database::new().with("R", r).with("S", s)
+}
+
 proptest! {
     #[test]
     fn set_laws(a in relation(), b in relation(), c in relation()) {
@@ -76,6 +139,35 @@ proptest! {
             let embedded = ralg_to_balg(&RalgExpr::var("R").powerset());
             let via_balg = balg_core::eval::eval_bag(&embedded, &db).unwrap();
             prop_assert_eq!(Relation::from_bag(&via_balg), direct);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The PR-3 differential property pinning the RALG evaluator rewrite
+    /// and the sharpened `ralg_to_balg` embedding: every random RALG query
+    /// must produce, via direct set-semantics evaluation, exactly the bag
+    /// the BALG embedding computes — not just the same support, the same
+    /// (set-shaped) value. Queries that fail (out-of-range attributes,
+    /// products over non-tuples) must fail on both routes.
+    #[test]
+    fn direct_eval_agrees_with_balg_embedding(q in ralg_query()) {
+        let db = differential_db();
+        let direct = RalgEvaluator::new(&db, balg_core::eval::Limits::default()).eval_relation(&q);
+        let embedded = ralg_to_balg(&q);
+        let via = balg_core::eval::eval_bag(&embedded, &db);
+        match (direct, via) {
+            (Ok(direct), Ok(via)) => {
+                prop_assert!(
+                    is_set_value(&Value::Bag(via.clone())),
+                    "embedding produced duplicates: {}", via
+                );
+                prop_assert_eq!(direct.as_bag(), &via);
+            }
+            (Err(_), Err(_)) => {} // both routes reject, e.g. BadArity
+            (direct, via) => panic!("divergence: direct={direct:?} via={via:?}"),
         }
     }
 }

@@ -9,9 +9,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use balg_core::bag::Bag;
+use balg_core::bag::{Bag, BagBuilder};
 use balg_core::derived::{decode_int, int_value};
-use balg_core::natural::Natural;
 use balg_core::value::Value;
 
 /// A column declaration.
@@ -171,7 +170,7 @@ pub fn decode_value(value: &Value, numeric: bool) -> Option<SqlValue> {
 /// Load rows into a table's bag (duplicate rows accumulate multiplicity —
 /// bag semantics).
 pub fn load_table(table: &Table, rows: &[Vec<SqlValue>]) -> Result<Bag, LoadError> {
-    let mut bag = Bag::new();
+    let mut bag = BagBuilder::with_capacity(rows.len());
     for row in rows {
         if row.len() != table.columns.len() {
             return Err(LoadError::ArityMismatch {
@@ -184,14 +183,15 @@ pub fn load_table(table: &Table, rows: &[Vec<SqlValue>]) -> Result<Bag, LoadErro
             .zip(&table.columns)
             .map(|(value, column)| encode_value(value, column.numeric))
             .collect::<Result<Vec<_>, _>>()?;
-        bag.insert_with_multiplicity(Value::Tuple(fields.into()), Natural::one());
+        bag.push_one(Value::Tuple(fields.into()));
     }
-    Ok(bag)
+    Ok(bag.build())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use balg_core::natural::Natural;
 
     fn orders() -> Table {
         Catalog::new()

@@ -125,7 +125,7 @@ proptest! {
 
     #[test]
     fn product_cardinality_multiplies(a in flat_bag(), b in flat_bag()) {
-        let prod = a.product(&b).unwrap();
+        let prod = a.product(&b, u64::MAX).unwrap();
         prop_assert_eq!(prod.cardinality(), &a.cardinality() * &b.cardinality());
     }
 
@@ -152,8 +152,8 @@ proptest! {
     fn distributivity_of_product_over_additive_union(a in flat_bag(), b in flat_bag(), c in flat_bag()) {
         // a × (b ∪⁺ c) = (a × b) ∪⁺ (a × c): multiplicity arithmetic
         // distributes because ·(p+q) = ·p + ·q.
-        let left = a.product(&b.additive_union(&c)).unwrap();
-        let right = a.product(&b).unwrap().additive_union(&a.product(&c).unwrap());
+        let left = a.product(&b.additive_union(&c), u64::MAX).unwrap();
+        let right = a.product(&b, u64::MAX).unwrap().additive_union(&a.product(&c, u64::MAX).unwrap());
         prop_assert_eq!(left, right);
     }
 }
