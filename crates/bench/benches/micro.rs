@@ -16,7 +16,10 @@ use std::hint::black_box;
 
 use balg_bench::workload_bag;
 use balg_core::bag::{Bag, BagBuilder};
+use balg_core::eval::eval_bag;
+use balg_core::expr::{Expr, Pred};
 use balg_core::natural::Natural;
+use balg_core::schema::Database;
 use balg_core::value::Value;
 
 /// Naive expanded-representation additive union: concatenation of
@@ -156,9 +159,39 @@ fn builder_vs_insert(c: &mut Criterion) {
     group.finish();
 }
 
+/// The e4/e5 residual hot spot (ROADMAP): `SubBag` predicate evaluation
+/// over a large powerset. Tracks both the raw `Bag::is_subbag_of` sweep
+/// and the same work routed through the evaluator's `σ_{s ⊑ C}` — the
+/// number any future indexed-subbag-test or memoized-predicate
+/// optimization must beat.
+fn subbag_over_powerset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_subbag_over_powerset");
+    // workload_bag(8, 3): Π(mᵢ+1) = 4⁸ = 65 536 distinct subbags.
+    let base = workload_bag(8, 3);
+    let powerset = base.powerset(1 << 20).unwrap();
+    assert_eq!(powerset.distinct_count(), 65_536);
+    // A mid-lattice probe: subbags of it exist at every size.
+    let probe = workload_bag(8, 2);
+    group.bench_function("is_subbag_of_sweep_65536", |bench| {
+        bench.iter(|| {
+            black_box(&powerset)
+                .iter()
+                .filter(|(sub, _)| sub.as_bag().unwrap().is_subbag_of(black_box(&probe)))
+                .count()
+        })
+    });
+    let db = Database::new().with("P", powerset).with("C", probe);
+    let q = Expr::var("P").select("s", Pred::SubBag(Expr::var("s"), Expr::var("C")));
+    group.bench_function("evaluator_sigma_subbag_65536", |bench| {
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = counted_vs_expanded, powerbag_binomial, btree_vs_sorted_vec, builder_vs_insert
+    targets = counted_vs_expanded, powerbag_binomial, btree_vs_sorted_vec, builder_vs_insert,
+        subbag_over_powerset
 );
 criterion_main!(micro);

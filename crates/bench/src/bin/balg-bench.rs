@@ -1,27 +1,37 @@
 //! Wall-clock benchmark runner emitting a JSON perf trajectory.
 //!
 //! Runs every E1–E18 group workload (the same shapes the Criterion
-//! `paper` bench times), reports the median wall-clock per run, and
-//! writes machine-readable JSON so successive PRs can diff their perf
-//! against the committed `BENCH_baseline.json`.
+//! `paper` bench times) plus the u1–u4 incremental update-stream
+//! workloads (`*_delta` maintained vs `*_recompute` full re-evaluation),
+//! reports the median wall-clock per run, and writes machine-readable
+//! JSON so successive PRs can diff their perf against the committed
+//! `BENCH_baseline.json`.
 //!
 //! ```text
-//! balg-bench [--out FILE] [--reps N] [--label NAME]
+//! balg-bench [--out FILE] [--reps N] [--label NAME] [--append [FILE]]
 //! ```
 //!
 //! With `--out` the JSON goes to the file (stdout keeps the human table);
 //! otherwise JSON goes to stdout. `--reps` controls timed repetitions per
 //! group (default 30, after 3 warm-up runs). `--label` tags the run.
+//! `--append` merges the run as a named snapshot into the baseline file
+//! (default `BENCH_baseline.json`) instead of requiring hand-edited JSON:
+//! it sets `reps.<label>` and `median_ns.<group>.<label>_ns`, and for
+//! every `*_delta` group with a `*_recompute` sibling also records
+//! `<label>_speedup_vs_recompute`.
 
 use std::io::Write as _;
 use std::time::Instant;
 
+use balg_bench::incremental::update_groups;
+use balg_bench::json::{self, Json};
 use balg_bench::paper::groups;
 
 struct Args {
     out: Option<String>,
     reps: u32,
     label: String,
+    append: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -29,8 +39,9 @@ fn parse_args() -> Args {
         out: None,
         reps: 30,
         label: "current".to_owned(),
+        append: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path"))),
@@ -42,8 +53,17 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--reps needs a positive integer"))
             }
             "--label" => args.label = it.next().unwrap_or_else(|| die("--label needs a value")),
+            "--append" => {
+                // Optional file operand; defaults to the committed baseline.
+                args.append = Some(match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                    _ => "BENCH_baseline.json".to_owned(),
+                });
+            }
             "--help" | "-h" => {
-                println!("usage: balg-bench [--out FILE] [--reps N] [--label NAME]");
+                println!(
+                    "usage: balg-bench [--out FILE] [--reps N] [--label NAME] [--append [FILE]]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument {other}")),
@@ -67,24 +87,6 @@ fn median_ns(samples: &mut [u128]) -> u128 {
     }
 }
 
-/// Escape a string for inclusion in a JSON string literal (the label is
-/// caller-controlled; group names are static identifiers).
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn format_ns(ns: u128) -> String {
     if ns < 1_000 {
         format!("{ns} ns")
@@ -97,10 +99,59 @@ fn format_ns(ns: u128) -> String {
     }
 }
 
+/// Merge this run into the baseline file as a labelled snapshot.
+fn append_snapshot(path: &str, label: &str, reps: u32, results: &[(&'static str, u128)]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
+    let mut doc =
+        json::parse(&text).unwrap_or_else(|e| die(&format!("baseline {path} is not JSON: {e}")));
+    if doc.get("reps").is_none() {
+        doc.set("reps", Json::Obj(Vec::new()));
+    }
+    doc.get_mut("reps")
+        .expect("just ensured")
+        .set(label, Json::Num(reps as f64));
+    if doc.get("median_ns").is_none() {
+        doc.set("median_ns", Json::Obj(Vec::new()));
+    }
+    let medians = doc.get_mut("median_ns").expect("just ensured");
+    for (name, median) in results {
+        if medians.get(name).is_none() {
+            medians.set(name, Json::Obj(Vec::new()));
+        }
+        medians
+            .get_mut(name)
+            .expect("just ensured")
+            .set(&format!("{label}_ns"), Json::Num(*median as f64));
+    }
+    // Delta-vs-recompute speedups for the update workloads.
+    for (name, median) in results {
+        let Some(base) = name.strip_suffix("_delta") else {
+            continue;
+        };
+        let sibling = format!("{base}_recompute");
+        let Some(&(_, recompute)) = results.iter().find(|(n, _)| *n == sibling) else {
+            continue;
+        };
+        if *median > 0 {
+            let speedup = (recompute as f64 / *median as f64 * 100.0).round() / 100.0;
+            medians
+                .get_mut(name)
+                .expect("written above")
+                .set(&format!("{label}_speedup_vs_recompute"), Json::Num(speedup));
+        }
+    }
+    std::fs::write(path, json::to_string(&doc))
+        .unwrap_or_else(|e| die(&format!("cannot write baseline {path}: {e}")));
+    eprintln!("appended snapshot {label} to {path}");
+}
+
 fn main() {
     let args = parse_args();
     let mut results: Vec<(&'static str, u128)> = Vec::new();
-    for group in &mut groups() {
+    let mut all_groups = groups();
+    all_groups.extend(update_groups());
+    for group in &mut all_groups {
         for _ in 0..3 {
             (group.run)(); // warm-up
         }
@@ -115,25 +166,28 @@ fn main() {
         results.push((group.name, median));
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"label\": \"{}\",\n", escape_json(&args.label)));
-    json.push_str(&format!("  \"reps\": {},\n", args.reps));
-    json.push_str("  \"median_ns\": {\n");
-    for (i, (name, median)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        json.push_str(&format!("    \"{name}\": {median}{comma}\n"));
+    let mut medians = Vec::new();
+    for (name, median) in &results {
+        medians.push(((*name).to_owned(), Json::Num(*median as f64)));
     }
-    json.push_str("  }\n}\n");
+    let doc = Json::Obj(vec![
+        ("label".to_owned(), Json::Str(args.label.clone())),
+        ("reps".to_owned(), Json::Num(args.reps as f64)),
+        ("median_ns".to_owned(), Json::Obj(medians)),
+    ]);
+    let rendered = json::to_string(&doc);
 
     match &args.out {
         Some(path) => {
             let mut file = std::fs::File::create(path)
                 .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
-            file.write_all(json.as_bytes())
+            file.write_all(rendered.as_bytes())
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             eprintln!("wrote {path}");
         }
-        None => print!("{json}"),
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = &args.append {
+        append_snapshot(path, &args.label, args.reps, &results);
     }
 }

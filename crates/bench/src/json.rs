@@ -1,0 +1,422 @@
+//! A minimal JSON reader/writer for `BENCH_baseline.json`.
+//!
+//! The workspace builds offline (no serde); this module implements just
+//! enough of JSON — order-preserving objects, exact integers below 2⁵³,
+//! the standard string escapes — for the bench binary to append labelled
+//! snapshots into the committed baseline instead of requiring hand-edited
+//! JSON.
+
+use std::fmt;
+
+/// A JSON value with order-preserving objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (ns medians fit `f64` exactly below 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved across a parse/serialize round
+    /// trip so appended snapshots diff cleanly.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable member lookup on an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(members) => members.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Insert or replace a member (appends new keys at the end). Panics
+    /// if `self` is not an object — caller bugs, not data errors.
+    pub fn set(&mut self, key: &str, value: Json) {
+        let Json::Obj(members) = self else {
+            panic!("Json::set on a non-object");
+        };
+        match members.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = value,
+            None => members.push((key.to_owned(), value)),
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document (must consume all non-whitespace input).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            position: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {text}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Obj(members));
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for bench
+                            // labels; reject instead of mis-decoding.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.error("bad \\u code point"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Copy the full UTF-8 sequence starting here.
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.error("bad UTF-8"))?;
+                    out.push_str(slice);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Json, indent: usize) {
+    let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(v) => {
+            // Integers (every ns median) print without a fraction.
+            if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        Json::Str(s) => escape_into(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1);
+                out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in members.iter().enumerate() {
+                pad(out, indent + 1);
+                escape_into(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+                out.push_str(if i + 1 == members.len() { "\n" } else { ",\n" });
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize with two-space indentation and a trailing newline.
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_structure_and_order() {
+        let text = r#"{"b": 1, "a": [true, null, "x\n\"y\""], "n": {"k": 2.5}, "z": -12}"#;
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed.get("b"), Some(&Json::Num(1.0)));
+        assert_eq!(parsed.get("n").unwrap().get("k"), Some(&Json::Num(2.5)));
+        let rendered = to_string(&parsed);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(parsed, reparsed);
+        // Key order survives.
+        let Json::Obj(members) = &reparsed else {
+            panic!()
+        };
+        let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["b", "a", "n", "z"]);
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        let rendered = to_string(&Json::Num(285014670.0));
+        assert_eq!(rendered.trim(), "285014670");
+        let rendered = to_string(&Json::Num(2.92));
+        assert_eq!(rendered.trim(), "2.92");
+    }
+
+    #[test]
+    fn set_and_get_mut() {
+        let mut obj = Json::Obj(vec![("a".into(), Json::Num(1.0))]);
+        obj.set("a", Json::Num(2.0));
+        obj.set("b", Json::Str("x".into()));
+        assert_eq!(obj.get("a").unwrap().as_f64(), Some(2.0));
+        if let Some(v) = obj.get_mut("b") {
+            *v = Json::Null;
+        }
+        assert_eq!(obj.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parses_the_committed_baseline_shape() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_baseline.json"
+        ))
+        .unwrap();
+        let parsed = parse(&text).unwrap();
+        assert!(parsed.get("median_ns").is_some());
+        assert!(parsed
+            .get("median_ns")
+            .unwrap()
+            .get("e1_occurrence_table")
+            .is_some());
+    }
+
+    #[test]
+    fn errors_reject_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+}

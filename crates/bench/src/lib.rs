@@ -6,13 +6,19 @@
 //!   core computation each report regenerates;
 //! * `micro` — ablations for the design choices called out in
 //!   DESIGN.md §5 (counted vs expanded bags, powerbag via binomials vs
-//!   the Definition 5.1 renaming, element-index structures).
+//!   the Definition 5.1 renaming, element-index structures, SubBag
+//!   predicates over large powersets).
 //!
-//! This library crate only hosts shared helpers.
+//! The wall-clock runner (`balg-bench` binary) additionally times the
+//! [`incremental`] update-stream workloads — maintained views vs full
+//! recompute under 1 000 single-tuple updates — and can append a labelled
+//! snapshot into `BENCH_baseline.json` via the [`json`] module.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod incremental;
+pub mod json;
 pub mod paper;
 
 use balg_core::bag::Bag;

@@ -1,4 +1,4 @@
-//! CALC1: the typed calculus for complex objects (Section 5, [HS91]).
+//! CALC1: the typed calculus for complex objects (Section 5, \[HS91\]).
 //!
 //! CALC1 extends the relational calculus with the constructible types
 //! tuple `[…]` and set `{…}`, typed variables, the component function
@@ -7,7 +7,7 @@
 //! `dom(T, A)` — every object of type `T` constructible from the atomic
 //! constants of the input `A` (the completion `Comp(A, 𝒯)`).
 //!
-//! [AB87] showed CALC1 ≡ RALG² (quantification over sets of tuples of
+//! \[AB87\] showed CALC1 ≡ RALG² (quantification over sets of tuples of
 //! atoms); Theorem 5.3 connects it to the pebble game of `balg-games`.
 
 use std::fmt;

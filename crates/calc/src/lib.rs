@@ -1,7 +1,7 @@
 //! # balg-calc — CALC1, the calculus for complex objects
 //!
 //! Section 5's typed calculus with quantification over sets of tuples of
-//! atoms (equivalent to RALG², [AB87]): AST, active-domain evaluation
+//! atoms (equivalent to RALG², \[AB87\]): AST, active-domain evaluation
 //! over the completion `Comp(A, 𝒯)`, and sentence families used to
 //! witness Theorem 5.3 — on game-indistinguishable structures every
 //! depth-`k` sentence agrees.

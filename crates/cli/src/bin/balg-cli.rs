@@ -1,21 +1,36 @@
 //! The interactive BALG shell. Type `:help` for commands.
+//!
+//! `--incremental` switches to the maintained-view REPL: `:view`
+//! registers standing queries, `:insert`/`:delete` stream updates through
+//! the ℤ-bag delta engine.
 
 use std::io::{BufRead, Write};
 
 fn main() {
-    let mut session = balg_cli::Session::new();
-    println!("balg — Towards Tractable Algebras for Bags (PODS 1993). :help for commands.");
+    let incremental = std::env::args().skip(1).any(|a| a == "--incremental");
+    let mut oneshot = balg_cli::Session::new();
+    let mut maintained = balg_cli::IncrementalSession::new();
+    if incremental {
+        println!("balg — incremental view maintenance mode. :help for commands.");
+    } else {
+        println!("balg — Towards Tractable Algebras for Bags (PODS 1993). :help for commands.");
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     loop {
-        print!("balg> ");
+        print!("{}", if incremental { "balgΔ> " } else { "balg> " });
         let _ = stdout.flush();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
             Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
-        match session.process_line(line.trim()) {
+        let response = if incremental {
+            maintained.process_line(line.trim())
+        } else {
+            oneshot.process_line(line.trim())
+        };
+        match response {
             balg_cli::Response::Quit => break,
             balg_cli::Response::Text(text) => {
                 if !text.is_empty() {

@@ -5,6 +5,12 @@
 //! fragment membership, run the optimizer, and see evaluation metrics —
 //! the quantities the paper's complexity theorems bound.
 //!
+//! The binary's `--incremental` flag switches to an
+//! [`IncrementalSession`]: register standing views over the loaded bags,
+//! stream `:insert`/`:delete` updates, and watch the views stay
+//! consistent — maintained by the ℤ-bag delta engine of
+//! `balg-incremental` rather than re-evaluated.
+//!
 //! ```
 //! use balg_cli::{Response, Session};
 //!
@@ -216,6 +222,209 @@ anything else is parsed as a BALG expression and evaluated, e.g.
   count(G)    sum(...)    avg(...)    powerset(G)
 ";
 
+/// An interactive session with **incrementally maintained views** — the
+/// `--incremental` REPL mode of the binary. Base bags load as in
+/// [`Session`]; `:view` registers a standing query on the ℤ-bag delta
+/// engine, `:insert`/`:delete` stream updates through it, and plain
+/// expressions may read both bases and view results.
+pub struct IncrementalSession {
+    runtime: balg_incremental::ViewRuntime,
+}
+
+impl Default for IncrementalSession {
+    fn default() -> Self {
+        IncrementalSession::new()
+    }
+}
+
+impl IncrementalSession {
+    /// A fresh incremental session with default budgets.
+    pub fn new() -> IncrementalSession {
+        IncrementalSession {
+            runtime: balg_incremental::ViewRuntime::new(),
+        }
+    }
+
+    /// The underlying view runtime.
+    pub fn runtime(&self) -> &balg_incremental::ViewRuntime {
+        &self.runtime
+    }
+
+    /// The database plain expressions evaluate against: the base bags
+    /// plus every view result under its view name.
+    fn query_db(&self) -> Database {
+        let mut db = self.runtime.database().clone();
+        for (name, view) in self.runtime.views() {
+            db.insert(name, view.result().clone());
+        }
+        db
+    }
+
+    fn eval_bag_text(&self, text: &str) -> Result<balg_core::bag::Bag, String> {
+        let expr = parse_expr(text).map_err(|e| e.to_string())?;
+        let db = self.query_db();
+        let (result, _) = eval_with_metrics(&expr, &db, Limits::default());
+        match result.map_err(|e| format!("evaluation failed: {e}"))? {
+            Value::Bag(bag) => Ok(bag),
+            other => Err(format!("not a bag: {other}")),
+        }
+    }
+
+    /// Process one input line.
+    pub fn process_line(&mut self, line: &str) -> Response {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Response::Text(String::new());
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            return self.command(rest);
+        }
+        match self.eval_bag_text(line) {
+            Ok(bag) => Response::Text(bag.to_string()),
+            Err(message) => Response::Text(message),
+        }
+    }
+
+    fn command(&mut self, rest: &str) -> Response {
+        let (cmd, args) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        let name_and_expr = |args: &str| -> Result<(String, String), String> {
+            args.split_once(char::is_whitespace)
+                .map(|(n, e)| (n.to_owned(), e.trim().to_owned()))
+                .ok_or_else(|| "usage: :<cmd> NAME expr".to_owned())
+        };
+        match cmd {
+            "quit" | "q" | "exit" => Response::Quit,
+            "help" | "h" => Response::Text(INCREMENTAL_HELP.trim_end().to_owned()),
+            "load" => match name_and_expr(args).and_then(|(name, text)| {
+                // A base may not shadow a view: plain expressions would
+                // read one bag while :insert/:delete update the other.
+                if self.runtime.view(&name).is_some() {
+                    return Err(format!("{name} is a view (:dropview {name} first)"));
+                }
+                let bag = self.eval_bag_text(&text)?;
+                self.runtime
+                    .load_base(&name, bag)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("loaded {name}"))
+            }) {
+                Ok(message) | Err(message) => Response::Text(message),
+            },
+            "view" => match name_and_expr(args).and_then(|(name, text)| {
+                if self.runtime.database().get(&name).is_some() {
+                    return Err(format!("{name} is a base bag — pick another view name"));
+                }
+                let expr = parse_expr(&text).map_err(|e| e.to_string())?;
+                let result = self
+                    .runtime
+                    .create_view(&name, expr)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("view {name} = {result}"))
+            }) {
+                Ok(message) | Err(message) => Response::Text(message),
+            },
+            "insert" | "delete" => {
+                let delete = cmd == "delete";
+                match name_and_expr(args)
+                    .and_then(|(name, text)| self.apply_update(&name, &text, delete))
+                {
+                    Ok(message) | Err(message) => Response::Text(message),
+                }
+            }
+            "show" => {
+                let mut out = String::new();
+                for (name, bag) in self.runtime.database().iter() {
+                    out.push_str(&format!(
+                        "base {name}: {} distinct, |{name}| = {}\n",
+                        bag.distinct_count(),
+                        bag.cardinality()
+                    ));
+                }
+                for (name, view) in self.runtime.views() {
+                    out.push_str(&format!(
+                        "view {name} = {}: {} distinct\n",
+                        view.expr(),
+                        view.result().distinct_count()
+                    ));
+                }
+                if out.is_empty() {
+                    out.push_str("nothing loaded (:load NAME expr, :view NAME expr)");
+                }
+                Response::Text(out.trim_end().to_owned())
+            }
+            "stats" => {
+                let stats = self.runtime.stats();
+                Response::Text(format!(
+                    "{} batches — {} linear delta ops, {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
+                    stats.batches,
+                    stats.views.linear_delta_ops,
+                    stats.views.fallback_recomputes,
+                    stats.views.scalar_recomputes,
+                    stats.views.full_reinits
+                ))
+            }
+            "check" => {
+                let result = if args.is_empty() {
+                    self.runtime.verify_all()
+                } else {
+                    self.runtime.verify(args)
+                };
+                match result {
+                    Ok(true) => Response::Text("consistent".into()),
+                    Ok(false) => Response::Text("INCONSISTENT".into()),
+                    Err(e) => Response::Text(e.to_string()),
+                }
+            }
+            "dropview" => {
+                if self.runtime.drop_view(args) {
+                    Response::Text(format!("dropped view {args}"))
+                } else {
+                    Response::Text(format!("no view named {args}"))
+                }
+            }
+            other => Response::Text(format!("unknown command :{other} (:help)")),
+        }
+    }
+
+    fn apply_update(&mut self, name: &str, text: &str, delete: bool) -> Result<String, String> {
+        let bag = self.eval_bag_text(text)?;
+        let cardinality = bag.cardinality();
+        let mut batch = balg_incremental::UpdateBatch::new();
+        for (value, mult) in bag.iter() {
+            batch.change(
+                name,
+                value.clone(),
+                balg_core::zbag::ZInt::from_parts(delete, mult.clone()),
+            );
+        }
+        self.runtime
+            .apply(&batch)
+            .map_err(|e| format!("update rejected: {e}"))?;
+        let sign = if delete { "-" } else { "+" };
+        Ok(format!("{name} {sign}{cardinality}"))
+    }
+}
+
+const INCREMENTAL_HELP: &str = "
+incremental mode — standing views maintained by the ℤ-bag delta engine:
+  :load NAME expr     evaluate expr and load the bag as base NAME
+  :view NAME expr     register expr as a maintained view over the bases
+  :insert NAME expr   add the elements of a bag expr to base NAME
+  :delete NAME expr   remove the elements of a bag expr from base NAME
+  :show               list bases and views
+  :check [NAME]       compare a view (or all) against full re-evaluation
+  :stats              delta-engine instrumentation counters
+  :dropview NAME      unregister a view
+  :quit               leave
+plain lines evaluate one-shot over the bases plus the view results, e.g.
+  :load G bag{ [a,b]*2, [b,c] }
+  :view REV project(G, 2, 1)
+  :insert G bag{ [c,d] }
+  REV
+";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +496,59 @@ mod tests {
             session.process_line("# note"),
             Response::Text(String::new())
         );
+    }
+
+    #[test]
+    fn incremental_view_lifecycle() {
+        let mut session = IncrementalSession::new();
+        let out = text(session.process_line(":load G bag{ [a,b]*2, [b,c] }"));
+        assert_eq!(out, "loaded G");
+        let out = text(session.process_line(":view REV project(G, 2, 1)"));
+        assert!(out.contains("view REV"), "{out}");
+        assert!(out.contains("[b, a]^2"), "{out}");
+
+        let out = text(session.process_line(":insert G bag{ [c,d] }"));
+        assert_eq!(out, "G +1");
+        let out = text(session.process_line("REV"));
+        assert!(out.contains("[d, c]"), "{out}");
+        let out = text(session.process_line(":delete G bag{ [b,c] }"));
+        assert_eq!(out, "G -1");
+        let out = text(session.process_line("REV"));
+        assert!(!out.contains("[c, b]"), "{out}");
+
+        let out = text(session.process_line(":check"));
+        assert_eq!(out, "consistent");
+        let out = text(session.process_line(":stats"));
+        assert!(out.contains("linear delta ops"), "{out}");
+        let out = text(session.process_line(":show"));
+        assert!(out.contains("base G"), "{out}");
+        assert!(out.contains("view REV"), "{out}");
+    }
+
+    #[test]
+    fn incremental_errors_are_messages() {
+        let mut session = IncrementalSession::new();
+        let out = text(session.process_line(":view V project(Missing, 1)"));
+        assert!(out.contains("unbound variable"), "{out}");
+        session.process_line(":load G bag{ [a,b] }");
+        let out = text(session.process_line(":delete G bag{ [z,z] }"));
+        assert!(out.contains("update rejected"), "{out}");
+        let out = text(session.process_line(":dropview nope"));
+        assert!(out.contains("no view"), "{out}");
+        assert_eq!(session.process_line(":quit"), Response::Quit);
+    }
+
+    #[test]
+    fn incremental_names_cannot_shadow() {
+        let mut session = IncrementalSession::new();
+        session.process_line(":load G bag{ [a,b]*2 }");
+        // A view may not take a base's name...
+        let out = text(session.process_line(":view G dedup(G)"));
+        assert!(out.contains("base bag"), "{out}");
+        // ...and a base may not take a view's name.
+        session.process_line(":view D dedup(G)");
+        let out = text(session.process_line(":load D bag{ [x,y] }"));
+        assert!(out.contains("is a view"), "{out}");
     }
 
     #[test]

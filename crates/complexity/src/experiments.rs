@@ -221,7 +221,7 @@ pub fn e4_dedup_redundancy() -> Report {
     report
 }
 
-/// E5 — Section 3 operator dependencies: `−` from `P` ([Alb91] needs the
+/// E5 — Section 3 operator dependencies: `−` from `P` (\[Alb91\] needs the
 /// nesting increase), `∪⁺` from `∪` by tagging, `∩` and `∪` from
 /// `∪⁺`/`−`.
 pub fn e5_operator_identities() -> Report {
@@ -256,7 +256,7 @@ pub fn e5_operator_identities() -> Report {
         )
         .unwrap()
             == b1.additive_union(&b2);
-        // [Alb91]: B1 ∩ B2 = B1 − (B1 − B2); B1 ∪ B2 = (B1 − B2) ∪⁺ B2.
+        // \[Alb91\]: B1 ∩ B2 = B1 − (B1 − B2); B1 ∪ B2 = (B1 − B2) ∪⁺ B2.
         let int_via_sub = b1.subtract(&b1.subtract(&b2)) == b1.intersect(&b2);
         let max_via_sub = b1.subtract(&b2).additive_union(&b2) == b1.max_union(&b2);
         let matches = sub_via_p && au_via_tags && int_via_sub && max_via_sub;
@@ -1047,7 +1047,7 @@ pub fn e16_tm_ifp() -> Report {
     report
 }
 
-/// E17 — the [CV93] remark: conjunctive-query reasoning differs under bag
+/// E17 — the \[CV93\] remark: conjunctive-query reasoning differs under bag
 /// semantics. `π₁(R×R)` equals `R` as sets but not as bags.
 pub fn e17_bag_vs_set_cq() -> Report {
     let mut report = Report::new(

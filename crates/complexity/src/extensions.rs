@@ -2,7 +2,7 @@
 //! Conclusion-section features this repository additionally implements —
 //! the rewrite optimizer (§3's optimization remark), the nest operator
 //! ("Nest vs Powerset"), and the bags↔counters link of the Section 2
-//! remark on [GO93]/[GM95].
+//! remark on \[GO93\]/\[GM95\].
 
 use balg_core::bag::Bag;
 use balg_core::eval::{eval_bag, eval_with_metrics, Limits};
@@ -186,7 +186,7 @@ pub fn x2_nest() -> Report {
     report
 }
 
-/// X3 — bags are counters ([GM95] remark): counter machines compiled so
+/// X3 — bags are counters (\[GM95\] remark): counter machines compiled so
 /// that increment is `∪⁺ ⟦a⟧`, decrement is `− ⟦a⟧`, and zero-test is bag
 /// emptiness, agree with the direct simulator.
 pub fn x3_counters() -> Report {

@@ -181,7 +181,7 @@ impl Bag {
 
     /// Wrap a pair vector that already satisfies the representation
     /// invariant (strictly ascending keys, no zero multiplicities).
-    fn from_sorted_vec(pairs: Vec<(Value, Natural)>) -> Bag {
+    pub(crate) fn from_sorted_vec(pairs: Vec<(Value, Natural)>) -> Bag {
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
             "bag keys must be strictly ascending"
@@ -196,6 +196,13 @@ impl Bag {
         Bag {
             elems: Arc::new(pairs),
         }
+    }
+
+    /// Mutable access to the pair vector for same-crate patching
+    /// ([`crate::zbag::ZBag::apply_into`]); copy-on-write like every
+    /// mutation, and the caller must re-establish the invariant.
+    pub(crate) fn elems_mut(&mut self) -> &mut Vec<(Value, Natural)> {
+        Arc::make_mut(&mut self.elems)
     }
 
     /// The bagging constructor `β(o) = ⟦o⟧`: a bag where `o` 1-belongs.
@@ -732,7 +739,7 @@ impl Bag {
         })
     }
 
-    /// The nest operator of [PG88] (Conclusion): group a bag of tuples by
+    /// The nest operator of \[PG88\] (Conclusion): group a bag of tuples by
     /// the 1-based attributes in `group`; each distinct group key appears
     /// **once**, extended with a bag holding the residual-attribute tuples
     /// of its members (inner multiplicities preserved).
@@ -860,16 +867,46 @@ fn build_subbag(entries: &[(&Value, &Natural)], counts: &[u64]) -> Bag {
     Bag::from_sorted_vec(pairs)
 }
 
+/// The multiplicity interface shared by the ℕ-valued [`Bag`] machinery and
+/// the ℤ-valued [`crate::zbag::ZBag`] delta machinery: the merge and the
+/// builder below are generic over it, so both number systems run through
+/// one implementation of the two-pointer merge and the overflow-buffer
+/// accumulation strategy.
+pub(crate) trait Multiplicity: Clone {
+    /// Whether accumulating two nonzero values can produce zero. `false`
+    /// for ℕ (addition only grows), `true` for ℤ (cancellation) — lets
+    /// the shared machinery skip zero-filtering scans entirely on the ℕ
+    /// hot paths.
+    const CAN_CANCEL: bool;
+    /// `true` iff this is the additive identity (such entries are dropped).
+    fn is_zero(&self) -> bool;
+    /// `self += other` in the multiplicity's own arithmetic.
+    fn accumulate(&mut self, other: &Self);
+}
+
+impl Multiplicity for Natural {
+    const CAN_CANCEL: bool = false;
+
+    fn is_zero(&self) -> bool {
+        Natural::is_zero(self)
+    }
+
+    fn accumulate(&mut self, other: &Natural) {
+        *self += other;
+    }
+}
+
 /// Two-pointer merge of two sorted pair slices: keys present on one side
-/// pass through, keys present on both are combined with `combine`. The
-/// shared skeleton of `∪⁺`, `∪` and [`BagBuilder::compact`] — `combine`
-/// must return a nonzero multiplicity for nonzero inputs, which `+` and
-/// `sup` both do.
-fn merge_sorted_pairs(
-    a: impl IntoIterator<Item = (Value, Natural)>,
-    b: impl IntoIterator<Item = (Value, Natural)>,
-    mut combine: impl FnMut(Natural, Natural) -> Natural,
-) -> Vec<(Value, Natural)> {
+/// pass through, keys present on both are combined with `combine`; zero
+/// results are dropped (for ℕ combiners like `+` and `sup` that never
+/// happens, for ℤ addition it is how cancellation disappears). The shared
+/// skeleton of `∪⁺`, `∪`, the builders' compaction, and the `ZBag` group
+/// operations.
+pub(crate) fn merge_sorted_pairs<M: Multiplicity>(
+    a: impl IntoIterator<Item = (Value, M)>,
+    b: impl IntoIterator<Item = (Value, M)>,
+    mut combine: impl FnMut(M, M) -> M,
+) -> Vec<(Value, M)> {
     let (mut a, mut b) = (a.into_iter().peekable(), b.into_iter().peekable());
     let mut out = Vec::with_capacity(a.size_hint().0 + b.size_hint().0);
     loop {
@@ -880,7 +917,10 @@ fn merge_sorted_pairs(
                 Ordering::Equal => {
                     let (value, am) = a.next().expect("peeked");
                     let (_, bm) = b.next().expect("peeked");
-                    out.push((value, combine(am, bm)));
+                    let combined = combine(am, bm);
+                    if !M::CAN_CANCEL || !combined.is_zero() {
+                        out.push((value, combined));
+                    }
                 }
             },
             (Some(_), None) => {
@@ -895,6 +935,137 @@ fn merge_sorted_pairs(
         }
     }
     out
+}
+
+/// The generic accumulation core of [`BagBuilder`] (and of the ℤ-valued
+/// `ZBagBuilder`): a sorted prefix plus a small unsorted overflow buffer
+/// bulk-merged on demand.
+///
+/// Signed multiplicities can cancel to zero in place; zeroed entries are
+/// left where they sit (keys stay ascending) and filtered during
+/// compaction, so [`PairBuffer::ensure_distinct_within`] remains exact
+/// after a compact.
+#[derive(Default)]
+pub(crate) struct PairBuffer<M: Multiplicity> {
+    /// Ascending keys — a valid prefix, except that signed accumulation
+    /// may have zeroed some entries in place (filtered on compact).
+    sorted: Vec<(Value, M)>,
+    /// Unordered overflow of keys that were new and out-of-order when
+    /// pushed. May contain internal duplicates; disjoint from `sorted`
+    /// only at push time.
+    pending: Vec<(Value, M)>,
+}
+
+impl<M: Multiplicity> PairBuffer<M> {
+    /// Minimum overflow size before a bulk merge.
+    const COMPACT_MIN: usize = 32;
+
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        PairBuffer {
+            sorted: Vec::with_capacity(cap),
+            pending: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        if !M::CAN_CANCEL {
+            return self.sorted.is_empty() && self.pending.is_empty();
+        }
+        // Cancelling multiplicities can zero entries in place, so vector
+        // emptiness alone under-reports emptiness.
+        self.sorted
+            .iter()
+            .chain(self.pending.iter())
+            .all(|(_, m)| m.is_zero())
+    }
+
+    pub(crate) fn push(&mut self, value: Value, mult: M) {
+        if mult.is_zero() {
+            return;
+        }
+        match self.sorted.last_mut() {
+            None => {
+                self.sorted.push((value, mult));
+                return;
+            }
+            Some(last) => match last.0.cmp(&value) {
+                Ordering::Less => {
+                    self.sorted.push((value, mult));
+                    return;
+                }
+                Ordering::Equal => {
+                    last.1.accumulate(&mult);
+                    return;
+                }
+                Ordering::Greater => {}
+            },
+        }
+        // Out of order: merging into an existing entry needs no shift.
+        if let Ok(ix) = self.sorted.binary_search_by(|probe| probe.0.cmp(&value)) {
+            self.sorted[ix].1.accumulate(&mult);
+            return;
+        }
+        self.pending.push((value, mult));
+        if self.pending.len() >= Self::COMPACT_MIN.max(self.sorted.len() / 2) {
+            self.compact();
+        }
+    }
+
+    pub(crate) fn distinct_upper_bound(&self) -> usize {
+        self.sorted.len() + self.pending.len()
+    }
+
+    pub(crate) fn ensure_distinct_within(&mut self, limit: u64) -> Result<(), u64> {
+        if (self.sorted.len() + self.pending.len()) as u64 <= limit {
+            return Ok(());
+        }
+        self.compact();
+        let observed = self.sorted.len() as u64;
+        if observed > limit {
+            Err(observed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sort the overflow buffer and bulk-merge it into the sorted prefix,
+    /// dropping entries that cancelled to zero. The zero-filtering scans
+    /// only exist for cancelling multiplicities (ℤ); for ℕ accumulation
+    /// cannot produce zeros, so the builder hot paths skip them.
+    fn compact(&mut self) {
+        if self.pending.is_empty() {
+            if M::CAN_CANCEL {
+                self.sorted.retain(|(_, m)| !m.is_zero());
+            }
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.sort_by(|a, b| a.0.cmp(&b.0));
+        // Collapse duplicate keys within the overflow.
+        let mut merged: Vec<(Value, M)> = Vec::with_capacity(pending.len());
+        for (value, mult) in pending {
+            match merged.last_mut() {
+                Some(last) if last.0 == value => last.1.accumulate(&mult),
+                _ => merged.push((value, mult)),
+            }
+        }
+        let mut old = std::mem::take(&mut self.sorted);
+        if M::CAN_CANCEL {
+            merged.retain(|(_, m)| !m.is_zero());
+            old.retain(|(_, m)| !m.is_zero());
+        }
+        self.sorted = merge_sorted_pairs(old, merged, |mut x, y| {
+            x.accumulate(&y);
+            x
+        });
+    }
+
+    /// Finish into the canonical sorted pair vector (ascending keys, no
+    /// zeros).
+    pub(crate) fn into_sorted(mut self) -> Vec<(Value, M)> {
+        self.compact();
+        self.sorted
+    }
 }
 
 /// An accumulator for building a [`Bag`] by repeated insertion in
@@ -913,18 +1084,10 @@ fn merge_sorted_pairs(
 /// `sorted + overflow` does, and that triggers a compaction.
 #[derive(Default)]
 pub struct BagBuilder {
-    /// Strictly ascending, no zero multiplicities — a valid bag prefix.
-    sorted: Vec<(Value, Natural)>,
-    /// Unordered overflow of keys that were new and out-of-order when
-    /// pushed. May contain internal duplicates; disjoint from `sorted`
-    /// only at push time.
-    pending: Vec<(Value, Natural)>,
+    buffer: PairBuffer<Natural>,
 }
 
 impl BagBuilder {
-    /// Minimum overflow size before a bulk merge.
-    const COMPACT_MIN: usize = 32;
-
     /// An empty builder.
     pub fn new() -> BagBuilder {
         BagBuilder::default()
@@ -933,14 +1096,13 @@ impl BagBuilder {
     /// An empty builder with room for `cap` in-order insertions.
     pub fn with_capacity(cap: usize) -> BagBuilder {
         BagBuilder {
-            sorted: Vec::with_capacity(cap),
-            pending: Vec::new(),
+            buffer: PairBuffer::with_capacity(cap),
         }
     }
 
     /// `true` iff nothing has been pushed.
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty() && self.pending.is_empty()
+        self.buffer.is_empty()
     }
 
     /// Add one occurrence of `value`.
@@ -950,41 +1112,13 @@ impl BagBuilder {
 
     /// Add `mult` occurrences of `value` (no-op when `mult` is zero).
     pub fn push(&mut self, value: Value, mult: Natural) {
-        if mult.is_zero() {
-            return;
-        }
-        match self.sorted.last_mut() {
-            None => {
-                self.sorted.push((value, mult));
-                return;
-            }
-            Some(last) => match last.0.cmp(&value) {
-                Ordering::Less => {
-                    self.sorted.push((value, mult));
-                    return;
-                }
-                Ordering::Equal => {
-                    last.1 += &mult;
-                    return;
-                }
-                Ordering::Greater => {}
-            },
-        }
-        // Out of order: merging into an existing entry needs no shift.
-        if let Ok(ix) = self.sorted.binary_search_by(|probe| probe.0.cmp(&value)) {
-            self.sorted[ix].1 += &mult;
-            return;
-        }
-        self.pending.push((value, mult));
-        if self.pending.len() >= Self::COMPACT_MIN.max(self.sorted.len() / 2) {
-            self.compact();
-        }
+        self.buffer.push(value, mult);
     }
 
     /// An upper bound on the number of distinct elements pushed so far
     /// (exact when the overflow buffer is empty).
     pub fn distinct_upper_bound(&self) -> usize {
-        self.sorted.len() + self.pending.len()
+        self.buffer.distinct_upper_bound()
     }
 
     /// Enforce a distinct-element budget mid-build: `Err(observed)` with
@@ -992,56 +1126,24 @@ impl BagBuilder {
     /// comfortably under budget (two integer adds); compacts the overflow
     /// buffer only when the upper bound crosses the limit.
     pub fn ensure_distinct_within(&mut self, limit: u64) -> Result<(), u64> {
-        if (self.sorted.len() + self.pending.len()) as u64 <= limit {
-            return Ok(());
-        }
-        self.compact();
-        let observed = self.sorted.len() as u64;
-        if observed > limit {
-            Err(observed)
-        } else {
-            Ok(())
-        }
-    }
-
-    /// Sort the overflow buffer and bulk-merge it into the sorted prefix.
-    fn compact(&mut self) {
-        if self.pending.is_empty() {
-            return;
-        }
-        let mut pending = std::mem::take(&mut self.pending);
-        pending.sort_by(|a, b| a.0.cmp(&b.0));
-        // Collapse duplicate keys within the overflow.
-        let mut merged: Vec<(Value, Natural)> = Vec::with_capacity(pending.len());
-        for (value, mult) in pending {
-            match merged.last_mut() {
-                Some(last) if last.0 == value => last.1 += &mult,
-                _ => merged.push((value, mult)),
-            }
-        }
-        let old = std::mem::take(&mut self.sorted);
-        self.sorted = merge_sorted_pairs(old, merged, |mut x, y| {
-            x += &y;
-            x
-        });
+        self.buffer.ensure_distinct_within(limit)
     }
 
     /// Finish into a [`Bag`].
-    pub fn build(mut self) -> Bag {
-        self.compact();
-        Bag::from_sorted_vec(self.sorted)
+    pub fn build(self) -> Bag {
+        Bag::from_sorted_vec(self.buffer.into_sorted())
     }
 
     /// Finish into a duplicate-free [`Bag`] (every multiplicity clamped to
     /// one) — the set-semantics variant the RALG layer builds with.
-    pub fn build_set(mut self) -> Bag {
-        self.compact();
-        for pair in &mut self.sorted {
+    pub fn build_set(self) -> Bag {
+        let mut sorted = self.buffer.into_sorted();
+        for pair in &mut sorted {
             if !pair.1.is_one() {
                 pair.1 = Natural::one();
             }
         }
-        Bag::from_sorted_vec(self.sorted)
+        Bag::from_sorted_vec(sorted)
     }
 }
 

@@ -127,7 +127,7 @@ pub fn card_diff_symmetric(r: Expr, s: Expr) -> Expr {
         .additive_union(cs.subtract(cr))
 }
 
-/// The counting quantifier `∃≥i x` (Section 4, [IL90]): nonempty iff
+/// The counting quantifier `∃≥i x` (Section 4, \[IL90\]): nonempty iff
 /// `|R| ≥ i`. Computed as `count(R) − (i−1)` for `i ≥ 1`.
 pub fn card_ge_const(r: Expr, i: u64) -> Expr {
     assert!(i >= 1, "∃≥i requires i ≥ 1");
@@ -163,7 +163,7 @@ pub fn in_degree_gt_out_degree(g: Expr, node: Value) -> Expr {
 ///
 /// There is an `x` with as many elements `≤ x` as `> x` iff `|R|` is even.
 /// Parity is **not** first-order definable even with order, and not
-/// BALG¹-definable *without* order (Proposition 4.5 / [LW94]) — this is
+/// BALG¹-definable *without* order (Proposition 4.5 / \[LW94\]) — this is
 /// the separation experiment E9.
 pub fn parity_even_ordered(r: Expr) -> Expr {
     let le_count = count(r.clone().select(

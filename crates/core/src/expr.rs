@@ -79,7 +79,7 @@ pub enum Expr {
         /// The initial bag.
         input: Box<Expr>,
     },
-    /// The set-nesting operator of [PG88]/[Won93] (Conclusion, "Nest vs
+    /// The set-nesting operator of \[PG88\]/\[Won93\] (Conclusion, "Nest vs
     /// Powerset") — **extension**: group a bag of `k`-tuples by the
     /// attributes in `group` (1-based); each group appears once, paired
     /// with the bag of residual-attribute tuples (multiplicities kept).
@@ -234,7 +234,7 @@ impl Expr {
         }
     }
 
-    /// `nest_{group}(self)` — the [PG88] nest operator (extension):
+    /// `nest_{group}(self)` — the \[PG88\] nest operator (extension):
     /// group by the 1-based attributes in `group`, nesting the residual
     /// attributes into a bag.
     pub fn nest(self, group: &[usize]) -> Expr {
@@ -244,7 +244,7 @@ impl Expr {
         }
     }
 
-    /// Bounded inflationary fixpoint ([Suc93], Conclusion): the least
+    /// Bounded inflationary fixpoint (\[Suc93\], Conclusion): the least
     /// fixpoint of `T(B) = (body(B) ∩ bound) ∪ B` — inflation can never
     /// escape the subbags of `bound`, so the iteration converges within
     /// `|bound|` steps and the complexity stays bounded. Transitive

@@ -44,11 +44,12 @@
 //! | [`bag`]     | the counted bag representation and all primitive operators |
 //! | [`expr`]    | the BALG expression AST with first-class λ |
 //! | [`typecheck`] | type inference + fragment analysis (BALGᵏᵢ) |
-//! | [`eval`]    | resource-limited evaluation with metrics |
+//! | [`mod@eval`] | resource-limited evaluation with metrics |
 //! | [`derived`] | aggregates, cardinality quantifiers, Prop 3.1 identities |
 //! | [`expanded`] | the standard-encoding representation (differential oracle) |
 //! | [`rewrite`] | multiplicity-exact optimization rules (σ pushdown, ε/MAP fusion) |
 //! | [`schema`]  | bag databases, schemas, isomorphism (genericity) |
+//! | [`zbag`]    | signed-multiplicity ℤ-bags — the delta objects of incremental view maintenance |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -65,6 +66,7 @@ pub mod schema;
 pub mod typecheck;
 pub mod types;
 pub mod value;
+pub mod zbag;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use crate::typecheck::{check, infer_type, Analysis, TypeError};
     pub use crate::types::Type;
     pub use crate::value::{Atom, Value};
+    pub use crate::zbag::{ZBag, ZBagBuilder, ZBagError, ZInt};
 }
 
 pub use prelude::*;

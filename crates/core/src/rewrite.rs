@@ -4,7 +4,7 @@
 //! sets, by pushing down selections for instance").
 //!
 //! All rules are **multiplicity-exact** — bag semantics rules out several
-//! classical set rewrites (the paper cites [CV93] for how set-based
+//! classical set rewrites (the paper cites \[CV93\] for how set-based
 //! conjunctive-query reasoning fails on bags), so each rule here preserves
 //! the full bag, not just the support:
 //!

@@ -85,6 +85,13 @@ impl Database {
         self.bags.get(name)
     }
 
+    /// Remove and return a named bag — gives the caller unique ownership
+    /// so an update can mutate in place instead of copy-on-write cloning
+    /// (the incremental runtime's commit path).
+    pub fn take(&mut self, name: &str) -> Option<Bag> {
+        self.bags.remove(name)
+    }
+
     /// Iterate over `(name, bag)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (&Arc<str>, &Bag)> {
         self.bags.iter()

@@ -95,7 +95,7 @@ pub struct Analysis {
     pub uses_subtract: bool,
     /// Uses powerset `P`.
     pub uses_powerset: bool,
-    /// Uses the nest extension ([PG88], Conclusion).
+    /// Uses the nest extension (\[PG88\], Conclusion).
     pub uses_nest: bool,
 }
 

@@ -1,6 +1,6 @@
 //! Complex objects: atoms, tuples, and bags.
 //!
-//! A value is an object of some [`Type`](crate::types::Type): an atomic
+//! A value is an object of some [`Type`]: an atomic
 //! constant, a tuple of values, or a bag of values. Values carry a total
 //! order — the lexicographic order the paper uses in the PSPACE encoding of
 //! Theorem 5.1 ("From an order on the atomic constants, we can derive a

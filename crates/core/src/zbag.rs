@@ -1,0 +1,770 @@
+//! ℤ-bags: bags with **signed** multiplicities, the delta objects of
+//! incremental view maintenance.
+//!
+//! The paper's whole point is that bags carry multiplicities; extending
+//! the multiplicity monoid ℕ to the group ℤ makes every database update a
+//! first-class algebraic object — a [`ZBag`] — that flows through the BALG
+//! operators. An insertion of `o` is `+1·o`, a deletion is `−1·o`, and
+//! for every *linear* operator `F` the maintained identity
+//! `F(B ⊕ δ) = F(B) ⊕ F(δ)` answers a standing query in time proportional
+//! to the delta (this is the classic Z-set / Z-relation construction of
+//! the IVM literature, grounded here in the Section 3 operator set).
+//!
+//! The representation mirrors [`Bag`]: one sorted pair slice with no zero
+//! entries, built through the same overflow-buffer machinery as
+//! [`crate::bag::BagBuilder`] and merged with the same two-pointer
+//! passes. Unlike [`Bag`] there is no
+//! copy-on-write `Arc` — deltas are transient values that are consumed by
+//! [`ZBag::apply_to`].
+//!
+//! `Bag ⟶ ZBag` is the evident embedding ([`ZBag::from_bag`]); the reverse
+//! direction is partial and **checked** ([`ZBag::try_into_bag`] /
+//! [`ZBag::apply_to`] report [`ZBagError::NegativeMultiplicity`] instead
+//! of silently truncating, which would confuse a bad delta with monus).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::bag::{merge_sorted_pairs, Bag, BagError, Multiplicity, PairBuffer};
+use crate::natural::Natural;
+use crate::value::Value;
+
+/// A signed arbitrary-precision integer: the multiplicity group ℤ.
+///
+/// Canonical form: zero is never negative, so derived equality and
+/// hashing agree with numeric equality.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ZInt {
+    negative: bool,
+    magnitude: Natural,
+}
+
+impl ZInt {
+    /// The integer zero.
+    pub fn zero() -> ZInt {
+        ZInt::default()
+    }
+
+    /// The integer one.
+    pub fn one() -> ZInt {
+        ZInt::from_natural(Natural::one())
+    }
+
+    /// The integer minus one.
+    pub fn neg_one() -> ZInt {
+        ZInt::one().neg()
+    }
+
+    /// Embed a natural number.
+    pub fn from_natural(magnitude: Natural) -> ZInt {
+        ZInt {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    /// Build from a sign and a magnitude (canonicalizing `−0` to `0`).
+    pub fn from_parts(negative: bool, magnitude: Natural) -> ZInt {
+        ZInt {
+            negative: negative && !magnitude.is_zero(),
+            magnitude,
+        }
+    }
+
+    /// `true` iff this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.magnitude.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &Natural {
+        &self.magnitude
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> ZInt {
+        ZInt::from_parts(!self.negative, self.magnitude.clone())
+    }
+
+    /// The value as a [`Natural`] if it is non-negative.
+    pub fn to_natural(&self) -> Option<Natural> {
+        if self.negative {
+            None
+        } else {
+            Some(self.magnitude.clone())
+        }
+    }
+
+    /// `self + other` in ℤ (signed magnitudes combine via comparison and
+    /// monus — [`Natural`] has no subtraction that can go below zero).
+    pub fn add(&self, other: &ZInt) -> ZInt {
+        if self.negative == other.negative {
+            return ZInt::from_parts(self.negative, &self.magnitude + &other.magnitude);
+        }
+        match self.magnitude.cmp(&other.magnitude) {
+            Ordering::Equal => ZInt::zero(),
+            Ordering::Greater => {
+                ZInt::from_parts(self.negative, self.magnitude.monus(&other.magnitude))
+            }
+            Ordering::Less => {
+                ZInt::from_parts(other.negative, other.magnitude.monus(&self.magnitude))
+            }
+        }
+    }
+
+    /// `self · other` in ℤ.
+    pub fn mul(&self, other: &ZInt) -> ZInt {
+        ZInt::from_parts(
+            self.negative != other.negative,
+            &self.magnitude * &other.magnitude,
+        )
+    }
+
+    /// `self · n` for a natural scale factor.
+    pub fn scale(&self, factor: &Natural) -> ZInt {
+        ZInt::from_parts(self.negative, &self.magnitude * factor)
+    }
+}
+
+impl Multiplicity for ZInt {
+    const CAN_CANCEL: bool = true;
+
+    fn is_zero(&self) -> bool {
+        ZInt::is_zero(self)
+    }
+
+    fn accumulate(&mut self, other: &ZInt) {
+        *self = self.add(other);
+    }
+}
+
+impl From<Natural> for ZInt {
+    fn from(magnitude: Natural) -> ZInt {
+        ZInt::from_natural(magnitude)
+    }
+}
+
+impl From<u64> for ZInt {
+    fn from(v: u64) -> ZInt {
+        ZInt::from_natural(Natural::from(v))
+    }
+}
+
+impl From<i64> for ZInt {
+    fn from(v: i64) -> ZInt {
+        ZInt::from_parts(v < 0, Natural::from(v.unsigned_abs()))
+    }
+}
+
+impl PartialOrd for ZInt {
+    fn partial_cmp(&self, other: &ZInt) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ZInt {
+    fn cmp(&self, other: &ZInt) -> Ordering {
+        match (self.negative, other.negative) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => self.magnitude.cmp(&other.magnitude),
+            (true, true) => other.magnitude.cmp(&self.magnitude),
+        }
+    }
+}
+
+impl fmt::Display for ZInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negative {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+/// An error from the checked `ZBag ⟶ Bag` direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZBagError {
+    /// Extraction (or delta application) would produce a negative
+    /// multiplicity for the given element — the delta deletes occurrences
+    /// that are not there.
+    NegativeMultiplicity {
+        /// The element whose resulting multiplicity went below zero.
+        value: Value,
+    },
+}
+
+impl fmt::Display for ZBagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZBagError::NegativeMultiplicity { value } => {
+                write!(f, "negative multiplicity for {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZBagError {}
+
+/// A bag with signed multiplicities: the free ℤ-module over [`Value`]s.
+///
+/// Invariant (same as [`Bag`]): strictly ascending keys, no zero entries.
+/// The additive structure is a *group* — [`ZBag::negate`] inverts and
+/// [`ZBag::add`] cancels — which is what makes deletion symmetric with
+/// insertion.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ZBag {
+    pairs: Vec<(Value, ZInt)>,
+}
+
+impl ZBag {
+    /// The zero delta.
+    pub fn new() -> ZBag {
+        ZBag::default()
+    }
+
+    /// Wrap a pair vector already in canonical form.
+    fn from_sorted_vec(pairs: Vec<(Value, ZInt)>) -> ZBag {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(pairs.iter().all(|(_, m)| !m.is_zero()));
+        ZBag { pairs }
+    }
+
+    /// A single-element delta: `mult` (possibly negative) copies of
+    /// `value`.
+    pub fn singleton(value: Value, mult: ZInt) -> ZBag {
+        if mult.is_zero() {
+            return ZBag::new();
+        }
+        ZBag::from_sorted_vec(vec![(value, mult)])
+    }
+
+    /// Accumulate from arbitrary `(value, mult)` pairs (duplicates
+    /// combine, zeros vanish).
+    pub fn from_counted(pairs: impl IntoIterator<Item = (Value, ZInt)>) -> ZBag {
+        let mut builder = ZBagBuilder::new();
+        for (value, mult) in pairs {
+            builder.push(value, mult);
+        }
+        builder.build()
+    }
+
+    /// The embedding `Bag ⟶ ZBag`: every multiplicity reinterpreted as a
+    /// non-negative integer.
+    pub fn from_bag(bag: &Bag) -> ZBag {
+        ZBag::from_sorted_vec(
+            bag.iter()
+                .map(|(v, m)| (v.clone(), ZInt::from_natural(m.clone())))
+                .collect(),
+        )
+    }
+
+    /// `true` iff this is the zero delta.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of distinct elements carried.
+    pub fn distinct_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Iterate over `(element, signed multiplicity)` in element order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &ZInt)> {
+        self.pairs.iter().map(|(v, m)| (v, m))
+    }
+
+    /// The signed multiplicity of `value` (zero when absent).
+    pub fn multiplicity(&self, value: &Value) -> ZInt {
+        match self.pairs.binary_search_by(|probe| probe.0.cmp(value)) {
+            Ok(ix) => self.pairs[ix].1.clone(),
+            Err(_) => ZInt::zero(),
+        }
+    }
+
+    /// Add `mult` copies of `value` in place (binary search; intended for
+    /// small deltas — bulk construction goes through [`ZBagBuilder`]).
+    pub fn insert(&mut self, value: Value, mult: ZInt) {
+        if mult.is_zero() {
+            return;
+        }
+        match self.pairs.binary_search_by(|probe| probe.0.cmp(&value)) {
+            Ok(ix) => {
+                self.pairs[ix].1.accumulate(&mult);
+                if self.pairs[ix].1.is_zero() {
+                    self.pairs.remove(ix);
+                }
+            }
+            Err(ix) => self.pairs.insert(ix, (value, mult)),
+        }
+    }
+
+    /// Group negation: flips every sign.
+    pub fn negate(&self) -> ZBag {
+        ZBag::from_sorted_vec(
+            self.pairs
+                .iter()
+                .map(|(v, m)| (v.clone(), m.neg()))
+                .collect(),
+        )
+    }
+
+    /// Group addition (the two-pointer merge; cancellations vanish).
+    pub fn add(&self, other: &ZBag) -> ZBag {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        ZBag::from_sorted_vec(merge_sorted_pairs(
+            self.pairs.iter().cloned(),
+            other.pairs.iter().cloned(),
+            |a, b| a.add(&b),
+        ))
+    }
+
+    /// Scale every multiplicity by a signed factor.
+    pub fn scale(&self, factor: &ZInt) -> ZBag {
+        if factor.is_zero() {
+            return ZBag::new();
+        }
+        ZBag::from_sorted_vec(
+            self.pairs
+                .iter()
+                .map(|(v, m)| (v.clone(), m.mul(factor)))
+                .collect(),
+        )
+    }
+
+    /// The pointwise difference `new − old` of two bags — the delta that
+    /// [`ZBag::apply_to`] turns `old` back into `new`. This is how the
+    /// non-linear fallback of the incremental engine re-expresses a
+    /// re-derived node as a delta for its parents.
+    pub fn diff(new: &Bag, old: &Bag) -> ZBag {
+        ZBag::from_sorted_vec(merge_sorted_pairs(
+            new.iter()
+                .map(|(v, m)| (v.clone(), ZInt::from_natural(m.clone()))),
+            old.iter()
+                .map(|(v, m)| (v.clone(), ZInt::from_parts(true, m.clone()))),
+            |a, b| a.add(&b),
+        ))
+    }
+
+    /// The checked extraction `ZBag ⟶ Bag`: succeeds iff every
+    /// multiplicity is non-negative.
+    pub fn try_into_bag(&self) -> Result<Bag, ZBagError> {
+        let mut out = Vec::with_capacity(self.pairs.len());
+        for (value, mult) in &self.pairs {
+            match mult.to_natural() {
+                Some(m) => out.push((value.clone(), m)),
+                None => {
+                    return Err(ZBagError::NegativeMultiplicity {
+                        value: value.clone(),
+                    })
+                }
+            }
+        }
+        Ok(Bag::from_sorted_vec(out))
+    }
+
+    /// Apply the delta to a base bag: `base ⊕ self`, checked to stay in ℕ
+    /// everywhere.
+    pub fn apply_to(&self, base: &Bag) -> Result<Bag, ZBagError> {
+        self.apply_into(base.clone())
+    }
+
+    /// As [`ZBag::apply_to`], consuming the base. A small delta against a
+    /// uniquely-owned base patches the pair slice **in place** (binary
+    /// search plus a memmove per new key) — the commit path of the
+    /// incremental runtime, which takes bags out of the database so a
+    /// single-tuple update never rebuilds the whole slice. On error the
+    /// base may be partially patched and is dropped; callers that need
+    /// atomicity validate first (see `ViewRuntime::apply`).
+    pub fn apply_into(&self, mut base: Bag) -> Result<Bag, ZBagError> {
+        if self.is_empty() {
+            return Ok(base);
+        }
+        if self.pairs.len() * 8 <= base.distinct_count() {
+            let elems = base.elems_mut();
+            for (value, mult) in &self.pairs {
+                match elems.binary_search_by(|probe| probe.0.cmp(value)) {
+                    Ok(ix) => {
+                        if mult.is_negative() {
+                            let magnitude = mult.magnitude();
+                            match elems[ix].1.cmp(magnitude) {
+                                Ordering::Less => {
+                                    return Err(ZBagError::NegativeMultiplicity {
+                                        value: value.clone(),
+                                    })
+                                }
+                                Ordering::Equal => {
+                                    elems.remove(ix);
+                                }
+                                Ordering::Greater => {
+                                    let rest = elems[ix].1.monus(magnitude);
+                                    elems[ix].1 = rest;
+                                }
+                            }
+                        } else {
+                            elems[ix].1 += mult.magnitude();
+                        }
+                    }
+                    Err(ix) => match mult.to_natural() {
+                        Some(m) => elems.insert(ix, (value.clone(), m)),
+                        None => {
+                            return Err(ZBagError::NegativeMultiplicity {
+                                value: value.clone(),
+                            })
+                        }
+                    },
+                }
+            }
+            return Ok(base);
+        }
+        let merged = merge_sorted_pairs(
+            base.iter()
+                .map(|(v, m)| (v.clone(), ZInt::from_natural(m.clone()))),
+            self.pairs.iter().cloned(),
+            |a, b| a.add(&b),
+        );
+        let mut out = Vec::with_capacity(merged.len());
+        for (value, mult) in merged {
+            match mult.to_natural() {
+                Some(m) => out.push((value, m)),
+                None => return Err(ZBagError::NegativeMultiplicity { value }),
+            }
+        }
+        Ok(Bag::from_sorted_vec(out))
+    }
+
+    // ----- linear BALG operators, lifted to ℤ -----
+
+    /// `MAP_φ` on a delta: images accumulate their signed preimage
+    /// multiplicities. Linear because MAP distributes over `∪⁺`.
+    pub fn map<E>(&self, mut f: impl FnMut(&Value) -> Result<Value, E>) -> Result<ZBag, E> {
+        let mut out = ZBagBuilder::new();
+        for (value, mult) in &self.pairs {
+            out.push(f(value)?, mult.clone());
+        }
+        Ok(out.build())
+    }
+
+    /// `σ` on a delta: keeps elements satisfying the predicate with their
+    /// signed multiplicities.
+    pub fn select<E>(&self, mut pred: impl FnMut(&Value) -> Result<bool, E>) -> Result<ZBag, E> {
+        let mut out = Vec::new();
+        for (value, mult) in &self.pairs {
+            if pred(value)? {
+                out.push((value.clone(), mult.clone()));
+            }
+        }
+        Ok(ZBag::from_sorted_vec(out))
+    }
+
+    /// `×` of two deltas (the building block of the bilinear product rule
+    /// `δ(A×B) = δA×B ⊕ A×δB ⊕ δA×δB`): tuples concatenate, signed
+    /// multiplicities multiply. `max_elements` bounds the distinct output
+    /// count exactly like [`Bag::product`].
+    pub fn product(&self, other: &ZBag, max_elements: u64) -> Result<ZBag, BagError> {
+        let mut out = ZBagBuilder::new();
+        for (left, lm) in &self.pairs {
+            let left_fields = left
+                .as_tuple()
+                .ok_or_else(|| BagError::NotATuple(left.clone()))?;
+            for (right, rm) in &other.pairs {
+                let right_fields = right
+                    .as_tuple()
+                    .ok_or_else(|| BagError::NotATuple(right.clone()))?;
+                out.push(Value::concat_tuples(left_fields, right_fields), lm.mul(rm));
+                if out.buffer.ensure_distinct_within(max_elements).is_err() {
+                    return Err(BagError::TooLarge {
+                        predicted: &Natural::from(self.pairs.len() as u64)
+                            * &Natural::from(other.pairs.len() as u64),
+                        limit: max_elements,
+                    });
+                }
+            }
+        }
+        Ok(out.build())
+    }
+
+    /// `δ` (bag-destroy) on a delta of bags: inner elements accumulate
+    /// scaled by the signed outer multiplicity. Linear because destroy is
+    /// a multiplicity-weighted sum.
+    pub fn destroy(&self) -> Result<ZBag, BagError> {
+        let mut out = ZBagBuilder::new();
+        for (value, mult) in &self.pairs {
+            let inner = value
+                .as_bag()
+                .ok_or_else(|| BagError::NotABag(value.clone()))?;
+            for (elem, inner_mult) in inner.iter() {
+                out.push(elem.clone(), mult.scale(inner_mult));
+            }
+        }
+        Ok(out.build())
+    }
+}
+
+impl fmt::Display for ZBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{{")?;
+        for (i, (value, mult)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{value}^{mult}")?;
+        }
+        f.write_str("}}")
+    }
+}
+
+/// An accumulator for building a [`ZBag`] by repeated signed insertion —
+/// the ℤ instantiation of the [`BagBuilder`](crate::bag::BagBuilder)
+/// overflow-buffer machinery.
+#[derive(Default)]
+pub struct ZBagBuilder {
+    buffer: PairBuffer<ZInt>,
+}
+
+impl ZBagBuilder {
+    /// An empty builder.
+    pub fn new() -> ZBagBuilder {
+        ZBagBuilder::default()
+    }
+
+    /// `true` iff nothing (or only cancelling pairs) has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Add `mult` signed copies of `value`.
+    pub fn push(&mut self, value: Value, mult: ZInt) {
+        self.buffer.push(value, mult);
+    }
+
+    /// Finish into a [`ZBag`].
+    pub fn build(self) -> ZBag {
+        ZBag::from_sorted_vec(self.buffer.into_sorted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn z(v: i64) -> ZInt {
+        ZInt::from(v)
+    }
+
+    #[test]
+    fn zint_arithmetic() {
+        assert_eq!(z(3).add(&z(-5)), z(-2));
+        assert_eq!(z(-3).add(&z(5)), z(2));
+        assert_eq!(z(3).add(&z(-3)), ZInt::zero());
+        assert!(!z(3).add(&z(-3)).is_negative()); // canonical zero
+        assert_eq!(z(-3).mul(&z(-4)), z(12));
+        assert_eq!(z(-3).mul(&z(4)), z(-12));
+        assert_eq!(z(7).neg(), z(-7));
+        assert!(z(-1) < ZInt::zero());
+        assert!(z(-5) < z(-2));
+        assert!(z(2) < z(5));
+        assert_eq!(z(-2).to_string(), "-2");
+        assert_eq!(z(-4).to_natural(), None);
+        assert_eq!(z(4).to_natural(), Some(Natural::from(4u64)));
+    }
+
+    #[test]
+    fn embedding_roundtrip() {
+        let bag = Bag::from_counted([
+            (sym("a"), Natural::from(2u64)),
+            (sym("b"), Natural::from(1u64)),
+        ]);
+        let zbag = ZBag::from_bag(&bag);
+        assert_eq!(zbag.try_into_bag().unwrap(), bag);
+    }
+
+    #[test]
+    fn group_laws_and_cancellation() {
+        let delta = ZBag::from_counted([(sym("a"), z(2)), (sym("b"), z(-1))]);
+        assert!(delta.add(&delta.negate()).is_empty());
+        let twice = delta.add(&delta);
+        assert_eq!(twice.multiplicity(&sym("a")), z(4));
+        assert_eq!(twice.multiplicity(&sym("b")), z(-2));
+        assert_eq!(delta.scale(&z(-3)).multiplicity(&sym("a")), z(-6));
+    }
+
+    #[test]
+    fn diff_then_apply_roundtrips() {
+        let old = Bag::from_counted([
+            (sym("a"), Natural::from(3u64)),
+            (sym("b"), Natural::from(1u64)),
+        ]);
+        let new = Bag::from_counted([
+            (sym("a"), Natural::from(1u64)),
+            (sym("c"), Natural::from(2u64)),
+        ]);
+        let delta = ZBag::diff(&new, &old);
+        assert_eq!(delta.multiplicity(&sym("a")), z(-2));
+        assert_eq!(delta.multiplicity(&sym("b")), z(-1));
+        assert_eq!(delta.multiplicity(&sym("c")), z(2));
+        assert_eq!(delta.apply_to(&old).unwrap(), new);
+        assert_eq!(delta.negate().apply_to(&new).unwrap(), old);
+    }
+
+    #[test]
+    fn checked_extraction_rejects_negative() {
+        let delta = ZBag::singleton(sym("a"), z(-1));
+        assert!(matches!(
+            delta.try_into_bag(),
+            Err(ZBagError::NegativeMultiplicity { .. })
+        ));
+        // Deleting from an element that isn't there is an error, not monus.
+        let base = Bag::singleton(sym("b"));
+        assert!(matches!(
+            delta.apply_to(&base),
+            Err(ZBagError::NegativeMultiplicity { .. })
+        ));
+        // Deleting exactly what is there is fine.
+        let base = Bag::singleton(sym("a"));
+        assert!(delta.apply_to(&base).unwrap().is_empty());
+    }
+
+    #[test]
+    fn patch_and_merge_application_paths_agree() {
+        let base =
+            Bag::from_counted((0..64i64).map(|i| (Value::int(i), Natural::from(i as u64 % 3 + 1))));
+        // Small vs base → in-place patch path; the group-theoretic spec
+        // (embed, add, extract) is the oracle for both.
+        let small = ZBag::from_counted([
+            (Value::int(3), z(-1)),
+            (Value::int(5), z(-3)), // multiplicity of 5 is exactly 3: entry vanishes
+            (Value::int(100), z(2)),
+        ]);
+        // Large vs base → the merge path.
+        let large = ZBag::from_counted((0..64i64).map(|i| (Value::int(i), z(1))));
+        for delta in [&small, &large] {
+            let expected = ZBag::from_bag(&base).add(delta).try_into_bag().unwrap();
+            assert_eq!(delta.apply_to(&base).unwrap(), expected);
+            assert_eq!(delta.apply_into(base.clone()).unwrap(), expected);
+        }
+        assert!(!small.apply_to(&base).unwrap().contains(&Value::int(5)));
+        // Over-deletion errs on both paths.
+        let over_small = ZBag::singleton(Value::int(2), z(-100));
+        let over_large = ZBag::from_counted((0..64i64).map(|i| (Value::int(i), z(-100)))); // merge path
+        assert!(over_small.apply_to(&base).is_err());
+        assert!(over_large.apply_to(&base).is_err());
+        // A negative delta on an absent key errs on the patch path too.
+        assert!(ZBag::singleton(Value::int(999), z(-1))
+            .apply_to(&base)
+            .is_err());
+    }
+
+    #[test]
+    fn product_is_bilinear() {
+        // δ(A×B) = δA×B ⊕ A×δB ⊕ δA×δB, checked on a concrete update.
+        let t = |a: &str, b: &str| Value::tuple([sym(a), sym(b)]);
+        let a_old = Bag::from_values([t("a", "1"), t("a", "2")]);
+        let b_old = Bag::from_values([t("x", "p")]);
+        let da = ZBag::from_counted([(t("a", "3"), z(1)), (t("a", "1"), z(-1))]);
+        let db = ZBag::from_counted([(t("y", "q"), z(2))]);
+        let a_new = da.apply_to(&a_old).unwrap();
+        let b_new = db.apply_to(&b_old).unwrap();
+
+        let full_old = a_old.product(&b_old, u64::MAX).unwrap();
+        let full_new = a_new.product(&b_new, u64::MAX).unwrap();
+        let expected = ZBag::diff(&full_new, &full_old);
+
+        let rule = da
+            .product(&ZBag::from_bag(&b_old), u64::MAX)
+            .unwrap()
+            .add(&ZBag::from_bag(&a_old).product(&db, u64::MAX).unwrap())
+            .add(&da.product(&db, u64::MAX).unwrap());
+        assert_eq!(rule, expected);
+    }
+
+    #[test]
+    fn map_select_destroy_are_linear() {
+        let delta = ZBag::from_counted([
+            (Value::tuple([sym("a"), sym("b")]), z(2)),
+            (Value::tuple([sym("c"), sym("d")]), z(-1)),
+        ]);
+        let mapped = delta
+            .map(|v| {
+                Ok::<_, std::convert::Infallible>(Value::tuple([v.as_tuple().unwrap()[1].clone()]))
+            })
+            .unwrap();
+        assert_eq!(mapped.multiplicity(&Value::tuple([sym("b")])), z(2));
+        assert_eq!(mapped.multiplicity(&Value::tuple([sym("d")])), z(-1));
+
+        let selected = delta
+            .select(|v| Ok::<_, std::convert::Infallible>(v.as_tuple().unwrap()[0] == sym("a")))
+            .unwrap();
+        assert_eq!(selected.distinct_count(), 1);
+
+        let nested = ZBag::from_counted([
+            (Value::bag([sym("p"), sym("p")]), z(-1)),
+            (Value::bag([sym("q")]), z(3)),
+        ]);
+        let flat = nested.destroy().unwrap();
+        assert_eq!(flat.multiplicity(&sym("p")), z(-2));
+        assert_eq!(flat.multiplicity(&sym("q")), z(3));
+    }
+
+    #[test]
+    fn product_budget_enforced() {
+        let mk = |n: i64| {
+            ZBag::from_counted((0..n).map(|i| (Value::tuple([Value::int(i)]), ZInt::one())))
+        };
+        let a = mk(100);
+        assert!(matches!(
+            a.product(&a, 50),
+            Err(BagError::TooLarge { limit: 50, .. })
+        ));
+        assert_eq!(a.product(&a, 20_000).unwrap().distinct_count(), 10_000);
+    }
+
+    #[test]
+    fn builder_is_empty_sees_in_place_cancellation() {
+        let mut builder = ZBagBuilder::new();
+        assert!(builder.is_empty());
+        builder.push(sym("a"), ZInt::one());
+        assert!(!builder.is_empty());
+        builder.push(sym("a"), ZInt::neg_one());
+        assert!(builder.is_empty(), "cancelled pair must read as empty");
+        assert!(builder.build().is_empty());
+    }
+
+    #[test]
+    fn builder_cancels_across_overflow() {
+        // Signed pushes that cancel inside the pending buffer and across
+        // the sorted prefix must vanish from the built delta.
+        let mut builder = ZBagBuilder::new();
+        for i in (0..100i64).rev() {
+            builder.push(Value::int(i), z(1));
+        }
+        for i in 0..100i64 {
+            if i % 2 == 0 {
+                builder.push(Value::int(i), z(-1));
+            }
+        }
+        let built = builder.build();
+        assert_eq!(built.distinct_count(), 50);
+        assert!(built.iter().all(|(v, m)| {
+            let Value::Atom(crate::value::Atom::Int(i)) = v else {
+                return false;
+            };
+            i % 2 == 1 && *m == ZInt::one()
+        }));
+    }
+}

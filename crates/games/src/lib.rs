@@ -1,4 +1,4 @@
-//! # balg-games — pebble games for complex objects ([GV90], Section 5)
+//! # balg-games — pebble games for complex objects (\[GV90\], Section 5)
 //!
 //! The machinery behind Theorem 5.2 (`RALG² ⊊ BALG²`): the modified
 //! Ehrenfeucht–Fraïssé game characterizing CALC1 ≡ RALG² definability, the

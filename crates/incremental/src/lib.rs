@@ -1,0 +1,71 @@
+//! # balg-incremental — incremental view maintenance over BALG
+//!
+//! Answers a standing BALG query after a small database update in time
+//! proportional to the **delta**, not the database — the classic
+//! IVM/Z-set construction (cf. differential-dataflow-style engines),
+//! grounded directly in the paper's Section 3 operator set. The paper's
+//! own observation makes this algebraic: bags carry multiplicities, and
+//! extending the multiplicity monoid ℕ to the group ℤ
+//! ([`balg_core::zbag::ZBag`]) turns every insert/delete batch into a
+//! first-class *delta bag* that flows through the operators.
+//!
+//! ## The linear / non-linear operator split
+//!
+//! For the **linear** operators the maintained identity
+//! `F(B ⊕ δ) = F(B) ⊕ F(δ)` (bilinear for `×`) updates a view purely from
+//! deltas:
+//!
+//! | operator | derivative rule |
+//! |----------|-----------------|
+//! | `∪⁺` | `δ(A ∪⁺ B) = δA ⊕ δB` |
+//! | `MAP_φ` / `σ_φ` / `π` | push each delta element through `φ` (valid while `φ` reads no updated bag) |
+//! | `×` | `δ(A×B) = δA×B ⊕ A×δB ⊕ δA×δB` |
+//! | `δ` (destroy) | `δ` of the delta, inner bags scaled by signed outer multiplicity |
+//! | scalar constructs (`τ`, `β`, `αᵢ`) | cheap re-derivation of the single value |
+//!
+//! The **non-linear** operators — monus `−`, `ε`, `∪` (max), `∩` (min),
+//! `nest`, powerset/powerbag, `IFP`, and `MAP`/`σ` whose λ body reads an
+//! updated bag (e.g. a `SubBag` predicate against a changing base) — fall
+//! back to re-derivation of **only the affected subtree**: every node
+//! memoizes its value, so the fallback recomputes one operator over its
+//! children's (already incrementally-maintained) snapshots and
+//! re-expresses the result as a delta ([`balg_core::zbag::ZBag::diff`])
+//! for its parents. Untouched subtrees are skipped entirely via free-name
+//! analysis. Fallbacks are counted by an instrumentation counter
+//! ([`ViewStats::fallback_recomputes`]) so tests can assert which path
+//! ran.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use balg_core::prelude::*;
+//! use balg_incremental::prelude::*;
+//!
+//! let mut runtime = ViewRuntime::new();
+//! runtime.load_base("G", Bag::from_values([
+//!     Value::tuple([Value::sym("a"), Value::sym("b")]),
+//! ])).unwrap();
+//! runtime.create_view("rev", Expr::var("G").project(&[2, 1])).unwrap();
+//!
+//! let mut batch = UpdateBatch::new();
+//! batch.insert("G", Value::tuple([Value::sym("b"), Value::sym("c")]));
+//! runtime.apply(&batch).unwrap();
+//!
+//! let rev = runtime.view("rev").unwrap();
+//! assert!(rev.contains(&Value::tuple([Value::sym("c"), Value::sym("b")])));
+//! assert!(runtime.verify("rev").unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod runtime;
+pub mod view;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::runtime::{RuntimeStats, UpdateBatch, UpdateError, ViewRuntime};
+    pub use crate::view::{View, ViewStats};
+}
+
+pub use prelude::*;

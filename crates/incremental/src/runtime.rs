@@ -1,0 +1,615 @@
+//! The view runtime: named base bags plus registered views, maintained
+//! under batched insert/delete updates.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use balg_core::bag::Bag;
+use balg_core::eval::{EvalError, Evaluator, Limits};
+use balg_core::expr::{Expr, Var};
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use balg_core::zbag::{ZBag, ZBagError, ZInt};
+
+use crate::view::{View, ViewStats};
+
+/// A batch of signed updates against named base bags: inserts and deletes
+/// accumulate into one ℤ-bag delta per base, so a batch that inserts and
+/// then deletes the same tuple cancels before it ever reaches a view.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateBatch {
+    deltas: BTreeMap<Var, ZBag>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// Record one insertion of `value` into `base`.
+    pub fn insert(&mut self, base: &str, value: Value) {
+        self.change(base, value, ZInt::one());
+    }
+
+    /// Record one deletion of `value` from `base`.
+    pub fn delete(&mut self, base: &str, value: Value) {
+        self.change(base, value, ZInt::neg_one());
+    }
+
+    /// Record a signed multiplicity change for `value` in `base`.
+    pub fn change(&mut self, base: &str, value: Value, by: ZInt) {
+        self.deltas
+            .entry(Var::from(base))
+            .or_default()
+            .insert(value, by);
+    }
+
+    /// Merge a whole delta bag into `base`'s pending change.
+    pub fn merge_delta(&mut self, base: &str, delta: &ZBag) {
+        let slot = self.deltas.entry(Var::from(base)).or_default();
+        *slot = slot.add(delta);
+    }
+
+    /// `true` iff every accumulated delta is zero.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.values().all(ZBag::is_empty)
+    }
+
+    /// The accumulated delta for `base` (zero if untouched).
+    pub fn delta(&self, base: &str) -> Option<&ZBag> {
+        self.deltas.get(base)
+    }
+
+    /// Iterate over `(base, delta)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &ZBag)> {
+        self.deltas.iter()
+    }
+}
+
+/// An error from the runtime's public operations.
+#[derive(Debug, Clone)]
+pub enum UpdateError {
+    /// An update names a base bag that was never loaded.
+    UnknownBase(String),
+    /// A delete would drive a base multiplicity negative — rejected
+    /// before anything is committed.
+    NegativeBase {
+        /// The base bag name.
+        base: String,
+        /// The element whose multiplicity would go below zero.
+        value: Value,
+    },
+    /// A view operation named an unregistered view.
+    UnknownView(String),
+    /// View registration or maintenance failed (and, for maintenance, the
+    /// degraded full re-derivation failed too — the view was dropped).
+    View {
+        /// The view name.
+        view: String,
+        /// The underlying evaluation error.
+        error: EvalError,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownBase(name) => write!(f, "unknown base bag {name}"),
+            UpdateError::NegativeBase { base, value } => {
+                write!(f, "delete from {base} would make {value} negative")
+            }
+            UpdateError::UnknownView(name) => write!(f, "unknown view {name}"),
+            UpdateError::View { view, error } => write!(f, "view {view}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Aggregate instrumentation across all views of a runtime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Update batches applied.
+    pub batches: u64,
+    /// Summed per-view counters.
+    pub views: ViewStats,
+}
+
+/// Named base bags plus incrementally maintained views.
+///
+/// The lifecycle is: [`ViewRuntime::load_base`] the database,
+/// [`ViewRuntime::create_view`] standing queries, then stream
+/// [`ViewRuntime::apply`] batches; [`ViewRuntime::view`] reads are always
+/// consistent with the current database, which
+/// [`ViewRuntime::verify`] re-checks against a full re-evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct ViewRuntime {
+    db: Database,
+    limits: Limits,
+    views: BTreeMap<String, View>,
+    batches: u64,
+}
+
+impl ViewRuntime {
+    /// An empty runtime with default evaluation budgets.
+    pub fn new() -> ViewRuntime {
+        ViewRuntime::with_limits(Limits::default())
+    }
+
+    /// An empty runtime with explicit budgets (shared by initial
+    /// evaluation, fallback re-derivation, and consistency checks).
+    pub fn with_limits(limits: Limits) -> ViewRuntime {
+        ViewRuntime {
+            db: Database::new(),
+            limits,
+            views: BTreeMap::new(),
+            batches: 0,
+        }
+    }
+
+    /// A runtime over an existing database.
+    pub fn from_database(db: Database, limits: Limits) -> ViewRuntime {
+        ViewRuntime {
+            db,
+            limits,
+            views: BTreeMap::new(),
+            batches: 0,
+        }
+    }
+
+    /// The current database (bases only; views live beside it).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The evaluation budgets in force.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Load (or wholesale replace) a base bag. Views reading it are
+    /// re-derived from scratch — this is a rebase, not an update; stream
+    /// changes through [`ViewRuntime::apply`] instead when a delta is
+    /// known. Every dependent view is rebased even if an earlier one
+    /// fails; a view whose re-derivation fails is **dropped** (it could
+    /// only serve results for the replaced base) and the first failure is
+    /// reported.
+    pub fn load_base(&mut self, name: &str, bag: Bag) -> Result<(), UpdateError> {
+        self.db.insert(name, bag);
+        let var = Var::from(name);
+        let mut failed: Vec<(String, EvalError)> = Vec::new();
+        for (view_name, view) in self.views.iter_mut() {
+            if view.reads().contains(&var) {
+                if let Err(error) = view.reinit(&self.db, &self.limits) {
+                    failed.push((view_name.clone(), error));
+                }
+            }
+        }
+        self.drop_failed(failed)
+    }
+
+    /// Remove views whose re-derivation failed (their snapshots would be
+    /// silently stale) and surface the first failure.
+    fn drop_failed(&mut self, failed: Vec<(String, EvalError)>) -> Result<(), UpdateError> {
+        let mut first: Option<UpdateError> = None;
+        for (view, error) in failed {
+            self.views.remove(&view);
+            first.get_or_insert(UpdateError::View { view, error });
+        }
+        match first {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Register (or replace) a maintained view for a compiled BALG
+    /// expression. The initial result is computed immediately.
+    pub fn create_view(&mut self, name: &str, expr: Expr) -> Result<&Bag, UpdateError> {
+        let view = View::new(expr, &self.db, &self.limits).map_err(|error| UpdateError::View {
+            view: name.to_owned(),
+            error,
+        })?;
+        self.views.insert(name.to_owned(), view);
+        Ok(self.views[name].result())
+    }
+
+    /// Remove a view. Returns `true` if it existed.
+    pub fn drop_view(&mut self, name: &str) -> bool {
+        self.views.remove(name).is_some()
+    }
+
+    /// The maintained result of a view.
+    pub fn view(&self, name: &str) -> Option<&Bag> {
+        self.views.get(name).map(View::result)
+    }
+
+    /// Iterate over `(name, view)` pairs.
+    pub fn views(&self) -> impl Iterator<Item = (&str, &View)> {
+        self.views.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Apply one update batch: commit every base delta (all-or-nothing
+    /// validation first), then maintain every affected view. Views whose
+    /// read set is disjoint from the batch are not touched at all.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<(), UpdateError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Phase 1 — validate without mutating: every base must exist and
+        // every deletion must be covered, so the commit below cannot fail
+        // halfway (all-or-nothing semantics without staging copies).
+        let mut affected: BTreeSet<Var> = BTreeSet::new();
+        for (name, delta) in batch.iter() {
+            if delta.is_empty() {
+                continue;
+            }
+            let base = self
+                .db
+                .get(name)
+                .ok_or_else(|| UpdateError::UnknownBase(name.to_string()))?;
+            for (value, mult) in delta.iter() {
+                if mult.is_negative() && &base.multiplicity(value) < mult.magnitude() {
+                    return Err(UpdateError::NegativeBase {
+                        base: name.to_string(),
+                        value: value.clone(),
+                    });
+                }
+            }
+            affected.insert(name.clone());
+        }
+        // Phase 2 — commit. Taking each bag out of the database gives the
+        // patch unique ownership, so a small delta edits the sorted slice
+        // in place instead of rebuilding (or copy-on-write cloning) it.
+        for name in &affected {
+            let base = self.db.take(name).expect("validated above");
+            let delta = batch.delta(name).expect("affected implies a delta");
+            let new =
+                delta
+                    .apply_into(base)
+                    .map_err(|ZBagError::NegativeMultiplicity { value }| {
+                        UpdateError::NegativeBase {
+                            base: name.to_string(),
+                            value,
+                        }
+                    })?;
+            self.db.insert(name, new);
+        }
+        // Maintain affected views; on a maintenance failure degrade to a
+        // full re-derivation, and only if that fails too drop the view
+        // (its snapshot would otherwise be silently stale). One view's
+        // failure must not leave the *other* affected views unmaintained,
+        // so the loop always runs to completion.
+        let mut failed: Vec<(String, EvalError)> = Vec::new();
+        for (view_name, view) in self.views.iter_mut() {
+            if view.reads().is_disjoint(&affected) {
+                continue;
+            }
+            if view
+                .maintain(&batch.deltas, &affected, &self.db, &self.limits)
+                .is_err()
+            {
+                if let Err(error) = view.reinit(&self.db, &self.limits) {
+                    failed.push((view_name.clone(), error));
+                }
+            }
+        }
+        self.batches += 1;
+        self.drop_failed(failed)
+    }
+
+    /// Consistency check: re-evaluate the view's expression from scratch
+    /// against the current database and compare with the maintained
+    /// result. `Ok(true)` means they agree exactly.
+    pub fn verify(&self, name: &str) -> Result<bool, UpdateError> {
+        let view = self
+            .views
+            .get(name)
+            .ok_or_else(|| UpdateError::UnknownView(name.to_owned()))?;
+        let mut ev = Evaluator::new(&self.db, self.limits.clone());
+        let fresh = ev
+            .eval_bag(view.expr())
+            .map_err(|error| UpdateError::View {
+                view: name.to_owned(),
+                error,
+            })?;
+        Ok(&fresh == view.result())
+    }
+
+    /// [`ViewRuntime::verify`] over every registered view.
+    pub fn verify_all(&self) -> Result<bool, UpdateError> {
+        for name in self.views.keys() {
+            if !self.verify(name)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Aggregate instrumentation.
+    pub fn stats(&self) -> RuntimeStats {
+        let views = self
+            .views
+            .values()
+            .fold(ViewStats::default(), |acc, v| acc.merged(v.stats()));
+        RuntimeStats {
+            batches: self.batches,
+            views,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balg_core::expr::Pred;
+    use balg_core::natural::Natural;
+
+    fn sym(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn edge(a: &str, b: &str) -> Value {
+        Value::tuple([sym(a), sym(b)])
+    }
+
+    fn graph(edges: &[(&str, &str)]) -> Bag {
+        Bag::from_values(edges.iter().map(|(a, b)| edge(a, b)))
+    }
+
+    fn checked(runtime: &ViewRuntime) {
+        assert!(runtime.verify_all().unwrap(), "a view drifted");
+    }
+
+    #[test]
+    fn linear_chain_is_maintained_without_fallback() {
+        let mut runtime = ViewRuntime::new();
+        runtime
+            .load_base("G", graph(&[("a", "b"), ("b", "c")]))
+            .unwrap();
+        let q = Expr::var("G")
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(1), Expr::lit(sym("a"))).not(),
+            )
+            .project(&[2, 1]);
+        runtime.create_view("rev", q).unwrap();
+        assert_eq!(runtime.view("rev").unwrap().distinct_count(), 1);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert("G", edge("c", "d"));
+        batch.insert("G", edge("c", "d"));
+        batch.delete("G", edge("b", "c"));
+        runtime.apply(&batch).unwrap();
+
+        let rev = runtime.view("rev").unwrap();
+        assert_eq!(
+            rev.multiplicity(&edge("d", "c")),
+            Natural::from(2u64),
+            "{rev}"
+        );
+        assert!(!rev.contains(&edge("c", "b")));
+        checked(&runtime);
+        let stats = runtime.stats();
+        assert!(stats.views.linear_delta_ops > 0);
+        assert_eq!(stats.views.fallback_recomputes, 0);
+    }
+
+    #[test]
+    fn product_uses_the_bilinear_rule() {
+        let mut runtime = ViewRuntime::new();
+        runtime.load_base("R", graph(&[("a", "b")])).unwrap();
+        runtime.load_base("S", graph(&[("x", "y")])).unwrap();
+        runtime
+            .create_view("prod", Expr::var("R").product(Expr::var("S")))
+            .unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", edge("c", "d"));
+        batch.insert("S", edge("u", "v"));
+        runtime.apply(&batch).unwrap();
+        assert_eq!(runtime.view("prod").unwrap().distinct_count(), 4);
+        checked(&runtime);
+        assert_eq!(runtime.stats().views.fallback_recomputes, 0);
+
+        let mut batch = UpdateBatch::new();
+        batch.delete("R", edge("a", "b"));
+        runtime.apply(&batch).unwrap();
+        assert_eq!(runtime.view("prod").unwrap().distinct_count(), 2);
+        checked(&runtime);
+    }
+
+    #[test]
+    fn nonlinear_operators_fall_back_and_count_it() {
+        let mut runtime = ViewRuntime::new();
+        runtime
+            .load_base("R", graph(&[("a", "b"), ("a", "b")]))
+            .unwrap();
+        runtime.load_base("S", graph(&[("a", "b")])).unwrap();
+        runtime
+            .create_view("diff", Expr::var("R").subtract(Expr::var("S")))
+            .unwrap();
+        assert_eq!(
+            runtime.view("diff").unwrap().cardinality(),
+            Natural::from(1u64)
+        );
+
+        let mut batch = UpdateBatch::new();
+        batch.insert("S", edge("a", "b"));
+        runtime.apply(&batch).unwrap();
+        assert!(runtime.view("diff").unwrap().is_empty());
+        checked(&runtime);
+        assert!(runtime.stats().views.fallback_recomputes > 0);
+    }
+
+    #[test]
+    fn affected_lambda_body_forces_fallback() {
+        // σ with a SubBag predicate against a *changing* base: the
+        // per-element linear rule is unsound, so the engine must re-derive.
+        let mut runtime = ViewRuntime::new();
+        runtime
+            .load_base("B", Bag::from_values([sym("p"), sym("q")]))
+            .unwrap();
+        runtime
+            .load_base("C", Bag::from_values([sym("p")]))
+            .unwrap();
+        let q = Expr::var("B").select(
+            "x",
+            Pred::SubBag(Expr::var("x").singleton(), Expr::var("C")),
+        );
+        runtime.create_view("subs", q).unwrap();
+        assert_eq!(runtime.view("subs").unwrap().distinct_count(), 1);
+
+        let mut batch = UpdateBatch::new();
+        batch.insert("C", sym("q"));
+        runtime.apply(&batch).unwrap();
+        assert_eq!(runtime.view("subs").unwrap().distinct_count(), 2);
+        checked(&runtime);
+        assert!(runtime.stats().views.fallback_recomputes > 0);
+    }
+
+    #[test]
+    fn untouched_views_are_skipped() {
+        let mut runtime = ViewRuntime::new();
+        runtime.load_base("R", graph(&[("a", "b")])).unwrap();
+        runtime.load_base("S", graph(&[("x", "y")])).unwrap();
+        runtime
+            .create_view("r_only", Expr::var("R").dedup())
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert("S", edge("u", "v"));
+        runtime.apply(&batch).unwrap();
+        // The only view reads R; an S-only batch must do zero view work.
+        let stats = runtime.stats();
+        assert_eq!(stats.views.linear_delta_ops, 0);
+        assert_eq!(stats.views.fallback_recomputes, 0);
+        checked(&runtime);
+    }
+
+    #[test]
+    fn negative_base_is_rejected_atomically() {
+        let mut runtime = ViewRuntime::new();
+        runtime.load_base("R", graph(&[("a", "b")])).unwrap();
+        runtime.load_base("S", graph(&[("x", "y")])).unwrap();
+        runtime
+            .create_view("all", Expr::var("R").additive_union(Expr::var("S")))
+            .unwrap();
+        let before = runtime.view("all").unwrap().clone();
+
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", edge("c", "d")); // valid part...
+        batch.delete("S", edge("not", "there")); // ...invalid part
+        assert!(matches!(
+            runtime.apply(&batch),
+            Err(UpdateError::NegativeBase { .. })
+        ));
+        // Nothing committed: neither base nor view moved.
+        assert_eq!(runtime.view("all").unwrap(), &before);
+        assert!(!runtime
+            .database()
+            .get("R")
+            .unwrap()
+            .contains(&edge("c", "d")));
+        checked(&runtime);
+    }
+
+    #[test]
+    fn inserts_and_deletes_cancel_within_a_batch() {
+        let mut runtime = ViewRuntime::new();
+        runtime.load_base("R", graph(&[("a", "b")])).unwrap();
+        runtime.create_view("v", Expr::var("R").dedup()).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", edge("z", "z"));
+        batch.delete("R", edge("z", "z"));
+        assert!(batch.is_empty());
+        runtime.apply(&batch).unwrap();
+        assert_eq!(runtime.stats().batches, 0); // empty batches are free
+        checked(&runtime);
+    }
+
+    #[test]
+    fn unknown_base_and_view_errors() {
+        let mut runtime = ViewRuntime::new();
+        let mut batch = UpdateBatch::new();
+        batch.insert("missing", sym("a"));
+        assert!(matches!(
+            runtime.apply(&batch),
+            Err(UpdateError::UnknownBase(_))
+        ));
+        assert!(matches!(
+            runtime.verify("missing"),
+            Err(UpdateError::UnknownView(_))
+        ));
+        assert!(matches!(
+            runtime.create_view("v", Expr::var("missing")),
+            Err(UpdateError::View { .. })
+        ));
+    }
+
+    #[test]
+    fn one_failing_view_does_not_stall_the_others() {
+        // "a_explodes" (powerset) blows its budget after the update and
+        // is dropped; "z_survives" (later in name order) must still be
+        // maintained — never left silently serving stale rows.
+        let limits = Limits {
+            max_bag_elements: 16,
+            ..Limits::default()
+        };
+        let mut runtime = ViewRuntime::with_limits(limits);
+        runtime
+            .load_base("R", Bag::from_values((0..4).map(Value::int)))
+            .unwrap();
+        runtime
+            .create_view("a_explodes", Expr::var("R").powerset())
+            .unwrap();
+        runtime
+            .create_view("z_survives", Expr::var("R").dedup())
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", Value::int(100)); // powerset 32 > 16
+        assert!(matches!(
+            runtime.apply(&batch),
+            Err(UpdateError::View { view, .. }) if view == "a_explodes"
+        ));
+        // The base committed, the failing view is gone, the survivor is
+        // maintained and consistent.
+        assert!(runtime
+            .database()
+            .get("R")
+            .unwrap()
+            .contains(&Value::int(100)));
+        assert!(runtime.view("a_explodes").is_none());
+        assert_eq!(runtime.view("z_survives").unwrap().distinct_count(), 5);
+        assert!(runtime.verify("z_survives").unwrap());
+
+        // load_base has the same policy: a failing rebase drops the view
+        // but still rebases the rest.
+        runtime
+            .create_view("a_explodes", Expr::var("R").dedup())
+            .unwrap();
+        runtime
+            .create_view("m_powerset", Expr::var("R").powerset().dedup())
+            .unwrap_err(); // 32 subbags > 16 — rejected at registration
+        runtime
+            .load_base("R", Bag::from_values((0..3).map(Value::int)))
+            .unwrap();
+        assert!(runtime.verify_all().unwrap());
+    }
+
+    #[test]
+    fn load_base_rebases_dependent_views() {
+        let mut runtime = ViewRuntime::new();
+        runtime.load_base("R", graph(&[("a", "b")])).unwrap();
+        runtime
+            .create_view("rev", Expr::var("R").project(&[2, 1]))
+            .unwrap();
+        runtime
+            .load_base("R", graph(&[("p", "q"), ("q", "r")]))
+            .unwrap();
+        let rev = runtime.view("rev").unwrap();
+        assert!(rev.contains(&edge("q", "p")));
+        assert_eq!(rev.distinct_count(), 2);
+        checked(&runtime);
+        assert!(runtime.stats().views.full_reinits > 0);
+    }
+}

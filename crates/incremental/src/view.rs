@@ -1,0 +1,813 @@
+//! One maintained view: a BALG expression compiled to a tree of
+//! snapshot-carrying nodes with per-operator derivative rules.
+//!
+//! Each node memoizes its current value under the runtime's database.
+//! An update pass walks the tree once: subtrees whose free database names
+//! are untouched by the batch return immediately; linear operators combine
+//! their children's deltas algebraically; non-linear operators re-derive
+//! **one operator application** over their children's refreshed snapshots
+//! and hand the pointwise difference to their parent as a delta. The
+//! result is that work concentrates where the update actually lands.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use balg_core::bag::{attr_field, Bag};
+use balg_core::eval::{EvalError, Evaluator, Limits};
+use balg_core::expr::{Expr, Pred, Var};
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use balg_core::zbag::{ZBag, ZBagBuilder};
+
+/// The fresh variable the fallback probes bind the memoized child
+/// snapshot to (not expressible in the surface syntax, so it can never
+/// collide with a user name).
+const DELTA_INPUT: &str = "·Δinput";
+
+/// Instrumentation counters for one view — which maintenance path ran.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Linear derivative-rule applications (`∪⁺`, `MAP`/`σ` with an
+    /// unaffected body, the bilinear `×` rule, destroy).
+    pub linear_delta_ops: u64,
+    /// Non-linear fallbacks: one operator re-derived over memoized child
+    /// snapshots (monus, `ε`, `∪`, `∩`, `nest`, `P`/`P_b`, `IFP`, and
+    /// `MAP`/`σ` whose λ body reads an updated bag).
+    pub fallback_recomputes: u64,
+    /// Scalar construct re-derivations (`τ`, `β`, `αᵢ` over a changed
+    /// child value) — constant-size work, counted separately.
+    pub scalar_recomputes: u64,
+    /// Full view re-derivations (degraded path after a maintenance
+    /// error, or an explicit rebase).
+    pub full_reinits: u64,
+}
+
+impl ViewStats {
+    /// Pointwise sum of two counters (used by the runtime aggregate).
+    pub fn merged(&self, other: &ViewStats) -> ViewStats {
+        ViewStats {
+            linear_delta_ops: self.linear_delta_ops + other.linear_delta_ops,
+            fallback_recomputes: self.fallback_recomputes + other.fallback_recomputes,
+            scalar_recomputes: self.scalar_recomputes + other.scalar_recomputes,
+            full_reinits: self.full_reinits + other.full_reinits,
+        }
+    }
+}
+
+/// A maintenance failure inside one view's update pass.
+#[derive(Debug, Clone)]
+pub(crate) enum MaintainError {
+    /// Evaluation failed (budget, shape, unbound name).
+    Eval(EvalError),
+    /// An internal invariant broke — a delta drove a snapshot
+    /// multiplicity negative. The runtime degrades to a full re-init.
+    Internal(String),
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::Eval(e) => write!(f, "{e}"),
+            MaintainError::Internal(what) => write!(f, "internal maintenance error: {what}"),
+        }
+    }
+}
+
+impl From<EvalError> for MaintainError {
+    fn from(e: EvalError) -> Self {
+        MaintainError::Eval(e)
+    }
+}
+
+/// What an updated node reports to its parent.
+enum Delta {
+    /// Nothing changed.
+    None,
+    /// The node is bag-valued and changed by exactly this delta.
+    Bag(ZBag),
+    /// The node's value was replaced wholesale (scalar constructs).
+    Opaque,
+}
+
+/// The operator of one compiled node. `Map`/`Select`/`Ifp` keep their λ
+/// bodies as raw expressions (applied per delta element through
+/// [`Evaluator::eval_open`]) plus a pre-built probe expression that
+/// re-derives the whole operator over a bound child snapshot.
+#[derive(Clone, Debug)]
+enum Kind {
+    Var(Var),
+    Lit(Value),
+    AdditiveUnion,
+    Subtract,
+    MaxUnion,
+    Intersect,
+    Tuple,
+    Singleton,
+    Product,
+    Powerset,
+    Powerbag,
+    Attr(usize),
+    Destroy,
+    Dedup,
+    Map { var: Var, body: Expr, probe: Expr },
+    Select { var: Var, pred: Pred, probe: Expr },
+    Ifp { probe: Expr },
+    Nest(Vec<usize>),
+}
+
+/// One compiled node: operator, children, free-name analysis, and the
+/// memoized snapshot.
+#[derive(Clone, Debug)]
+struct Node {
+    kind: Kind,
+    children: Vec<Node>,
+    /// Database names this subtree reads, λ bodies included — the key for
+    /// skipping untouched subtrees.
+    reads: BTreeSet<Var>,
+    /// Names read by the λ body/pred alone (empty for non-λ nodes): when
+    /// an update touches these, the linear per-element rule is unsound and
+    /// the node falls back.
+    body_reads: BTreeSet<Var>,
+    /// Whether this node materializes its value. Demanded top-down by
+    /// [`mark_snapshots`]: the root, every node a parent may re-derive
+    /// from, and every node that can itself fall back. Purely-linear
+    /// interior nodes (e.g. the product under a clean equi-join σ) skip
+    /// materialization entirely — their deltas stream through, so a
+    /// single-tuple update never touches an `O(|A|·|B|)` intermediate.
+    keep_snapshot: bool,
+    /// The node's own sub-expression — what [`Node::init`] evaluates
+    /// (through the fused evaluator, so a skipped-product chain never
+    /// materializes the product even at registration).
+    expr: Expr,
+    /// The node's current value under the runtime's database
+    /// (a placeholder when `keep_snapshot` is false; `Var` nodes read
+    /// through to the database instead of holding a second reference).
+    snapshot: Value,
+}
+
+/// Everything an update pass threads through the tree.
+struct UpdateCtx<'a, 'e> {
+    deltas: &'a BTreeMap<Var, ZBag>,
+    affected: &'a BTreeSet<Var>,
+    db: &'a Database,
+    max_elements: u64,
+    ev: &'e mut Evaluator<'a>,
+    stats: &'e mut ViewStats,
+}
+
+/// Free database names of a λ body, excluding the bound variable.
+fn body_free_vars(body: &Expr, var: &Var) -> BTreeSet<Var> {
+    body.free_vars().into_iter().filter(|v| v != var).collect()
+}
+
+/// Free database names mentioned by a predicate, excluding the bound
+/// variable.
+fn pred_free_vars(pred: &Pred, var: &Var) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    pred.visit_exprs(&mut |e| out.extend(e.free_vars()));
+    out.remove(var);
+    out
+}
+
+fn probe_var() -> Box<Expr> {
+    Box::new(Expr::var(DELTA_INPUT))
+}
+
+fn compile(expr: &Expr) -> Node {
+    let mut children = Vec::new();
+    let mut body_reads = BTreeSet::new();
+    let kind = match expr {
+        Expr::Var(name) => Kind::Var(name.clone()),
+        Expr::Lit(value) => Kind::Lit(value.clone()),
+        Expr::AdditiveUnion(a, b) => {
+            children = vec![compile(a), compile(b)];
+            Kind::AdditiveUnion
+        }
+        Expr::Subtract(a, b) => {
+            children = vec![compile(a), compile(b)];
+            Kind::Subtract
+        }
+        Expr::MaxUnion(a, b) => {
+            children = vec![compile(a), compile(b)];
+            Kind::MaxUnion
+        }
+        Expr::Intersect(a, b) => {
+            children = vec![compile(a), compile(b)];
+            Kind::Intersect
+        }
+        Expr::Product(a, b) => {
+            children = vec![compile(a), compile(b)];
+            Kind::Product
+        }
+        Expr::Tuple(fields) => {
+            children = fields.iter().map(compile).collect();
+            Kind::Tuple
+        }
+        Expr::Singleton(e) => {
+            children = vec![compile(e)];
+            Kind::Singleton
+        }
+        Expr::Powerset(e) => {
+            children = vec![compile(e)];
+            Kind::Powerset
+        }
+        Expr::Powerbag(e) => {
+            children = vec![compile(e)];
+            Kind::Powerbag
+        }
+        Expr::Attr(e, index) => {
+            children = vec![compile(e)];
+            Kind::Attr(*index)
+        }
+        Expr::Destroy(e) => {
+            children = vec![compile(e)];
+            Kind::Destroy
+        }
+        Expr::Dedup(e) => {
+            children = vec![compile(e)];
+            Kind::Dedup
+        }
+        Expr::Map { var, body, input } => {
+            children = vec![compile(input)];
+            body_reads = body_free_vars(body, var);
+            Kind::Map {
+                var: var.clone(),
+                body: (**body).clone(),
+                probe: Expr::Map {
+                    var: var.clone(),
+                    body: body.clone(),
+                    input: probe_var(),
+                },
+            }
+        }
+        Expr::Select { var, pred, input } => {
+            children = vec![compile(input)];
+            body_reads = pred_free_vars(pred, var);
+            Kind::Select {
+                var: var.clone(),
+                pred: (**pred).clone(),
+                probe: Expr::Select {
+                    var: var.clone(),
+                    pred: pred.clone(),
+                    input: probe_var(),
+                },
+            }
+        }
+        Expr::Ifp { var, body, input } => {
+            children = vec![compile(input)];
+            body_reads = body_free_vars(body, var);
+            Kind::Ifp {
+                probe: Expr::Ifp {
+                    var: var.clone(),
+                    body: body.clone(),
+                    input: probe_var(),
+                },
+            }
+        }
+        Expr::Nest { group, input } => {
+            children = vec![compile(input)];
+            Kind::Nest(group.clone())
+        }
+    };
+    let mut reads: BTreeSet<Var> = body_reads.clone();
+    if let Kind::Var(name) = &kind {
+        reads.insert(name.clone());
+    }
+    for child in &children {
+        reads.extend(child.reads.iter().cloned());
+    }
+    Node {
+        kind,
+        children,
+        reads,
+        body_reads,
+        keep_snapshot: true,
+        expr: expr.clone(),
+        snapshot: Value::empty_bag(),
+    }
+}
+
+/// Can this node's update pass take the re-derivation path? (If so it
+/// reads its own old snapshot — for the delta diff — and its children's
+/// fresh values.) `Opaque` child deltas, the other fallback trigger, can
+/// only originate from direct `Tuple`/`Attr` children: every other kind
+/// reports `None` or a bag delta, and a node that absorbs an `Opaque` by
+/// re-deriving emits a bag delta itself.
+fn can_fall_back(node: &Node) -> bool {
+    let opaque_child = || {
+        node.children
+            .iter()
+            .any(|c| matches!(c.kind, Kind::Tuple | Kind::Attr(_)))
+    };
+    match &node.kind {
+        Kind::Subtract
+        | Kind::MaxUnion
+        | Kind::Intersect
+        | Kind::Dedup
+        | Kind::Powerset
+        | Kind::Powerbag
+        | Kind::Nest(_)
+        | Kind::Ifp { .. } => true,
+        Kind::Tuple | Kind::Singleton | Kind::Attr(_) => true, // scalar re-derivation
+        Kind::Map { .. } | Kind::Select { .. } => !node.body_reads.is_empty() || opaque_child(),
+        Kind::AdditiveUnion | Kind::Product | Kind::Destroy => opaque_child(),
+        Kind::Var(_) | Kind::Lit(_) => false,
+    }
+}
+
+/// Decide which nodes materialize snapshots. `demanded` means the parent
+/// may read this node's value (re-derivation input, scalar recompute, or
+/// the root result). `Var` nodes never materialize — readers go through
+/// [`Node::current_bag`] to the database — except when they *are* the
+/// demanded value and a parent probe needs an owned copy, which
+/// [`Node::child_value`] handles by cloning out of the database anyway.
+fn mark_snapshots(node: &mut Node, demanded: bool) {
+    node.keep_snapshot = match node.kind {
+        Kind::Var(_) | Kind::Lit(_) => false,
+        _ => demanded || can_fall_back(node),
+    };
+    let demands_children = match &node.kind {
+        // Re-derivation reads every child; the bilinear product rule reads
+        // both operands' fresh values.
+        Kind::Subtract
+        | Kind::MaxUnion
+        | Kind::Intersect
+        | Kind::Dedup
+        | Kind::Powerset
+        | Kind::Powerbag
+        | Kind::Nest(_)
+        | Kind::Ifp { .. }
+        | Kind::Tuple
+        | Kind::Singleton
+        | Kind::Attr(_)
+        | Kind::Product => true,
+        Kind::Map { .. } | Kind::Select { .. } | Kind::AdditiveUnion | Kind::Destroy => {
+            can_fall_back(node)
+        }
+        Kind::Var(_) | Kind::Lit(_) => false,
+    };
+    for child in &mut node.children {
+        mark_snapshots(child, demands_children);
+    }
+}
+
+fn expect_bag(value: &Value) -> Result<&Bag, EvalError> {
+    value.as_bag().ok_or_else(|| EvalError::Shape {
+        expected: "a bag",
+        found: value.to_string(),
+    })
+}
+
+/// Classify a replaced value for the parent: unchanged, a bag delta, or an
+/// opaque scalar change.
+fn replaced(old: &Value, new: &Value) -> Delta {
+    if old == new {
+        return Delta::None;
+    }
+    if let (Value::Bag(o), Value::Bag(n)) = (old, new) {
+        return Delta::Bag(ZBag::diff(n, o));
+    }
+    Delta::Opaque
+}
+
+impl Node {
+    /// The node's current bag value: materialized nodes answer from their
+    /// snapshot, `Var` nodes read through to the (post-update) database so
+    /// base bags never carry a second reference (which would force
+    /// copy-on-write on every in-place base patch).
+    fn current_bag<'x>(&'x self, db: &'x Database) -> Result<&'x Bag, EvalError> {
+        match &self.kind {
+            Kind::Var(name) if !self.keep_snapshot => db
+                .get(name)
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            // Literals never materialize; their value lives in the kind.
+            Kind::Lit(value) => expect_bag(value),
+            _ => expect_bag(&self.snapshot),
+        }
+    }
+
+    /// The node's current value, cloned (for probe bindings and scalar
+    /// recomputes).
+    fn current_value(&self, db: &Database) -> Result<Value, EvalError> {
+        if let Kind::Var(name) = &self.kind {
+            if !self.keep_snapshot {
+                return db
+                    .get(name)
+                    .map(|bag| Value::Bag(bag.clone()))
+                    .ok_or_else(|| EvalError::UnboundVariable(name.clone()));
+            }
+        }
+        if let Kind::Lit(value) = &self.kind {
+            return Ok(value.clone());
+        }
+        Ok(self.snapshot.clone())
+    }
+
+    /// Re-derive this node's value from its children's current values
+    /// (one operator application — children are *not* re-evaluated).
+    fn recompute(
+        &self,
+        db: &Database,
+        ev: &mut Evaluator<'_>,
+        max_elements: u64,
+    ) -> Result<Value, EvalError> {
+        let child_bag = |i: usize| -> Result<&Bag, EvalError> { self.children[i].current_bag(db) };
+        Ok(match &self.kind {
+            Kind::Var(name) => db
+                .get(name)
+                .map(|bag| Value::Bag(bag.clone()))
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?,
+            Kind::Lit(value) => value.clone(),
+            Kind::AdditiveUnion => Value::Bag(child_bag(0)?.additive_union(child_bag(1)?)),
+            Kind::Subtract => Value::Bag(child_bag(0)?.subtract(child_bag(1)?)),
+            Kind::MaxUnion => Value::Bag(child_bag(0)?.max_union(child_bag(1)?)),
+            Kind::Intersect => Value::Bag(child_bag(0)?.intersect(child_bag(1)?)),
+            Kind::Product => Value::Bag(child_bag(0)?.product(child_bag(1)?, max_elements)?),
+            Kind::Tuple => Value::Tuple(
+                self.children
+                    .iter()
+                    .map(|c| c.current_value(db))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into(),
+            ),
+            Kind::Singleton => Value::Bag(Bag::singleton(self.children[0].current_value(db)?)),
+            Kind::Powerset => Value::Bag(child_bag(0)?.powerset(max_elements)?),
+            Kind::Powerbag => Value::Bag(child_bag(0)?.powerbag(max_elements)?),
+            Kind::Attr(index) => {
+                let value = self.children[0].current_value(db)?;
+                let fields = value.as_tuple().ok_or_else(|| EvalError::Shape {
+                    expected: "a tuple",
+                    found: value.to_string(),
+                })?;
+                attr_field(fields, *index)
+                    .cloned()
+                    .map_err(EvalError::Bag)?
+            }
+            Kind::Destroy => Value::Bag(child_bag(0)?.destroy()?),
+            Kind::Dedup => Value::Bag(child_bag(0)?.dedup()),
+            Kind::Nest(group) => Value::Bag(child_bag(0)?.nest(group)?),
+            Kind::Map { probe, .. } | Kind::Select { probe, .. } | Kind::Ifp { probe } => {
+                let input = self.children[0].current_value(db)?;
+                ev.eval_open(probe, &[(Var::from(DELTA_INPUT), input)])?
+            }
+        })
+    }
+
+    /// Fill in the materialized snapshots. A kept node whose children all
+    /// have usable current values (materialized, `Var`, or `Lit`) derives
+    /// its value with **one** operator application over them; only kept
+    /// nodes above a non-materialized (purely linear) child re-evaluate
+    /// their sub-expression through the fused evaluator — so stacked
+    /// non-linear operators don't re-evaluate shared subtrees, and a
+    /// skipped product under a clean σ is never materialized even at
+    /// registration.
+    fn init(
+        &mut self,
+        db: &Database,
+        ev: &mut Evaluator<'_>,
+        max_elements: u64,
+    ) -> Result<(), EvalError> {
+        for child in &mut self.children {
+            child.init(db, ev, max_elements)?;
+        }
+        if self.keep_snapshot {
+            let children_ready = self
+                .children
+                .iter()
+                .all(|c| c.keep_snapshot || matches!(c.kind, Kind::Var(_) | Kind::Lit(_)));
+            self.snapshot = if children_ready {
+                self.recompute(db, ev, max_elements)?
+            } else {
+                ev.eval_open(&self.expr, &[])?
+            };
+        }
+        Ok(())
+    }
+
+    /// Non-linear fallback: one operator re-derived over the children's
+    /// refreshed values, re-expressed as a delta for the parent.
+    /// Fallback-capable nodes always materialize (see [`mark_snapshots`]),
+    /// so `self.snapshot` is the valid pre-update value here.
+    fn fallback(&mut self, ctx: &mut UpdateCtx<'_, '_>) -> Result<Delta, MaintainError> {
+        let new = self.recompute(ctx.db, ctx.ev, ctx.max_elements)?;
+        ctx.stats.fallback_recomputes += 1;
+        let delta = replaced(&self.snapshot, &new);
+        self.snapshot = new;
+        Ok(delta)
+    }
+
+    /// Apply a bag delta to this node's snapshot (in place when uniquely
+    /// owned; skipped entirely for non-materialized nodes) and normalize
+    /// the report.
+    fn apply_bag_delta(&mut self, delta: ZBag) -> Result<Delta, MaintainError> {
+        if delta.is_empty() {
+            return Ok(Delta::None);
+        }
+        if !self.keep_snapshot {
+            return Ok(Delta::Bag(delta));
+        }
+        let owned = std::mem::replace(&mut self.snapshot, Value::empty_bag());
+        let Value::Bag(old) = owned else {
+            return Err(MaintainError::Internal(
+                "bag delta for a non-bag snapshot".to_owned(),
+            ));
+        };
+        let new = delta
+            .apply_into(old)
+            .map_err(|e| MaintainError::Internal(e.to_string()))?;
+        self.snapshot = Value::Bag(new);
+        Ok(Delta::Bag(delta))
+    }
+
+    /// The update pass. Returns what changed, with `self.snapshot`
+    /// refreshed to the post-update value.
+    fn update(&mut self, ctx: &mut UpdateCtx<'_, '_>) -> Result<Delta, MaintainError> {
+        if self.reads.is_disjoint(ctx.affected) {
+            return Ok(Delta::None);
+        }
+        match &self.kind {
+            Kind::Var(name) => {
+                let name = name.clone();
+                // The runtime has already committed the new base bag;
+                // readers go through `current_bag` to the database, so
+                // only a demanded-as-root Var refreshes a snapshot.
+                if self.keep_snapshot {
+                    let bag = ctx
+                        .db
+                        .get(&name)
+                        .ok_or_else(|| {
+                            MaintainError::Eval(EvalError::UnboundVariable(name.clone()))
+                        })?
+                        .clone();
+                    self.snapshot = Value::Bag(bag);
+                }
+                match ctx.deltas.get(&name) {
+                    Some(delta) if !delta.is_empty() => Ok(Delta::Bag(delta.clone())),
+                    _ => Ok(Delta::None),
+                }
+            }
+            Kind::Lit(_) => Ok(Delta::None),
+            Kind::AdditiveUnion => {
+                let da = self.children[0].update(ctx)?;
+                let db = self.children[1].update(ctx)?;
+                match (da, db) {
+                    (Delta::Opaque, _) | (_, Delta::Opaque) => self.fallback(ctx),
+                    (Delta::None, Delta::None) => Ok(Delta::None),
+                    (a, b) => {
+                        let mut delta = ZBag::new();
+                        if let Delta::Bag(d) = a {
+                            delta = delta.add(&d);
+                        }
+                        if let Delta::Bag(d) = b {
+                            delta = delta.add(&d);
+                        }
+                        ctx.stats.linear_delta_ops += 1;
+                        self.apply_bag_delta(delta)
+                    }
+                }
+            }
+            Kind::Product => {
+                let da = self.children[0].update(ctx)?;
+                let db = self.children[1].update(ctx)?;
+                match (da, db) {
+                    (Delta::Opaque, _) | (_, Delta::Opaque) => self.fallback(ctx),
+                    (Delta::None, Delta::None) => Ok(Delta::None),
+                    (a, b) => {
+                        // Bilinear rule in post-update form — only fresh
+                        // operand values are needed, so no old snapshots
+                        // are captured:
+                        // δ(A×B) = δA×B_new ⊕ A_new×δB ⊖ δA×δB.
+                        let mut delta = ZBag::new();
+                        if let Delta::Bag(d) = &a {
+                            let right_new = self.children[1]
+                                .current_bag(ctx.db)
+                                .map_err(MaintainError::Eval)?;
+                            delta = delta.add(
+                                &d.product(&ZBag::from_bag(right_new), ctx.max_elements)
+                                    .map_err(EvalError::Bag)?,
+                            );
+                        }
+                        if let Delta::Bag(d) = &b {
+                            let left_new = self.children[0]
+                                .current_bag(ctx.db)
+                                .map_err(MaintainError::Eval)?;
+                            delta = delta.add(
+                                &ZBag::from_bag(left_new)
+                                    .product(d, ctx.max_elements)
+                                    .map_err(EvalError::Bag)?,
+                            );
+                        }
+                        if let (Delta::Bag(x), Delta::Bag(y)) = (&a, &b) {
+                            delta = delta.add(
+                                &x.product(y, ctx.max_elements)
+                                    .map_err(EvalError::Bag)?
+                                    .negate(),
+                            );
+                        }
+                        ctx.stats.linear_delta_ops += 1;
+                        self.apply_bag_delta(delta)
+                    }
+                }
+            }
+            Kind::Destroy => match self.children[0].update(ctx)? {
+                Delta::None => Ok(Delta::None),
+                Delta::Opaque => self.fallback(ctx),
+                Delta::Bag(d) => {
+                    let delta = d.destroy().map_err(EvalError::Bag)?;
+                    ctx.stats.linear_delta_ops += 1;
+                    self.apply_bag_delta(delta)
+                }
+            },
+            Kind::Map { .. } => {
+                let body_affected = !self.body_reads.is_disjoint(ctx.affected);
+                let child = self.children[0].update(ctx)?;
+                if body_affected || matches!(child, Delta::Opaque) {
+                    return self.fallback(ctx);
+                }
+                match child {
+                    Delta::None => Ok(Delta::None),
+                    Delta::Bag(d) => {
+                        // Linear per-element rule: MAP distributes over ∪⁺,
+                        // so each delta element maps through the body with
+                        // its signed multiplicity. The body is one stable
+                        // tree across the loop, so after the first element
+                        // clears the evaluator's pointer-keyed caches the
+                        // rest reuse them.
+                        let Kind::Map { var, body, .. } = &self.kind else {
+                            unreachable!("matched above");
+                        };
+                        let mut out = ZBagBuilder::new();
+                        for (i, (value, mult)) in d.iter().enumerate() {
+                            let binding = [(var.clone(), value.clone())];
+                            let image = if i == 0 {
+                                ctx.ev.eval_open(body, &binding)?
+                            } else {
+                                ctx.ev.eval_open_cached(body, &binding)?
+                            };
+                            out.push(image, mult.clone());
+                        }
+                        ctx.stats.linear_delta_ops += 1;
+                        self.apply_bag_delta(out.build())
+                    }
+                    Delta::Opaque => unreachable!("handled above"),
+                }
+            }
+            Kind::Select { .. } => {
+                let body_affected = !self.body_reads.is_disjoint(ctx.affected);
+                let child = self.children[0].update(ctx)?;
+                if body_affected || matches!(child, Delta::Opaque) {
+                    return self.fallback(ctx);
+                }
+                match child {
+                    Delta::None => Ok(Delta::None),
+                    Delta::Bag(d) => {
+                        let Kind::Select { var, pred, .. } = &self.kind else {
+                            unreachable!("matched above");
+                        };
+                        let mut out = ZBagBuilder::new();
+                        for (i, (value, mult)) in d.iter().enumerate() {
+                            let binding = [(var.clone(), value.clone())];
+                            let keep = if i == 0 {
+                                ctx.ev.eval_pred_open(pred, &binding)?
+                            } else {
+                                ctx.ev.eval_pred_open_cached(pred, &binding)?
+                            };
+                            if keep {
+                                out.push(value.clone(), mult.clone());
+                            }
+                        }
+                        ctx.stats.linear_delta_ops += 1;
+                        self.apply_bag_delta(out.build())
+                    }
+                    Delta::Opaque => unreachable!("handled above"),
+                }
+            }
+            // Non-linear bag operators: refresh children, then re-derive
+            // this single operator over their snapshots.
+            Kind::Subtract | Kind::MaxUnion | Kind::Intersect => {
+                let da = self.children[0].update(ctx)?;
+                let db = self.children[1].update(ctx)?;
+                if matches!((&da, &db), (Delta::None, Delta::None)) {
+                    return Ok(Delta::None);
+                }
+                self.fallback(ctx)
+            }
+            Kind::Dedup | Kind::Powerset | Kind::Powerbag | Kind::Nest(_) => {
+                match self.children[0].update(ctx)? {
+                    Delta::None => Ok(Delta::None),
+                    _ => self.fallback(ctx),
+                }
+            }
+            Kind::Ifp { .. } => {
+                let body_affected = !self.body_reads.is_disjoint(ctx.affected);
+                let child = self.children[0].update(ctx)?;
+                if !body_affected && matches!(child, Delta::None) {
+                    return Ok(Delta::None);
+                }
+                self.fallback(ctx)
+            }
+            // Scalar constructs: constant-size re-derivation.
+            Kind::Tuple | Kind::Singleton | Kind::Attr(_) => {
+                let mut any = false;
+                for child in &mut self.children {
+                    any |= !matches!(child.update(ctx)?, Delta::None);
+                }
+                if !any {
+                    return Ok(Delta::None);
+                }
+                let new = self.recompute(ctx.db, ctx.ev, ctx.max_elements)?;
+                ctx.stats.scalar_recomputes += 1;
+                let delta = replaced(&self.snapshot, &new);
+                self.snapshot = new;
+                Ok(delta)
+            }
+        }
+    }
+}
+
+/// A registered, incrementally maintained view.
+#[derive(Clone, Debug)]
+pub struct View {
+    expr: Expr,
+    root: Node,
+    stats: ViewStats,
+}
+
+impl View {
+    /// Compile and fully evaluate a view over the current database. The
+    /// expression must be bag-valued and closed over database names.
+    pub(crate) fn new(expr: Expr, db: &Database, limits: &Limits) -> Result<View, EvalError> {
+        let mut root = compile(&expr);
+        mark_snapshots(&mut root, true);
+        // Even a bare `Var`/`Lit` root materializes: `result()` reads it.
+        root.keep_snapshot = true;
+        let mut ev = Evaluator::new(db, limits.clone());
+        root.init(db, &mut ev, limits.max_bag_elements)?;
+        if root.snapshot.as_bag().is_none() {
+            return Err(EvalError::Shape {
+                expected: "a bag-valued view",
+                found: root.snapshot.to_string(),
+            });
+        }
+        Ok(View {
+            expr,
+            root,
+            stats: ViewStats::default(),
+        })
+    }
+
+    /// The maintained result.
+    pub fn result(&self) -> &Bag {
+        self.root
+            .snapshot
+            .as_bag()
+            .expect("view results are bags — enforced at registration")
+    }
+
+    /// The view's defining expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The database names the view reads.
+    pub fn reads(&self) -> &BTreeSet<Var> {
+        &self.root.reads
+    }
+
+    /// Instrumentation counters.
+    pub fn stats(&self) -> &ViewStats {
+        &self.stats
+    }
+
+    /// One maintenance pass for a committed update batch. `db` is the
+    /// **post-update** database; `affected` names the bases whose deltas
+    /// are nonzero.
+    pub(crate) fn maintain(
+        &mut self,
+        deltas: &BTreeMap<Var, ZBag>,
+        affected: &BTreeSet<Var>,
+        db: &Database,
+        limits: &Limits,
+    ) -> Result<(), MaintainError> {
+        let mut ev = Evaluator::new(db, limits.clone());
+        let mut ctx = UpdateCtx {
+            deltas,
+            affected,
+            db,
+            max_elements: limits.max_bag_elements,
+            ev: &mut ev,
+            stats: &mut self.stats,
+        };
+        self.root.update(&mut ctx)?;
+        Ok(())
+    }
+
+    /// Re-derive every snapshot from scratch — the degraded path after a
+    /// maintenance error, and the rebase path after [`super::runtime::ViewRuntime::load_base`].
+    pub(crate) fn reinit(&mut self, db: &Database, limits: &Limits) -> Result<(), EvalError> {
+        let mut ev = Evaluator::new(db, limits.clone());
+        self.root.init(db, &mut ev, limits.max_bag_elements)?;
+        self.stats.full_reinits += 1;
+        Ok(())
+    }
+}

@@ -1,7 +1,7 @@
 //! Counter (Minsky) machines and their bag simulation.
 //!
 //! Section 2 notes that relational machines extended with counters
-//! ([GO93]) relate closely to bags ([GM95]): *a bag of `n` identical
+//! (\[GO93\]) relate closely to bags (\[GM95\]): *a bag of `n` identical
 //! elements is a counter at value `n`*. This module makes that concrete —
 //! a two-operation counter machine (increment; decrement-or-branch-on-
 //! zero) is compiled to a BALG + IFP program in which every register is an

@@ -2,12 +2,12 @@
 //!
 //! The Section 6 machinery plus the Section 2 counters remark: a
 //! deterministic TM substrate ([`tm`]), counter machines whose registers
-//! are bags ([`counter`], the [GM95] bags↔counters link), the
+//! are bags ([`counter`], the \[GM95\] bags↔counters link), the
 //! hyper-exponential counting expressions `N`/`E`/`D` of Theorems 6.1/6.2
 //! and Lemma 5.7 ([`encoding`]), and the Theorem 6.6 compilation of
 //! machines into BALG + inflationary-fixpoint programs whose fixpoint rows
 //! decode back into the very configurations the direct simulator produces
-//! ([`compile`]).
+//! ([`mod@compile`]).
 //!
 //! ```
 //! use balg_core::eval::Limits;

@@ -1,7 +1,7 @@
 //! Direct set-semantics evaluation of RALG expressions.
 //!
 //! Every operator re-establishes the set invariant, so intermediate
-//! results are nested *sets* exactly as in [AB87]/[HS91]. Budgets reuse
+//! results are nested *sets* exactly as in \[AB87\]/\[HS91\]. Budgets reuse
 //! [`balg_core::eval::Limits`].
 //!
 //! The evaluator mirrors the throughput work done on the BALG side:

@@ -1,4 +1,4 @@
-//! The RALG expression language — the nested relational algebra of [AB87]
+//! The RALG expression language — the nested relational algebra of \[AB87\]
 //! in the variant the paper compares BALG against.
 //!
 //! RALG has the same operator shapes as BALG but set semantics: union,

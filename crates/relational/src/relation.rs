@@ -1,6 +1,6 @@
 //! Nested relations: duplicate-free values and set operations.
 //!
-//! RALG — the complex-object algebra of [AB87] that the paper compares
+//! RALG — the complex-object algebra of \[AB87\] that the paper compares
 //! against — manipulates (nested) *sets*. We represent a set as a
 //! [`Bag`] in which every multiplicity is 1, enforced by this newtype, so
 //! that the Proposition 4.2 equivalence `a ∈ Q(DB) ⟺ a ∈ Q′(DB′)` can be

@@ -66,6 +66,11 @@ impl Catalog {
         self.tables.get(name)
     }
 
+    /// Iterate over the declared tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
     /// The BALG schema of the catalog: numeric columns are integer bags
     /// `⟦[U]⟧`, others are atoms.
     pub fn to_schema(&self) -> balg_core::schema::Schema {

@@ -45,6 +45,9 @@ pub enum CompileError {
     GroupProjectionMismatch(String),
     /// SUM/AVG/COUNT(DISTINCT) over one of the grouping columns.
     AggregateOnGroupColumn(String),
+    /// CREATE VIEW with the name of a declared table — the name would be
+    /// ambiguous between the base rows and the view rows.
+    ViewShadowsTable(String),
 }
 
 impl fmt::Display for CompileError {
@@ -66,6 +69,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::AggregateOnGroupColumn(c) => {
                 write!(f, "aggregate over grouping column {c}")
+            }
+            CompileError::ViewShadowsTable(name) => {
+                write!(f, "view {name} would shadow the table of the same name")
             }
         }
     }
@@ -423,6 +429,8 @@ pub enum SqlError {
     Eval(EvalError),
     /// The result did not decode against the output shape.
     Decode(String),
+    /// An update statement was rejected by the incremental view runtime.
+    Update(balg_incremental::UpdateError),
 }
 
 impl fmt::Display for SqlError {
@@ -432,6 +440,7 @@ impl fmt::Display for SqlError {
             SqlError::Compile(e) => write!(f, "{e}"),
             SqlError::Eval(e) => write!(f, "{e}"),
             SqlError::Decode(what) => write!(f, "decode failure: {what}"),
+            SqlError::Update(e) => write!(f, "{e}"),
         }
     }
 }
@@ -524,7 +533,10 @@ pub fn run_optimized(sql: &str, catalog: &Catalog, db: &Database) -> Result<Quer
     decode_result(&bag, compiled.output)
 }
 
-fn decode_result(bag: &balg_core::bag::Bag, output: Vec<Column>) -> Result<QueryResult, SqlError> {
+pub(crate) fn decode_result(
+    bag: &balg_core::bag::Bag,
+    output: Vec<Column>,
+) -> Result<QueryResult, SqlError> {
     let mut rows = Vec::with_capacity(bag.distinct_count());
     for (row, mult) in bag.iter() {
         let fields = row

@@ -3,8 +3,8 @@
 //! SQL's data model *is* bags — the paper's opening motivation ("many
 //! systems support bags in their data model, often to save the cost of
 //! duplicate elimination"). The frontend accepts the fragment whose
-//! semantics BALG captures directly: SELECT [DISTINCT] … FROM … WHERE
-//! conjunctive comparisons, UNION/EXCEPT/INTERSECT [ALL], and scalar
+//! semantics BALG captures directly: SELECT \[DISTINCT\] … FROM … WHERE
+//! conjunctive comparisons, UNION/EXCEPT/INTERSECT \[ALL\], and scalar
 //! COUNT/SUM/AVG.
 
 use std::fmt;
@@ -63,6 +63,12 @@ pub enum Keyword {
     Avg,
     Group,
     By,
+    Create,
+    View,
+    Insert,
+    Into,
+    Values,
+    Delete,
 }
 
 impl Keyword {
@@ -83,6 +89,12 @@ impl Keyword {
             "AVG" => Keyword::Avg,
             "GROUP" => Keyword::Group,
             "BY" => Keyword::By,
+            "CREATE" => Keyword::Create,
+            "VIEW" => Keyword::View,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "DELETE" => Keyword::Delete,
             _ => return None,
         })
     }

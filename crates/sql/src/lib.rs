@@ -1,7 +1,7 @@
 //! # balg-sql — a SQL frontend with honest bag semantics
 //!
 //! SQL engines implement *bag* semantics — the paper's opening motivation.
-//! This crate parses a SQL subset (SELECT [DISTINCT] … FROM … WHERE
+//! This crate parses a SQL subset (SELECT \[DISTINCT\] … FROM … WHERE
 //! conjunctive comparisons; UNION/EXCEPT/INTERSECT with and without ALL;
 //! scalar COUNT/SUM/AVG) and compiles it to BALG expressions evaluated by
 //! `balg-core`. Duplicates behave exactly as in SQL because the target
@@ -33,6 +33,7 @@ pub mod compile;
 pub mod lexer;
 pub mod parser;
 pub mod render;
+pub mod stmt;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use crate::lexer::{tokenize, Keyword, LexError, Token};
     pub use crate::parser::{parse, ParseError};
     pub use crate::render::render;
+    pub use crate::stmt::{parse_statement, Response, SqlRuntime, Statement};
 }
 
 pub use prelude::*;

@@ -35,22 +35,40 @@ impl From<LexError> for ParseError {
 
 /// Parse a query string.
 pub fn parse(input: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    parse_query_from(tokenize(input)?, 0)
+}
+
+/// Parse a query from an already-lexed token stream starting at `start`
+/// (the statement parser uses this after consuming a statement prefix
+/// such as `CREATE VIEW name AS`). The query must consume every
+/// remaining token.
+pub(crate) fn parse_query_from(tokens: Vec<Token>, start: usize) -> Result<Query, ParseError> {
+    let mut parser = Parser { tokens, pos: start };
     let query = parser.query()?;
-    if parser.pos != parser.tokens.len() {
-        return Err(parser.error("trailing tokens"));
-    }
+    parser.expect_end()?;
     Ok(query)
 }
 
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
+impl Parser {
+    /// Require that every token has been consumed.
+    pub(crate) fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos != self.tokens.len() {
+            return Err(self.error("trailing tokens"));
+        }
+        Ok(())
+    }
+}
+
+/// The token cursor, shared with the statement parser in
+/// [`crate::stmt`] (which consumes statement prefixes before handing the
+/// tail to [`Parser::query`] via [`parse_query_from`]).
+pub(crate) struct Parser {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) pos: usize,
 }
 
 impl Parser {
-    fn error(&self, message: &str) -> ParseError {
+    pub(crate) fn error(&self, message: &str) -> ParseError {
         ParseError {
             at: self.pos,
             message: message.to_owned(),
@@ -69,7 +87,7 @@ impl Parser {
         token
     }
 
-    fn eat(&mut self, expected: &Token) -> bool {
+    pub(crate) fn eat(&mut self, expected: &Token) -> bool {
         if self.peek() == Some(expected) {
             self.pos += 1;
             true
@@ -86,11 +104,11 @@ impl Parser {
         }
     }
 
-    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+    pub(crate) fn eat_keyword(&mut self, kw: Keyword) -> bool {
         self.eat(&Token::Keyword(kw))
     }
 
-    fn ident(&mut self) -> Result<String, ParseError> {
+    pub(crate) fn ident(&mut self) -> Result<String, ParseError> {
         match self.bump() {
             Some(Token::Ident(name)) => Ok(name),
             other => Err(self.error(&format!("expected identifier, found {other:?}"))),

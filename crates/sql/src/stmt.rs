@@ -1,0 +1,502 @@
+//! SQL statements over the incremental view runtime: `CREATE VIEW`,
+//! `INSERT INTO … VALUES`, and `DELETE FROM … VALUES`.
+//!
+//! Views compile through the ordinary SQL→BALG pipeline and register on a
+//! [`balg_incremental::ViewRuntime`], so every update statement is turned
+//! into a ℤ-bag delta and maintained views answer in time proportional to
+//! the change. `DELETE … VALUES (row), …` removes one occurrence per
+//! listed row (bag semantics; deleting a row that isn't there is an
+//! error, not a no-op) — the honest delta-form counterpart of
+//! `INSERT … VALUES`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use balg_core::eval::{Evaluator, Limits};
+use balg_core::value::Value;
+use balg_incremental::{UpdateBatch, ViewRuntime};
+
+use crate::ast::Query;
+use crate::catalog::{encode_value, Catalog, Column, SqlValue, Table};
+use crate::compile::{compile_query, decode_result, QueryResult, SqlError};
+use crate::lexer::{tokenize, Keyword, Token};
+use crate::parser::{parse_query_from, ParseError, Parser};
+
+/// One SQL statement: a query, or a view/update statement executed
+/// against a [`SqlRuntime`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Statement {
+    /// A plain query (evaluated one-shot).
+    Query(Query),
+    /// `CREATE VIEW name AS query` — register a maintained view.
+    CreateView {
+        /// The view name.
+        name: String,
+        /// The defining query.
+        query: Query,
+    },
+    /// `INSERT INTO table VALUES (…), …` — one occurrence per row.
+    Insert {
+        /// The target table.
+        table: String,
+        /// The literal rows.
+        rows: Vec<Vec<SqlValue>>,
+    },
+    /// `DELETE FROM table VALUES (…), …` — remove one occurrence per row.
+    Delete {
+        /// The target table.
+        table: String,
+        /// The literal rows.
+        rows: Vec<Vec<SqlValue>>,
+    },
+}
+
+/// `KEYWORD` or a statement-specific error message.
+fn expect_keyword(p: &mut Parser, kw: Keyword, what: &str) -> Result<(), ParseError> {
+    if p.eat_keyword(kw) {
+        Ok(())
+    } else {
+        Err(p.error(what))
+    }
+}
+
+/// `( literal, … ) [, ( … )]*` — the VALUES tail of INSERT/DELETE; must
+/// consume every remaining token.
+fn rows(p: &mut Parser) -> Result<Vec<Vec<SqlValue>>, ParseError> {
+    let mut rows = Vec::new();
+    loop {
+        if !p.eat(&Token::LParen) {
+            return Err(p.error("expected ( before a VALUES row"));
+        }
+        let mut row = Vec::new();
+        loop {
+            match p.tokens.get(p.pos) {
+                Some(Token::Int(v)) => {
+                    row.push(SqlValue::Int(*v));
+                    p.pos += 1;
+                }
+                Some(Token::Str(s)) => {
+                    row.push(SqlValue::Str(s.clone()));
+                    p.pos += 1;
+                }
+                other => return Err(p.error(&format!("expected a literal, found {other:?}"))),
+            }
+            if !p.eat(&Token::Comma) {
+                break;
+            }
+        }
+        if !p.eat(&Token::RParen) {
+            return Err(p.error("expected ) after a VALUES row"));
+        }
+        rows.push(row);
+        if !p.eat(&Token::Comma) {
+            break;
+        }
+    }
+    p.expect_end()?;
+    Ok(rows)
+}
+
+/// Parse one statement. Anything that does not start with `CREATE`,
+/// `INSERT` or `DELETE` parses as a plain query.
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
+    match tokens.first() {
+        Some(Token::Keyword(Keyword::Create)) => {
+            let mut p = Parser { tokens, pos: 1 };
+            expect_keyword(&mut p, Keyword::View, "expected VIEW after CREATE")?;
+            let name = p.ident()?;
+            expect_keyword(&mut p, Keyword::As, "expected AS after the view name")?;
+            let query = parse_query_from(p.tokens, p.pos)?;
+            Ok(Statement::CreateView { name, query })
+        }
+        Some(Token::Keyword(Keyword::Insert)) => {
+            let mut p = Parser { tokens, pos: 1 };
+            expect_keyword(&mut p, Keyword::Into, "expected INTO after INSERT")?;
+            let table = p.ident()?;
+            expect_keyword(&mut p, Keyword::Values, "expected VALUES")?;
+            let rows = rows(&mut p)?;
+            Ok(Statement::Insert { table, rows })
+        }
+        Some(Token::Keyword(Keyword::Delete)) => {
+            let mut p = Parser { tokens, pos: 1 };
+            expect_keyword(&mut p, Keyword::From, "expected FROM after DELETE")?;
+            let table = p.ident()?;
+            expect_keyword(
+                &mut p,
+                Keyword::Values,
+                "expected VALUES (delete-by-row form)",
+            )?;
+            let rows = rows(&mut p)?;
+            Ok(Statement::Delete { table, rows })
+        }
+        _ => Ok(Statement::Query(parse_query_from(tokens, 0)?)),
+    }
+}
+
+/// The outcome of one executed statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// Decoded rows of a one-shot query.
+    Rows(QueryResult),
+    /// A view was registered; its initial contents are included.
+    ViewCreated {
+        /// The view name.
+        name: String,
+        /// The initial decoded contents.
+        rows: QueryResult,
+    },
+    /// An update was applied and all dependent views maintained.
+    Applied {
+        /// The updated table.
+        table: String,
+        /// Rows inserted (counting duplicates).
+        inserted: u64,
+        /// Rows deleted (counting duplicates).
+        deleted: u64,
+    },
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Rows(result) => {
+                for (row, mult) in &result.rows {
+                    let rendered: Vec<String> = row.iter().map(SqlValue::to_string).collect();
+                    writeln!(f, "{}  x{mult}", rendered.join(" | "))?;
+                }
+                write!(f, "({} rows)", result.total_rows())
+            }
+            Response::ViewCreated { name, rows } => {
+                write!(f, "view {name} created ({} rows)", rows.total_rows())
+            }
+            Response::Applied {
+                table,
+                inserted,
+                deleted,
+            } => write!(f, "{table}: +{inserted} -{deleted}"),
+        }
+    }
+}
+
+/// A SQL session with maintained views: a catalog, a
+/// [`ViewRuntime`], and the output shapes of registered views.
+pub struct SqlRuntime {
+    catalog: Catalog,
+    runtime: ViewRuntime,
+    view_columns: BTreeMap<String, Vec<Column>>,
+}
+
+impl SqlRuntime {
+    /// A runtime over a catalog and an initial database. Declared tables
+    /// without a bag get an empty one, so update statements against a
+    /// fresh table work.
+    pub fn new(catalog: Catalog, db: balg_core::schema::Database) -> SqlRuntime {
+        Self::with_limits(catalog, db, Limits::default())
+    }
+
+    /// As [`SqlRuntime::new`] with explicit evaluation budgets.
+    pub fn with_limits(
+        catalog: Catalog,
+        db: balg_core::schema::Database,
+        limits: Limits,
+    ) -> SqlRuntime {
+        let mut runtime = ViewRuntime::from_database(db, limits);
+        for table in catalog.tables() {
+            if runtime.database().get(&table.name).is_none() {
+                runtime
+                    .load_base(&table.name, balg_core::bag::Bag::new())
+                    .expect("loading into a runtime without views cannot fail");
+            }
+        }
+        SqlRuntime {
+            catalog,
+            runtime,
+            view_columns: BTreeMap::new(),
+        }
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The underlying view runtime (current database, stats, checks).
+    pub fn runtime(&self) -> &ViewRuntime {
+        &self.runtime
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Response, SqlError> {
+        match parse_statement(sql).map_err(SqlError::Parse)? {
+            Statement::Query(query) => Ok(Response::Rows(self.run_query(&query)?)),
+            Statement::CreateView { name, query } => {
+                // A view may not take a declared table's name: the name
+                // would mean the base rows in FROM but the view rows in
+                // view_rows(), silently.
+                if self.catalog.get(&name).is_some() {
+                    return Err(SqlError::Compile(
+                        crate::compile::CompileError::ViewShadowsTable(name),
+                    ));
+                }
+                let compiled = compile_query(&query, &self.catalog).map_err(SqlError::Compile)?;
+                self.runtime
+                    .create_view(&name, compiled.expr)
+                    .map_err(SqlError::Update)?;
+                self.view_columns.insert(name.clone(), compiled.output);
+                let rows = self.view_rows(&name)?;
+                Ok(Response::ViewCreated { name, rows })
+            }
+            Statement::Insert { table, rows } => {
+                let count = rows.len() as u64;
+                self.apply_rows(&table, &rows, false)?;
+                Ok(Response::Applied {
+                    table,
+                    inserted: count,
+                    deleted: 0,
+                })
+            }
+            Statement::Delete { table, rows } => {
+                let count = rows.len() as u64;
+                self.apply_rows(&table, &rows, true)?;
+                Ok(Response::Applied {
+                    table,
+                    inserted: 0,
+                    deleted: count,
+                })
+            }
+        }
+    }
+
+    /// The current decoded contents of a maintained view. The runtime is
+    /// the source of truth — a view it dropped (after a failed
+    /// maintenance) is unknown here even if its output shape is still
+    /// cached.
+    pub fn view_rows(&self, name: &str) -> Result<QueryResult, SqlError> {
+        let bag = self.runtime.view(name).ok_or_else(|| {
+            SqlError::Update(balg_incremental::UpdateError::UnknownView(name.to_owned()))
+        })?;
+        let columns = self.view_columns.get(name).ok_or_else(|| {
+            SqlError::Update(balg_incremental::UpdateError::UnknownView(name.to_owned()))
+        })?;
+        decode_result(bag, columns.clone())
+    }
+
+    /// Names of the registered views (as the runtime sees them).
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.runtime.views().map(|(name, _)| name)
+    }
+
+    /// Re-check one view against a full re-evaluation.
+    pub fn verify(&self, name: &str) -> Result<bool, SqlError> {
+        self.runtime.verify(name).map_err(SqlError::Update)
+    }
+
+    fn encode_row(&self, table: &Table, row: &[SqlValue]) -> Result<Value, SqlError> {
+        if row.len() != table.columns.len() {
+            return Err(SqlError::Decode(format!(
+                "row arity {} vs table arity {}",
+                row.len(),
+                table.columns.len()
+            )));
+        }
+        let fields = row
+            .iter()
+            .zip(&table.columns)
+            .map(|(value, column)| {
+                encode_value(value, column.numeric).map_err(|e| SqlError::Decode(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Value::Tuple(fields.into()))
+    }
+
+    fn apply_rows(
+        &mut self,
+        table_name: &str,
+        rows: &[Vec<SqlValue>],
+        delete: bool,
+    ) -> Result<(), SqlError> {
+        let table = self
+            .catalog
+            .get(table_name)
+            .ok_or_else(|| {
+                SqlError::Compile(crate::compile::CompileError::UnknownTable(
+                    table_name.to_owned(),
+                ))
+            })?
+            .clone();
+        // Accumulate through the builder (amortized O(log n) per row) and
+        // merge once — per-row ZBag::insert would make wide INSERT
+        // statements quadratic in the row count.
+        let mut builder = balg_core::zbag::ZBagBuilder::new();
+        let sign = if delete {
+            balg_core::zbag::ZInt::neg_one()
+        } else {
+            balg_core::zbag::ZInt::one()
+        };
+        for row in rows {
+            builder.push(self.encode_row(&table, row)?, sign.clone());
+        }
+        let mut batch = UpdateBatch::new();
+        batch.merge_delta(table_name, &builder.build());
+        let result = self.runtime.apply(&batch).map_err(SqlError::Update);
+        // The runtime drops views whose maintenance and re-derivation
+        // both failed; keep the output-shape cache in sync.
+        self.view_columns
+            .retain(|name, _| self.runtime.view(name).is_some());
+        result
+    }
+
+    fn run_query(&self, query: &Query) -> Result<QueryResult, SqlError> {
+        let compiled = compile_query(query, &self.catalog).map_err(SqlError::Compile)?;
+        let mut evaluator = Evaluator::new(self.runtime.database(), self.runtime.limits().clone());
+        let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
+        decode_result(&bag, compiled.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::database_from_rows;
+
+    fn setup() -> SqlRuntime {
+        let catalog = Catalog::new()
+            .with_table("orders", &[("customer", false), ("qty", true)])
+            .with_table("vip", &[("customer", false)]);
+        let s = |x: &str| SqlValue::Str(x.into());
+        let i = SqlValue::Int;
+        let db = database_from_rows(
+            &catalog,
+            &[(
+                "orders",
+                vec![
+                    vec![s("ann"), i(3)],
+                    vec![s("bob"), i(5)],
+                    vec![s("bob"), i(5)],
+                ],
+            )],
+        )
+        .unwrap();
+        SqlRuntime::new(catalog, db)
+    }
+
+    #[test]
+    fn create_view_and_maintain_under_updates() {
+        let mut rt = setup();
+        let response = rt
+            .execute("CREATE VIEW spenders AS SELECT customer FROM orders WHERE qty >= 4")
+            .unwrap();
+        let Response::ViewCreated { name, rows } = response else {
+            panic!("expected ViewCreated");
+        };
+        assert_eq!(name, "spenders");
+        assert_eq!(rows.total_rows(), 2); // bob twice
+
+        rt.execute("INSERT INTO orders VALUES ('cleo', 9), ('ann', 1)")
+            .unwrap();
+        let rows = rt.view_rows("spenders").unwrap();
+        assert_eq!(rows.total_rows(), 3); // + cleo
+        assert!(rt.verify("spenders").unwrap());
+
+        rt.execute("DELETE FROM orders VALUES ('bob', 5)").unwrap();
+        let rows = rt.view_rows("spenders").unwrap();
+        assert_eq!(rows.total_rows(), 2); // one bob occurrence gone
+        assert!(rt.verify("spenders").unwrap());
+    }
+
+    #[test]
+    fn insert_into_fresh_table_and_query() {
+        let mut rt = setup();
+        rt.execute("INSERT INTO vip VALUES ('ann')").unwrap();
+        let Response::Rows(rows) = rt
+            .execute("SELECT o.customer FROM orders o, vip v WHERE o.customer = v.customer")
+            .unwrap()
+        else {
+            panic!("expected rows");
+        };
+        assert_eq!(rows.total_rows(), 1);
+    }
+
+    #[test]
+    fn aggregate_view_is_maintained_via_fallback() {
+        let mut rt = setup();
+        rt.execute("CREATE VIEW total AS SELECT SUM(qty) FROM orders")
+            .unwrap();
+        assert_eq!(rt.view_rows("total").unwrap().scalar(), Some(13));
+        rt.execute("INSERT INTO orders VALUES ('dee', 7)").unwrap();
+        assert_eq!(rt.view_rows("total").unwrap().scalar(), Some(20));
+        assert!(rt.verify("total").unwrap());
+        // SUM compiles through MAP/δ — δ is linear, so the chain maintains
+        // with at most scalar/linear work plus the β re-derivation.
+        assert!(rt.runtime().stats().batches > 0);
+    }
+
+    #[test]
+    fn deleting_missing_rows_is_an_error() {
+        let mut rt = setup();
+        let err = rt
+            .execute("DELETE FROM orders VALUES ('nobody', 1)")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SqlError::Update(balg_incremental::UpdateError::NegativeBase { .. })
+        ));
+    }
+
+    #[test]
+    fn statement_parse_errors() {
+        assert!(parse_statement("CREATE orders AS SELECT * FROM orders").is_err());
+        assert!(parse_statement("INSERT INTO orders ('x', 1)").is_err());
+        assert!(parse_statement("INSERT INTO orders VALUES ('x', 1) garbage").is_err());
+        assert!(parse_statement("DELETE FROM orders WHERE qty = 1").is_err());
+        // Plain queries still parse as statements.
+        assert!(matches!(
+            parse_statement("SELECT * FROM orders"),
+            Ok(Statement::Query(_))
+        ));
+    }
+
+    #[test]
+    fn view_shadowing_unknown_names() {
+        let mut rt = setup();
+        assert!(matches!(
+            rt.execute("CREATE VIEW v AS SELECT nope FROM orders"),
+            Err(SqlError::Compile(_))
+        ));
+        assert!(matches!(
+            rt.execute("INSERT INTO missing VALUES (1)"),
+            Err(SqlError::Compile(_))
+        ));
+        assert!(rt.view_rows("missing").is_err());
+        // A view may not take a declared table's name.
+        assert!(matches!(
+            rt.execute("CREATE VIEW orders AS SELECT customer FROM orders"),
+            Err(SqlError::Compile(
+                crate::compile::CompileError::ViewShadowsTable(_)
+            ))
+        ));
+        assert!(rt.view_names().next().is_none());
+    }
+
+    #[test]
+    fn grouped_view_with_updates() {
+        let mut rt = setup();
+        rt.execute(
+            "CREATE VIEW per_customer AS SELECT customer, SUM(qty) FROM orders GROUP BY customer",
+        )
+        .unwrap();
+        rt.execute("INSERT INTO orders VALUES ('ann', 4)").unwrap();
+        rt.execute("DELETE FROM orders VALUES ('bob', 5)").unwrap();
+        let rows = rt.view_rows("per_customer").unwrap();
+        let find = |name: &str| {
+            rows.rows
+                .iter()
+                .find(|(row, _)| row[0] == SqlValue::Str(name.into()))
+                .map(|(row, _)| row[1].clone())
+        };
+        assert_eq!(find("ann"), Some(SqlValue::Int(7)));
+        assert_eq!(find("bob"), Some(SqlValue::Int(5)));
+        assert!(rt.verify("per_customer").unwrap());
+    }
+}

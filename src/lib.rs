@@ -11,8 +11,9 @@
 //! | [`games`] (`balg-games`) | pebble games and the Figure 1 construction |
 //! | [`arith`] (`balg-arith`) | bounded arithmetic + the Lemma 5.7 encoding |
 //! | [`machine`] (`balg-machine`) | Turing machines + the Thm 6.6 IFP compiler |
-//! | [`sql`] (`balg-sql`) | a SQL frontend with honest bag semantics |
+//! | [`sql`] (`balg-sql`) | a SQL frontend with honest bag semantics + maintained views |
 //! | [`complexity`] (`balg-complexity`) | the E1–E18 experiment harness |
+//! | [`incremental`] (`balg-incremental`) | ℤ-bag incremental view maintenance |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -37,6 +38,7 @@ pub use balg_calc as calc;
 pub use balg_complexity as complexity;
 pub use balg_core as core;
 pub use balg_games as games;
+pub use balg_incremental as incremental;
 pub use balg_machine as machine;
 pub use balg_relational as relational;
 pub use balg_sql as sql;

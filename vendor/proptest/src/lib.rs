@@ -3,8 +3,8 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! reimplements the API subset the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_flat_map`,
-//!   `prop_recursive` and `boxed`;
+//! * the [`Strategy`](crate::strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, `prop_recursive` and `boxed`;
 //! * strategies for integer ranges, tuples, [`strategy::Just`],
 //!   `any::<T>()`, simple regex string patterns (`"[a-z]{0,6}"`-style),
 //!   [`collection::vec`] / [`collection::btree_set`] /
