@@ -180,6 +180,26 @@ fn subbag_over_powerset(c: &mut Criterion) {
                 .count()
         })
     });
+    // The memoized membership tester over the same sweep — the structure
+    // the evaluator's `σ_{s ⊑ C}` stage now probes per element.
+    let tester = balg_core::index::SubBagTester::new(&probe);
+    let walked = powerset
+        .iter()
+        .filter(|(sub, _)| sub.as_bag().unwrap().is_subbag_of(&probe))
+        .count();
+    let tested = powerset
+        .iter()
+        .filter(|(sub, _)| tester.admits(sub.as_bag().unwrap()))
+        .count();
+    assert_eq!(walked, tested, "tester must match the merge walk");
+    group.bench_function("subbag_tester_sweep_65536", |bench| {
+        bench.iter(|| {
+            black_box(&powerset)
+                .iter()
+                .filter(|(sub, _)| black_box(&tester).admits(sub.as_bag().unwrap()))
+                .count()
+        })
+    });
     let db = Database::new().with("P", powerset).with("C", probe);
     let q = Expr::var("P").select("s", Pred::SubBag(Expr::var("s"), Expr::var("C")));
     group.bench_function("evaluator_sigma_subbag_65536", |bench| {

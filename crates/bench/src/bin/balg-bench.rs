@@ -25,6 +25,7 @@ use std::time::Instant;
 
 use balg_bench::incremental::update_groups;
 use balg_bench::json::{self, Json};
+use balg_bench::micro_wall::micro_groups;
 use balg_bench::paper::groups;
 
 struct Args {
@@ -150,6 +151,7 @@ fn main() {
     let args = parse_args();
     let mut results: Vec<(&'static str, u128)> = Vec::new();
     let mut all_groups = groups();
+    all_groups.extend(micro_groups());
     all_groups.extend(update_groups());
     for group in &mut all_groups {
         for _ in 0..3 {

@@ -271,6 +271,33 @@ fn plans() -> Vec<Plan> {
         ));
     }
     {
+        // Equi-join against a *large* probed side: the per-key index
+        // makes the σ(×) delta O(matches) — here ~4 matching rows per
+        // update — where the unfused bilinear-then-filter path pays
+        // O(|S|) = 1024 pairs plus as many predicate evaluations. The
+        // u3/u5 pair brackets the index win: small other side vs large.
+        let expr = Expr::var("R")
+            .product(Expr::var("S"))
+            .select(
+                "x",
+                Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+            )
+            .project(&[1, 4]);
+        out.push(plan(
+            "u5_indexed_join",
+            15,
+            vec![("R", binary_bag(2048, 256)), ("S", binary_bag(1024, 256))],
+            &["R"],
+            expr,
+            |rng| {
+                Value::tuple([
+                    Value::int(rng.gen_range(0..8192)),
+                    Value::int(rng.gen_range(0..256)),
+                ])
+            },
+        ));
+    }
+    {
         // Non-linear control: ε(R − S) re-derives per batch. No order-of-
         // magnitude speedup is claimed here — it documents the fallback
         // cost next to the linear wins.

@@ -19,6 +19,7 @@
 
 pub mod incremental;
 pub mod json;
+pub mod micro_wall;
 pub mod paper;
 
 use balg_core::bag::Bag;

@@ -357,9 +357,11 @@ impl IncrementalSession {
             "stats" => {
                 let stats = self.runtime.stats();
                 Response::Text(format!(
-                    "{} batches — {} linear delta ops, {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
+                    "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
                     stats.batches,
                     stats.views.linear_delta_ops,
+                    stats.views.indexed_join_ops,
+                    stats.views.scanned_join_ops,
                     stats.views.fallback_recomputes,
                     stats.views.scalar_recomputes,
                     stats.views.full_reinits

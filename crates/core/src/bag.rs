@@ -205,6 +205,14 @@ impl Bag {
         Arc::make_mut(&mut self.elems)
     }
 
+    /// `true` iff the two bags share one copy-on-write slice allocation —
+    /// the identity the [`crate::index::IndexCache`] keys cached indexes
+    /// by. Shared representation implies equality; the converse does not
+    /// hold (equal bags may be separately allocated).
+    pub fn shares_representation(&self, other: &Bag) -> bool {
+        Arc::ptr_eq(&self.elems, &other.elems)
+    }
+
     /// The bagging constructor `β(o) = ⟦o⟧`: a bag where `o` 1-belongs.
     pub fn singleton(value: Value) -> Bag {
         Bag::from_sorted_vec(vec![(value, Natural::one())])

@@ -30,6 +30,7 @@ use std::sync::Arc;
 
 use crate::bag::{attr_field, Bag, BagBuilder, BagError};
 use crate::expr::{Expr, Pred, Var};
+use crate::index::{BagIndex, IndexCache, SubBagTester};
 use crate::natural::Natural;
 use crate::schema::Database;
 use crate::value::Value;
@@ -215,6 +216,16 @@ pub struct Evaluator<'a> {
     /// lifetime caveat as `invariant_roots`). `Arc` so a hit is one clone,
     /// not a re-scan and re-allocation per loop iteration.
     projection_specs: PtrMap<Option<Arc<[usize]>>>,
+    /// Per-key join indexes over operand bags, keyed by representation
+    /// pointer. Valid across `eval` calls: the database is borrowed
+    /// immutably for the evaluator's lifetime and each entry pins the
+    /// slice allocation it describes, so repeated joins against the same
+    /// operand (IFP bodies, repeated queries) probe instead of rebuilding.
+    indexes: IndexCache,
+    /// Whether the secondary-index fast paths (indexed joins, memoized
+    /// `SubBag` testers) may run. The differential suites flip this to
+    /// prove the indexed and scan paths equivalent.
+    use_indexes: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -230,7 +241,27 @@ impl<'a> Evaluator<'a> {
             memo: PtrMap::default(),
             invariant_roots: PtrMap::default(),
             projection_specs: PtrMap::default(),
+            indexes: IndexCache::new(),
+            use_indexes: true,
         }
+    }
+
+    /// Enable or disable the secondary-index fast paths (per-key join
+    /// indexes and memoized `SubBag` testers). Both settings compute the
+    /// same bags with the same step charges; the differential test suites
+    /// run every query both ways and require strict equality. Disabling
+    /// drops any cached indexes.
+    pub fn set_indexing(&mut self, enabled: bool) {
+        self.use_indexes = enabled;
+        if !enabled {
+            self.indexes.clear();
+        }
+    }
+
+    /// The join-index cache statistics `(hits, builds)` — exposed so
+    /// tests can assert that repeated joins actually reuse an index.
+    pub fn index_stats(&self) -> (u64, u64) {
+        (self.indexes.hits(), self.indexes.builds())
     }
 
     /// Evaluate a closed expression (free variables resolve to database
@@ -542,7 +573,21 @@ impl<'a> Evaluator<'a> {
                     None => Stage::Map { var, body },
                 }
             }
-            Expr::Select { var, pred, .. } => Stage::Filter { var, pred },
+            Expr::Select { var, pred, .. } => {
+                // `σ_{lhs ⊑ rhs}` with a loop-invariant rhs: the rhs
+                // evaluates once per chain run into a memoized membership
+                // tester ([`SubBagTester`]) probed per element, instead of
+                // re-deriving the reference bag and merge-walking it for
+                // every element of a large (typically powerset) input.
+                if self.use_indexes {
+                    if let Pred::SubBag(lhs, rhs) = pred.as_ref() {
+                        if !mentions_free(rhs, var) {
+                            return Stage::SubBag { var, lhs, rhs };
+                        }
+                    }
+                }
+                Stage::Filter { var, pred }
+            }
             _ => unreachable!("spine nodes are Map or Select"),
         }
     }
@@ -665,6 +710,12 @@ impl<'a> Evaluator<'a> {
                                 blocked.push((*var).clone());
                                 collect_invariant_pred_roots(pred, &mut blocked, &mut roots);
                             }
+                            // The rhs is memoized by the tester itself;
+                            // only the lhs can hold hoistable subtrees.
+                            Stage::SubBag { var, lhs, .. } => {
+                                blocked.push((*var).clone());
+                                collect_invariant_roots(lhs, &mut blocked, &mut roots);
+                            }
                             // A projection has no subexpressions to hoist.
                             Stage::Project { .. } => {}
                         }
@@ -687,8 +738,21 @@ impl<'a> Evaluator<'a> {
         // A hash join or one-sided projection may have consumed the only
         // stage: its bag already is the chain's result — don't re-stream
         // it through an empty pipeline (the observe below still runs).
-        let result = match (&base, stages.is_empty()) {
-            (ChainBase::Bag(bag), true) => Ok(bag.clone()),
+        let result = match (&base, stages) {
+            (ChainBase::Bag(bag), []) => Ok(bag.clone()),
+            // The whole chain is `σ_{x ⊑ rhs}` over the λ variable itself
+            // — the powerset-sweep shape: elements are tested in place
+            // (no per-element environment binding or value clone) against
+            // the memoized reference, and the output is a subsequence of
+            // the sorted input.
+            (
+                ChainBase::Bag(bag),
+                [Stage::SubBag {
+                    var,
+                    lhs: Expr::Var(name),
+                    rhs,
+                }],
+            ) if name == *var => self.run_subbag_select(bag, rhs),
             _ => self.run_chain_loop(&base, stages),
         };
         for key in registered {
@@ -704,10 +768,16 @@ impl<'a> Evaluator<'a> {
     /// the error path.
     fn run_chain_loop(&mut self, base: &ChainBase, stages: &[Stage<'_>]) -> Result<Bag, EvalError> {
         let mut out = BagBuilder::new();
+        // One memoized-tester slot per stage, filled lazily by the first
+        // element that reaches a `SubBag` stage (so a chain that filters
+        // everything out earlier never evaluates the rhs — matching the
+        // unmemoized per-element evaluation order).
+        let mut testers: Vec<Option<SubBagTester>> = Vec::new();
+        testers.resize_with(stages.len(), || None);
         match base {
             ChainBase::Bag(bag) => {
                 for (value, mult) in bag.iter() {
-                    self.run_stages(value.clone(), mult.clone(), stages, &mut out)?;
+                    self.run_stages(value.clone(), mult.clone(), stages, &mut testers, &mut out)?;
                 }
             }
             ChainBase::Pairs(left, right) => {
@@ -717,6 +787,9 @@ impl<'a> Evaluator<'a> {
                     Some(Stage::Project { indices }) => (Some(&indices[..]), &stages[1..]),
                     _ => (None, stages),
                 };
+                if project.is_some() {
+                    testers.remove(0); // keep slots aligned with `rest`
+                }
                 for (lv, lm) in left.iter() {
                     let left_fields = lv
                         .as_tuple()
@@ -732,7 +805,7 @@ impl<'a> Evaluator<'a> {
                             }
                             None => Value::concat_tuples(left_fields, right_fields),
                         };
-                        self.run_stages(first, lm * rm, rest, &mut out)?;
+                        self.run_stages(first, lm * rm, rest, &mut testers, &mut out)?;
                     }
                 }
             }
@@ -740,16 +813,44 @@ impl<'a> Evaluator<'a> {
         Ok(out.build())
     }
 
+    /// The specialized loop for a one-stage `σ_{x ⊑ rhs}(bag)` chain:
+    /// every element is a candidate bag tested in place. Matches the
+    /// per-element path exactly — error precedence (a non-bag first
+    /// element outranks an rhs failure; later shape errors follow the
+    /// reference derivation), the resulting bag, and the step totals:
+    /// the per-element path charges pred + λ-var lookup per element and
+    /// evaluates the rhs once in full (loop-invariant hoisting memoizes
+    /// it) plus one root-lookup step per later element, so this charges
+    /// `3n − 1` in bulk around the single full rhs evaluation.
+    fn run_subbag_select(&mut self, bag: &Bag, rhs: &Expr) -> Result<Bag, EvalError> {
+        if bag.is_empty() {
+            return Ok(Bag::new()); // the reference is never derived
+        }
+        let first = bag.elements().next().expect("non-empty");
+        if first.as_bag().is_none() {
+            return Err(shape("a bag", first));
+        }
+        let reference = expect_bag(self.eval_inner(rhs)?)?;
+        let tester = SubBagTester::new(&reference);
+        self.charge_steps(3 * bag.distinct_count() as u64 - 1)?;
+        bag.select(|value| match value.as_bag() {
+            Some(candidate) => Ok(tester.admits(candidate)),
+            None => Err(shape("a bag", value)),
+        })
+    }
+
     /// Push one element through every stage; survivors land in `out`.
+    /// `testers` holds one lazily-filled [`SubBagTester`] slot per stage.
     fn run_stages(
         &mut self,
         value: Value,
         mult: Natural,
         stages: &[Stage<'_>],
+        testers: &mut [Option<SubBagTester>],
         out: &mut BagBuilder,
     ) -> Result<(), EvalError> {
         let mut current = value;
-        for stage in stages {
+        for (stage_ix, stage) in stages.iter().enumerate() {
             match stage {
                 Stage::Map { var, body } => {
                     self.env.push(((*var).clone(), current));
@@ -762,6 +863,30 @@ impl<'a> Evaluator<'a> {
                     let keep = self.eval_pred(pred);
                     let (_, value_back) = self.env.pop().expect("balanced λ environment");
                     if !keep? {
+                        return Ok(());
+                    }
+                    current = value_back;
+                }
+                Stage::SubBag { var, lhs, rhs } => {
+                    self.step()?; // the predicate node, as eval_pred charges it
+                    self.env.push(((*var).clone(), current));
+                    let left = self.eval_inner(lhs);
+                    let (_, value_back) = self.env.pop().expect("balanced λ environment");
+                    let left = expect_bag(left?)?;
+                    if testers[stage_ix].is_none() {
+                        // First element to reach this stage: derive the
+                        // reference once (errors surface exactly where
+                        // the per-element evaluation would have raised
+                        // them first) and memoize its caps.
+                        let reference = expect_bag(self.eval_inner(rhs)?)?;
+                        testers[stage_ix] = Some(SubBagTester::new(&reference));
+                    } else {
+                        // The per-element path re-reads the (hoisted,
+                        // memoized) reference: one root-lookup step.
+                        self.step()?;
+                    }
+                    let tester = testers[stage_ix].as_ref().expect("just ensured");
+                    if !tester.admits(&left) {
                         return Ok(());
                     }
                     current = value_back;
@@ -817,6 +942,17 @@ impl<'a> Evaluator<'a> {
                 let spans_boundary =
                     i >= 1 && i <= left_arity && j > left_arity && j <= left_arity + right_arity;
                 if spans_boundary {
+                    let jr = j - left_arity;
+                    if self.use_indexes {
+                        if let Some(out) = self.indexed_join(&left, i, &right, jr)? {
+                            self.observe(&out)?;
+                            return Ok(ProductOutcome::Joined(out));
+                        }
+                    }
+                    // Scan path (indexes disabled, or neither side
+                    // indexable): a transient per-query hash table, the
+                    // pre-index behavior with identical output and step
+                    // charges.
                     let mut index: HashMap<&Value, Vec<(&Value, &Natural)>> = HashMap::new();
                     for (lv, lm) in left.iter() {
                         let fields = lv.as_tuple().expect("checked by uniform_arity");
@@ -825,7 +961,7 @@ impl<'a> Evaluator<'a> {
                     let mut out = BagBuilder::new();
                     for (rv, rm) in right.iter() {
                         let right_fields = rv.as_tuple().expect("checked by uniform_arity");
-                        let Some(matches) = index.get(&right_fields[j - left_arity - 1]) else {
+                        let Some(matches) = index.get(&right_fields[jr - 1]) else {
                             continue;
                         };
                         for (lv, lm) in matches {
@@ -857,6 +993,67 @@ impl<'a> Evaluator<'a> {
         let out = left.product(&right, self.limits.max_bag_elements)?;
         self.observe(&out)?;
         Ok(ProductOutcome::Materialized(out))
+    }
+
+    /// The cached-index hash join: probe a [`BagIndex`] on one operand
+    /// for every row of the other. `li`/`ri` are the join attributes in
+    /// each side's own 1-based numbering; both sides are known to be
+    /// uniform-arity tuple bags. Prefers an index that is already cached
+    /// (either side); on a double miss it indexes the smaller side — the
+    /// cheaper build, and the choice that lets a loop-stable operand
+    /// (e.g. the edge bag of an IFP transitive closure) stay cached while
+    /// the growing side is probed. Returns `Ok(None)` only when no side
+    /// can be indexed, which the guards above make unreachable in
+    /// practice; the caller then falls back to the transient scan.
+    fn indexed_join(
+        &mut self,
+        left: &Bag,
+        li: usize,
+        right: &Bag,
+        ri: usize,
+    ) -> Result<Option<Bag>, EvalError> {
+        enum Pick {
+            Left(Arc<BagIndex>),
+            Right(Arc<BagIndex>),
+        }
+        let pick = if let Some(index) = self.indexes.peek(left, li) {
+            Some(Pick::Left(index))
+        } else if let Some(index) = self.indexes.peek(right, ri) {
+            Some(Pick::Right(index))
+        } else if left.distinct_count() <= right.distinct_count() {
+            self.indexes.get_or_build(left, li).map(Pick::Left)
+        } else {
+            self.indexes.get_or_build(right, ri).map(Pick::Right)
+        };
+        let Some(pick) = pick else {
+            return Ok(None);
+        };
+        let mut out = BagBuilder::new();
+        match pick {
+            Pick::Left(index) => {
+                for (rv, rm) in right.iter() {
+                    let right_fields = rv.as_tuple().expect("checked by uniform_arity");
+                    for (lv, lm) in index.group(&right_fields[ri - 1]) {
+                        self.step()?; // one per surviving pair, like the filter
+                        let left_fields = lv.as_tuple().expect("indexed rows are tuples");
+                        out.push(Value::concat_tuples(left_fields, right_fields), lm * rm);
+                        self.check_builder_limit(&mut out)?;
+                    }
+                }
+            }
+            Pick::Right(index) => {
+                for (lv, lm) in left.iter() {
+                    let left_fields = lv.as_tuple().expect("checked by uniform_arity");
+                    for (rv, rm) in index.group(&left_fields[li - 1]) {
+                        self.step()?; // one per surviving pair, like the filter
+                        let right_fields = rv.as_tuple().expect("indexed rows are tuples");
+                        out.push(Value::concat_tuples(left_fields, right_fields), lm * rm);
+                        self.check_builder_limit(&mut out)?;
+                    }
+                }
+            }
+        }
+        Ok(Some(out.build()))
     }
 
     fn eval_binary(
@@ -910,6 +1107,14 @@ enum Stage<'e> {
     /// the paper's `π` abbreviation — precompiled to its 1-based indices.
     Project {
         indices: Arc<[usize]>,
+    },
+    /// A `σ` whose predicate is a single `SubBag(lhs, rhs)` with `rhs`
+    /// not reading the λ variable: the rhs is evaluated once per chain
+    /// run and memoized as a [`SubBagTester`].
+    SubBag {
+        var: &'e Var,
+        lhs: &'e Expr,
+        rhs: &'e Expr,
     },
 }
 

@@ -45,6 +45,7 @@
 //! | [`expr`]    | the BALG expression AST with first-class λ |
 //! | [`typecheck`] | type inference + fragment analysis (BALGᵏᵢ) |
 //! | [`mod@eval`] | resource-limited evaluation with metrics |
+//! | [`index`]   | per-key join indexes and memoized `SubBag` testers |
 //! | [`derived`] | aggregates, cardinality quantifiers, Prop 3.1 identities |
 //! | [`expanded`] | the standard-encoding representation (differential oracle) |
 //! | [`rewrite`] | multiplicity-exact optimization rules (σ pushdown, ε/MAP fusion) |
@@ -59,6 +60,7 @@ pub mod derived;
 pub mod eval;
 pub mod expanded;
 pub mod expr;
+pub mod index;
 pub mod natural;
 pub mod parse;
 pub mod rewrite;
@@ -75,6 +77,7 @@ pub mod prelude {
         eval, eval_bag, eval_with_metrics, EvalError, Evaluator, Limits, Metrics,
     };
     pub use crate::expr::{Expr, Pred, Var};
+    pub use crate::index::{BagIndex, IndexCache, SubBagTester};
     pub use crate::natural::Natural;
     pub use crate::parse::{parse_expr, ExprParseError};
     pub use crate::rewrite::optimize;

@@ -483,7 +483,7 @@ impl ZBag {
                     .as_tuple()
                     .ok_or_else(|| BagError::NotATuple(right.clone()))?;
                 out.push(Value::concat_tuples(left_fields, right_fields), lm.mul(rm));
-                if out.buffer.ensure_distinct_within(max_elements).is_err() {
+                if out.ensure_distinct_within(max_elements).is_err() {
                     return Err(BagError::TooLarge {
                         predicted: &Natural::from(self.pairs.len() as u64)
                             * &Natural::from(other.pairs.len() as u64),
@@ -547,6 +547,13 @@ impl ZBagBuilder {
     /// Add `mult` signed copies of `value`.
     pub fn push(&mut self, value: Value, mult: ZInt) {
         self.buffer.push(value, mult);
+    }
+
+    /// Enforce a distinct-element budget mid-build: `Err(observed)` with
+    /// the exact distinct count as soon as it exceeds `limit` — the ℤ
+    /// counterpart of [`BagBuilder::ensure_distinct_within`](crate::bag::BagBuilder::ensure_distinct_within).
+    pub fn ensure_distinct_within(&mut self, limit: u64) -> Result<(), u64> {
+        self.buffer.ensure_distinct_within(limit)
     }
 
     /// Finish into a [`ZBag`].

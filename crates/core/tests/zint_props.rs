@@ -1,0 +1,133 @@
+//! Property tests for the signed multiplicity group `ZInt`, cross-checked
+//! against an `i128` reference model — the one `zbag` layer PR 4 shipped
+//! without its own proptest.
+//!
+//! Magnitudes are drawn from three bands: ordinary `i64`-sized values,
+//! and windows straddling `±u64::MAX` — the boundary where the underlying
+//! `Natural` spills from the inline word to heap limbs, which is exactly
+//! where a sign/monus bookkeeping slip would hide.
+
+use balg_core::natural::Natural;
+use balg_core::zbag::ZInt;
+use proptest::prelude::*;
+
+/// A `Natural` from a `u128` (splitting at the 64-bit limb boundary).
+fn nat(v: u128) -> Natural {
+    &(&Natural::from((v >> 64) as u64) * &Natural::pow2(64)) + &Natural::from(v as u64)
+}
+
+/// The reference embedding `i128 → ZInt`.
+fn z(v: i128) -> ZInt {
+    ZInt::from_parts(v < 0, nat(v.unsigned_abs()))
+}
+
+/// Values from the three interesting bands. Every band stays within
+/// `±2^65`, so sums of two values always fit the `i128` model.
+fn value() -> BoxedStrategy<i128> {
+    prop_oneof![
+        any::<i64>().prop_map(i128::from),
+        (0u64..33).prop_map(|d| u64::MAX as i128 - 16 + d as i128),
+        (0u64..33).prop_map(|d| -(u64::MAX as i128) + 16 - d as i128),
+    ]
+    .boxed()
+}
+
+/// Canonical form: zero is never negative.
+fn assert_canonical(x: &ZInt) {
+    assert!(
+        !x.is_zero() || !x.is_negative(),
+        "negative zero leaked: {x}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_i128(a in value(), b in value()) {
+        let sum = z(a).add(&z(b));
+        assert_canonical(&sum);
+        prop_assert_eq!(sum, z(a + b));
+    }
+
+    #[test]
+    fn add_is_commutative_with_neg_inverse(a in value(), b in value()) {
+        prop_assert_eq!(z(a).add(&z(b)), z(b).add(&z(a)));
+        let cancelled = z(a).add(&z(a).neg());
+        prop_assert!(cancelled.is_zero());
+        assert_canonical(&cancelled);
+    }
+
+    #[test]
+    fn neg_matches_i128_and_is_involutive(a in value()) {
+        prop_assert_eq!(z(a).neg(), z(-a));
+        prop_assert_eq!(z(a).neg().neg(), z(a));
+        assert_canonical(&z(a).neg());
+    }
+
+    #[test]
+    fn mul_matches_i128(a in any::<i32>(), b in value()) {
+        // One factor stays 32-bit so the model product fits in i128 even
+        // against the u64-boundary band.
+        let prod = z(i128::from(a)).mul(&z(b));
+        assert_canonical(&prod);
+        prop_assert_eq!(prod, z(i128::from(a) * b));
+    }
+
+    #[test]
+    fn scale_matches_i128(a in value(), n in any::<u32>()) {
+        let scaled = z(a).scale(&Natural::from(u64::from(n)));
+        assert_canonical(&scaled);
+        prop_assert_eq!(scaled, z(a * i128::from(n)));
+    }
+
+    #[test]
+    fn ord_matches_i128(a in value(), b in value()) {
+        prop_assert_eq!(z(a).cmp(&z(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn sign_accessors_match_i128(a in value()) {
+        let x = z(a);
+        prop_assert_eq!(x.is_zero(), a == 0);
+        prop_assert_eq!(x.is_negative(), a < 0);
+        prop_assert_eq!(x.magnitude(), &nat(a.unsigned_abs()));
+        match x.to_natural() {
+            Some(n) => {
+                prop_assert!(a >= 0);
+                prop_assert_eq!(n, nat(a.unsigned_abs()));
+            }
+            None => prop_assert!(a < 0),
+        }
+    }
+
+    #[test]
+    fn from_parts_normalizes_negative_zero(negative in any::<bool>()) {
+        let zero = ZInt::from_parts(negative, Natural::zero());
+        prop_assert!(zero.is_zero());
+        prop_assert!(!zero.is_negative());
+        prop_assert_eq!(zero, ZInt::zero());
+    }
+}
+
+/// Deterministic spot checks pinned exactly at the inline/limb spill
+/// boundary (`u64::MAX` ± 1), where `Natural` changes representation.
+#[test]
+fn arithmetic_across_the_limb_spill_boundary() {
+    let max = u64::MAX as i128;
+    // Crossing upward by addition…
+    assert_eq!(z(max).add(&ZInt::one()), z(max + 1));
+    // …and back down, through zero, and past it.
+    assert_eq!(z(max + 1).add(&z(-1)), z(max));
+    assert_eq!(z(max + 1).add(&z(-(max + 1))), ZInt::zero());
+    assert_eq!(z(max + 1).add(&z(-(max + 2))), z(-1));
+    // Subtraction that lands exactly on the boundary from both sides.
+    assert_eq!(z(-(max + 1)).add(&ZInt::one()), z(-max));
+    assert_eq!(z(2 * max), z(max).add(&z(max)));
+    // Multiplication across the boundary.
+    assert_eq!(z(max).mul(&z(2)), z(2 * max));
+    assert_eq!(z(-max).mul(&z(2)), z(-2 * max));
+    // Ordering around the boundary, both signs.
+    assert!(z(max) < z(max + 1));
+    assert!(z(-(max + 1)) < z(-max));
+}

@@ -7,6 +7,7 @@ use std::fmt;
 use balg_core::bag::Bag;
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Var};
+use balg_core::index::IndexCache;
 use balg_core::schema::Database;
 use balg_core::value::Value;
 use balg_core::zbag::{ZBag, ZBagError, ZInt};
@@ -123,12 +124,25 @@ pub struct RuntimeStats {
 /// [`ViewRuntime::apply`] batches; [`ViewRuntime::view`] reads are always
 /// consistent with the current database, which
 /// [`ViewRuntime::verify`] re-checks against a full re-evaluation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ViewRuntime {
     db: Database,
     limits: Limits,
     views: BTreeMap<String, View>,
     batches: u64,
+    /// Per-key join indexes over base bags (and join-node snapshots),
+    /// persistent across batches: base indexes are patched alongside the
+    /// base on every commit instead of being rebuilt.
+    indexes: IndexCache,
+    /// Whether the fused equi-join propagates through index probes
+    /// (default) or scans — the differential suites run both.
+    use_indexes: bool,
+}
+
+impl Default for ViewRuntime {
+    fn default() -> ViewRuntime {
+        ViewRuntime::new()
+    }
 }
 
 impl ViewRuntime {
@@ -140,12 +154,7 @@ impl ViewRuntime {
     /// An empty runtime with explicit budgets (shared by initial
     /// evaluation, fallback re-derivation, and consistency checks).
     pub fn with_limits(limits: Limits) -> ViewRuntime {
-        ViewRuntime {
-            db: Database::new(),
-            limits,
-            views: BTreeMap::new(),
-            batches: 0,
-        }
+        ViewRuntime::from_database(Database::new(), limits)
     }
 
     /// A runtime over an existing database.
@@ -155,7 +164,32 @@ impl ViewRuntime {
             limits,
             views: BTreeMap::new(),
             batches: 0,
+            indexes: IndexCache::new(),
+            use_indexes: true,
         }
+    }
+
+    /// Enable or disable the per-key index fast paths. Both settings
+    /// maintain identical views — the differential suites run every
+    /// (query, update-stream) pair both ways and require strict equality
+    /// — but with indexing off the fused equi-join falls back to
+    /// scanning the unchanged operand ([`ViewStats::scanned_join_ops`]).
+    /// Disabling drops any cached indexes.
+    pub fn set_indexing(&mut self, enabled: bool) {
+        self.use_indexes = enabled;
+        if !enabled {
+            self.indexes.clear();
+        }
+    }
+
+    /// Whether the index fast paths are enabled.
+    pub fn indexing(&self) -> bool {
+        self.use_indexes
+    }
+
+    /// Join-index cache statistics `(hits, builds)`.
+    pub fn index_stats(&self) -> (u64, u64) {
+        (self.indexes.hits(), self.indexes.builds())
     }
 
     /// The current database (bases only; views live beside it).
@@ -176,12 +210,20 @@ impl ViewRuntime {
     /// only serve results for the replaced base) and the first failure is
     /// reported.
     pub fn load_base(&mut self, name: &str, bag: Bag) -> Result<(), UpdateError> {
+        // A wholesale replacement invalidates any indexes over the old
+        // representation (unless the new bag shares it, in which case the
+        // entries stay valid by construction).
+        if let Some(old) = self.db.get(name) {
+            if !old.shares_representation(&bag) {
+                self.indexes.invalidate(old);
+            }
+        }
         self.db.insert(name, bag);
         let var = Var::from(name);
         let mut failed: Vec<(String, EvalError)> = Vec::new();
         for (view_name, view) in self.views.iter_mut() {
             if view.reads().contains(&var) {
-                if let Err(error) = view.reinit(&self.db, &self.limits) {
+                if let Err(error) = view.reinit(&self.db, &self.limits, self.use_indexes) {
                     failed.push((view_name.clone(), error));
                 }
             }
@@ -206,9 +248,11 @@ impl ViewRuntime {
     /// Register (or replace) a maintained view for a compiled BALG
     /// expression. The initial result is computed immediately.
     pub fn create_view(&mut self, name: &str, expr: Expr) -> Result<&Bag, UpdateError> {
-        let view = View::new(expr, &self.db, &self.limits).map_err(|error| UpdateError::View {
-            view: name.to_owned(),
-            error,
+        let view = View::new(expr, &self.db, &self.limits, self.use_indexes).map_err(|error| {
+            UpdateError::View {
+                view: name.to_owned(),
+                error,
+            }
         })?;
         self.views.insert(name.to_owned(), view);
         Ok(self.views[name].result())
@@ -261,9 +305,13 @@ impl ViewRuntime {
         // Phase 2 — commit. Taking each bag out of the database gives the
         // patch unique ownership, so a small delta edits the sorted slice
         // in place instead of rebuilding (or copy-on-write cloning) it.
+        // Cached indexes over the base are taken out first — dropping the
+        // cache's owner clone is what restores unique ownership — patched
+        // with the same delta, and restored under the new representation.
         for name in &affected {
             let base = self.db.take(name).expect("validated above");
             let delta = batch.delta(name).expect("affected implies a delta");
+            let taken = self.indexes.take_for_patch(&base);
             let new =
                 delta
                     .apply_into(base)
@@ -273,6 +321,13 @@ impl ViewRuntime {
                             value,
                         }
                     })?;
+            for mut index in taken {
+                // A mismatch (delta rows the index cannot reconcile)
+                // drops the index; it is rebuilt lazily on the next probe.
+                if index.patch(delta).is_ok() {
+                    self.indexes.restore(&new, index);
+                }
+            }
             self.db.insert(name, new);
         }
         // Maintain affected views; on a maintenance failure degrade to a
@@ -286,10 +341,17 @@ impl ViewRuntime {
                 continue;
             }
             if view
-                .maintain(&batch.deltas, &affected, &self.db, &self.limits)
+                .maintain(
+                    &batch.deltas,
+                    &affected,
+                    &self.db,
+                    &self.limits,
+                    &mut self.indexes,
+                    self.use_indexes,
+                )
                 .is_err()
             {
-                if let Err(error) = view.reinit(&self.db, &self.limits) {
+                if let Err(error) = view.reinit(&self.db, &self.limits, self.use_indexes) {
                     failed.push((view_name.clone(), error));
                 }
             }

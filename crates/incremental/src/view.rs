@@ -11,10 +11,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 use balg_core::bag::{attr_field, Bag};
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Pred, Var};
+use balg_core::index::{BagIndex, IndexCache};
 use balg_core::schema::Database;
 use balg_core::value::Value;
 use balg_core::zbag::{ZBag, ZBagBuilder};
@@ -23,6 +25,11 @@ use balg_core::zbag::{ZBag, ZBagBuilder};
 /// snapshot to (not expressible in the surface syntax, so it can never
 /// collide with a user name).
 const DELTA_INPUT: &str = "·Δinput";
+
+/// The two fresh variables the fused equi-join's re-derivation probe
+/// binds its operand snapshots to.
+const DELTA_INPUT_LEFT: &str = "·ΔinputL";
+const DELTA_INPUT_RIGHT: &str = "·ΔinputR";
 
 /// Instrumentation counters for one view — which maintenance path ran.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -40,6 +47,14 @@ pub struct ViewStats {
     /// Full view re-derivations (degraded path after a maintenance
     /// error, or an explicit rebase).
     pub full_reinits: u64,
+    /// Fused `σ_{αᵢ=αⱼ}(×)` deltas propagated by probing a per-key
+    /// [`IndexCache`] index — only rows keyed by the delta's join values
+    /// were touched (`O(matches)`).
+    pub indexed_join_ops: u64,
+    /// Fused equi-join deltas propagated by scanning the unchanged
+    /// operand (`O(|other side|)`): indexing disabled, or the pair of
+    /// attributes does not key a single side.
+    pub scanned_join_ops: u64,
 }
 
 impl ViewStats {
@@ -50,6 +65,8 @@ impl ViewStats {
             fallback_recomputes: self.fallback_recomputes + other.fallback_recomputes,
             scalar_recomputes: self.scalar_recomputes + other.scalar_recomputes,
             full_reinits: self.full_reinits + other.full_reinits,
+            indexed_join_ops: self.indexed_join_ops + other.indexed_join_ops,
+            scanned_join_ops: self.scanned_join_ops + other.scanned_join_ops,
         }
     }
 }
@@ -109,9 +126,31 @@ enum Kind {
     Attr(usize),
     Destroy,
     Dedup,
-    Map { var: Var, body: Expr, probe: Expr },
-    Select { var: Var, pred: Pred, probe: Expr },
-    Ifp { probe: Expr },
+    Map {
+        var: Var,
+        body: Expr,
+        probe: Expr,
+    },
+    Select {
+        var: Var,
+        pred: Pred,
+        probe: Expr,
+    },
+    /// `σ_{αᵢ=αⱼ}(A × B)` fused at compile time (children are the two
+    /// product operands). When the equality spans the product boundary
+    /// the delta touches only the rows keyed by the delta's join values
+    /// — probed from a per-key index, or scanned when indexing is off;
+    /// otherwise the bilinear terms run with the general pair filter.
+    /// `probe` re-derives the whole `σ(×)` over bound operand snapshots
+    /// for the shapes the fused rule cannot take (mixed arities).
+    EquiJoin {
+        i: usize,
+        j: usize,
+        probe: Expr,
+    },
+    Ifp {
+        probe: Expr,
+    },
     Nest(Vec<usize>),
 }
 
@@ -153,6 +192,14 @@ struct UpdateCtx<'a, 'e> {
     max_elements: u64,
     ev: &'e mut Evaluator<'a>,
     stats: &'e mut ViewStats,
+    /// The runtime's persistent per-key index cache: base-bag indexes
+    /// survive across batches (patched alongside the base on commit),
+    /// snapshot indexes re-key naturally when a snapshot's
+    /// representation changes.
+    indexes: &'e mut IndexCache,
+    /// Whether the fused equi-join may probe indexes (`false` forces the
+    /// scan path the differential suite compares against).
+    use_indexes: bool,
 }
 
 /// Free database names of a λ body, excluding the bound variable.
@@ -171,6 +218,33 @@ fn pred_free_vars(pred: &Pred, var: &Var) -> BTreeSet<Var> {
 
 fn probe_var() -> Box<Expr> {
     Box::new(Expr::var(DELTA_INPUT))
+}
+
+/// Recognize `αᵢ(x) = αⱼ(x)` over the σ-bound variable `x` with `i ≠ j`,
+/// normalized to `i < j` — the same join shape the fused evaluator
+/// recognizes, here driving the compile-time `σ(×)` fusion. `α₀` is not
+/// a valid attribute (1-based indexing); such a σ stays unfused so the
+/// per-element rule surfaces the `AttrIndexZero` error instead of the
+/// fused rule underflowing a field position.
+fn equi_join_attrs(pred: &Pred, var: &Var) -> Option<(usize, usize)> {
+    let attr_of = |e: &Expr| match e {
+        Expr::Attr(inner, ix) => match inner.as_ref() {
+            Expr::Var(name) if name == var => Some(*ix),
+            _ => None,
+        },
+        _ => None,
+    };
+    match pred {
+        Pred::Eq(a, b) => {
+            let (i, j) = (attr_of(a)?, attr_of(b)?);
+            if i == j || i == 0 {
+                None // trivially true, or an always-erroring α₀ — not a join
+            } else {
+                Some((i.min(j), i.max(j)))
+            }
+        }
+        _ => None,
+    }
 }
 
 fn compile(expr: &Expr) -> Node {
@@ -241,16 +315,38 @@ fn compile(expr: &Expr) -> Node {
             }
         }
         Expr::Select { var, pred, input } => {
-            children = vec![compile(input)];
-            body_reads = pred_free_vars(pred, var);
-            Kind::Select {
-                var: var.clone(),
-                pred: (**pred).clone(),
-                probe: Expr::Select {
+            // `σ_{αᵢ=αⱼ}(A × B)` fuses into one join node: the σ must
+            // intercept *before* the product's bilinear rule, or every
+            // delta would pay the full `δA × B` intermediate only to
+            // filter it down to the matches.
+            if let (Expr::Product(a, b), Some((i, j))) =
+                (input.as_ref(), equi_join_attrs(pred, var))
+            {
+                children = vec![compile(a), compile(b)];
+                let probe = Expr::Select {
                     var: var.clone(),
                     pred: pred.clone(),
-                    input: probe_var(),
-                },
+                    input: Box::new(Expr::Product(
+                        Box::new(Expr::var(DELTA_INPUT_LEFT)),
+                        Box::new(Expr::var(DELTA_INPUT_RIGHT)),
+                    )),
+                };
+                // The pred reads only attributes of the bound tuple, so
+                // `body_reads` stays empty (`pred_free_vars` agrees).
+                debug_assert!(pred_free_vars(pred, var).is_empty());
+                Kind::EquiJoin { i, j, probe }
+            } else {
+                children = vec![compile(input)];
+                body_reads = pred_free_vars(pred, var);
+                Kind::Select {
+                    var: var.clone(),
+                    pred: (**pred).clone(),
+                    probe: Expr::Select {
+                        var: var.clone(),
+                        pred: pred.clone(),
+                        input: probe_var(),
+                    },
+                }
             }
         }
         Expr::Ifp { var, body, input } => {
@@ -310,6 +406,9 @@ fn can_fall_back(node: &Node) -> bool {
         | Kind::Ifp { .. } => true,
         Kind::Tuple | Kind::Singleton | Kind::Attr(_) => true, // scalar re-derivation
         Kind::Map { .. } | Kind::Select { .. } => !node.body_reads.is_empty() || opaque_child(),
+        // The fused join's linear rule needs uniform-arity operands — a
+        // runtime property — so the node must be able to re-derive.
+        Kind::EquiJoin { .. } => true,
         Kind::AdditiveUnion | Kind::Product | Kind::Destroy => opaque_child(),
         Kind::Var(_) | Kind::Lit(_) => false,
     }
@@ -340,7 +439,8 @@ fn mark_snapshots(node: &mut Node, demanded: bool) {
         | Kind::Tuple
         | Kind::Singleton
         | Kind::Attr(_)
-        | Kind::Product => true,
+        | Kind::Product
+        | Kind::EquiJoin { .. } => true,
         Kind::Map { .. } | Kind::Select { .. } | Kind::AdditiveUnion | Kind::Destroy => {
             can_fall_back(node)
         }
@@ -356,6 +456,133 @@ fn expect_bag(value: &Value) -> Result<&Bag, EvalError> {
         expected: "a bag",
         found: value.to_string(),
     })
+}
+
+/// One operand of a fused equi-join, as seen by the delta rule.
+enum JoinSide {
+    /// Empty and untouched by this batch: the join delta is zero.
+    Vacuous,
+    /// Uniform `arity`-tuples; `index` is the per-key index on the
+    /// preferred attribute when indexing is enabled and the attribute
+    /// falls on this side.
+    Uniform {
+        arity: usize,
+        index: Option<Arc<BagIndex>>,
+    },
+    /// Mixed arities or non-tuple rows — the fused linear rule is
+    /// unsound, so the node re-derives instead.
+    Irregular,
+}
+
+/// `Some(arity)` iff every element of the bag is a tuple of one arity.
+fn uniform_tuple_arity(bag: &Bag) -> Option<usize> {
+    let mut observed = None;
+    for row in bag.elements() {
+        let fields = row.as_tuple()?;
+        match observed {
+            None => observed = Some(fields.len()),
+            Some(a) if a == fields.len() => {}
+            Some(_) => return None,
+        }
+    }
+    observed
+}
+
+/// Classify one join operand. `preferred` is the attribute (in the
+/// side's own 1-based numbering) the probe terms would key by, and
+/// `want_index` says whether any term will actually probe this side (the
+/// opposite delta is non-empty). `persistent` marks a base bag (`Var`
+/// child): only those go through the runtime's [`IndexCache`] — it
+/// patches base indexes across commits, so the `O(|bag|)` build
+/// amortizes to `O(1)` per batch. A derived operand (a child node's
+/// snapshot) gets a *transient* index instead: caching its owner clone
+/// would force a copy-on-write of the snapshot on its next in-place
+/// patch and churn the cache with dead entries every batch. Scan mode
+/// establishes uniformity by scanning (its terms are `O(|bag|)` anyway).
+fn join_side(
+    ctx: &mut UpdateCtx<'_, '_>,
+    bag: &Bag,
+    preferred: usize,
+    delta: &ZBag,
+    persistent: bool,
+    want_index: bool,
+) -> JoinSide {
+    // Delta rows must share the operand's arity or the fixed split point
+    // of the concatenated tuple is ill-defined.
+    let mut delta_arity = None;
+    for (row, _) in delta.iter() {
+        let Some(fields) = row.as_tuple() else {
+            return JoinSide::Irregular;
+        };
+        match delta_arity {
+            None => delta_arity = Some(fields.len()),
+            Some(a) if a == fields.len() => {}
+            Some(_) => return JoinSide::Irregular,
+        }
+    }
+    if bag.is_empty() {
+        return match delta_arity {
+            None => JoinSide::Vacuous,
+            Some(arity) => JoinSide::Uniform { arity, index: None },
+        };
+    }
+    let arity;
+    let mut index = None;
+    if ctx.use_indexes && persistent {
+        // Build (or hit) the cached base index even when this batch's
+        // terms won't probe it: it is built at most once per (base,
+        // attribute), patched thereafter, and doubles as an O(1) arity
+        // witness for every later batch.
+        match ctx.indexes.get_or_build(bag, preferred) {
+            Some(built) => {
+                arity = built.arity();
+                index = Some(built);
+            }
+            // The preferred attribute may simply be out of this side's
+            // range (the equality reads one side twice); attribute 1 is
+            // in range for every tuple, so it settles uniformity.
+            None => match ctx.indexes.get_or_build(bag, 1) {
+                Some(witness) => arity = witness.arity(),
+                None => return JoinSide::Irregular,
+            },
+        }
+    } else if ctx.use_indexes && want_index {
+        match BagIndex::build(bag, preferred) {
+            Some(built) => {
+                arity = built.arity();
+                index = Some(Arc::new(built));
+            }
+            None => match uniform_tuple_arity(bag) {
+                Some(a) => arity = a,
+                None => return JoinSide::Irregular,
+            },
+        }
+    } else {
+        match uniform_tuple_arity(bag) {
+            Some(a) => arity = a,
+            None => return JoinSide::Irregular,
+        }
+    }
+    if delta_arity.is_some_and(|d| d != arity) {
+        return JoinSide::Irregular;
+    }
+    JoinSide::Uniform { arity, index }
+}
+
+/// The `k`-th (1-based) field of the virtual concatenation `lf ++ rf`.
+/// The caller has checked `1 ≤ k ≤ |lf| + |rf|`.
+fn pair_field<'x>(lf: &'x [Value], rf: &'x [Value], k: usize) -> &'x Value {
+    if k <= lf.len() {
+        &lf[k - 1]
+    } else {
+        &rf[k - lf.len() - 1]
+    }
+}
+
+/// Enforce the distinct-element budget on a join-delta builder.
+fn check_join_budget(out: &mut ZBagBuilder, limit: u64) -> Result<(), MaintainError> {
+    out.ensure_distinct_within(limit)
+        .map_err(|observed| MaintainError::Eval(EvalError::ElementLimit { observed, limit }))
 }
 
 /// Classify a replaced value for the parent: unchanged, a bag delta, or an
@@ -450,6 +677,17 @@ impl Node {
                 let input = self.children[0].current_value(db)?;
                 ev.eval_open(probe, &[(Var::from(DELTA_INPUT), input)])?
             }
+            Kind::EquiJoin { probe, .. } => {
+                let left = self.children[0].current_value(db)?;
+                let right = self.children[1].current_value(db)?;
+                ev.eval_open(
+                    probe,
+                    &[
+                        (Var::from(DELTA_INPUT_LEFT), left),
+                        (Var::from(DELTA_INPUT_RIGHT), right),
+                    ],
+                )?
+            }
         })
     }
 
@@ -494,6 +732,129 @@ impl Node {
         let delta = replaced(&self.snapshot, &new);
         self.snapshot = new;
         Ok(delta)
+    }
+
+    /// The fused equi-join's linear delta in post-update form:
+    /// `δJ = F(δA × B_new) ⊕ F(A_new × δB) ⊖ F(δA × δB)` with
+    /// `F = σ_{αᵢ=αⱼ}`. When the equality spans the product boundary,
+    /// each `F(δX × Y)` term probes `Y`'s per-key index — only the rows
+    /// keyed by the delta's join values are touched, `O(|δ| · matches)`;
+    /// otherwise the terms scan `Y` under the pair filter (still linear
+    /// in `|Y|`, the shape of the unfused bilinear rule). Returns `None`
+    /// when the operands do not admit the fused rule (mixed arities, an
+    /// attribute past both sides) — the caller re-derives, which also
+    /// reproduces any per-element `σ` error faithfully. The boolean
+    /// reports whether an index was probed.
+    fn join_delta(
+        &self,
+        ctx: &mut UpdateCtx<'_, '_>,
+        i: usize,
+        j: usize,
+        da: &ZBag,
+        db_: &ZBag,
+    ) -> Result<Option<(ZBag, bool)>, MaintainError> {
+        let db = ctx.db;
+        let left_new = self.children[0]
+            .current_bag(db)
+            .map_err(MaintainError::Eval)?;
+        let right_new = self.children[1]
+            .current_bag(db)
+            .map_err(MaintainError::Eval)?;
+        let left_persistent = matches!(self.children[0].kind, Kind::Var(_));
+        let right_persistent = matches!(self.children[1].kind, Kind::Var(_));
+        // Only a non-empty opposite delta makes a side worth indexing:
+        // F(A_new × δB) probes the left index, F(δA × B_new) the right.
+        let (want_left, want_right) = (!db_.is_empty(), !da.is_empty());
+        // The left side's arity fixes the split point of the
+        // concatenated tuple, so it resolves first.
+        let (la, left_index) = match join_side(ctx, left_new, i, da, left_persistent, want_left) {
+            JoinSide::Vacuous => return Ok(Some((ZBag::new(), false))),
+            JoinSide::Irregular => return Ok(None),
+            JoinSide::Uniform { arity, index } => (arity, index),
+        };
+        let right_preferred = if j > la { j - la } else { 1 };
+        let (ra, right_index) = match join_side(
+            ctx,
+            right_new,
+            right_preferred,
+            db_,
+            right_persistent,
+            want_right,
+        ) {
+            JoinSide::Vacuous => return Ok(Some((ZBag::new(), false))),
+            JoinSide::Irregular => return Ok(None),
+            JoinSide::Uniform { arity, index } => (arity, index),
+        };
+        if i > la + ra || j > la + ra {
+            return Ok(None); // σ errors on every pair — re-derive honestly
+        }
+        let spanning = i <= la && j > la;
+        let mut out = ZBagBuilder::new();
+        let mut used_index = false;
+        // F(δA × B_new)
+        if !da.is_empty() && !right_new.is_empty() {
+            if let (true, Some(index)) = (spanning, &right_index) {
+                used_index = true;
+                for (row, change) in da.iter() {
+                    let lf = row.as_tuple().expect("join_side checked");
+                    for (other, mult) in index.group(&lf[i - 1]) {
+                        let rf = other.as_tuple().expect("indexed rows are tuples");
+                        out.push(Value::concat_tuples(lf, rf), change.scale(mult));
+                        check_join_budget(&mut out, ctx.max_elements)?;
+                    }
+                }
+            } else {
+                for (row, change) in da.iter() {
+                    let lf = row.as_tuple().expect("join_side checked");
+                    for (other, mult) in right_new.iter() {
+                        let rf = other.as_tuple().expect("join_side checked");
+                        if pair_field(lf, rf, i) == pair_field(lf, rf, j) {
+                            out.push(Value::concat_tuples(lf, rf), change.scale(mult));
+                            check_join_budget(&mut out, ctx.max_elements)?;
+                        }
+                    }
+                }
+            }
+        }
+        // F(A_new × δB)
+        if !db_.is_empty() && !left_new.is_empty() {
+            if let (true, Some(index)) = (spanning, &left_index) {
+                used_index = true;
+                for (row, change) in db_.iter() {
+                    let rf = row.as_tuple().expect("join_side checked");
+                    for (other, mult) in index.group(&rf[j - la - 1]) {
+                        let lf = other.as_tuple().expect("indexed rows are tuples");
+                        out.push(Value::concat_tuples(lf, rf), change.scale(mult));
+                        check_join_budget(&mut out, ctx.max_elements)?;
+                    }
+                }
+            } else {
+                for (row, change) in db_.iter() {
+                    let rf = row.as_tuple().expect("join_side checked");
+                    for (other, mult) in left_new.iter() {
+                        let lf = other.as_tuple().expect("join_side checked");
+                        if pair_field(lf, rf, i) == pair_field(lf, rf, j) {
+                            out.push(Value::concat_tuples(lf, rf), change.scale(mult));
+                            check_join_budget(&mut out, ctx.max_elements)?;
+                        }
+                    }
+                }
+            }
+        }
+        // ⊖ F(δA × δB) — both sides small, a direct pair loop.
+        if !da.is_empty() && !db_.is_empty() {
+            for (lrow, lchange) in da.iter() {
+                let lf = lrow.as_tuple().expect("join_side checked");
+                for (rrow, rchange) in db_.iter() {
+                    let rf = rrow.as_tuple().expect("join_side checked");
+                    if pair_field(lf, rf, i) == pair_field(lf, rf, j) {
+                        out.push(Value::concat_tuples(lf, rf), lchange.mul(rchange).neg());
+                        check_join_budget(&mut out, ctx.max_elements)?;
+                    }
+                }
+            }
+        }
+        Ok(Some((out.build(), used_index)))
     }
 
     /// Apply a bag delta to this node's snapshot (in place when uniquely
@@ -606,6 +967,38 @@ impl Node {
                         }
                         ctx.stats.linear_delta_ops += 1;
                         self.apply_bag_delta(delta)
+                    }
+                }
+            }
+            Kind::EquiJoin { i, j, .. } => {
+                let (i, j) = (*i, *j);
+                let da = self.children[0].update(ctx)?;
+                let db_ = self.children[1].update(ctx)?;
+                match (da, db_) {
+                    (Delta::Opaque, _) | (_, Delta::Opaque) => self.fallback(ctx),
+                    (Delta::None, Delta::None) => Ok(Delta::None),
+                    (a, b) => {
+                        let zero = ZBag::new();
+                        let da = match &a {
+                            Delta::Bag(d) => d,
+                            _ => &zero,
+                        };
+                        let db_ = match &b {
+                            Delta::Bag(d) => d,
+                            _ => &zero,
+                        };
+                        match self.join_delta(ctx, i, j, da, db_)? {
+                            Some((delta, used_index)) => {
+                                ctx.stats.linear_delta_ops += 1;
+                                if used_index {
+                                    ctx.stats.indexed_join_ops += 1;
+                                } else {
+                                    ctx.stats.scanned_join_ops += 1;
+                                }
+                                self.apply_bag_delta(delta)
+                            }
+                            None => self.fallback(ctx),
+                        }
                     }
                 }
             }
@@ -736,12 +1129,18 @@ pub struct View {
 impl View {
     /// Compile and fully evaluate a view over the current database. The
     /// expression must be bag-valued and closed over database names.
-    pub(crate) fn new(expr: Expr, db: &Database, limits: &Limits) -> Result<View, EvalError> {
+    pub(crate) fn new(
+        expr: Expr,
+        db: &Database,
+        limits: &Limits,
+        use_indexes: bool,
+    ) -> Result<View, EvalError> {
         let mut root = compile(&expr);
         mark_snapshots(&mut root, true);
         // Even a bare `Var`/`Lit` root materializes: `result()` reads it.
         root.keep_snapshot = true;
         let mut ev = Evaluator::new(db, limits.clone());
+        ev.set_indexing(use_indexes);
         root.init(db, &mut ev, limits.max_bag_elements)?;
         if root.snapshot.as_bag().is_none() {
             return Err(EvalError::Shape {
@@ -781,15 +1180,21 @@ impl View {
 
     /// One maintenance pass for a committed update batch. `db` is the
     /// **post-update** database; `affected` names the bases whose deltas
-    /// are nonzero.
+    /// are nonzero. `indexes` is the runtime's persistent per-key index
+    /// cache (base indexes in it have already been patched for this
+    /// batch); `use_indexes` routes the fused equi-join between index
+    /// probes and scans.
     pub(crate) fn maintain(
         &mut self,
         deltas: &BTreeMap<Var, ZBag>,
         affected: &BTreeSet<Var>,
         db: &Database,
         limits: &Limits,
+        indexes: &mut IndexCache,
+        use_indexes: bool,
     ) -> Result<(), MaintainError> {
         let mut ev = Evaluator::new(db, limits.clone());
+        ev.set_indexing(use_indexes);
         let mut ctx = UpdateCtx {
             deltas,
             affected,
@@ -797,6 +1202,8 @@ impl View {
             max_elements: limits.max_bag_elements,
             ev: &mut ev,
             stats: &mut self.stats,
+            indexes,
+            use_indexes,
         };
         self.root.update(&mut ctx)?;
         Ok(())
@@ -804,8 +1211,14 @@ impl View {
 
     /// Re-derive every snapshot from scratch — the degraded path after a
     /// maintenance error, and the rebase path after [`super::runtime::ViewRuntime::load_base`].
-    pub(crate) fn reinit(&mut self, db: &Database, limits: &Limits) -> Result<(), EvalError> {
+    pub(crate) fn reinit(
+        &mut self,
+        db: &Database,
+        limits: &Limits,
+        use_indexes: bool,
+    ) -> Result<(), EvalError> {
         let mut ev = Evaluator::new(db, limits.clone());
+        ev.set_indexing(use_indexes);
         self.root.init(db, &mut ev, limits.max_bag_elements)?;
         self.stats.full_reinits += 1;
         Ok(())

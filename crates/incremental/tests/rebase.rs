@@ -1,0 +1,157 @@
+//! Regression suite for [`ViewRuntime::load_base`]: replacing a base
+//! wholesale must fully re-derive every dependent view (firing the
+//! degraded-path instrumentation counter), leave independent views
+//! untouched, keep `verify` green — and must not let a per-key index
+//! cached over the *replaced* base leak stale rows into later
+//! incremental maintenance.
+
+use balg_core::bag::Bag;
+use balg_core::expr::{Expr, Pred};
+use balg_core::value::Value;
+use balg_incremental::{UpdateBatch, ViewRuntime};
+
+fn pair(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+fn pairs(rows: &[(i64, i64)]) -> Bag {
+    Bag::from_values(rows.iter().map(|&(a, b)| pair(a, b)))
+}
+
+/// The σ(×) join view whose maintenance builds an index over `R`.
+fn join_view() -> Expr {
+    Expr::var("R")
+        .product(Expr::var("S"))
+        .select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        )
+        .project(&[1, 4])
+}
+
+#[test]
+fn rebase_rederives_dependents_and_fires_the_counter() {
+    let mut runtime = ViewRuntime::new();
+    runtime
+        .load_base("R", pairs(&[(0, 1), (1, 2), (2, 0)]))
+        .unwrap();
+    runtime.load_base("S", pairs(&[(0, 7), (1, 8)])).unwrap();
+    runtime.create_view("join", join_view()).unwrap();
+    runtime
+        .create_view("s_only", Expr::var("S").dedup())
+        .unwrap();
+
+    // Drive an update first so the runtime has cached (and patched) a
+    // per-key index over R before the rebase replaces R entirely.
+    let mut batch = UpdateBatch::new();
+    batch.insert("R", pair(3, 0));
+    runtime.apply(&batch).unwrap();
+    assert!(runtime.stats().views.indexed_join_ops > 0);
+    assert!(runtime.verify_all().unwrap());
+
+    // Rebase R wholesale. Dependent views must be re-derived from
+    // scratch; the S-only view must not be touched.
+    runtime
+        .load_base("R", pairs(&[(9, 0), (9, 1), (0, 9)]))
+        .unwrap();
+    let reinits = |name: &str| {
+        runtime
+            .views()
+            .find(|(n, _)| *n == name)
+            .expect("registered view")
+            .1
+            .stats()
+            .full_reinits
+    };
+    assert_eq!(
+        reinits("join"),
+        1,
+        "the dependent view must fully re-derive"
+    );
+    assert_eq!(
+        reinits("s_only"),
+        0,
+        "an independent view must be left alone"
+    );
+    assert!(
+        runtime.verify_all().unwrap(),
+        "rebase left a stale snapshot"
+    );
+    // (9,0) joins S's key 0 → (9,7); (9,1) joins key 1 → (9,8); (0,9)
+    // carries key 9, absent from S.
+    let expected = pairs(&[(9, 7), (9, 8)]);
+    assert_eq!(runtime.view("join").unwrap(), &expected);
+
+    // Incremental maintenance *after* the rebase must run against the
+    // new base — a stale cached index over the old R would resurrect
+    // replaced rows here.
+    let mut batch = UpdateBatch::new();
+    batch.insert("S", pair(2, 5));
+    batch.delete("R", pair(9, 0));
+    runtime.apply(&batch).unwrap();
+    assert!(
+        runtime.verify_all().unwrap(),
+        "post-rebase maintenance drifted"
+    );
+    assert!(!runtime.view("join").unwrap().contains(&pair(9, 7)));
+}
+
+#[test]
+fn rebase_to_a_shared_representation_is_still_consistent() {
+    // load_base with a clone of the current bag (same representation):
+    // the cached indexes stay valid by construction and maintenance
+    // continues exactly.
+    let mut runtime = ViewRuntime::new();
+    runtime.load_base("R", pairs(&[(0, 1), (1, 0)])).unwrap();
+    runtime.load_base("S", pairs(&[(0, 4), (1, 5)])).unwrap();
+    runtime.create_view("join", join_view()).unwrap();
+    let mut batch = UpdateBatch::new();
+    batch.insert("R", pair(4, 1));
+    runtime.apply(&batch).unwrap();
+
+    let same = runtime.database().get("R").unwrap().clone();
+    runtime.load_base("R", same).unwrap();
+    assert!(runtime.verify_all().unwrap());
+
+    let mut batch = UpdateBatch::new();
+    batch.delete("R", pair(4, 1));
+    runtime.apply(&batch).unwrap();
+    assert!(runtime.verify_all().unwrap());
+}
+
+#[test]
+fn failing_rebase_drops_only_the_failing_view() {
+    use balg_core::eval::Limits;
+    let limits = Limits {
+        max_bag_elements: 16,
+        ..Limits::default()
+    };
+    let mut runtime = ViewRuntime::with_limits(limits);
+    runtime
+        .load_base("R", Bag::from_values((0..3).map(Value::int)))
+        .unwrap();
+    runtime
+        .create_view("explodes", Expr::var("R").powerset())
+        .unwrap();
+    runtime
+        .create_view("survives", Expr::var("R").dedup())
+        .unwrap();
+    // The replacement base makes the powerset view blow its budget
+    // (2^5 = 32 > 16): that view is dropped, the other is re-derived.
+    let err = runtime
+        .load_base("R", Bag::from_values((0..5).map(Value::int)))
+        .unwrap_err();
+    assert!(err.to_string().contains("explodes"), "{err}");
+    assert!(runtime.view("explodes").is_none());
+    assert!(runtime.verify("survives").unwrap());
+    assert!(
+        runtime
+            .views()
+            .find(|(n, _)| *n == "survives")
+            .unwrap()
+            .1
+            .stats()
+            .full_reinits
+            >= 1
+    );
+}

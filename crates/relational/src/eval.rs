@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use balg_core::bag::{attr_field, BagBuilder, BagError};
 use balg_core::eval::{EvalError, Limits};
 use balg_core::expr::Var;
+use balg_core::index::IndexCache;
 use balg_core::schema::Database;
 use balg_core::value::Value;
 
@@ -38,6 +39,14 @@ pub struct RalgEvaluator<'a> {
     /// Deduplicated `DB′` views, computed once per database name. The old
     /// evaluator re-ran the deep dedup on every variable lookup.
     db_views: HashMap<Var, Value>,
+    /// Per-key join indexes over operand relations, shared with the BALG
+    /// side's [`IndexCache`] machinery; entries pin the slice they
+    /// describe, so repeated joins against a cached `DB′` view probe
+    /// instead of rebuilding a hash table.
+    indexes: IndexCache,
+    /// Whether the indexed join path may run (the differential suites
+    /// flip this to prove it equivalent to the scan path).
+    use_indexes: bool,
 }
 
 impl<'a> RalgEvaluator<'a> {
@@ -50,6 +59,17 @@ impl<'a> RalgEvaluator<'a> {
             env: Vec::new(),
             steps_left,
             db_views: HashMap::new(),
+            indexes: IndexCache::new(),
+            use_indexes: true,
+        }
+    }
+
+    /// Enable or disable the indexed join fast path; both settings
+    /// compute the same relations. Disabling drops any cached indexes.
+    pub fn set_indexing(&mut self, enabled: bool) {
+        self.use_indexes = enabled;
+        if !enabled {
+            self.indexes.clear();
         }
     }
 
@@ -314,6 +334,28 @@ impl<'a> RalgEvaluator<'a> {
                 let spans_boundary =
                     i >= 1 && i <= left_arity && j > left_arity && j <= left_arity + right_arity;
                 if spans_boundary {
+                    let jr = j - left_arity;
+                    // Cached per-key index on the left operand: repeated
+                    // joins against the same `DB′` view (or the same
+                    // subquery result representation) probe instead of
+                    // rebuilding the hash table per query.
+                    if self.use_indexes {
+                        if let Some(cached) = self.indexes.get_or_build(left.as_bag(), i) {
+                            let mut out = BagBuilder::new();
+                            for rv in right.iter() {
+                                let right_fields = rv.as_tuple().expect("checked by uniform_arity");
+                                for (lv, _) in cached.group(&right_fields[jr - 1]) {
+                                    self.step()?; // one per surviving pair, like the filter
+                                    let left_fields =
+                                        lv.as_tuple().expect("indexed rows are tuples");
+                                    out.push_one(Value::concat_tuples(left_fields, right_fields));
+                                    self.check_builder_limit(&mut out)?;
+                                }
+                            }
+                            let rel = Relation::from_set_bag_unchecked(out.build_set());
+                            return Ok(ProductOutcome::Joined(rel));
+                        }
+                    }
                     let mut index: HashMap<&Value, Vec<&Value>> = HashMap::new();
                     for lv in left.iter() {
                         let fields = lv.as_tuple().expect("checked by uniform_arity");
@@ -322,7 +364,7 @@ impl<'a> RalgEvaluator<'a> {
                     let mut out = BagBuilder::new();
                     for rv in right.iter() {
                         let right_fields = rv.as_tuple().expect("checked by uniform_arity");
-                        let Some(matches) = index.get(&right_fields[j - left_arity - 1]) else {
+                        let Some(matches) = index.get(&right_fields[jr - 1]) else {
                             continue;
                         };
                         for lv in matches {

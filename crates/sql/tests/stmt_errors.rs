@@ -1,0 +1,152 @@
+//! Error paths of the statement layer: malformed `CREATE VIEW` /
+//! `INSERT` / `DELETE` syntax, arity mismatches, and unknown bases must
+//! surface *specific* [`SqlError`] variants — not just `is_err()` — so a
+//! refactor cannot silently reroute one failure class into another.
+
+use balg_incremental::UpdateError;
+use balg_sql::compile::{CompileError, SqlError};
+use balg_sql::prelude::*;
+
+fn runtime() -> SqlRuntime {
+    let catalog = Catalog::new()
+        .with_table("orders", &[("customer", false), ("qty", true)])
+        .with_table("vip", &[("customer", false)]);
+    let s = |x: &str| SqlValue::Str(x.into());
+    let db = database_from_rows(
+        &catalog,
+        &[("orders", vec![vec![s("ann"), SqlValue::Int(3)]])],
+    )
+    .unwrap();
+    SqlRuntime::new(catalog, db)
+}
+
+// ----- parse-layer failures (Statement grammar) -----
+
+#[test]
+fn malformed_statement_syntax_is_a_parse_error() {
+    let cases = [
+        // CREATE VIEW grammar.
+        "CREATE orders AS SELECT * FROM orders", // VIEW missing
+        "CREATE VIEW v SELECT * FROM orders",    // AS missing
+        "CREATE VIEW AS SELECT * FROM orders",   // name missing
+        // INSERT grammar.
+        "INSERT orders VALUES (1)",                // INTO missing
+        "INSERT INTO orders (1)",                  // VALUES missing
+        "INSERT INTO orders VALUES 1",             // ( missing
+        "INSERT INTO orders VALUES ()",            // empty row
+        "INSERT INTO orders VALUES ('x', 1",       // ) missing
+        "INSERT INTO orders VALUES ('x', 1) x",    // trailing tokens
+        "INSERT INTO orders VALUES ('x', SELECT)", // keyword as literal
+        // DELETE grammar (delete-by-row form only).
+        "DELETE orders VALUES (1)",            // FROM missing
+        "DELETE FROM orders WHERE qty = 1",    // WHERE unsupported
+        "DELETE FROM orders VALUES ('x', 1),", // dangling comma
+    ];
+    for sql in cases {
+        assert!(
+            parse_statement(sql).is_err(),
+            "{sql:?} must not parse as a statement"
+        );
+        // Through the runtime the same failure is the Parse variant.
+        let err = runtime().execute(sql).unwrap_err();
+        assert!(matches!(err, SqlError::Parse(_)), "{sql:?} → {err:?}");
+    }
+}
+
+#[test]
+fn plain_queries_and_wellformed_statements_still_parse() {
+    assert!(matches!(
+        parse_statement("SELECT * FROM orders"),
+        Ok(Statement::Query(_))
+    ));
+    assert!(matches!(
+        parse_statement("CREATE VIEW v AS SELECT customer FROM orders"),
+        Ok(Statement::CreateView { .. })
+    ));
+    assert!(matches!(
+        parse_statement("INSERT INTO orders VALUES ('x', 1), ('y', 2)"),
+        Ok(Statement::Insert { ref rows, .. }) if rows.len() == 2
+    ));
+    assert!(matches!(
+        parse_statement("DELETE FROM orders VALUES ('ann', 3)"),
+        Ok(Statement::Delete { .. })
+    ));
+}
+
+// ----- compile-layer failures -----
+
+#[test]
+fn unknown_tables_and_columns_are_compile_errors() {
+    let mut rt = runtime();
+    assert!(matches!(
+        rt.execute("INSERT INTO missing VALUES (1)").unwrap_err(),
+        SqlError::Compile(CompileError::UnknownTable(ref t)) if t == "missing"
+    ));
+    assert!(matches!(
+        rt.execute("DELETE FROM missing VALUES (1)").unwrap_err(),
+        SqlError::Compile(CompileError::UnknownTable(ref t)) if t == "missing"
+    ));
+    assert!(matches!(
+        rt.execute("CREATE VIEW v AS SELECT nope FROM orders")
+            .unwrap_err(),
+        SqlError::Compile(CompileError::UnknownColumn(ref c)) if c == "nope"
+    ));
+    assert!(matches!(
+        rt.execute("CREATE VIEW orders AS SELECT customer FROM orders")
+            .unwrap_err(),
+        SqlError::Compile(CompileError::ViewShadowsTable(ref n)) if n == "orders"
+    ));
+    // Nothing was registered along the way.
+    assert_eq!(rt.view_names().count(), 0);
+}
+
+// ----- row-shape failures -----
+
+#[test]
+fn arity_and_type_mismatches_are_decode_errors() {
+    let mut rt = runtime();
+    // Too few and too many literals for the two-column table.
+    for sql in [
+        "INSERT INTO orders VALUES ('x')",
+        "INSERT INTO orders VALUES ('x', 1, 2)",
+        "DELETE FROM orders VALUES ('ann')",
+    ] {
+        let err = rt.execute(sql).unwrap_err();
+        assert!(matches!(err, SqlError::Decode(_)), "{sql:?} → {err:?}");
+    }
+    // A string literal in the numeric qty column.
+    let err = rt
+        .execute("INSERT INTO orders VALUES ('x', 'not a number')")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Decode(_)), "{err:?}");
+    // The failed statements committed nothing.
+    let Response::Rows(rows) = rt.execute("SELECT * FROM orders").unwrap() else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.total_rows(), 1);
+}
+
+// ----- update-layer failures -----
+
+#[test]
+fn bad_updates_surface_the_update_variant() {
+    let mut rt = runtime();
+    // Deleting a row that is not present is NegativeBase, atomically:
+    // the valid half of the same statement must not commit.
+    let err = rt
+        .execute("DELETE FROM orders VALUES ('ann', 3), ('ghost', 9)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Update(UpdateError::NegativeBase { ref base, .. }) if base == "orders"),
+        "{err:?}"
+    );
+    let Response::Rows(rows) = rt.execute("SELECT * FROM orders").unwrap() else {
+        panic!("expected rows");
+    };
+    assert_eq!(rows.total_rows(), 1, "partial delete must not commit");
+    // Reading an unregistered view is the UnknownView update error.
+    assert!(matches!(
+        rt.view_rows("missing").unwrap_err(),
+        SqlError::Update(UpdateError::UnknownView(ref v)) if v == "missing"
+    ));
+}
