@@ -1,11 +1,12 @@
 //! Wall-clock benchmark runner emitting a JSON perf trajectory.
 //!
 //! Runs every E1–E18 group workload (the same shapes the Criterion
-//! `paper` bench times) plus the u1–u4 incremental update-stream
-//! workloads (`*_delta` maintained vs `*_recompute` full re-evaluation),
-//! reports the median wall-clock per run, and writes machine-readable
-//! JSON so successive PRs can diff their perf against the committed
-//! `BENCH_baseline.json`.
+//! `paper` bench times), the u1–u4 incremental update-stream workloads
+//! (`*_delta` maintained vs `*_recompute` full re-evaluation), and the
+//! s1 server load workloads (1k+ simulated sessions against a live
+//! `balg-server`, reporting p50/p99 request latency and throughput),
+//! then writes machine-readable JSON so successive PRs can diff their
+//! perf against the committed `BENCH_baseline.json`.
 //!
 //! ```text
 //! balg-bench [--out FILE] [--reps N] [--label NAME] [--append [FILE]]
@@ -27,6 +28,11 @@ use balg_bench::incremental::update_groups;
 use balg_bench::json::{self, Json};
 use balg_bench::micro_wall::micro_groups;
 use balg_bench::paper::groups;
+use balg_bench::server_load::load_metrics;
+
+/// One result row: name, value, unit (`"ns"` medians, `"rps"`
+/// throughput).
+type Row = (String, u128, &'static str);
 
 struct Args {
     out: Option<String>,
@@ -101,7 +107,7 @@ fn format_ns(ns: u128) -> String {
 }
 
 /// Merge this run into the baseline file as a labelled snapshot.
-fn append_snapshot(path: &str, label: &str, reps: u32, results: &[(&'static str, u128)]) {
+fn append_snapshot(path: &str, label: &str, reps: u32, results: &[Row]) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| die(&format!("cannot read baseline {path}: {e}")));
     let mut doc =
@@ -116,26 +122,26 @@ fn append_snapshot(path: &str, label: &str, reps: u32, results: &[(&'static str,
         doc.set("median_ns", Json::Obj(Vec::new()));
     }
     let medians = doc.get_mut("median_ns").expect("just ensured");
-    for (name, median) in results {
+    for (name, value, unit) in results {
         if medians.get(name).is_none() {
             medians.set(name, Json::Obj(Vec::new()));
         }
         medians
             .get_mut(name)
             .expect("just ensured")
-            .set(&format!("{label}_ns"), Json::Num(*median as f64));
+            .set(&format!("{label}_{unit}"), Json::Num(*value as f64));
     }
     // Delta-vs-recompute speedups for the update workloads.
-    for (name, median) in results {
+    for (name, median, _) in results {
         let Some(base) = name.strip_suffix("_delta") else {
             continue;
         };
         let sibling = format!("{base}_recompute");
-        let Some(&(_, recompute)) = results.iter().find(|(n, _)| *n == sibling) else {
+        let Some((_, recompute, _)) = results.iter().find(|(n, _, _)| *n == sibling) else {
             continue;
         };
         if *median > 0 {
-            let speedup = (recompute as f64 / *median as f64 * 100.0).round() / 100.0;
+            let speedup = (*recompute as f64 / *median as f64 * 100.0).round() / 100.0;
             medians
                 .get_mut(name)
                 .expect("written above")
@@ -149,7 +155,7 @@ fn append_snapshot(path: &str, label: &str, reps: u32, results: &[(&'static str,
 
 fn main() {
     let args = parse_args();
-    let mut results: Vec<(&'static str, u128)> = Vec::new();
+    let mut results: Vec<Row> = Vec::new();
     let mut all_groups = groups();
     all_groups.extend(micro_groups());
     all_groups.extend(update_groups());
@@ -165,12 +171,28 @@ fn main() {
         }
         let median = median_ns(&mut samples);
         eprintln!("{:<28} median {:>12}", group.name, format_ns(median));
-        results.push((group.name, median));
+        results.push((group.name.to_owned(), median, "ns"));
+    }
+
+    // The server load workloads measure a distribution over thousands of
+    // requests in one run — they report percentiles and throughput
+    // directly instead of a median over reps.
+    for (name, value, unit) in load_metrics() {
+        let rendered = match unit {
+            "rps" => format!("{value} req/s"),
+            _ => format_ns(value),
+        };
+        eprintln!("{name:<28}        {rendered:>12}");
+        results.push((name.to_owned(), value, unit));
     }
 
     let mut medians = Vec::new();
-    for (name, median) in &results {
-        medians.push(((*name).to_owned(), Json::Num(*median as f64)));
+    for (name, value, unit) in &results {
+        let key = match *unit {
+            "ns" => name.clone(),
+            unit => format!("{name}_{unit}"),
+        };
+        medians.push((key, Json::Num(*value as f64)));
     }
     let doc = Json::Obj(vec![
         ("label".to_owned(), Json::Str(args.label.clone())),

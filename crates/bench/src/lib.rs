@@ -11,8 +11,11 @@
 //!
 //! The wall-clock runner (`balg-bench` binary) additionally times the
 //! [`incremental`] update-stream workloads — maintained views vs full
-//! recompute under 1 000 single-tuple updates — and can append a labelled
-//! snapshot into `BENCH_baseline.json` via the [`json`] module.
+//! recompute under 1 000 single-tuple updates — and the [`server_load`]
+//! concurrent-service workloads (1k+ simulated sessions against
+//! `balg-server`, reporting p50/p99 latency and throughput) — and can
+//! append a labelled snapshot into `BENCH_baseline.json` via the
+//! [`json`] module.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,6 +24,7 @@ pub mod incremental;
 pub mod json;
 pub mod micro_wall;
 pub mod paper;
+pub mod server_load;
 
 use balg_core::bag::Bag;
 use balg_core::natural::Natural;

@@ -1,0 +1,142 @@
+//! Load generator for the concurrent SQL service (`balg-server`).
+//!
+//! Simulates ≥1k short client sessions — connect, a few requests,
+//! disconnect — multiplexed over a small pool of client threads (the
+//! bench host has few cores; more threads would measure scheduler
+//! contention, not the server). Two workloads:
+//!
+//! * `s1_reads` — read-only: one-shot SELECTs and pinned-snapshot view
+//!   reads, all answered lock-free on session threads;
+//! * `s1_mixed` — every 8th session is a writer (INSERT … read …
+//!   DELETE … read), exercising the serialized writer queue, snapshot
+//!   publication, and read-your-writes, while the rest read.
+//!
+//! Each request is timed end-to-end at the client (frame write → reply
+//! decode); the report is p50/p99 latency plus aggregate throughput,
+//! in rows the `balg-bench` runner appends to `BENCH_baseline.json`
+//! under the `s1_*` family.
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+use balg_server::prelude::*;
+use balg_sql::prelude::{database_from_rows, Catalog, SqlValue};
+
+/// Logical client sessions simulated per workload.
+pub const SESSIONS: usize = 1_024;
+/// Requests issued per session.
+pub const REQUESTS_PER_SESSION: usize = 4;
+/// Client threads the sessions are multiplexed over.
+pub const CLIENT_THREADS: usize = 16;
+
+/// One measured metric row: `(name, value, unit)` with `unit` either
+/// `"ns"` or `"rps"`.
+pub type Metric = (&'static str, u128, &'static str);
+
+fn seeded_server() -> SqlServer {
+    let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
+    let rows: Vec<Vec<SqlValue>> = (0..64)
+        .map(|i| {
+            vec![
+                SqlValue::Str(format!("c{}", i % 8)),
+                SqlValue::Int(1 + i % 7),
+            ]
+        })
+        .collect();
+    let db = database_from_rows(&catalog, &[("orders", rows)]).unwrap();
+    let server = SqlServer::spawn("127.0.0.1:0", catalog, db, ServerConfig::default()).unwrap();
+    let mut setup = Client::connect(server.addr()).unwrap();
+    let reply = setup
+        .request("CREATE VIEW big AS SELECT customer FROM orders WHERE qty >= 4")
+        .unwrap();
+    assert!(reply.ok, "view setup failed: {}", reply.text);
+    server
+}
+
+/// The statements of one simulated session.
+fn session_script(workload: &'static str, session: usize) -> Vec<String> {
+    let reads = [
+        ":rows big".to_owned(),
+        "SELECT customer FROM orders WHERE qty >= 4".to_owned(),
+        ":seq".to_owned(),
+        "SELECT SUM(qty) FROM orders".to_owned(),
+    ];
+    if workload == "s1_mixed" && session.is_multiple_of(8) {
+        // A writer session: insert a session-unique row, read it back,
+        // delete it again (always legal — steady-state database), read.
+        let customer = format!("w{session}");
+        return vec![
+            format!("INSERT INTO orders VALUES ('{customer}', 6)"),
+            ":rows big".to_owned(),
+            format!("DELETE FROM orders VALUES ('{customer}', 6)"),
+            ":seq".to_owned(),
+        ];
+    }
+    (0..REQUESTS_PER_SESSION)
+        .map(|i| reads[i % reads.len()].clone())
+        .collect()
+}
+
+/// Run one workload against `addr`: returns every per-request latency in
+/// nanoseconds plus the wall-clock time of the whole run.
+fn drive(addr: SocketAddr, workload: &'static str) -> (Vec<u128>, u128) {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENT_THREADS)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut latencies = Vec::new();
+                let mut session = t;
+                while session < SESSIONS {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for line in session_script(workload, session) {
+                        let sent = Instant::now();
+                        let reply = client.request(&line).expect("request");
+                        latencies.push(sent.elapsed().as_nanos());
+                        assert!(reply.ok, "{workload} request failed: {}", reply.text);
+                    }
+                    session += CLIENT_THREADS;
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(SESSIONS * REQUESTS_PER_SESSION);
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    (latencies, started.elapsed().as_nanos())
+}
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix]
+}
+
+/// Run both workloads against a freshly seeded server and report the
+/// `s1_*` metric rows.
+pub fn load_metrics() -> Vec<Metric> {
+    let mut out = Vec::new();
+    for workload in ["s1_reads", "s1_mixed"] {
+        let server = seeded_server();
+        let (mut latencies, wall_ns) = drive(server.addr(), workload);
+        server.shutdown();
+        latencies.sort_unstable();
+        let requests = latencies.len() as u128;
+        let rps = requests.checked_mul(1_000_000_000).expect("fits") / wall_ns.max(1);
+        let rows: [Metric; 3] = match workload {
+            "s1_reads" => [
+                ("s1_reads_p50", percentile(&latencies, 0.50), "ns"),
+                ("s1_reads_p99", percentile(&latencies, 0.99), "ns"),
+                ("s1_reads_throughput", rps, "rps"),
+            ],
+            _ => [
+                ("s1_mixed_p50", percentile(&latencies, 0.50), "ns"),
+                ("s1_mixed_p99", percentile(&latencies, 0.99), "ns"),
+                ("s1_mixed_throughput", rps, "rps"),
+            ],
+        };
+        out.extend(rows);
+    }
+    out
+}

@@ -1,13 +1,133 @@
 //! The interactive BALG shell. Type `:help` for commands.
 //!
-//! `--incremental` switches to the maintained-view REPL: `:view`
-//! registers standing queries, `:insert`/`:delete` stream updates through
-//! the ℤ-bag delta engine.
+//! - `--incremental` switches to the maintained-view REPL: `:view`
+//!   registers standing queries, `:insert`/`:delete` stream updates
+//!   through the ℤ-bag delta engine.
+//! - `--serve ADDR [--tables SPEC]` runs the concurrent SQL service
+//!   (`balg-server`) on ADDR until killed. SPEC declares tables as
+//!   `name=col[:int],col;name2=...`; `:table` can declare more at
+//!   runtime.
+//! - `--connect ADDR` is a line client for a served instance.
 
 use std::io::{BufRead, Write};
+use std::process::ExitCode;
 
-fn main() {
-    let incremental = std::env::args().skip(1).any(|a| a == "--incremental");
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--serve") {
+        let Some(addr) = args.get(pos + 1) else {
+            eprintln!("usage: balg-cli --serve ADDR [--tables name=col[:int],col;...]");
+            return ExitCode::FAILURE;
+        };
+        let tables = args
+            .iter()
+            .position(|a| a == "--tables")
+            .and_then(|p| args.get(p + 1))
+            .map(String::as_str)
+            .unwrap_or("");
+        return serve(addr, tables);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--connect") {
+        let Some(addr) = args.get(pos + 1) else {
+            eprintln!("usage: balg-cli --connect ADDR");
+            return ExitCode::FAILURE;
+        };
+        return connect(addr);
+    }
+    repl(args.iter().any(|a| a == "--incremental"));
+    ExitCode::SUCCESS
+}
+
+/// Parse `name=col[:int],col;name2=...` into a catalog.
+fn parse_tables(spec: &str) -> Result<balg_sql::Catalog, String> {
+    let mut catalog = balg_sql::Catalog::new();
+    for table in spec.split(';').filter(|t| !t.trim().is_empty()) {
+        let (name, columns) = table
+            .split_once('=')
+            .ok_or_else(|| format!("bad table spec {table:?} (want name=col,col)"))?;
+        let columns: Vec<(&str, bool)> = columns
+            .split(',')
+            .filter(|c| !c.trim().is_empty())
+            .map(|c| match c.trim().strip_suffix(":int") {
+                Some(col) => (col, true),
+                None => (c.trim(), false),
+            })
+            .collect();
+        if columns.is_empty() {
+            return Err(format!("table {name:?} declares no columns"));
+        }
+        catalog = catalog.with_table(name.trim(), &columns);
+    }
+    Ok(catalog)
+}
+
+fn serve(addr: &str, tables: &str) -> ExitCode {
+    let catalog = match parse_tables(tables) {
+        Ok(catalog) => catalog,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = balg_core::schema::Database::new();
+    let server = match balg_server::SqlServer::spawn(
+        addr,
+        catalog,
+        db,
+        balg_server::ServerConfig::default(),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("balg-server listening on {}", server.addr());
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn connect(addr: &str) -> ExitCode {
+    let mut client = match balg_server::Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("connected to {addr} — SQL statements, :rows NAME, :check, :stats, :quit");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("balg@{addr}> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        match client.request(line) {
+            Ok(reply) if reply.ok => println!("{}", reply.text),
+            Ok(reply) => println!("error: {}", reply.text),
+            Err(e) => {
+                eprintln!("connection lost: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn repl(incremental: bool) {
     let mut oneshot = balg_cli::Session::new();
     let mut maintained = balg_cli::IncrementalSession::new();
     if incremental {

@@ -356,7 +356,7 @@ impl IncrementalSession {
             }
             "stats" => {
                 let stats = self.runtime.stats();
-                Response::Text(format!(
+                let mut out = format!(
                     "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
                     stats.batches,
                     stats.views.linear_delta_ops,
@@ -365,7 +365,16 @@ impl IncrementalSession {
                     stats.views.fallback_recomputes,
                     stats.views.scalar_recomputes,
                     stats.views.full_reinits
-                ))
+                );
+                // A dropped view is an incident, not a statistic — name it
+                // and say why it was lost.
+                for (name, record) in self.runtime.dropped() {
+                    out.push_str(&format!(
+                        "\ndropped view {name} (batch {}): {}",
+                        record.at_batch, record.cause
+                    ));
+                }
+                Response::Text(out)
             }
             "check" => {
                 let result = if args.is_empty() {
@@ -538,6 +547,25 @@ mod tests {
         let out = text(session.process_line(":dropview nope"));
         assert!(out.contains("no view"), "{out}");
         assert_eq!(session.process_line(":quit"), Response::Quit);
+    }
+
+    #[test]
+    fn dropped_views_are_reported_in_stats() {
+        let mut session = IncrementalSession::new();
+        session.process_line(":load G bag{ [a], [b] }");
+        text(session.process_line(":view P powerset(G)"));
+        // Grow G past the powerset element budget: maintenance and the
+        // degraded re-derivation both fail, so the runtime drops P (the
+        // predicted powerset size is rejected up front — nothing huge is
+        // ever materialized).
+        let elems: Vec<String> = (0..21).map(|i| format!("[x{i}]")).collect();
+        let line = format!(":insert G bag{{ {} }}", elems.join(", "));
+        let out = text(session.process_line(&line));
+        assert!(out.contains("update rejected"), "{out}");
+        let out = text(session.process_line(":stats"));
+        assert!(out.contains("dropped view P"), "{out}");
+        let out = text(session.process_line(":check"));
+        assert!(out.contains("dropped"), "{out}");
     }
 
     #[test]

@@ -246,24 +246,65 @@ struct CacheEntry {
 
 /// A small cache of [`BagIndex`]es keyed by `(representation, attribute)`.
 ///
-/// Lookup is a linear scan over at most [`IndexCache::MAX_ENTRIES`]
-/// pointer comparisons — cheaper than hashing for the handful of bases a
-/// query or runtime touches. Negative results (bag not indexable) are
-/// cached too, so a mixed-arity operand is not re-scanned on every probe.
-#[derive(Clone, Debug, Default)]
+/// Lookup is a linear scan over at most [`IndexCache::capacity`] pointer
+/// comparisons — cheaper than hashing for the handful of bases a query or
+/// runtime touches. Negative results (bag not indexable) are cached too,
+/// so a mixed-arity operand is not re-scanned on every probe.
+///
+/// Eviction is **least-recently-used**: entries live in recency order
+/// (most recent at the back), every hit refreshes its entry, and an
+/// insert past capacity evicts the front. A fixed-position FIFO here
+/// would evict the hottest join index as soon as a workload touches
+/// `capacity + 1` distinct representations — exactly what a large
+/// concurrent session mix does — so recency, not insertion order, is
+/// what the bound must act on. Capacity is configurable
+/// ([`IndexCache::with_capacity`], [`IndexCache::set_capacity`]) and
+/// defaults to [`IndexCache::DEFAULT_CAPACITY`].
+#[derive(Clone, Debug)]
 pub struct IndexCache {
     entries: Vec<CacheEntry>,
+    capacity: usize,
     hits: u64,
     builds: u64,
 }
 
-impl IndexCache {
-    /// Cache capacity; the oldest entry is evicted beyond it.
-    pub const MAX_ENTRIES: usize = 32;
+impl Default for IndexCache {
+    fn default() -> IndexCache {
+        IndexCache::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
 
-    /// An empty cache.
+impl IndexCache {
+    /// Default cache capacity.
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> IndexCache {
         IndexCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> IndexCache {
+        IndexCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            builds: 0,
+        }
+    }
+
+    /// The current capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Change the capacity (minimum 1), evicting least-recently-used
+    /// entries if the cache is over the new bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        if self.entries.len() > self.capacity {
+            self.entries.drain(..self.entries.len() - self.capacity);
+        }
     }
 
     fn find(&self, bag: &Bag, attr: usize) -> Option<usize> {
@@ -272,27 +313,42 @@ impl IndexCache {
             .position(|e| e.attr == attr && e.owner.shares_representation(bag))
     }
 
-    /// A cached index for `(bag, attr)` if one exists — no build.
+    /// Move the hit entry to the most-recently-used position and return
+    /// its new position.
+    fn touch(&mut self, found: usize) -> usize {
+        let entry = self.entries.remove(found);
+        self.entries.push(entry);
+        self.entries.len() - 1
+    }
+
+    fn push_evicting(&mut self, entry: CacheEntry) {
+        if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(entry);
+    }
+
+    /// A cached index for `(bag, attr)` if one exists — no build. A hit
+    /// refreshes the entry's recency.
     pub fn peek(&mut self, bag: &Bag, attr: usize) -> Option<Arc<BagIndex>> {
         let found = self.find(bag, attr)?;
+        let found = self.touch(found);
         let index = self.entries[found].index.clone()?;
         self.hits += 1;
         Some(index)
     }
 
     /// The index for `(bag, attr)`, building and caching it (or the
-    /// negative answer) on a miss.
+    /// negative answer) on a miss. A hit refreshes the entry's recency.
     pub fn get_or_build(&mut self, bag: &Bag, attr: usize) -> Option<Arc<BagIndex>> {
         if let Some(found) = self.find(bag, attr) {
+            let found = self.touch(found);
             self.hits += 1;
             return self.entries[found].index.clone();
         }
         self.builds += 1;
         let index = BagIndex::build(bag, attr).map(Arc::new);
-        if self.entries.len() >= Self::MAX_ENTRIES {
-            self.entries.remove(0);
-        }
-        self.entries.push(CacheEntry {
+        self.push_evicting(CacheEntry {
             owner: bag.clone(),
             attr,
             index: index.clone(),
@@ -328,12 +384,9 @@ impl IndexCache {
     }
 
     /// Re-associate a patched index with (the possibly new representation
-    /// of) `bag`.
+    /// of) `bag`. The restored entry is most-recently-used.
     pub fn restore(&mut self, bag: &Bag, index: BagIndex) {
-        if self.entries.len() >= Self::MAX_ENTRIES {
-            self.entries.remove(0);
-        }
-        self.entries.push(CacheEntry {
+        self.push_evicting(CacheEntry {
             owner: bag.clone(),
             attr: index.attr(),
             index: Some(Arc::new(index)),
@@ -567,11 +620,61 @@ mod tests {
     #[test]
     fn cache_capacity_is_bounded() {
         let mut cache = IndexCache::new();
-        for i in 0..(IndexCache::MAX_ENTRIES + 8) {
+        for i in 0..(IndexCache::DEFAULT_CAPACITY + 8) {
             let b = bag(&[(i as i64, 0, 1)]);
             cache.get_or_build(&b, 1);
         }
-        assert_eq!(cache.len(), IndexCache::MAX_ENTRIES);
+        assert_eq!(cache.len(), IndexCache::DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        // Four slots; fill them, touch the oldest, then overflow: the
+        // eviction victim must be the least-recently-*used* entry (b),
+        // not the oldest-inserted (a). Under the former FIFO policy a hot
+        // entry died as soon as capacity+1 representations were touched.
+        let mut cache = IndexCache::with_capacity(4);
+        let bags: Vec<Bag> = (0..5).map(|i| bag(&[(i, 0, 1)])).collect();
+        for b in &bags[..4] {
+            cache.get_or_build(b, 1).unwrap();
+        }
+        // Touch a (the oldest) — now b is least recently used.
+        assert!(cache.peek(&bags[0], 1).is_some());
+        cache.get_or_build(&bags[4], 1).unwrap(); // evicts...
+        assert_eq!(cache.len(), 4);
+        let builds = cache.builds();
+        assert!(cache.peek(&bags[0], 1).is_some(), "hot entry must survive");
+        assert!(cache.peek(&bags[1], 1).is_none(), "LRU entry must be gone");
+        assert_eq!(cache.builds(), builds, "peek never builds");
+
+        // get_or_build hits refresh recency exactly like peek hits.
+        let mut cache = IndexCache::with_capacity(2);
+        cache.get_or_build(&bags[0], 1).unwrap();
+        cache.get_or_build(&bags[1], 1).unwrap();
+        cache.get_or_build(&bags[0], 1).unwrap(); // refresh a
+        cache.get_or_build(&bags[2], 1).unwrap(); // evicts b
+        assert!(cache.peek(&bags[0], 1).is_some());
+        assert!(cache.peek(&bags[1], 1).is_none());
+    }
+
+    #[test]
+    fn capacity_is_configurable_and_shrinks_lru_first() {
+        let mut cache = IndexCache::with_capacity(8);
+        assert_eq!(cache.capacity(), 8);
+        let bags: Vec<Bag> = (0..8).map(|i| bag(&[(i, 0, 1)])).collect();
+        for b in &bags {
+            cache.get_or_build(b, 1).unwrap();
+        }
+        assert!(cache.peek(&bags[0], 1).is_some()); // refresh the oldest
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(&bags[0], 1).is_some(), "refreshed entry kept");
+        assert!(cache.peek(&bags[7], 1).is_some(), "most recent kept");
+        assert!(cache.peek(&bags[6], 1).is_none());
+        // Capacity 0 clamps to 1.
+        cache.set_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

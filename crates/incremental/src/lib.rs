@@ -64,7 +64,7 @@ pub mod view;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
-    pub use crate::runtime::{RuntimeStats, UpdateBatch, UpdateError, ViewRuntime};
+    pub use crate::runtime::{DroppedView, RuntimeStats, UpdateBatch, UpdateError, ViewRuntime};
     pub use crate::view::{View, ViewStats};
 }
 

@@ -81,8 +81,18 @@ pub enum UpdateError {
         /// The element whose multiplicity would go below zero.
         value: Value,
     },
-    /// A view operation named an unregistered view.
+    /// A view operation named a view that was never registered.
     UnknownView(String),
+    /// A view operation named a view the runtime **dropped** after both
+    /// its maintenance and the degraded full re-derivation failed. The
+    /// distinction from [`UpdateError::UnknownView`] matters: a typo and
+    /// a lost view must not read the same.
+    ViewDropped {
+        /// The dropped view's name.
+        view: String,
+        /// The rendered failure that killed the re-derivation.
+        cause: String,
+    },
     /// View registration or maintenance failed (and, for maintenance, the
     /// degraded full re-derivation failed too — the view was dropped).
     View {
@@ -101,6 +111,12 @@ impl fmt::Display for UpdateError {
                 write!(f, "delete from {base} would make {value} negative")
             }
             UpdateError::UnknownView(name) => write!(f, "unknown view {name}"),
+            UpdateError::ViewDropped { view, cause } => {
+                write!(
+                    f,
+                    "view {view} was dropped after failed re-derivation: {cause}"
+                )
+            }
             UpdateError::View { view, error } => write!(f, "view {view}: {error}"),
         }
     }
@@ -113,8 +129,23 @@ impl std::error::Error for UpdateError {}
 pub struct RuntimeStats {
     /// Update batches applied.
     pub batches: u64,
+    /// Views dropped after a failed degraded re-derivation and not since
+    /// re-registered ([`ViewRuntime::dropped`] lists them with causes).
+    pub dropped_views: u64,
     /// Summed per-view counters.
     pub views: ViewStats,
+}
+
+/// The tombstone of a dropped view: why the degraded full re-derivation
+/// failed, and when. Kept by the runtime so later `verify`/read attempts
+/// surface [`UpdateError::ViewDropped`] instead of a bare
+/// [`UpdateError::UnknownView`] indistinguishable from a typo.
+#[derive(Clone, Debug)]
+pub struct DroppedView {
+    /// The evaluation error that killed the re-derivation.
+    pub cause: EvalError,
+    /// Value of [`RuntimeStats::batches`] when the view was dropped.
+    pub at_batch: u64,
 }
 
 /// Named base bags plus incrementally maintained views.
@@ -129,6 +160,9 @@ pub struct ViewRuntime {
     db: Database,
     limits: Limits,
     views: BTreeMap<String, View>,
+    /// Tombstones for views dropped after a failed re-derivation, cleared
+    /// when a view of the same name is registered again.
+    dropped: BTreeMap<String, DroppedView>,
     batches: u64,
     /// Per-key join indexes over base bags (and join-node snapshots),
     /// persistent across batches: base indexes are patched alongside the
@@ -163,10 +197,24 @@ impl ViewRuntime {
             db,
             limits,
             views: BTreeMap::new(),
+            dropped: BTreeMap::new(),
             batches: 0,
             indexes: IndexCache::new(),
             use_indexes: true,
         }
+    }
+
+    /// Bound the per-key index cache to `capacity` entries (minimum 1),
+    /// evicting least-recently-used entries if over. A server hosting
+    /// many concurrent sessions raises this so the working set of join
+    /// indexes survives ([`balg_core::index::IndexCache::set_capacity`]).
+    pub fn set_index_capacity(&mut self, capacity: usize) {
+        self.indexes.set_capacity(capacity);
+    }
+
+    /// The index cache's current capacity bound.
+    pub fn index_capacity(&self) -> usize {
+        self.indexes.capacity()
     }
 
     /// Enable or disable the per-key index fast paths. Both settings
@@ -232,16 +280,42 @@ impl ViewRuntime {
     }
 
     /// Remove views whose re-derivation failed (their snapshots would be
-    /// silently stale) and surface the first failure.
+    /// silently stale), leave a [`DroppedView`] tombstone for each, and
+    /// surface the first failure.
     fn drop_failed(&mut self, failed: Vec<(String, EvalError)>) -> Result<(), UpdateError> {
         let mut first: Option<UpdateError> = None;
         for (view, error) in failed {
             self.views.remove(&view);
+            self.dropped.insert(
+                view.clone(),
+                DroppedView {
+                    cause: error.clone(),
+                    at_batch: self.batches,
+                },
+            );
             first.get_or_insert(UpdateError::View { view, error });
         }
         match first {
             Some(error) => Err(error),
             None => Ok(()),
+        }
+    }
+
+    /// Tombstones of dropped views, in name order.
+    pub fn dropped(&self) -> impl Iterator<Item = (&str, &DroppedView)> {
+        self.dropped.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// The error a missing view name should surface:
+    /// [`UpdateError::ViewDropped`] when the runtime dropped it,
+    /// [`UpdateError::UnknownView`] when it never existed.
+    pub fn missing_view_error(&self, name: &str) -> UpdateError {
+        match self.dropped.get(name) {
+            Some(record) => UpdateError::ViewDropped {
+                view: name.to_owned(),
+                cause: record.cause.to_string(),
+            },
+            None => UpdateError::UnknownView(name.to_owned()),
         }
     }
 
@@ -255,11 +329,15 @@ impl ViewRuntime {
             }
         })?;
         self.views.insert(name.to_owned(), view);
+        // A fresh registration supersedes any tombstone under this name.
+        self.dropped.remove(name);
         Ok(self.views[name].result())
     }
 
-    /// Remove a view. Returns `true` if it existed.
+    /// Remove a view (and any dropped-view tombstone under its name).
+    /// Returns `true` if a live view existed.
     pub fn drop_view(&mut self, name: &str) -> bool {
+        self.dropped.remove(name);
         self.views.remove(name).is_some()
     }
 
@@ -367,7 +445,7 @@ impl ViewRuntime {
         let view = self
             .views
             .get(name)
-            .ok_or_else(|| UpdateError::UnknownView(name.to_owned()))?;
+            .ok_or_else(|| self.missing_view_error(name))?;
         let mut ev = Evaluator::new(&self.db, self.limits.clone());
         let fresh = ev
             .eval_bag(view.expr())
@@ -378,8 +456,14 @@ impl ViewRuntime {
         Ok(&fresh == view.result())
     }
 
-    /// [`ViewRuntime::verify`] over every registered view.
+    /// [`ViewRuntime::verify`] over every registered view. A dropped view
+    /// is *not* silently consistent: if any tombstone exists the check
+    /// fails with its [`UpdateError::ViewDropped`] — otherwise a fleet of
+    /// green verifies could hide a view that quietly vanished.
     pub fn verify_all(&self) -> Result<bool, UpdateError> {
+        if let Some((name, _)) = self.dropped.iter().next() {
+            return Err(self.missing_view_error(name));
+        }
         for name in self.views.keys() {
             if !self.verify(name)? {
                 return Ok(false);
@@ -396,6 +480,7 @@ impl ViewRuntime {
             .fold(ViewStats::default(), |acc, v| acc.merged(v.stats()));
         RuntimeStats {
             batches: self.batches,
+            dropped_views: self.dropped.len() as u64,
             views,
         }
     }
@@ -656,6 +741,71 @@ mod tests {
             .load_base("R", Bag::from_values((0..3).map(Value::int)))
             .unwrap();
         assert!(runtime.verify_all().unwrap());
+    }
+
+    #[test]
+    fn dropped_views_are_reported_not_unknown() {
+        // Regression: a view dropped after a failed degraded
+        // re-derivation used to surface a bare UnknownView on later
+        // reads — indistinguishable from a typo. It must now carry its
+        // tombstone: a dedicated ViewDropped { cause } from verify, a
+        // failing verify_all, a dropped_views stats count, and an
+        // enumerable cause via dropped().
+        let limits = Limits {
+            max_bag_elements: 16,
+            ..Limits::default()
+        };
+        let mut runtime = ViewRuntime::with_limits(limits);
+        runtime
+            .load_base("R", Bag::from_values((0..4).map(Value::int)))
+            .unwrap();
+        runtime
+            .create_view("explodes", Expr::var("R").powerset())
+            .unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", Value::int(100)); // powerset 32 > 16
+        assert!(runtime.apply(&batch).is_err());
+
+        // verify: tombstoned, with the cause, not UnknownView.
+        let err = runtime.verify("explodes").unwrap_err();
+        assert!(
+            matches!(&err, UpdateError::ViewDropped { view, cause }
+                if view == "explodes" && !cause.is_empty()),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("dropped"), "{err}");
+        // A never-registered name still reads as a typo.
+        assert!(matches!(
+            runtime.verify("tpyo"),
+            Err(UpdateError::UnknownView(_))
+        ));
+        // verify_all refuses to call a runtime with a lost view green.
+        assert!(matches!(
+            runtime.verify_all(),
+            Err(UpdateError::ViewDropped { .. })
+        ));
+        // Reported in stats and enumerable with cause + drop batch.
+        assert_eq!(runtime.stats().dropped_views, 1);
+        let (name, record) = runtime.dropped().next().unwrap();
+        assert_eq!(name, "explodes");
+        assert_eq!(record.at_batch, runtime.stats().batches);
+
+        // Re-registering under the same name clears the tombstone...
+        runtime
+            .create_view("explodes", Expr::var("R").dedup())
+            .unwrap();
+        assert_eq!(runtime.stats().dropped_views, 0);
+        assert!(runtime.verify_all().unwrap());
+        // ...and so does an explicit drop.
+        runtime.drop_view("explodes");
+        runtime
+            .create_view("explodes", Expr::var("R").powerset())
+            .unwrap_err();
+        // A failed *registration* is not a drop: no tombstone.
+        assert!(matches!(
+            runtime.verify("explodes"),
+            Err(UpdateError::UnknownView(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! A minimal blocking client for the frame protocol.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::exec::Reply;
+use crate::frame::{decode_reply, read_frame, write_frame, MAX_FRAME};
+
+/// One connection to a [`crate::server::SqlServer`]. Requests are
+/// strictly request/reply in order; a client is one session (clone the
+/// connection count, not the client, for concurrency).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serving address.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one statement line, block for its reply.
+    pub fn request(&mut self, line: &str) -> io::Result<Reply> {
+        write_frame(&mut self.stream, line.as_bytes())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )
+        })?;
+        decode_reply(&payload)
+    }
+}

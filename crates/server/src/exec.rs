@@ -1,0 +1,376 @@
+//! The statement surface shared by the concurrent server and its serial
+//! twin.
+//!
+//! Everything a session can say is executed by exactly two functions:
+//! [`execute_read`] over an immutable [`Snapshot`], and [`execute_write`]
+//! over the single mutable [`SqlRuntime`]. The TCP server and the
+//! in-process [`SerialTwin`] both call these — so a concurrent run and a
+//! serial replay of the same statements produce **byte-identical**
+//! replies by construction, and the differential test suite is left to
+//! validate what actually differs between them: snapshot publication,
+//! ordering, and read-your-writes.
+
+use std::collections::BTreeMap;
+
+use balg_core::bag::Bag;
+use balg_core::eval::{Evaluator, Limits};
+use balg_core::schema::Database;
+use balg_incremental::UpdateError;
+use balg_sql::ast::Query;
+use balg_sql::prelude::{
+    compile_query, decode_result, parse_statement, Catalog, Column, QueryResult, Response,
+    SqlError, SqlRuntime, Statement,
+};
+
+/// One reply to one statement: success flag plus the rendered text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reply {
+    /// `false` means `text` is an error message.
+    pub ok: bool,
+    /// The rendered result or error.
+    pub text: String,
+}
+
+impl Reply {
+    /// A success reply.
+    pub fn ok(text: impl Into<String>) -> Reply {
+        Reply {
+            ok: true,
+            text: text.into(),
+        }
+    }
+
+    /// An error reply.
+    pub fn err(text: impl Into<String>) -> Reply {
+        Reply {
+            ok: false,
+            text: text.into(),
+        }
+    }
+}
+
+/// Which side of the runtime a statement needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Route {
+    /// Answered from a pinned snapshot, lock-free, any session thread.
+    Read,
+    /// Serialized through the single writer.
+    Write,
+}
+
+/// Classify a statement line. Total — never errors; malformed input is
+/// routed as a read and rejected there, so both sides render the same
+/// parse errors.
+pub fn route(line: &str) -> Route {
+    let line = line.trim_start();
+    if let Some(rest) = line.strip_prefix(':') {
+        let cmd = rest.split_whitespace().next().unwrap_or("");
+        return match cmd {
+            // Need the live runtime (view expressions, stats counters,
+            // catalog mutation) — serialized behind the writer.
+            "check" | "stats" | "table" => Route::Write,
+            // :rows, :seq, :ping, and anything unknown.
+            _ => Route::Read,
+        };
+    }
+    let first = line
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_ascii_uppercase();
+    match first.as_str() {
+        "CREATE" | "INSERT" | "DELETE" => Route::Write,
+        _ => Route::Read,
+    }
+}
+
+/// An immutable, internally consistent picture of the database: what a
+/// reader session pins (one `Arc` clone) and evaluates against without
+/// any coordination with the writer. Bags are copy-on-write behind `Arc`,
+/// so building one of these per write batch clones maps of pointers, not
+/// data.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Writer-serialized statement count at publication time (monotonic).
+    pub seq: u64,
+    /// The table catalog.
+    pub catalog: Catalog,
+    /// The base bags.
+    pub db: Database,
+    /// Maintained view results with their output shapes.
+    pub views: BTreeMap<String, (Bag, Vec<Column>)>,
+    /// Views the runtime dropped, with the rendered failure cause.
+    pub dropped: BTreeMap<String, String>,
+    /// Evaluation budgets for one-shot queries.
+    pub limits: Limits,
+}
+
+/// Capture the runtime's current state as a [`Snapshot`] stamped `seq`.
+pub fn snapshot_of(rt: &SqlRuntime, seq: u64) -> Snapshot {
+    let runtime = rt.runtime();
+    let mut views = BTreeMap::new();
+    for (name, view) in runtime.views() {
+        if let Some(columns) = rt.view_output(name) {
+            views.insert(name.to_owned(), (view.result().clone(), columns.to_vec()));
+        }
+    }
+    let dropped = runtime
+        .dropped()
+        .map(|(name, record)| (name.to_owned(), record.cause.to_string()))
+        .collect();
+    Snapshot {
+        seq,
+        catalog: rt.catalog().clone(),
+        db: runtime.database().clone(),
+        views,
+        dropped,
+        limits: runtime.limits().clone(),
+    }
+}
+
+fn split_command(rest: &str) -> (&str, &str) {
+    match rest.split_once(char::is_whitespace) {
+        Some((cmd, args)) => (cmd, args.trim()),
+        None => (rest, ""),
+    }
+}
+
+/// Execute a read-routed statement against a pinned snapshot.
+pub fn execute_read(snap: &Snapshot, line: &str) -> Reply {
+    let line = line.trim();
+    if let Some(rest) = line.strip_prefix(':') {
+        let (cmd, args) = split_command(rest);
+        return match cmd {
+            "ping" => Reply::ok("pong"),
+            "seq" => Reply::ok(snap.seq.to_string()),
+            "rows" => match snapshot_view_rows(snap, args) {
+                Ok(result) => Reply::ok(Response::Rows(result).to_string()),
+                Err(message) => Reply::err(message),
+            },
+            other => Reply::err(format!("unknown command :{other}")),
+        };
+    }
+    match parse_statement(line) {
+        Ok(Statement::Query(query)) => match run_snapshot_query(snap, &query) {
+            Ok(result) => Reply::ok(Response::Rows(result).to_string()),
+            Err(e) => Reply::err(e.to_string()),
+        },
+        // route() sends CREATE/INSERT/DELETE to the writer; reaching this
+        // arm means a caller bypassed route().
+        Ok(_) => Reply::err("update statements must go through the writer"),
+        Err(e) => Reply::err(e.to_string()),
+    }
+}
+
+/// The decoded rows of a maintained view as of the snapshot. Dropped
+/// views answer with their failure cause — exactly the error the live
+/// runtime would give — never a bare "unknown view".
+fn snapshot_view_rows(snap: &Snapshot, name: &str) -> Result<QueryResult, String> {
+    match snap.views.get(name) {
+        Some((bag, columns)) => decode_result(bag, columns.clone()).map_err(|e| e.to_string()),
+        None => {
+            let error = match snap.dropped.get(name) {
+                Some(cause) => UpdateError::ViewDropped {
+                    view: name.to_owned(),
+                    cause: cause.clone(),
+                },
+                None => UpdateError::UnknownView(name.to_owned()),
+            };
+            Err(SqlError::Update(error).to_string())
+        }
+    }
+}
+
+/// One-shot query over the snapshot's base bags — the same compile and
+/// decode pipeline `SqlRuntime` runs, against the pinned database.
+fn run_snapshot_query(snap: &Snapshot, query: &Query) -> Result<QueryResult, SqlError> {
+    let compiled = compile_query(query, &snap.catalog).map_err(SqlError::Compile)?;
+    let mut evaluator = Evaluator::new(&snap.db, snap.limits.clone());
+    let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
+    decode_result(&bag, compiled.output)
+}
+
+/// Execute a write-routed statement against the live runtime (the single
+/// writer's side).
+pub fn execute_write(rt: &mut SqlRuntime, line: &str) -> Reply {
+    let line = line.trim();
+    if let Some(rest) = line.strip_prefix(':') {
+        let (cmd, args) = split_command(rest);
+        return match cmd {
+            "check" => {
+                let result = if args.is_empty() {
+                    rt.runtime().verify_all()
+                } else {
+                    rt.runtime().verify(args)
+                };
+                match result {
+                    Ok(true) => Reply::ok("consistent"),
+                    Ok(false) => Reply::err("INCONSISTENT"),
+                    Err(e) => Reply::err(e.to_string()),
+                }
+            }
+            "stats" => Reply::ok(render_stats(rt)),
+            "table" => declare_table(rt, args),
+            other => Reply::err(format!("unknown command :{other}")),
+        };
+    }
+    match rt.execute(line) {
+        Ok(response) => Reply::ok(response.to_string()),
+        Err(e) => Reply::err(e.to_string()),
+    }
+}
+
+/// `:table NAME col[:int] ...` — declare a fresh empty table.
+fn declare_table(rt: &mut SqlRuntime, args: &str) -> Reply {
+    let mut parts = args.split_whitespace();
+    let Some(name) = parts.next() else {
+        return Reply::err("usage: :table NAME col[:int] ...");
+    };
+    let columns: Vec<(String, bool)> = parts
+        .map(|spec| match spec.strip_suffix(":int") {
+            Some(column) => (column.to_owned(), true),
+            None => (spec.to_owned(), false),
+        })
+        .collect();
+    if columns.is_empty() {
+        return Reply::err("usage: :table NAME col[:int] ...");
+    }
+    let borrowed: Vec<(&str, bool)> = columns
+        .iter()
+        .map(|(column, numeric)| (column.as_str(), *numeric))
+        .collect();
+    match rt.declare_table(name, &borrowed) {
+        Ok(()) => Reply::ok(format!("table {name} ({} columns)", columns.len())),
+        Err(e) => Reply::err(e.to_string()),
+    }
+}
+
+/// The `:stats` text: delta-engine counters plus one line per dropped
+/// view with its cause.
+fn render_stats(rt: &SqlRuntime) -> String {
+    let stats = rt.runtime().stats();
+    let mut out = format!(
+        "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
+        stats.batches,
+        stats.views.linear_delta_ops,
+        stats.views.indexed_join_ops,
+        stats.views.scanned_join_ops,
+        stats.views.fallback_recomputes,
+        stats.views.scalar_recomputes,
+        stats.views.full_reinits
+    );
+    for (name, record) in rt.runtime().dropped() {
+        out.push_str(&format!(
+            "\ndropped view {name} (batch {}): {}",
+            record.at_batch, record.cause
+        ));
+    }
+    out
+}
+
+/// The serial oracle: the same statement surface executed in-process on
+/// one thread, one statement at a time. Reads run [`execute_read`] over a
+/// freshly captured snapshot; writes run [`execute_write`] and advance
+/// the sequence counter exactly as the server's writer thread does. A
+/// concurrent run that serializes to the same statement order must
+/// produce byte-identical replies.
+pub struct SerialTwin {
+    rt: SqlRuntime,
+    seq: u64,
+}
+
+impl SerialTwin {
+    /// A twin over a catalog and an initial database.
+    pub fn new(catalog: Catalog, db: Database, limits: Limits) -> SerialTwin {
+        SerialTwin {
+            rt: SqlRuntime::with_limits(catalog, db, limits),
+            seq: 0,
+        }
+    }
+
+    /// Bound the index cache, mirroring the server's configuration.
+    pub fn set_index_capacity(&mut self, capacity: usize) {
+        self.rt.set_index_capacity(capacity);
+    }
+
+    /// Execute one statement the way the server would.
+    pub fn execute(&mut self, line: &str) -> Reply {
+        match route(line) {
+            Route::Read => execute_read(&snapshot_of(&self.rt, self.seq), line),
+            Route::Write => {
+                let reply = execute_write(&mut self.rt, line);
+                self.seq += 1;
+                reply
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use balg_sql::prelude::database_from_rows;
+
+    fn catalog() -> Catalog {
+        Catalog::new().with_table("orders", &[("customer", false), ("qty", true)])
+    }
+
+    fn twin() -> SerialTwin {
+        let catalog = catalog();
+        let db = database_from_rows(&catalog, &[]).unwrap();
+        SerialTwin::new(catalog, db, Limits::default())
+    }
+
+    #[test]
+    fn routing_is_by_statement_kind() {
+        assert_eq!(route("SELECT * FROM orders"), Route::Read);
+        assert_eq!(route("  select 1 from t"), Route::Read);
+        assert_eq!(route("INSERT INTO orders VALUES ('a', 1)"), Route::Write);
+        assert_eq!(route("delete from orders values ('a', 1)"), Route::Write);
+        assert_eq!(route("CREATE VIEW v AS SELECT * FROM orders"), Route::Write);
+        assert_eq!(route(":rows v"), Route::Read);
+        assert_eq!(route(":seq"), Route::Read);
+        assert_eq!(route(":ping"), Route::Read);
+        assert_eq!(route(":check"), Route::Write);
+        assert_eq!(route(":stats"), Route::Write);
+        assert_eq!(route(":table t a b:int"), Route::Write);
+        assert_eq!(route("garbage ..."), Route::Read);
+    }
+
+    #[test]
+    fn twin_statement_surface() {
+        let mut twin = twin();
+        assert_eq!(twin.execute(":ping"), Reply::ok("pong"));
+        assert_eq!(twin.execute(":seq"), Reply::ok("0"));
+        let reply = twin.execute("INSERT INTO orders VALUES ('ann', 3), ('bob', 5)");
+        assert_eq!(reply, Reply::ok("orders: +2 -0"));
+        assert_eq!(twin.execute(":seq"), Reply::ok("1"));
+        let reply = twin.execute("CREATE VIEW big AS SELECT customer FROM orders WHERE qty >= 4");
+        assert!(reply.ok, "{}", reply.text);
+        let rows = twin.execute(":rows big");
+        assert!(rows.ok);
+        assert!(rows.text.contains("bob"), "{}", rows.text);
+        let select = twin.execute("SELECT customer FROM orders WHERE qty >= 4");
+        assert_eq!(rows.text, select.text);
+        assert_eq!(twin.execute(":check"), Reply::ok("consistent"));
+        let stats = twin.execute(":stats");
+        assert!(stats.text.contains("batches"), "{}", stats.text);
+    }
+
+    #[test]
+    fn twin_declares_tables_and_reports_errors() {
+        let mut twin = twin();
+        let reply = twin.execute(":table vip customer level:int");
+        assert_eq!(reply, Reply::ok("table vip (2 columns)"));
+        assert!(twin.execute("INSERT INTO vip VALUES ('ann', 2)").ok);
+        let dup = twin.execute(":table orders x");
+        assert!(!dup.ok);
+        assert!(dup.text.contains("already a table"), "{}", dup.text);
+        let missing = twin.execute(":rows nope");
+        assert_eq!(missing, Reply::err("unknown view nope"));
+        let bad = twin.execute("SELECT nope FROM orders");
+        assert!(!bad.ok);
+        let unknown = twin.execute(":frob");
+        assert!(!unknown.ok);
+    }
+}

@@ -1,0 +1,129 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! A frame is a big-endian `u32` payload length followed by the payload.
+//! Requests carry one UTF-8 statement line. Replies carry one tag byte
+//! (`0` ok, `1` error) followed by the UTF-8 reply text. Frames larger
+//! than the configured maximum are a protocol violation — the connection
+//! is not recoverable past one, so reads fail rather than resynchronize.
+
+use std::io::{self, Read, Write};
+
+use crate::exec::Reply;
+
+/// Default maximum frame payload (1 MiB).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Write one frame.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32"))?;
+    writer.write_all(&len.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); EOF inside a frame is an error.
+pub fn read_frame(reader: &mut impl Read, max: u32) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max} byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encode a reply payload: tag byte then text.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(1 + reply.text.len());
+    payload.push(u8::from(!reply.ok));
+    payload.extend_from_slice(reply.text.as_bytes());
+    payload
+}
+
+/// Decode a reply payload.
+pub fn decode_reply(payload: &[u8]) -> io::Result<Reply> {
+    let (&tag, text) = payload
+        .split_first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty reply frame"))?;
+    let text = std::str::from_utf8(text)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply text is not UTF-8"))?;
+    match tag {
+        0 => Ok(Reply::ok(text)),
+        1 => Ok(Reply::err(text)),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown reply tag {other}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"SELECT 1").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap().as_deref(),
+            Some(&b"SELECT 1"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &[7u8; 64]).unwrap();
+        let mut cursor = io::Cursor::new(buffer.clone());
+        assert_eq!(
+            read_frame(&mut cursor, 16).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        buffer.truncate(10); // header + partial payload
+        let mut cursor = io::Cursor::new(buffer);
+        assert!(read_frame(&mut cursor, MAX_FRAME).is_err());
+        let mut cursor = io::Cursor::new(vec![0u8, 0]); // partial header
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for reply in [Reply::ok("3 rows"), Reply::err("unknown view v")] {
+            assert_eq!(decode_reply(&encode_reply(&reply)).unwrap(), reply);
+        }
+        assert!(decode_reply(&[]).is_err());
+        assert!(decode_reply(&[9, b'x']).is_err());
+    }
+}

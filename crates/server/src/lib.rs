@@ -1,0 +1,61 @@
+//! # balg-server — a concurrent SQL service over the incremental runtime
+//!
+//! Serves the [`balg_sql::SqlRuntime`] statement surface (queries,
+//! `CREATE VIEW`, `INSERT`/`DELETE`, consistency checks) to many
+//! concurrent TCP sessions, with **snapshot isolation** built on the
+//! representation choices the rest of the workspace already made: bags
+//! are immutable sorted slices behind `Arc`, so an internally consistent
+//! picture of the whole database is one `Arc` clone away, and a reader
+//! that pinned it can evaluate arbitrary queries without ever
+//! coordinating with the writer.
+//!
+//! The concurrency model is single-writer / multi-reader:
+//!
+//! - **Reads** (`SELECT …`, `:rows`, `:seq`, `:ping`) pin the current
+//!   [`exec::Snapshot`] and evaluate lock-free on the session thread.
+//! - **Writes** (`INSERT`, `DELETE`, `CREATE VIEW`, `:table`, `:check`,
+//!   `:stats`) are serialized through one writer thread that applies
+//!   them through the ℤ-bag incremental engine, publishes a fresh
+//!   snapshot, **then** acknowledges — so acknowledged writes are
+//!   visible to every subsequent read (read-your-writes).
+//!
+//! Correctness leans on an *equality-by-construction* design: the server
+//! and the in-process [`exec::SerialTwin`] execute statements through
+//! the same two functions ([`exec::execute_read`] /
+//! [`exec::execute_write`]), so a concurrent run must agree
+//! byte-for-byte with a serial replay — which the differential test
+//! suite checks under real thread interleavings.
+//!
+//! ```
+//! use balg_server::prelude::*;
+//! use balg_sql::prelude::{database_from_rows, Catalog};
+//!
+//! let catalog = Catalog::new().with_table("t", &[("name", false), ("qty", true)]);
+//! let db = database_from_rows(&catalog, &[]).unwrap();
+//! let server = SqlServer::spawn("127.0.0.1:0", catalog, db, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let reply = client.request("INSERT INTO t VALUES ('a', 2)").unwrap();
+//! assert_eq!(reply.text, "t: +1 -0");
+//! let reply = client.request("SELECT SUM(qty) FROM t").unwrap();
+//! assert!(reply.text.contains("2"));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod exec;
+pub mod frame;
+pub mod server;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::exec::{
+        execute_read, execute_write, route, snapshot_of, Reply, Route, SerialTwin, Snapshot,
+    };
+    pub use crate::server::{ServerConfig, SqlServer};
+}
+
+pub use prelude::*;

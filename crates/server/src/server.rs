@@ -1,0 +1,253 @@
+//! The concurrent server: snapshot-isolated readers, one serialized
+//! writer.
+//!
+//! ```text
+//!  session threads (one per TCP connection)
+//!    read stmt  ──▶ pin Arc<Snapshot> ──▶ execute_read ──▶ reply
+//!    write stmt ──▶ bounded job queue ──▶ writer thread
+//!                                          │ drain batch
+//!                                          │ execute_write × n
+//!                                          │ publish Arc<Snapshot>   (1)
+//!                                          └ ack each job            (2)
+//! ```
+//!
+//! Readers never block on the writer and the writer never blocks on
+//! readers: a read pins the current snapshot with one `Arc` clone and
+//! evaluates entirely against immutable data. The writer applies each
+//! statement through the incremental engine, then **publishes before
+//! acknowledging** — so once a client sees its write acked, every
+//! subsequent read on any connection observes it (read-your-writes,
+//! monotonic for everyone). Between a write being applied and its ack,
+//! other sessions may or may not see it yet; they can only move forward
+//! in time (`:seq` is monotonic).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+
+use balg_core::eval::Limits;
+use balg_core::schema::Database;
+use balg_sql::prelude::{Catalog, SqlRuntime};
+
+use crate::exec::{execute_read, execute_write, route, snapshot_of, Reply, Route, Snapshot};
+use crate::frame::{encode_reply, read_frame, write_frame, MAX_FRAME};
+
+/// Tunables for one server instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bound of the writer's job queue — senders block past this
+    /// (backpressure instead of unbounded memory).
+    pub writer_queue: usize,
+    /// Maximum write statements applied between two snapshot
+    /// publications. Larger batches amortize snapshot construction;
+    /// replies are withheld until the batch publishes either way.
+    pub write_batch: usize,
+    /// Override for the runtime's join-index LRU capacity.
+    pub index_capacity: Option<usize>,
+    /// Maximum accepted frame payload in bytes.
+    pub max_frame: u32,
+    /// Evaluation budgets for queries and view maintenance.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            writer_queue: 256,
+            write_batch: 64,
+            index_capacity: None,
+            max_frame: MAX_FRAME,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// One queued write: the statement and where to send its reply.
+struct WriteJob {
+    line: String,
+    reply: mpsc::Sender<Reply>,
+}
+
+/// State shared between the accept loop, session threads, and the writer.
+struct Shared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// `None` once shutdown begins — dropping the last sender ends the
+    /// writer after it drains the queue.
+    writer: Mutex<Option<SyncSender<WriteJob>>>,
+    shutdown: AtomicBool,
+    max_frame: u32,
+}
+
+/// A running SQL server. Dropping it shuts it down.
+pub struct SqlServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl SqlServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve a
+    /// database under the given catalog.
+    pub fn spawn<A: ToSocketAddrs>(
+        addr: A,
+        catalog: Catalog,
+        db: Database,
+        config: ServerConfig,
+    ) -> io::Result<SqlServer> {
+        let mut rt = SqlRuntime::with_limits(catalog, db, config.limits.clone());
+        if let Some(capacity) = config.index_capacity {
+            rt.set_index_capacity(capacity);
+        }
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let (sender, receiver) = mpsc::sync_channel(config.writer_queue.max(1));
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(snapshot_of(&rt, 0))),
+            writer: Mutex::new(Some(sender)),
+            shutdown: AtomicBool::new(false),
+            max_frame: config.max_frame,
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let batch = config.write_batch.max(1);
+            thread::spawn(move || writer_loop(rt, receiver, &shared, batch))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        Ok(SqlServer {
+            shared,
+            addr,
+            accept: Some(accept),
+            writer: Some(writer),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The sequence number of the currently published snapshot.
+    pub fn seq(&self) -> u64 {
+        self.shared.snapshot.read().unwrap().seq
+    }
+
+    /// Stop accepting, drain queued writes, and join the service threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Drop the writer sender: the writer drains what's queued and
+        // exits once every transient session clone is gone too.
+        *self.shared.writer.lock().unwrap() = None;
+        // The accept loop blocks in accept(); a self-connection wakes it
+        // so it can observe the shutdown flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SqlServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        // Sessions are detached: they end when their client disconnects
+        // (clean EOF) or on a protocol error.
+        thread::spawn(move || {
+            let _ = session_loop(stream, &shared);
+        });
+    }
+}
+
+fn session_loop(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let Some(payload) = read_frame(&mut stream, shared.max_frame)? else {
+            return Ok(());
+        };
+        let line = String::from_utf8_lossy(&payload).into_owned();
+        let reply = dispatch(&line, shared);
+        write_frame(&mut stream, &encode_reply(&reply))?;
+    }
+}
+
+fn dispatch(line: &str, shared: &Shared) -> Reply {
+    match route(line) {
+        Route::Read => {
+            // Pin the published snapshot — one Arc clone, then the read
+            // lock is released and evaluation runs unsynchronized.
+            let snapshot = Arc::clone(&shared.snapshot.read().unwrap());
+            execute_read(&snapshot, line)
+        }
+        Route::Write => {
+            let sender = shared.writer.lock().unwrap().clone();
+            let Some(sender) = sender else {
+                return Reply::err("server is shutting down");
+            };
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = WriteJob {
+                line: line.to_owned(),
+                reply: reply_tx,
+            };
+            if sender.send(job).is_err() {
+                return Reply::err("server is shutting down");
+            }
+            match reply_rx.recv() {
+                Ok(reply) => reply,
+                Err(_) => Reply::err("writer terminated before replying"),
+            }
+        }
+    }
+}
+
+fn writer_loop(mut rt: SqlRuntime, receiver: Receiver<WriteJob>, shared: &Shared, batch: usize) {
+    let mut seq = 0u64;
+    while let Ok(first) = receiver.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < batch {
+            match receiver.try_recv() {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+        let replies: Vec<(mpsc::Sender<Reply>, Reply)> = jobs
+            .into_iter()
+            .map(|job| {
+                let reply = execute_write(&mut rt, &job.line);
+                seq += 1;
+                (job.reply, reply)
+            })
+            .collect();
+        // Publish BEFORE acking (read-your-writes): a client that has
+        // its ack in hand can only ever read this snapshot or a later
+        // one. A send can fail only if the session already vanished.
+        *shared.snapshot.write().unwrap() = Arc::new(snapshot_of(&rt, seq));
+        for (sender, reply) in replies {
+            let _ = sender.send(reply);
+        }
+    }
+}

@@ -45,6 +45,14 @@ impl Catalog {
 
     /// Declare a table; `columns` pairs names with the numeric flag.
     pub fn with_table(mut self, name: &str, columns: &[(&str, bool)]) -> Catalog {
+        self.declare(name, columns);
+        self
+    }
+
+    /// Declare a table in place (the `&mut` twin of
+    /// [`Catalog::with_table`], for catalogs that grow after
+    /// construction — e.g. a served session declaring tables at runtime).
+    pub fn declare(&mut self, name: &str, columns: &[(&str, bool)]) {
         self.tables.insert(
             name.to_owned(),
             Table {
@@ -58,7 +66,6 @@ impl Catalog {
                     .collect(),
             },
         );
-        self
     }
 
     /// Look up a table.

@@ -48,6 +48,9 @@ pub enum CompileError {
     /// CREATE VIEW with the name of a declared table — the name would be
     /// ambiguous between the base rows and the view rows.
     ViewShadowsTable(String),
+    /// A table declaration under a name already taken by a table or a
+    /// registered view.
+    TableExists(String),
 }
 
 impl fmt::Display for CompileError {
@@ -72,6 +75,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::ViewShadowsTable(name) => {
                 write!(f, "view {name} would shadow the table of the same name")
+            }
+            CompileError::TableExists(name) => {
+                write!(f, "name {name} is already a table or view")
             }
         }
     }
@@ -533,7 +539,10 @@ pub fn run_optimized(sql: &str, catalog: &Catalog, db: &Database) -> Result<Quer
     decode_result(&bag, compiled.output)
 }
 
-pub(crate) fn decode_result(
+/// Decode a result bag against an output row shape. Public so external
+/// runtimes (the `balg-server` snapshot read path) can decode pinned view
+/// bags exactly the way [`run_query`] decodes one-shot results.
+pub fn decode_result(
     bag: &balg_core::bag::Bag,
     output: Vec<Column>,
 ) -> Result<QueryResult, SqlError> {

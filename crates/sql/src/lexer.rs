@@ -30,6 +30,8 @@ pub enum Token {
     LParen,
     /// `)`
     RParen,
+    /// `-` (binary minus position — see [`tokenize`] on sign handling).
+    Minus,
     /// `=`
     Eq,
     /// `<>` or `!=`
@@ -117,6 +119,38 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
+/// `true` iff a `-` seen after `prev` starts a negative integer literal
+/// rather than a binary minus. A sign is only a sign where a *value* is
+/// expected: at the start of the input, after an operator or keyword,
+/// after `,` or `(` — never directly after an identifier, a literal, a
+/// closing paren, or `*`/`.` (so `qty-1` is `qty` `-` `1`, not
+/// `qty` `-1`).
+fn sign_position(prev: Option<&Token>) -> bool {
+    match prev {
+        None => true,
+        Some(
+            Token::Keyword(_)
+            | Token::Comma
+            | Token::LParen
+            | Token::Minus
+            | Token::Eq
+            | Token::Neq
+            | Token::Lt
+            | Token::Le
+            | Token::Gt
+            | Token::Ge,
+        ) => true,
+        Some(
+            Token::Ident(_)
+            | Token::Int(_)
+            | Token::Str(_)
+            | Token::RParen
+            | Token::Star
+            | Token::Dot,
+        ) => false,
+    }
+}
+
 /// Tokenize a query string.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
     let bytes = input.as_bytes();
@@ -191,6 +225,12 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 }
                 tokens.push(Token::Str(input[start..j].to_owned()));
                 i = j + 1;
+            }
+            '-' if !(sign_position(tokens.last())
+                && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                tokens.push(Token::Minus);
+                i += 1;
             }
             '0'..='9' | '-' => {
                 let start = i;
@@ -270,6 +310,59 @@ mod tests {
     #[test]
     fn negative_integers() {
         assert_eq!(tokenize("-12").unwrap(), vec![Token::Int(-12)]);
+    }
+
+    #[test]
+    fn minus_after_an_identifier_is_not_a_sign() {
+        // Regression: `qty-1` used to mis-tokenize as `qty` `Int(-1)`,
+        // silently swallowing the operator.
+        assert_eq!(
+            tokenize("qty-1").unwrap(),
+            vec![Token::Ident("qty".into()), Token::Minus, Token::Int(1),]
+        );
+        // After a binary minus a sign is a sign again.
+        assert_eq!(
+            tokenize("qty - -1").unwrap(),
+            vec![Token::Ident("qty".into()), Token::Minus, Token::Int(-1),]
+        );
+        // A parenthesized negative literal stays a literal.
+        assert_eq!(
+            tokenize("(-1)").unwrap(),
+            vec![Token::LParen, Token::Int(-1), Token::RParen]
+        );
+        // Value positions keep their signs: comparisons, VALUES rows.
+        assert_eq!(
+            tokenize("qty = -3").unwrap(),
+            vec![Token::Ident("qty".into()), Token::Eq, Token::Int(-3)]
+        );
+        assert_eq!(
+            tokenize("(-1, -2)").unwrap(),
+            vec![
+                Token::LParen,
+                Token::Int(-1),
+                Token::Comma,
+                Token::Int(-2),
+                Token::RParen,
+            ]
+        );
+        // Literal-literal adjacency no longer merges: `(1 -1)` is a
+        // subtraction, not a two-element row.
+        assert_eq!(
+            tokenize("(1 -1)").unwrap(),
+            vec![
+                Token::LParen,
+                Token::Int(1),
+                Token::Minus,
+                Token::Int(1),
+                Token::RParen,
+            ]
+        );
+        // A bare minus with no digit after it is an operator token even
+        // in sign position; the parser rejects it downstream.
+        assert_eq!(
+            tokenize("- x").unwrap(),
+            vec![Token::Minus, Token::Ident("x".into())]
+        );
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod prelude {
         decode_value, encode_value, load_table, Catalog, Column, LoadError, SqlValue, Table,
     };
     pub use crate::compile::{
-        compile_query, database_from_rows, run, run_optimized, run_query, CompileError,
-        CompiledQuery, QueryResult, SqlError,
+        compile_query, database_from_rows, decode_result, run, run_optimized, run_query,
+        CompileError, CompiledQuery, QueryResult, SqlError,
     };
     pub use crate::lexer::{tokenize, Keyword, LexError, Token};
     pub use crate::parser::{parse, ParseError};

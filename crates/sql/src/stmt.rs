@@ -226,6 +226,34 @@ impl SqlRuntime {
         &self.runtime
     }
 
+    /// Declare a fresh table after construction (served sessions declare
+    /// tables at runtime). The new table starts empty; the name must be
+    /// free of both tables and views.
+    pub fn declare_table(&mut self, name: &str, columns: &[(&str, bool)]) -> Result<(), SqlError> {
+        if self.catalog.get(name).is_some() || self.runtime.view(name).is_some() {
+            return Err(SqlError::Compile(
+                crate::compile::CompileError::TableExists(name.to_owned()),
+            ));
+        }
+        self.catalog.declare(name, columns);
+        self.runtime
+            .load_base(name, balg_core::bag::Bag::new())
+            .map_err(SqlError::Update)
+    }
+
+    /// The cached output shape of a registered view (`None` for unknown
+    /// or dropped views).
+    pub fn view_output(&self, name: &str) -> Option<&[Column]> {
+        self.view_columns.get(name).map(Vec::as_slice)
+    }
+
+    /// Bound the runtime's per-key index cache (LRU, minimum 1) — the
+    /// lever a server raises so 1k concurrent sessions don't thrash the
+    /// hot join indexes.
+    pub fn set_index_capacity(&mut self, capacity: usize) {
+        self.runtime.set_index_capacity(capacity);
+    }
+
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<Response, SqlError> {
         match parse_statement(sql).map_err(SqlError::Parse)? {
@@ -273,12 +301,14 @@ impl SqlRuntime {
     /// maintenance) is unknown here even if its output shape is still
     /// cached.
     pub fn view_rows(&self, name: &str) -> Result<QueryResult, SqlError> {
-        let bag = self.runtime.view(name).ok_or_else(|| {
-            SqlError::Update(balg_incremental::UpdateError::UnknownView(name.to_owned()))
-        })?;
-        let columns = self.view_columns.get(name).ok_or_else(|| {
-            SqlError::Update(balg_incremental::UpdateError::UnknownView(name.to_owned()))
-        })?;
+        let bag = self
+            .runtime
+            .view(name)
+            .ok_or_else(|| SqlError::Update(self.runtime.missing_view_error(name)))?;
+        let columns = self
+            .view_columns
+            .get(name)
+            .ok_or_else(|| SqlError::Update(self.runtime.missing_view_error(name)))?;
         decode_result(bag, columns.clone())
     }
 
@@ -477,6 +507,75 @@ mod tests {
             ))
         ));
         assert!(rt.view_names().next().is_none());
+    }
+
+    #[test]
+    fn declare_table_at_runtime() {
+        let mut rt = setup();
+        rt.declare_table("notes", &[("body", false)]).unwrap();
+        rt.execute("INSERT INTO notes VALUES ('hi'), ('ho')")
+            .unwrap();
+        let Response::Rows(rows) = rt.execute("SELECT * FROM notes").unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!(rows.total_rows(), 2);
+        // Name collisions with existing tables and views are rejected.
+        assert!(matches!(
+            rt.declare_table("orders", &[("x", false)]),
+            Err(SqlError::Compile(
+                crate::compile::CompileError::TableExists(_)
+            ))
+        ));
+        rt.execute("CREATE VIEW v AS SELECT customer FROM vip")
+            .unwrap();
+        assert!(rt.declare_table("v", &[("x", false)]).is_err());
+        assert_eq!(rt.view_output("v").map(<[Column]>::len), Some(1));
+        assert!(rt.view_output("orders").is_none());
+    }
+
+    #[test]
+    fn dropped_view_errors_carry_the_cause() {
+        let catalog = Catalog::new()
+            .with_table("orders", &[("customer", false), ("qty", true)])
+            .with_table("vip", &[("customer", false)]);
+        let s = |x: &str| SqlValue::Str(x.into());
+        let i = SqlValue::Int;
+        let db = database_from_rows(
+            &catalog,
+            &[("orders", vec![vec![s("ann"), i(3)], vec![s("bob"), i(5)]])],
+        )
+        .unwrap();
+        let limits = Limits {
+            max_bag_elements: 4,
+            ..Limits::default()
+        };
+        let mut rt = SqlRuntime::with_limits(catalog, db, limits);
+        rt.execute("CREATE VIEW pairs AS SELECT o.customer, v.customer FROM orders o, vip v")
+            .unwrap();
+        // The cross join outgrows max_bag_elements: maintenance fails,
+        // re-derivation fails, the runtime drops the view and surfaces
+        // the failure — but the base update itself lands.
+        let err = rt
+            .execute("INSERT INTO vip VALUES ('a'), ('b'), ('c')")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SqlError::Update(balg_incremental::UpdateError::View { .. })
+        ));
+        let Response::Rows(rows) = rt.execute("SELECT * FROM vip").unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!(rows.total_rows(), 3);
+        let err = rt.view_rows("pairs").unwrap_err();
+        assert!(matches!(
+            err,
+            SqlError::Update(balg_incremental::UpdateError::ViewDropped { .. })
+        ));
+        // A name that never existed still reads as plain UnknownView.
+        assert!(matches!(
+            rt.view_rows("nope").unwrap_err(),
+            SqlError::Update(balg_incremental::UpdateError::UnknownView(_))
+        ));
     }
 
     #[test]

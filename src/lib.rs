@@ -14,6 +14,7 @@
 //! | [`sql`] (`balg-sql`) | a SQL frontend with honest bag semantics + maintained views |
 //! | [`complexity`] (`balg-complexity`) | the E1–E18 experiment harness |
 //! | [`incremental`] (`balg-incremental`) | ℤ-bag incremental view maintenance |
+//! | [`server`] (`balg-server`) | a concurrent snapshot-isolated SQL service |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -41,4 +42,5 @@ pub use balg_games as games;
 pub use balg_incremental as incremental;
 pub use balg_machine as machine;
 pub use balg_relational as relational;
+pub use balg_server as server;
 pub use balg_sql as sql;
