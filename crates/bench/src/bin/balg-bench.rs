@@ -2,8 +2,9 @@
 //!
 //! Runs every E1–E18 group workload (the same shapes the Criterion
 //! `paper` bench times), the u1–u4 incremental update-stream workloads
-//! (`*_delta` maintained vs `*_recompute` full re-evaluation), and the
-//! s1 server load workloads (1k+ simulated sessions against a live
+//! (`*_delta` maintained vs `*_recompute` full re-evaluation), the r1
+//! durability workloads (WAL group commit, cold-start replay,
+//! checkpoint), and the s1 server load workloads (1k+ simulated sessions against a live
 //! `balg-server`, reporting p50/p99 request latency and throughput),
 //! then writes machine-readable JSON so successive PRs can diff their
 //! perf against the committed `BENCH_baseline.json`.
@@ -24,6 +25,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use balg_bench::durability::durability_groups;
 use balg_bench::incremental::update_groups;
 use balg_bench::json::{self, Json};
 use balg_bench::micro_wall::micro_groups;
@@ -159,6 +161,7 @@ fn main() {
     let mut all_groups = groups();
     all_groups.extend(micro_groups());
     all_groups.extend(update_groups());
+    all_groups.extend(durability_groups());
     for group in &mut all_groups {
         for _ in 0..3 {
             (group.run)(); // warm-up

@@ -1,0 +1,164 @@
+//! r1 durability workloads for the wall-clock runner: WAL group-commit
+//! overhead, cold-start replay of a long log, and checkpoint cost.
+//!
+//! * `r1_commit_wal` — 500 single-tuple commits appended to the WAL with
+//!   group-commit batching (sync deferred, one `sync_wal` at the end) —
+//!   the write path the server takes per drained writer batch.
+//! * `r1_replay` — reopen a prepared directory whose WAL holds 1 000
+//!   committed batches plus a maintained view: decode, re-derive, and
+//!   verify the recovered state on every run.
+//! * `r1_checkpoint` — snapshot a ~2 000-row state with two maintained
+//!   views: encode + fsync + rename + log truncation.
+//!
+//! Directories live under the OS temp dir and are removed when the group
+//! list is dropped at process exit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use balg_core::bag::Bag;
+use balg_core::eval::Limits;
+use balg_core::expr::Expr;
+use balg_core::value::Value;
+use balg_incremental::{CheckpointPolicy, DurableRuntime, UpdateBatch};
+
+use crate::paper::Group;
+
+/// A scratch data directory removed on drop (no tempdir crate in tree).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("balg-bench-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn pair(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+/// Insert/delete churn over a small key space: state stays bounded while
+/// the log grows one record per step.
+fn churn_batch(step: i64) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    if step % 2 == 0 {
+        batch.insert("R", pair(step % 16, step % 7));
+    } else {
+        batch.delete("R", pair((step - 1) % 16, (step - 1) % 7));
+    }
+    batch
+}
+
+fn seeded_runtime(dir: &std::path::Path, rows: i64) -> DurableRuntime {
+    let mut rt = DurableRuntime::open(dir, Limits::default()).expect("open bench data dir");
+    rt.set_checkpoint_policy(CheckpointPolicy::manual());
+    let mut bag = Bag::new();
+    for i in 0..rows {
+        bag.insert(pair(i, i % 11));
+    }
+    rt.load_base("R", bag).expect("load base");
+    rt.create_view("rev", Expr::var("R").project(&[2, 1]))
+        .expect("create view");
+    rt
+}
+
+/// The r1 groups for the wall-clock runner.
+pub fn durability_groups() -> Vec<Group> {
+    let mut out = Vec::new();
+
+    // r1_commit_wal: one runtime, 500 commits per run, group-commit sync.
+    {
+        let scratch = Arc::new(Scratch::new("commit"));
+        let mut rt = seeded_runtime(&scratch.0, 64);
+        rt.set_sync_on_commit(false);
+        let mut step = 0i64;
+        out.push(Group {
+            name: "r1_commit_wal",
+            run: Box::new(move || {
+                let _keep = &scratch;
+                for _ in 0..500 {
+                    rt.commit(&churn_batch(step)).expect("commit");
+                    step += 1;
+                }
+                rt.sync_wal().expect("group sync");
+            }),
+        });
+    }
+
+    // r1_replay: reopen a directory with 1 000 logged batches. A clean
+    // log is replayed verbatim (no truncation), so every run recovers
+    // the identical state.
+    {
+        let scratch = Arc::new(Scratch::new("replay"));
+        {
+            let mut rt = seeded_runtime(&scratch.0, 64);
+            rt.set_sync_on_commit(false);
+            for step in 0..1_000 {
+                rt.commit(&churn_batch(step)).expect("commit");
+            }
+            rt.sync_wal().expect("final sync");
+        }
+        out.push(Group {
+            name: "r1_replay",
+            run: Box::new(move || {
+                let rt = DurableRuntime::open(&scratch.0, Limits::default()).expect("reopen");
+                assert_eq!(rt.durability().replayed_batches, 1_000);
+                assert!(rt.runtime().view("rev").is_some());
+            }),
+        });
+    }
+
+    // r1_checkpoint: snapshot a fixed-size state. After the first run the
+    // WAL is already empty, so each rep times the steady-state cost:
+    // snapshot encode + fsync + rename + truncate.
+    {
+        let scratch = Arc::new(Scratch::new("checkpoint"));
+        let mut rt = seeded_runtime(&scratch.0, 2_000);
+        rt.create_view(
+            "diff",
+            Expr::var("R").project(&[2, 1]).subtract(Expr::var("R")),
+        )
+        .expect("create view");
+        for step in 0..32 {
+            rt.commit(&churn_batch(step)).expect("commit");
+        }
+        out.push(Group {
+            name: "r1_checkpoint",
+            run: Box::new(move || {
+                let _keep = &scratch;
+                rt.checkpoint().expect("checkpoint");
+            }),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_group_runs_clean() {
+        let mut groups = durability_groups();
+        assert_eq!(
+            groups.iter().map(|g| g.name).collect::<Vec<_>>(),
+            ["r1_commit_wal", "r1_replay", "r1_checkpoint"]
+        );
+        for group in &mut groups {
+            (group.run)();
+            (group.run)(); // steady-state rep must also succeed
+        }
+    }
+}

@@ -11,15 +11,17 @@
 //!
 //! The wall-clock runner (`balg-bench` binary) additionally times the
 //! [`incremental`] update-stream workloads — maintained views vs full
-//! recompute under 1 000 single-tuple updates — and the [`server_load`]
-//! concurrent-service workloads (1k+ simulated sessions against
-//! `balg-server`, reporting p50/p99 latency and throughput) — and can
-//! append a labelled snapshot into `BENCH_baseline.json` via the
-//! [`json`] module.
+//! recompute under 1 000 single-tuple updates — the [`durability`] r1
+//! workloads (WAL group commit, cold-start replay, checkpoint cost) —
+//! and the [`server_load`] concurrent-service workloads (1k+ simulated
+//! sessions against `balg-server`, reporting p50/p99 latency and
+//! throughput) — and can append a labelled snapshot into
+//! `BENCH_baseline.json` via the [`json`] module.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durability;
 pub mod incremental;
 pub mod json;
 pub mod micro_wall;

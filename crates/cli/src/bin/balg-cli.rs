@@ -3,6 +3,11 @@
 //! - `--incremental` switches to the maintained-view REPL: `:view`
 //!   registers standing queries, `:insert`/`:delete` stream updates
 //!   through the ℤ-bag delta engine.
+//! - `--data-dir DIR` makes the incremental REPL (or the served
+//!   instance) **durable**: state is WAL-logged and snapshotted under
+//!   DIR, and restarting with the same DIR resumes exactly where the
+//!   last acked operation left off (`:checkpoint` / `CHECKPOINT`
+//!   compacts the log).
 //! - `--serve ADDR [--tables SPEC]` runs the concurrent SQL service
 //!   (`balg-server`) on ADDR until killed. SPEC declares tables as
 //!   `name=col[:int],col;name2=...`; `:table` can declare more at
@@ -14,9 +19,16 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let data_dir = args
+        .iter()
+        .position(|a| a == "--data-dir")
+        .and_then(|p| args.get(p + 1))
+        .map(String::as_str);
     if let Some(pos) = args.iter().position(|a| a == "--serve") {
         let Some(addr) = args.get(pos + 1) else {
-            eprintln!("usage: balg-cli --serve ADDR [--tables name=col[:int],col;...]");
+            eprintln!(
+                "usage: balg-cli --serve ADDR [--tables name=col[:int],col;...] [--data-dir DIR]"
+            );
             return ExitCode::FAILURE;
         };
         let tables = args
@@ -25,7 +37,7 @@ fn main() -> ExitCode {
             .and_then(|p| args.get(p + 1))
             .map(String::as_str)
             .unwrap_or("");
-        return serve(addr, tables);
+        return serve(addr, tables, data_dir);
     }
     if let Some(pos) = args.iter().position(|a| a == "--connect") {
         let Some(addr) = args.get(pos + 1) else {
@@ -34,8 +46,7 @@ fn main() -> ExitCode {
         };
         return connect(addr);
     }
-    repl(args.iter().any(|a| a == "--incremental"));
-    ExitCode::SUCCESS
+    repl(args.iter().any(|a| a == "--incremental"), data_dir)
 }
 
 /// Parse `name=col[:int],col;name2=...` into a catalog.
@@ -61,7 +72,7 @@ fn parse_tables(spec: &str) -> Result<balg_sql::Catalog, String> {
     Ok(catalog)
 }
 
-fn serve(addr: &str, tables: &str) -> ExitCode {
+fn serve(addr: &str, tables: &str, data_dir: Option<&str>) -> ExitCode {
     let catalog = match parse_tables(tables) {
         Ok(catalog) => catalog,
         Err(message) => {
@@ -70,12 +81,11 @@ fn serve(addr: &str, tables: &str) -> ExitCode {
         }
     };
     let db = balg_core::schema::Database::new();
-    let server = match balg_server::SqlServer::spawn(
-        addr,
-        catalog,
-        db,
-        balg_server::ServerConfig::default(),
-    ) {
+    let config = balg_server::ServerConfig {
+        data_dir: data_dir.map(std::path::PathBuf::from),
+        ..balg_server::ServerConfig::default()
+    };
+    let server = match balg_server::SqlServer::spawn(addr, catalog, db, config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot serve on {addr}: {e}");
@@ -127,9 +137,22 @@ fn connect(addr: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn repl(incremental: bool) {
+fn repl(incremental: bool, data_dir: Option<&str>) -> ExitCode {
     let mut oneshot = balg_cli::Session::new();
-    let mut maintained = balg_cli::IncrementalSession::new();
+    let mut maintained = match data_dir {
+        Some(dir) if incremental => match balg_cli::IncrementalSession::open(dir) {
+            Ok(session) => session,
+            Err(message) => {
+                eprintln!("cannot open data dir {dir}: {message}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(_) => {
+            eprintln!("--data-dir needs --incremental (or --serve)");
+            return ExitCode::FAILURE;
+        }
+        None => balg_cli::IncrementalSession::new(),
+    };
     if incremental {
         println!("balg — incremental view maintenance mode. :help for commands.");
     } else {
@@ -159,4 +182,5 @@ fn repl(incremental: bool) {
             }
         }
     }
+    ExitCode::SUCCESS
 }

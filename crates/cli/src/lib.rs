@@ -228,7 +228,7 @@ anything else is parsed as a BALG expression and evaluated, e.g.
 /// engine, `:insert`/`:delete` stream updates through it, and plain
 /// expressions may read both bases and view results.
 pub struct IncrementalSession {
-    runtime: balg_incremental::ViewRuntime,
+    backend: balg_incremental::AnyRuntime,
 }
 
 impl Default for IncrementalSession {
@@ -238,23 +238,34 @@ impl Default for IncrementalSession {
 }
 
 impl IncrementalSession {
-    /// A fresh incremental session with default budgets.
+    /// A fresh in-memory incremental session with default budgets.
     pub fn new() -> IncrementalSession {
         IncrementalSession {
-            runtime: balg_incremental::ViewRuntime::new(),
+            backend: balg_incremental::AnyRuntime::from(balg_incremental::ViewRuntime::new()),
         }
+    }
+
+    /// A **durable** incremental session over `data_dir` (the binary's
+    /// `--data-dir` flag): loads the latest snapshot, replays the WAL,
+    /// and logs every later mutation before applying it.
+    pub fn open(data_dir: impl AsRef<std::path::Path>) -> Result<IncrementalSession, String> {
+        let durable = balg_incremental::ViewRuntime::open(data_dir).map_err(|e| e.to_string())?;
+        Ok(IncrementalSession {
+            backend: balg_incremental::AnyRuntime::from(durable),
+        })
     }
 
     /// The underlying view runtime.
     pub fn runtime(&self) -> &balg_incremental::ViewRuntime {
-        &self.runtime
+        self.backend.runtime()
     }
 
     /// The database plain expressions evaluate against: the base bags
     /// plus every view result under its view name.
     fn query_db(&self) -> Database {
-        let mut db = self.runtime.database().clone();
-        for (name, view) in self.runtime.views() {
+        let runtime = self.backend.runtime();
+        let mut db = runtime.database().clone();
+        for (name, view) in runtime.views() {
             db.insert(name, view.result().clone());
         }
         db
@@ -301,11 +312,11 @@ impl IncrementalSession {
             "load" => match name_and_expr(args).and_then(|(name, text)| {
                 // A base may not shadow a view: plain expressions would
                 // read one bag while :insert/:delete update the other.
-                if self.runtime.view(&name).is_some() {
+                if self.backend.runtime().view(&name).is_some() {
                     return Err(format!("{name} is a view (:dropview {name} first)"));
                 }
                 let bag = self.eval_bag_text(&text)?;
-                self.runtime
+                self.backend
                     .load_base(&name, bag)
                     .map_err(|e| e.to_string())?;
                 Ok(format!("loaded {name}"))
@@ -313,14 +324,18 @@ impl IncrementalSession {
                 Ok(message) | Err(message) => Response::Text(message),
             },
             "view" => match name_and_expr(args).and_then(|(name, text)| {
-                if self.runtime.database().get(&name).is_some() {
+                if self.backend.runtime().database().get(&name).is_some() {
                     return Err(format!("{name} is a base bag — pick another view name"));
                 }
                 let expr = parse_expr(&text).map_err(|e| e.to_string())?;
-                let result = self
-                    .runtime
+                self.backend
                     .create_view(&name, expr)
                     .map_err(|e| e.to_string())?;
+                let result = self
+                    .backend
+                    .runtime()
+                    .view(&name)
+                    .expect("view registered above");
                 Ok(format!("view {name} = {result}"))
             }) {
                 Ok(message) | Err(message) => Response::Text(message),
@@ -335,14 +350,14 @@ impl IncrementalSession {
             }
             "show" => {
                 let mut out = String::new();
-                for (name, bag) in self.runtime.database().iter() {
+                for (name, bag) in self.backend.runtime().database().iter() {
                     out.push_str(&format!(
                         "base {name}: {} distinct, |{name}| = {}\n",
                         bag.distinct_count(),
                         bag.cardinality()
                     ));
                 }
-                for (name, view) in self.runtime.views() {
+                for (name, view) in self.backend.runtime().views() {
                     out.push_str(&format!(
                         "view {name} = {}: {} distinct\n",
                         view.expr(),
@@ -355,7 +370,7 @@ impl IncrementalSession {
                 Response::Text(out.trim_end().to_owned())
             }
             "stats" => {
-                let stats = self.runtime.stats();
+                let stats = self.backend.runtime().stats();
                 let mut out = format!(
                     "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
                     stats.batches,
@@ -368,19 +383,25 @@ impl IncrementalSession {
                 );
                 // A dropped view is an incident, not a statistic — name it
                 // and say why it was lost.
-                for (name, record) in self.runtime.dropped() {
+                for (name, record) in self.backend.runtime().dropped() {
                     out.push_str(&format!(
                         "\ndropped view {name} (batch {}): {}",
                         record.at_batch, record.cause
+                    ));
+                }
+                if let Some(d) = self.backend.durability() {
+                    out.push_str(&format!(
+                        "\ndurable: lsn {}, snapshot lsn {}, {} WAL bytes since checkpoint, {} batches replayed at open, {} checkpoints",
+                        d.lsn, d.snapshot_lsn, d.wal_bytes, d.replayed_batches, d.checkpoints
                     ));
                 }
                 Response::Text(out)
             }
             "check" => {
                 let result = if args.is_empty() {
-                    self.runtime.verify_all()
+                    self.backend.runtime().verify_all()
                 } else {
-                    self.runtime.verify(args)
+                    self.backend.runtime().verify(args)
                 };
                 match result {
                     Ok(true) => Response::Text("consistent".into()),
@@ -388,13 +409,21 @@ impl IncrementalSession {
                     Err(e) => Response::Text(e.to_string()),
                 }
             }
-            "dropview" => {
-                if self.runtime.drop_view(args) {
-                    Response::Text(format!("dropped view {args}"))
-                } else {
-                    Response::Text(format!("no view named {args}"))
+            "dropview" => match self.backend.drop_view(args) {
+                Ok(true) => Response::Text(format!("dropped view {args}")),
+                Ok(false) => Response::Text(format!("no view named {args}")),
+                Err(e) => Response::Text(e.to_string()),
+            },
+            "checkpoint" => match self.backend.checkpoint() {
+                Ok(Some(d)) => Response::Text(format!(
+                    "checkpoint complete (snapshot lsn {})",
+                    d.snapshot_lsn
+                )),
+                Ok(None) => {
+                    Response::Text("this session is in-memory — restart with --data-dir DIR".into())
                 }
-            }
+                Err(e) => Response::Text(e.to_string()),
+            },
             other => Response::Text(format!("unknown command :{other} (:help)")),
         }
     }
@@ -410,7 +439,7 @@ impl IncrementalSession {
                 balg_core::zbag::ZInt::from_parts(delete, mult.clone()),
             );
         }
-        self.runtime
+        self.backend
             .apply(&batch)
             .map_err(|e| format!("update rejected: {e}"))?;
         let sign = if delete { "-" } else { "+" };
@@ -426,8 +455,10 @@ incremental mode — standing views maintained by the ℤ-bag delta engine:
   :delete NAME expr   remove the elements of a bag expr from base NAME
   :show               list bases and views
   :check [NAME]       compare a view (or all) against full re-evaluation
-  :stats              delta-engine instrumentation counters
+  :stats              delta-engine instrumentation counters (plus WAL
+                      position and replay counters when --data-dir is set)
   :dropview NAME      unregister a view
+  :checkpoint         snapshot a durable session and truncate its WAL
   :quit               leave
 plain lines evaluate one-shot over the bases plus the view results, e.g.
   :load G bag{ [a,b]*2, [b,c] }

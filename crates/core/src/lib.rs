@@ -68,6 +68,7 @@ pub mod schema;
 pub mod typecheck;
 pub mod types;
 pub mod value;
+pub mod wal;
 pub mod zbag;
 
 /// Commonly used items, re-exported.
@@ -85,6 +86,7 @@ pub mod prelude {
     pub use crate::typecheck::{check, infer_type, Analysis, TypeError};
     pub use crate::types::Type;
     pub use crate::value::{Atom, Value};
+    pub use crate::wal::{crc32, frame, frames, unframe, ByteReader, DecodeError, Unframed};
     pub use crate::zbag::{ZBag, ZBagBuilder, ZBagError, ZInt};
 }
 

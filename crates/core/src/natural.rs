@@ -85,6 +85,17 @@ impl Natural {
         }
     }
 
+    /// Canonical little-endian limb view for the WAL codec.
+    pub(crate) fn limb_view(&self) -> &[u64] {
+        self.limbs()
+    }
+
+    /// Rebuild from a little-endian limb vector (WAL decode path). The
+    /// input need not be canonical; trailing zero limbs are stripped.
+    pub(crate) fn from_limb_vec(limbs: Vec<u64>) -> Natural {
+        Natural::from_limbs(limbs)
+    }
+
     /// The little-endian limb view (empty for zero). The `Small` word is
     /// exposed as a one-limb slice so the multi-limb algorithms cover both
     /// representations.

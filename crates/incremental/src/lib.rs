@@ -59,11 +59,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod runtime;
 pub mod view;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
+    pub use crate::durable::{
+        AnyRuntime, CheckpointPolicy, Durability, DurableError, DurableRuntime, WalFaultPlan,
+        WalRecord,
+    };
     pub use crate::runtime::{DroppedView, RuntimeStats, UpdateBatch, UpdateError, ViewRuntime};
     pub use crate::view::{View, ViewStats};
 }

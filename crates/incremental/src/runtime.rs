@@ -142,8 +142,11 @@ pub struct RuntimeStats {
 /// [`UpdateError::UnknownView`] indistinguishable from a typo.
 #[derive(Clone, Debug)]
 pub struct DroppedView {
-    /// The evaluation error that killed the re-derivation.
-    pub cause: EvalError,
+    /// The rendered evaluation error that killed the re-derivation.
+    /// Stored as a string so tombstones survive a snapshot/replay cycle
+    /// byte-identically (EvalError holds live values, not all of which
+    /// need to round-trip through the WAL codec).
+    pub cause: String,
     /// Value of [`RuntimeStats::batches`] when the view was dropped.
     pub at_batch: u64,
 }
@@ -289,7 +292,7 @@ impl ViewRuntime {
             self.dropped.insert(
                 view.clone(),
                 DroppedView {
-                    cause: error.clone(),
+                    cause: error.to_string(),
                     at_batch: self.batches,
                 },
             );
@@ -313,7 +316,7 @@ impl ViewRuntime {
         match self.dropped.get(name) {
             Some(record) => UpdateError::ViewDropped {
                 view: name.to_owned(),
-                cause: record.cause.to_string(),
+                cause: record.cause.clone(),
             },
             None => UpdateError::UnknownView(name.to_owned()),
         }
@@ -351,16 +354,13 @@ impl ViewRuntime {
         self.views.iter().map(|(n, v)| (n.as_str(), v))
     }
 
-    /// Apply one update batch: commit every base delta (all-or-nothing
-    /// validation first), then maintain every affected view. Views whose
-    /// read set is disjoint from the batch are not touched at all.
-    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<(), UpdateError> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        // Phase 1 — validate without mutating: every base must exist and
-        // every deletion must be covered, so the commit below cannot fail
-        // halfway (all-or-nothing semantics without staging copies).
+    /// Phase-1 validation of a batch without mutating anything: every
+    /// base must exist and every deletion must be covered, so a commit of
+    /// the batch cannot fail halfway (all-or-nothing semantics without
+    /// staging copies). Returns the set of affected base names. The
+    /// durability layer calls this *before* logging a batch, so the WAL
+    /// only ever contains batches that will commit on replay.
+    pub fn validate(&self, batch: &UpdateBatch) -> Result<BTreeSet<Var>, UpdateError> {
         let mut affected: BTreeSet<Var> = BTreeSet::new();
         for (name, delta) in batch.iter() {
             if delta.is_empty() {
@@ -380,6 +380,17 @@ impl ViewRuntime {
             }
             affected.insert(name.clone());
         }
+        Ok(affected)
+    }
+
+    /// Apply one update batch: commit every base delta (all-or-nothing
+    /// validation first), then maintain every affected view. Views whose
+    /// read set is disjoint from the batch are not touched at all.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<(), UpdateError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let affected = self.validate(batch)?;
         // Phase 2 — commit. Taking each bag out of the database gives the
         // patch unique ownership, so a small delta edits the sorted slice
         // in place instead of rebuilding (or copy-on-write cloning) it.
@@ -470,6 +481,25 @@ impl ViewRuntime {
             }
         }
         Ok(true)
+    }
+
+    /// Batches applied so far — the recovery layer's replay position.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Restore the batch counter after a snapshot load (durability layer
+    /// only): replayed WAL batches must resume numbering where the
+    /// snapshotted runtime left off, not at zero.
+    pub(crate) fn restore_batches(&mut self, batches: u64) {
+        self.batches = batches;
+    }
+
+    /// Restore a dropped-view tombstone from a snapshot (durability layer
+    /// only). Bypasses `drop_failed` — the view is already gone; only the
+    /// record survives.
+    pub(crate) fn restore_tombstone(&mut self, name: &str, record: DroppedView) {
+        self.dropped.insert(name.to_owned(), record);
     }
 
     /// Aggregate instrumentation.

@@ -1,0 +1,509 @@
+//! Crash-recovery kill matrix and corrupt-WAL regressions.
+//!
+//! The durability contract under test: after a crash at **any** byte of
+//! the WAL and at every checkpoint crash point, reopening the data
+//! directory yields a runtime differentially equal to a never-crashed
+//! in-process twin that applied exactly the acked operations — every
+//! acked batch present, every unacked batch absent, every view verified
+//! green. The same seeded operation stream is driven through every
+//! injected crash point; cut offsets cover record boundaries, boundary±1
+//! (torn header / one spare byte), mid-header, and mid-payload.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use balg_core::bag::Bag;
+use balg_core::eval::Limits;
+use balg_core::expr::Expr;
+use balg_core::value::Value;
+use balg_incremental::prelude::*;
+
+/// A unique scratch directory (no tempfile crate in the container); the
+/// test removes it on success and leaves it for inspection on failure.
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("balg-recovery-{tag}-{}-{n}", std::process::id()))
+}
+
+fn cleanup(dir: &PathBuf) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn pair(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+/// One step of the scenario every crash point replays.
+#[derive(Clone, Debug)]
+enum Op {
+    Load(&'static str, Vec<(i64, i64)>),
+    View(&'static str, Expr),
+    Batch(Vec<(&'static str, i64, i64, bool)>), // (base, a, b, delete?)
+    Drop(&'static str),
+}
+
+/// The seeded operation stream: two bases, three views (linear
+/// projection, bilinear product, non-linear subtract — so replay
+/// exercises delta rules *and* fallback recomputes), then a mixed run of
+/// update batches including a view drop and a base rebase.
+fn scenario() -> Vec<Op> {
+    let mut ops = vec![
+        Op::Load("R", vec![(1, 2), (2, 3), (2, 3)]),
+        Op::Load("S", vec![(2, 3), (9, 9)]),
+        Op::View("rev", Expr::var("R").project(&[2, 1])),
+        Op::View("prod", Expr::var("R").product(Expr::var("S"))),
+        Op::View("diff", Expr::var("R").subtract(Expr::var("S"))),
+    ];
+    // A deterministic pseudo-random mix (xorshift — no rand dependency
+    // needed here) of inserts and guaranteed-valid deletes.
+    let mut state = 0x9E37_79B9u64;
+    let mut step = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut present: Vec<(i64, i64)> = vec![(1, 2), (2, 3), (2, 3)];
+    for i in 0..12 {
+        let mut batch = Vec::new();
+        for _ in 0..=(step() % 3) {
+            let a = (step() % 5) as i64;
+            let b = (step() % 5) as i64;
+            batch.push(("R", a, b, false));
+            present.push((a, b));
+        }
+        if step().is_multiple_of(2) && present.len() > 2 {
+            let victim = present.swap_remove((step() % present.len() as u64) as usize);
+            batch.push(("R", victim.0, victim.1, true));
+        }
+        if i == 5 {
+            ops.push(Op::Drop("prod"));
+        }
+        if i == 7 {
+            ops.push(Op::Load("S", vec![(0, 0), (2, 3)]));
+        }
+        ops.push(Op::Batch(batch));
+    }
+    ops
+}
+
+fn to_batch(rows: &[(&'static str, i64, i64, bool)]) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for (base, a, b, delete) in rows {
+        if *delete {
+            batch.delete(base, pair(*a, *b));
+        } else {
+            batch.insert(base, pair(*a, *b));
+        }
+    }
+    batch
+}
+
+fn apply_twin(twin: &mut ViewRuntime, op: &Op) {
+    match op {
+        Op::Load(name, rows) => {
+            let _ = twin.load_base(
+                name,
+                Bag::from_values(rows.iter().map(|&(a, b)| pair(a, b))),
+            );
+        }
+        Op::View(name, expr) => {
+            let _ = twin.create_view(name, expr.clone());
+        }
+        Op::Batch(rows) => {
+            let _ = twin.apply(&to_batch(rows));
+        }
+        Op::Drop(name) => {
+            twin.drop_view(name);
+        }
+    }
+}
+
+fn apply_durable(rt: &mut DurableRuntime, op: &Op) -> Result<(), DurableError> {
+    match op {
+        Op::Load(name, rows) => rt.load_base(
+            name,
+            Bag::from_values(rows.iter().map(|&(a, b)| pair(a, b))),
+        ),
+        Op::View(name, expr) => rt.create_view(name, expr.clone()).map(|_| ()),
+        Op::Batch(rows) => rt.commit(&to_batch(rows)),
+        Op::Drop(name) => rt.drop_view(name).map(|_| ()),
+    }
+}
+
+/// Differential equality with the never-crashed twin: identical bases,
+/// identical view names and contents, identical tombstones and batch
+/// counter, and every surviving view green under `verify`.
+fn assert_same(ctx: &str, recovered: &ViewRuntime, twin: &ViewRuntime) {
+    assert_eq!(
+        recovered.database(),
+        twin.database(),
+        "{ctx}: bases diverged"
+    );
+    let rec_views: Vec<(&str, &Bag)> = recovered.views().map(|(n, v)| (n, v.result())).collect();
+    let twin_views: Vec<(&str, &Bag)> = twin.views().map(|(n, v)| (n, v.result())).collect();
+    assert_eq!(rec_views, twin_views, "{ctx}: views diverged");
+    let rec_dropped: Vec<(&str, &str, u64)> = recovered
+        .dropped()
+        .map(|(n, d)| (n, d.cause.as_str(), d.at_batch))
+        .collect();
+    let twin_dropped: Vec<(&str, &str, u64)> = twin
+        .dropped()
+        .map(|(n, d)| (n, d.cause.as_str(), d.at_batch))
+        .collect();
+    assert_eq!(rec_dropped, twin_dropped, "{ctx}: tombstones diverged");
+    assert_eq!(
+        recovered.batches(),
+        twin.batches(),
+        "{ctx}: batch counters diverged (acked/unacked mismatch)"
+    );
+    for (name, _) in recovered.views() {
+        assert!(
+            recovered.verify(name).unwrap_or(false),
+            "{ctx}: view {name} failed verify after recovery"
+        );
+    }
+}
+
+/// Drive the scenario with `fault`; returns the parallel twin holding
+/// exactly the acked operations. Ops rejected by an injected fault (or
+/// by the post-fault poison) are *not* applied to the twin; logical
+/// errors (e.g. a deterministic view drop) are applied to both sides.
+fn drive(rt: &mut DurableRuntime, fault: WalFaultPlan) -> ViewRuntime {
+    rt.set_checkpoint_policy(CheckpointPolicy::manual());
+    rt.set_fault_plan(fault);
+    let mut twin = ViewRuntime::with_limits(Limits::default());
+    for op in scenario() {
+        match apply_durable(rt, &op) {
+            Err(DurableError::Fault(_))
+            | Err(DurableError::Poisoned)
+            | Err(DurableError::Io(_)) => {}
+            _ => apply_twin(&mut twin, &op),
+        }
+    }
+    twin
+}
+
+/// The clean run's WAL record boundaries, for building the cut grid.
+fn record_boundaries() -> Vec<u64> {
+    let dir = scratch("boundaries");
+    let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    rt.set_checkpoint_policy(CheckpointPolicy::manual());
+    let mut bounds = vec![0u64];
+    for op in scenario() {
+        let _ = apply_durable(&mut rt, &op);
+        let bytes = rt.durability().wal_bytes;
+        if Some(&bytes) != bounds.last() {
+            bounds.push(bytes);
+        }
+    }
+    cleanup(&dir);
+    bounds
+}
+
+#[test]
+fn clean_reopen_equals_twin() {
+    let dir = scratch("clean");
+    let twin = {
+        let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        drive(&mut rt, WalFaultPlan::none())
+    };
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("clean reopen", reopened.runtime(), &twin);
+    assert!(reopened.durability().replayed_batches > 0);
+    cleanup(&dir);
+}
+
+#[test]
+fn kill_matrix_every_cut_offset_recovers() {
+    let bounds = record_boundaries();
+    let total = *bounds.last().unwrap();
+    // Cut grid: every record boundary, boundary ± 1, mid-header (+4),
+    // and mid-record; deduplicated and bounded by the log length.
+    let mut cuts = std::collections::BTreeSet::new();
+    for window in bounds.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        for cut in [start, start + 1, start + 4, (start + end) / 2, end - 1] {
+            if cut < total {
+                cuts.insert(cut);
+            }
+        }
+    }
+    assert!(cuts.len() > 40, "kill matrix too small: {}", cuts.len());
+    for cut in cuts {
+        let dir = scratch(&format!("cut{cut}"));
+        let twin = {
+            let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+            drive(&mut rt, WalFaultPlan::cut_wal_at(cut))
+        };
+        let reopened = DurableRuntime::open(&dir, Limits::default())
+            .unwrap_or_else(|e| panic!("reopen after cut at byte {cut} failed: {e}"));
+        assert_same(&format!("cut at byte {cut}"), reopened.runtime(), &twin);
+        // The torn tail was truncated: the next open must be clean.
+        drop(reopened);
+        let again = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        assert_same(&format!("second reopen, cut {cut}"), again.runtime(), &twin);
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_and_wal_truncation() {
+    let dir = scratch("checkpoint");
+    let twin = {
+        let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        rt.set_checkpoint_policy(CheckpointPolicy::manual());
+        let mut twin = ViewRuntime::with_limits(Limits::default());
+        for (i, op) in scenario().iter().enumerate() {
+            apply_durable(&mut rt, op).ok();
+            apply_twin(&mut twin, op);
+            if i == 8 {
+                rt.checkpoint().unwrap();
+                assert_eq!(rt.durability().wal_bytes, 0);
+                assert_eq!(rt.durability().batches_since_checkpoint, 0);
+                assert!(rt.durability().snapshot_lsn > 0);
+            }
+        }
+        assert_eq!(rt.durability().checkpoints, 1);
+        twin
+    };
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("post-checkpoint reopen", reopened.runtime(), &twin);
+    // Only the post-checkpoint tail was replayed.
+    let stats = reopened.durability();
+    assert!(stats.snapshot_lsn > 0);
+    assert!(stats.lsn > stats.snapshot_lsn);
+    cleanup(&dir);
+}
+
+#[test]
+fn checkpoint_policy_triggers_automatically() {
+    let dir = scratch("policy");
+    let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    rt.set_checkpoint_policy(CheckpointPolicy {
+        max_wal_bytes: 0,
+        max_batches: 3,
+    });
+    rt.load_base("R", Bag::from_values([pair(0, 0)])).unwrap();
+    for i in 0..10 {
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", pair(i, i));
+        rt.commit(&batch).unwrap();
+    }
+    let stats = rt.durability();
+    assert!(stats.checkpoints >= 3, "{stats:?}");
+    assert!(stats.batches_since_checkpoint < 3, "{stats:?}");
+    drop(rt);
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_eq!(
+        reopened
+            .runtime()
+            .database()
+            .get("R")
+            .unwrap()
+            .distinct_count(),
+        10 // (0,0)..(9,9); the re-inserted (0,0) only bumps multiplicity
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn checkpoint_crash_points_recover() {
+    for (tag, fault) in [
+        (
+            "write",
+            WalFaultPlan {
+                crash_checkpoint_write: true,
+                ..WalFaultPlan::default()
+            },
+        ),
+        (
+            "rename",
+            WalFaultPlan {
+                crash_checkpoint_rename: true,
+                ..WalFaultPlan::default()
+            },
+        ),
+        (
+            "truncate",
+            WalFaultPlan {
+                crash_checkpoint_truncate: true,
+                ..WalFaultPlan::default()
+            },
+        ),
+    ] {
+        let dir = scratch(&format!("ckpt-{tag}"));
+        let twin = {
+            let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+            rt.set_checkpoint_policy(CheckpointPolicy::manual());
+            let mut twin = ViewRuntime::with_limits(Limits::default());
+            for op in scenario() {
+                apply_durable(&mut rt, &op).ok();
+                apply_twin(&mut twin, &op);
+            }
+            // The checkpoint crashes, but every op above was already
+            // acked — recovery must lose none of them.
+            rt.set_fault_plan(fault);
+            assert!(matches!(rt.checkpoint(), Err(DurableError::Fault(_))));
+            assert!(matches!(
+                rt.commit(&UpdateBatch::new()),
+                Err(DurableError::Poisoned)
+            ));
+            twin
+        };
+        let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        assert_same(
+            &format!("checkpoint crash at {tag}"),
+            reopened.runtime(),
+            &twin,
+        );
+        // A leftover snapshot.tmp must be gone after open.
+        assert!(!dir.join("snapshot.tmp").exists());
+        // And the directory must still checkpoint cleanly afterwards.
+        let mut reopened = reopened;
+        reopened.checkpoint().unwrap();
+        drop(reopened);
+        let again = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        assert_same(
+            &format!("post-recovery checkpoint, {tag}"),
+            again.runtime(),
+            &twin,
+        );
+        cleanup(&dir);
+    }
+}
+
+/// Build a small two-record WAL directory and return (dir, twin of the
+/// full state, twin of the state with the last batch missing).
+fn two_batch_dir(tag: &str) -> (PathBuf, ViewRuntime, ViewRuntime) {
+    let dir = scratch(tag);
+    let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    rt.set_checkpoint_policy(CheckpointPolicy::manual());
+    rt.load_base("R", Bag::from_values([pair(1, 1)])).unwrap();
+    rt.create_view("rev", Expr::var("R").project(&[2, 1]))
+        .unwrap();
+    let mut full = ViewRuntime::new();
+    full.load_base("R", Bag::from_values([pair(1, 1)])).unwrap();
+    full.create_view("rev", Expr::var("R").project(&[2, 1]))
+        .unwrap();
+    let mut prefix = full.clone();
+    let mut b1 = UpdateBatch::new();
+    b1.insert("R", pair(2, 2));
+    rt.commit(&b1).unwrap();
+    full.apply(&b1).unwrap();
+    prefix.apply(&b1).unwrap();
+    let mut b2 = UpdateBatch::new();
+    b2.insert("R", pair(3, 3));
+    rt.commit(&b2).unwrap();
+    full.apply(&b2).unwrap();
+    (dir, full, prefix)
+}
+
+#[test]
+fn corrupt_tail_bad_crc_is_truncated() {
+    let (dir, _full, prefix) = two_batch_dir("badcrc");
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // Flip a bit in the last record's payload: CRC mismatch.
+    let last = bytes.len() - 3;
+    bytes[last] ^= 0x01;
+    std::fs::write(&wal, &bytes).unwrap();
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("bad CRC tail", reopened.runtime(), &prefix);
+    // The log shrank to the good prefix on disk, not just in memory.
+    assert!(std::fs::metadata(&wal).unwrap().len() < bytes.len() as u64);
+    cleanup(&dir);
+}
+
+#[test]
+fn corrupt_tail_short_read_is_truncated() {
+    let (dir, _full, prefix) = two_batch_dir("short");
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    // Drop the last few bytes: the final record ends mid-payload.
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("short read tail", reopened.runtime(), &prefix);
+    cleanup(&dir);
+}
+
+#[test]
+fn corrupt_tail_zero_filled_is_truncated() {
+    let (dir, full, _prefix) = two_batch_dir("zeros");
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    // A pre-allocated-but-never-written region after the last record.
+    bytes.extend_from_slice(&[0u8; 256]);
+    std::fs::write(&wal, &bytes).unwrap();
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("zero-filled tail", reopened.runtime(), &full);
+    assert_eq!(
+        std::fs::metadata(&wal).unwrap().len(),
+        bytes.len() as u64 - 256,
+        "zero fill must be truncated away"
+    );
+    cleanup(&dir);
+}
+
+#[test]
+fn recovery_continues_cleanly_after_truncation() {
+    let (dir, _full, prefix) = two_batch_dir("continue");
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 5]).unwrap();
+    // Reopen (truncates), append new commits, reopen again: the log must
+    // extend cleanly from the truncation point.
+    let mut twin = prefix;
+    {
+        let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert("R", pair(7, 7));
+        rt.commit(&batch).unwrap();
+        twin.apply(&batch).unwrap();
+    }
+    let reopened = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_same("append after truncation", reopened.runtime(), &twin);
+    cleanup(&dir);
+}
+
+#[test]
+fn metas_survive_crash_and_checkpoint() {
+    let dir = scratch("metas");
+    {
+        let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        rt.set_meta("table:orders", Some("customer:0,qty:1"))
+            .unwrap();
+        rt.set_meta("doomed", Some("x")).unwrap();
+        rt.set_meta("doomed", None).unwrap();
+    }
+    {
+        let mut rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+        assert_eq!(rt.meta("table:orders"), Some("customer:0,qty:1"));
+        assert_eq!(rt.meta("doomed"), None);
+        rt.checkpoint().unwrap();
+        rt.set_meta("post", Some("ckpt")).unwrap();
+    }
+    let rt = DurableRuntime::open(&dir, Limits::default()).unwrap();
+    assert_eq!(rt.meta("table:orders"), Some("customer:0,qty:1"));
+    assert_eq!(rt.meta("post"), Some("ckpt"));
+    assert_eq!(rt.metas().count(), 2);
+    cleanup(&dir);
+}
+
+#[test]
+fn view_runtime_open_spelling_works() {
+    let dir = scratch("open-spelling");
+    {
+        let mut rt = ViewRuntime::open(&dir).unwrap();
+        rt.load_base("R", Bag::from_values([pair(1, 2)])).unwrap();
+    }
+    let rt = ViewRuntime::open(&dir).unwrap();
+    assert!(rt
+        .runtime()
+        .database()
+        .get("R")
+        .unwrap()
+        .contains(&pair(1, 2)));
+    cleanup(&dir);
+}

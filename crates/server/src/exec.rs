@@ -79,7 +79,7 @@ pub fn route(line: &str) -> Route {
         .unwrap_or("")
         .to_ascii_uppercase();
     match first.as_str() {
-        "CREATE" | "INSERT" | "DELETE" => Route::Write,
+        "CREATE" | "INSERT" | "DELETE" | "CHECKPOINT" => Route::Write,
         _ => Route::Read,
     }
 }
@@ -263,6 +263,14 @@ fn render_stats(rt: &SqlRuntime) -> String {
         out.push_str(&format!(
             "\ndropped view {name} (batch {}): {}",
             record.at_batch, record.cause
+        ));
+    }
+    // In-memory runtimes have no durability line at all, so a serial twin
+    // and a memory-mode server still render `:stats` byte-identically.
+    if let Some(d) = rt.durability() {
+        out.push_str(&format!(
+            "\ndurable: lsn {}, snapshot lsn {}, {} WAL bytes since checkpoint, {} batches replayed at open, {} checkpoints",
+            d.lsn, d.snapshot_lsn, d.wal_bytes, d.replayed_batches, d.checkpoints
         ));
     }
     out

@@ -23,10 +23,12 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 use balg_core::eval::Limits;
 use balg_core::schema::Database;
@@ -38,8 +40,10 @@ use crate::frame::{encode_reply, read_frame, write_frame, MAX_FRAME};
 /// Tunables for one server instance.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Bound of the writer's job queue — senders block past this
-    /// (backpressure instead of unbounded memory).
+    /// Bound of the writer's job queue. A write arriving while the queue
+    /// is full is **rejected immediately** with a structured `busy` reply
+    /// carrying a retry hint — admission control instead of unbounded
+    /// blocking — and counted in `:stats`.
     pub writer_queue: usize,
     /// Maximum write statements applied between two snapshot
     /// publications. Larger batches amortize snapshot construction;
@@ -51,6 +55,14 @@ pub struct ServerConfig {
     pub max_frame: u32,
     /// Evaluation budgets for queries and view maintenance.
     pub limits: Limits,
+    /// Serve durably out of this directory: the latest snapshot is
+    /// loaded, the WAL replayed, and every committed write fsynced (one
+    /// group sync per drained writer batch) **before** it is acked.
+    pub data_dir: Option<PathBuf>,
+    /// Per-session read timeout: a session idle past this is closed
+    /// cleanly (counted in `:stats`). `None` means sessions may idle
+    /// forever.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +73,8 @@ impl Default for ServerConfig {
             index_capacity: None,
             max_frame: MAX_FRAME,
             limits: Limits::default(),
+            data_dir: None,
+            read_timeout: None,
         }
     }
 }
@@ -79,6 +93,11 @@ struct Shared {
     writer: Mutex<Option<SyncSender<WriteJob>>>,
     shutdown: AtomicBool,
     max_frame: u32,
+    read_timeout: Option<Duration>,
+    /// Writes rejected at admission because the writer queue was full.
+    busy_rejections: AtomicU64,
+    /// Sessions closed for idling past the read timeout.
+    idle_closes: AtomicU64,
 }
 
 /// A running SQL server. Dropping it shuts it down.
@@ -98,7 +117,29 @@ impl SqlServer {
         db: Database,
         config: ServerConfig,
     ) -> io::Result<SqlServer> {
-        let mut rt = SqlRuntime::with_limits(catalog, db, config.limits.clone());
+        let mut rt = match &config.data_dir {
+            None => SqlRuntime::with_limits(catalog, db, config.limits.clone()),
+            Some(dir) => {
+                let mut rt = SqlRuntime::open(catalog, dir, config.limits.clone())
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                // Seed bases the directory doesn't know yet (a fresh
+                // directory with initial data); existing state wins.
+                let seed: Vec<(String, balg_core::bag::Bag)> = db
+                    .iter()
+                    .filter(|(name, _)| rt.runtime().database().get(name).is_none())
+                    .map(|(name, bag)| (name.to_string(), bag.clone()))
+                    .collect();
+                for (name, bag) in seed {
+                    rt.backend_mut()
+                        .load_base(&name, bag)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                }
+                // The writer thread group-commits: one fsync per drained
+                // batch, before any of its acks.
+                rt.backend_mut().set_sync_on_commit(false);
+                rt
+            }
+        };
         if let Some(capacity) = config.index_capacity {
             rt.set_index_capacity(capacity);
         }
@@ -110,6 +151,9 @@ impl SqlServer {
             writer: Mutex::new(Some(sender)),
             shutdown: AtomicBool::new(false),
             max_frame: config.max_frame,
+            read_timeout: config.read_timeout,
+            busy_rejections: AtomicU64::new(0),
+            idle_closes: AtomicU64::new(0),
         });
         let writer = {
             let shared = Arc::clone(&shared);
@@ -185,14 +229,44 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn session_loop(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(shared.read_timeout);
     loop {
-        let Some(payload) = read_frame(&mut stream, shared.max_frame)? else {
-            return Ok(());
+        let payload = match read_frame(&mut stream, shared.max_frame) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            // A read timeout means the session idled past the configured
+            // limit: close it cleanly (the client sees EOF) and count it.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                shared.idle_closes.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         };
         let line = String::from_utf8_lossy(&payload).into_owned();
         let reply = dispatch(&line, shared);
         write_frame(&mut stream, &encode_reply(&reply))?;
     }
+}
+
+/// Server-level counter lines appended to `:stats` replies. Only emitted
+/// when an incident actually happened, so an idle server's `:stats` stays
+/// byte-identical to its serial twin's.
+fn server_stats_suffix(shared: &Shared) -> String {
+    let busy = shared.busy_rejections.load(Ordering::Relaxed);
+    let idle = shared.idle_closes.load(Ordering::Relaxed);
+    let mut out = String::new();
+    if busy > 0 {
+        out.push_str(&format!("\nserver: {busy} writes rejected busy"));
+    }
+    if idle > 0 {
+        out.push_str(&format!("\nserver: {idle} sessions closed idle"));
+    }
+    out
 }
 
 fn dispatch(line: &str, shared: &Shared) -> Reply {
@@ -213,13 +287,30 @@ fn dispatch(line: &str, shared: &Shared) -> Reply {
                 line: line.to_owned(),
                 reply: reply_tx,
             };
-            if sender.send(job).is_err() {
-                return Reply::err("server is shutting down");
+            // Admission control: a full queue answers *now* with a busy
+            // reply instead of blocking the session on the writer.
+            match sender.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    return Reply::err("busy: writer queue is full, retry shortly");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Reply::err("server is shutting down");
+                }
             }
-            match reply_rx.recv() {
+            let mut reply = match reply_rx.recv() {
                 Ok(reply) => reply,
-                Err(_) => Reply::err("writer terminated before replying"),
+                Err(_) => return Reply::err("writer terminated before replying"),
+            };
+            let is_stats = line
+                .trim_start()
+                .strip_prefix(':')
+                .is_some_and(|rest| rest.split_whitespace().next() == Some("stats"));
+            if reply.ok && is_stats {
+                reply.text.push_str(&server_stats_suffix(shared));
             }
+            reply
         }
     }
 }
@@ -234,7 +325,7 @@ fn writer_loop(mut rt: SqlRuntime, receiver: Receiver<WriteJob>, shared: &Shared
                 Err(_) => break,
             }
         }
-        let replies: Vec<(mpsc::Sender<Reply>, Reply)> = jobs
+        let mut replies: Vec<(mpsc::Sender<Reply>, Reply)> = jobs
             .into_iter()
             .map(|job| {
                 let reply = execute_write(&mut rt, &job.line);
@@ -242,6 +333,18 @@ fn writer_loop(mut rt: SqlRuntime, receiver: Receiver<WriteJob>, shared: &Shared
                 (job.reply, reply)
             })
             .collect();
+        // Group commit: every statement above was logged unsynced; one
+        // fsync makes the whole batch durable before any of it is acked
+        // (no-op for an in-memory server). If the sync fails, nothing may
+        // be acked as committed — every success in the batch becomes an
+        // error, since its durability is unknown.
+        if let Err(e) = rt.backend_mut().sync_wal() {
+            for (_, reply) in &mut replies {
+                if reply.ok {
+                    *reply = Reply::err(format!("commit not durable: {e}"));
+                }
+            }
+        }
         // Publish BEFORE acking (read-your-writes): a client that has
         // its ack in hand can only ever read this snapshot or a later
         // one. A send can fail only if the session already vanished.

@@ -1,0 +1,196 @@
+//! Server-level durability and robustness: restart recovery over real
+//! TCP, writer-queue admission control, and idle-session timeouts.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use balg_core::schema::Database;
+use balg_server::prelude::*;
+use balg_sql::prelude::{database_from_rows, Catalog, SqlValue};
+
+/// Fresh per-test scratch directory (no tempdir crate in the tree).
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("balg-server-{tag}-{}-{n}", std::process::id()));
+    if dir.exists() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    dir
+}
+
+fn cleanup(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn durable_server_survives_restart() {
+    let dir = scratch("restart");
+    let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
+
+    {
+        let config = ServerConfig {
+            data_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let server = SqlServer::spawn(
+            "127.0.0.1:0",
+            catalog,
+            database_from_rows(&Catalog::new(), &[]).unwrap(),
+            config,
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+
+        let reply = client
+            .request("INSERT INTO orders VALUES ('ann', 3), ('bob', 5)")
+            .unwrap();
+        assert!(reply.ok, "{}", reply.text);
+        let reply = client
+            .request("CREATE VIEW big AS SELECT customer FROM orders WHERE qty >= 4")
+            .unwrap();
+        assert!(reply.ok, "{}", reply.text);
+
+        // CHECKPOINT routes through the writer and compacts the log.
+        let reply = client.request("CHECKPOINT").unwrap();
+        assert!(reply.ok, "{}", reply.text);
+        assert!(reply.text.contains("checkpoint complete"), "{}", reply.text);
+
+        // A post-checkpoint write lands in the fresh WAL tail.
+        let reply = client
+            .request("INSERT INTO orders VALUES ('cleo', 9)")
+            .unwrap();
+        assert!(reply.ok, "{}", reply.text);
+
+        let stats = client.request(":stats").unwrap();
+        assert!(stats.ok);
+        assert!(stats.text.contains("durable: lsn"), "{}", stats.text);
+        server.shutdown();
+    }
+
+    // Reopen with an EMPTY catalog: schema, view, and data all come back
+    // from the directory (metas + snapshot + WAL replay).
+    let config = ServerConfig {
+        data_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let server = SqlServer::spawn("127.0.0.1:0", Catalog::new(), Database::new(), config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let rows = client.request("SELECT customer FROM orders").unwrap();
+    assert!(rows.ok, "{}", rows.text);
+    for name in ["ann", "bob", "cleo"] {
+        assert!(rows.text.contains(name), "missing {name}: {}", rows.text);
+    }
+    let rows = client.request(":rows big").unwrap();
+    assert!(rows.ok, "{}", rows.text);
+    assert!(rows.text.contains("bob"), "{}", rows.text);
+    assert!(rows.text.contains("cleo"), "{}", rows.text);
+    assert!(!rows.text.contains("ann"), "{}", rows.text);
+    assert_eq!(client.request(":check").unwrap(), Reply::ok("consistent"));
+    let stats = client.request(":stats").unwrap();
+    assert!(
+        stats.text.contains("batches replayed at open"),
+        "{}",
+        stats.text
+    );
+
+    // The recovered instance keeps serving writes durably.
+    let reply = client
+        .request("INSERT INTO orders VALUES ('dave', 1)")
+        .unwrap();
+    assert!(reply.ok, "{}", reply.text);
+    server.shutdown();
+    cleanup(&dir);
+}
+
+#[test]
+fn full_writer_queue_rejects_with_busy_instead_of_blocking() {
+    // 600 seed rows make the cross-product view materialization a
+    // genuinely slow write, so the writer is provably mid-job while we
+    // probe the one-slot queue.
+    let catalog = Catalog::new().with_table("t", &[("v", true)]);
+    let rows: Vec<Vec<SqlValue>> = (0..600i64).map(|v| vec![SqlValue::Int(v)]).collect();
+    let db = database_from_rows(&catalog, &[("t", rows)]).unwrap();
+    let config = ServerConfig {
+        writer_queue: 1,
+        write_batch: 1,
+        ..ServerConfig::default()
+    };
+    let server = SqlServer::spawn("127.0.0.1:0", catalog, db, config).unwrap();
+
+    // Occupy the writer with the slow CREATE VIEW from a side thread.
+    let addr = server.addr();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .request("CREATE VIEW pairs AS SELECT a.v, b.v FROM t a, t b")
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    // Fill the single queue slot from another side thread…
+    let queued = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request("INSERT INTO t VALUES (1000)").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    // …so this write finds the queue full and is rejected immediately,
+    // well before the slow job completes.
+    let mut client = Client::connect(addr).unwrap();
+    let started = std::time::Instant::now();
+    let reply = client.request("INSERT INTO t VALUES (2000)").unwrap();
+    assert!(!reply.ok, "{}", reply.text);
+    assert!(reply.text.contains("busy"), "{}", reply.text);
+    assert!(reply.text.contains("retry"), "{}", reply.text);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "busy reply should not wait for the slow writer"
+    );
+
+    let slow = slow.join().unwrap();
+    assert!(slow.ok, "{}", slow.text);
+    let queued = queued.join().unwrap();
+    assert!(queued.ok, "{}", queued.text);
+
+    // The rejection is observable, and the accepted writes all landed.
+    let stats = client.request(":stats").unwrap();
+    assert!(
+        stats.text.contains("1 writes rejected busy"),
+        "{}",
+        stats.text
+    );
+    assert_eq!(client.request(":check").unwrap(), Reply::ok("consistent"));
+    let rows = client.request("SELECT v FROM t WHERE v >= 1000").unwrap();
+    assert_eq!(rows.text.lines().last(), Some("(1 rows)"), "{}", rows.text);
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_closed_after_the_read_timeout() {
+    let catalog = Catalog::new().with_table("t", &[("v", true)]);
+    let db = database_from_rows(&catalog, &[]).unwrap();
+    let config = ServerConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    };
+    let server = SqlServer::spawn("127.0.0.1:0", catalog, db, config).unwrap();
+
+    let mut idle = Client::connect(server.addr()).unwrap();
+    assert!(idle.request(":ping").unwrap().ok);
+    std::thread::sleep(Duration::from_millis(400));
+    // The server closed the session while we idled: the next request
+    // fails instead of hanging.
+    assert!(idle.request(":ping").is_err());
+
+    // An active session keeps working, and the close is observable.
+    let mut fresh = Client::connect(server.addr()).unwrap();
+    assert!(fresh.request(":ping").unwrap().ok);
+    let stats = fresh.request(":stats").unwrap();
+    assert!(
+        stats.text.contains("1 sessions closed idle"),
+        "{}",
+        stats.text
+    );
+    server.shutdown();
+}

@@ -437,6 +437,9 @@ pub enum SqlError {
     Decode(String),
     /// An update statement was rejected by the incremental view runtime.
     Update(balg_incremental::UpdateError),
+    /// The durability layer failed (or a durable-only statement such as
+    /// `CHECKPOINT` was issued against an in-memory session).
+    Durability(String),
 }
 
 impl fmt::Display for SqlError {
@@ -447,6 +450,7 @@ impl fmt::Display for SqlError {
             SqlError::Eval(e) => write!(f, "{e}"),
             SqlError::Decode(what) => write!(f, "decode failure: {what}"),
             SqlError::Update(e) => write!(f, "{e}"),
+            SqlError::Durability(what) => write!(f, "durability error: {what}"),
         }
     }
 }

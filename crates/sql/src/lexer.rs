@@ -71,6 +71,7 @@ pub enum Keyword {
     Into,
     Values,
     Delete,
+    Checkpoint,
 }
 
 impl Keyword {
@@ -97,6 +98,7 @@ impl Keyword {
             "INTO" => Keyword::Into,
             "VALUES" => Keyword::Values,
             "DELETE" => Keyword::Delete,
+            "CHECKPOINT" => Keyword::Checkpoint,
             _ => return None,
         })
     }

@@ -11,10 +11,11 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 
 use balg_core::eval::{Evaluator, Limits};
 use balg_core::value::Value;
-use balg_incremental::{UpdateBatch, ViewRuntime};
+use balg_incremental::{AnyRuntime, DurableError, DurableRuntime, UpdateBatch, ViewRuntime};
 
 use crate::ast::Query;
 use crate::catalog::{encode_value, Catalog, Column, SqlValue, Table};
@@ -49,6 +50,8 @@ pub enum Statement {
         /// The literal rows.
         rows: Vec<Vec<SqlValue>>,
     },
+    /// `CHECKPOINT` — snapshot the durable runtime and truncate its WAL.
+    Checkpoint,
 }
 
 /// `KEYWORD` or a statement-specific error message.
@@ -130,6 +133,11 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
             let rows = rows(&mut p)?;
             Ok(Statement::Delete { table, rows })
         }
+        Some(Token::Keyword(Keyword::Checkpoint)) => {
+            let p = Parser { tokens, pos: 1 };
+            p.expect_end()?;
+            Ok(Statement::Checkpoint)
+        }
         _ => Ok(Statement::Query(parse_query_from(tokens, 0)?)),
     }
 }
@@ -155,6 +163,12 @@ pub enum Response {
         /// Rows deleted (counting duplicates).
         deleted: u64,
     },
+    /// A `CHECKPOINT` completed: the snapshot covers everything up to
+    /// `lsn` and the WAL was truncated.
+    Checkpointed {
+        /// The snapshot's log sequence number.
+        lsn: u64,
+    },
 }
 
 impl fmt::Display for Response {
@@ -175,15 +189,56 @@ impl fmt::Display for Response {
                 inserted,
                 deleted,
             } => write!(f, "{table}: +{inserted} -{deleted}"),
+            Response::Checkpointed { lsn } => {
+                write!(f, "checkpoint complete (snapshot lsn {lsn})")
+            }
         }
     }
 }
 
-/// A SQL session with maintained views: a catalog, a
-/// [`ViewRuntime`], and the output shapes of registered views.
+/// Map a durability-layer failure into SQL space: logical rejections
+/// keep their structure, infrastructure failures become
+/// [`SqlError::Durability`].
+fn durable_err(error: DurableError) -> SqlError {
+    match error {
+        DurableError::Update(e) => SqlError::Update(e),
+        other => SqlError::Durability(other.to_string()),
+    }
+}
+
+/// `name:flag,…` — the meta-record encoding of a column list (SQL
+/// identifiers cannot contain `,` or `:`, so the format is unambiguous).
+fn encode_columns(columns: &[Column]) -> String {
+    columns
+        .iter()
+        .map(|c| format!("{}:{}", c.name, u8::from(c.numeric)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_columns(text: &str) -> Result<Vec<Column>, SqlError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            let (name, flag) = part
+                .rsplit_once(':')
+                .ok_or_else(|| SqlError::Durability(format!("bad column meta {part:?}")))?;
+            Ok(Column {
+                name: name.to_owned(),
+                numeric: flag == "1",
+            })
+        })
+        .collect()
+}
+
+/// A SQL session with maintained views: a catalog, a runtime (in-memory
+/// or WAL-backed — see [`SqlRuntime::open`]), and the output shapes of
+/// registered views.
 pub struct SqlRuntime {
     catalog: Catalog,
-    runtime: ViewRuntime,
+    backend: AnyRuntime,
     view_columns: BTreeMap<String, Vec<Column>>,
 }
 
@@ -211,9 +266,66 @@ impl SqlRuntime {
         }
         SqlRuntime {
             catalog,
-            runtime,
+            backend: AnyRuntime::from(runtime),
             view_columns: BTreeMap::new(),
         }
+    }
+
+    /// A durable session over `data_dir`: loads the latest snapshot,
+    /// replays the WAL, restores the persisted catalog and view output
+    /// shapes from meta records, and declares any table in `catalog` the
+    /// directory doesn't know yet (so a fresh directory and a reopened
+    /// one go through the same call).
+    pub fn open(
+        catalog: Catalog,
+        data_dir: impl AsRef<Path>,
+        limits: Limits,
+    ) -> Result<SqlRuntime, SqlError> {
+        let durable = DurableRuntime::open(data_dir, limits).map_err(durable_err)?;
+        let mut rt = SqlRuntime {
+            catalog: Catalog::new(),
+            backend: AnyRuntime::from(durable),
+            view_columns: BTreeMap::new(),
+        };
+        // Persisted schema first: it is the authoritative record of what
+        // the directory's bags and views mean.
+        let mut persisted: Vec<(String, String)> = Vec::new();
+        for (key, value) in rt.backend.metas() {
+            persisted.push((key.to_owned(), value.to_owned()));
+        }
+        for (key, value) in persisted {
+            if let Some(table) = key.strip_prefix("table:") {
+                let columns = decode_columns(&value)?;
+                let refs: Vec<(&str, bool)> = columns
+                    .iter()
+                    .map(|c| (c.name.as_str(), c.numeric))
+                    .collect();
+                rt.catalog.declare(table, &refs);
+            } else if let Some(view) = key.strip_prefix("viewcols:") {
+                rt.view_columns
+                    .insert(view.to_owned(), decode_columns(&value)?);
+            }
+        }
+        // A replayed runtime may have dropped views (deterministic
+        // maintenance failures re-happen on replay); drop their shapes.
+        rt.view_columns
+            .retain(|name, _| rt.backend.runtime().view(name).is_some());
+        // Then the caller's catalog: new tables are declared (and
+        // persisted); already-known tables must not be silently reshaped.
+        let fresh: Vec<Table> = catalog
+            .tables()
+            .filter(|t| rt.catalog.get(&t.name).is_none())
+            .cloned()
+            .collect();
+        for table in fresh {
+            let refs: Vec<(&str, bool)> = table
+                .columns
+                .iter()
+                .map(|c| (c.name.as_str(), c.numeric))
+                .collect();
+            rt.declare_table(&table.name, &refs)?;
+        }
+        Ok(rt)
     }
 
     /// The table catalog.
@@ -223,22 +335,46 @@ impl SqlRuntime {
 
     /// The underlying view runtime (current database, stats, checks).
     pub fn runtime(&self) -> &ViewRuntime {
-        &self.runtime
+        self.backend.runtime()
+    }
+
+    /// The backing runtime — memory or durable (server tuning: group
+    /// commit, fsync control, durability counters).
+    pub fn backend(&self) -> &AnyRuntime {
+        &self.backend
+    }
+
+    /// Mutable access to the backing runtime.
+    pub fn backend_mut(&mut self) -> &mut AnyRuntime {
+        &mut self.backend
+    }
+
+    /// Durability counters (`None` for in-memory sessions).
+    pub fn durability(&self) -> Option<balg_incremental::Durability> {
+        self.backend.durability()
     }
 
     /// Declare a fresh table after construction (served sessions declare
     /// tables at runtime). The new table starts empty; the name must be
-    /// free of both tables and views.
+    /// free of both tables and views. Durable sessions persist the
+    /// declaration, so a reopened directory speaks the same schema.
     pub fn declare_table(&mut self, name: &str, columns: &[(&str, bool)]) -> Result<(), SqlError> {
-        if self.catalog.get(name).is_some() || self.runtime.view(name).is_some() {
+        if self.catalog.get(name).is_some() || self.backend.runtime().view(name).is_some() {
             return Err(SqlError::Compile(
                 crate::compile::CompileError::TableExists(name.to_owned()),
             ));
         }
         self.catalog.declare(name, columns);
-        self.runtime
-            .load_base(name, balg_core::bag::Bag::new())
-            .map_err(SqlError::Update)
+        let encoded = encode_columns(&self.catalog.get(name).expect("just declared").columns);
+        self.backend
+            .set_meta(&format!("table:{name}"), Some(&encoded))
+            .map_err(durable_err)?;
+        if self.backend.runtime().database().get(name).is_none() {
+            self.backend
+                .load_base(name, balg_core::bag::Bag::new())
+                .map_err(durable_err)?;
+        }
+        Ok(())
     }
 
     /// The cached output shape of a registered view (`None` for unknown
@@ -251,7 +387,7 @@ impl SqlRuntime {
     /// lever a server raises so 1k concurrent sessions don't thrash the
     /// hot join indexes.
     pub fn set_index_capacity(&mut self, capacity: usize) {
-        self.runtime.set_index_capacity(capacity);
+        self.backend.set_index_capacity(capacity);
     }
 
     /// Parse and execute one statement.
@@ -268,9 +404,15 @@ impl SqlRuntime {
                     ));
                 }
                 let compiled = compile_query(&query, &self.catalog).map_err(SqlError::Compile)?;
-                self.runtime
+                self.backend
                     .create_view(&name, compiled.expr)
-                    .map_err(SqlError::Update)?;
+                    .map_err(durable_err)?;
+                self.backend
+                    .set_meta(
+                        &format!("viewcols:{name}"),
+                        Some(&encode_columns(&compiled.output)),
+                    )
+                    .map_err(durable_err)?;
                 self.view_columns.insert(name.clone(), compiled.output);
                 let rows = self.view_rows(&name)?;
                 Ok(Response::ViewCreated { name, rows })
@@ -293,6 +435,14 @@ impl SqlRuntime {
                     deleted: count,
                 })
             }
+            Statement::Checkpoint => match self.backend.checkpoint().map_err(durable_err)? {
+                Some(durability) => Ok(Response::Checkpointed {
+                    lsn: durability.snapshot_lsn,
+                }),
+                None => Err(SqlError::Durability(
+                    "CHECKPOINT requires a durable session (--data-dir)".to_owned(),
+                )),
+            },
         }
     }
 
@@ -301,25 +451,28 @@ impl SqlRuntime {
     /// maintenance) is unknown here even if its output shape is still
     /// cached.
     pub fn view_rows(&self, name: &str) -> Result<QueryResult, SqlError> {
-        let bag = self
-            .runtime
+        let runtime = self.backend.runtime();
+        let bag = runtime
             .view(name)
-            .ok_or_else(|| SqlError::Update(self.runtime.missing_view_error(name)))?;
+            .ok_or_else(|| SqlError::Update(runtime.missing_view_error(name)))?;
         let columns = self
             .view_columns
             .get(name)
-            .ok_or_else(|| SqlError::Update(self.runtime.missing_view_error(name)))?;
+            .ok_or_else(|| SqlError::Update(runtime.missing_view_error(name)))?;
         decode_result(bag, columns.clone())
     }
 
     /// Names of the registered views (as the runtime sees them).
     pub fn view_names(&self) -> impl Iterator<Item = &str> {
-        self.runtime.views().map(|(name, _)| name)
+        self.backend.runtime().views().map(|(name, _)| name)
     }
 
     /// Re-check one view against a full re-evaluation.
     pub fn verify(&self, name: &str) -> Result<bool, SqlError> {
-        self.runtime.verify(name).map_err(SqlError::Update)
+        self.backend
+            .runtime()
+            .verify(name)
+            .map_err(SqlError::Update)
     }
 
     fn encode_row(&self, table: &Table, row: &[SqlValue]) -> Result<Value, SqlError> {
@@ -369,17 +522,27 @@ impl SqlRuntime {
         }
         let mut batch = UpdateBatch::new();
         batch.merge_delta(table_name, &builder.build());
-        let result = self.runtime.apply(&batch).map_err(SqlError::Update);
+        let result = self.backend.apply(&batch).map_err(durable_err);
         // The runtime drops views whose maintenance and re-derivation
-        // both failed; keep the output-shape cache in sync.
-        self.view_columns
-            .retain(|name, _| self.runtime.view(name).is_some());
+        // both failed; keep the output-shape cache (and its persisted
+        // twin) in sync.
+        let dropped: Vec<String> = self
+            .view_columns
+            .keys()
+            .filter(|name| self.backend.runtime().view(name).is_none())
+            .cloned()
+            .collect();
+        for name in dropped {
+            self.view_columns.remove(&name);
+            let _ = self.backend.set_meta(&format!("viewcols:{name}"), None);
+        }
         result
     }
 
     fn run_query(&self, query: &Query) -> Result<QueryResult, SqlError> {
         let compiled = compile_query(query, &self.catalog).map_err(SqlError::Compile)?;
-        let mut evaluator = Evaluator::new(self.runtime.database(), self.runtime.limits().clone());
+        let runtime = self.backend.runtime();
+        let mut evaluator = Evaluator::new(runtime.database(), runtime.limits().clone());
         let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
         decode_result(&bag, compiled.output)
     }
@@ -576,6 +739,56 @@ mod tests {
             rt.view_rows("nope").unwrap_err(),
             SqlError::Update(balg_incremental::UpdateError::UnknownView(_))
         ));
+    }
+
+    #[test]
+    fn checkpoint_statement_parses_and_needs_durability() {
+        assert_eq!(parse_statement("CHECKPOINT"), Ok(Statement::Checkpoint));
+        assert_eq!(parse_statement("checkpoint"), Ok(Statement::Checkpoint));
+        assert!(parse_statement("CHECKPOINT now").is_err());
+        let mut rt = setup();
+        assert!(matches!(
+            rt.execute("CHECKPOINT"),
+            Err(SqlError::Durability(_))
+        ));
+    }
+
+    fn sql_scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("balg-sql-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn durable_session_restores_catalog_views_and_data() {
+        let dir = sql_scratch("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
+        {
+            let mut rt = SqlRuntime::open(catalog.clone(), &dir, Limits::default()).unwrap();
+            rt.execute("INSERT INTO orders VALUES ('ann', 3), ('bob', 5)")
+                .unwrap();
+            rt.execute("CREATE VIEW spenders AS SELECT customer FROM orders WHERE qty >= 4")
+                .unwrap();
+            rt.declare_table("notes", &[("body", false)]).unwrap();
+            rt.execute("INSERT INTO notes VALUES ('hi')").unwrap();
+            let Response::Checkpointed { lsn } = rt.execute("CHECKPOINT").unwrap() else {
+                panic!("expected Checkpointed");
+            };
+            assert!(lsn > 0);
+            // Post-checkpoint work lands in the fresh WAL tail.
+            rt.execute("INSERT INTO orders VALUES ('cleo', 9)").unwrap();
+        }
+        // Reopen with an *empty* caller catalog: everything must come
+        // back from the directory alone.
+        let mut rt = SqlRuntime::open(Catalog::new(), &dir, Limits::default()).unwrap();
+        assert!(rt.catalog().get("orders").is_some());
+        assert!(rt.catalog().get("notes").is_some());
+        assert_eq!(rt.view_rows("spenders").unwrap().total_rows(), 2); // bob, cleo
+        assert_eq!(rt.view_output("spenders").map(<[Column]>::len), Some(1));
+        assert!(rt.verify("spenders").unwrap());
+        // And the restored schema still accepts updates.
+        rt.execute("DELETE FROM orders VALUES ('bob', 5)").unwrap();
+        assert_eq!(rt.view_rows("spenders").unwrap().total_rows(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
