@@ -246,7 +246,7 @@ fn align(c: Compiled, target: &[ArithVar], ctx: &mut Ctx) -> Expr {
         .cloned()
         .collect();
     let mut expr = c.expr;
-    let mut combined = c.columns.clone();
+    let mut combined = c.columns;
     for m in &missing {
         expr = expr.product(ctx.domain_for(m));
         combined.push(m.clone());

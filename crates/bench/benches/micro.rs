@@ -49,15 +49,15 @@ fn counted_vs_expanded(c: &mut Criterion) {
     let b1 = workload_bag(64, 100);
     let b2 = workload_bag(64, 150);
     group.bench_function("counted_additive_union_64x100", |bench| {
-        bench.iter(|| black_box(&b1).additive_union(black_box(&b2)))
+        bench.iter(|| black_box(&b1).additive_union(black_box(&b2)));
     });
     let e1 = expand(&b1);
     let e2 = expand(&b2);
     group.bench_function("expanded_additive_union_64x100", |bench| {
-        bench.iter(|| expanded_union(black_box(&e1), black_box(&e2)))
+        bench.iter(|| expanded_union(black_box(&e1), black_box(&e2)));
     });
     group.bench_function("counted_intersect_64x100", |bench| {
-        bench.iter(|| black_box(&b1).intersect(black_box(&b2)))
+        bench.iter(|| black_box(&b1).intersect(black_box(&b2)));
     });
     group.finish();
 }
@@ -96,10 +96,10 @@ fn powerbag_binomial(c: &mut Criterion) {
     // Cross-validate once before timing.
     assert_eq!(bag.powerbag(1 << 20).unwrap(), powerbag_by_renaming(&bag));
     group.bench_function("binomial_weights_12_occurrences", |bench| {
-        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap())
+        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap());
     });
     group.bench_function("definition_5_1_renaming_12_occurrences", |bench| {
-        bench.iter(|| powerbag_by_renaming(black_box(&bag)))
+        bench.iter(|| powerbag_by_renaming(black_box(&bag)));
     });
     group.finish();
 }
@@ -115,20 +115,20 @@ fn btree_vs_sorted_vec(c: &mut Criterion) {
     };
     let probe = Value::tuple([Value::int(311)]);
     group.bench_function("btree_membership_512", |bench| {
-        bench.iter(|| black_box(&btree).contains(black_box(&probe)))
+        bench.iter(|| black_box(&btree).contains(black_box(&probe)));
     });
     group.bench_function("sorted_vec_membership_512", |bench| {
-        bench.iter(|| black_box(&sorted).binary_search(black_box(&probe)).is_ok())
+        bench.iter(|| black_box(&sorted).binary_search(black_box(&probe)).is_ok());
     });
     group.bench_function("btree_build_512", |bench| {
-        bench.iter(|| values.iter().cloned().collect::<BTreeSet<Value>>())
+        bench.iter(|| values.iter().cloned().collect::<BTreeSet<Value>>());
     });
     group.bench_function("sorted_vec_build_512", |bench| {
         bench.iter(|| {
             let mut v = values.clone();
             v.sort();
             v
-        })
+        });
     });
     group.finish();
 }
@@ -145,7 +145,7 @@ fn builder_vs_insert(c: &mut Criterion) {
                 bag.insert(v.clone());
             }
             bag
-        })
+        });
     });
     group.bench_function("builder_push_descending_512", |bench| {
         bench.iter(|| {
@@ -154,7 +154,7 @@ fn builder_vs_insert(c: &mut Criterion) {
                 builder.push_one(v.clone());
             }
             builder.build()
-        })
+        });
     });
     group.finish();
 }
@@ -178,7 +178,7 @@ fn subbag_over_powerset(c: &mut Criterion) {
                 .iter()
                 .filter(|(sub, _)| sub.as_bag().unwrap().is_subbag_of(black_box(&probe)))
                 .count()
-        })
+        });
     });
     // The memoized membership tester over the same sweep — the structure
     // the evaluator's `σ_{s ⊑ C}` stage now probes per element.
@@ -198,12 +198,12 @@ fn subbag_over_powerset(c: &mut Criterion) {
                 .iter()
                 .filter(|(sub, _)| black_box(&tester).admits(sub.as_bag().unwrap()))
                 .count()
-        })
+        });
     });
     let db = Database::new().with("P", powerset).with("C", probe);
     let q = Expr::var("P").select("s", Pred::SubBag(Expr::var("s"), Expr::var("C")));
     group.bench_function("evaluator_sigma_subbag_65536", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
     group.finish();
 }

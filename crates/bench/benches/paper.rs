@@ -44,7 +44,7 @@ fn e1(c: &mut Criterion) {
         )
         .project(&[1, 4]);
     c.bench_function("e1_occurrence_table/q_of_b_50x70", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -53,20 +53,20 @@ fn e2(c: &mut Criterion) {
     let dp = Expr::var("B").powerset().destroy();
     let ddpp = Expr::var("B").powerset().powerset().destroy().destroy();
     c.bench_function("e2_duplicate_explosion/delta_p", |bench| {
-        bench.iter(|| eval_bag(black_box(&dp), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&dp), black_box(&db)).unwrap());
     });
     c.bench_function("e2_duplicate_explosion/delta2_p2", |bench| {
-        bench.iter(|| eval_bag(black_box(&ddpp), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&ddpp), black_box(&db)).unwrap());
     });
 }
 
 fn e3(c: &mut Criterion) {
     let bag = Bag::repeated(Value::sym("a"), 12u64);
     c.bench_function("e3_powerbag_vs_powerset/powerset_n12", |bench| {
-        bench.iter(|| black_box(&bag).powerset(1 << 20).unwrap())
+        bench.iter(|| black_box(&bag).powerset(1 << 20).unwrap());
     });
     c.bench_function("e3_powerbag_vs_powerset/powerbag_n12", |bench| {
-        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap())
+        bench.iter(|| black_box(&bag).powerbag(1 << 20).unwrap());
     });
 }
 
@@ -74,7 +74,7 @@ fn e4(c: &mut Criterion) {
     let db = Database::new().with("B", workload_bag(8, 3));
     let q = balg_core::derived::dedup_via_powerset_flat(Expr::var("B"));
     c.bench_function("e4_dedup_redundancy/flat_identity", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -84,7 +84,7 @@ fn e5(c: &mut Criterion) {
         .with("B2", workload_bag(5, 5));
     let q = balg_core::derived::subtract_via_powerset(Expr::var("B1"), Expr::var("B2"));
     c.bench_function("e5_operator_identities/subtract_via_powerset", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -93,7 +93,7 @@ fn e6(c: &mut Criterion) {
     let db = Database::new().with("B", b);
     let q = average(Expr::var("B"));
     c.bench_function("e6_aggregates/average_of_8", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -101,7 +101,7 @@ fn e7(c: &mut Criterion) {
     let db = Database::new().with("G", cycle_graph(64, 5));
     let q = in_degree_gt_out_degree(Expr::var("G"), Value::int(0));
     c.bench_function("e7_degree_query/cycle64", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -114,7 +114,7 @@ fn e8(c: &mut Criterion) {
         .with("S", make(18, 1000));
     let q = card_gt(Expr::var("R"), Expr::var("S"));
     c.bench_function("e8_zero_one_law/card_gt_20_18", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -123,7 +123,7 @@ fn e9(c: &mut Criterion) {
     let db = Database::new().with("R", r);
     let q = parity_even_ordered(Expr::var("R"));
     c.bench_function("e9_parity/ordered_parity_n32", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -142,7 +142,7 @@ fn e10(c: &mut Criterion) {
     c.bench_function("e10_translation/check_prop_4_2", |bench| {
         bench.iter(|| {
             balg_relational::translate::check_prop_4_2(black_box(&expr), black_box(&db)).unwrap()
-        })
+        });
     });
 }
 
@@ -158,7 +158,7 @@ fn e11(c: &mut Criterion) {
             );
             result.unwrap();
             metrics.max_multiplicity_bits()
-        })
+        });
     });
 }
 
@@ -166,13 +166,13 @@ fn e12(c: &mut Criterion) {
     let db = unary_db(64);
     let q = Expr::var("B").powerset().destroy();
     c.bench_function("e12_balg2_space/delta_p_n64", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
 fn e13(c: &mut Criterion) {
     c.bench_function("e13_pebble_game/construct_n12", |bench| {
-        bench.iter(|| star_graphs(black_box(12)))
+        bench.iter(|| star_graphs(black_box(12)));
     });
     let (g, gp) = star_graphs(8);
     c.bench_function("e13_pebble_game/play_n8_k3", |bench| {
@@ -188,7 +188,7 @@ fn e13(c: &mut Criterion) {
                 )
             },
             BatchSize::SmallInput,
-        )
+        );
     });
 }
 
@@ -204,7 +204,7 @@ fn e14(c: &mut Criterion) {
                 Limits::default(),
             )
             .unwrap()
-        })
+        });
     });
 }
 
@@ -212,7 +212,7 @@ fn e15(c: &mut Criterion) {
     let db = unary_db(2);
     let tower = balg_machine::encoding::e_tower(Expr::var("B"), 2);
     c.bench_function("e15_hyperexp_tower/e2_of_b2", |bench| {
-        bench.iter(|| eval_bag(black_box(&tower), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&tower), black_box(&db)).unwrap());
     });
 }
 
@@ -223,7 +223,7 @@ fn e16(c: &mut Criterion) {
         bench.iter(|| {
             let compiled = compile(black_box(&tm), black_box(&input), 2);
             compiled.run(Limits::default()).unwrap().accepted
-        })
+        });
     });
 }
 
@@ -231,7 +231,7 @@ fn e17(c: &mut Criterion) {
     let db = Database::new().with("R", workload_bag(16, 4));
     let q = Expr::var("R").product(Expr::var("R")).project(&[1]);
     c.bench_function("e17_bag_vs_set_cq/pi1_rxr", |bench| {
-        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap())
+        bench.iter(|| eval_bag(black_box(&q), black_box(&db)).unwrap());
     });
 }
 
@@ -249,7 +249,7 @@ fn e18(c: &mut Criterion) {
                 black_box(&db),
             )
             .unwrap()
-        })
+        });
     });
 }
 

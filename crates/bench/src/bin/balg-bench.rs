@@ -59,7 +59,7 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&v| v > 0)
-                    .unwrap_or_else(|| die("--reps needs a positive integer"))
+                    .unwrap_or_else(|| die("--reps needs a positive integer"));
             }
             "--label" => args.label = it.next().unwrap_or_else(|| die("--label needs a value")),
             "--append" => {

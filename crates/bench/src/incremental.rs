@@ -86,18 +86,20 @@ fn plan(
     expr: Expr,
     fresh: impl FnMut(&mut StdRng) -> Value,
 ) -> Plan {
-    let base_refs: Vec<(&'static str, &Bag)> = bases
-        .iter()
-        .filter(|(n, _)| churn.contains(n))
-        .map(|(n, b)| (*n, b))
-        .collect();
-    let updates = random_stream(seed, &base_refs, fresh);
+    let updates = {
+        let base_refs: Vec<(&'static str, &Bag)> = bases
+            .iter()
+            .filter(|(n, _)| churn.contains(n))
+            .map(|(n, b)| (*n, b))
+            .collect();
+        random_stream(seed, &base_refs, fresh)
+    };
     let mut db = Database::new();
     let mut runtime = ViewRuntime::with_limits(Limits::default());
-    for (base_name, bag) in &bases {
+    for (base_name, bag) in bases {
         db.insert(base_name, bag.clone());
         runtime
-            .load_base(base_name, bag.clone())
+            .load_base(base_name, bag)
             .expect("loading into an empty runtime");
     }
     runtime

@@ -235,7 +235,7 @@ mod tests {
         );
         assert_eq!(phi.quantifier_depth(), 2);
         // Depth is max over branches, not sum.
-        let psi = phi.clone().and(CalcFormula::exists(
+        let psi = phi.and(CalcFormula::exists(
             "z",
             Type::Atom,
             CalcFormula::eq(CalcTerm::var("z"), CalcTerm::var("z")),

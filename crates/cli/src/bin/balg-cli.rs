@@ -35,8 +35,7 @@ fn main() -> ExitCode {
             .iter()
             .position(|a| a == "--tables")
             .and_then(|p| args.get(p + 1))
-            .map(String::as_str)
-            .unwrap_or("");
+            .map_or("", String::as_str);
         return serve(addr, tables, data_dir);
     }
     if let Some(pos) = args.iter().position(|a| a == "--connect") {

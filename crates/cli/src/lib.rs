@@ -130,8 +130,7 @@ impl Session {
                 for (name, bag) in self.db.iter() {
                     let ty = Value::Bag(bag.clone())
                         .infer_type()
-                        .map(|t| t.to_string())
-                        .unwrap_or_else(|| "?".into());
+                        .map_or_else(|| "?".into(), |t| t.to_string());
                     out.push_str(&format!(
                         "{name} : {ty} — {} distinct, |{name}| = {}\n",
                         bag.distinct_count(),
@@ -161,6 +160,7 @@ impl Session {
                     Response::Text(format!("{optimized}"))
                 }
             },
+            "analyze" => analyze_command(args, &self.schema()),
             other => Response::Text(format!("unknown command :{other} (:help)")),
         }
     }
@@ -184,6 +184,19 @@ impl Session {
             metrics.max_multiplicity_bits()
         );
         Ok((value, summary))
+    }
+}
+
+/// The `:analyze EXPR` command, shared by both session kinds: parse,
+/// run the static analyzer against the given schema, and render the
+/// fact report ([`balg_core::analyze::render_report`]).
+fn analyze_command(args: &str, schema: &Schema) -> Response {
+    match parse_expr(args) {
+        Err(e) => Response::Text(e.to_string()),
+        Ok(expr) => match balg_core::analyze::analyze(&expr, schema) {
+            Err(e) => Response::Text(format!("analysis error: {e}")),
+            Ok(facts) => Response::Text(balg_core::analyze::render_report(&expr, &facts)),
+        },
     }
 }
 
@@ -214,6 +227,8 @@ commands:
   :drop NAME          remove a bag
   :show               list bags with types and sizes
   :check expr         fragment analysis (BALG level, power nesting)
+  :analyze expr       static facts: type, set-ness, cost class,
+                      per-base linearity (the analyze.rs lattice)
   :optimize expr      print the rewritten expression
   :quit               leave
 anything else is parsed as a BALG expression and evaluated, e.g.
@@ -269,6 +284,18 @@ impl IncrementalSession {
             db.insert(name, view.result().clone());
         }
         db
+    }
+
+    /// The schema plain expressions see: inferred from the bases plus
+    /// the view results (the same bags [`Self::query_db`] exposes).
+    fn schema(&self) -> Schema {
+        let mut schema = Schema::new();
+        for (name, bag) in self.query_db().iter() {
+            if let Some(ty) = Value::Bag(bag.clone()).infer_type() {
+                schema = schema.with(name, ty);
+            }
+        }
+        schema
     }
 
     fn eval_bag_text(&self, text: &str) -> Result<balg_core::bag::Bag, String> {
@@ -409,6 +436,7 @@ impl IncrementalSession {
                     Err(e) => Response::Text(e.to_string()),
                 }
             }
+            "analyze" => analyze_command(args, &self.schema()),
             "dropview" => match self.backend.drop_view(args) {
                 Ok(true) => Response::Text(format!("dropped view {args}")),
                 Ok(false) => Response::Text(format!("no view named {args}")),
@@ -457,6 +485,8 @@ incremental mode — standing views maintained by the ℤ-bag delta engine:
   :check [NAME]       compare a view (or all) against full re-evaluation
   :stats              delta-engine instrumentation counters (plus WAL
                       position and replay counters when --data-dir is set)
+  :analyze expr       static facts: type, set-ness, cost class,
+                      per-base linearity (what the delta engine sees)
   :dropview NAME      unregister a view
   :checkpoint         snapshot a durable session and truncate its WAL
   :quit               leave
@@ -499,6 +529,33 @@ mod tests {
         assert!(out.contains("BALG level: 2"), "{out}");
         let out = text(session.process_line(":check ifp(T, T, G)"));
         assert!(out.contains("IFP"), "{out}");
+    }
+
+    #[test]
+    fn analyze_command_reports_facts() {
+        let mut session = Session::new();
+        session.process_line(":load G bag{ [a,b]*2, [b,c] }");
+        let out = text(session.process_line(":analyze dedup(project(G, 1))"));
+        assert!(out.contains("type: {{[U]}}"), "{out}");
+        assert!(out.contains("duplicate-free (certified)"), "{out}");
+        assert!(out.contains("cannot error"), "{out}");
+        assert!(out.contains("polynomial"), "{out}");
+        assert!(out.contains("G: non-linear"), "{out}");
+        let out = text(session.process_line(":analyze powerset(G)"));
+        assert!(out.contains("exponential"), "{out}");
+        assert!(out.contains("TooLarge risk"), "{out}");
+        // Analysis errors are messages, not panics.
+        let out = text(session.process_line(":analyze attr(G, 0)"));
+        assert!(out.contains("analysis error"), "{out}");
+        assert!(out.contains("1-based"), "{out}");
+        // The incremental session answers the same command over its
+        // bases and views.
+        let mut inc = IncrementalSession::new();
+        inc.process_line(":load G bag{ [a,b]*2 }");
+        inc.process_line(":view REV project(G, 2, 1)");
+        let out = text(inc.process_line(":analyze unionp(G, REV)"));
+        assert!(out.contains("G: linear"), "{out}");
+        assert!(out.contains("REV: linear"), "{out}");
     }
 
     #[test]

@@ -558,11 +558,7 @@ pub fn e9_parity() -> Report {
         // bag-even would be nonempty exactly at even n — check the
         // emptiness pattern is NOT alternating.
         let empt: Vec<bool> = (1..=10u64)
-            .map(|n| {
-                eval_bag(&expr, &b_n(n))
-                    .map(|b| b.is_empty())
-                    .unwrap_or(true)
-            })
+            .map(|n| eval_bag(&expr, &b_n(n)).map_or(true, |b| b.is_empty()))
             .collect();
         let alternating = empt.windows(2).all(|w| w[0] != w[1]);
         none_computes_bag_even &= !alternating;

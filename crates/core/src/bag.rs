@@ -205,6 +205,15 @@ impl Bag {
         Arc::make_mut(&mut self.elems)
     }
 
+    /// Check the representation invariant: strictly ascending keys, no
+    /// zero multiplicities. `true` on a well-formed bag. Intended for
+    /// `debug_assert!` at construction boundaries and for test harnesses;
+    /// it is `O(n)` and should not guard hot paths.
+    pub fn debug_validate(&self) -> bool {
+        self.elems.windows(2).all(|w| w[0].0 < w[1].0)
+            && self.elems.iter().all(|(_, mult)| !mult.is_zero())
+    }
+
     /// `true` iff the two bags share one copy-on-write slice allocation —
     /// the identity the [`crate::index::IndexCache`] keys cached indexes
     /// by. Shared representation implies equality; the converse does not
@@ -1139,7 +1148,9 @@ impl BagBuilder {
 
     /// Finish into a [`Bag`].
     pub fn build(self) -> Bag {
-        Bag::from_sorted_vec(self.buffer.into_sorted())
+        let bag = Bag::from_sorted_vec(self.buffer.into_sorted());
+        debug_assert!(bag.debug_validate(), "builder broke the bag invariant");
+        bag
     }
 
     /// Finish into a duplicate-free [`Bag`] (every multiplicity clamped to
@@ -1151,7 +1162,9 @@ impl BagBuilder {
                 pair.1 = Natural::one();
             }
         }
-        Bag::from_sorted_vec(sorted)
+        let bag = Bag::from_sorted_vec(sorted);
+        debug_assert!(bag.debug_validate(), "builder broke the bag invariant");
+        bag
     }
 }
 
@@ -1397,7 +1410,7 @@ mod tests {
         }
         // Every subbag present.
         assert!(ps.contains(&Value::Bag(Bag::new())));
-        assert!(ps.contains(&Value::Bag(b.clone())));
+        assert!(ps.contains(&Value::Bag(b)));
         assert!(ps.contains(&Value::Bag(bag_of(&[("a", 1), ("b", 1)]))));
     }
 

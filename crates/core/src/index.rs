@@ -187,7 +187,7 @@ impl BagIndex {
     /// All rows whose indexed attribute equals `key`, in ascending row
     /// order (empty for an absent key).
     pub fn group(&self, key: &Value) -> &[(Value, Natural)] {
-        self.groups.get(key).map(Vec::as_slice).unwrap_or(&[])
+        self.groups.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// Apply a signed delta to the index, keeping it consistent with

@@ -44,6 +44,7 @@
 //! | [`bag`]     | the counted bag representation and all primitive operators |
 //! | [`expr`]    | the BALG expression AST with first-class λ |
 //! | [`typecheck`] | type inference + fragment analysis (BALGᵏᵢ) |
+//! | [`mod@analyze`] | static analyzer: shape inference, set-ness & linearity certificates, tractability class |
 //! | [`mod@eval`] | resource-limited evaluation with metrics |
 //! | [`index`]   | per-key join indexes and memoized `SubBag` testers |
 //! | [`derived`] | aggregates, cardinality quantifiers, Prop 3.1 identities |
@@ -55,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod bag;
 pub mod derived;
 pub mod eval;
@@ -73,6 +75,10 @@ pub mod zbag;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
+    pub use crate::analyze::{
+        analyze, base_linearity, certified_duplicate_free, lambda_affected, render_report,
+        AnalyzeError, CostClass, Facts, Linearity,
+    };
     pub use crate::bag::{Bag, BagError};
     pub use crate::eval::{
         eval, eval_bag, eval_with_metrics, EvalError, Evaluator, Limits, Metrics,

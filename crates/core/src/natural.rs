@@ -627,7 +627,7 @@ mod tests {
     fn divmod_roundtrip() {
         let x = Natural::from_str("123456789012345678901234567890").unwrap();
         let (q, r) = x.divmod_u64(97);
-        let mut back = q.clone();
+        let mut back = q;
         back.mul_u64(97);
         back += &Natural::from(r);
         assert_eq!(back, x);

@@ -318,6 +318,17 @@ fn subst_pred_unchecked(pred: &Pred, var: &Var, replacement: &Expr) -> Pred {
     }
 }
 
+/// `true` when the static analyzer certifies `expr` duplicate-free —
+/// cheap syntactic lattice first, typed pass (which certifies strictly
+/// more) when the expression is closed under `schema`.
+fn certified_set(expr: &Expr, schema: &Schema) -> bool {
+    crate::analyze::certified_duplicate_free(expr)
+        || matches!(
+            crate::analyze::analyze(expr, schema),
+            Ok(facts) if facts.duplicate_free
+        )
+}
+
 /// Local rules at one node. Returns `(expr, changed)`.
 fn apply_rules(expr: Expr, schema: &Schema) -> (Expr, bool) {
     match expr {
@@ -416,6 +427,14 @@ fn apply_rules(expr: Expr, schema: &Schema) -> (Expr, bool) {
         }
 
         // --- dedup rules -------------------------------------------------
+        // ε-elimination under a set-ness certificate — the analyzer's
+        // first fact-guarded rewrite: when the static analysis certifies
+        // the operand duplicate-free, ε is the identity. The typed pass
+        // certifies strictly more than the syntactic lattice (products of
+        // sets with statically known arities); inside λ bodies, where the
+        // operand has free λ variables the schema cannot type, the
+        // syntactic lattice still applies.
+        Expr::Dedup(e) if certified_set(&e, schema) => (*e, true),
         Expr::Dedup(e) if matches!(*e, Expr::Dedup(_)) => (*e, true),
         Expr::Dedup(e) if is_empty_lit(&e) => (empty(), true),
         Expr::Dedup(e) if matches!(*e, Expr::Select { .. }) => {
@@ -726,7 +745,7 @@ fn push_select_through_product(
     if usage.iter().all(|&i| i <= left_arity) {
         // All attributes are from the left operand: σ commutes inside.
         let pushed = Expr::Select {
-            var: var.clone(),
+            var,
             pred: Box::new(pred),
             input: Box::new(left),
         };
@@ -734,7 +753,7 @@ fn push_select_through_product(
     } else if usage.iter().all(|&i| i > left_arity) {
         let shifted = shift_attrs(&pred, &var, left_arity);
         let pushed = Expr::Select {
-            var: var.clone(),
+            var,
             pred: Box::new(shifted),
             input: Box::new(right),
         };
@@ -806,6 +825,37 @@ mod tests {
         assert_eq!(before, after, "optimize changed semantics of {q}");
         // And be stable.
         assert_eq!(optimize(&optimized, &schema), optimized);
+    }
+
+    #[test]
+    fn dedup_elided_under_set_certificate() {
+        // ε(ε(G) − H): the analyzer certifies the monus of a set
+        // duplicate-free, so the outer ε vanishes.
+        let q = Expr::var("G").dedup().subtract(Expr::var("H")).dedup();
+        let out = optimize(&q, &graph_schema());
+        assert_eq!(out, Expr::var("G").dedup().subtract(Expr::var("H")));
+        assert_equivalent(&q);
+
+        // The typed certificate: a product of sets with known arities is
+        // a set, so ε(ε(G) × ε(H)) loses its outer ε (the syntactic
+        // lattice alone could not prove this).
+        let p = Expr::var("G")
+            .dedup()
+            .product(Expr::var("H").dedup())
+            .dedup();
+        let out = optimize(&p, &graph_schema());
+        let mut dedups = 0;
+        out.visit(&mut |e| {
+            if matches!(e, Expr::Dedup(_)) {
+                dedups += 1;
+            }
+        });
+        assert_eq!(dedups, 2, "outer ε should be elided: {out}");
+        assert_equivalent(&p);
+
+        // No certificate, no elision: a raw base keeps its ε.
+        let raw = Expr::var("G").dedup();
+        assert_eq!(optimize(&raw, &graph_schema()), raw);
     }
 
     #[test]

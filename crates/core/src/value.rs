@@ -393,7 +393,7 @@ mod tests {
         assert_eq!(Value::sym("a").bag_nesting(), 0);
         let flat = Value::bag([Value::sym("a")]);
         assert_eq!(flat.bag_nesting(), 1);
-        let nested = Value::bag([flat.clone()]);
+        let nested = Value::bag([flat]);
         assert_eq!(nested.bag_nesting(), 2);
         let tup = Value::tuple([Value::sym("x"), nested]);
         assert_eq!(tup.bag_nesting(), 2);
@@ -419,7 +419,7 @@ mod tests {
         assert!(a < b);
         assert!(Value::int(5) < a); // ints sort before symbols
         let t1 = Value::tuple([a.clone(), b.clone()]);
-        let t2 = Value::tuple([b.clone(), a.clone()]);
+        let t2 = Value::tuple([b, a]);
         assert!(t1 < t2);
     }
 

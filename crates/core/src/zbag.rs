@@ -270,6 +270,14 @@ impl ZBag {
         self.pairs.is_empty()
     }
 
+    /// Check the representation invariant: strictly ascending keys, no
+    /// zero multiplicities — the ℤ counterpart of
+    /// [`Bag::debug_validate`]. `O(n)`; for `debug_assert!` and tests.
+    pub fn debug_validate(&self) -> bool {
+        self.pairs.windows(2).all(|w| w[0].0 < w[1].0)
+            && self.pairs.iter().all(|(_, mult)| !mult.is_zero())
+    }
+
     /// Number of distinct elements carried.
     pub fn distinct_count(&self) -> usize {
         self.pairs.len()
@@ -558,7 +566,9 @@ impl ZBagBuilder {
 
     /// Finish into a [`ZBag`].
     pub fn build(self) -> ZBag {
-        ZBag::from_sorted_vec(self.buffer.into_sorted())
+        let zbag = ZBag::from_sorted_vec(self.buffer.into_sorted());
+        debug_assert!(zbag.debug_validate(), "builder broke the ℤ-bag invariant");
+        zbag
     }
 }
 

@@ -1,0 +1,349 @@
+//! The static analyzer's soundness gate: for random expressions over a
+//! fixed schema and random conforming databases, every certificate the
+//! analyzer issues is checked against an actual evaluation.
+//!
+//! Per accepted expression:
+//!
+//! - the **inferred type** must be compatible with the evaluated output's
+//!   own inferred type (equal wherever both are concrete — `Unknown` only
+//!   arises from empty bags in the output);
+//! - a **`cannot_error`** certificate must never be contradicted: if
+//!   evaluation fails anyway, the failure must be a *resource budget*
+//!   (step / element / multiplicity / fixpoint limit, or a predicted
+//!   `TooLarge`), never a shape error;
+//! - a **set-ness** certificate (`duplicate_free`) means every
+//!   multiplicity in the output bag is exactly one.
+//!
+//! Analyzer *rejections* assert nothing — the analyzer is deliberately
+//! conservative (a doomed λ body over a bag that happens to be empty
+//! evaluates fine but is still statically rejected). Linearity
+//! certificates are checked against the incremental engine's counters in
+//! `balg-incremental`'s `linearity_differential` suite instead.
+
+use balg_core::analyze::{analyze, Facts};
+use balg_core::bag::{Bag, BagError};
+use balg_core::eval::{EvalError, Evaluator, Limits};
+use balg_core::expr::{Expr, Pred};
+use balg_core::natural::Natural;
+use balg_core::schema::{Database, Schema};
+use balg_core::types::Type;
+use balg_core::value::Value;
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+fn limits() -> Limits {
+    Limits {
+        max_bag_elements: 1 << 10,
+        max_multiplicity_bits: 1 << 9,
+        max_steps: 1_000_000,
+        max_ifp_iterations: 32,
+    }
+}
+
+/// The suite's schema: two unary relations and one binary one.
+fn schema() -> Schema {
+    Schema::new()
+        .with("R", Type::relation(1))
+        .with("S", Type::relation(1))
+        .with("G", Type::relation(2))
+}
+
+fn unary(v: i64) -> Value {
+    Value::tuple([Value::int(v)])
+}
+
+fn pair(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+/// A random database conforming to [`schema`], with real duplicate
+/// multiplicities so set-ness claims are actually at stake.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let unary_bag = || {
+        proptest::collection::btree_map(0i64..4, 1u64..4, 0..4).prop_map(|entries| {
+            Bag::from_counted(
+                entries
+                    .into_iter()
+                    .map(|(v, m)| (unary(v), Natural::from(m))),
+            )
+        })
+    };
+    let pair_bag =
+        proptest::collection::btree_map((0i64..4, 0i64..4), 1u64..3, 0..5).prop_map(|entries| {
+            Bag::from_counted(
+                entries
+                    .into_iter()
+                    .map(|((a, b), m)| (pair(a, b), Natural::from(m))),
+            )
+        });
+    (unary_bag(), unary_bag(), pair_bag)
+        .prop_map(|(r, s, g)| Database::new().with("R", r).with("S", s).with("G", g))
+}
+
+/// A tiny deterministic generator (splitmix64) so expression shape is a
+/// pure function of the proptest-supplied seed.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn leaf(&mut self, arity: usize) -> Expr {
+        match arity {
+            1 => {
+                if self.below(2) == 0 {
+                    Expr::var("R")
+                } else {
+                    Expr::var("S")
+                }
+            }
+            _ => Expr::var("G"),
+        }
+    }
+
+    fn pred(&mut self, arity: usize) -> Pred {
+        let x = || Expr::var("x");
+        match self.below(5) {
+            0 if arity >= 2 => Pred::eq(x().attr(1), x().attr(2)),
+            1 => Pred::lt(x().attr(1), Expr::lit(Value::int(self.below(4) as i64))),
+            2 => Pred::Member(
+                x().attr(1),
+                Expr::lit(Value::Bag(Bag::from_values(
+                    (0..self.below(3)).map(|v| Value::int(v as i64)),
+                ))),
+            ),
+            3 if arity == 1 => Pred::SubBag(x().singleton(), Expr::var("R")),
+            _ => Pred::eq(x().attr(1), Expr::lit(Value::int(self.below(4) as i64))).not(),
+        }
+    }
+
+    fn expr(&mut self, depth: usize, arity: usize) -> Expr {
+        if depth == 0 {
+            return self.leaf(arity);
+        }
+        match self.below(16) {
+            0 => self
+                .expr(depth - 1, arity)
+                .additive_union(self.expr(depth - 1, arity)),
+            1 => self
+                .expr(depth - 1, arity)
+                .subtract(self.expr(depth - 1, arity)),
+            2 => self
+                .expr(depth - 1, arity)
+                .max_union(self.expr(depth - 1, arity)),
+            3 => self
+                .expr(depth - 1, arity)
+                .intersect(self.expr(depth - 1, arity)),
+            4 => self.expr(depth - 1, arity).dedup(),
+            5 => {
+                let pred = self.pred(arity);
+                self.expr(depth - 1, arity).select("x", pred)
+            }
+            6 => {
+                let body = if arity == 1 {
+                    Expr::tuple([Expr::var("x").attr(1), Expr::var("x").attr(1)])
+                } else {
+                    Expr::tuple([Expr::var("x").attr(2), Expr::var("x").attr(1)])
+                };
+                let input_arity = if arity == 1 { 1 } else { 2 };
+                let out = self.expr(depth - 1, input_arity).map("x", body);
+                if arity == 1 {
+                    out.project(&[1])
+                } else {
+                    out
+                }
+            }
+            7 => {
+                if arity == 2 {
+                    self.expr(depth - 1, 1).product(self.expr(depth - 1, 1))
+                } else {
+                    let ix = 1 + self.below(2) as usize;
+                    self.expr(depth - 1, 2).project(&[ix])
+                }
+            }
+            8 if arity == 1 => self.expr(depth - 1, 1).dedup().powerset().destroy(),
+            9 if arity == 1 => self.expr(depth - 1, 1).dedup().powerbag().destroy(),
+            10 if arity == 1 => self
+                .expr(depth - 1, 2)
+                .nest(&[1])
+                .map("g", Expr::tuple([Expr::var("g").attr(1)])),
+            11 if arity == 2 => {
+                let step = Expr::var("T")
+                    .product(Expr::var("G"))
+                    .select(
+                        "x",
+                        Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+                    )
+                    .project(&[1, 4])
+                    .dedup();
+                Expr::var("G").ifp("T", step)
+            }
+            12 => {
+                // A constant β(τ(…)) branch — duplicate-free by
+                // construction, keeps ∪⁺ honest about losing the
+                // certificate.
+                let constant = Expr::Singleton(Box::new(Expr::Tuple(
+                    (0..arity)
+                        .map(|_| Expr::lit(Value::int(self.below(4) as i64)))
+                        .collect(),
+                )));
+                self.expr(depth - 1, arity).max_union(constant)
+            }
+            // Deliberately doomed shapes — the analyzer must reject these,
+            // and the case then asserts nothing (conservatism is allowed).
+            13 => self.expr(depth - 1, arity).map("x", Expr::var("x").attr(0)),
+            14 => self
+                .expr(depth - 1, arity)
+                .map("x", Expr::var("x").attr(9))
+                .project(&[1]),
+            _ => self.expr(depth - 1, arity),
+        }
+    }
+}
+
+fn is_resource_limit(e: &EvalError) -> bool {
+    matches!(
+        e,
+        EvalError::StepLimit(_)
+            | EvalError::ElementLimit { .. }
+            | EvalError::MultiplicityLimit { .. }
+            | EvalError::IfpLimit(_)
+            | EvalError::Bag(BagError::TooLarge { .. })
+    )
+}
+
+/// One differential case: analyze, evaluate, cross-check every issued
+/// certificate.
+fn check_case(expr: &Expr, facts: &Facts, db: &Database) {
+    let mut ev = Evaluator::new(db, limits());
+    match ev.eval(expr) {
+        Ok(value) => {
+            let actual = value
+                .infer_type()
+                .expect("an analyzer-accepted expression evaluated to a non-object");
+            assert!(
+                actual.compatible(&facts.ty),
+                "inferred type {} incompatible with actual output type {} for {expr}",
+                facts.ty,
+                actual
+            );
+            if facts.duplicate_free {
+                if let Value::Bag(bag) = &value {
+                    assert!(
+                        bag.iter().all(|(_, mult)| mult.is_one()),
+                        "set-ness certificate contradicted: {expr} produced {bag}"
+                    );
+                }
+            }
+        }
+        Err(e) => {
+            if facts.cannot_error {
+                assert!(
+                    is_resource_limit(&e),
+                    "cannot-error certificate contradicted by a shape error: \
+                     {e} for {expr}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ≥256 random (expression, database) pairs spanning every operator,
+    /// both arities, and the deliberately doomed shapes.
+    #[test]
+    fn certificates_survive_evaluation(
+        seed in 0u64..1_000_000_000,
+        depth in 1usize..5,
+        arity in 1usize..3,
+        db in db_strategy(),
+    ) {
+        let expr = Gen::new(seed).expr(depth, arity);
+        if let Ok(facts) = analyze(&expr, &schema()) {
+            check_case(&expr, &facts, &db);
+        }
+    }
+}
+
+/// The generator actually exercises both sides of each certificate:
+/// accepted and rejected expressions, duplicate-free and duplicate-prone
+/// outputs, polynomial and blowup-class costs.
+#[test]
+fn generator_reaches_both_sides_of_every_certificate() {
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut dup_free = 0usize;
+    let mut dup_prone = 0usize;
+    let mut blowup = 0usize;
+    for seed in 0..400u64 {
+        let expr = Gen::new(seed).expr(3, 1 + (seed % 2) as usize);
+        match analyze(&expr, &schema()) {
+            Ok(facts) => {
+                accepted += 1;
+                if facts.duplicate_free {
+                    dup_free += 1;
+                } else {
+                    dup_prone += 1;
+                }
+                if facts.cost.blowup_risk() {
+                    blowup += 1;
+                }
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    assert!(accepted > 0 && rejected > 0, "{accepted} / {rejected}");
+    assert!(dup_free > 0 && dup_prone > 0, "{dup_free} / {dup_prone}");
+    assert!(blowup > 0, "no powerset-class expression generated");
+}
+
+/// Deterministic pin of the full certificate bundle for one expression
+/// of each headline class.
+#[test]
+fn headline_certificates_hold_on_a_concrete_database() {
+    let db = Database::new()
+        .with(
+            "R",
+            Bag::from_counted([(unary(0), Natural::from(2u64)), (unary(1), 1u64.into())]),
+        )
+        .with("S", Bag::from_values([unary(1), unary(2)]))
+        .with("G", Bag::from_values([pair(0, 1), pair(1, 2), pair(0, 1)]));
+
+    // ε(R) — duplicate-free, polynomial, cannot error.
+    let dedup = Expr::var("R").dedup();
+    let facts = analyze(&dedup, &schema()).unwrap();
+    assert!(facts.duplicate_free && facts.cannot_error);
+    assert!(!facts.cost.blowup_risk());
+    check_case(&dedup, &facts, &db);
+
+    // R ∪⁺ R — duplicate-prone; the evaluation confirms multiplicity 4.
+    let doubled = Expr::var("R").additive_union(Expr::var("R"));
+    let facts = analyze(&doubled, &schema()).unwrap();
+    assert!(!facts.duplicate_free);
+    check_case(&doubled, &facts, &db);
+    let out = balg_core::eval::eval_bag(&doubled, &db).unwrap();
+    assert_eq!(out.multiplicity(&unary(0)), Natural::from(4u64));
+
+    // P(ε(R)) — certified a set *and* a blowup risk at once.
+    let power = Expr::var("R").dedup().powerset();
+    let facts = analyze(&power, &schema()).unwrap();
+    assert!(facts.duplicate_free && facts.cost.blowup_risk());
+    check_case(&power, &facts, &db);
+}

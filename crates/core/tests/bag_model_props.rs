@@ -46,16 +46,12 @@ fn bag_matches_model(bag: &Bag, model: &Model) -> bool {
             .all(|((bv, bm), (mv, mm))| bv == mv && bm == mm)
 }
 
-/// The representation invariant the sorted slice must uphold.
+/// The representation invariant the sorted slice must uphold — the same
+/// check [`Bag::debug_validate`] runs at every builder exit.
 fn assert_invariant(bag: &Bag) {
-    let pairs: Vec<_> = bag.iter().collect();
     assert!(
-        pairs.windows(2).all(|w| w[0].0 < w[1].0),
-        "keys not strictly ascending: {bag}"
-    );
-    assert!(
-        pairs.iter().all(|(_, m)| !m.is_zero()),
-        "stored zero: {bag}"
+        bag.debug_validate(),
+        "bag invariant violated (unsorted keys or stored zero): {bag}"
     );
 }
 

@@ -62,9 +62,7 @@ fn assert_matches_model(bag: &Bag, model: &Model) {
         assert_eq!(bv, mv);
         assert_eq!(bm, mm);
     }
-    let pairs: Vec<_> = bag.iter().collect();
-    assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
-    assert!(pairs.iter().all(|(_, m)| !m.is_zero()));
+    assert!(bag.debug_validate(), "bag invariant violated");
 }
 
 proptest! {

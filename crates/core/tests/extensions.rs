@@ -113,7 +113,7 @@ fn bounded_ifp_computes_transitive_closure() {
 fn bounded_ifp_converges_where_unbounded_diverges() {
     // step(X) = X ∪⁺ X inflates forever; bounded by a fixed bag it stops.
     let b = Bag::singleton(Value::tuple([Value::sym("a")]));
-    let db = Database::new().with("B", b.clone());
+    let db = Database::new().with("B", b);
     let mut bound_bag = Bag::new();
     bound_bag.insert_with_multiplicity(Value::tuple([Value::sym("a")]), Natural::from(8u64));
     let bounded = Expr::var("B").bounded_ifp(

@@ -243,7 +243,7 @@ proptest! {
         let (q, r) = x.divmod_u64(d);
         prop_assert!(r < d);
         // q·d + r = x, recombined through the reference arithmetic.
-        let mut qd = q.clone();
+        let mut qd = q;
         qd.mul_u64(d);
         prop_assert_eq!(&qd + &Natural::from(r), x);
     }

@@ -55,7 +55,7 @@ fn partial_isomorphism_is_symmetric() {
     let (g, gp) = star_graphs(6);
     let alpha = alpha_node(6);
     let node = flipped_node(6);
-    let forward = vec![(alpha.clone(), alpha.clone()), (node.clone(), node.clone())];
+    let forward = vec![(alpha.clone(), alpha), (node.clone(), node)];
     let backward: Vec<(Value, Value)> = forward
         .iter()
         .map(|(a, b)| (b.clone(), a.clone()))

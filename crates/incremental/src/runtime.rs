@@ -272,7 +272,7 @@ impl ViewRuntime {
         self.db.insert(name, bag);
         let var = Var::from(name);
         let mut failed: Vec<(String, EvalError)> = Vec::new();
-        for (view_name, view) in self.views.iter_mut() {
+        for (view_name, view) in &mut self.views {
             if view.reads().contains(&var) {
                 if let Err(error) = view.reinit(&self.db, &self.limits, self.use_indexes) {
                     failed.push((view_name.clone(), error));
@@ -425,7 +425,7 @@ impl ViewRuntime {
         // failure must not leave the *other* affected views unmaintained,
         // so the loop always runs to completion.
         let mut failed: Vec<(String, EvalError)> = Vec::new();
-        for (view_name, view) in self.views.iter_mut() {
+        for (view_name, view) in &mut self.views {
             if view.reads().is_disjoint(&affected) {
                 continue;
             }

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+use balg_core::analyze::{base_linearity, Linearity};
 use balg_core::bag::{attr_field, Bag};
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Pred, Var};
@@ -200,6 +201,11 @@ struct UpdateCtx<'a, 'e> {
     /// Whether the fused equi-join may probe indexes (`false` forces the
     /// scan path the differential suite compares against).
     use_indexes: bool,
+    /// Fallbacks forced by *data* irregularity in a fused equi-join
+    /// (mixed arities, attributes past both sides) — a runtime property
+    /// the syntactic linearity lattice cannot see, so these are exempt
+    /// from the ≤-bilinear no-fallback assertion in [`View::maintain`].
+    irregular_join_fallbacks: u64,
 }
 
 /// Free database names of a λ body, excluding the bound variable.
@@ -997,7 +1003,10 @@ impl Node {
                                 }
                                 self.apply_bag_delta(delta)
                             }
-                            None => self.fallback(ctx),
+                            None => {
+                                ctx.irregular_join_fallbacks += 1;
+                                self.fallback(ctx)
+                            }
                         }
                     }
                 }
@@ -1124,6 +1133,12 @@ pub struct View {
     expr: Expr,
     root: Node,
     stats: ViewStats,
+    /// Per-base linearity facts from the static analyzer
+    /// ([`balg_core::analyze::base_linearity`]), computed once at
+    /// registration. Debug builds assert the certificate against the
+    /// instrumentation counters on every maintenance pass: a batch that
+    /// touches only ≤-bilinear bases must run entirely in delta form.
+    linearity: BTreeMap<Var, Linearity>,
 }
 
 impl View {
@@ -1148,10 +1163,12 @@ impl View {
                 found: root.snapshot.to_string(),
             });
         }
+        let linearity = base_linearity(&expr);
         Ok(View {
             expr,
             root,
             stats: ViewStats::default(),
+            linearity,
         })
     }
 
@@ -1178,6 +1195,15 @@ impl View {
         &self.stats
     }
 
+    /// The static analyzer's per-base linearity classification of the
+    /// view's expression (bases absent from the map are unread). A base
+    /// at [`Linearity::Linear`]/[`Linearity::Bilinear`] propagates
+    /// through delta rules; anything higher can force an operator
+    /// re-derivation when it changes.
+    pub fn linearity(&self) -> &BTreeMap<Var, Linearity> {
+        &self.linearity
+    }
+
     /// One maintenance pass for a committed update batch. `db` is the
     /// **post-update** database; `affected` names the bases whose deltas
     /// are nonzero. `indexes` is the runtime's persistent per-key index
@@ -1193,6 +1219,7 @@ impl View {
         indexes: &mut IndexCache,
         use_indexes: bool,
     ) -> Result<(), MaintainError> {
+        let counters_before = (self.stats.fallback_recomputes, self.stats.scalar_recomputes);
         let mut ev = Evaluator::new(db, limits.clone());
         ev.set_indexing(use_indexes);
         let mut ctx = UpdateCtx {
@@ -1204,8 +1231,32 @@ impl View {
             stats: &mut self.stats,
             indexes,
             use_indexes,
+            irregular_join_fallbacks: 0,
         };
         self.root.update(&mut ctx)?;
+        let irregular = ctx.irregular_join_fallbacks;
+        // The analyzer's certificate, checked against reality: when every
+        // updated base is ≤ bilinear (and no fused join hit irregular
+        // data), the whole pass must have stayed in delta form. The
+        // converse is *not* asserted — a non-linear base can still get
+        // lucky (e.g. its subtree delta cancels to zero).
+        debug_assert!(
+            {
+                let all_linearish = affected.iter().all(|base| {
+                    self.linearity
+                        .get(base)
+                        .copied()
+                        .unwrap_or(Linearity::Unread)
+                        <= Linearity::Bilinear
+                });
+                !(all_linearish && irregular == 0)
+                    || (self.stats.fallback_recomputes == counters_before.0
+                        && self.stats.scalar_recomputes == counters_before.1)
+            },
+            "a batch over ≤-bilinear bases re-derived an operator despite the \
+             linearity certificate: {:?} affected={affected:?}",
+            self.linearity,
+        );
         Ok(())
     }
 

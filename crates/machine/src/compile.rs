@@ -155,7 +155,7 @@ pub fn compile(tm: &Tm, input: &[Sym], padding: usize) -> CompiledTm {
 fn instruction_expr(q1: &str, s1: Sym, q2: &str, s2: Sym, mv: Move) -> Expr {
     let m = Expr::var("M");
     let x = || Expr::var("x");
-    let pairs = m.clone().product(m.clone());
+    let pairs = m.clone().product(m);
     // Shared guard: first row is the matching head row, second row is a
     // non-head row of the same time stamp.
     let head_guard = Pred::eq(x().attr(4), Expr::lit(state_atom(q1)))

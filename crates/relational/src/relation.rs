@@ -119,8 +119,8 @@ impl Relation {
     }
 
     /// Insert an element (deeply deduplicated).
-    pub fn insert(&mut self, value: Value) {
-        let v = deep_dedup(&value);
+    pub fn insert(&mut self, value: &Value) {
+        let v = deep_dedup(value);
         if !self.inner.contains(&v) {
             self.inner.insert(v);
         }

@@ -107,66 +107,83 @@ fn pred_to_ralg(pred: &Pred) -> Result<RalgPred, TranslateError> {
 /// Embed a RALG expression into BALG (the easy direction of
 /// Proposition 4.2; works for the *full* nested relational algebra
 /// including difference, powerset and flatten). The proposition's recipe
-/// inserts `ε` after **every** operator; this embedding is sharper: on
-/// duplicate-free inputs the bag operators `∪` (max), `∩`, `−`, `β` and
-/// `P` already produce duplicate-free outputs, so only the operators that
-/// can actually manufacture duplicates — `×` (mixed-arity concatenations
-/// can collide), `MAP` (images can collide), `δ` (inner sets can overlap)
-/// — and the database views keep their `ε`. Skipping the no-op `ε`s
-/// keeps the translated query from re-deduplicating already-set-shaped
-/// intermediates.
+/// inserts `ε` after **every** operator; this embedding is sharper: each
+/// relation-valued node is *sealed* — wrapped in `ε` exactly when the
+/// static analyzer's set-ness lattice
+/// ([`balg_core::analyze::certified_duplicate_free_assuming`]) cannot
+/// certify it duplicate-free. On sealed inputs the lattice certifies `∪`
+/// (max), `∩`, `−`, `β`, `σ` and `P`, so only the operators that can
+/// actually manufacture duplicates — `×` (mixed-arity concatenations can
+/// collide), `MAP` (images can collide), `δ` (inner sets can overlap) —
+/// and the database bags keep their `ε`.
 ///
 /// Free variables (database bags) get an `ε`; λ-bound variables denote
-/// objects, not relations, and are left untouched. On flat database
-/// relations this is exact; nested database bags must already satisfy the
-/// set invariant (a single `ε` cannot deduplicate inner bags).
+/// values drawn from the deduplicated database and are assumed
+/// duplicate-free (the lattice's `assuming` hook). On flat database
+/// relations this is exact; nested database bags must already satisfy
+/// the set invariant (a single `ε` cannot deduplicate inner bags).
 pub fn ralg_to_balg(expr: &RalgExpr) -> Expr {
     embed(expr, &mut Vec::new())
 }
 
+/// Wrap a relation-valued node in `ε` unless the set-ness lattice
+/// certifies it duplicate-free, assuming the λ-bound `bound` are sets.
+fn seal(e: Expr, bound: &[balg_core::expr::Var]) -> Expr {
+    if balg_core::analyze::certified_duplicate_free_assuming(&e, bound) {
+        e
+    } else {
+        e.dedup()
+    }
+}
+
 fn embed(expr: &RalgExpr, bound: &mut Vec<balg_core::expr::Var>) -> Expr {
     match expr {
-        RalgExpr::Var(name) => {
-            if bound.contains(name) {
-                Expr::Var(name.clone())
-            } else {
-                Expr::Var(name.clone()).dedup()
-            }
-        }
+        RalgExpr::Var(name) => seal(Expr::Var(name.clone()), bound),
         RalgExpr::Lit(value) => Expr::Lit(deep_dedup(value)),
-        // sup(1,1) = inf(1,1) = 1 and monus keeps n ≤ 1: no ε needed.
-        RalgExpr::Union(a, b) => embed(a, bound).max_union(embed(b, bound)),
-        RalgExpr::Intersect(a, b) => embed(a, bound).intersect(embed(b, bound)),
-        RalgExpr::Difference(a, b) => embed(a, bound).subtract(embed(b, bound)),
-        RalgExpr::Product(a, b) => embed(a, bound).product(embed(b, bound)).dedup(),
-        // Distinct subbags of a duplicate-free bag each occur once.
-        RalgExpr::Powerset(e) => embed(e, bound).powerset(),
+        RalgExpr::Union(a, b) => {
+            let e = embed(a, bound).max_union(embed(b, bound));
+            seal(e, bound)
+        }
+        RalgExpr::Intersect(a, b) => {
+            let e = embed(a, bound).intersect(embed(b, bound));
+            seal(e, bound)
+        }
+        RalgExpr::Difference(a, b) => {
+            let e = embed(a, bound).subtract(embed(b, bound));
+            seal(e, bound)
+        }
+        RalgExpr::Product(a, b) => {
+            let e = embed(a, bound).product(embed(b, bound));
+            seal(e, bound)
+        }
+        RalgExpr::Powerset(e) => seal(embed(e, bound).powerset(), bound),
         RalgExpr::Tuple(fields) => Expr::Tuple(fields.iter().map(|f| embed(f, bound)).collect()),
-        RalgExpr::Singleton(e) => embed(e, bound).singleton(),
+        RalgExpr::Singleton(e) => seal(embed(e, bound).singleton(), bound),
         RalgExpr::Attr(e, index) => embed(e, bound).attr(*index),
-        RalgExpr::Flatten(e) => embed(e, bound).destroy().dedup(),
+        RalgExpr::Flatten(e) => seal(embed(e, bound).destroy(), bound),
         RalgExpr::Map { var, body, input } => {
             let input = embed(input, bound);
             bound.push(var.clone());
             let body = embed(body, bound);
             bound.pop();
-            Expr::Map {
+            let e = Expr::Map {
                 var: var.clone(),
                 body: Box::new(body),
                 input: Box::new(input),
-            }
-            .dedup()
+            };
+            seal(e, bound)
         }
         RalgExpr::Select { var, pred, input } => {
             let input = embed(input, bound);
             bound.push(var.clone());
             let pred = embed_pred(pred, bound);
             bound.pop();
-            Expr::Select {
+            let e = Expr::Select {
                 var: var.clone(),
                 pred: Box::new(pred),
                 input: Box::new(input),
-            }
+            };
+            seal(e, bound)
         }
     }
 }

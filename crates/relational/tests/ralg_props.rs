@@ -64,9 +64,7 @@ fn ralg_query() -> impl Strategy<Value = RalgExpr> {
             }),
             (inner.clone(), 1usize..4)
                 .prop_map(|(e, i)| { e.map("x", RalgExpr::tuple([RalgExpr::var("x").attr(i)])) }),
-            inner
-                .clone()
-                .prop_map(|e| e.map("x", RalgExpr::var("x").singleton())),
+            inner.prop_map(|e| e.map("x", RalgExpr::var("x").singleton())),
             // Powerset only over the small leaves, to keep 2^n tame.
             prop_oneof![Just(RalgExpr::var("S")), small_lit()].prop_map(RalgExpr::powerset),
             Just(RalgExpr::var("S").powerset().flatten()),

@@ -147,6 +147,16 @@ pub fn execute_read(snap: &Snapshot, line: &str) -> Reply {
                 Ok(result) => Reply::ok(Response::Rows(result).to_string()),
                 Err(message) => Reply::err(message),
             },
+            // Pure function of the catalog — answered from the snapshot,
+            // lock-free, so the concurrent server and the serial twin
+            // render byte-identical reports by construction.
+            "analyze" => match balg_core::parse::parse_expr(args) {
+                Err(e) => Reply::err(e.to_string()),
+                Ok(expr) => match balg_core::analyze::analyze(&expr, &snap.catalog.to_schema()) {
+                    Err(e) => Reply::err(format!("analysis error: {e}")),
+                    Ok(facts) => Reply::ok(balg_core::analyze::render_report(&expr, &facts)),
+                },
+            },
             other => Reply::err(format!("unknown command :{other}")),
         };
     }
@@ -339,6 +349,7 @@ mod tests {
         assert_eq!(route(":rows v"), Route::Read);
         assert_eq!(route(":seq"), Route::Read);
         assert_eq!(route(":ping"), Route::Read);
+        assert_eq!(route(":analyze dedup(orders)"), Route::Read);
         assert_eq!(route(":check"), Route::Write);
         assert_eq!(route(":stats"), Route::Write);
         assert_eq!(route(":table t a b:int"), Route::Write);
@@ -363,6 +374,36 @@ mod tests {
         assert_eq!(twin.execute(":check"), Reply::ok("consistent"));
         let stats = twin.execute(":stats");
         assert!(stats.text.contains("batches"), "{}", stats.text);
+    }
+
+    #[test]
+    fn analyze_over_the_statement_surface() {
+        let mut twin = twin();
+        let reply = twin.execute(":analyze dedup(project(orders, 1))");
+        assert!(reply.ok, "{}", reply.text);
+        assert!(reply.text.contains("type: {{[U]}}"), "{}", reply.text);
+        assert!(reply.text.contains("duplicate-free"), "{}", reply.text);
+        assert!(reply.text.contains("orders: non-linear"), "{}", reply.text);
+        // The reply is byte-equal to what execute_read renders over a
+        // fresh snapshot — the twin IS that path, so a second pinned
+        // snapshot must agree exactly.
+        let snap = snapshot_of(
+            &SqlRuntime::with_limits(
+                catalog(),
+                database_from_rows(&catalog(), &[]).unwrap(),
+                Limits::default(),
+            ),
+            0,
+        );
+        let direct = execute_read(&snap, ":analyze dedup(project(orders, 1))");
+        assert_eq!(reply, direct);
+        // Errors are replies, not panics, and carry the analyzer text.
+        let bad = twin.execute(":analyze attr(orders, 0)");
+        assert!(!bad.ok);
+        assert!(bad.text.contains("1-based"), "{}", bad.text);
+        let blow = twin.execute(":analyze powerset(orders)");
+        assert!(blow.ok, "analysis of a blowup query still reports facts");
+        assert!(blow.text.contains("TooLarge risk"), "{}", blow.text);
     }
 
     #[test]

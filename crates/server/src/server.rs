@@ -117,10 +117,19 @@ impl SqlServer {
         db: Database,
         config: ServerConfig,
     ) -> io::Result<SqlServer> {
-        let mut rt = match &config.data_dir {
-            None => SqlRuntime::with_limits(catalog, db, config.limits.clone()),
+        let ServerConfig {
+            writer_queue,
+            write_batch,
+            index_capacity,
+            max_frame,
+            limits,
+            data_dir,
+            read_timeout,
+        } = config;
+        let mut rt = match &data_dir {
+            None => SqlRuntime::with_limits(catalog, db, limits),
             Some(dir) => {
-                let mut rt = SqlRuntime::open(catalog, dir, config.limits.clone())
+                let mut rt = SqlRuntime::open(&catalog, dir, limits)
                     .map_err(|e| io::Error::other(e.to_string()))?;
                 // Seed bases the directory doesn't know yet (a fresh
                 // directory with initial data); existing state wins.
@@ -140,25 +149,25 @@ impl SqlServer {
                 rt
             }
         };
-        if let Some(capacity) = config.index_capacity {
+        if let Some(capacity) = index_capacity {
             rt.set_index_capacity(capacity);
         }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let (sender, receiver) = mpsc::sync_channel(config.writer_queue.max(1));
+        let (sender, receiver) = mpsc::sync_channel(writer_queue.max(1));
         let shared = Arc::new(Shared {
             snapshot: RwLock::new(Arc::new(snapshot_of(&rt, 0))),
             writer: Mutex::new(Some(sender)),
             shutdown: AtomicBool::new(false),
-            max_frame: config.max_frame,
-            read_timeout: config.read_timeout,
+            max_frame,
+            read_timeout,
             busy_rejections: AtomicU64::new(0),
             idle_closes: AtomicU64::new(0),
         });
         let writer = {
             let shared = Arc::clone(&shared);
-            let batch = config.write_batch.max(1);
-            thread::spawn(move || writer_loop(rt, receiver, &shared, batch))
+            let batch = write_batch.max(1);
+            thread::spawn(move || writer_loop(rt, &receiver, &shared, batch))
         };
         let accept = {
             let shared = Arc::clone(&shared);
@@ -315,7 +324,7 @@ fn dispatch(line: &str, shared: &Shared) -> Reply {
     }
 }
 
-fn writer_loop(mut rt: SqlRuntime, receiver: Receiver<WriteJob>, shared: &Shared, batch: usize) {
+fn writer_loop(mut rt: SqlRuntime, receiver: &Receiver<WriteJob>, shared: &Shared, batch: usize) {
     let mut seq = 0u64;
     while let Ok(first) = receiver.recv() {
         let mut jobs = vec![first];

@@ -380,8 +380,7 @@ fn compile_comparison(comparison: &Comparison, scope: &Scope) -> Result<Pred, Co
             .any(|operand| match operand {
                 Operand::Column(reference) => scope
                     .resolve(reference)
-                    .map(|idx| scope.columns[idx].column.numeric)
-                    .unwrap_or(false),
+                    .is_ok_and(|idx| scope.columns[idx].column.numeric),
                 _ => false,
             });
     let left = compile_operand(&comparison.left, scope, numeric_context)?;
@@ -431,6 +430,16 @@ pub enum SqlError {
     Parse(ParseError),
     /// Compile failure.
     Compile(CompileError),
+    /// The static analyzer ([`mod@balg_core::analyze`]) rejected the view
+    /// expression: a shape/type error, or a statically predicted blowup
+    /// (non-polynomial cost class — a `TooLarge` failure waiting to
+    /// happen).
+    Analysis {
+        /// Byte offset of the analyzed expression within the statement.
+        at: usize,
+        /// The analyzer's diagnostic.
+        message: String,
+    },
     /// Evaluation failure.
     Eval(EvalError),
     /// The result did not decode against the output shape.
@@ -447,6 +456,9 @@ impl fmt::Display for SqlError {
         match self {
             SqlError::Parse(e) => write!(f, "{e}"),
             SqlError::Compile(e) => write!(f, "{e}"),
+            SqlError::Analysis { at, message } => {
+                write!(f, "analysis error at byte {at}: {message}")
+            }
             SqlError::Eval(e) => write!(f, "{e}"),
             SqlError::Decode(what) => write!(f, "decode failure: {what}"),
             SqlError::Update(e) => write!(f, "{e}"),

@@ -155,13 +155,26 @@ fn sign_position(prev: Option<&Token>) -> bool {
 
 /// Tokenize a query string.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    tokenize_with_positions(input).map(|(tokens, _)| tokens)
+}
+
+/// Tokenize a query string, also returning each token's starting byte
+/// offset. The position vector carries one extra trailing entry — the
+/// input length — so an error "at" the slot past the last token still
+/// names a byte (the end of the statement).
+pub fn tokenize_with_positions(input: &str) -> Result<(Vec<Token>, Vec<usize>), LexError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
+    let mut positions = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let at = i;
         match c {
-            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+                continue;
+            }
             ',' => {
                 tokens.push(Token::Comma);
                 i += 1;
@@ -267,8 +280,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 })
             }
         }
+        positions.push(at);
     }
-    Ok(tokens)
+    positions.push(bytes.len());
+    Ok((tokens, positions))
 }
 
 #[cfg(test)]
@@ -372,6 +387,16 @@ mod tests {
         let err = tokenize("a ; b").unwrap_err();
         assert_eq!(err.position, 2);
         assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn positions_name_token_starts_plus_end_sentinel() {
+        let input = "SELECT a.b <> 'xy'";
+        let (tokens, positions) = tokenize_with_positions(input).unwrap();
+        assert_eq!(tokens.len() + 1, positions.len());
+        // SELECT @0, a @7, . @8, b @9, <> @11, 'xy' @14, sentinel @18.
+        assert_eq!(positions, vec![0, 7, 8, 9, 11, 14, input.len()]);
+        assert_eq!(tokenize(input).unwrap(), tokens);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod prelude {
         compile_query, database_from_rows, decode_result, run, run_optimized, run_query,
         CompileError, CompiledQuery, QueryResult, SqlError,
     };
-    pub use crate::lexer::{tokenize, Keyword, LexError, Token};
+    pub use crate::lexer::{tokenize, tokenize_with_positions, Keyword, LexError, Token};
     pub use crate::parser::{parse, ParseError};
     pub use crate::render::render;
     pub use crate::stmt::{parse_statement, Response, SqlRuntime, Statement};

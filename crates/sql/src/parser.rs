@@ -5,12 +5,12 @@ use std::fmt;
 use crate::ast::{
     Aggregate, ColumnRef, CompareOp, Comparison, Operand, Projection, Query, SelectCore, TableRef,
 };
-use crate::lexer::{tokenize, Keyword, LexError, Token};
+use crate::lexer::{tokenize_with_positions, Keyword, LexError, Token};
 
 /// A parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Token index of the error.
+    /// Byte offset of the error in the statement text.
     pub at: usize,
     /// Description.
     pub message: String,
@@ -18,7 +18,7 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.at, self.message)
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
     }
 }
 
@@ -27,23 +27,33 @@ impl std::error::Error for ParseError {}
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
-            at: 0,
-            message: e.to_string(),
+            at: e.position,
+            message: e.message,
         }
     }
 }
 
 /// Parse a query string.
 pub fn parse(input: &str) -> Result<Query, ParseError> {
-    parse_query_from(tokenize(input)?, 0)
+    let (tokens, positions) = tokenize_with_positions(input)?;
+    parse_query_from(tokens, positions, 0)
 }
 
 /// Parse a query from an already-lexed token stream starting at `start`
 /// (the statement parser uses this after consuming a statement prefix
-/// such as `CREATE VIEW name AS`). The query must consume every
+/// such as `CREATE VIEW name AS`). `positions` is the byte-offset table
+/// from [`tokenize_with_positions`]. The query must consume every
 /// remaining token.
-pub(crate) fn parse_query_from(tokens: Vec<Token>, start: usize) -> Result<Query, ParseError> {
-    let mut parser = Parser { tokens, pos: start };
+pub(crate) fn parse_query_from(
+    tokens: Vec<Token>,
+    positions: Vec<usize>,
+    start: usize,
+) -> Result<Query, ParseError> {
+    let mut parser = Parser {
+        tokens,
+        positions,
+        pos: start,
+    };
     let query = parser.query()?;
     parser.expect_end()?;
     Ok(query)
@@ -64,13 +74,21 @@ impl Parser {
 /// tail to [`Parser::query`] via [`parse_query_from`]).
 pub(crate) struct Parser {
     pub(crate) tokens: Vec<Token>,
+    /// Byte offset of each token, plus one end-of-input sentinel (see
+    /// [`tokenize_with_positions`]).
+    pub(crate) positions: Vec<usize>,
     pub(crate) pos: usize,
 }
 
 impl Parser {
     pub(crate) fn error(&self, message: &str) -> ParseError {
         ParseError {
-            at: self.pos,
+            at: self
+                .positions
+                .get(self.pos)
+                .or_else(|| self.positions.last())
+                .copied()
+                .unwrap_or(0),
             message: message.to_owned(),
         }
     }
@@ -397,5 +415,19 @@ mod tests {
         assert!(parse("SELECT * FROM t WHERE").is_err());
         assert!(parse("SELECT * FROM t )").is_err()); // trailing token
         assert!(parse("SELECT COUNT(a) FROM t").is_err()); // plain COUNT(col) unsupported
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // The stray ) sits at byte 16 of the statement.
+        let err = parse("SELECT * FROM t )").unwrap_err();
+        assert_eq!(err.at, 16);
+        // An error at end-of-input points one past the last byte.
+        let err = parse("SELECT * FROM").unwrap_err();
+        assert_eq!(err.at, 13);
+        assert!(err.to_string().starts_with("parse error at byte 13"));
+        // Lex errors keep the lexer's byte position.
+        let err = parse("SELECT ; FROM t").unwrap_err();
+        assert_eq!(err.at, 7);
     }
 }

@@ -13,14 +13,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 
+use balg_core::analyze;
 use balg_core::eval::{Evaluator, Limits};
+use balg_core::expr::Expr;
+use balg_core::types::Type;
 use balg_core::value::Value;
 use balg_incremental::{AnyRuntime, DurableError, DurableRuntime, UpdateBatch, ViewRuntime};
 
 use crate::ast::Query;
 use crate::catalog::{encode_value, Catalog, Column, SqlValue, Table};
 use crate::compile::{compile_query, decode_result, QueryResult, SqlError};
-use crate::lexer::{tokenize, Keyword, Token};
+use crate::lexer::{tokenize_with_positions, Keyword, Token};
 use crate::parser::{parse_query_from, ParseError, Parser};
 
 /// One SQL statement: a query, or a view/update statement executed
@@ -35,6 +38,20 @@ pub enum Statement {
         name: String,
         /// The defining query.
         query: Query,
+    },
+    /// `CREATE VIEW name AS BALG expr` — register a maintained view
+    /// defined directly in the BALG ASCII syntax of
+    /// [`balg_core::parse`]. Free variables must be declared tables; the
+    /// static analyzer gates registration (shape errors and
+    /// non-polynomial cost classes are rejected up front).
+    CreateBalgView {
+        /// The view name.
+        name: String,
+        /// The parsed defining expression.
+        expr: Expr,
+        /// Byte offset of the expression within the statement (analyzer
+        /// diagnostics point here).
+        at: usize,
     },
     /// `INSERT INTO table VALUES (…), …` — one occurrence per row.
     Insert {
@@ -100,21 +117,76 @@ fn rows(p: &mut Parser) -> Result<Vec<Vec<SqlValue>>, ParseError> {
     Ok(rows)
 }
 
+/// Scan the raw `CREATE VIEW name AS BALG ` prefix (case-insensitive,
+/// whitespace-separated words) **without** SQL tokenization — the BALG
+/// tail uses `{`, `[` and other characters the SQL lexer rejects.
+/// Returns the view name and the byte offset of the expression tail, or
+/// `None` when the input is not that statement form (in particular,
+/// plain `CREATE VIEW … AS SELECT …` falls through to the SQL path).
+fn balg_view_prefix(input: &str) -> Option<(&str, usize)> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let mut words: Vec<(usize, usize)> = Vec::with_capacity(5);
+    for _ in 0..5 {
+        while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
+            pos += 1;
+        }
+        if start == pos {
+            return None;
+        }
+        words.push((start, pos));
+    }
+    let word = |i: usize| &input[words[i].0..words[i].1];
+    let is = |i: usize, kw: &str| word(i).eq_ignore_ascii_case(kw);
+    if !(is(0, "CREATE") && is(1, "VIEW") && is(3, "AS") && is(4, "BALG")) {
+        return None;
+    }
+    while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+        pos += 1;
+    }
+    Some((word(2), pos))
+}
+
 /// Parse one statement. Anything that does not start with `CREATE`,
 /// `INSERT` or `DELETE` parses as a plain query.
 pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
-    let tokens = tokenize(input)?;
+    // The BALG view form is recognized on the raw text, before SQL
+    // tokenization (its expression syntax is not SQL-lexable).
+    if let Some((name, at)) = balg_view_prefix(input) {
+        let expr = balg_core::parse::parse_expr(&input[at..]).map_err(|e| ParseError {
+            at: at + e.position,
+            message: e.message,
+        })?;
+        return Ok(Statement::CreateBalgView {
+            name: name.to_owned(),
+            expr,
+            at,
+        });
+    }
+    let (tokens, positions) = tokenize_with_positions(input)?;
     match tokens.first() {
         Some(Token::Keyword(Keyword::Create)) => {
-            let mut p = Parser { tokens, pos: 1 };
+            let mut p = Parser {
+                tokens,
+                positions,
+                pos: 1,
+            };
             expect_keyword(&mut p, Keyword::View, "expected VIEW after CREATE")?;
             let name = p.ident()?;
             expect_keyword(&mut p, Keyword::As, "expected AS after the view name")?;
-            let query = parse_query_from(p.tokens, p.pos)?;
+            let query = parse_query_from(p.tokens, p.positions, p.pos)?;
             Ok(Statement::CreateView { name, query })
         }
         Some(Token::Keyword(Keyword::Insert)) => {
-            let mut p = Parser { tokens, pos: 1 };
+            let mut p = Parser {
+                tokens,
+                positions,
+                pos: 1,
+            };
             expect_keyword(&mut p, Keyword::Into, "expected INTO after INSERT")?;
             let table = p.ident()?;
             expect_keyword(&mut p, Keyword::Values, "expected VALUES")?;
@@ -122,7 +194,11 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
             Ok(Statement::Insert { table, rows })
         }
         Some(Token::Keyword(Keyword::Delete)) => {
-            let mut p = Parser { tokens, pos: 1 };
+            let mut p = Parser {
+                tokens,
+                positions,
+                pos: 1,
+            };
             expect_keyword(&mut p, Keyword::From, "expected FROM after DELETE")?;
             let table = p.ident()?;
             expect_keyword(
@@ -134,11 +210,15 @@ pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
             Ok(Statement::Delete { table, rows })
         }
         Some(Token::Keyword(Keyword::Checkpoint)) => {
-            let p = Parser { tokens, pos: 1 };
+            let p = Parser {
+                tokens,
+                positions,
+                pos: 1,
+            };
             p.expect_end()?;
             Ok(Statement::Checkpoint)
         }
-        _ => Ok(Statement::Query(parse_query_from(tokens, 0)?)),
+        _ => Ok(Statement::Query(parse_query_from(tokens, positions, 0)?)),
     }
 }
 
@@ -233,6 +313,32 @@ fn decode_columns(text: &str) -> Result<Vec<Column>, SqlError> {
         .collect()
 }
 
+/// The decoded output shape of a BALG view: the inferred type must be a
+/// bag of tuples whose fields are atoms (plain columns) or integer bags
+/// (numeric columns, the paper's bag-of-units encoding). Columns are
+/// named `c1`, `c2`, …. `None` means the type is not row-representable.
+fn balg_view_columns(ty: &Type) -> Option<Vec<Column>> {
+    let Type::Bag(element) = ty else { return None };
+    let Type::Tuple(fields) = element.as_ref() else {
+        return None;
+    };
+    fields
+        .iter()
+        .enumerate()
+        .map(|(i, field)| {
+            let numeric = match field {
+                Type::Atom => false,
+                Type::Bag(inner) if **inner == Type::atom_tuple(1) => true,
+                _ => return None,
+            };
+            Some(Column {
+                name: format!("c{}", i + 1),
+                numeric,
+            })
+        })
+        .collect()
+}
+
 /// A SQL session with maintained views: a catalog, a runtime (in-memory
 /// or WAL-backed — see [`SqlRuntime::open`]), and the output shapes of
 /// registered views.
@@ -277,7 +383,7 @@ impl SqlRuntime {
     /// directory doesn't know yet (so a fresh directory and a reopened
     /// one go through the same call).
     pub fn open(
-        catalog: Catalog,
+        catalog: &Catalog,
         data_dir: impl AsRef<Path>,
         limits: Limits,
     ) -> Result<SqlRuntime, SqlError> {
@@ -404,18 +510,28 @@ impl SqlRuntime {
                     ));
                 }
                 let compiled = compile_query(&query, &self.catalog).map_err(SqlError::Compile)?;
-                self.backend
-                    .create_view(&name, compiled.expr)
-                    .map_err(durable_err)?;
-                self.backend
-                    .set_meta(
-                        &format!("viewcols:{name}"),
-                        Some(&encode_columns(&compiled.output)),
-                    )
-                    .map_err(durable_err)?;
-                self.view_columns.insert(name.clone(), compiled.output);
-                let rows = self.view_rows(&name)?;
-                Ok(Response::ViewCreated { name, rows })
+                // The analyzer certifies what the compiler built: a shape
+                // error here means the SQL→BALG translation itself is
+                // broken, and the view must not register. No cost gate —
+                // compiled aggregates legitimately use the Section 3
+                // powerset-guess, bounded at runtime by the evaluator's
+                // budgets.
+                analyze::analyze(&compiled.expr, &self.catalog.to_schema()).map_err(|e| {
+                    SqlError::Analysis {
+                        at: 0,
+                        message: format!("compiled view failed analysis: {e}"),
+                    }
+                })?;
+                self.register_view(name, compiled.expr, compiled.output)
+            }
+            Statement::CreateBalgView { name, expr, at } => {
+                if self.catalog.get(&name).is_some() {
+                    return Err(SqlError::Compile(
+                        crate::compile::CompileError::ViewShadowsTable(name),
+                    ));
+                }
+                let output = self.analyze_balg_view(&expr, at)?;
+                self.register_view(name, expr, output)
             }
             Statement::Insert { table, rows } => {
                 let count = rows.len() as u64;
@@ -444,6 +560,56 @@ impl SqlRuntime {
                 )),
             },
         }
+    }
+
+    /// Gate a raw BALG view through the static analyzer: reject type and
+    /// shape errors, reject non-polynomial cost classes (the static form
+    /// of the evaluator's `TooLarge` budget trip — a view the delta
+    /// engine could never afford to maintain), and derive the output row
+    /// shape from the inferred type. Diagnostics point at byte `at`, the
+    /// start of the expression within the statement.
+    fn analyze_balg_view(&self, expr: &Expr, at: usize) -> Result<Vec<Column>, SqlError> {
+        let facts =
+            analyze::analyze(expr, &self.catalog.to_schema()).map_err(|e| SqlError::Analysis {
+                at,
+                message: e.to_string(),
+            })?;
+        if facts.cost.blowup_risk() {
+            return Err(SqlError::Analysis {
+                at,
+                message: format!(
+                    "cost class is {} — the view can outgrow every polynomial bound \
+                     (static TooLarge risk), refusing to maintain it",
+                    facts.cost
+                ),
+            });
+        }
+        balg_view_columns(&facts.ty).ok_or_else(|| SqlError::Analysis {
+            at,
+            message: format!(
+                "view type {} is not a flat row shape (need a bag of tuples over \
+                 atoms and integer bags)",
+                facts.ty
+            ),
+        })
+    }
+
+    /// Register an analyzed/compiled view expression under `name` and
+    /// persist its output shape — shared tail of both `CREATE VIEW`
+    /// forms.
+    fn register_view(
+        &mut self,
+        name: String,
+        expr: Expr,
+        output: Vec<Column>,
+    ) -> Result<Response, SqlError> {
+        self.backend.create_view(&name, expr).map_err(durable_err)?;
+        self.backend
+            .set_meta(&format!("viewcols:{name}"), Some(&encode_columns(&output)))
+            .map_err(durable_err)?;
+        self.view_columns.insert(name.clone(), output);
+        let rows = self.view_rows(&name)?;
+        Ok(Response::ViewCreated { name, rows })
     }
 
     /// The current decoded contents of a maintained view. The runtime is
@@ -475,7 +641,7 @@ impl SqlRuntime {
             .map_err(SqlError::Update)
     }
 
-    fn encode_row(&self, table: &Table, row: &[SqlValue]) -> Result<Value, SqlError> {
+    fn encode_row(table: &Table, row: &[SqlValue]) -> Result<Value, SqlError> {
         if row.len() != table.columns.len() {
             return Err(SqlError::Decode(format!(
                 "row arity {} vs table arity {}",
@@ -518,7 +684,7 @@ impl SqlRuntime {
             balg_core::zbag::ZInt::one()
         };
         for row in rows {
-            builder.push(self.encode_row(&table, row)?, sign.clone());
+            builder.push(Self::encode_row(&table, row)?, sign.clone());
         }
         let mut batch = UpdateBatch::new();
         batch.merge_delta(table_name, &builder.build());
@@ -623,6 +789,58 @@ mod tests {
         // SUM compiles through MAP/δ — δ is linear, so the chain maintains
         // with at most scalar/linear work plus the β re-derivation.
         assert!(rt.runtime().stats().batches > 0);
+    }
+
+    #[test]
+    fn balg_view_form_registers_and_maintains() {
+        let mut rt = setup();
+        let response = rt
+            .execute("CREATE VIEW customers AS BALG dedup(project(orders, 1))")
+            .unwrap();
+        let Response::ViewCreated { name, rows } = response else {
+            panic!("expected ViewCreated");
+        };
+        assert_eq!(name, "customers");
+        assert_eq!(rows.total_rows(), 2); // ann, bob (deduped)
+        assert_eq!(
+            rt.view_output("customers").map(<[Column]>::len),
+            Some(1),
+            "columns derive from the inferred type"
+        );
+        // The BALG view is maintained like any other.
+        rt.execute("INSERT INTO orders VALUES ('cleo', 9)").unwrap();
+        assert_eq!(rt.view_rows("customers").unwrap().total_rows(), 3);
+        assert!(rt.verify("customers").unwrap());
+        // Numeric columns survive the round trip through the inferred
+        // type: projecting the integer-bag column keeps SQL decoding.
+        rt.execute("CREATE VIEW quantities AS BALG project(orders, 2)")
+            .unwrap();
+        let rows = rt.view_rows("quantities").unwrap();
+        assert!(rows.columns[0].numeric);
+        assert!(rows
+            .rows
+            .iter()
+            .all(|(row, _)| matches!(row[0], SqlValue::Int(_))));
+        // Case-insensitive prefix, like every other keyword.
+        assert!(matches!(
+            parse_statement("create view v as balg dedup(vip)"),
+            Ok(Statement::CreateBalgView { .. })
+        ));
+    }
+
+    #[test]
+    fn balg_view_parse_errors_point_into_the_expression() {
+        let err = parse_statement("CREATE VIEW v AS BALG frob(orders)").unwrap_err();
+        // "frob" is unknown; the reported byte offset lands inside the
+        // expression tail, not at the statement start.
+        assert!(err.at >= 22, "{err:?}");
+        // A BALG view may not shadow a table either.
+        let mut rt = setup();
+        assert!(matches!(
+            rt.execute("CREATE VIEW orders AS BALG dedup(vip)")
+                .unwrap_err(),
+            SqlError::Compile(crate::compile::CompileError::ViewShadowsTable(_))
+        ));
     }
 
     #[test]
@@ -763,7 +981,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let catalog = Catalog::new().with_table("orders", &[("customer", false), ("qty", true)]);
         {
-            let mut rt = SqlRuntime::open(catalog.clone(), &dir, Limits::default()).unwrap();
+            let mut rt = SqlRuntime::open(&catalog, &dir, Limits::default()).unwrap();
             rt.execute("INSERT INTO orders VALUES ('ann', 3), ('bob', 5)")
                 .unwrap();
             rt.execute("CREATE VIEW spenders AS SELECT customer FROM orders WHERE qty >= 4")
@@ -779,7 +997,7 @@ mod tests {
         }
         // Reopen with an *empty* caller catalog: everything must come
         // back from the directory alone.
-        let mut rt = SqlRuntime::open(Catalog::new(), &dir, Limits::default()).unwrap();
+        let mut rt = SqlRuntime::open(&Catalog::new(), &dir, Limits::default()).unwrap();
         assert!(rt.catalog().get("orders").is_some());
         assert!(rt.catalog().get("notes").is_some());
         assert_eq!(rt.view_rows("spenders").unwrap().total_rows(), 2); // bob, cleo

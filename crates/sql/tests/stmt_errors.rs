@@ -100,6 +100,98 @@ fn unknown_tables_and_columns_are_compile_errors() {
     assert_eq!(rt.view_names().count(), 0);
 }
 
+// ----- static-analysis failures (BALG view form) -----
+
+/// Byte offset of the expression tail in `CREATE VIEW v AS BALG <expr>`.
+const BALG_EXPR_AT: usize = "CREATE VIEW v AS BALG ".len();
+
+#[test]
+fn statically_doomed_balg_views_are_analysis_errors() {
+    let mut rt = runtime();
+    // α₀ — attribute indices are 1-based.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG map(x, attr(x, 0), orders)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { at, ref message }
+            if at == BALG_EXPR_AT && message.contains("1-based")),
+        "{err:?}"
+    );
+    // Out-of-bounds attribute: orders rows have arity 2, α₅ cannot exist.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG map(x, attr(x, 5), orders)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { at, ref message }
+            if at == BALG_EXPR_AT && message.contains("attribute")),
+        "{err:?}"
+    );
+    // Arity mismatch: a set operation over differently shaped branches.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG union(orders, vip)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { at, .. } if at == BALG_EXPR_AT),
+        "{err:?}"
+    );
+    // Powerset blowup: statically classified exponential — the TooLarge
+    // trip is predicted at CREATE VIEW time instead of at the first
+    // unlucky INSERT.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG powerset(vip)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { at, ref message }
+            if at == BALG_EXPR_AT && message.contains("exponential")),
+        "{err:?}"
+    );
+    // Unbound variables are caught by the same gate.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG dedup(missing)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { ref message, .. } if message.contains("unbound")),
+        "{err:?}"
+    );
+    // Nothing registered along the way, and the rendered diagnostics
+    // carry the byte position.
+    assert_eq!(rt.view_names().count(), 0);
+    let err = rt
+        .execute("CREATE VIEW v AS BALG powerset(vip)")
+        .unwrap_err();
+    assert!(
+        err.to_string()
+            .starts_with(&format!("analysis error at byte {BALG_EXPR_AT}")),
+        "{err}"
+    );
+}
+
+#[test]
+fn non_row_shaped_balg_views_are_rejected() {
+    let mut rt = runtime();
+    // A bag of atoms is not a row shape the SQL layer can decode.
+    let err = rt
+        .execute("CREATE VIEW v AS BALG map(x, attr(x, 1), vip)")
+        .unwrap_err();
+    assert!(
+        matches!(err, SqlError::Analysis { ref message, .. } if message.contains("row shape")),
+        "{err:?}"
+    );
+}
+
+// ----- parse positions (byte offsets through the statement layer) -----
+
+#[test]
+fn statement_parse_errors_carry_byte_offsets() {
+    // The unterminated string starts at byte 26.
+    let err = parse_statement("INSERT INTO orders VALUES ('x").unwrap_err();
+    assert_eq!(err.at, 27);
+    assert!(err.to_string().contains("at byte 27"), "{err}");
+    // A statement-grammar error points at the offending token's byte.
+    let err = parse_statement("CREATE VIEW v SELECT * FROM orders").unwrap_err();
+    assert_eq!(err.at, 14, "{err:?}"); // SELECT where AS belongs
+}
+
 // ----- row-shape failures -----
 
 #[test]

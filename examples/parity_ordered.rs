@@ -23,8 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let witness = witnesses
             .elements()
             .next()
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "—".into());
+            .map_or_else(|| "—".into(), |v| v.to_string());
         println!("| {n:>2} | {witness:>9} | {even:>5} |");
         assert_eq!(even, n > 0 && n % 2 == 0);
     }

@@ -39,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tape: String = config.tape.iter().collect();
         let head = config
             .head
-            .map(|h| format!("head@{h}"))
-            .unwrap_or_else(|| "halted".into());
+            .map_or_else(|| "halted".into(), |h| format!("head@{h}"));
         let state = config.state.clone().unwrap_or_else(|| "—".into());
         println!("  t={:<2} tape [{tape}] {head} state {state}", config.time);
     }

@@ -70,7 +70,7 @@ proptest! {
     #[test]
     fn dedup_is_idempotent_and_support_preserving(a in flat_bag()) {
         let d = a.dedup();
-        prop_assert_eq!(d.dedup(), d.clone());
+        prop_assert_eq!(d.dedup(), d);
         prop_assert_eq!(d.distinct_count(), a.distinct_count());
         prop_assert!(d.is_subbag_of(&a) || a.is_empty());
         prop_assert!(d.iter().all(|(_, m)| m.is_one()));
