@@ -4,10 +4,13 @@
 //! `paper` bench times), the u1–u4 incremental update-stream workloads
 //! (`*_delta` maintained vs `*_recompute` full re-evaluation), the r1
 //! durability workloads (WAL group commit, cold-start replay,
-//! checkpoint), and the s1 server load workloads (1k+ simulated sessions against a live
-//! `balg-server`, reporting p50/p99 request latency and throughput),
-//! then writes machine-readable JSON so successive PRs can diff their
-//! perf against the committed `BENCH_baseline.json`.
+//! checkpoint), the s1 server load workloads (1k+ simulated sessions
+//! against a live `balg-server`, reporting p50/p90/p99 request latency,
+//! a read/write latency split for the mixed workload, and throughput),
+//! and the observability overhead pair (`obs_egroups_off`/`_on` — the
+//! E-group suite timed before and after installing the global metrics
+//! registry), then writes machine-readable JSON so successive PRs can
+//! diff their perf against the committed `BENCH_baseline.json`.
 //!
 //! ```text
 //! balg-bench [--out FILE] [--reps N] [--label NAME] [--append [FILE]]
@@ -29,6 +32,7 @@ use balg_bench::durability::durability_groups;
 use balg_bench::incremental::update_groups;
 use balg_bench::json::{self, Json};
 use balg_bench::micro_wall::micro_groups;
+use balg_bench::obs_overhead::overhead_metrics;
 use balg_bench::paper::groups;
 use balg_bench::server_load::load_metrics;
 
@@ -186,6 +190,14 @@ fn main() {
             _ => format_ns(value),
         };
         eprintln!("{name:<28}        {rendered:>12}");
+        results.push((name.to_owned(), value, unit));
+    }
+
+    // Last, so every timing above ran metrics-off (comparable with prior
+    // snapshots): the overhead pair installs the process-global registry
+    // for its on-phase.
+    for (name, value, unit) in overhead_metrics(args.reps) {
+        eprintln!("{:<28} median {:>12}", name, format_ns(value));
         results.push((name.to_owned(), value, unit));
     }
 

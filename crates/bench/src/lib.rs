@@ -25,6 +25,7 @@ pub mod durability;
 pub mod incremental;
 pub mod json;
 pub mod micro_wall;
+pub mod obs_overhead;
 pub mod paper;
 pub mod server_load;
 

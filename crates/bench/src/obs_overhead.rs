@@ -1,0 +1,50 @@
+//! Measures the observability layer's cost: the full E1–E18 suite timed
+//! once with **no** metrics registry in the process, then again after
+//! [`balg_obs::install_global`] — the same binary, the same workloads,
+//! the only difference being that every evaluator, cache, and engine
+//! hook now finds a registry and records.
+//!
+//! The pair of rows (`obs_egroups_off` / `obs_egroups_on`) is the
+//! acceptance evidence that always-on metrics stay within the overhead
+//! budget. The off-phase must run before anything installs a registry —
+//! no other workload installs one (the assertion keeps it that way), and
+//! the runner calls [`overhead_metrics`] *last* so all the regular
+//! timings stay metrics-off and comparable with earlier snapshots.
+
+use std::time::Instant;
+
+use crate::paper::groups;
+
+/// One measured metric row, same shape as the other workload modules.
+pub type Metric = (&'static str, u128, &'static str);
+
+/// Median wall time of one full pass over every E-group.
+fn suite_median_ns(reps: u32) -> u128 {
+    let mut suite = groups();
+    for group in &mut suite {
+        (group.run)(); // warm-up
+    }
+    let mut samples = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let start = Instant::now();
+        for group in &mut suite {
+            (group.run)();
+        }
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time the suite metrics-off, install the global registry, time it
+/// again metrics-on.
+pub fn overhead_metrics(reps: u32) -> Vec<Metric> {
+    assert!(
+        balg_obs::global().is_none(),
+        "a metrics registry was installed before the off-phase ran"
+    );
+    let off = suite_median_ns(reps);
+    balg_obs::install_global(balg_obs::MetricsRegistry::new());
+    let on = suite_median_ns(reps);
+    vec![("obs_egroups_off", off, "ns"), ("obs_egroups_on", on, "ns")]
+}

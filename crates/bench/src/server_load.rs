@@ -12,9 +12,10 @@
 //!   publication, and read-your-writes, while the rest read.
 //!
 //! Each request is timed end-to-end at the client (frame write → reply
-//! decode); the report is p50/p99 latency plus aggregate throughput,
-//! in rows the `balg-bench` runner appends to `BENCH_baseline.json`
-//! under the `s1_*` family.
+//! decode); the report is p50/p90/p99 latency plus aggregate
+//! throughput — and, for the mixed workload, a separate read/write
+//! latency split — in rows the `balg-bench` runner appends to
+//! `BENCH_baseline.json` under the `s1_*` family.
 
 use std::net::SocketAddr;
 use std::thread;
@@ -78,34 +79,43 @@ fn session_script(workload: &'static str, session: usize) -> Vec<String> {
         .collect()
 }
 
-/// Run one workload against `addr`: returns every per-request latency in
-/// nanoseconds plus the wall-clock time of the whole run.
-fn drive(addr: SocketAddr, workload: &'static str) -> (Vec<u128>, u128) {
+/// Run one workload against `addr`: returns every per-request latency
+/// in nanoseconds — split by the statement's [`route`] — plus the
+/// wall-clock time of the whole run.
+fn drive(addr: SocketAddr, workload: &'static str) -> (Vec<u128>, Vec<u128>, u128) {
     let started = Instant::now();
     let handles: Vec<_> = (0..CLIENT_THREADS)
         .map(|t| {
             thread::spawn(move || {
-                let mut latencies = Vec::new();
+                let mut reads = Vec::new();
+                let mut writes = Vec::new();
                 let mut session = t;
                 while session < SESSIONS {
                     let mut client = Client::connect(addr).expect("connect");
                     for line in session_script(workload, session) {
                         let sent = Instant::now();
                         let reply = client.request(&line).expect("request");
-                        latencies.push(sent.elapsed().as_nanos());
+                        let elapsed = sent.elapsed().as_nanos();
+                        match route(&line) {
+                            Route::Read => reads.push(elapsed),
+                            Route::Write => writes.push(elapsed),
+                        }
                         assert!(reply.ok, "{workload} request failed: {}", reply.text);
                     }
                     session += CLIENT_THREADS;
                 }
-                latencies
+                (reads, writes)
             })
         })
         .collect();
-    let mut latencies = Vec::with_capacity(SESSIONS * REQUESTS_PER_SESSION);
+    let mut reads = Vec::with_capacity(SESSIONS * REQUESTS_PER_SESSION);
+    let mut writes = Vec::new();
     for handle in handles {
-        latencies.extend(handle.join().expect("client thread"));
+        let (r, w) = handle.join().expect("client thread");
+        reads.extend(r);
+        writes.extend(w);
     }
-    (latencies, started.elapsed().as_nanos())
+    (reads, writes, started.elapsed().as_nanos())
 }
 
 fn percentile(sorted: &[u128], p: f64) -> u128 {
@@ -114,29 +124,50 @@ fn percentile(sorted: &[u128], p: f64) -> u128 {
 }
 
 /// Run both workloads against a freshly seeded server and report the
-/// `s1_*` metric rows.
+/// `s1_*` metric rows: p50/p90/p99 over all requests, throughput, and —
+/// for the mixed workload — the read/write latency split.
 pub fn load_metrics() -> Vec<Metric> {
     let mut out = Vec::new();
     for workload in ["s1_reads", "s1_mixed"] {
         let server = seeded_server();
-        let (mut latencies, wall_ns) = drive(server.addr(), workload);
+        let (mut reads, mut writes, wall_ns) = drive(server.addr(), workload);
         server.shutdown();
-        latencies.sort_unstable();
-        let requests = latencies.len() as u128;
+        assert!(!reads.is_empty(), "no reads measured for {workload}");
+        assert_eq!(
+            writes.is_empty(),
+            workload == "s1_reads",
+            "unexpected read/write split for {workload}"
+        );
+        reads.sort_unstable();
+        writes.sort_unstable();
+        let mut all = Vec::with_capacity(reads.len() + writes.len());
+        all.extend_from_slice(&reads);
+        all.extend_from_slice(&writes);
+        all.sort_unstable();
+        let requests = all.len() as u128;
         let rps = requests.checked_mul(1_000_000_000).expect("fits") / wall_ns.max(1);
-        let rows: [Metric; 3] = match workload {
-            "s1_reads" => [
-                ("s1_reads_p50", percentile(&latencies, 0.50), "ns"),
-                ("s1_reads_p99", percentile(&latencies, 0.99), "ns"),
+        match workload {
+            "s1_reads" => out.extend([
+                ("s1_reads_p50", percentile(&all, 0.50), "ns"),
+                ("s1_reads_p90", percentile(&all, 0.90), "ns"),
+                ("s1_reads_p99", percentile(&all, 0.99), "ns"),
                 ("s1_reads_throughput", rps, "rps"),
-            ],
-            _ => [
-                ("s1_mixed_p50", percentile(&latencies, 0.50), "ns"),
-                ("s1_mixed_p99", percentile(&latencies, 0.99), "ns"),
-                ("s1_mixed_throughput", rps, "rps"),
-            ],
-        };
-        out.extend(rows);
+            ]),
+            _ => {
+                out.extend([
+                    ("s1_mixed_p50", percentile(&all, 0.50), "ns"),
+                    ("s1_mixed_p90", percentile(&all, 0.90), "ns"),
+                    ("s1_mixed_p99", percentile(&all, 0.99), "ns"),
+                    ("s1_mixed_throughput", rps, "rps"),
+                ]);
+                out.extend([
+                    ("s1_mixed_read_p50", percentile(&reads, 0.50), "ns"),
+                    ("s1_mixed_read_p99", percentile(&reads, 0.99), "ns"),
+                    ("s1_mixed_write_p50", percentile(&writes, 0.50), "ns"),
+                    ("s1_mixed_write_p99", percentile(&writes, 0.99), "ns"),
+                ]);
+            }
+        }
     }
     out
 }

@@ -11,13 +11,18 @@
 //! - `--serve ADDR [--tables SPEC]` runs the concurrent SQL service
 //!   (`balg-server`) on ADDR until killed. SPEC declares tables as
 //!   `name=col[:int],col;name2=...`; `:table` can declare more at
-//!   runtime.
+//!   runtime. `--slow-ms N` logs any statement served in ≥ N ms to
+//!   stderr.
 //! - `--connect ADDR` is a line client for a served instance.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // One process-global registry for every mode: the REPLs' `:metrics`,
+    // the served instance's over-the-wire `:metrics`, and the slow-query
+    // counter all read from it.
+    balg_obs::install_global(balg_obs::MetricsRegistry::new());
     let args: Vec<String> = std::env::args().skip(1).collect();
     let data_dir = args
         .iter()
@@ -27,7 +32,7 @@ fn main() -> ExitCode {
     if let Some(pos) = args.iter().position(|a| a == "--serve") {
         let Some(addr) = args.get(pos + 1) else {
             eprintln!(
-                "usage: balg-cli --serve ADDR [--tables name=col[:int],col;...] [--data-dir DIR]"
+                "usage: balg-cli --serve ADDR [--tables name=col[:int],col;...] [--data-dir DIR] [--slow-ms N]"
             );
             return ExitCode::FAILURE;
         };
@@ -36,7 +41,21 @@ fn main() -> ExitCode {
             .position(|a| a == "--tables")
             .and_then(|p| args.get(p + 1))
             .map_or("", String::as_str);
-        return serve(addr, tables, data_dir);
+        let slow_ms = match args
+            .iter()
+            .position(|a| a == "--slow-ms")
+            .and_then(|p| args.get(p + 1))
+        {
+            None => None,
+            Some(raw) => match raw.parse::<u64>() {
+                Ok(ms) => Some(ms),
+                Err(_) => {
+                    eprintln!("--slow-ms wants a millisecond count, got {raw:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        return serve(addr, tables, data_dir, slow_ms);
     }
     if let Some(pos) = args.iter().position(|a| a == "--connect") {
         let Some(addr) = args.get(pos + 1) else {
@@ -71,7 +90,7 @@ fn parse_tables(spec: &str) -> Result<balg_sql::Catalog, String> {
     Ok(catalog)
 }
 
-fn serve(addr: &str, tables: &str, data_dir: Option<&str>) -> ExitCode {
+fn serve(addr: &str, tables: &str, data_dir: Option<&str>, slow_ms: Option<u64>) -> ExitCode {
     let catalog = match parse_tables(tables) {
         Ok(catalog) => catalog,
         Err(message) => {
@@ -82,6 +101,7 @@ fn serve(addr: &str, tables: &str, data_dir: Option<&str>) -> ExitCode {
     let db = balg_core::schema::Database::new();
     let config = balg_server::ServerConfig {
         data_dir: data_dir.map(std::path::PathBuf::from),
+        slow_ms,
         ..balg_server::ServerConfig::default()
     };
     let server = match balg_server::SqlServer::spawn(addr, catalog, db, config) {

@@ -161,6 +161,8 @@ impl Session {
                 }
             },
             "analyze" => analyze_command(args, &self.schema()),
+            "profile" => profile_command(args, &self.db, self.limits.clone()),
+            "metrics" => metrics_command(),
             other => Response::Text(format!("unknown command :{other} (:help)")),
         }
     }
@@ -200,6 +202,26 @@ fn analyze_command(args: &str, schema: &Schema) -> Response {
     }
 }
 
+/// The `:profile EXPR` command, shared by both session kinds: parse,
+/// evaluate under the span profiler, and render the per-operator report
+/// ([`balg_core::profile::profile_report`]) — the same renderer the
+/// server uses, so the report is byte-equal across surfaces.
+fn profile_command(args: &str, db: &Database, limits: Limits) -> Response {
+    match balg_core::profile::profile_report(args, db, limits) {
+        Ok(report) => Response::Text(report),
+        Err(message) => Response::Text(message),
+    }
+}
+
+/// The `:metrics` command, shared by both session kinds: the
+/// process-global registry in Prometheus exposition format.
+fn metrics_command() -> Response {
+    match balg_obs::global() {
+        Some(registry) => Response::Text(registry.render_prometheus()),
+        None => Response::Text("no metrics registry installed".into()),
+    }
+}
+
 fn extension_notes(analysis: &balg_core::typecheck::Analysis) -> String {
     let mut notes = Vec::new();
     if analysis.uses_powerbag {
@@ -229,6 +251,9 @@ commands:
   :check expr         fragment analysis (BALG level, power nesting)
   :analyze expr       static facts: type, set-ness, cost class,
                       per-base linearity (the analyze.rs lattice)
+  :profile expr       evaluate with per-operator timing: wall time, step
+                      charge, cardinality, and fast-path tags per node
+  :metrics            process metrics in Prometheus text format
   :optimize expr      print the rewritten expression
   :quit               leave
 anything else is parsed as a BALG expression and evaluated, e.g.
@@ -301,7 +326,7 @@ impl IncrementalSession {
     fn eval_bag_text(&self, text: &str) -> Result<balg_core::bag::Bag, String> {
         let expr = parse_expr(text).map_err(|e| e.to_string())?;
         let db = self.query_db();
-        let (result, _) = eval_with_metrics(&expr, &db, Limits::default());
+        let (result, _) = eval_with_metrics(&expr, &db, self.backend.runtime().limits().clone());
         match result.map_err(|e| format!("evaluation failed: {e}"))? {
             Value::Bag(bag) => Ok(bag),
             other => Err(format!("not a bag: {other}")),
@@ -396,34 +421,10 @@ impl IncrementalSession {
                 }
                 Response::Text(out.trim_end().to_owned())
             }
-            "stats" => {
-                let stats = self.backend.runtime().stats();
-                let mut out = format!(
-                    "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
-                    stats.batches,
-                    stats.views.linear_delta_ops,
-                    stats.views.indexed_join_ops,
-                    stats.views.scanned_join_ops,
-                    stats.views.fallback_recomputes,
-                    stats.views.scalar_recomputes,
-                    stats.views.full_reinits
-                );
-                // A dropped view is an incident, not a statistic — name it
-                // and say why it was lost.
-                for (name, record) in self.backend.runtime().dropped() {
-                    out.push_str(&format!(
-                        "\ndropped view {name} (batch {}): {}",
-                        record.at_batch, record.cause
-                    ));
-                }
-                if let Some(d) = self.backend.durability() {
-                    out.push_str(&format!(
-                        "\ndurable: lsn {}, snapshot lsn {}, {} WAL bytes since checkpoint, {} batches replayed at open, {} checkpoints",
-                        d.lsn, d.snapshot_lsn, d.wal_bytes, d.replayed_batches, d.checkpoints
-                    ));
-                }
-                Response::Text(out)
-            }
+            "stats" => Response::Text(balg_incremental::render_stats(
+                self.backend.runtime(),
+                self.backend.durability().as_ref(),
+            )),
             "check" => {
                 let result = if args.is_empty() {
                     self.backend.runtime().verify_all()
@@ -437,6 +438,12 @@ impl IncrementalSession {
                 }
             }
             "analyze" => analyze_command(args, &self.schema()),
+            "profile" => profile_command(
+                args,
+                &self.query_db(),
+                self.backend.runtime().limits().clone(),
+            ),
+            "metrics" => metrics_command(),
             "dropview" => match self.backend.drop_view(args) {
                 Ok(true) => Response::Text(format!("dropped view {args}")),
                 Ok(false) => Response::Text(format!("no view named {args}")),
@@ -483,10 +490,14 @@ incremental mode — standing views maintained by the ℤ-bag delta engine:
   :delete NAME expr   remove the elements of a bag expr from base NAME
   :show               list bases and views
   :check [NAME]       compare a view (or all) against full re-evaluation
-  :stats              delta-engine instrumentation counters (plus WAL
-                      position and replay counters when --data-dir is set)
+  :stats              delta-engine and join-index cache counters (plus
+                      WAL position and replay counters when --data-dir
+                      is set)
   :analyze expr       static facts: type, set-ness, cost class,
                       per-base linearity (what the delta engine sees)
+  :profile expr       evaluate one-shot with per-operator timing (reads
+                      bases plus view results, like a plain line)
+  :metrics            process metrics in Prometheus text format
   :dropview NAME      unregister a view
   :checkpoint         snapshot a durable session and truncate its WAL
   :quit               leave

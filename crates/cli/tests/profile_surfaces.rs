@@ -1,0 +1,74 @@
+//! Byte-equality of the `:profile` report across every surface that
+//! renders one: the plain CLI session, the incremental session, the
+//! server's read path ([`execute_read`]), and the serial twin.
+//!
+//! All four call the one renderer in `balg_core::profile`, so equality
+//! holds by construction — provided the report itself is deterministic,
+//! which `BALG_PROFILE_TICKS` guarantees by switching the profiler to a
+//! counting clock. Single test in this binary: the env var is process
+//! state.
+
+use balg_cli::{IncrementalSession, Response, Session};
+use balg_core::eval::Limits;
+use balg_server::prelude::{execute_read, snapshot_of, SerialTwin};
+use balg_sql::prelude::{database_from_rows, Catalog, SqlRuntime};
+
+const EXPR: &str = "project(select(x, eq(attr(x,2), attr(x,3)), product(g, g)), 1, 4)";
+const INSERT: &str = "INSERT INTO g VALUES ('a', 'b'), ('b', 'c')";
+const LOAD: &str = ":load g bag{ [a,b], [b,c] }";
+
+fn text(response: Response) -> String {
+    match response {
+        Response::Text(t) => t,
+        Response::Quit => panic!("unexpected quit"),
+    }
+}
+
+#[test]
+fn profile_report_is_byte_equal_across_surfaces() {
+    std::env::set_var(balg_obs::profile::PROFILE_TICKS_ENV, "1000");
+    let catalog = Catalog::new().with_table("g", &[("src", false), ("dst", false)]);
+    let db = database_from_rows(&catalog, &[]).unwrap();
+
+    // Surface 1 — the serial twin's statement surface.
+    let mut twin = SerialTwin::new(catalog.clone(), db.clone(), Limits::default());
+    assert!(twin.execute(INSERT).ok);
+    let twin_reply = twin.execute(&format!(":profile {EXPR}"));
+    assert!(twin_reply.ok, "{}", twin_reply.text);
+
+    // Surface 2 — execute_read over a freshly pinned snapshot of an
+    // identically mutated runtime.
+    let mut rt = SqlRuntime::with_limits(catalog, db, Limits::default());
+    rt.execute(INSERT).unwrap();
+    let direct = execute_read(&snapshot_of(&rt, 1), &format!(":profile {EXPR}"));
+    assert_eq!(twin_reply, direct);
+
+    // Surface 3 — the plain CLI session over the same bag.
+    let mut session = Session::new();
+    assert_eq!(text(session.process_line(LOAD)), "loaded g");
+    let cli = text(session.process_line(&format!(":profile {EXPR}")));
+    assert_eq!(twin_reply.text, cli);
+
+    // Surface 4 — the incremental session (bases plus views).
+    let mut inc = IncrementalSession::new();
+    assert_eq!(text(inc.process_line(LOAD)), "loaded g");
+    let inc_report = text(inc.process_line(&format!(":profile {EXPR}")));
+    assert_eq!(twin_reply.text, inc_report);
+
+    // The report is a real profile: operator tree, fast-path tag, step
+    // charges, deterministic tick times, and the result line.
+    assert!(cli.contains("base g"), "{cli}");
+    assert!(
+        cli.contains("[indexed-join]") || cli.contains("[hash-join]"),
+        "{cli}"
+    );
+    assert!(cli.contains("steps"), "{cli}");
+    assert!(cli.contains("total: "), "{cli}");
+    assert!(cli.contains("result: 1 distinct elements"), "{cli}");
+
+    // Parse errors reply as errors on the statement surface and as plain
+    // messages in the REPL — same text either way.
+    let bad = twin.execute(":profile project(");
+    assert!(!bad.ok);
+    assert_eq!(bad.text, text(session.process_line(":profile project(")));
+}

@@ -28,6 +28,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use balg_obs::profile::{Profiler, SpanId};
+
 use crate::bag::{attr_field, Bag, BagBuilder, BagError};
 use crate::expr::{Expr, Pred, Var};
 use crate::index::{BagIndex, IndexCache, SubBagTester};
@@ -226,6 +228,51 @@ pub struct Evaluator<'a> {
     /// `SubBag` testers) may run. The differential suites flip this to
     /// prove the indexed and scan paths equivalent.
     use_indexes: bool,
+    /// Per-operator span recording for `:profile`; `None` (the default)
+    /// costs one branch per closed node. Frames are only opened for
+    /// env-empty (top-level plan) nodes, so λ-body and IFP-body
+    /// per-element evaluations collapse into their parent frame.
+    profiler: Option<Profiler>,
+    /// The fast-path tag of the most recent fused/indexed operator, read
+    /// (and cleared) by the enclosing profiled frame. Only written while
+    /// profiling — evaluation results never depend on it.
+    fast_path: Option<&'static str>,
+}
+
+/// Always-on per-evaluation counters, resolved lazily from the installed
+/// [`balg_obs`] registry. Recording happens once per [`Evaluator::eval`]
+/// call — query granularity, not operator granularity — so the overhead
+/// stays in the noise of any real workload.
+struct EvalObs {
+    total: balg_obs::Counter,
+    errors: balg_obs::Counter,
+    steps: balg_obs::Counter,
+    duration: balg_obs::Histogram,
+}
+
+static EVAL_OBS: std::sync::OnceLock<EvalObs> = std::sync::OnceLock::new();
+
+fn eval_obs() -> Option<&'static EvalObs> {
+    if let Some(obs) = EVAL_OBS.get() {
+        return Some(obs);
+    }
+    let registry = balg_obs::global()?;
+    let _ = EVAL_OBS.set(EvalObs {
+        total: registry.counter("balg_eval_total", "Top-level BALG evaluations"),
+        errors: registry.counter(
+            "balg_eval_errors_total",
+            "Top-level BALG evaluations that returned an error",
+        ),
+        steps: registry.counter(
+            "balg_eval_steps_total",
+            "Evaluation steps charged across all BALG evaluations",
+        ),
+        duration: registry.histogram(
+            "balg_eval_duration_ns",
+            "Wall time per top-level BALG evaluation",
+        ),
+    });
+    EVAL_OBS.get()
 }
 
 impl<'a> Evaluator<'a> {
@@ -243,7 +290,21 @@ impl<'a> Evaluator<'a> {
             projection_specs: PtrMap::default(),
             indexes: IndexCache::new(),
             use_indexes: true,
+            profiler: None,
+            fast_path: None,
         }
+    }
+
+    /// Start recording per-operator spans for `:profile`. The profiler
+    /// observes — it never changes what is computed, how many steps are
+    /// charged, or which errors surface.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
+    /// Take the recorded profile (if profiling was enabled).
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
     }
 
     /// Enable or disable the secondary-index fast paths (per-key join
@@ -272,7 +333,20 @@ impl<'a> Evaluator<'a> {
         // dropped) tree whose node addresses could recur.
         self.invariant_roots.clear();
         self.projection_specs.clear();
-        self.eval_inner(expr)
+        let Some(obs) = eval_obs() else {
+            return self.eval_inner(expr);
+        };
+        let start = std::time::Instant::now();
+        let steps_before = self.metrics.steps;
+        let result = self.eval_inner(expr);
+        obs.total.inc();
+        if result.is_err() {
+            obs.errors.inc();
+        }
+        obs.steps.add(self.metrics.steps - steps_before);
+        obs.duration
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        result
     }
 
     /// Evaluate and require a bag result.
@@ -431,6 +505,13 @@ impl<'a> Evaluator<'a> {
     }
 
     fn eval_inner(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        if self.profiler.is_some() && self.env.is_empty() {
+            return self.eval_inner_profiled(expr);
+        }
+        self.eval_inner_plain(expr)
+    }
+
+    fn eval_inner_plain(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         self.step()?;
         // Only computing nodes are ever registered (see `worth_memoizing`),
         // so `Var`/`Lit` skip the probe entirely.
@@ -447,6 +528,42 @@ impl<'a> Evaluator<'a> {
             }
         }
         self.eval_node(expr)
+    }
+
+    /// [`Evaluator::eval_inner_plain`] bracketed by a profiler frame:
+    /// identical evaluation, plus the node's label, elapsed time, step
+    /// delta, output cardinality, and any fast-path tag its operator set.
+    fn eval_inner_profiled(&mut self, expr: &Expr) -> Result<Value, EvalError> {
+        let span = self.open_span(expr);
+        let steps_before = self.metrics.steps;
+        let result = self.eval_inner_plain(expr);
+        let steps = self.metrics.steps - steps_before;
+        let rows = match &result {
+            Ok(Value::Bag(bag)) => Some(bag.distinct_count() as u64),
+            _ => None,
+        };
+        let tag = self.fast_path.take();
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.finish(span, steps, rows, tag, result.is_err());
+        }
+        result
+    }
+
+    fn open_span(&mut self, expr: &Expr) -> SpanId {
+        let label = node_label(expr);
+        self.profiler
+            .as_mut()
+            .expect("checked by eval_inner")
+            .start(label)
+    }
+
+    /// Record the fast path an operator took, for the enclosing profiled
+    /// frame. A field store behind an is-profiling branch — inert when
+    /// profiling is off, and invisible to evaluation either way.
+    fn note_fast_path(&mut self, tag: &'static str) {
+        if self.profiler.is_some() {
+            self.fast_path = Some(tag);
+        }
     }
 
     fn eval_node(&mut self, expr: &Expr) -> Result<Value, EvalError> {
@@ -668,6 +785,7 @@ impl<'a> Evaluator<'a> {
                                 // One step per produced element, in bulk.
                                 self.charge_steps(bag.distinct_count() as u64)?;
                                 first_stage = 1; // the projection is done
+                                self.note_fast_path("project-scale");
                                 ChainBase::Bag(bag)
                             }
                             None => ChainBase::Pairs(left, right),
@@ -752,7 +870,10 @@ impl<'a> Evaluator<'a> {
                     lhs: Expr::Var(name),
                     rhs,
                 }],
-            ) if name == *var => self.run_subbag_select(bag, rhs),
+            ) if name == *var => {
+                self.note_fast_path("subbag-sweep");
+                self.run_subbag_select(bag, rhs)
+            }
             _ => self.run_chain_loop(&base, stages),
         };
         for key in registered {
@@ -946,6 +1067,7 @@ impl<'a> Evaluator<'a> {
                     if self.use_indexes {
                         if let Some(out) = self.indexed_join(&left, i, &right, jr)? {
                             self.observe(&out)?;
+                            self.note_fast_path("indexed-join");
                             return Ok(ProductOutcome::Joined(out));
                         }
                     }
@@ -973,6 +1095,7 @@ impl<'a> Evaluator<'a> {
                     }
                     let out = out.build();
                     self.observe(&out)?;
+                    self.note_fast_path("hash-join");
                     return Ok(ProductOutcome::Joined(out));
                 }
             }
@@ -1369,6 +1492,38 @@ fn project_pair(left: &[Value], right: &[Value], indices: &[usize]) -> Result<Va
             }
             Ok(Value::Tuple(out.into()))
         }
+    }
+}
+
+/// The short operator label a profile frame carries, matching the
+/// algebra's rendered syntax ([`Expr`]'s `Display`).
+fn node_label(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(name) => format!("base {name}"),
+        Expr::Lit(_) => "lit".to_owned(),
+        Expr::AdditiveUnion(..) => "\u{222a}\u{207a}".to_owned(),
+        Expr::Subtract(..) => "\u{2212}".to_owned(),
+        Expr::MaxUnion(..) => "\u{222a}".to_owned(),
+        Expr::Intersect(..) => "\u{2229}".to_owned(),
+        Expr::Tuple(..) => "\u{3c4}".to_owned(),
+        Expr::Singleton(..) => "\u{3b2}".to_owned(),
+        Expr::Product(..) => "\u{d7}".to_owned(),
+        Expr::Powerset(..) => "P".to_owned(),
+        Expr::Powerbag(..) => "Pb".to_owned(),
+        Expr::Attr(_, i) => format!("\u{3b1}{i}"),
+        Expr::Destroy(..) => "\u{3b4}".to_owned(),
+        Expr::Map { var, .. } => format!("MAP \u{3bb}{var}"),
+        Expr::Select { var, .. } => format!("\u{3c3} \u{3bb}{var}"),
+        Expr::Dedup(..) => "\u{3b5}".to_owned(),
+        Expr::Ifp { var, .. } => format!("IFP \u{3bb}{var}"),
+        Expr::Nest { group, .. } => format!(
+            "nest[{}]",
+            group
+                .iter()
+                .map(|g| g.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
     }
 }
 

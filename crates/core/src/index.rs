@@ -266,6 +266,51 @@ pub struct IndexCache {
     capacity: usize,
     hits: u64,
     builds: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Process-global cache counters, resolved lazily from the installed
+/// [`balg_obs`] registry. Plain `u64` bumps stay the source of truth for
+/// `:stats` (deterministic, per-cache); these aggregate across every
+/// cache in the process for `:metrics`.
+struct CacheObs {
+    hits: balg_obs::Counter,
+    misses: balg_obs::Counter,
+    builds: balg_obs::Counter,
+    evictions: balg_obs::Counter,
+}
+
+static CACHE_OBS: std::sync::OnceLock<CacheObs> = std::sync::OnceLock::new();
+
+/// The cached global handles, or `None` while no registry is installed.
+/// Deliberately not memoizing the negative answer: a process that
+/// installs the registry mid-life (the bench overhead pair does) starts
+/// recording from that point on.
+fn cache_obs() -> Option<&'static CacheObs> {
+    if let Some(obs) = CACHE_OBS.get() {
+        return Some(obs);
+    }
+    let registry = balg_obs::global()?;
+    let _ = CACHE_OBS.set(CacheObs {
+        hits: registry.counter(
+            "balg_index_cache_hits_total",
+            "Join-index cache hits across all caches",
+        ),
+        misses: registry.counter(
+            "balg_index_cache_misses_total",
+            "Join-index cache lookups that found no entry",
+        ),
+        builds: registry.counter(
+            "balg_index_cache_builds_total",
+            "Join-index builds (including negative results)",
+        ),
+        evictions: registry.counter(
+            "balg_index_cache_evictions_total",
+            "Join-index cache entries evicted by the LRU bound",
+        ),
+    });
+    CACHE_OBS.get()
 }
 
 impl Default for IndexCache {
@@ -290,6 +335,8 @@ impl IndexCache {
             capacity: capacity.max(1),
             hits: 0,
             builds: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
@@ -303,7 +350,12 @@ impl IndexCache {
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity.max(1);
         if self.entries.len() > self.capacity {
+            let dropped = (self.entries.len() - self.capacity) as u64;
             self.entries.drain(..self.entries.len() - self.capacity);
+            self.evictions += dropped;
+            if let Some(obs) = cache_obs() {
+                obs.evictions.add(dropped);
+            }
         }
     }
 
@@ -324,6 +376,10 @@ impl IndexCache {
     fn push_evicting(&mut self, entry: CacheEntry) {
         if self.entries.len() >= self.capacity {
             self.entries.remove(0);
+            self.evictions += 1;
+            if let Some(obs) = cache_obs() {
+                obs.evictions.inc();
+            }
         }
         self.entries.push(entry);
     }
@@ -331,10 +387,19 @@ impl IndexCache {
     /// A cached index for `(bag, attr)` if one exists — no build. A hit
     /// refreshes the entry's recency.
     pub fn peek(&mut self, bag: &Bag, attr: usize) -> Option<Arc<BagIndex>> {
-        let found = self.find(bag, attr)?;
+        let Some(found) = self.find(bag, attr) else {
+            self.misses += 1;
+            if let Some(obs) = cache_obs() {
+                obs.misses.inc();
+            }
+            return None;
+        };
         let found = self.touch(found);
         let index = self.entries[found].index.clone()?;
         self.hits += 1;
+        if let Some(obs) = cache_obs() {
+            obs.hits.inc();
+        }
         Some(index)
     }
 
@@ -344,9 +409,17 @@ impl IndexCache {
         if let Some(found) = self.find(bag, attr) {
             let found = self.touch(found);
             self.hits += 1;
+            if let Some(obs) = cache_obs() {
+                obs.hits.inc();
+            }
             return self.entries[found].index.clone();
         }
+        self.misses += 1;
         self.builds += 1;
+        if let Some(obs) = cache_obs() {
+            obs.misses.inc();
+            obs.builds.inc();
+        }
         let index = BagIndex::build(bag, attr).map(Arc::new);
         self.push_evicting(CacheEntry {
             owner: bag.clone(),
@@ -401,6 +474,19 @@ impl IndexCache {
     /// Index builds (including negative results) so far.
     pub fn builds(&self) -> u64 {
         self.builds
+    }
+
+    /// Lookups (peek or get-or-build) that found no cached entry. A
+    /// `get_or_build` miss is one miss plus one build; a negative entry
+    /// found in place counts as neither.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped by the LRU bound (inserts past capacity and
+    /// capacity shrinks; explicit invalidation does not count).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of live entries.

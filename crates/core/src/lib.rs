@@ -65,6 +65,7 @@ pub mod expr;
 pub mod index;
 pub mod natural;
 pub mod parse;
+pub mod profile;
 pub mod rewrite;
 pub mod schema;
 pub mod typecheck;

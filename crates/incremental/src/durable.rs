@@ -536,7 +536,7 @@ impl DurableRuntime {
     /// already syncs.
     pub fn sync_wal(&mut self) -> Result<(), DurableError> {
         self.check_poison()?;
-        self.wal.sync_data()?;
+        sync_data_timed(&self.wal)?;
         Ok(())
     }
 
@@ -565,8 +565,11 @@ impl DurableRuntime {
         }
         self.wal.write_all(&framed)?;
         self.wal_bytes += framed.len() as u64;
+        if let Some(obs) = crate::obs::dur_obs() {
+            obs.wal_bytes.add(framed.len() as u64);
+        }
         if self.sync_on_commit {
-            self.wal.sync_data()?;
+            sync_data_timed(&self.wal)?;
         }
         Ok(())
     }
@@ -697,6 +700,7 @@ impl DurableRuntime {
     /// steps leaves a directory [`DurableRuntime::open`] recovers exactly.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
         self.check_poison()?;
+        let started = crate::obs::dur_obs().map(|_| std::time::Instant::now());
         let bytes = encode_snapshot(&self.inner, &self.metas, self.lsn);
         let tmp = self.dir.join("snapshot.tmp");
         {
@@ -728,6 +732,11 @@ impl DurableRuntime {
         self.snapshot_lsn = self.lsn;
         self.batches_since_checkpoint = 0;
         self.checkpoints += 1;
+        if let (Some(obs), Some(started)) = (crate::obs::dur_obs(), started) {
+            obs.checkpoint_duration
+                .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            obs.checkpoints.inc();
+        }
         Ok(())
     }
 
@@ -909,6 +918,19 @@ impl AnyRuntime {
     }
 }
 
+/// `File::sync_data` with the fsync latency recorded into the metrics
+/// registry when one is installed.
+fn sync_data_timed(wal: &File) -> std::io::Result<()> {
+    let Some(obs) = crate::obs::dur_obs() else {
+        return wal.sync_data();
+    };
+    let start = std::time::Instant::now();
+    wal.sync_data()?;
+    obs.fsync_duration
+        .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    Ok(())
+}
+
 /// Apply one replayed record. Deterministic view failures (a view drop
 /// that happened before the crash happens again now) are swallowed —
 /// they are part of the state being reconstructed, not replay errors.
@@ -936,6 +958,9 @@ fn replay(
                 Err(e) => return Err(DurableError::Update(e)),
             }
             *replayed_batches += 1;
+            if let Some(obs) = crate::obs::dur_obs() {
+                obs.replayed_batches.inc();
+            }
         }
         WalRecord::LoadBase { name, bag, .. } => {
             // A dependent view's re-derivation failure is deterministic.

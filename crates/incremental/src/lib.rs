@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 pub mod durable;
+pub(crate) mod obs;
 pub mod runtime;
 pub mod view;
 
@@ -69,7 +70,9 @@ pub mod prelude {
         AnyRuntime, CheckpointPolicy, Durability, DurableError, DurableRuntime, WalFaultPlan,
         WalRecord,
     };
-    pub use crate::runtime::{DroppedView, RuntimeStats, UpdateBatch, UpdateError, ViewRuntime};
+    pub use crate::runtime::{
+        render_stats, DroppedView, RuntimeStats, UpdateBatch, UpdateError, ViewRuntime,
+    };
     pub use crate::view::{View, ViewStats};
 }
 

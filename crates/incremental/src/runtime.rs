@@ -243,6 +243,17 @@ impl ViewRuntime {
         (self.indexes.hits(), self.indexes.builds())
     }
 
+    /// Full join-index cache statistics
+    /// `(hits, misses, builds, evictions)` — the `:stats` surface.
+    pub fn index_cache_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.indexes.hits(),
+            self.indexes.misses(),
+            self.indexes.builds(),
+            self.indexes.evictions(),
+        )
+    }
+
     /// The current database (bases only; views live beside it).
     pub fn database(&self) -> &Database {
         &self.db
@@ -425,10 +436,13 @@ impl ViewRuntime {
         // failure must not leave the *other* affected views unmaintained,
         // so the loop always runs to completion.
         let mut failed: Vec<(String, EvalError)> = Vec::new();
+        let obs = crate::obs::incr_obs();
         for (view_name, view) in &mut self.views {
             if view.reads().is_disjoint(&affected) {
                 continue;
             }
+            let before = obs.map(|_| view.stats().clone());
+            let start = obs.map(|_| std::time::Instant::now());
             if view
                 .maintain(
                     &batch.deltas,
@@ -444,8 +458,28 @@ impl ViewRuntime {
                     failed.push((view_name.clone(), error));
                 }
             }
+            if let (Some(obs), Some(before), Some(start)) = (obs, before, start) {
+                obs.maintain_duration
+                    .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                let after = view.stats();
+                obs.linear_delta_ops
+                    .add(after.linear_delta_ops - before.linear_delta_ops);
+                obs.fallback_recomputes
+                    .add(after.fallback_recomputes - before.fallback_recomputes);
+                obs.scalar_recomputes
+                    .add(after.scalar_recomputes - before.scalar_recomputes);
+                obs.full_reinits
+                    .add(after.full_reinits - before.full_reinits);
+                obs.indexed_join_ops
+                    .add(after.indexed_join_ops - before.indexed_join_ops);
+                obs.scanned_join_ops
+                    .add(after.scanned_join_ops - before.scanned_join_ops);
+            }
         }
         self.batches += 1;
+        if let Some(obs) = obs {
+            obs.batches.inc();
+        }
         self.drop_failed(failed)
     }
 
@@ -514,6 +548,47 @@ impl ViewRuntime {
             views,
         }
     }
+}
+
+/// The `:stats` report shared by every surface (balg-cli's incremental
+/// session, balg-server's writer, and the serial twin): the delta-engine
+/// counters, the join-index cache line, one line per dropped view with
+/// its cause, and — when the runtime is durable — the WAL position and
+/// replay counters. One renderer, so the text is byte-equal across
+/// surfaces by construction.
+pub fn render_stats(rt: &ViewRuntime, durability: Option<&crate::durable::Durability>) -> String {
+    let stats = rt.stats();
+    let mut out = format!(
+        "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
+        stats.batches,
+        stats.views.linear_delta_ops,
+        stats.views.indexed_join_ops,
+        stats.views.scanned_join_ops,
+        stats.views.fallback_recomputes,
+        stats.views.scalar_recomputes,
+        stats.views.full_reinits
+    );
+    let (hits, misses, builds, evictions) = rt.index_cache_stats();
+    out.push_str(&format!(
+        "\nindex cache: {hits} hits, {misses} misses, {builds} builds, {evictions} evictions"
+    ));
+    // A dropped view is an incident, not a statistic — name it and say
+    // why it was lost.
+    for (name, record) in rt.dropped() {
+        out.push_str(&format!(
+            "\ndropped view {name} (batch {}): {}",
+            record.at_batch, record.cause
+        ));
+    }
+    // In-memory runtimes have no durability line at all, so a serial
+    // twin and a memory-mode server still render byte-identically.
+    if let Some(d) = durability {
+        out.push_str(&format!(
+            "\ndurable: lsn {}, snapshot lsn {}, {} WAL bytes since checkpoint, {} batches replayed at open, {} checkpoints",
+            d.lsn, d.snapshot_lsn, d.wal_bytes, d.replayed_batches, d.checkpoints
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1235,6 +1235,11 @@ impl View {
         };
         self.root.update(&mut ctx)?;
         let irregular = ctx.irregular_join_fallbacks;
+        if irregular > 0 {
+            if let Some(obs) = crate::obs::incr_obs() {
+                obs.irregular_join_fallbacks.add(irregular);
+            }
+        }
         // The analyzer's certificate, checked against reality: when every
         // updated base is ≤ bilinear (and no fused join hit irregular
         // data), the whole pass must have stayed in delta form. The

@@ -1,0 +1,100 @@
+//! Inertness gate for the incremental engine's instrumentation: a
+//! deterministic update stream maintained with the metrics registry
+//! installed must produce exactly the same view results, per-view
+//! counters, and `:stats` text as the same stream maintained without it.
+//!
+//! Single test binary, single test: [`balg_obs::install_global`] is
+//! first-wins process-wide, so the off-phase must run before anything
+//! installs a registry.
+
+use balg_core::bag::Bag;
+use balg_core::parse::parse_expr;
+use balg_core::value::Value;
+use balg_incremental::{render_stats, UpdateBatch, ViewRuntime};
+
+fn pair(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+/// A runtime with one linear view, one fused equi-join view, and one
+/// non-linear view — every maintenance path the counters distinguish.
+fn runtime() -> ViewRuntime {
+    let mut rt = ViewRuntime::new();
+    rt.load_base("G", Bag::from_values([pair(0, 1), pair(1, 2), pair(2, 3)]))
+        .unwrap();
+    rt.create_view("rev", parse_expr("project(G, 2, 1)").unwrap())
+        .unwrap();
+    rt.create_view(
+        "hops",
+        parse_expr("project(select(x, eq(attr(x,2), attr(x,3)), product(G, G)), 1, 4)").unwrap(),
+    )
+    .unwrap();
+    rt.create_view("nodes", parse_expr("dedup(project(G, 1))").unwrap())
+        .unwrap();
+    rt
+}
+
+/// The deterministic stream: inserts with a sliding window of deletes,
+/// so deltas exercise both signs without ever going negative.
+fn stream() -> Vec<UpdateBatch> {
+    let mut batches = Vec::new();
+    for i in 0..24i64 {
+        let mut batch = UpdateBatch::new();
+        batch.insert("G", pair(i % 5, (i * 3 + 1) % 5));
+        if i >= 2 {
+            let j = i - 2;
+            batch.delete("G", pair(j % 5, (j * 3 + 1) % 5));
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// Everything observable after one batch, as one comparable string.
+fn observe(rt: &ViewRuntime) -> String {
+    let mut out = String::new();
+    for name in ["rev", "hops", "nodes"] {
+        let bag = rt.view(name).expect("view alive");
+        out.push_str(&format!("{name} = {bag}\n"));
+    }
+    out.push_str(&render_stats(rt, None));
+    out
+}
+
+#[test]
+fn instrumentation_is_inert_over_update_streams() {
+    assert!(
+        balg_obs::global().is_none(),
+        "another test installed the global registry before the off-phase ran"
+    );
+
+    // Off-phase: no registry exists, nothing records.
+    let mut off = runtime();
+    let mut expected = Vec::new();
+    for batch in stream() {
+        off.apply(&batch).unwrap();
+        expected.push(observe(&off));
+    }
+
+    // On-phase: registry installed, identical runtime, identical stream.
+    assert!(balg_obs::install_global(balg_obs::MetricsRegistry::new()));
+    let mut on = runtime();
+    for (i, batch) in stream().iter().enumerate() {
+        on.apply(batch).unwrap();
+        assert_eq!(expected[i], observe(&on), "batch {i} drifted under metrics");
+    }
+
+    // The on-phase really recorded: every batch and at least one
+    // maintenance path reached the registry.
+    let rendered = balg_obs::global()
+        .expect("installed above")
+        .render_prometheus();
+    assert!(
+        rendered.contains("balg_update_batches_total 24"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("balg_maintain_duration_ns_count"),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,433 @@
+//! Zero-dependency observability primitives for the balg workspace.
+//!
+//! The crate provides four pieces, all lock-free on the hot path:
+//!
+//! - [`Counter`] — a monotonically increasing atomic `u64`;
+//! - [`Gauge`] — an atomic `i64` that can move both ways (queue depths);
+//! - [`Histogram`] — a fixed 64-bucket log₂-scale latency histogram.
+//!   Recording is a single `fetch_add`; p50/p90/p99 are derived from the
+//!   bucket counts after the fact ([`Histogram::quantile`]);
+//! - [`MetricsRegistry`] — a named, idempotent registry of the above
+//!   with a Prometheus text-exposition renderer
+//!   ([`MetricsRegistry::render_prometheus`]).
+//!
+//! A process-wide registry can be installed once via [`install_global`];
+//! instrumented crates look it up with [`global`] and cache the resolved
+//! handles, so a process that never installs a registry pays one atomic
+//! load per hook site and nothing else. The [`profile`] module holds the
+//! span-based per-operator profiler behind `:profile`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+pub mod profile;
+
+/// Number of histogram buckets. Bucket 0 holds the value 0; bucket
+/// `i ≥ 1` holds values in `[2^(i−1), 2^i − 1]`; the last bucket is
+/// open-ended.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// cell, so a handle can be cached per call site.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can rise and fall (e.g. queue depth).
+/// Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log₂-scale histogram of `u64` samples (nanoseconds by
+/// convention). Recording is one relaxed `fetch_add` per sample — no
+/// locks, no allocation — so concurrent recorders never lose counts.
+/// Quantiles are reconstructed from the bucket counts and are therefore
+/// upper bounds accurate to one bucket (a factor of two).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The bucket a sample lands in: 0 for the value 0, otherwise the
+/// position of its highest set bit (capped at the open-ended last
+/// bucket).
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (`u64::MAX` for the open-ended
+/// last bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        j if j >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        j => (1u64 << j) - 1,
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all recorded samples (wraps on overflow).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot of the per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) reconstructed from the buckets:
+    /// the upper bound of the bucket containing the sample of rank
+    /// `max(1, ceil(q·n))`. Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let n: u64 = buckets.iter().sum();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &b) in buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    instrument: Instrument,
+}
+
+/// A named registry of instruments. Registration is idempotent: asking
+/// for an existing name returns a handle to the same underlying cell,
+/// so independent subsystems can share a metric without coordination.
+/// Cloning the registry shares its contents.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, help: &str, fresh: Instrument) -> Instrument {
+        let mut entries = self.entries.lock().expect("metrics registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| e.name == name) {
+            assert_eq!(
+                entry.instrument.kind(),
+                fresh.kind(),
+                "metric {name:?} registered twice with different kinds"
+            );
+            return entry.instrument.clone();
+        }
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            instrument: fresh.clone(),
+        });
+        fresh
+    }
+
+    /// Register (or look up) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        match self.register(name, help, Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        match self.register(name, help, Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Register (or look up) a histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        match self.register(name, help, Instrument::Histogram(Histogram::new())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked in register"),
+        }
+    }
+
+    /// Render every registered instrument in Prometheus text-exposition
+    /// format, in registration order. Histogram buckets carry raw-unit
+    /// (nanosecond) `le` bounds; empty buckets are elided and the last
+    /// bucket renders as `+Inf`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for entry in entries.iter() {
+            let name = &entry.name;
+            out.push_str(&format!("# HELP {name} {}\n", entry.help));
+            out.push_str(&format!("# TYPE {name} {}\n", entry.instrument.kind()));
+            match &entry.instrument {
+                Instrument::Counter(c) => out.push_str(&format!("{name} {}\n", c.get())),
+                Instrument::Gauge(g) => out.push_str(&format!("{name} {}\n", g.get())),
+                Instrument::Histogram(h) => {
+                    let buckets = h.buckets();
+                    let total: u64 = buckets.iter().sum();
+                    let mut seen = 0u64;
+                    for (i, &b) in buckets.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                        seen += b;
+                        if b > 0 {
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{}\"}} {seen}\n",
+                                bucket_upper(i)
+                            ));
+                        }
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {total}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {total}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// Install `registry` as the process-wide registry. Returns `false` if
+/// one was already installed (the first install wins; installation is
+/// one-way for the life of the process).
+pub fn install_global(registry: MetricsRegistry) -> bool {
+    GLOBAL.set(registry).is_ok()
+}
+
+/// The process-wide registry, if one has been installed.
+pub fn global() -> Option<&'static MetricsRegistry> {
+    GLOBAL.get()
+}
+
+/// Format a nanosecond count for human-facing reports: `ns` below 1µs,
+/// then three-decimal `µs`/`ms`/`s`. Pure integer arithmetic, so the
+/// rendering is bit-for-bit deterministic.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{}.{:03}\u{b5}s", ns / 1_000, ns % 1_000)
+    } else if ns < 1_000_000_000 {
+        format!("{}.{:03}ms", ns / 1_000_000, (ns / 1_000) % 1_000)
+    } else {
+        format!("{}.{:03}s", ns / 1_000_000_000, (ns / 1_000_000) % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's upper bound lands in that bucket.
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_bounds_known_samples() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 101_106);
+        // p50 rank is 3 → sample 3 → bucket [2,3] → upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 rank is 6 → sample 100_000 → upper bound 2^17 − 1.
+        assert_eq!(h.quantile(0.99), (1 << 17) - 1);
+    }
+
+    #[test]
+    fn registry_is_idempotent_and_kind_checked() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", "a counter");
+        let b = reg.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter("x_total", "ignored dup help").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kinds")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", "c");
+        reg.gauge("x", "g");
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("balg_c_total", "count things").add(7);
+        reg.gauge("balg_g", "gauge things").set(-2);
+        let h = reg.histogram("balg_h_ns", "time things");
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let text = reg.render_prometheus();
+        let expected = "\
+# HELP balg_c_total count things
+# TYPE balg_c_total counter
+balg_c_total 7
+# HELP balg_g gauge things
+# TYPE balg_g gauge
+balg_g -2
+# HELP balg_h_ns time things
+# TYPE balg_h_ns histogram
+balg_h_ns_bucket{le=\"0\"} 1
+balg_h_ns_bucket{le=\"7\"} 3
+balg_h_ns_bucket{le=\"+Inf\"} 3
+balg_h_ns_sum 10
+balg_h_ns_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_000), "1.000\u{b5}s");
+        assert_eq!(fmt_ns(1_234), "1.234\u{b5}s");
+        assert_eq!(fmt_ns(12_345_678), "12.345ms");
+        assert_eq!(fmt_ns(1_500_000_000), "1.500s");
+    }
+}

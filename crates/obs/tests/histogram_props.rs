@@ -1,0 +1,84 @@
+//! Property tests for the histogram/registry primitives (PR-9 satellite):
+//! bucketed quantiles stay within one bucket of the exact same-rank
+//! quantile on random samples, and concurrent recording conserves the
+//! total count and sum.
+
+use balg_obs::{bucket_index, bucket_upper, Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+/// The exact sample of rank `max(1, ceil(q·n))` — the same rank rule the
+/// histogram reconstruction uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn bucketed_quantile_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(0u64..=10_000_000, 1..200),
+        qi in 0usize..5,
+    ) {
+        let q = [0.5, 0.9, 0.95, 0.99, 1.0][qi];
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let approx = h.quantile(q);
+        // The reconstruction returns the upper bound of the exact
+        // sample's bucket: never below the exact value, never more than
+        // one bucket away.
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        let (be, ba) = (bucket_index(exact), bucket_index(approx));
+        prop_assert!(
+            ba.abs_diff(be) <= 1,
+            "bucket drift: exact {exact} (bucket {be}) vs approx {approx} (bucket {ba})"
+        );
+        prop_assert!(approx <= bucket_upper(be.saturating_add(1)));
+    }
+
+    #[test]
+    fn count_and_sum_track_samples(
+        samples in proptest::collection::vec(0u64..=1_000_000, 0..100),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), samples.len() as u64);
+    }
+}
+
+/// Concurrent-recording soundness: many threads hammering one histogram
+/// (shared through a registry clone, as in the real server) lose no
+/// samples — the total count and sum are conserved.
+#[test]
+fn concurrent_recording_conserves_count() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("t_ns", "threaded");
+    let c = reg.counter("t_total", "threaded");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = h.clone();
+            let c = c.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).sum();
+    assert_eq!(h.sum(), expected_sum);
+}

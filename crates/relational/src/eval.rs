@@ -49,6 +49,36 @@ pub struct RalgEvaluator<'a> {
     use_indexes: bool,
 }
 
+/// Always-on per-evaluation counters for the RALG baseline, resolved
+/// lazily from the installed [`balg_obs`] registry (recorded once per
+/// top-level [`RalgEvaluator::eval`], like the BALG side).
+struct RalgObs {
+    total: balg_obs::Counter,
+    errors: balg_obs::Counter,
+    duration: balg_obs::Histogram,
+}
+
+static RALG_OBS: std::sync::OnceLock<RalgObs> = std::sync::OnceLock::new();
+
+fn ralg_obs() -> Option<&'static RalgObs> {
+    if let Some(obs) = RALG_OBS.get() {
+        return Some(obs);
+    }
+    let registry = balg_obs::global()?;
+    let _ = RALG_OBS.set(RalgObs {
+        total: registry.counter("balg_ralg_eval_total", "Top-level RALG evaluations"),
+        errors: registry.counter(
+            "balg_ralg_eval_errors_total",
+            "Top-level RALG evaluations that returned an error",
+        ),
+        duration: registry.histogram(
+            "balg_ralg_eval_duration_ns",
+            "Wall time per top-level RALG evaluation",
+        ),
+    });
+    RALG_OBS.get()
+}
+
 impl<'a> RalgEvaluator<'a> {
     /// Create an evaluator with the given budgets.
     pub fn new(db: &'a Database, limits: Limits) -> Self {
@@ -76,7 +106,18 @@ impl<'a> RalgEvaluator<'a> {
     /// Evaluate a closed expression.
     pub fn eval(&mut self, expr: &RalgExpr) -> Result<Value, EvalError> {
         debug_assert!(self.env.is_empty());
-        self.eval_inner(expr)
+        let Some(obs) = ralg_obs() else {
+            return self.eval_inner(expr);
+        };
+        let start = std::time::Instant::now();
+        let result = self.eval_inner(expr);
+        obs.total.inc();
+        if result.is_err() {
+            obs.errors.inc();
+        }
+        obs.duration
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        result
     }
 
     /// Evaluate, requiring a relation result.

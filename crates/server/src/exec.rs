@@ -157,6 +157,25 @@ pub fn execute_read(snap: &Snapshot, line: &str) -> Reply {
                     Ok(facts) => Reply::ok(balg_core::analyze::render_report(&expr, &facts)),
                 },
             },
+            // One renderer (`balg_core::profile`) shared with balg-cli
+            // and the serial twin, evaluated over the pinned snapshot's
+            // bases plus view results — byte-equal across surfaces by
+            // construction (deterministic when BALG_PROFILE_TICKS is set).
+            "profile" => match balg_core::parse::parse_expr(args) {
+                Err(e) => Reply::err(e.to_string()),
+                Ok(expr) => {
+                    let mut db = snap.db.clone();
+                    for (name, (bag, _)) in &snap.views {
+                        db.insert(name, bag.clone());
+                    }
+                    Reply::ok(balg_core::profile::profile_expr(
+                        &expr,
+                        &db,
+                        snap.limits.clone(),
+                    ))
+                }
+            },
+            "metrics" => metrics_reply(),
             other => Reply::err(format!("unknown command :{other}")),
         };
     }
@@ -255,35 +274,20 @@ fn declare_table(rt: &mut SqlRuntime, args: &str) -> Reply {
     }
 }
 
-/// The `:stats` text: delta-engine counters plus one line per dropped
-/// view with its cause.
+/// The `:metrics` text: the process-global registry rendered in
+/// Prometheus exposition format. Shared by the server's dispatch and the
+/// serial twin (both reach it through [`execute_read`]).
+pub fn metrics_reply() -> Reply {
+    match balg_obs::global() {
+        Some(registry) => Reply::ok(registry.render_prometheus()),
+        None => Reply::err("no metrics registry installed"),
+    }
+}
+
+/// The `:stats` text — [`balg_incremental::render_stats`], the renderer
+/// every surface shares, so the server and balg-cli report identically.
 fn render_stats(rt: &SqlRuntime) -> String {
-    let stats = rt.runtime().stats();
-    let mut out = format!(
-        "{} batches — {} linear delta ops ({} indexed joins, {} scanned joins), {} non-linear fallbacks, {} scalar recomputes, {} full re-inits",
-        stats.batches,
-        stats.views.linear_delta_ops,
-        stats.views.indexed_join_ops,
-        stats.views.scanned_join_ops,
-        stats.views.fallback_recomputes,
-        stats.views.scalar_recomputes,
-        stats.views.full_reinits
-    );
-    for (name, record) in rt.runtime().dropped() {
-        out.push_str(&format!(
-            "\ndropped view {name} (batch {}): {}",
-            record.at_batch, record.cause
-        ));
-    }
-    // In-memory runtimes have no durability line at all, so a serial twin
-    // and a memory-mode server still render `:stats` byte-identically.
-    if let Some(d) = rt.durability() {
-        out.push_str(&format!(
-            "\ndurable: lsn {}, snapshot lsn {}, {} WAL bytes since checkpoint, {} batches replayed at open, {} checkpoints",
-            d.lsn, d.snapshot_lsn, d.wal_bytes, d.replayed_batches, d.checkpoints
-        ));
-    }
-    out
+    balg_incremental::render_stats(rt.runtime(), rt.durability().as_ref())
 }
 
 /// The serial oracle: the same statement surface executed in-process on

@@ -53,7 +53,8 @@ pub mod server;
 pub mod prelude {
     pub use crate::client::Client;
     pub use crate::exec::{
-        execute_read, execute_write, route, snapshot_of, Reply, Route, SerialTwin, Snapshot,
+        execute_read, execute_write, metrics_reply, route, snapshot_of, Reply, Route, SerialTwin,
+        Snapshot,
     };
     pub use crate::server::{ServerConfig, SqlServer};
 }

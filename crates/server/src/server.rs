@@ -63,6 +63,11 @@ pub struct ServerConfig {
     /// cleanly (counted in `:stats`). `None` means sessions may idle
     /// forever.
     pub read_timeout: Option<Duration>,
+    /// Slow-query log threshold in milliseconds (the binary's
+    /// `--slow-ms N`): any statement whose end-to-end service time
+    /// (queue wait included) reaches it is logged to stderr and counted
+    /// in `balg_server_slow_queries_total`. `None` disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -75,8 +80,57 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             data_dir: None,
             read_timeout: None,
+            slow_ms: None,
         }
     }
+}
+
+/// Lazily-resolved handles into the process-global metrics registry.
+/// The absent-registry answer is deliberately not cached: a registry
+/// installed mid-life starts receiving samples at the next request.
+struct ServerObs {
+    read_duration: balg_obs::Histogram,
+    write_duration: balg_obs::Histogram,
+    queue_depth: balg_obs::Gauge,
+    busy_rejections: balg_obs::Counter,
+    idle_closes: balg_obs::Counter,
+    slow_queries: balg_obs::Counter,
+}
+
+static SERVER_OBS: std::sync::OnceLock<ServerObs> = std::sync::OnceLock::new();
+
+fn server_obs() -> Option<&'static ServerObs> {
+    if let Some(obs) = SERVER_OBS.get() {
+        return Some(obs);
+    }
+    let registry = balg_obs::global()?;
+    let _ = SERVER_OBS.set(ServerObs {
+        read_duration: registry.histogram(
+            "balg_server_read_duration_ns",
+            "Read-statement service time (snapshot pin to reply), nanoseconds",
+        ),
+        write_duration: registry.histogram(
+            "balg_server_write_duration_ns",
+            "Write-statement service time (enqueue to ack, queue wait included), nanoseconds",
+        ),
+        queue_depth: registry.gauge(
+            "balg_server_queue_depth",
+            "Write jobs currently enqueued or being applied",
+        ),
+        busy_rejections: registry.counter(
+            "balg_server_busy_rejections_total",
+            "Writes rejected at admission because the writer queue was full",
+        ),
+        idle_closes: registry.counter(
+            "balg_server_idle_closes_total",
+            "Sessions closed for idling past the read timeout",
+        ),
+        slow_queries: registry.counter(
+            "balg_server_slow_queries_total",
+            "Statements that reached the slow-query threshold",
+        ),
+    });
+    SERVER_OBS.get()
 }
 
 /// One queued write: the statement and where to send its reply.
@@ -94,6 +148,8 @@ struct Shared {
     shutdown: AtomicBool,
     max_frame: u32,
     read_timeout: Option<Duration>,
+    /// Slow-query log threshold in milliseconds (`None` disables it).
+    slow_ms: Option<u64>,
     /// Writes rejected at admission because the writer queue was full.
     busy_rejections: AtomicU64,
     /// Sessions closed for idling past the read timeout.
@@ -125,6 +181,7 @@ impl SqlServer {
             limits,
             data_dir,
             read_timeout,
+            slow_ms,
         } = config;
         let mut rt = match &data_dir {
             None => SqlRuntime::with_limits(catalog, db, limits),
@@ -161,6 +218,7 @@ impl SqlServer {
             shutdown: AtomicBool::new(false),
             max_frame,
             read_timeout,
+            slow_ms,
             busy_rejections: AtomicU64::new(0),
             idle_closes: AtomicU64::new(0),
         });
@@ -252,6 +310,9 @@ fn session_loop(mut stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 ) =>
             {
                 shared.idle_closes.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = server_obs() {
+                    obs.idle_closes.inc();
+                }
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -279,7 +340,36 @@ fn server_stats_suffix(shared: &Shared) -> String {
 }
 
 fn dispatch(line: &str, shared: &Shared) -> Reply {
-    match route(line) {
+    let kind = route(line);
+    let obs = server_obs();
+    // One clock read per request, and only when someone is listening —
+    // the metrics-off path stays timing-free.
+    let start = (obs.is_some() || shared.slow_ms.is_some()).then(std::time::Instant::now);
+    let reply = dispatch_routed(line, kind, shared, obs);
+    if let Some(start) = start {
+        let elapsed = start.elapsed();
+        if let Some(obs) = obs {
+            let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            match kind {
+                Route::Read => obs.read_duration.record(ns),
+                Route::Write => obs.write_duration.record(ns),
+            }
+        }
+        if let Some(threshold) = shared.slow_ms {
+            let ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+            if ms >= threshold {
+                if let Some(obs) = obs {
+                    obs.slow_queries.inc();
+                }
+                eprintln!("[balg-server] slow query ({ms} ms >= {threshold} ms): {line}");
+            }
+        }
+    }
+    reply
+}
+
+fn dispatch_routed(line: &str, kind: Route, shared: &Shared, obs: Option<&ServerObs>) -> Reply {
+    match kind {
         Route::Read => {
             // Pin the published snapshot — one Arc clone, then the read
             // lock is released and evaluation runs unsynchronized.
@@ -302,13 +392,23 @@ fn dispatch(line: &str, shared: &Shared) -> Reply {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
                     shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = obs {
+                        obs.busy_rejections.inc();
+                    }
                     return Reply::err("busy: writer queue is full, retry shortly");
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     return Reply::err("server is shutting down");
                 }
             }
-            let mut reply = match reply_rx.recv() {
+            if let Some(obs) = obs {
+                obs.queue_depth.inc();
+            }
+            let received = reply_rx.recv();
+            if let Some(obs) = obs {
+                obs.queue_depth.dec();
+            }
+            let mut reply = match received {
                 Ok(reply) => reply,
                 Err(_) => return Reply::err("writer terminated before replying"),
             };
