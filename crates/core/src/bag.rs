@@ -205,6 +205,15 @@ impl Bag {
         Arc::make_mut(&mut self.elems)
     }
 
+    /// Read-only view of the sorted `(element, multiplicity)` pair slice
+    /// (strictly ascending keys, no zero multiplicities) — what
+    /// [`crate::par`]'s partitioned kernels and the downstream evaluators'
+    /// chunked probe loops split at key boundaries. Construction stays
+    /// crate-private, so the invariant cannot be broken through this view.
+    pub fn pairs(&self) -> &[(Value, Natural)] {
+        &self.elems
+    }
+
     /// Check the representation invariant: strictly ascending keys, no
     /// zero multiplicities. `true` on a well-formed bag. Intended for
     /// `debug_assert!` at construction boundaries and for test harnesses;
@@ -866,7 +875,7 @@ impl Bag {
 
 /// Allocation hint for subbag enumeration: the predicted distinct count
 /// when it fits, clamped by the element budget (never trusted raw).
-fn subbag_capacity(predicted: &Natural, max_elements: u64) -> usize {
+pub(crate) fn subbag_capacity(predicted: &Natural, max_elements: u64) -> usize {
     predicted.to_u64().map_or(0, |n| n.min(max_elements)) as usize
 }
 
@@ -874,7 +883,7 @@ fn subbag_capacity(predicted: &Natural, max_elements: u64) -> usize {
 /// source entry. The source entries arrive in element order, so the pair
 /// vector is born satisfying the bag invariant — no per-subbag tree or
 /// sort, just a filtered copy.
-fn build_subbag(entries: &[(&Value, &Natural)], counts: &[u64]) -> Bag {
+pub(crate) fn build_subbag(entries: &[(&Value, &Natural)], counts: &[u64]) -> Bag {
     let mut pairs = Vec::with_capacity(counts.iter().filter(|&&c| c > 0).count());
     for ((value, _), &count) in entries.iter().zip(counts) {
         if count > 0 {

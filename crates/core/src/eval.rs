@@ -34,6 +34,8 @@ use crate::bag::{attr_field, Bag, BagBuilder, BagError};
 use crate::expr::{Expr, Pred, Var};
 use crate::index::{BagIndex, IndexCache, SubBagTester};
 use crate::natural::Natural;
+use crate::par;
+use crate::pool;
 use crate::schema::Database;
 use crate::value::Value;
 
@@ -228,6 +230,11 @@ pub struct Evaluator<'a> {
     /// `SubBag` testers) may run. The differential suites flip this to
     /// prove the indexed and scan paths equivalent.
     use_indexes: bool,
+    /// Partitioned-execution settings ([`crate::par`]). Partition counts
+    /// are a pure function of `par.chunks`, never of hardware, so every
+    /// setting computes the same bags, errors, and step charges; the
+    /// parallel↔serial differential suites flip this to prove it.
+    par: par::Parallel,
     /// Per-operator span recording for `:profile`; `None` (the default)
     /// costs one branch per closed node. Frames are only opened for
     /// env-empty (top-level plan) nodes, so λ-body and IFP-body
@@ -290,6 +297,7 @@ impl<'a> Evaluator<'a> {
             projection_specs: PtrMap::default(),
             indexes: IndexCache::new(),
             use_indexes: true,
+            par: par::Parallel::from_global(),
             profiler: None,
             fast_path: None,
         }
@@ -323,6 +331,53 @@ impl<'a> Evaluator<'a> {
     /// tests can assert that repeated joins actually reuse an index.
     pub fn index_stats(&self) -> (u64, u64) {
         (self.indexes.hits(), self.indexes.builds())
+    }
+
+    /// Enable or disable partitioned parallel execution. Enabling adopts
+    /// the process-wide default chunk count
+    /// ([`crate::pool::default_parallelism`]); disabling pins every
+    /// operator to its serial path. Both settings compute the same bags,
+    /// errors, and step charges — only scheduling differs.
+    pub fn set_parallel(&mut self, enabled: bool) {
+        self.par.chunks = if enabled {
+            crate::pool::default_parallelism()
+        } else {
+            1
+        };
+    }
+
+    /// Pin the partition count directly (values `<= 1` disable parallel
+    /// execution). Partitioning is a pure function of this count — never
+    /// of worker count or load — so differential tests can compare any
+    /// two settings on any host.
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        self.par.chunks = n.max(1);
+    }
+
+    /// Override the minimum work size before operators partition
+    /// (distinct elements / probe rows / predicted outputs). Tests drop
+    /// this to `0` to force the partitioned paths onto small inputs.
+    pub fn set_parallel_threshold(&mut self, n: usize) {
+        self.par.threshold = n;
+    }
+
+    /// The current partition count (`1` means serial).
+    pub fn parallel_chunks(&self) -> usize {
+        self.par.chunks
+    }
+
+    /// The full partitioned-execution settings, for engines (e.g. the
+    /// incremental view maintainer) that drive their own partitioned
+    /// kernels off this evaluator's configuration.
+    pub fn parallel(&self) -> par::Parallel {
+        self.par
+    }
+
+    /// Install a full partitioned-execution configuration in one call —
+    /// the counterpart of [`Evaluator::parallel`] for hosts that carry a
+    /// [`par::Parallel`] of their own (e.g. the incremental runtime).
+    pub fn set_parallel_config(&mut self, par: par::Parallel) {
+        self.par = par;
     }
 
     /// Evaluate a closed expression (free variables resolve to database
@@ -566,14 +621,29 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Whether a powerset/powerbag enumeration over `bag` should use the
+    /// rank-chunked parallel kernel: parallelism on, more than one distinct
+    /// element (the single-element fast path beats any partitioning), and
+    /// a predicted enumeration at least the threshold. Oversized
+    /// predictions (`> u64`) go to the parallel kernel too — it reproduces
+    /// the serial `TooLarge` pre-check before enumerating anything.
+    fn subbags_want_partitioning(&self, bag: &Bag) -> bool {
+        self.par.enabled()
+            && bag.distinct_count() > 1
+            && bag
+                .powerset_cardinality()
+                .to_u64()
+                .is_none_or(|n| n >= self.par.threshold as u64)
+    }
+
     fn eval_node(&mut self, expr: &Expr) -> Result<Value, EvalError> {
         match expr {
             Expr::Var(name) => self.lookup(name),
             Expr::Lit(value) => Ok(value.clone()),
-            Expr::AdditiveUnion(a, b) => self.eval_binary(a, b, Bag::additive_union),
-            Expr::Subtract(a, b) => self.eval_binary(a, b, Bag::subtract),
-            Expr::MaxUnion(a, b) => self.eval_binary(a, b, Bag::max_union),
-            Expr::Intersect(a, b) => self.eval_binary(a, b, Bag::intersect),
+            Expr::AdditiveUnion(a, b) => self.eval_binary(a, b, MergeKind::AdditiveUnion),
+            Expr::Subtract(a, b) => self.eval_binary(a, b, MergeKind::Subtract),
+            Expr::MaxUnion(a, b) => self.eval_binary(a, b, MergeKind::MaxUnion),
+            Expr::Intersect(a, b) => self.eval_binary(a, b, MergeKind::Intersect),
             Expr::Tuple(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
                 for field in fields {
@@ -595,14 +665,22 @@ impl<'a> Evaluator<'a> {
             Expr::Powerset(e) => {
                 let bag = expect_bag(self.eval_inner(e)?)?;
                 self.metrics.powerset_calls += 1;
-                let out = bag.powerset(self.limits.max_bag_elements)?;
+                let out = if self.subbags_want_partitioning(&bag) {
+                    par::powerset(&bag, self.limits.max_bag_elements, self.par.chunks)?
+                } else {
+                    bag.powerset(self.limits.max_bag_elements)?
+                };
                 self.observe(&out)?;
                 Ok(Value::Bag(out))
             }
             Expr::Powerbag(e) => {
                 let bag = expect_bag(self.eval_inner(e)?)?;
                 self.metrics.powerset_calls += 1;
-                let out = bag.powerbag(self.limits.max_bag_elements)?;
+                let out = if self.subbags_want_partitioning(&bag) {
+                    par::powerbag(&bag, self.limits.max_bag_elements, self.par.chunks)?
+                } else {
+                    bag.powerbag(self.limits.max_bag_elements)?
+                };
                 self.observe(&out)?;
                 Ok(Value::Bag(out))
             }
@@ -648,7 +726,8 @@ impl<'a> Evaluator<'a> {
                     self.env.push((var.clone(), Value::Bag(current.clone())));
                     let stepped = self.eval_inner(body);
                     self.env.pop();
-                    let next = current.max_union(&expect_bag(stepped?)?);
+                    let next =
+                        self.merge_bags(&current, &expect_bag(stepped?)?, MergeKind::MaxUnion);
                     self.observe(&next)?;
                     if next == current {
                         return Ok(Value::Bag(current));
@@ -1113,7 +1192,11 @@ impl<'a> Evaluator<'a> {
                 limit: self.limits.max_bag_elements,
             });
         }
-        let out = left.product(&right, self.limits.max_bag_elements)?;
+        let out = if self.par.enabled() && predicted >= self.par.threshold as u128 {
+            par::product(&left, &right, self.limits.max_bag_elements, self.par.chunks)?
+        } else {
+            left.product(&right, self.limits.max_bag_elements)?
+        };
         self.observe(&out)?;
         Ok(ProductOutcome::Materialized(out))
     }
@@ -1151,6 +1234,35 @@ impl<'a> Evaluator<'a> {
         let Some(pick) = pick else {
             return Ok(None);
         };
+        // Optimistic partitioned probe: chunk the probe side's rows, run
+        // each chunk infallibly with a local builder, and commit only when
+        // the total surviving-pair count fits both remaining budgets
+        // (steps *and* distinct elements). On overflow nothing has been
+        // charged, so the serial loop below re-runs and reproduces the
+        // exact serial error payload and partial metric charges.
+        if self.par.enabled() {
+            let (index, probe_is_right) = match &pick {
+                Pick::Left(index) => (index, true),
+                Pick::Right(index) => (index, false),
+            };
+            let probe = if probe_is_right { right } else { left };
+            if probe.distinct_count() >= self.par.threshold {
+                let budget = self.steps_left.min(self.limits.max_bag_elements);
+                if let Some((out, pairs)) = par_probe_join(
+                    index,
+                    probe,
+                    probe_is_right,
+                    li,
+                    ri,
+                    self.par.chunks,
+                    budget,
+                ) {
+                    self.charge_steps(pairs)
+                        .expect("pair count bounded by remaining steps");
+                    return Ok(Some(out));
+                }
+            }
+        }
         let mut out = BagBuilder::new();
         match pick {
             Pick::Left(index) => {
@@ -1179,17 +1291,38 @@ impl<'a> Evaluator<'a> {
         Ok(Some(out.build()))
     }
 
-    fn eval_binary(
-        &mut self,
-        a: &Expr,
-        b: &Expr,
-        op: impl FnOnce(&Bag, &Bag) -> Bag,
-    ) -> Result<Value, EvalError> {
+    fn eval_binary(&mut self, a: &Expr, b: &Expr, op: MergeKind) -> Result<Value, EvalError> {
         let left = expect_bag(self.eval_inner(a)?)?;
         let right = expect_bag(self.eval_inner(b)?)?;
-        let out = op(&left, &right);
+        let out = self.merge_bags(&left, &right, op);
         self.observe(&out)?;
         Ok(Value::Bag(out))
+    }
+
+    /// Run one of the four keywise merges, partitioned when the combined
+    /// input is large enough. The merges charge no per-element steps, so
+    /// the partitioned path is identical to the serial one in every
+    /// observable (bag, error, metrics) — the cheapest parallelism in the
+    /// system.
+    fn merge_bags(&self, left: &Bag, right: &Bag, op: MergeKind) -> Bag {
+        if self
+            .par
+            .wants(left.distinct_count() + right.distinct_count())
+        {
+            match op {
+                MergeKind::AdditiveUnion => par::additive_union(left, right, self.par.chunks),
+                MergeKind::Subtract => par::subtract(left, right, self.par.chunks),
+                MergeKind::MaxUnion => par::max_union(left, right, self.par.chunks),
+                MergeKind::Intersect => par::intersect(left, right, self.par.chunks),
+            }
+        } else {
+            match op {
+                MergeKind::AdditiveUnion => left.additive_union(right),
+                MergeKind::Subtract => left.subtract(right),
+                MergeKind::MaxUnion => left.max_union(right),
+                MergeKind::Intersect => left.intersect(right),
+            }
+        }
     }
 
     fn eval_pred(&mut self, pred: &Pred) -> Result<bool, EvalError> {
@@ -1214,6 +1347,108 @@ impl<'a> Evaluator<'a> {
             Pred::Or(a, b) => Ok(self.eval_pred(a)? || self.eval_pred(b)?),
         }
     }
+}
+
+/// The four keywise merge operators of `eval_binary`, reified so the
+/// evaluator can dispatch each to its serial [`Bag`] method or its
+/// partitioned [`crate::par`] kernel.
+#[derive(Clone, Copy)]
+enum MergeKind {
+    AdditiveUnion,
+    Subtract,
+    MaxUnion,
+    Intersect,
+}
+
+/// A probe-join chunk job: `Some((chunk output, pairs emitted))`, or
+/// `None` when the shared budget counter tripped.
+type ProbeJoinJob = Box<dyn FnOnce() -> Option<(Bag, u64)> + Send>;
+
+/// Optimistic chunk-parallel probe of a cached join index.
+///
+/// The probe side's rows are split into `chunks` contiguous ranges; each
+/// range runs infallibly with a local [`BagBuilder`], tracking the global
+/// surviving-pair count through a shared atomic. If the count ever exceeds
+/// `budget` (the minimum of the evaluator's remaining step and element
+/// budgets) the attempt returns `None` with nothing charged — the caller's
+/// serial loop then reproduces the exact serial error payload and partial
+/// metric charges. On success the total pair count is returned for one
+/// bulk [`Evaluator::charge_steps`], identical to the serial loop's
+/// per-pair charges.
+///
+/// Chunk outputs merge exactly: both operand bags hold distinct rows and
+/// the left side has uniform arity, so every surviving `(probe row, match
+/// row)` pair concatenates to a distinct output tuple — chunk bags are
+/// disjoint and their additive union equals the serial builder's output.
+fn par_probe_join(
+    index: &Arc<BagIndex>,
+    probe: &Bag,
+    probe_is_right: bool,
+    li: usize,
+    ri: usize,
+    chunks: usize,
+    budget: u64,
+) -> Option<(Bag, u64)> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n = probe.distinct_count();
+    let counter = Arc::new(AtomicU64::new(0));
+    let key_ix = if probe_is_right { ri } else { li };
+    let mut jobs: Vec<ProbeJoinJob> = Vec::with_capacity(chunks);
+    let mut row = 0usize;
+    for k in 1..=chunks {
+        let end = n * k / chunks;
+        if end <= row {
+            continue;
+        }
+        let probe = probe.clone();
+        let index = Arc::clone(index);
+        let counter = Arc::clone(&counter);
+        let (lo, hi) = (row, end);
+        jobs.push(Box::new(move || {
+            let mut out = BagBuilder::new();
+            let mut pairs = 0u64;
+            for (pv, pm) in &probe.pairs()[lo..hi] {
+                let pf = pv.as_tuple().expect("checked by uniform_arity");
+                let group = index.group(&pf[key_ix - 1]);
+                if group.is_empty() {
+                    continue;
+                }
+                let g = group.len() as u64;
+                let before = counter.fetch_add(g, Ordering::Relaxed);
+                if before.saturating_add(g) > budget {
+                    return None;
+                }
+                pairs += g;
+                for (mv, mm) in group {
+                    let mf = mv.as_tuple().expect("indexed rows are tuples");
+                    if probe_is_right {
+                        out.push(Value::concat_tuples(mf, pf), mm * pm);
+                    } else {
+                        out.push(Value::concat_tuples(pf, mf), pm * mm);
+                    }
+                }
+            }
+            Some((out.build(), pairs))
+        }));
+        row = end;
+    }
+    if jobs.len() <= 1 {
+        // Degenerate partition — let the caller's serial loop run instead.
+        return None;
+    }
+    par::note_partitioned(jobs.len());
+    let parts = pool::global().run(jobs);
+    let mut total = 0u64;
+    let mut merged = Bag::new();
+    for part in parts {
+        let Some((bag, pairs)) = part else {
+            par::note_serial_fallback();
+            return None;
+        };
+        total += pairs;
+        merged = merged.additive_union(&bag);
+    }
+    Some((merged, total))
 }
 
 /// One node of a `MAP`/`σ` spine, borrowed from the expression tree.

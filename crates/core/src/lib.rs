@@ -47,6 +47,8 @@
 //! | [`mod@analyze`] | static analyzer: shape inference, set-ness & linearity certificates, tractability class |
 //! | [`mod@eval`] | resource-limited evaluation with metrics |
 //! | [`index`]   | per-key join indexes and memoized `SubBag` testers |
+//! | [`pool`]    | vendored work-stealing thread pool (std-only) |
+//! | [`par`]     | deterministic partitioned operator kernels |
 //! | [`derived`] | aggregates, cardinality quantifiers, Prop 3.1 identities |
 //! | [`expanded`] | the standard-encoding representation (differential oracle) |
 //! | [`rewrite`] | multiplicity-exact optimization rules (σ pushdown, ε/MAP fusion) |
@@ -64,7 +66,9 @@ pub mod expanded;
 pub mod expr;
 pub mod index;
 pub mod natural;
+pub mod par;
 pub mod parse;
+pub mod pool;
 pub mod profile;
 pub mod rewrite;
 pub mod schema;

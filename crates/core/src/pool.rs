@@ -1,0 +1,325 @@
+//! A vendored, hand-rolled work-stealing thread pool (std-only).
+//!
+//! The evaluator's parallel operator kernels ([`crate::par`]) need a way to
+//! run a small, statically known set of independent chunk jobs and collect
+//! their results **in submission order**. This module provides exactly that
+//! and nothing more:
+//!
+//! * one global pool, built lazily on first use ([`global`]);
+//! * per-worker deques — the owner pops from the back, thieves steal from
+//!   the front;
+//! * the *submitting* thread does not block idly: while it waits for its
+//!   batch it steals and runs pending jobs itself, so nested `run` calls
+//!   (a parallel operator inside a parallel IFP body) cannot deadlock and
+//!   the pool degrades gracefully to serial execution on a 1-core host;
+//! * results are collected by job index, so scheduling order never leaks
+//!   into observable output order.
+//!
+//! Determinism note: nothing in this module influences *what* the kernels
+//! compute — partition boundaries are chosen by [`crate::par`] as a pure
+//! function of the requested chunk count, never of worker count, load, or
+//! timing. The pool only decides *where* each chunk runs.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// A unit of work queued on the pool.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock a mutex, recovering from poisoning.
+///
+/// A panic inside a task is caught and re-thrown on the submitting thread,
+/// but the brief window where a queue lock could be poisoned must not take
+/// the whole pool down.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct PoolShared {
+    /// One deque per worker; the submitting thread injects round-robin.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep/wake signalling for idle workers.
+    idle: Mutex<()>,
+    bell: Condvar,
+    /// Round-robin injection cursor.
+    next: AtomicUsize,
+}
+
+impl PoolShared {
+    /// Try to take one task: first from `home`, then by stealing.
+    fn take(&self, home: usize) -> Option<Task> {
+        if let Some(t) = lock(&self.queues[home]).pop_back() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (home + off) % n;
+            if let Some(t) = lock(&self.queues[victim]).pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn inject(&self, task: Task) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        lock(&self.queues[slot]).push_back(task);
+        self.bell.notify_all();
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Most callers should use the process-wide [`global`] pool; constructing a
+/// private pool is supported for tests.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Build a pool with `workers` background threads (clamped to `1..=64`).
+    ///
+    /// Worker threads park when idle and live for the life of the process;
+    /// the pool is intended to be built once and shared.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.clamp(1, 64);
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            bell: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        for home in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("balg-pool-{home}"))
+                .spawn(move || worker_loop(&shared, home))
+                .expect("spawn balg pool worker");
+        }
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of background worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run a batch of jobs and return their results in submission order.
+    ///
+    /// The calling thread participates: while the batch is outstanding it
+    /// steals and runs queued tasks (its own or anyone's), so this is safe
+    /// to call from inside a pool task and never deadlocks. A panic in any
+    /// job is re-thrown here after the rest of the batch has settled.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // Nothing to overlap; skip the queue entirely.
+            let mut jobs = jobs;
+            return vec![jobs.pop().expect("one job")()];
+        }
+
+        type Slot<T> = Option<std::thread::Result<T>>;
+        let results: Arc<Mutex<Vec<Slot<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let latch = Arc::new((Mutex::new(n), Condvar::new()));
+
+        for (ix, job) in jobs.into_iter().enumerate() {
+            let results = Arc::clone(&results);
+            let latch = Arc::clone(&latch);
+            self.shared.inject(Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(job));
+                lock(&results)[ix] = Some(out);
+                let (count, done) = &*latch;
+                *lock(count) -= 1;
+                done.notify_all();
+            }));
+        }
+
+        // Help until the whole batch has completed.
+        let (count, done) = &*latch;
+        loop {
+            if *lock(count) == 0 {
+                break;
+            }
+            if let Some(task) = self
+                .shared
+                .take(self.shared.next.load(Ordering::Relaxed) % self.workers)
+            {
+                task();
+                continue;
+            }
+            let guard = lock(count);
+            if *guard == 0 {
+                break;
+            }
+            // Short timeout: a task finishing on a worker notifies `done`,
+            // but new *stealable* work appearing only rings `bell`.
+            let _ = done
+                .wait_timeout(guard, Duration::from_millis(1))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+
+        let collected = std::mem::take(&mut *lock(&results));
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in collected {
+            match slot.expect("batch slot filled") {
+                Ok(v) => out.push(v),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+        out
+    }
+}
+
+fn worker_loop(shared: &PoolShared, home: usize) {
+    loop {
+        if let Some(task) = shared.take(home) {
+            task();
+            continue;
+        }
+        let guard = lock(&shared.idle);
+        // Re-check under the idle lock to avoid missing a wakeup, then park.
+        let _ = shared
+            .bell
+            .wait_timeout(guard, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Configured default parallelism (chunk count) for new evaluators: 0 means
+/// "not yet resolved".
+static DEFAULT_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolve the process-wide default parallelism.
+///
+/// Resolution order: an explicit [`set_default_parallelism`] call (e.g. the
+/// `--threads` CLI flag), else the `BALG_THREADS` environment variable, else
+/// [`std::thread::available_parallelism`]. The result is the number of
+/// *chunks* operators split work into by default; a value of `1` disables
+/// parallel execution entirely.
+pub fn default_parallelism() -> usize {
+    let cur = DEFAULT_PARALLELISM.load(Ordering::Relaxed);
+    if cur != 0 {
+        return cur;
+    }
+    let resolved = std::env::var("BALG_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+        .clamp(1, 64);
+    // Racing first calls resolve identically; a concurrent explicit
+    // `set_default_parallelism` wins.
+    let _ = DEFAULT_PARALLELISM.compare_exchange(0, resolved, Ordering::Relaxed, Ordering::Relaxed);
+    DEFAULT_PARALLELISM.load(Ordering::Relaxed)
+}
+
+/// Override the process-wide default parallelism (clamped to `1..=64`).
+///
+/// Affects evaluators constructed *after* the call; existing evaluators keep
+/// the chunk count they captured (or had set explicitly).
+pub fn set_default_parallelism(n: usize) {
+    DEFAULT_PARALLELISM.store(n.clamp(1, 64), Ordering::Relaxed);
+}
+
+/// The process-wide pool, built on first use.
+///
+/// Worker count is `min(default_parallelism, available_parallelism)` — on a
+/// 1-core host a single worker is spawned and the submitting thread's
+/// help-while-waiting loop does most of the running.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ThreadPool::new(default_parallelism().min(hw.max(1)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn core_values_cross_threads() {
+        assert_send_sync::<crate::value::Value>();
+        assert_send_sync::<crate::bag::Bag>();
+        assert_send_sync::<crate::natural::Natural>();
+        assert_send_sync::<crate::zbag::ZBag>();
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = ThreadPool::new(4);
+        let jobs: Vec<_> = (0..97u64).map(|i| move || i * i).collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..97u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let inner_pool = Arc::clone(&pool);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..4u64)
+            .map(|i| {
+                let p = Arc::clone(&inner_pool);
+                Box::new(move || {
+                    let inner: Vec<_> = (0..3u64).map(|j| move || i * 10 + j).collect();
+                    p.run(inner).into_iter().sum()
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn single_worker_pool_completes_wide_batches() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<_> = (0..64)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                move || c.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let _ = pool.run(jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let pool = ThreadPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("chunk failed")),
+            Box::new(|| 3),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn default_parallelism_is_at_least_one() {
+        assert!(default_parallelism() >= 1);
+    }
+}

@@ -283,6 +283,14 @@ impl ZBag {
         self.pairs.len()
     }
 
+    /// Read-only view of the sorted `(element, signed multiplicity)` pair
+    /// slice. Construction stays private, so exposing the slice cannot
+    /// break the representation invariant; partitioned kernels use it to
+    /// range-chunk delta rows.
+    pub fn pairs(&self) -> &[(Value, ZInt)] {
+        &self.pairs
+    }
+
     /// Iterate over `(element, signed multiplicity)` in element order.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, &ZInt)> {
         self.pairs.iter().map(|(v, m)| (v, m))

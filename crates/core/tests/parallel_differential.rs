@@ -1,0 +1,242 @@
+//! The parallel↔serial differential: every partitioned operator kernel
+//! ([`balg_core::par`], plus the evaluator's optimistic partitioned join
+//! probe) must compute **exactly** what its serial counterpart computes
+//! — equal bags, equal errors (payloads included), equal step charges —
+//! at every partition count. Partitioning is a pure function of the
+//! requested chunk count, never of hardware, so this suite proves the
+//! documented determinism contract on any host, including single-core
+//! CI runners.
+//!
+//! The threshold is pinned to 0 throughout, forcing the partitioned
+//! paths onto the small random inputs proptest can afford; partition
+//! counts {2, 4} are each compared against the serial twin (chunks = 1).
+
+use balg_core::bag::Bag;
+use balg_core::eval::{EvalError, Evaluator, Limits};
+use balg_core::expr::{Expr, Pred};
+use balg_core::natural::Natural;
+use balg_core::schema::Database;
+use balg_core::value::Value;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn tuple2(a: i64, b: i64) -> Value {
+    Value::tuple([Value::int(a), Value::int(b)])
+}
+
+fn binary_bag(rows: &[(i64, i64, u64)]) -> Bag {
+    Bag::from_counted(
+        rows.iter()
+            .map(|&(a, b, m)| (tuple2(a, b), Natural::from(m))),
+    )
+}
+
+fn unary_bag(rows: &[(i64, u64)]) -> Bag {
+    Bag::from_counted(
+        rows.iter()
+            .map(|&(a, m)| (Value::tuple([Value::int(a)]), Natural::from(m))),
+    )
+}
+
+/// Evaluate `q` with the given partition count, threshold pinned to 0 so
+/// every partitionable operator actually partitions.
+fn eval_at_chunks(
+    q: &Expr,
+    db: &Database,
+    limits: Limits,
+    chunks: usize,
+) -> (Result<Bag, EvalError>, u64) {
+    let mut ev = Evaluator::new(db, limits);
+    ev.set_parallel_threads(chunks);
+    ev.set_parallel_threshold(0);
+    let result = ev.eval_bag(q);
+    let steps = ev.metrics().steps;
+    (result, steps)
+}
+
+/// The contract: partition counts 2 and 4 agree with the serial twin on
+/// the full `Result` (bags and error payloads) *and* the step charges.
+fn assert_parallel_serial_agree(q: &Expr, db: &Database, limits: &Limits) {
+    let (serial, serial_steps) = eval_at_chunks(q, db, limits.clone(), 1);
+    for chunks in [2usize, 4] {
+        let (par, par_steps) = eval_at_chunks(q, db, limits.clone(), chunks);
+        assert_eq!(serial, par, "serial vs {chunks}-chunk result for {q}");
+        assert_eq!(
+            serial_steps, par_steps,
+            "serial vs {chunks}-chunk step charges for {q}"
+        );
+    }
+}
+
+/// Random expressions over the partitionable operator set: the four
+/// keywise merges, the materializing product, the fused equi-join shape,
+/// and structural operators layered on top.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![Just(Expr::var("R")), Just(Expr::var("S"))];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.additive_union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.subtract(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max_union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.product(b)),
+            (inner.clone(), inner.clone(), 1usize..5, 1usize..5).prop_map(|(a, b, i, j)| {
+                a.product(b).select(
+                    "x",
+                    Pred::eq(Expr::var("x").attr(i), Expr::var("x").attr(j)),
+                )
+            }),
+            inner.clone().prop_map(Expr::dedup),
+            inner.prop_map(|a| a.project(&[1])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random operator trees over random bags: every partition count
+    /// computes the serial answer, error, and step charge.
+    #[test]
+    fn random_expressions_agree_across_partition_counts(
+        q in expr_strategy(),
+        left in vec((0i64..6, 0i64..6, 1u64..4), 0..20),
+        right in vec((0i64..6, 0i64..6, 1u64..4), 0..20),
+    ) {
+        let db = Database::new()
+            .with("R", binary_bag(&left))
+            .with("S", binary_bag(&right));
+        assert_parallel_serial_agree(&q, &db, &Limits::default());
+    }
+
+    /// The same trees under hostile budgets: when the serial evaluation
+    /// errors (`ElementLimit`, `TooLarge`, `StepLimit`…), every partition
+    /// count reproduces the **same error payload** — the optimistic
+    /// kernels must discard partial work and re-derive the serial
+    /// outcome, charging identically.
+    #[test]
+    fn tight_budgets_error_identically(
+        q in expr_strategy(),
+        left in vec((0i64..6, 0i64..6, 1u64..4), 0..20),
+        right in vec((0i64..6, 0i64..6, 1u64..4), 0..20),
+        max_elements in 1u64..40,
+        max_steps in 1u64..2_000,
+    ) {
+        let db = Database::new()
+            .with("R", binary_bag(&left))
+            .with("S", binary_bag(&right));
+        let limits = Limits {
+            max_bag_elements: max_elements,
+            max_steps,
+            ..Limits::default()
+        };
+        assert_parallel_serial_agree(&q, &db, &limits);
+    }
+
+    /// The rank-space subbag enumeration: powerset and powerbag over
+    /// random small bags (duplicated multiplicities exercise the
+    /// weighted binomial path) agree at every partition count, including
+    /// under a budget that trips the up-front cardinality prediction.
+    #[test]
+    fn power_operators_agree_across_partition_counts(
+        rows in vec((0i64..6, 1u64..4), 0..7),
+        weighted in any::<bool>(),
+        tight in any::<bool>(),
+    ) {
+        let db = Database::new().with("U", unary_bag(&rows));
+        let q = if weighted {
+            Expr::var("U").powerbag()
+        } else {
+            Expr::var("U").powerset()
+        };
+        let limits = if tight {
+            Limits { max_bag_elements: 16, ..Limits::default() }
+        } else {
+            Limits::default()
+        };
+        assert_parallel_serial_agree(&q, &db, &limits);
+        // A destroyed powerset (the paper's e4 shape) flows the chunked
+        // output through a downstream operator.
+        let q = Expr::var("U").powerset().dedup();
+        assert_parallel_serial_agree(&q, &db, &limits);
+    }
+
+    /// Non-tuple elements force the product's error path: the pre-scan's
+    /// first-error rule must surface the same `NotATuple` (or budget
+    /// error) the serial inner loop finds, at every partition count.
+    #[test]
+    fn irregular_products_error_identically(
+        left in vec((0i64..4, 0i64..4, 1u64..3), 0..10),
+        right in vec((0i64..4, 1u64..3), 0..10),
+        poison_left in any::<bool>(),
+    ) {
+        let mut r = binary_bag(&left);
+        let mut s = unary_bag(&right);
+        if poison_left {
+            r.insert(Value::sym("atom")); // not a tuple
+        } else {
+            s.insert(Value::sym("atom"));
+        }
+        let db = Database::new().with("R", r).with("S", s);
+        let q = Expr::var("R").product(Expr::var("S"));
+        assert_parallel_serial_agree(&q, &db, &Limits::default());
+    }
+}
+
+/// The IFP body (a transitive closure over a cycle) iterates the
+/// partitioned join and max-union kernels many times; the closure must be
+/// identical at every partition count, and so must the step charges.
+#[test]
+fn ifp_closure_agrees_across_partition_counts() {
+    let g = Bag::from_values(
+        (0..10i64).map(|i| Value::tuple([Value::int(i), Value::int((i + 1) % 10)])),
+    );
+    let step = Expr::var("T")
+        .product(Expr::var("G"))
+        .select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        )
+        .project(&[1, 4])
+        .dedup();
+    let q = Expr::var("G").ifp("T", step);
+    let db = Database::new().with("G", g);
+    let (serial, serial_steps) = eval_at_chunks(&q, &db, Limits::default(), 1);
+    let closure = serial.as_ref().expect("closure evaluates").clone();
+    assert_eq!(closure.distinct_count(), 10 * 10);
+    for chunks in [2usize, 4, 7] {
+        let (par, par_steps) = eval_at_chunks(&q, &db, Limits::default(), chunks);
+        assert_eq!(par.as_ref().ok(), Some(&closure), "chunks = {chunks}");
+        assert_eq!(serial_steps, par_steps, "chunks = {chunks}");
+    }
+}
+
+/// Larger-than-threshold inputs through the *default* threshold: with
+/// realistic sizes the partitioned paths engage on their own, and the
+/// keywise merges and join probe still match the serial twin exactly.
+#[test]
+fn default_threshold_engages_and_agrees() {
+    let n = 6000i64;
+    let r = Bag::from_values((0..n).map(|i| Value::tuple([Value::int(i), Value::int(i % 97)])));
+    let s = Bag::from_values((0..n).map(|i| Value::tuple([Value::int(i % 97), Value::int(i)])));
+    let db = Database::new().with("R", r).with("S", s);
+    for q in [
+        Expr::var("R").additive_union(Expr::var("S")),
+        Expr::var("R").subtract(Expr::var("S")),
+        Expr::var("R").max_union(Expr::var("S")),
+        Expr::var("R").intersect(Expr::var("S")),
+        Expr::var("R").product(Expr::var("S")).select(
+            "x",
+            Pred::eq(Expr::var("x").attr(2), Expr::var("x").attr(3)),
+        ),
+    ] {
+        let mut serial = Evaluator::new(&db, Limits::default());
+        serial.set_parallel_threads(1);
+        let mut parallel = Evaluator::new(&db, Limits::default());
+        parallel.set_parallel_threads(4);
+        let a = serial.eval_bag(&q);
+        let b = parallel.eval_bag(&q);
+        assert_eq!(a, b, "default-threshold disagreement for {q}");
+        assert_eq!(serial.metrics().steps, parallel.metrics().steps, "{q}");
+    }
+}

@@ -684,6 +684,18 @@ impl DurableRuntime {
         self.inner.set_indexing(enabled);
     }
 
+    /// Forwarded tuning knob (not a logged mutation): see
+    /// [`ViewRuntime::set_parallel`].
+    pub fn set_parallel(&mut self, enabled: bool) {
+        self.inner.set_parallel(enabled);
+    }
+
+    /// Forwarded tuning knob (not a logged mutation): see
+    /// [`ViewRuntime::set_parallel_threads`].
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        self.inner.set_parallel_threads(n);
+    }
+
     fn maybe_checkpoint(&mut self) -> Result<(), DurableError> {
         if self
             .policy
@@ -914,6 +926,22 @@ impl AnyRuntime {
         match self {
             AnyRuntime::Memory(rt) => rt.set_indexing(enabled),
             AnyRuntime::Durable(d) => d.set_indexing(enabled),
+        }
+    }
+
+    /// Forwarded tuning knob: see [`ViewRuntime::set_parallel`].
+    pub fn set_parallel(&mut self, enabled: bool) {
+        match self {
+            AnyRuntime::Memory(rt) => rt.set_parallel(enabled),
+            AnyRuntime::Durable(d) => d.set_parallel(enabled),
+        }
+    }
+
+    /// Forwarded tuning knob: see [`ViewRuntime::set_parallel_threads`].
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        match self {
+            AnyRuntime::Memory(rt) => rt.set_parallel_threads(n),
+            AnyRuntime::Durable(d) => d.set_parallel_threads(n),
         }
     }
 }

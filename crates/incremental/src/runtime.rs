@@ -174,6 +174,11 @@ pub struct ViewRuntime {
     /// Whether the fused equi-join propagates through index probes
     /// (default) or scans — the differential suites run both.
     use_indexes: bool,
+    /// Partitioned-execution override applied to every maintenance
+    /// evaluator; `None` inherits the process-wide default
+    /// ([`balg_core::par::Parallel::from_global`]). Every setting
+    /// maintains identical views — only scheduling differs.
+    parallel: Option<balg_core::par::Parallel>,
 }
 
 impl Default for ViewRuntime {
@@ -204,6 +209,7 @@ impl ViewRuntime {
             batches: 0,
             indexes: IndexCache::new(),
             use_indexes: true,
+            parallel: None,
         }
     }
 
@@ -236,6 +242,49 @@ impl ViewRuntime {
     /// Whether the index fast paths are enabled.
     pub fn indexing(&self) -> bool {
         self.use_indexes
+    }
+
+    /// Enable or disable partitioned parallel execution for maintenance
+    /// passes. Enabling adopts the process-wide default chunk count
+    /// ([`balg_core::pool::default_parallelism`]); disabling pins every
+    /// maintenance evaluator — and the fused equi-join's optimistic
+    /// partitioned delta — to the serial paths. Both settings maintain
+    /// identical views, errors, and stats; only scheduling differs.
+    pub fn set_parallel(&mut self, enabled: bool) {
+        let mut p = balg_core::par::Parallel::from_global();
+        if !enabled {
+            p.chunks = 1;
+        }
+        self.parallel = Some(p);
+    }
+
+    /// Pin the maintenance partition count directly (values `<= 1`
+    /// disable parallel execution). Partitioning is a pure function of
+    /// this count, so differential suites can compare any two settings.
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        let mut p = self
+            .parallel
+            .unwrap_or_else(balg_core::par::Parallel::from_global);
+        p.chunks = n.max(1);
+        self.parallel = Some(p);
+    }
+
+    /// Override the minimum delta size before maintenance partitions
+    /// (tests drop this to `0` to force the partitioned join delta onto
+    /// small updates).
+    pub fn set_parallel_threshold(&mut self, n: usize) {
+        let mut p = self
+            .parallel
+            .unwrap_or_else(balg_core::par::Parallel::from_global);
+        p.threshold = n;
+        self.parallel = Some(p);
+    }
+
+    /// The effective maintenance partition count (`1` means serial).
+    pub fn parallel_chunks(&self) -> usize {
+        self.parallel
+            .unwrap_or_else(balg_core::par::Parallel::from_global)
+            .chunks
     }
 
     /// Join-index cache statistics `(hits, builds)`.
@@ -285,7 +334,9 @@ impl ViewRuntime {
         let mut failed: Vec<(String, EvalError)> = Vec::new();
         for (view_name, view) in &mut self.views {
             if view.reads().contains(&var) {
-                if let Err(error) = view.reinit(&self.db, &self.limits, self.use_indexes) {
+                if let Err(error) =
+                    view.reinit(&self.db, &self.limits, self.use_indexes, self.parallel)
+                {
                     failed.push((view_name.clone(), error));
                 }
             }
@@ -336,11 +387,16 @@ impl ViewRuntime {
     /// Register (or replace) a maintained view for a compiled BALG
     /// expression. The initial result is computed immediately.
     pub fn create_view(&mut self, name: &str, expr: Expr) -> Result<&Bag, UpdateError> {
-        let view = View::new(expr, &self.db, &self.limits, self.use_indexes).map_err(|error| {
-            UpdateError::View {
-                view: name.to_owned(),
-                error,
-            }
+        let view = View::new(
+            expr,
+            &self.db,
+            &self.limits,
+            self.use_indexes,
+            self.parallel,
+        )
+        .map_err(|error| UpdateError::View {
+            view: name.to_owned(),
+            error,
         })?;
         self.views.insert(name.to_owned(), view);
         // A fresh registration supersedes any tombstone under this name.
@@ -451,10 +507,13 @@ impl ViewRuntime {
                     &self.limits,
                     &mut self.indexes,
                     self.use_indexes,
+                    self.parallel,
                 )
                 .is_err()
             {
-                if let Err(error) = view.reinit(&self.db, &self.limits, self.use_indexes) {
+                if let Err(error) =
+                    view.reinit(&self.db, &self.limits, self.use_indexes, self.parallel)
+                {
                     failed.push((view_name.clone(), error));
                 }
             }

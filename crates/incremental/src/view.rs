@@ -11,6 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use balg_core::analyze::{base_linearity, Linearity};
@@ -18,9 +19,11 @@ use balg_core::bag::{attr_field, Bag};
 use balg_core::eval::{EvalError, Evaluator, Limits};
 use balg_core::expr::{Expr, Pred, Var};
 use balg_core::index::{BagIndex, IndexCache};
+use balg_core::par::{self, Parallel};
+use balg_core::pool;
 use balg_core::schema::Database;
 use balg_core::value::Value;
-use balg_core::zbag::{ZBag, ZBagBuilder};
+use balg_core::zbag::{ZBag, ZBagBuilder, ZInt};
 
 /// The fresh variable the fallback probes bind the memoized child
 /// snapshot to (not expressible in the surface syntax, so it can never
@@ -591,6 +594,257 @@ fn check_join_budget(out: &mut ZBagBuilder, limit: u64) -> Result<(), MaintainEr
         .map_err(|observed| MaintainError::Eval(EvalError::ElementLimit { observed, limit }))
 }
 
+/// Rank-proportional chunk boundaries over `n` delta rows: cut `k` ends at
+/// `n·k/chunks`, a pure function of the requested chunk count (never of
+/// worker count or load), so every parallelism setting partitions — and
+/// therefore computes — identically. Empty ranges collapse away.
+fn row_cuts(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let mut cuts = Vec::with_capacity(chunks);
+    let mut lo = 0usize;
+    for k in 1..=chunks {
+        let hi = n * k / chunks;
+        if hi > lo {
+            cuts.push((lo, hi));
+            lo = hi;
+        }
+    }
+    cuts
+}
+
+/// One chunk of an indexed join-delta term: probe the opposite side's
+/// per-key index with each delta row in `rows`, accumulating surviving
+/// pairs into a chunk-local builder. `key` is the 1-based join attribute
+/// within the delta row; `delta_is_left` fixes the concatenation order.
+/// The shared `counter` tracks total pushes across all chunks and terms;
+/// crossing `budget` aborts the whole optimistic attempt (checked
+/// *before* materializing a row's group, so committed work never exceeds
+/// the budget).
+fn probe_delta_chunk(
+    rows: &[(Value, ZInt)],
+    index: &BagIndex,
+    key: usize,
+    delta_is_left: bool,
+    counter: &AtomicU64,
+    budget: u64,
+) -> Option<ZBag> {
+    let mut out = ZBagBuilder::new();
+    for (row, change) in rows {
+        let pf = row.as_tuple().expect("join_side checked");
+        let group = index.group(&pf[key - 1]);
+        let g = group.len() as u64;
+        if counter.fetch_add(g, Ordering::Relaxed).saturating_add(g) > budget {
+            return None;
+        }
+        for (other, mult) in group {
+            let of = other.as_tuple().expect("indexed rows are tuples");
+            let value = if delta_is_left {
+                Value::concat_tuples(pf, of)
+            } else {
+                Value::concat_tuples(of, pf)
+            };
+            out.push(value, change.scale(mult));
+        }
+    }
+    Some(out.build())
+}
+
+/// One chunk of a scanned join-delta term: pair every delta row in `rows`
+/// with every element of the unchanged operand under the `αᵢ = αⱼ` filter.
+/// Budget semantics mirror [`probe_delta_chunk`] (the counter is bumped
+/// per surviving pair, before the push).
+fn scan_delta_chunk(
+    rows: &[(Value, ZInt)],
+    other: &Bag,
+    i: usize,
+    j: usize,
+    delta_is_left: bool,
+    counter: &AtomicU64,
+    budget: u64,
+) -> Option<ZBag> {
+    let mut out = ZBagBuilder::new();
+    for (row, change) in rows {
+        let pf = row.as_tuple().expect("join_side checked");
+        for (other_row, mult) in other.iter() {
+            let of = other_row.as_tuple().expect("join_side checked");
+            let (lf, rf) = if delta_is_left { (pf, of) } else { (of, pf) };
+            if pair_field(lf, rf, i) == pair_field(lf, rf, j) {
+                if counter.fetch_add(1, Ordering::Relaxed) >= budget {
+                    return None;
+                }
+                out.push(Value::concat_tuples(lf, rf), change.scale(mult));
+            }
+        }
+    }
+    Some(out.build())
+}
+
+/// Fan one indexed term out across the worker pool (or run it inline when
+/// the delta is below the partition threshold). Chunk deltas merge with
+/// the keyed group sum [`ZBag::add`], which equals building from the full
+/// push stream in any order.
+fn par_probe_term(
+    delta: &Arc<Vec<(Value, ZInt)>>,
+    index: &Arc<BagIndex>,
+    key: usize,
+    delta_is_left: bool,
+    par: Parallel,
+    counter: &Arc<AtomicU64>,
+    budget: u64,
+) -> Option<ZBag> {
+    let want = if delta.len() >= par.threshold {
+        par.chunks
+    } else {
+        1
+    };
+    let cuts = row_cuts(delta.len(), want);
+    if cuts.len() <= 1 {
+        return probe_delta_chunk(delta, index, key, delta_is_left, counter, budget);
+    }
+    par::note_partitioned(cuts.len());
+    let jobs: Vec<_> = cuts
+        .into_iter()
+        .map(|(lo, hi)| {
+            let delta = Arc::clone(delta);
+            let index = Arc::clone(index);
+            let counter = Arc::clone(counter);
+            move || probe_delta_chunk(&delta[lo..hi], &index, key, delta_is_left, &counter, budget)
+        })
+        .collect();
+    let mut out = ZBag::new();
+    for part in pool::global().run(jobs) {
+        out = out.add(&part?);
+    }
+    Some(out)
+}
+
+/// Fan one scanned term out across the worker pool — same contract as
+/// [`par_probe_term`], with the unchanged operand scanned per delta row.
+#[allow(clippy::too_many_arguments)]
+fn par_scan_term(
+    delta: &Arc<Vec<(Value, ZInt)>>,
+    other: &Bag,
+    i: usize,
+    j: usize,
+    delta_is_left: bool,
+    par: Parallel,
+    counter: &Arc<AtomicU64>,
+    budget: u64,
+) -> Option<ZBag> {
+    let want = if delta.len() >= par.threshold {
+        par.chunks
+    } else {
+        1
+    };
+    let cuts = row_cuts(delta.len(), want);
+    if cuts.len() <= 1 {
+        return scan_delta_chunk(delta, other, i, j, delta_is_left, counter, budget);
+    }
+    par::note_partitioned(cuts.len());
+    let jobs: Vec<_> = cuts
+        .into_iter()
+        .map(|(lo, hi)| {
+            let delta = Arc::clone(delta);
+            let other = other.clone();
+            let counter = Arc::clone(counter);
+            move || {
+                scan_delta_chunk(
+                    &delta[lo..hi],
+                    &other,
+                    i,
+                    j,
+                    delta_is_left,
+                    &counter,
+                    budget,
+                )
+            }
+        })
+        .collect();
+    let mut out = ZBag::new();
+    for part in pool::global().run(jobs) {
+        out = out.add(&part?);
+    }
+    Some(out)
+}
+
+/// Optimistic partitioned evaluation of the fused equi-join's three delta
+/// terms. Commits only when the total surviving pair count stays within
+/// `budget` (= `max_elements`): in that regime the serial builder cannot
+/// hit its distinct-element budget either (distinct ≤ pushes), and the
+/// keyed merge of chunk deltas equals the serial push stream, so the
+/// committed delta is bit-identical to the serial one. On overflow
+/// nothing is kept and the caller's serial loops re-derive the exact
+/// outcome — success or the precise `ElementLimit` payload. The boolean
+/// mirrors the serial `used_index` flag.
+#[allow(clippy::too_many_arguments)]
+fn join_delta_par(
+    da: &ZBag,
+    db_: &ZBag,
+    left_new: &Bag,
+    right_new: &Bag,
+    left_index: &Option<Arc<BagIndex>>,
+    right_index: &Option<Arc<BagIndex>>,
+    i: usize,
+    j: usize,
+    la: usize,
+    spanning: bool,
+    par: Parallel,
+    budget: u64,
+) -> Option<(ZBag, bool)> {
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut out = ZBag::new();
+    let mut used_index = false;
+    // F(δA × B_new)
+    if !da.is_empty() && !right_new.is_empty() {
+        let rows = Arc::new(da.pairs().to_vec());
+        let term = if let (true, Some(index)) = (spanning, right_index) {
+            used_index = true;
+            par_probe_term(&rows, index, i, true, par, &counter, budget)
+        } else {
+            par_scan_term(&rows, right_new, i, j, true, par, &counter, budget)
+        };
+        let Some(term) = term else {
+            par::note_serial_fallback();
+            return None;
+        };
+        out = out.add(&term);
+    }
+    // F(A_new × δB)
+    if !db_.is_empty() && !left_new.is_empty() {
+        let rows = Arc::new(db_.pairs().to_vec());
+        let term = if let (true, Some(index)) = (spanning, left_index) {
+            used_index = true;
+            par_probe_term(&rows, index, j - la, false, par, &counter, budget)
+        } else {
+            par_scan_term(&rows, left_new, i, j, false, par, &counter, budget)
+        };
+        let Some(term) = term else {
+            par::note_serial_fallback();
+            return None;
+        };
+        out = out.add(&term);
+    }
+    // ⊖ F(δA × δB) — both sides small, a direct pair loop on this thread.
+    if !da.is_empty() && !db_.is_empty() {
+        let mut builder = ZBagBuilder::new();
+        for (lrow, lchange) in da.iter() {
+            let lf = lrow.as_tuple().expect("join_side checked");
+            for (rrow, rchange) in db_.iter() {
+                let rf = rrow.as_tuple().expect("join_side checked");
+                if pair_field(lf, rf, i) == pair_field(lf, rf, j) {
+                    if counter.fetch_add(1, Ordering::Relaxed) >= budget {
+                        par::note_serial_fallback();
+                        return None;
+                    }
+                    builder.push(Value::concat_tuples(lf, rf), lchange.mul(rchange).neg());
+                }
+            }
+        }
+        out = out.add(&builder.build());
+    }
+    Some((out, used_index))
+}
+
 /// Classify a replaced value for the parent: unchanged, a bag delta, or an
 /// opaque scalar change.
 fn replaced(old: &Value, new: &Value) -> Delta {
@@ -795,6 +1049,29 @@ impl Node {
             return Ok(None); // σ errors on every pair — re-derive honestly
         }
         let spanning = i <= la && j > la;
+        // Optimistic partitioned attempt: chunk the delta rows across the
+        // worker pool under a shared push budget (see [`join_delta_par`]).
+        // `None` means the budget overflowed — fall through to the serial
+        // loops, which re-derive the exact outcome.
+        let parallel = ctx.ev.parallel();
+        if parallel.wants(da.distinct_count()) || parallel.wants(db_.distinct_count()) {
+            if let Some(result) = join_delta_par(
+                da,
+                db_,
+                left_new,
+                right_new,
+                &left_index,
+                &right_index,
+                i,
+                j,
+                la,
+                spanning,
+                parallel,
+                ctx.max_elements,
+            ) {
+                return Ok(Some(result));
+            }
+        }
         let mut out = ZBagBuilder::new();
         let mut used_index = false;
         // F(δA × B_new)
@@ -1149,6 +1426,7 @@ impl View {
         db: &Database,
         limits: &Limits,
         use_indexes: bool,
+        parallel: Option<Parallel>,
     ) -> Result<View, EvalError> {
         let mut root = compile(&expr);
         mark_snapshots(&mut root, true);
@@ -1156,6 +1434,9 @@ impl View {
         root.keep_snapshot = true;
         let mut ev = Evaluator::new(db, limits.clone());
         ev.set_indexing(use_indexes);
+        if let Some(p) = parallel {
+            ev.set_parallel_config(p);
+        }
         root.init(db, &mut ev, limits.max_bag_elements)?;
         if root.snapshot.as_bag().is_none() {
             return Err(EvalError::Shape {
@@ -1210,6 +1491,7 @@ impl View {
     /// cache (base indexes in it have already been patched for this
     /// batch); `use_indexes` routes the fused equi-join between index
     /// probes and scans.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn maintain(
         &mut self,
         deltas: &BTreeMap<Var, ZBag>,
@@ -1218,10 +1500,14 @@ impl View {
         limits: &Limits,
         indexes: &mut IndexCache,
         use_indexes: bool,
+        parallel: Option<Parallel>,
     ) -> Result<(), MaintainError> {
         let counters_before = (self.stats.fallback_recomputes, self.stats.scalar_recomputes);
         let mut ev = Evaluator::new(db, limits.clone());
         ev.set_indexing(use_indexes);
+        if let Some(p) = parallel {
+            ev.set_parallel_config(p);
+        }
         let mut ctx = UpdateCtx {
             deltas,
             affected,
@@ -1272,9 +1558,13 @@ impl View {
         db: &Database,
         limits: &Limits,
         use_indexes: bool,
+        parallel: Option<Parallel>,
     ) -> Result<(), EvalError> {
         let mut ev = Evaluator::new(db, limits.clone());
         ev.set_indexing(use_indexes);
+        if let Some(p) = parallel {
+            ev.set_parallel_config(p);
+        }
         self.root.init(db, &mut ev, limits.max_bag_elements)?;
         self.stats.full_reinits += 1;
         Ok(())

@@ -171,8 +171,14 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) reconstructed from the buckets:
     /// the upper bound of the bucket containing the sample of rank
-    /// `max(1, ceil(q·n))`. Returns 0 on an empty histogram.
+    /// `max(1, ceil(q·n))`. Returns 0 on an empty histogram. Out-of-range
+    /// requests are clamped into `[0.0, 1.0]` and a `NaN` request reads
+    /// as `0.0` (the minimum) — never a panic, and never a rank outside
+    /// the recorded population. (`f64::clamp` itself panics on `NaN`, and
+    /// `NaN as u64` saturates to 0 silently, so both are handled before
+    /// the arithmetic.)
     pub fn quantile(&self, q: f64) -> u64 {
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let buckets = self.buckets();
         let n: u64 = buckets.iter().sum();
         if n == 0 {

@@ -41,6 +41,35 @@ proptest! {
         prop_assert!(approx <= bucket_upper(be.saturating_add(1)));
     }
 
+    /// Hostile quantile arguments never panic and always land inside the
+    /// recorded population: `NaN` reads as the minimum, anything outside
+    /// `[0, 1]` (including ±∞) clamps to the nearest end.
+    #[test]
+    fn quantile_is_total_over_hostile_arguments(
+        samples in proptest::collection::vec(0u64..=10_000_000, 1..100),
+        q in prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            (-1000i32..1000).prop_map(|k| f64::from(k) / 100.0),
+        ],
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let got = h.quantile(q);
+        let lo = h.quantile(0.0);
+        let hi = h.quantile(1.0);
+        prop_assert!(got >= lo && got <= hi, "quantile({q}) = {got} outside [{lo}, {hi}]");
+        if q.is_nan() || q <= 0.0 {
+            prop_assert_eq!(got, lo);
+        }
+        if q >= 1.0 {
+            prop_assert_eq!(got, hi);
+        }
+    }
+
     #[test]
     fn count_and_sum_track_samples(
         samples in proptest::collection::vec(0u64..=1_000_000, 0..100),
@@ -52,6 +81,25 @@ proptest! {
         prop_assert_eq!(h.count(), samples.len() as u64);
         prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
         prop_assert_eq!(h.buckets().iter().sum::<u64>(), samples.len() as u64);
+    }
+}
+
+/// The empty histogram answers 0 for every quantile, hostile or not —
+/// the documented sentinel, reachable before the first sample lands.
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let h = Histogram::new();
+    for q in [
+        f64::NAN,
+        f64::NEG_INFINITY,
+        -1.0,
+        0.0,
+        0.5,
+        1.0,
+        2.0,
+        f64::INFINITY,
+    ] {
+        assert_eq!(h.quantile(q), 0, "quantile({q}) on empty histogram");
     }
 }
 

@@ -103,6 +103,11 @@ pub struct Snapshot {
     pub dropped: BTreeMap<String, String>,
     /// Evaluation budgets for one-shot queries.
     pub limits: Limits,
+    /// Partition-count override for one-shot query evaluators (`None`
+    /// inherits the process-wide default). Carried on the snapshot so
+    /// reader sessions honor the server's `--threads` setting without
+    /// touching process-global state.
+    pub parallel_chunks: Option<usize>,
 }
 
 /// Capture the runtime's current state as a [`Snapshot`] stamped `seq`.
@@ -125,6 +130,7 @@ pub fn snapshot_of(rt: &SqlRuntime, seq: u64) -> Snapshot {
         views,
         dropped,
         limits: runtime.limits().clone(),
+        parallel_chunks: rt.parallel_threads(),
     }
 }
 
@@ -215,6 +221,9 @@ fn snapshot_view_rows(snap: &Snapshot, name: &str) -> Result<QueryResult, String
 fn run_snapshot_query(snap: &Snapshot, query: &Query) -> Result<QueryResult, SqlError> {
     let compiled = compile_query(query, &snap.catalog).map_err(SqlError::Compile)?;
     let mut evaluator = Evaluator::new(&snap.db, snap.limits.clone());
+    if let Some(chunks) = snap.parallel_chunks {
+        evaluator.set_parallel_threads(chunks);
+    }
     let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
     decode_result(&bag, compiled.output)
 }

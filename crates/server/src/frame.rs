@@ -13,6 +13,10 @@ use crate::exec::Reply;
 /// Default maximum frame payload (1 MiB).
 pub const MAX_FRAME: u32 = 1 << 20;
 
+/// Initial payload-buffer capacity: allocation beyond this tracks bytes
+/// actually received, never the peer's claimed length alone.
+const INITIAL_PAYLOAD_CHUNK: u32 = 8 * 1024;
+
 /// Write one frame.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
@@ -48,8 +52,19 @@ pub fn read_frame(reader: &mut impl Read, max: u32) -> io::Result<Option<Vec<u8>
             format!("frame of {len} bytes exceeds the {max} byte limit"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
+    // Grow the buffer as bytes arrive instead of pre-allocating the full
+    // claimed length: a peer that sends a maximum-sized header and then
+    // stalls or disconnects pins only the memory for what it actually
+    // delivered — with a permissive `max` the old `vec![0; len]` was a
+    // 4-byte-costs-4-GiB amplification.
+    let mut payload = Vec::with_capacity(len.min(INITIAL_PAYLOAD_CHUNK) as usize);
+    let received = reader.take(u64::from(len)).read_to_end(&mut payload)?;
+    if received < len as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream closed inside a frame payload",
+        ));
+    }
     Ok(Some(payload))
 }
 
@@ -115,6 +130,49 @@ mod tests {
         assert_eq!(
             read_frame(&mut cursor, MAX_FRAME).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    /// Adversarial header: a peer claims the largest possible payload a
+    /// permissive limit admits and sends nothing. The reader must fail
+    /// with a clean EOF error after allocating proportionally to the
+    /// zero bytes received — the eager `vec![0; len]` this replaces
+    /// would have committed 4 GiB before reading the first body byte.
+    #[test]
+    fn claimed_max_header_with_no_body_fails_without_preallocation() {
+        let mut frame = u32::MAX.to_be_bytes().to_vec();
+        let mut cursor = io::Cursor::new(frame.clone());
+        assert_eq!(
+            read_frame(&mut cursor, u32::MAX).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Same with a token body: still EOF, not a hang or huge alloc.
+        frame.extend_from_slice(b"tiny");
+        let mut cursor = io::Cursor::new(frame);
+        assert_eq!(
+            read_frame(&mut cursor, u32::MAX).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    /// A frame that claims exactly the limit but truncates mid-body is an
+    /// EOF error, and a full-length one at the limit still round-trips.
+    #[test]
+    fn at_limit_frames_truncated_and_complete() {
+        let max = 64u32;
+        let mut frame = max.to_be_bytes().to_vec();
+        frame.extend_from_slice(&[7u8; 5]);
+        let mut cursor = io::Cursor::new(frame);
+        assert_eq!(
+            read_frame(&mut cursor, max).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, &[9u8; 64]).unwrap();
+        let mut cursor = io::Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor, max).unwrap().as_deref(),
+            Some(&[9u8; 64][..])
         );
     }
 

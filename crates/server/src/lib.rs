@@ -47,6 +47,7 @@
 pub mod client;
 pub mod exec;
 pub mod frame;
+pub mod lock;
 pub mod server;
 
 /// Commonly used items, re-exported.

@@ -1,0 +1,68 @@
+//! Poison-recovering lock accessors.
+//!
+//! A session thread that panics while holding the snapshot `RwLock` (or
+//! the writer-handle `Mutex`) poisons it; `.unwrap()` on every later
+//! access would then propagate that one panic into **all** sessions, the
+//! writer, and the shutdown path — one bad request becoming a permanent
+//! full-server outage. Both guarded values are structurally valid at
+//! every instant a panic can strike: the published snapshot is an `Arc`
+//! swapped in a single assignment, and the writer handle is an `Option`
+//! of a channel sender. Recovering the guard with
+//! [`PoisonError::into_inner`] is therefore sound, and these helpers do
+//! it uniformly so no call site can reintroduce an `unwrap`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard if a panicking holder poisoned it.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock an `RwLock`, recovering the guard from poison.
+pub fn read<T>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rw.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock an `RwLock`, recovering the guard from poison.
+pub fn write<T>(rw: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rw.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    /// A panic while holding the mutex poisons it; the helper must still
+    /// hand out the guard (and the guarded value must be intact).
+    #[test]
+    fn mutex_survives_poisoning_holder() {
+        let shared = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("session thread dies while holding the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*lock(&shared), 7);
+        *lock(&shared) = 8;
+        assert_eq!(*lock(&shared), 8);
+    }
+
+    /// Same for the RwLock helpers, in both directions.
+    #[test]
+    fn rwlock_survives_poisoning_holder() {
+        let shared = Arc::new(RwLock::new(String::from("snapshot")));
+        let poisoner = Arc::clone(&shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.write().unwrap();
+            panic!("writer dies while publishing");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        assert_eq!(*read(&shared), "snapshot");
+        write(&shared).push_str("-2");
+        assert_eq!(*read(&shared), "snapshot-2");
+    }
+}

@@ -68,6 +68,12 @@ pub struct ServerConfig {
     /// (queue wait included) reaches it is logged to stderr and counted
     /// in `balg_server_slow_queries_total`. `None` disables the log.
     pub slow_ms: Option<u64>,
+    /// Partition count for intra-query parallel execution (the binary's
+    /// `--threads N`). `None` inherits the process-wide default
+    /// (`BALG_THREADS` or the detected core count); `Some(1)` pins the
+    /// serial paths. Every setting computes identical results — only
+    /// scheduling differs.
+    pub threads: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +87,7 @@ impl Default for ServerConfig {
             data_dir: None,
             read_timeout: None,
             slow_ms: None,
+            threads: None,
         }
     }
 }
@@ -182,6 +189,7 @@ impl SqlServer {
             data_dir,
             read_timeout,
             slow_ms,
+            threads,
         } = config;
         let mut rt = match &data_dir {
             None => SqlRuntime::with_limits(catalog, db, limits),
@@ -208,6 +216,9 @@ impl SqlServer {
         };
         if let Some(capacity) = index_capacity {
             rt.set_index_capacity(capacity);
+        }
+        if let Some(threads) = threads {
+            rt.set_parallel_threads(threads);
         }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -246,7 +257,7 @@ impl SqlServer {
 
     /// The sequence number of the currently published snapshot.
     pub fn seq(&self) -> u64 {
-        self.shared.snapshot.read().unwrap().seq
+        crate::lock::read(&self.shared.snapshot).seq
     }
 
     /// Stop accepting, drain queued writes, and join the service threads.
@@ -260,7 +271,7 @@ impl SqlServer {
         }
         // Drop the writer sender: the writer drains what's queued and
         // exits once every transient session clone is gone too.
-        *self.shared.writer.lock().unwrap() = None;
+        *crate::lock::lock(&self.shared.writer) = None;
         // The accept loop blocks in accept(); a self-connection wakes it
         // so it can observe the shutdown flag.
         let _ = TcpStream::connect(self.addr);
@@ -373,11 +384,11 @@ fn dispatch_routed(line: &str, kind: Route, shared: &Shared, obs: Option<&Server
         Route::Read => {
             // Pin the published snapshot — one Arc clone, then the read
             // lock is released and evaluation runs unsynchronized.
-            let snapshot = Arc::clone(&shared.snapshot.read().unwrap());
+            let snapshot = Arc::clone(&crate::lock::read(&shared.snapshot));
             execute_read(&snapshot, line)
         }
         Route::Write => {
-            let sender = shared.writer.lock().unwrap().clone();
+            let sender = crate::lock::lock(&shared.writer).clone();
             let Some(sender) = sender else {
                 return Reply::err("server is shutting down");
             };
@@ -457,7 +468,7 @@ fn writer_loop(mut rt: SqlRuntime, receiver: &Receiver<WriteJob>, shared: &Share
         // Publish BEFORE acking (read-your-writes): a client that has
         // its ack in hand can only ever read this snapshot or a later
         // one. A send can fail only if the session already vanished.
-        *shared.snapshot.write().unwrap() = Arc::new(snapshot_of(&rt, seq));
+        *crate::lock::write(&shared.snapshot) = Arc::new(snapshot_of(&rt, seq));
         for (sender, reply) in replies {
             let _ = sender.send(reply);
         }

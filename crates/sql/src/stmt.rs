@@ -346,6 +346,11 @@ pub struct SqlRuntime {
     catalog: Catalog,
     backend: AnyRuntime,
     view_columns: BTreeMap<String, Vec<Column>>,
+    /// Partition-count override for this session's evaluators (ad-hoc
+    /// queries and view maintenance); `None` inherits the process-wide
+    /// default. Every setting computes identical results — only
+    /// scheduling differs.
+    parallel_chunks: Option<usize>,
 }
 
 impl SqlRuntime {
@@ -374,6 +379,7 @@ impl SqlRuntime {
             catalog,
             backend: AnyRuntime::from(runtime),
             view_columns: BTreeMap::new(),
+            parallel_chunks: None,
         }
     }
 
@@ -392,6 +398,7 @@ impl SqlRuntime {
             catalog: Catalog::new(),
             backend: AnyRuntime::from(durable),
             view_columns: BTreeMap::new(),
+            parallel_chunks: None,
         };
         // Persisted schema first: it is the authoritative record of what
         // the directory's bags and views mean.
@@ -494,6 +501,35 @@ impl SqlRuntime {
     /// hot join indexes.
     pub fn set_index_capacity(&mut self, capacity: usize) {
         self.backend.set_index_capacity(capacity);
+    }
+
+    /// Enable or disable partitioned parallel execution for this
+    /// session's evaluators — ad-hoc queries and view maintenance alike.
+    /// Enabling adopts the process-wide default chunk count
+    /// ([`balg_core::pool::default_parallelism`]); disabling pins every
+    /// operator to the serial paths. Both settings compute identical
+    /// results, errors, and step charges.
+    pub fn set_parallel(&mut self, enabled: bool) {
+        let chunks = if enabled {
+            balg_core::pool::default_parallelism()
+        } else {
+            1
+        };
+        self.set_parallel_threads(chunks);
+    }
+
+    /// Pin this session's partition count directly (values `<= 1`
+    /// disable parallel execution).
+    pub fn set_parallel_threads(&mut self, n: usize) {
+        let n = n.max(1);
+        self.parallel_chunks = Some(n);
+        self.backend.set_parallel_threads(n);
+    }
+
+    /// This session's partition-count override (`None` means the
+    /// process-wide default applies).
+    pub fn parallel_threads(&self) -> Option<usize> {
+        self.parallel_chunks
     }
 
     /// Parse and execute one statement.
@@ -709,6 +745,9 @@ impl SqlRuntime {
         let compiled = compile_query(query, &self.catalog).map_err(SqlError::Compile)?;
         let runtime = self.backend.runtime();
         let mut evaluator = Evaluator::new(runtime.database(), runtime.limits().clone());
+        if let Some(chunks) = self.parallel_chunks {
+            evaluator.set_parallel_threads(chunks);
+        }
         let bag = evaluator.eval_bag(&compiled.expr).map_err(SqlError::Eval)?;
         decode_result(&bag, compiled.output)
     }
